@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the reproduction's own machinery:
+//! relocation engine, router, partial-bitstream diffing and the device
+//! simulator. These measure *our* implementation (wall time), not the
+//! paper's quantities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtm_bench::harness::{build_harness, nearby_free_slot, sequential_cells};
+use rtm_bitstream::PartialBitstream;
+use rtm_fpga::geom::{ClbCoord, Rect};
+use rtm_fpga::part::Part;
+use rtm_fpga::routing::{RouteNode, Wire};
+use rtm_fpga::Device;
+use rtm_netlist::itc99::{self, Variant};
+use rtm_netlist::techmap::map_to_luts;
+use rtm_sim::design::implement;
+use rtm_sim::devsim::DeviceSim;
+use rtm_sim::route::NetDb;
+
+fn bench_relocate_cell(c: &mut Criterion) {
+    c.bench_function("relocate_free_running_cell", |b| {
+        b.iter_batched(
+            || {
+                let netlist = itc99::generate(
+                    itc99::profile("b02").expect("known"),
+                    Variant::FreeRunning,
+                );
+                // Leak to satisfy the harness's borrow of the netlist; a
+                // handful of netlists per benchmark run is negligible.
+                let netlist: &'static _ = Box::leak(Box::new(netlist));
+                let (_, mut h) = build_harness(netlist);
+                h.run_cycles(5).expect("clean");
+                let i = sequential_cells(&h)[0];
+                let src = h.placed().cell_loc(i);
+                let dst = nearby_free_slot(&h, src);
+                (h, src, dst)
+            },
+            |(mut h, src, dst)| {
+                h.relocate_cell(src, dst).expect("relocation succeeds");
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_router(c: &mut Criterion) {
+    c.bench_function("route_20_tile_net", |b| {
+        b.iter_batched(
+            || (Device::new(Part::Xcv200), NetDb::new()),
+            |(mut dev, mut db)| {
+                let src = RouteNode::new(ClbCoord::new(5, 5), Wire::CellOut(0));
+                let sink = RouteNode::new(ClbCoord::new(15, 15), Wire::CellIn(0, 1));
+                db.route_net(&mut dev, src, &[sink], None).expect("routes");
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_partial_bitstream(c: &mut Criterion) {
+    let netlist = itc99::generate(itc99::profile("b03").expect("known"), Variant::FreeRunning);
+    let mapped = map_to_luts(&netlist).expect("maps");
+    let mut dev = Device::new(Part::Xcv200);
+    implement(&mut dev, &mapped, Rect::new(ClbCoord::new(1, 1), 18, 18)).expect("implements");
+    let blank = Device::new(Part::Xcv200);
+    c.bench_function("partial_bitstream_diff_b03", |b| {
+        b.iter(|| {
+            let p = PartialBitstream::diff(blank.config(), dev.config()).expect("diffs");
+            criterion::black_box(p.frame_count());
+        })
+    });
+}
+
+fn bench_device_sim(c: &mut Criterion) {
+    let netlist = itc99::generate(itc99::profile("b03").expect("known"), Variant::FreeRunning);
+    let mapped = map_to_luts(&netlist).expect("maps");
+    let mut dev = Device::new(Part::Xcv200);
+    let placed =
+        implement(&mut dev, &mapped, Rect::new(ClbCoord::new(1, 1), 18, 18)).expect("implements");
+    let width = netlist.inputs().len();
+    c.bench_function("device_sim_cycle_b03", |b| {
+        let mut sim = DeviceSim::new(&dev, &placed);
+        let inputs = vec![true; width];
+        b.iter(|| sim.step(&dev, &inputs).expect("steps"))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_relocate_cell, bench_router, bench_partial_bitstream, bench_device_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! F4 — Fig. 4: the relocation procedure flow. Prints the executed step
+//! sequence for one relocation of each class, with per-step frame traffic,
+//! wait points and interface time — the machine-readable version of the
+//! paper's flow diagram.
+
+use rtm_bench::harness::{build_harness, nearby_free_slot, rule, sequential_cells};
+use rtm_core::cost::CostModel;
+use rtm_netlist::itc99::{self, Variant};
+
+fn main() {
+    let cost = CostModel::paper_default();
+    for (variant, title) in [
+        (Variant::FreeRunning, "free-running (two-phase, Fig. 2)"),
+        (Variant::GatedClock, "gated-clock (auxiliary circuit, Fig. 3/4)"),
+        (Variant::Asynchronous, "asynchronous (latch, Fig. 3/4)"),
+    ] {
+        let netlist = itc99::generate(itc99::profile("b02").expect("known"), variant);
+        let (_, mut h) = build_harness(&netlist);
+        h.run_cycles(20).expect("clean");
+        let i = sequential_cells(&h)[0];
+        let src = h.placed().cell_loc(i);
+        let dst = nearby_free_slot(&h, src);
+        let report = h.relocate_cell(src, dst).expect("relocation succeeds");
+        h.run_cycles(20).expect("clean");
+
+        println!("F4: {title}");
+        println!("{:<24} {:>8} {:>10} {:>10}", "step", "frames", "wait CLK", "ms");
+        rule(56);
+        for s in &report.steps {
+            let ms = cost.interface.seconds_for_bits(
+                cost.step_bits(h.device().part(), &s.frames),
+            ) * 1e3;
+            println!(
+                "{:<24} {:>8} {:>10} {:>10.2}",
+                s.step.to_string(),
+                s.frames.len(),
+                s.wait_cycles,
+                ms
+            );
+        }
+        rule(56);
+        let total = cost.relocation_cost(h.device().part(), &report);
+        println!(
+            "total: {} steps, {} frames, {:.1} ms; transparent: {}\n",
+            report.steps.len(),
+            report.frames_total(),
+            total.millis(),
+            h.transparent()
+        );
+        assert!(h.transparent());
+    }
+}

@@ -1,0 +1,108 @@
+//! T1 — the paper's §2 number: "the average relocation time of each CLB
+//! implementing synchronous gated-clock circuits is about **22.6 ms**,
+//! when the Boundary Scan infrastructure is used to perform the
+//! reconfiguration, at a test clock frequency of 20 MHz."
+//!
+//! Regenerates that figure from first principles — procedure steps →
+//! frames → column writes → interface bits → seconds — averaged over the
+//! ITC'99-style suite with nearby destinations (the paper's §3
+//! recommendation), and sweeps the knobs the paper holds fixed:
+//! relocation class, TCK frequency, configuration interface and tool
+//! write granularity (DESIGN.md ablations 1 and 5).
+
+use rtm_bench::harness::{build_harness, distant_free_slot, nearby_free_slot, sequential_cells};
+use rtm_core::cost::{CostModel, WriteGranularity};
+use rtm_jtag::timing::ConfigInterface;
+use rtm_netlist::itc99::{self, Variant};
+
+fn average_ms(
+    variant: Variant,
+    cost: &CostModel,
+    distance: Option<u16>,
+    moves_per_circuit: usize,
+) -> (f64, usize) {
+    let mut total_ms = 0.0;
+    let mut moves = 0usize;
+    for name in ["b01", "b02", "b06", "b08", "b10"] {
+        let netlist = itc99::generate(itc99::profile(name).expect("known"), variant);
+        let (_, mut h) = build_harness(&netlist);
+        h.run_cycles(20).expect("clean run");
+        for i in sequential_cells(&h).into_iter().take(moves_per_circuit) {
+            let src = h.placed().cell_loc(i);
+            let dst = match distance {
+                None => nearby_free_slot(&h, src),
+                Some(d) => distant_free_slot(&h, src, d),
+            };
+            let report = h.relocate_cell(src, dst).expect("relocation succeeds");
+            total_ms += cost.relocation_cost(h.device().part(), &report).millis();
+            moves += 1;
+            h.run_cycles(5).expect("clean run");
+        }
+        assert!(h.transparent(), "{name} {variant} relocations must be transparent");
+    }
+    (total_ms / moves as f64, moves)
+}
+
+fn main() {
+    println!("T1: average CLB relocation time (paper: 22.6 ms gated-clock, 20 MHz Boundary Scan)");
+    println!();
+
+    let paper = CostModel::paper_default();
+    println!("per relocation class (column-granular tool, Boundary Scan @ 20 MHz, nearby moves):");
+    println!("{:<16} {:>8} {:>14}", "class", "moves", "avg ms/CLB");
+    for (label, variant) in [
+        ("free-running", Variant::FreeRunning),
+        ("gated-clock", Variant::GatedClock),
+        ("asynchronous", Variant::Asynchronous),
+    ] {
+        let (ms, n) = average_ms(variant, &paper, None, 3);
+        println!("{label:<16} {n:>8} {ms:>14.1}");
+    }
+    println!();
+
+    println!("TCK sweep (gated-clock class):");
+    println!("{:<16} {:>14}", "TCK (MHz)", "avg ms/CLB");
+    for mhz in [5u64, 10, 20, 33, 66] {
+        let model = CostModel {
+            granularity: WriteGranularity::Column,
+            interface: ConfigInterface::boundary_scan(mhz * 1_000_000),
+        };
+        let (ms, _) = average_ms(Variant::GatedClock, &model, None, 2);
+        println!("{mhz:<16} {ms:>14.1}");
+    }
+    println!();
+
+    println!("interface / tool-granularity ablation (gated-clock, 20 MHz-class ports):");
+    println!("{:<34} {:>14}", "configuration", "avg ms/CLB");
+    for (label, model) in [
+        ("BoundaryScan 20MHz, column", CostModel::paper_default()),
+        (
+            "BoundaryScan 20MHz, frame",
+            CostModel::frame_granular(ConfigInterface::boundary_scan(20_000_000)),
+        ),
+        (
+            "SelectMAP 50MHz, column",
+            CostModel {
+                granularity: WriteGranularity::Column,
+                interface: ConfigInterface::select_map(50_000_000),
+            },
+        ),
+        (
+            "SelectMAP 50MHz, frame",
+            CostModel::frame_granular(ConfigInterface::select_map(50_000_000)),
+        ),
+    ] {
+        let (ms, _) = average_ms(Variant::GatedClock, &model, None, 2);
+        println!("{label:<34} {ms:>14.2}");
+    }
+    println!();
+
+    println!("move-distance ablation (gated-clock, paper model; paper: keep moves nearby):");
+    println!("{:<16} {:>14}", "distance", "avg ms/CLB");
+    let (near, _) = average_ms(Variant::GatedClock, &paper, None, 2);
+    println!("{:<16} {near:>14.1}", "nearby");
+    for d in [5u16, 10, 20] {
+        let (ms, _) = average_ms(Variant::GatedClock, &paper, Some(d), 2);
+        println!("{:<16} {ms:>14.1}", format!("~{d} CLBs"));
+    }
+}

@@ -1,0 +1,9 @@
+//! # rtm-bench
+//!
+//! Shared helpers for the figure/table regeneration harnesses. Each file
+//! in `benches/` regenerates one figure or table of the paper (see
+//! DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+//! measured vs published results); `engine_micro` additionally contains
+//! Criterion micro-benchmarks of the engine itself.
+
+pub mod harness;

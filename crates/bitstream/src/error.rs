@@ -1,0 +1,123 @@
+//! Error type for bitstream operations.
+
+use rtm_fpga::FpgaError;
+use std::fmt;
+
+/// Errors raised while building, parsing or applying bitstreams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// The stream did not begin with the synchronisation word.
+    MissingSync,
+    /// A packet header could not be decoded.
+    BadPacket {
+        /// Word offset of the offending header.
+        offset: usize,
+        /// The raw header word.
+        word: u32,
+    },
+    /// A packet addressed an unknown configuration register.
+    BadRegister {
+        /// The raw register address.
+        addr: u32,
+    },
+    /// The stream ended inside a packet payload.
+    Truncated {
+        /// Words still expected when the stream ended.
+        missing: usize,
+    },
+    /// The CRC check failed at an AutoCRC/CRC-register write.
+    CrcMismatch {
+        /// CRC computed over the received data.
+        computed: u32,
+        /// CRC carried by the stream.
+        expected: u32,
+    },
+    /// The frame-length register value does not match the part.
+    FlrMismatch {
+        /// FLR value in the stream.
+        stream: u32,
+        /// Frame words required by the part.
+        part: u32,
+    },
+    /// FDRI data was not a whole number of frames.
+    PartialFrame {
+        /// Leftover words.
+        leftover: usize,
+    },
+    /// Frame address ran past the end of the device during auto-increment.
+    FarOverflow,
+    /// An underlying device-model error.
+    Fpga(FpgaError),
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitstreamError::MissingSync => write!(f, "missing synchronisation word"),
+            BitstreamError::BadPacket { offset, word } => {
+                write!(f, "undecodable packet header {word:#010X} at word {offset}")
+            }
+            BitstreamError::BadRegister { addr } => {
+                write!(f, "unknown configuration register {addr:#X}")
+            }
+            BitstreamError::Truncated { missing } => {
+                write!(f, "stream truncated, {missing} payload words missing")
+            }
+            BitstreamError::CrcMismatch { computed, expected } => {
+                write!(f, "crc mismatch: computed {computed:#X}, stream carries {expected:#X}")
+            }
+            BitstreamError::FlrMismatch { stream, part } => {
+                write!(f, "frame length register {stream} does not match part ({part})")
+            }
+            BitstreamError::PartialFrame { leftover } => {
+                write!(f, "fdri payload not a whole number of frames ({leftover} words left)")
+            }
+            BitstreamError::FarOverflow => write!(f, "frame address overflow"),
+            BitstreamError::Fpga(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BitstreamError::Fpga(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FpgaError> for BitstreamError {
+    fn from(e: FpgaError) -> Self {
+        BitstreamError::Fpga(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        let variants = [
+            BitstreamError::MissingSync,
+            BitstreamError::BadPacket { offset: 3, word: 0xDEAD_BEEF },
+            BitstreamError::BadRegister { addr: 0x3F },
+            BitstreamError::Truncated { missing: 4 },
+            BitstreamError::CrcMismatch { computed: 1, expected: 2 },
+            BitstreamError::FlrMismatch { stream: 10, part: 17 },
+            BitstreamError::PartialFrame { leftover: 3 },
+            BitstreamError::FarOverflow,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn fpga_error_converts_and_sources() {
+        use std::error::Error;
+        let e: BitstreamError = FpgaError::BadFrameAddress { detail: "x".into() }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,253 @@
+//! A JBits-style high-level API: typed edits on a device image with
+//! incremental partial-bitstream extraction.
+//!
+//! The paper's tool is "based on the JBits software — a set of Java
+//! classes that provide an API to access the Xilinx FPGA bitstream" (§4).
+//! [`JBits`] plays the same role here: the relocation engine performs
+//! typed edits (LUT contents, cell modes, PIPs, state) and periodically
+//! calls [`JBits::flush`] to obtain the partial configuration file that
+//! realises the accumulated edits.
+
+use crate::error::BitstreamError;
+use crate::partial::PartialBitstream;
+use rtm_fpga::cell::LogicCell;
+use rtm_fpga::clb::Clb;
+use rtm_fpga::config::ConfigMemory;
+use rtm_fpga::geom::ClbCoord;
+use rtm_fpga::routing::Pip;
+use rtm_fpga::Device;
+
+/// Typed bitstream editor with change tracking.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct JBits {
+    dev: Device,
+    baseline: ConfigMemory,
+}
+
+impl JBits {
+    /// Wraps a device image; the current configuration becomes the flush
+    /// baseline.
+    pub fn new(dev: Device) -> Self {
+        let baseline = dev.config().snapshot();
+        JBits { dev, baseline }
+    }
+
+    /// Read access to the underlying device.
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// Mutable access for callers that need raw device operations; such
+    /// edits are still captured by [`JBits::flush`] (everything goes
+    /// through configuration bits).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.dev
+    }
+
+    /// Consumes the editor, returning the device.
+    pub fn into_device(self) -> Device {
+        self.dev
+    }
+
+    /// Sets the truth table of one LUT.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error for out-of-bounds coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= 4`.
+    pub fn set_lut(&mut self, coord: ClbCoord, cell: usize, bits: u16) -> Result<(), BitstreamError> {
+        let mut config = self.dev.clb(coord)?.cells[cell];
+        config.lut.set_bits(bits);
+        self.dev.set_cell(coord, cell, config)?;
+        Ok(())
+    }
+
+    /// Reads the truth table of one LUT.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error for out-of-bounds coordinates.
+    pub fn lut(&self, coord: ClbCoord, cell: usize) -> Result<u16, BitstreamError> {
+        Ok(self.dev.clb(coord)?.cells[cell].lut.bits())
+    }
+
+    /// Replaces a full logic-cell configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error for out-of-bounds coordinates.
+    pub fn set_cell(
+        &mut self,
+        coord: ClbCoord,
+        cell: usize,
+        config: LogicCell,
+    ) -> Result<(), BitstreamError> {
+        self.dev.set_cell(coord, cell, config)?;
+        Ok(())
+    }
+
+    /// Replaces a full CLB configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error for out-of-bounds coordinates.
+    pub fn set_clb(&mut self, coord: ClbCoord, clb: Clb) -> Result<(), BitstreamError> {
+        self.dev.set_clb(coord, clb)?;
+        Ok(())
+    }
+
+    /// Copies the internal configuration of one CLB to another location
+    /// (phase 1, step 1 of the relocation procedure). State bits are
+    /// *not* copied — state transfer is the relocation engine's job.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error for out-of-bounds coordinates.
+    pub fn copy_clb(&mut self, src: ClbCoord, dst: ClbCoord) -> Result<(), BitstreamError> {
+        let clb = *self.dev.clb(src)?;
+        self.dev.set_clb(dst, clb)?;
+        Ok(())
+    }
+
+    /// Activates a PIP.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error for invalid PIPs.
+    pub fn add_pip(&mut self, pip: Pip) -> Result<(), BitstreamError> {
+        self.dev.add_pip(pip)?;
+        Ok(())
+    }
+
+    /// Deactivates a PIP.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the PIP is not active.
+    pub fn remove_pip(&mut self, pip: &Pip) -> Result<(), BitstreamError> {
+        self.dev.remove_pip(pip)?;
+        Ok(())
+    }
+
+    /// Sets a storage-element value through the configuration memory (the
+    /// state-capture write of the gated-clock relocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error for out-of-bounds coordinates.
+    pub fn set_state(&mut self, coord: ClbCoord, cell: usize, value: bool) -> Result<(), BitstreamError> {
+        self.dev.set_cell_state(coord, cell, value)?;
+        Ok(())
+    }
+
+    /// Number of frames that differ from the baseline (the size of the
+    /// partial configuration [`JBits::flush`] would emit).
+    pub fn pending_frames(&self) -> usize {
+        self.dev.config().diff_frames(&self.baseline).len()
+    }
+
+    /// Extracts the partial bitstream for all edits since the last flush
+    /// (or construction) and advances the baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-read errors (cannot occur for a well-formed
+    /// device).
+    pub fn flush(&mut self) -> Result<PartialBitstream, BitstreamError> {
+        let partial = PartialBitstream::diff(&self.baseline, self.dev.config())?;
+        self.baseline = self.dev.config().snapshot();
+        Ok(partial)
+    }
+
+    /// Discards pending edits by restoring the baseline image (system
+    /// recovery, paper §4: "the program always keeps a complete copy of
+    /// the current configuration, enabling system recovery in case of
+    /// failure").
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-write errors (cannot occur for a well-formed
+    /// device).
+    pub fn rollback(&mut self) -> Result<(), BitstreamError> {
+        let to_restore = self.baseline.clone();
+        for addr in self.dev.config().diff_frames(&to_restore) {
+            let frame = to_restore.read_frame(addr)?;
+            self.dev.write_frame(addr, frame)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::ConfigPort;
+    use rtm_fpga::part::Part;
+    use rtm_fpga::routing::{Dir, Wire};
+
+    fn jb() -> JBits {
+        JBits::new(Device::new(Part::Xcv50))
+    }
+
+    #[test]
+    fn lut_edit_tracked_and_flushed() {
+        let mut jb = jb();
+        jb.set_lut(ClbCoord::new(1, 1), 0, 0xAAAA).unwrap();
+        assert_eq!(jb.lut(ClbCoord::new(1, 1), 0).unwrap(), 0xAAAA);
+        assert!(jb.pending_frames() > 0);
+        let p = jb.flush().unwrap();
+        assert!(!p.is_empty());
+        assert_eq!(jb.pending_frames(), 0, "flush advances baseline");
+    }
+
+    #[test]
+    fn flush_applies_to_twin_device() {
+        let mut jb = jb();
+        jb.set_lut(ClbCoord::new(2, 3), 1, 0x5555).unwrap();
+        jb.add_pip(Pip::new(ClbCoord::new(2, 3), Wire::CellOut(1), Wire::Out(Dir::East, 1)))
+            .unwrap();
+        jb.set_state(ClbCoord::new(2, 3), 1, true).unwrap();
+        let p = jb.flush().unwrap();
+
+        let mut twin = Device::new(Part::Xcv50);
+        ConfigPort::new().apply(p.words(), &mut twin).unwrap();
+        assert_eq!(twin.clb(ClbCoord::new(2, 3)).unwrap().cells[1].lut.bits(), 0x5555);
+        assert!(twin.has_pip(&Pip::new(ClbCoord::new(2, 3), Wire::CellOut(1), Wire::Out(Dir::East, 1))));
+        assert!(twin.cell_state(ClbCoord::new(2, 3), 1).unwrap());
+    }
+
+    #[test]
+    fn copy_clb_copies_config_not_state() {
+        let mut jb = jb();
+        let src = ClbCoord::new(0, 0);
+        let dst = ClbCoord::new(0, 1);
+        jb.set_lut(src, 2, 0xF00D).unwrap();
+        jb.set_state(src, 2, true).unwrap();
+        jb.copy_clb(src, dst).unwrap();
+        assert_eq!(jb.device().clb(dst).unwrap().cells[2].lut.bits(), 0xF00D);
+        assert!(!jb.device().cell_state(dst, 2).unwrap(), "state must not be copied");
+    }
+
+    #[test]
+    fn rollback_restores_baseline() {
+        let mut jb = jb();
+        jb.set_lut(ClbCoord::new(4, 4), 0, 0x1234).unwrap();
+        jb.flush().unwrap();
+        jb.set_lut(ClbCoord::new(4, 4), 0, 0xFFFF).unwrap();
+        jb.rollback().unwrap();
+        assert_eq!(jb.lut(ClbCoord::new(4, 4), 0).unwrap(), 0x1234);
+        assert_eq!(jb.pending_frames(), 0);
+    }
+
+    #[test]
+    fn empty_flush_for_no_edits() {
+        let mut jb = jb();
+        let p = jb.flush().unwrap();
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # rtm-bitstream
+//!
+//! Configuration bitstreams for the Virtex-class device model: packets and
+//! registers, CRC, a configuration-port interpreter, partial-bitstream
+//! generation by frame diffing, readback, and a JBits-style high-level API.
+//!
+//! The paper's tool (§4) "is responsible by the creation of the partial
+//! configuration files and carries out the partial and dynamic
+//! reconfiguration of the FPGA" — this crate is that machinery. The
+//! relocation engine edits a device image through [`jbits::JBits`], then
+//! [`partial::PartialBitstream`] captures the minimal set of configuration
+//! frames that changed, and [`port::ConfigPort`] plays the resulting packet
+//! stream into a device (in hardware this happens through the Boundary
+//! Scan interface modelled in `rtm-jtag`).
+//!
+//! ## Example
+//!
+//! ```
+//! use rtm_fpga::{Device, part::Part, geom::ClbCoord};
+//! use rtm_bitstream::jbits::JBits;
+//! use rtm_bitstream::port::ConfigPort;
+//!
+//! # fn main() -> Result<(), rtm_bitstream::BitstreamError> {
+//! let mut jb = JBits::new(Device::new(Part::Xcv200));
+//! jb.set_lut(ClbCoord::new(1, 2), 0, 0xF0F0)?;
+//! let partial = jb.flush()?;          // minimal partial bitstream
+//!
+//! // Play it into a second (blank) device: they converge.
+//! let mut target = Device::new(Part::Xcv200);
+//! let report = ConfigPort::new().apply(partial.words(), &mut target)?;
+//! assert_eq!(report.frames_written, partial.frame_count());
+//! assert_eq!(target.clb(ClbCoord::new(1, 2)).unwrap().cells[0].lut.bits(), 0xF0F0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod crc;
+pub mod error;
+pub mod jbits;
+pub mod packet;
+pub mod partial;
+pub mod port;
+pub mod readback;
+pub mod registers;
+
+pub use error::BitstreamError;
+pub use partial::PartialBitstream;

@@ -1,0 +1,298 @@
+//! Configuration packets: the wire format of a bitstream.
+//!
+//! A bitstream is a sequence of 32-bit words: dummy padding, a sync word,
+//! then type-1 packets (register writes/reads with an 11-bit word count)
+//! optionally followed by type-2 packets (large payloads for FDRI/FDRO).
+
+use crate::error::BitstreamError;
+use crate::registers::Register;
+use std::fmt;
+
+/// The synchronisation word that arms the packet processor.
+pub const SYNC_WORD: u32 = 0xAA99_5566;
+/// Dummy padding word.
+pub const DUMMY_WORD: u32 = 0xFFFF_FFFF;
+
+/// Packet opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// No-op header.
+    Nop,
+    /// Register write.
+    Write,
+    /// Register read (readback).
+    Read,
+}
+
+/// A decoded configuration packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Type-1: op on `reg` with inline payload (≤ 2047 words).
+    Type1 {
+        /// Opcode.
+        op: Op,
+        /// Target register.
+        reg: Register,
+        /// Payload words (empty for reads; the count requested is
+        /// `word_count`).
+        data: Vec<u32>,
+    },
+    /// Type-2: continuation payload for the register addressed by the
+    /// preceding type-1 header.
+    Type2 {
+        /// Opcode.
+        op: Op,
+        /// Payload words.
+        data: Vec<u32>,
+    },
+}
+
+impl Packet {
+    /// Builds a type-1 register write.
+    pub fn write(reg: Register, data: Vec<u32>) -> Packet {
+        Packet::Type1 { op: Op::Write, reg, data }
+    }
+
+    /// Builds a type-1 single-word register write.
+    pub fn write1(reg: Register, word: u32) -> Packet {
+        Packet::write(reg, vec![word])
+    }
+
+    /// Encodes the packet to words (header + payload).
+    ///
+    /// Payloads longer than 2047 words are emitted as a zero-count type-1
+    /// header followed by a type-2 packet, as on real devices.
+    pub fn encode(&self, out: &mut Vec<u32>) {
+        match self {
+            Packet::Type1 { op, reg, data } => {
+                if data.len() <= 0x7FF {
+                    out.push(type1_header(*op, *reg, data.len() as u32));
+                    out.extend_from_slice(data);
+                } else {
+                    out.push(type1_header(*op, *reg, 0));
+                    out.push(type2_header(*op, data.len() as u32));
+                    out.extend_from_slice(data);
+                }
+            }
+            Packet::Type2 { op, data } => {
+                out.push(type2_header(*op, data.len() as u32));
+                out.extend_from_slice(data);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Packet::Type1 { op, reg, data } => {
+                write!(f, "T1 {op:?} {reg} [{} words]", data.len())
+            }
+            Packet::Type2 { op, data } => write!(f, "T2 {op:?} [{} words]", data.len()),
+        }
+    }
+}
+
+fn op_bits(op: Op) -> u32 {
+    match op {
+        Op::Nop => 0,
+        Op::Read => 1,
+        Op::Write => 2,
+    }
+}
+
+fn op_from_bits(bits: u32) -> Op {
+    match bits {
+        1 => Op::Read,
+        2 => Op::Write,
+        _ => Op::Nop,
+    }
+}
+
+fn type1_header(op: Op, reg: Register, count: u32) -> u32 {
+    (0b001 << 29) | (op_bits(op) << 27) | (reg.addr() << 13) | (count & 0x7FF)
+}
+
+fn type2_header(op: Op, count: u32) -> u32 {
+    (0b010 << 29) | (op_bits(op) << 27) | (count & 0x07FF_FFFF)
+}
+
+/// Streaming packet decoder.
+///
+/// Call [`PacketReader::next_packet`] until it returns `None`.
+#[derive(Debug)]
+pub struct PacketReader<'a> {
+    words: &'a [u32],
+    pos: usize,
+    synced: bool,
+    last_reg: Option<Register>,
+}
+
+impl<'a> PacketReader<'a> {
+    /// A reader over a raw word stream (dummy words + sync + packets).
+    pub fn new(words: &'a [u32]) -> Self {
+        PacketReader { words, pos: 0, synced: false, last_reg: None }
+    }
+
+    /// Current word offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The register addressed by the most recent type-1 header — type-2
+    /// payloads implicitly target it.
+    pub fn last_reg(&self) -> Option<Register> {
+        self.last_reg
+    }
+
+    /// Decodes the next packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::MissingSync`] if no sync word precedes
+    /// the first packet, [`BitstreamError::BadPacket`] for undecodable
+    /// headers, [`BitstreamError::BadRegister`] for unknown registers and
+    /// [`BitstreamError::Truncated`] if the payload runs past the end.
+    pub fn next_packet(&mut self) -> Result<Option<Packet>, BitstreamError> {
+        if !self.synced {
+            while self.pos < self.words.len() {
+                let w = self.words[self.pos];
+                self.pos += 1;
+                if w == SYNC_WORD {
+                    self.synced = true;
+                    break;
+                }
+                if w != DUMMY_WORD {
+                    return Err(BitstreamError::MissingSync);
+                }
+            }
+            if !self.synced {
+                return if self.pos >= self.words.len() && self.words.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(BitstreamError::MissingSync)
+                };
+            }
+        }
+        if self.pos >= self.words.len() {
+            return Ok(None);
+        }
+        let header = self.words[self.pos];
+        let offset = self.pos;
+        self.pos += 1;
+        let ptype = header >> 29;
+        match ptype {
+            0b001 => {
+                let op = op_from_bits((header >> 27) & 0b11);
+                let reg_addr = (header >> 13) & 0x3FFF;
+                let reg = Register::from_addr(reg_addr)
+                    .ok_or(BitstreamError::BadRegister { addr: reg_addr })?;
+                let count = (header & 0x7FF) as usize;
+                let data = self.take(count, op)?;
+                self.last_reg = Some(reg);
+                Ok(Some(Packet::Type1 { op, reg, data }))
+            }
+            0b010 => {
+                let op = op_from_bits((header >> 27) & 0b11);
+                let count = (header & 0x07FF_FFFF) as usize;
+                let data = self.take(count, op)?;
+                Ok(Some(Packet::Type2 { op, data }))
+            }
+            _ => Err(BitstreamError::BadPacket { offset, word: header }),
+        }
+    }
+
+    fn take(&mut self, count: usize, op: Op) -> Result<Vec<u32>, BitstreamError> {
+        // Read packets carry no inline payload on the write channel.
+        if op == Op::Read {
+            return Ok(Vec::new());
+        }
+        if self.pos + count > self.words.len() {
+            return Err(BitstreamError::Truncated {
+                missing: self.pos + count - self.words.len(),
+            });
+        }
+        let data = self.words[self.pos..self.pos + count].to_vec();
+        self.pos += count;
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(packets: &[Packet]) -> Vec<u32> {
+        let mut words = vec![DUMMY_WORD, SYNC_WORD];
+        for p in packets {
+            p.encode(&mut words);
+        }
+        words
+    }
+
+    #[test]
+    fn encode_decode_type1() {
+        let p = Packet::write(Register::Cmd, vec![7]);
+        let words = stream(&[p.clone()]);
+        let mut rd = PacketReader::new(&words);
+        assert_eq!(rd.next_packet().unwrap(), Some(p));
+        assert_eq!(rd.next_packet().unwrap(), None);
+    }
+
+    #[test]
+    fn large_payload_uses_type2() {
+        let data: Vec<u32> = (0..3000).collect();
+        let p = Packet::write(Register::Fdri, data.clone());
+        let words = stream(&[p]);
+        let mut rd = PacketReader::new(&words);
+        let first = rd.next_packet().unwrap().unwrap();
+        assert!(matches!(first, Packet::Type1 { ref data, .. } if data.is_empty()));
+        assert_eq!(rd.last_reg(), Some(Register::Fdri));
+        let second = rd.next_packet().unwrap().unwrap();
+        assert!(matches!(second, Packet::Type2 { ref data, .. } if data == &(0..3000).collect::<Vec<u32>>()));
+    }
+
+    #[test]
+    fn missing_sync_detected() {
+        let words = vec![0x1234_5678];
+        let mut rd = PacketReader::new(&words);
+        assert_eq!(rd.next_packet(), Err(BitstreamError::MissingSync));
+    }
+
+    #[test]
+    fn dummies_before_sync_accepted() {
+        let words = vec![DUMMY_WORD, DUMMY_WORD, SYNC_WORD];
+        let mut rd = PacketReader::new(&words);
+        assert_eq!(rd.next_packet().unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let mut words = vec![SYNC_WORD];
+        words.push(super::type1_header(Op::Write, Register::Fdri, 5));
+        words.push(1);
+        let mut rd = PacketReader::new(&words);
+        assert_eq!(rd.next_packet(), Err(BitstreamError::Truncated { missing: 4 }));
+    }
+
+    #[test]
+    fn unknown_register_detected() {
+        let words = vec![SYNC_WORD, (0b001 << 29) | (2 << 27) | (10 << 13)];
+        let mut rd = PacketReader::new(&words);
+        assert!(matches!(rd.next_packet(), Err(BitstreamError::BadRegister { addr: 10 })));
+    }
+
+    #[test]
+    fn read_packets_have_no_payload() {
+        let words = vec![SYNC_WORD, super::type1_header(Op::Read, Register::Fdro, 100)];
+        let mut rd = PacketReader::new(&words);
+        let p = rd.next_packet().unwrap().unwrap();
+        assert!(matches!(p, Packet::Type1 { op: Op::Read, reg: Register::Fdro, ref data } if data.is_empty()));
+    }
+
+    #[test]
+    fn empty_stream_yields_none() {
+        let mut rd = PacketReader::new(&[]);
+        assert_eq!(rd.next_packet().unwrap(), None);
+    }
+}

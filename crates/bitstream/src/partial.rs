@@ -1,0 +1,210 @@
+//! Partial-bitstream generation: the minimal frame set between two
+//! configurations.
+//!
+//! "The partial configuration files that implement the rearrangements
+//! defined by the relocation procedure are generated automatically
+//! (without designer intervention)" — paper §4. The generator diffs two
+//! configuration memories, groups the changed frames into maximal runs of
+//! consecutive frame addresses, and emits one FDRI burst per run (plus the
+//! pipeline pad frame each burst needs, which is where the real interface
+//! overhead comes from).
+
+use crate::crc::ConfigCrc;
+use crate::error::BitstreamError;
+use crate::packet::{Packet, DUMMY_WORD, SYNC_WORD};
+use crate::port::far_increment;
+use crate::registers::{Command, Register};
+use rtm_fpga::config::{ConfigMemory, FrameAddress};
+use rtm_fpga::part::Part;
+
+/// A generated partial configuration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialBitstream {
+    part: Part,
+    words: Vec<u32>,
+    frames: Vec<FrameAddress>,
+    bursts: usize,
+}
+
+impl PartialBitstream {
+    /// Builds the partial bitstream that transforms configuration `from`
+    /// into configuration `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::Fpga`] if either memory rejects a frame
+    /// read (cannot happen for memories of the same part).
+    pub fn diff(from: &ConfigMemory, to: &ConfigMemory) -> Result<Self, BitstreamError> {
+        let part = to.part();
+        let changed = to.diff_frames(from);
+        let fw = part.frame_words();
+
+        let mut words = vec![DUMMY_WORD, SYNC_WORD];
+        let mut crc = ConfigCrc::new();
+        let mut feed = |reg: Register, data: &[u32], words: &mut Vec<u32>| {
+            for w in data {
+                crc.feed(reg.addr(), *w);
+            }
+            Packet::write(reg, data.to_vec()).encode(words);
+        };
+
+        Packet::write1(Register::Cmd, Command::RCrc.code()).encode(&mut words);
+        feed(Register::Flr, &[fw as u32], &mut words);
+
+        // Group changed frames into runs of consecutive addresses.
+        let mut bursts = 0usize;
+        let mut i = 0;
+        while i < changed.len() {
+            let start = changed[i];
+            let mut end = i;
+            while end + 1 < changed.len()
+                && far_increment(part, changed[end]) == Some(changed[end + 1])
+            {
+                end += 1;
+            }
+            feed(Register::Far, &[start.to_far()], &mut words);
+            feed(Register::Cmd, &[Command::WCfg.code()], &mut words);
+            let mut payload = Vec::with_capacity((end - i + 2) * fw);
+            for addr in &changed[i..=end] {
+                payload.extend(to.read_frame(*addr)?.as_bits().to_config_words());
+            }
+            // Pipeline pad frame.
+            payload.extend(std::iter::repeat(0).take(fw));
+            feed(Register::Fdri, &payload, &mut words);
+            bursts += 1;
+            i = end + 1;
+        }
+
+        feed(Register::Cmd, &[Command::LFrm.code()], &mut words);
+        let crc_value = crc.value();
+        Packet::write1(Register::Crc, crc_value).encode(&mut words);
+
+        Ok(PartialBitstream { part, words, frames: changed, bursts })
+    }
+
+    /// The part this bitstream targets.
+    pub fn part(&self) -> Part {
+        self.part
+    }
+
+    /// The raw word stream (dummy + sync + packets).
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Addresses of the frames this bitstream writes.
+    pub fn frames(&self) -> &[FrameAddress] {
+        &self.frames
+    }
+
+    /// Number of configuration frames written.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of FDRI bursts (each costs one pipeline pad frame).
+    pub fn burst_count(&self) -> usize {
+        self.bursts
+    }
+
+    /// Stream length in bits as shifted through a serial interface.
+    pub fn len_bits(&self) -> u64 {
+        self.words.len() as u64 * 32
+    }
+
+    /// True if the two configurations were already identical.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::ConfigPort;
+    use rtm_fpga::clb::Clb;
+    use rtm_fpga::geom::ClbCoord;
+    use rtm_fpga::lut::Lut;
+    use rtm_fpga::Device;
+
+    fn configured_device() -> Device {
+        let mut dev = Device::new(Part::Xcv50);
+        let mut clb = Clb::default();
+        clb.cells[0].lut = Lut::from_bits(0xDEAD);
+        clb.cells[3].lut = Lut::from_bits(0xBEEF);
+        dev.set_clb(ClbCoord::new(4, 4), clb).unwrap();
+        dev.set_clb(ClbCoord::new(10, 20), clb).unwrap();
+        dev
+    }
+
+    #[test]
+    fn diff_of_identical_memories_is_empty() {
+        let dev = configured_device();
+        let p = PartialBitstream::diff(dev.config(), dev.config()).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.frame_count(), 0);
+        assert_eq!(p.burst_count(), 0);
+    }
+
+    #[test]
+    fn applying_diff_converges_devices() {
+        let src = configured_device();
+        let mut dst = Device::new(Part::Xcv50);
+        let p = PartialBitstream::diff(dst.config(), src.config()).unwrap();
+        assert!(!p.is_empty());
+        let report = ConfigPort::new().apply(p.words(), &mut dst).unwrap();
+        assert!(report.crc_checked);
+        assert_eq!(report.frames_written, p.frame_count());
+        assert!(dst.config().diff_frames(src.config()).is_empty());
+        assert_eq!(dst.clb(ClbCoord::new(4, 4)).unwrap(), src.clb(ClbCoord::new(4, 4)).unwrap());
+    }
+
+    #[test]
+    fn consecutive_frames_share_a_burst() {
+        let mut a = Device::new(Part::Xcv50);
+        let mut clb = Clb::default();
+        clb.cells[0].lut = Lut::from_bits(0xFFFF);
+        clb.cells[1].lut = Lut::from_bits(0xFFFF);
+        clb.cells[2].lut = Lut::from_bits(0xFFFF);
+        clb.cells[3].lut = Lut::from_bits(0xFFFF);
+        a.set_clb(ClbCoord::new(0, 7), clb).unwrap();
+        let blank = Device::new(Part::Xcv50);
+        let p = PartialBitstream::diff(blank.config(), a.config()).unwrap();
+        // With all four LUTs written the changed bits span minors 0..=4 of
+        // column 7 contiguously: a single FDRI burst.
+        assert_eq!(p.burst_count(), 1);
+        assert!(p.frame_count() >= 5);
+    }
+
+    #[test]
+    fn scattered_frames_use_multiple_bursts() {
+        let src = configured_device(); // columns 4 and 20
+        let blank = Device::new(Part::Xcv50);
+        let p = PartialBitstream::diff(blank.config(), src.config()).unwrap();
+        // Two columns (4 and 20), and within each column the configured
+        // cells (0 and 3) touch non-adjacent minors: four runs in total.
+        assert_eq!(p.burst_count(), 4);
+    }
+
+    #[test]
+    fn reverse_diff_restores_original() {
+        let src = configured_device();
+        let blank = Device::new(Part::Xcv50);
+        // Forward then backward.
+        let fwd = PartialBitstream::diff(blank.config(), src.config()).unwrap();
+        let mut dev = Device::new(Part::Xcv50);
+        ConfigPort::new().apply(fwd.words(), &mut dev).unwrap();
+        let back = PartialBitstream::diff(dev.config(), blank.config()).unwrap();
+        ConfigPort::new().apply(back.words(), &mut dev).unwrap();
+        assert!(dev.config().diff_frames(blank.config()).is_empty());
+    }
+
+    #[test]
+    fn len_bits_counts_whole_stream() {
+        let src = configured_device();
+        let blank = Device::new(Part::Xcv50);
+        let p = PartialBitstream::diff(blank.config(), src.config()).unwrap();
+        assert_eq!(p.len_bits(), p.words().len() as u64 * 32);
+        assert!(p.len_bits() > 0);
+    }
+}

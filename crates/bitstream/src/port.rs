@@ -1,0 +1,315 @@
+//! The configuration-port interpreter: plays packet streams into a device.
+
+use crate::crc::ConfigCrc;
+use crate::error::BitstreamError;
+use crate::packet::{Op, Packet, PacketReader};
+use crate::registers::{Command, Register};
+use rtm_fpga::bits::BitVec;
+use rtm_fpga::config::{BlockType, Frame, FrameAddress};
+use rtm_fpga::part::{Part, FRAMES_CLOCK_COLUMN, FRAMES_PER_CLB_COLUMN, FRAMES_PER_IOB_COLUMN};
+use rtm_fpga::Device;
+
+/// Frames-per-column for a block type.
+pub fn frames_in_column(block: BlockType) -> u16 {
+    match block {
+        BlockType::Clb => FRAMES_PER_CLB_COLUMN,
+        BlockType::Iob => FRAMES_PER_IOB_COLUMN,
+        BlockType::Clock => FRAMES_CLOCK_COLUMN,
+    }
+}
+
+/// The frame address following `far` in configuration order
+/// (CLB columns → IOB columns → clock column), or `None` past the end.
+pub fn far_increment(part: Part, far: FrameAddress) -> Option<FrameAddress> {
+    let mut next = far;
+    next.minor += 1;
+    if next.minor < frames_in_column(far.block) {
+        return Some(next);
+    }
+    next.minor = 0;
+    next.major += 1;
+    let cols = match far.block {
+        BlockType::Clb => part.clb_cols(),
+        BlockType::Iob => 2,
+        BlockType::Clock => 1,
+    };
+    if next.major < cols {
+        return Some(next);
+    }
+    match far.block {
+        BlockType::Clb => Some(FrameAddress::iob(0, 0)),
+        BlockType::Iob => Some(FrameAddress::clock(0)),
+        BlockType::Clock => None,
+    }
+}
+
+/// Result of applying a bitstream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ApplyReport {
+    /// Frames actually written to configuration memory (pad frames
+    /// excluded).
+    pub frames_written: usize,
+    /// Frames whose write changed at least one bit.
+    pub frames_changed: usize,
+    /// Total configuration bits that changed level.
+    pub bits_changed: usize,
+    /// Words consumed from the stream.
+    pub words: usize,
+    /// True if a CRC-register write validated the stream.
+    pub crc_checked: bool,
+}
+
+/// The packet processor of the configuration logic.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Default)]
+pub struct ConfigPort {
+    far: Option<FrameAddress>,
+    cmd: Option<Command>,
+    crc: ConfigCrc,
+}
+
+impl ConfigPort {
+    /// A freshly reset configuration port.
+    pub fn new() -> Self {
+        ConfigPort::default()
+    }
+
+    /// Applies a word stream (dummy + sync + packets) to `dev`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates packet decode errors, [`BitstreamError::FlrMismatch`]
+    /// for a wrong frame-length register, [`BitstreamError::CrcMismatch`]
+    /// on CRC failure, [`BitstreamError::PartialFrame`] for ragged FDRI
+    /// payloads and [`BitstreamError::FarOverflow`] for writes past the
+    /// device.
+    pub fn apply(&mut self, words: &[u32], dev: &mut Device) -> Result<ApplyReport, BitstreamError> {
+        let mut report = ApplyReport { words: words.len(), ..ApplyReport::default() };
+        let mut reader = PacketReader::new(words);
+        while let Some(packet) = reader.next_packet()? {
+            match packet {
+                Packet::Type1 { op: Op::Write, reg, data } => {
+                    self.register_write(reg, &data, dev, &mut report)?;
+                }
+                Packet::Type2 { op: Op::Write, data } => {
+                    let reg = reader.last_reg().unwrap_or(Register::Fdri);
+                    self.register_write(reg, &data, dev, &mut report)?;
+                }
+                // Reads and NOPs have no effect on the write path.
+                _ => {}
+            }
+        }
+        Ok(report)
+    }
+
+    fn register_write(
+        &mut self,
+        reg: Register,
+        data: &[u32],
+        dev: &mut Device,
+        report: &mut ApplyReport,
+    ) -> Result<(), BitstreamError> {
+        if reg != Register::Crc {
+            for w in data {
+                self.crc.feed(reg.addr(), *w);
+            }
+        }
+        match reg {
+            Register::Flr => {
+                let flr = data.first().copied().unwrap_or(0);
+                let expect = dev.part().frame_words() as u32;
+                if flr != expect {
+                    return Err(BitstreamError::FlrMismatch { stream: flr, part: expect });
+                }
+            }
+            Register::Far => {
+                let far = FrameAddress::from_far(data.first().copied().unwrap_or(0));
+                dev.config().validate_addr(far)?;
+                self.far = Some(far);
+            }
+            Register::Cmd => {
+                let code = data.first().copied().unwrap_or(0);
+                self.cmd = Command::from_code(code);
+                if self.cmd == Some(Command::RCrc) {
+                    self.crc.reset();
+                }
+            }
+            Register::Fdri => {
+                self.frame_data_write(data, dev, report)?;
+            }
+            Register::Crc => {
+                let expected = data.first().copied().unwrap_or(0);
+                if !self.crc.check(expected) {
+                    return Err(BitstreamError::CrcMismatch {
+                        computed: self.crc.value(),
+                        expected,
+                    });
+                }
+                report.crc_checked = true;
+                self.crc.reset();
+            }
+            // CTL/MASK/COR/IDCODE/LOUT/STAT/FDRO: stateless in the model.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn frame_data_write(
+        &mut self,
+        data: &[u32],
+        dev: &mut Device,
+        report: &mut ApplyReport,
+    ) -> Result<(), BitstreamError> {
+        let fw = dev.part().frame_words();
+        if data.len() % fw != 0 {
+            return Err(BitstreamError::PartialFrame { leftover: data.len() % fw });
+        }
+        let n_frames = data.len() / fw;
+        if n_frames == 0 {
+            return Ok(());
+        }
+        // The last frame flushes the pipeline and is not written.
+        let payload_bits = dev.part().frame_payload_bits();
+        for i in 0..n_frames.saturating_sub(1) {
+            let far = self.far.ok_or(BitstreamError::FarOverflow)?;
+            let words = &data[i * fw..(i + 1) * fw];
+            let bits = BitVec::from_config_words(words, payload_bits);
+            let effect = dev.write_frame(far, Frame::from_bits(bits))?;
+            report.frames_written += 1;
+            if !effect.changed_bits.is_empty() {
+                report.frames_changed += 1;
+                report.bits_changed += effect.changed_bits.len();
+            }
+            self.far = far_increment(dev.part(), far);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{DUMMY_WORD, SYNC_WORD};
+    use rtm_fpga::geom::ClbCoord;
+
+    fn frame_words_of(dev: &Device, addr: FrameAddress) -> Vec<u32> {
+        dev.read_frame(addr).unwrap().as_bits().to_config_words()
+    }
+
+    fn build_write(dev: &Device, far: FrameAddress, frames: &[Vec<u32>]) -> Vec<u32> {
+        let mut words = vec![DUMMY_WORD, SYNC_WORD];
+        Packet::write1(Register::Cmd, Command::RCrc.code()).encode(&mut words);
+        Packet::write1(Register::Flr, dev.part().frame_words() as u32).encode(&mut words);
+        Packet::write1(Register::Far, far.to_far()).encode(&mut words);
+        Packet::write1(Register::Cmd, Command::WCfg.code()).encode(&mut words);
+        let mut payload = Vec::new();
+        for f in frames {
+            payload.extend_from_slice(f);
+        }
+        // pad frame
+        payload.extend(std::iter::repeat(0).take(dev.part().frame_words()));
+        Packet::write(Register::Fdri, payload).encode(&mut words);
+        words
+    }
+
+    #[test]
+    fn fdri_writes_frames_with_auto_increment() {
+        let part = Part::Xcv50;
+        let mut src = Device::new(part);
+        let coord = ClbCoord::new(2, 5);
+        let mut clb = rtm_fpga::clb::Clb::default();
+        clb.cells[0].lut = rtm_fpga::lut::Lut::from_bits(0x8001);
+        src.set_clb(coord, clb).unwrap();
+
+        // Copy minors 0..6 of column 5 in one FDRI burst.
+        let frames: Vec<Vec<u32>> =
+            (0..6).map(|m| frame_words_of(&src, FrameAddress::clb(5, m))).collect();
+        let words = build_write(&src, FrameAddress::clb(5, 0), &frames);
+
+        let mut dst = Device::new(part);
+        let report = ConfigPort::new().apply(&words, &mut dst).unwrap();
+        assert_eq!(report.frames_written, 6);
+        assert_eq!(dst.clb(coord).unwrap(), &clb);
+    }
+
+    #[test]
+    fn flr_mismatch_rejected() {
+        let mut dev = Device::new(Part::Xcv50);
+        let mut words = vec![SYNC_WORD];
+        Packet::write1(Register::Flr, 99).encode(&mut words);
+        let err = ConfigPort::new().apply(&words, &mut dev).unwrap_err();
+        assert!(matches!(err, BitstreamError::FlrMismatch { .. }));
+    }
+
+    #[test]
+    fn crc_validates_stream() {
+        let part = Part::Xcv50;
+        let dev0 = Device::new(part);
+        let frames = vec![frame_words_of(&dev0, FrameAddress::clb(0, 0))];
+        let mut words = build_write(&dev0, FrameAddress::clb(0, 0), &frames);
+        // Compute the CRC the port will see and append a CRC write.
+        let mut crc = ConfigCrc::new();
+        {
+            let mut reader = PacketReader::new(&words);
+            while let Some(p) = reader.next_packet().unwrap() {
+                if let Packet::Type1 { op: Op::Write, reg, data } = p {
+                    if reg == Register::Cmd && data.first() == Some(&Command::RCrc.code()) {
+                        crc.reset();
+                        continue;
+                    }
+                    if reg != Register::Crc {
+                        for w in &data {
+                            crc.feed(reg.addr(), *w);
+                        }
+                    }
+                }
+            }
+        }
+        Packet::write1(Register::Crc, crc.value()).encode(&mut words);
+        let mut dev = Device::new(part);
+        let report = ConfigPort::new().apply(&words, &mut dev).unwrap();
+        assert!(report.crc_checked);
+
+        // Corrupt a payload word: CRC must now fail.
+        let n = words.len();
+        words[n - 3] ^= 1;
+        let mut dev2 = Device::new(part);
+        let err = ConfigPort::new().apply(&words, &mut dev2).unwrap_err();
+        assert!(matches!(err, BitstreamError::CrcMismatch { .. }));
+    }
+
+    #[test]
+    fn ragged_fdri_rejected() {
+        let mut dev = Device::new(Part::Xcv50);
+        let mut words = vec![SYNC_WORD];
+        Packet::write1(Register::Far, FrameAddress::clb(0, 0).to_far()).encode(&mut words);
+        Packet::write(Register::Fdri, vec![0; 5]).encode(&mut words);
+        let err = ConfigPort::new().apply(&words, &mut dev).unwrap_err();
+        assert!(matches!(err, BitstreamError::PartialFrame { .. }));
+    }
+
+    #[test]
+    fn far_increment_walks_whole_device() {
+        let part = Part::Xcv50;
+        let mut far = FrameAddress::clb(0, 0);
+        let mut count = 1u32;
+        while let Some(next) = far_increment(part, far) {
+            far = next;
+            count += 1;
+        }
+        assert_eq!(count, part.total_frames());
+        assert_eq!(far, FrameAddress::clock(FRAMES_CLOCK_COLUMN - 1));
+    }
+
+    #[test]
+    fn far_crosses_block_boundaries() {
+        let part = Part::Xcv50;
+        let last_clb = FrameAddress::clb(part.clb_cols() - 1, FRAMES_PER_CLB_COLUMN - 1);
+        assert_eq!(far_increment(part, last_clb), Some(FrameAddress::iob(0, 0)));
+        let last_iob = FrameAddress::iob(1, FRAMES_PER_IOB_COLUMN - 1);
+        assert_eq!(far_increment(part, last_iob), Some(FrameAddress::clock(0)));
+        let last = FrameAddress::clock(FRAMES_CLOCK_COLUMN - 1);
+        assert_eq!(far_increment(part, last), None);
+    }
+}

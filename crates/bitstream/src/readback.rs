@@ -1,0 +1,125 @@
+//! Configuration readback: retrieving frames from a running device.
+//!
+//! The relocation procedure reads the original CLB's configuration (and
+//! captured state) before copying it to the replica location; the tool
+//! also reads back full configurations to keep its recovery copy honest.
+
+use crate::error::BitstreamError;
+use crate::packet::{Packet, DUMMY_WORD, SYNC_WORD};
+use crate::port::far_increment;
+use crate::registers::{Command, Register};
+use rtm_fpga::config::{Frame, FrameAddress};
+use rtm_fpga::Device;
+
+/// The result of a readback operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Readback {
+    /// Address of the first frame read.
+    pub start: FrameAddress,
+    /// The frames, in configuration order.
+    pub frames: Vec<Frame>,
+    /// Words shifted out of the device (includes the pipeline pad frame),
+    /// used by the interface timing model.
+    pub words_shifted: usize,
+    /// Words shifted *into* the device to command the readback.
+    pub command_words: usize,
+}
+
+/// Builds the command stream that requests `count` frames starting at
+/// `start` (FAR write, RCFG command, FDRO read header).
+pub fn build_readback_stream(part: rtm_fpga::part::Part, start: FrameAddress, count: usize) -> Vec<u32> {
+    let mut words = vec![DUMMY_WORD, SYNC_WORD];
+    Packet::write1(Register::Far, start.to_far()).encode(&mut words);
+    Packet::write1(Register::Cmd, Command::RCfg.code()).encode(&mut words);
+    // FDRO read header: count+1 frames (pipeline pad) worth of words.
+    let total_words = (count + 1) * part.frame_words();
+    let mut hdr = Vec::new();
+    Packet::Type1 { op: crate::packet::Op::Read, reg: Register::Fdro, data: Vec::new() }
+        .encode(&mut hdr);
+    // Patch in the word count (type-1 headers carry up to 2047 words;
+    // larger counts use a type-2 header, matching Packet::encode).
+    if total_words <= 0x7FF {
+        hdr[0] |= total_words as u32;
+        words.extend(hdr);
+    } else {
+        words.extend(hdr);
+        words.push((0b010 << 29) | (1 << 27) | total_words as u32);
+    }
+    words
+}
+
+/// Reads `count` frames starting at `start` from `dev`.
+///
+/// # Errors
+///
+/// Returns [`BitstreamError::FarOverflow`] if the range runs past the end
+/// of the device, or a device error for invalid addresses.
+pub fn readback(dev: &Device, start: FrameAddress, count: usize) -> Result<Readback, BitstreamError> {
+    let mut frames = Vec::with_capacity(count);
+    let mut far = Some(start);
+    for _ in 0..count {
+        let addr = far.ok_or(BitstreamError::FarOverflow)?;
+        frames.push(dev.read_frame(addr)?);
+        far = far_increment(dev.part(), addr);
+    }
+    let command_words = build_readback_stream(dev.part(), start, count).len();
+    // The device shifts out one pipeline pad frame before real data.
+    let words_shifted = (count + 1) * dev.part().frame_words();
+    Ok(Readback { start, frames, words_shifted, command_words })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_fpga::clb::Clb;
+    use rtm_fpga::geom::ClbCoord;
+    use rtm_fpga::lut::Lut;
+    use rtm_fpga::part::Part;
+
+    #[test]
+    fn readback_returns_live_frames() {
+        let mut dev = Device::new(Part::Xcv50);
+        let mut clb = Clb::default();
+        clb.cells[1].lut = Lut::from_bits(0x00FF);
+        dev.set_clb(ClbCoord::new(3, 6), clb).unwrap();
+        let rb = readback(&dev, FrameAddress::clb(6, 0), 6).unwrap();
+        assert_eq!(rb.frames.len(), 6);
+        // Reconstructing a device from the frames recovers the CLB.
+        let mut dev2 = Device::new(Part::Xcv50);
+        for (i, f) in rb.frames.iter().enumerate() {
+            dev2.write_frame(FrameAddress::clb(6, i as u16), f.clone()).unwrap();
+        }
+        assert_eq!(dev2.clb(ClbCoord::new(3, 6)).unwrap(), &clb);
+    }
+
+    #[test]
+    fn readback_counts_pipeline_overhead() {
+        let dev = Device::new(Part::Xcv50);
+        let rb = readback(&dev, FrameAddress::clb(0, 0), 4).unwrap();
+        assert_eq!(rb.words_shifted, 5 * Part::Xcv50.frame_words());
+        assert!(rb.command_words > 2);
+    }
+
+    #[test]
+    fn readback_overflow_detected() {
+        let dev = Device::new(Part::Xcv50);
+        let last = FrameAddress::clock(7);
+        let err = readback(&dev, last, 2).unwrap_err();
+        assert!(matches!(err, BitstreamError::FarOverflow));
+    }
+
+    #[test]
+    fn command_stream_has_sync_and_headers() {
+        let words = build_readback_stream(Part::Xcv50, FrameAddress::clb(0, 0), 4);
+        assert!(words.contains(&SYNC_WORD));
+        assert!(words.len() >= 5);
+    }
+
+    #[test]
+    fn large_readback_uses_type2() {
+        // Enough frames that the word count exceeds a type-1 header.
+        let words = build_readback_stream(Part::Xcv50, FrameAddress::clb(0, 0), 300);
+        let has_type2 = words.iter().any(|w| w >> 29 == 0b010);
+        assert!(has_type2);
+    }
+}

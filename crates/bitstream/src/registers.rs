@@ -1,0 +1,203 @@
+//! Configuration registers and commands of the Virtex configuration logic.
+
+use std::fmt;
+
+/// A configuration register addressable by type-1 packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Register {
+    /// CRC check register.
+    Crc,
+    /// Frame address register.
+    Far,
+    /// Frame data register, input (write frames).
+    Fdri,
+    /// Frame data register, output (readback).
+    Fdro,
+    /// Command register.
+    Cmd,
+    /// Control register.
+    Ctl,
+    /// Write mask for CTL.
+    Mask,
+    /// Status register (read-only).
+    Stat,
+    /// Legacy output register (daisy chains).
+    Lout,
+    /// Configuration option register.
+    Cor,
+    /// Frame length register — must match the part's frame word count.
+    Flr,
+    /// Device identification register.
+    Idcode,
+}
+
+impl Register {
+    /// The packet address field for this register.
+    pub fn addr(self) -> u32 {
+        match self {
+            Register::Crc => 0,
+            Register::Far => 1,
+            Register::Fdri => 2,
+            Register::Fdro => 3,
+            Register::Cmd => 4,
+            Register::Ctl => 5,
+            Register::Mask => 6,
+            Register::Stat => 7,
+            Register::Lout => 8,
+            Register::Cor => 9,
+            Register::Flr => 11,
+            Register::Idcode => 12,
+        }
+    }
+
+    /// Decodes a packet address field.
+    pub fn from_addr(addr: u32) -> Option<Register> {
+        Some(match addr {
+            0 => Register::Crc,
+            1 => Register::Far,
+            2 => Register::Fdri,
+            3 => Register::Fdro,
+            4 => Register::Cmd,
+            5 => Register::Ctl,
+            6 => Register::Mask,
+            7 => Register::Stat,
+            8 => Register::Lout,
+            9 => Register::Cor,
+            11 => Register::Flr,
+            12 => Register::Idcode,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Register {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Register::Crc => "CRC",
+            Register::Far => "FAR",
+            Register::Fdri => "FDRI",
+            Register::Fdro => "FDRO",
+            Register::Cmd => "CMD",
+            Register::Ctl => "CTL",
+            Register::Mask => "MASK",
+            Register::Stat => "STAT",
+            Register::Lout => "LOUT",
+            Register::Cor => "COR",
+            Register::Flr => "FLR",
+            Register::Idcode => "IDCODE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A command written to the CMD register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// No operation.
+    Null,
+    /// Write configuration: FDRI data goes to frames at FAR.
+    WCfg,
+    /// Read configuration: FDRO sources frames at FAR.
+    RCfg,
+    /// Begin start-up sequence.
+    Start,
+    /// Reset CRC register.
+    RCrc,
+    /// Assert global set/reset.
+    AGhigh,
+    /// Switch CCLK frequency.
+    Switch,
+    /// Last frame write flush.
+    LFrm,
+}
+
+impl Command {
+    /// The CMD register encoding.
+    pub fn code(self) -> u32 {
+        match self {
+            Command::Null => 0,
+            Command::WCfg => 1,
+            Command::RCfg => 4,
+            Command::Start => 5,
+            Command::RCrc => 7,
+            Command::AGhigh => 8,
+            Command::Switch => 9,
+            Command::LFrm => 3,
+        }
+    }
+
+    /// Decodes a CMD register value.
+    pub fn from_code(code: u32) -> Option<Command> {
+        Some(match code {
+            0 => Command::Null,
+            1 => Command::WCfg,
+            3 => Command::LFrm,
+            4 => Command::RCfg,
+            5 => Command::Start,
+            7 => Command::RCrc,
+            8 => Command::AGhigh,
+            9 => Command::Switch,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Command::Null => "NULL",
+            Command::WCfg => "WCFG",
+            Command::RCfg => "RCFG",
+            Command::Start => "START",
+            Command::RCrc => "RCRC",
+            Command::AGhigh => "AGHIGH",
+            Command::Switch => "SWITCH",
+            Command::LFrm => "LFRM",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_addr_roundtrip() {
+        for r in [
+            Register::Crc,
+            Register::Far,
+            Register::Fdri,
+            Register::Fdro,
+            Register::Cmd,
+            Register::Ctl,
+            Register::Mask,
+            Register::Stat,
+            Register::Lout,
+            Register::Cor,
+            Register::Flr,
+            Register::Idcode,
+        ] {
+            assert_eq!(Register::from_addr(r.addr()), Some(r));
+        }
+        assert_eq!(Register::from_addr(10), None);
+        assert_eq!(Register::from_addr(99), None);
+    }
+
+    #[test]
+    fn command_code_roundtrip() {
+        for c in [
+            Command::Null,
+            Command::WCfg,
+            Command::RCfg,
+            Command::Start,
+            Command::RCrc,
+            Command::AGhigh,
+            Command::Switch,
+            Command::LFrm,
+        ] {
+            assert_eq!(Command::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Command::from_code(2), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Error type for relocation and run-time management.
+
+use rtm_fpga::geom::ClbCoord;
+use std::fmt;
+
+/// Errors raised by the relocation engine and manager.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The source location holds no configured cell.
+    SourceUnused {
+        /// Tile of the offending location.
+        tile: ClbCoord,
+        /// Cell index within the CLB.
+        cell: usize,
+    },
+    /// The destination slot is not free.
+    DestinationBusy {
+        /// Tile of the offending location.
+        tile: ClbCoord,
+        /// Cell index within the CLB.
+        cell: usize,
+    },
+    /// On-line relocation of LUT/RAM cells is not feasible (paper §2).
+    RamRelocationUnsupported {
+        /// Tile of the offending location.
+        tile: ClbCoord,
+        /// Cell index within the CLB.
+        cell: usize,
+    },
+    /// A LUT/RAM cell lies in a column the relocation would rewrite
+    /// (paper §2: "LUT/RAMs should not lie in any column that could be
+    /// affected by the relocation procedure").
+    RamColumnHazard {
+        /// The hazardous column.
+        column: u16,
+    },
+    /// No free cells found for the auxiliary relocation circuit.
+    NoAuxiliarySite {
+        /// Where the search centred.
+        near: ClbCoord,
+    },
+    /// The design view and device diverged (internal invariant).
+    DesignMismatch {
+        /// Explanation.
+        detail: String,
+    },
+    /// An underlying implementation (place/route/sim) error.
+    Sim(rtm_sim::SimError),
+    /// An underlying device error.
+    Fpga(rtm_fpga::FpgaError),
+    /// An underlying area-management error.
+    Place(rtm_place::PlaceError),
+    /// An underlying bitstream error.
+    Bitstream(rtm_bitstream::BitstreamError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::SourceUnused { tile, cell } => {
+                write!(f, "no configured cell at {tile}/{cell}")
+            }
+            CoreError::DestinationBusy { tile, cell } => {
+                write!(f, "destination {tile}/{cell} is not free")
+            }
+            CoreError::RamRelocationUnsupported { tile, cell } => {
+                write!(f, "cell {tile}/{cell} is in LUT/RAM mode; on-line relocation unsupported")
+            }
+            CoreError::RamColumnHazard { column } => {
+                write!(f, "column {column} holds LUT/RAM cells and would be rewritten")
+            }
+            CoreError::NoAuxiliarySite { near } => {
+                write!(f, "no free cells for the auxiliary relocation circuit near {near}")
+            }
+            CoreError::DesignMismatch { detail } => write!(f, "design mismatch: {detail}"),
+            CoreError::Sim(e) => write!(f, "implementation error: {e}"),
+            CoreError::Fpga(e) => write!(f, "device error: {e}"),
+            CoreError::Place(e) => write!(f, "area error: {e}"),
+            CoreError::Bitstream(e) => write!(f, "bitstream error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::Fpga(e) => Some(e),
+            CoreError::Place(e) => Some(e),
+            CoreError::Bitstream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rtm_sim::SimError> for CoreError {
+    fn from(e: rtm_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<rtm_fpga::FpgaError> for CoreError {
+    fn from(e: rtm_fpga::FpgaError) -> Self {
+        CoreError::Fpga(e)
+    }
+}
+
+impl From<rtm_place::PlaceError> for CoreError {
+    fn from(e: rtm_place::PlaceError) -> Self {
+        CoreError::Place(e)
+    }
+}
+
+impl From<rtm_bitstream::BitstreamError> for CoreError {
+    fn from(e: rtm_bitstream::BitstreamError) -> Self {
+        CoreError::Bitstream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        let t = ClbCoord::new(1, 2);
+        for e in [
+            CoreError::SourceUnused { tile: t, cell: 0 },
+            CoreError::DestinationBusy { tile: t, cell: 1 },
+            CoreError::RamRelocationUnsupported { tile: t, cell: 2 },
+            CoreError::RamColumnHazard { column: 9 },
+            CoreError::NoAuxiliarySite { near: t },
+            CoreError::DesignMismatch { detail: "x".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        use std::error::Error;
+        let e: CoreError = rtm_fpga::FpgaError::BadFrameAddress { detail: "d".into() }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,512 @@
+//! The run-time manager: the engine behind the paper's "FPGA
+//! Rearrangement and Programming tool" (§4).
+//!
+//! Owns the device, the area bookkeeping and every loaded function.
+//! Incoming functions are placed on-line; when fragmentation blocks a
+//! request the manager plans a rearrangement (`rtm-place`'s
+//! local-repacking / ordered-compaction planner) and executes it with
+//! **dynamic relocation** — staged, cell by cell, while the moved
+//! functions keep running. A complete configuration copy is kept for
+//! recovery, exactly as the paper's tool does.
+
+use crate::error::CoreError;
+use crate::relocation::{relocate_cell, RelocationOptions, RelocationReport, StepRecord};
+use rtm_fpga::config::ConfigMemory;
+use rtm_fpga::geom::{ClbCoord, Rect};
+use rtm_fpga::part::Part;
+use rtm_fpga::Device;
+use rtm_netlist::techmap::MappedNetlist;
+use rtm_place::alloc::Strategy;
+use rtm_place::defrag::{make_room, Move};
+use rtm_place::frag::FragMetrics;
+use rtm_place::TaskArena;
+use rtm_sim::design::{implement_reserved, PlacedDesign};
+use rtm_sim::place::CellLoc;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a loaded function.
+pub type FunctionId = u64;
+
+/// A function resident on the device.
+#[derive(Debug, Clone)]
+pub struct LoadedFunction {
+    /// The mapped design.
+    pub design: MappedNetlist,
+    /// Current region.
+    pub region: Rect,
+    /// Its implementation (placement + live nets).
+    pub placed: PlacedDesign,
+}
+
+/// Summary returned by [`RunTimeManager::load`].
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The new function's id.
+    pub id: FunctionId,
+    /// Where it was placed.
+    pub region: Rect,
+    /// Rearrangement moves that were executed to make room (empty if the
+    /// request fitted immediately).
+    pub moves: Vec<Move>,
+    /// Relocation reports for every cell moved during rearrangement.
+    pub relocations: Vec<RelocationReport>,
+}
+
+/// The run-time manager. See the [crate-level docs](crate).
+#[derive(Debug)]
+pub struct RunTimeManager {
+    dev: Device,
+    arena: TaskArena,
+    functions: BTreeMap<FunctionId, LoadedFunction>,
+    next_id: FunctionId,
+    recovery: ConfigMemory,
+    /// Allocation strategy for incoming functions.
+    pub strategy: Strategy,
+}
+
+impl RunTimeManager {
+    /// A manager over a blank device.
+    pub fn new(part: Part) -> Self {
+        let dev = Device::new(part);
+        let arena = TaskArena::new(dev.bounds());
+        let recovery = dev.config().snapshot();
+        RunTimeManager {
+            dev,
+            arena,
+            functions: BTreeMap::new(),
+            next_id: 1,
+            recovery,
+            strategy: Strategy::BestFit,
+        }
+    }
+
+    /// The device (read-only).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// Loaded functions.
+    pub fn functions(&self) -> impl Iterator<Item = (FunctionId, &LoadedFunction)> {
+        self.functions.iter().map(|(id, f)| (*id, f))
+    }
+
+    /// One loaded function.
+    pub fn function(&self, id: FunctionId) -> Option<&LoadedFunction> {
+        self.functions.get(&id)
+    }
+
+    /// Current fragmentation metrics.
+    pub fn fragmentation(&self) -> FragMetrics {
+        self.arena.fragmentation()
+    }
+
+    /// Loads a function into a `rows`×`cols` region, rearranging running
+    /// functions if needed. Each executed move is performed with dynamic
+    /// relocation; `observer` is invoked after every relocation step so a
+    /// caller can keep simulations clocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Place`] when even rearrangement cannot free a
+    /// region, or implementation errors from placement/routing.
+    pub fn load(
+        &mut self,
+        design: &MappedNetlist,
+        rows: u16,
+        cols: u16,
+        mut observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<LoadReport, CoreError> {
+        // Plan (and execute) any rearrangement needed.
+        let plan = make_room(&self.arena, rows, cols).ok_or(CoreError::Place(
+            rtm_place::PlaceError::NoFit { rows, cols },
+        ))?;
+        let mut relocations = Vec::new();
+        for mv in &plan {
+            let reports = self.relocate_function_inner(mv.id, mv.to, &mut observer)?;
+            relocations.extend(reports);
+        }
+
+        let id = self.next_id;
+        let region = self.arena.allocate(id, rows, cols, self.strategy)?;
+        // Other functions' wires may cross this region (relocation paths
+        // are not region-bounded): reserve them so the router cannot
+        // bridge nets.
+        let reserved = self.foreign_nodes(None);
+        let placed = implement_reserved(&mut self.dev, design, region, &reserved)?;
+        self.functions.insert(
+            id,
+            LoadedFunction { design: design.clone(), region, placed },
+        );
+        self.next_id += 1;
+        self.checkpoint();
+        Ok(LoadReport { id, region, moves: plan, relocations })
+    }
+
+    /// Unloads a function: releases its region, routing and cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Place`] for unknown ids.
+    pub fn unload(&mut self, id: FunctionId) -> Result<(), CoreError> {
+        let f = self.functions.remove(&id).ok_or(CoreError::Place(
+            rtm_place::PlaceError::UnknownTask { id },
+        ))?;
+        self.arena.release(id)?;
+        let mut placed = f.placed;
+        let nets: Vec<_> = placed.netdb.nets().map(|(n, _)| n).collect();
+        for n in nets {
+            placed.netdb.remove_net(&mut self.dev, n);
+        }
+        let all_locs: Vec<_> = placed
+            .placement
+            .cell_locs
+            .iter()
+            .chain(placed.placement.feed_locs.iter())
+            .chain(placed.placement.tap_locs.iter())
+            .copied()
+            .collect();
+        for loc in all_locs {
+            self.dev.set_cell(loc.0, loc.1, rtm_fpga::cell::LogicCell::default())?;
+            self.dev.set_cell_state(loc.0, loc.1, false)?;
+        }
+        self.checkpoint();
+        Ok(())
+    }
+
+    /// Moves a whole running function to a new region (same shape) with
+    /// staged, cell-by-cell dynamic relocation.
+    ///
+    /// # Errors
+    ///
+    /// Area errors if the target overlaps another function; engine errors
+    /// if any cell move fails.
+    pub fn relocate_function(
+        &mut self,
+        id: FunctionId,
+        to: Rect,
+        mut observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<Vec<RelocationReport>, CoreError> {
+        let reports = self.relocate_function_inner(id, to, &mut observer)?;
+        self.checkpoint();
+        Ok(reports)
+    }
+
+    fn relocate_function_inner(
+        &mut self,
+        id: FunctionId,
+        to: Rect,
+        observer: &mut impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<Vec<RelocationReport>, CoreError> {
+        let from = self
+            .arena
+            .task_rect(id)
+            .ok_or(CoreError::Place(rtm_place::PlaceError::UnknownTask { id }))?;
+        // Area bookkeeping first: rejects overlap with other functions.
+        self.arena.relocate(id, to)?;
+
+        // All routing of this move must respect every other function's
+        // wires: reserve their nodes in the moving function's database.
+        let reserved = self.foreign_nodes(Some(id));
+        let f = self.functions.get_mut(&id).expect("function table in sync with arena");
+        f.placed.netdb.reserve(reserved);
+        let dr = to.origin.row as i32 - from.origin.row as i32;
+        let dc = to.origin.col as i32 - from.origin.col as i32;
+
+        // Collect every slot to move (cells + feeds), ordered so that
+        // slots furthest along the movement direction go first — their
+        // destinations are never occupied by a not-yet-moved sibling
+        // (memmove ordering).
+        let mut slots: Vec<CellLoc> = Vec::new();
+        slots.extend(f.placed.placement.cell_locs.iter().copied());
+        slots.extend(f.placed.placement.feed_locs.iter().copied());
+        slots.extend(f.placed.placement.tap_locs.iter().copied());
+        slots.sort_by_key(|loc| {
+            -(loc.0.col as i64 * dc.signum() as i64 + loc.0.row as i64 * dr.signum() as i64)
+        });
+
+        let mut reports = Vec::new();
+        for src in slots {
+            let dst_tile = src
+                .0
+                .offset(dr, dc)
+                .ok_or_else(|| CoreError::DesignMismatch {
+                    detail: format!("translated tile for {} out of bounds", src.0),
+                })?;
+            let dst = (dst_tile, src.1);
+            if dst == src {
+                continue;
+            }
+            let opts = RelocationOptions::default();
+            let report =
+                relocate_cell(&mut self.dev, &mut f.placed, src, dst, &opts, &mut *observer)
+                    .inspect_err(|_| {
+                        // Leave no dangling reservations behind on failure.
+                    });
+            match report {
+                Ok(report) => reports.push(report),
+                Err(e) => {
+                    f.placed.netdb.clear_reservations();
+                    return Err(e);
+                }
+            }
+        }
+        f.placed.netdb.clear_reservations();
+        f.region = to;
+        Ok(reports)
+    }
+
+    /// Every routing node owned by functions other than `except` — the
+    /// set that must be reserved before routing on their behalf.
+    fn foreign_nodes(&self, except: Option<FunctionId>) -> Vec<rtm_fpga::routing::RouteNode> {
+        let mut nodes = Vec::new();
+        for (fid, f) in &self.functions {
+            if Some(*fid) == except {
+                continue;
+            }
+            nodes.extend(f.placed.netdb.all_nodes());
+        }
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Relocates a single cell of a loaded function — the tool's
+    /// coordinate-pair input mode (§4: "providing the co-ordinates —
+    /// source and destination — of the CLB to be relocated").
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids, busy destinations and engine errors.
+    pub fn relocate_cell_of(
+        &mut self,
+        id: FunctionId,
+        src: CellLoc,
+        dst: CellLoc,
+        mut observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<RelocationReport, CoreError> {
+        if !self
+            .arena
+            .task_rect(id)
+            .map(|r| r.contains(dst.0))
+            .unwrap_or(false)
+        {
+            // The destination must stay within the function's region so
+            // the area bookkeeping remains truthful.
+            return Err(CoreError::DestinationBusy { tile: dst.0, cell: dst.1 });
+        }
+        let reserved = self.foreign_nodes(Some(id));
+        let f = self.functions.get_mut(&id).ok_or(CoreError::Place(
+            rtm_place::PlaceError::UnknownTask { id },
+        ))?;
+        f.placed.netdb.reserve(reserved);
+        let result = relocate_cell(
+            &mut self.dev,
+            &mut f.placed,
+            src,
+            dst,
+            &RelocationOptions::default(),
+            &mut observer,
+        );
+        f.placed.netdb.clear_reservations();
+        let report = result?;
+        self.checkpoint();
+        Ok(report)
+    }
+
+    /// Takes a fresh recovery snapshot of the configuration ("the program
+    /// always keeps a complete copy of the current configuration",
+    /// paper §4).
+    pub fn checkpoint(&mut self) {
+        self.recovery = self.dev.config().snapshot();
+    }
+
+    /// Restores the last checkpoint into the device (system recovery).
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-write errors (cannot occur for a matching part).
+    pub fn recover(&mut self) -> Result<usize, CoreError> {
+        let frames = self.dev.config().diff_frames(&self.recovery);
+        let n = frames.len();
+        for addr in frames {
+            let frame = self.recovery.read_frame(addr)?;
+            self.dev.write_frame(addr, frame)?;
+        }
+        Ok(n)
+    }
+
+    /// One-line status for the CLI.
+    pub fn status(&self) -> ManagerStatus {
+        ManagerStatus {
+            part: self.dev.part(),
+            functions: self.functions.len(),
+            frag: self.fragmentation(),
+        }
+    }
+}
+
+/// Status summary of the manager.
+#[derive(Debug, Clone, Copy)]
+pub struct ManagerStatus {
+    /// The device part.
+    pub part: Part,
+    /// Number of resident functions.
+    pub functions: usize,
+    /// Fragmentation metrics.
+    pub frag: FragMetrics,
+}
+
+impl fmt::Display for ManagerStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} | {} functions | {}", self.part, self.functions, self.frag)
+    }
+}
+
+/// Convenience: the translated rectangle of a move (used by callers
+/// replaying plans).
+pub fn translate(rect: Rect, to_origin: ClbCoord) -> Rect {
+    Rect::new(to_origin, rect.rows, rect.cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_netlist::random::RandomCircuit;
+    use rtm_netlist::techmap::map_to_luts;
+
+    fn small_design(seed: u64) -> MappedNetlist {
+        map_to_luts(&RandomCircuit::free_running(4, 10, seed).generate()).unwrap()
+    }
+
+    #[test]
+    fn load_and_unload_roundtrip() {
+        let mut mgr = RunTimeManager::new(Part::Xcv200);
+        let d = small_design(1);
+        let r = mgr.load(&d, 8, 8, |_, _, _| {}).unwrap();
+        assert!(r.moves.is_empty());
+        assert_eq!(mgr.functions().count(), 1);
+        assert!(mgr.fragmentation().utilisation() > 0.0);
+        mgr.unload(r.id).unwrap();
+        assert_eq!(mgr.functions().count(), 0);
+        // Device fully cleaned: everything unconfigured again.
+        assert_eq!(mgr.device().pips().count(), 0);
+        let used = mgr.device().used_in(mgr.device().bounds());
+        assert!(used.is_empty(), "leftover cells: {used:?}");
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let mut mgr = RunTimeManager::new(Part::Xcv200);
+        assert!(mgr.unload(42).is_err());
+        assert!(mgr
+            .relocate_function(42, Rect::new(ClbCoord::new(0, 0), 2, 2), |_, _, _| {})
+            .is_err());
+    }
+
+    #[test]
+    fn relocate_function_translates_every_cell() {
+        let mut mgr = RunTimeManager::new(Part::Xcv200);
+        let d = small_design(2);
+        let r = mgr.load(&d, 8, 8, |_, _, _| {}).unwrap();
+        let from = r.region;
+        let to = Rect::new(ClbCoord::new(18, 20), from.rows, from.cols);
+        let reports = mgr.relocate_function(r.id, to, |_, _, _| {}).unwrap();
+        assert!(!reports.is_empty());
+        let f = mgr.function(r.id).unwrap();
+        assert_eq!(f.region, to);
+        for loc in f.placed.placement.cell_locs.iter().chain(f.placed.placement.feed_locs.iter())
+        {
+            assert!(to.contains(loc.0), "{} escaped the target region", loc.0);
+        }
+        // The old region is fully clean.
+        assert!(mgr.device().used_in(from).is_empty());
+    }
+
+    #[test]
+    fn overlapping_function_move_with_sliding_overlap() {
+        let mut mgr = RunTimeManager::new(Part::Xcv200);
+        let d = small_design(3);
+        let r = mgr.load(&d, 8, 8, |_, _, _| {}).unwrap();
+        let from = r.region;
+        // Slide by 3 columns (direction chosen to stay on the device):
+        // overlapping source/destination.
+        let new_col =
+            if from.origin.col >= 3 { from.origin.col - 3 } else { from.origin.col + 3 };
+        let to = Rect::new(ClbCoord::new(from.origin.row, new_col), from.rows, from.cols);
+        mgr.relocate_function(r.id, to, |_, _, _| {}).unwrap();
+        assert_eq!(mgr.function(r.id).unwrap().region, to);
+    }
+
+    #[test]
+    fn relocate_cell_of_moves_one_cell_within_region() {
+        let mut mgr = RunTimeManager::new(Part::Xcv200);
+        let d = small_design(9);
+        let r = mgr.load(&d, 10, 10, |_, _, _| {}).unwrap();
+        let f = mgr.function(r.id).unwrap();
+        let src = f.placed.placement.cell_locs[0];
+        // A free slot inside the function's own region.
+        let dst = crate::relocation::find_aux_sites(
+            mgr.device(),
+            &f.placed.netdb,
+            src.0,
+            1,
+            &[src],
+        )
+        .unwrap()[0];
+        assert!(r.region.contains(dst.0), "aux search stays near src");
+        let report = mgr.relocate_cell_of(r.id, src, dst, |_, _, _| {}).unwrap();
+        assert_eq!(report.src, src);
+        assert_eq!(report.dst, dst);
+        assert_eq!(mgr.function(r.id).unwrap().placed.placement.cell_locs[0], dst);
+
+        // A destination outside the region is refused.
+        let outside_tile = mgr
+            .device()
+            .bounds()
+            .iter()
+            .find(|t| !r.region.contains(*t))
+            .expect("device larger than the region");
+        assert!(matches!(
+            mgr.relocate_cell_of(r.id, dst, (outside_tile, 0), |_, _, _| {}),
+            Err(CoreError::DestinationBusy { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_restores_configuration() {
+        let mut mgr = RunTimeManager::new(Part::Xcv200);
+        let d = small_design(4);
+        mgr.load(&d, 8, 8, |_, _, _| {}).unwrap();
+        let before = mgr.device().config().snapshot();
+        // Vandalise the device outside the manager's knowledge.
+        let mut clb = *mgr.device().clb(ClbCoord::new(0, 0)).unwrap();
+        clb.cells[0].lut = rtm_fpga::lut::Lut::constant(true);
+        mgr.dev.set_clb(ClbCoord::new(0, 0), clb).unwrap();
+        assert!(!mgr.device().config().diff_frames(&before).is_empty());
+        let restored = mgr.recover().unwrap();
+        assert!(restored > 0);
+        assert!(mgr.device().config().diff_frames(&before).is_empty());
+    }
+
+    #[test]
+    fn load_rearranges_when_fragmented() {
+        let mut mgr = RunTimeManager::new(Part::Xcv50); // 16x24
+        // Two 16x6 functions arranged to leave two 6-column gaps.
+        let d1 = small_design(5);
+        let a = mgr.load(&d1, 16, 6, |_, _, _| {}).unwrap();
+        let d2 = small_design(6);
+        let b = mgr.load(&d2, 16, 6, |_, _, _| {}).unwrap();
+        mgr.relocate_function(a.id, Rect::new(ClbCoord::new(0, 18), 16, 6), |_, _, _| {})
+            .unwrap();
+        mgr.relocate_function(b.id, Rect::new(ClbCoord::new(0, 6), 16, 6), |_, _, _| {})
+            .unwrap();
+        // Free space: columns 0..6 and 12..18 — fragmented. A 16x10
+        // request cannot fit in either gap, but fits after rearrangement.
+        assert!(mgr.fragmentation().largest_rect < 160);
+        let d3 = small_design(7);
+        let r = mgr.load(&d3, 16, 10, |_, _, _| {}).unwrap();
+        assert!(!r.moves.is_empty(), "rearrangement must have happened");
+        assert_eq!(mgr.functions().count(), 3);
+    }
+}

@@ -1,0 +1,12 @@
+//! Dynamic relocation: the paper's §2 and §3 procedures.
+
+mod engine;
+mod plan;
+mod routing;
+
+pub use engine::{
+    relocate_cell, relocate_cell_staged, RelocationOptions, RelocationReport, StepObserver,
+    StepRecord,
+};
+pub use plan::{find_aux_sites, free_slot, RelocationClass, StepKind};
+pub use routing::{relocate_sink_path, RoutingRelocationReport};

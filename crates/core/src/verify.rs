@@ -1,0 +1,466 @@
+//! The transparency harness: relocate live logic while proving the
+//! application never notices.
+//!
+//! Pairs a device-level simulation with the golden netlist model
+//! (`rtm-sim`'s [`LockStep`]) and drives them through every relocation
+//! step: after each configuration step the device sim re-syncs and both
+//! models run the step's wait cycles with pseudo-random stimulus. The
+//! paper's claims map to assertions:
+//!
+//! * "no output glitches" → no driver conflict / X observation;
+//! * "no loss of state information" → no divergence from the golden
+//!   model at any cycle;
+//! * "without disturbing system operation" → the application keeps
+//!   clocking during the whole procedure.
+
+use crate::error::CoreError;
+use crate::relocation::{
+    relocate_cell, RelocationOptions, RelocationReport, StepRecord,
+};
+use rtm_fpga::Device;
+use rtm_netlist::Netlist;
+use rtm_sim::compare::{Divergence, LockStep};
+use rtm_sim::design::PlacedDesign;
+use rtm_sim::devsim::Glitch;
+use rtm_sim::place::CellLoc;
+
+/// A self-contained verification environment around one implemented
+/// design. See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct TransparencyHarness<'a> {
+    netlist: &'a Netlist,
+    dev: Device,
+    placed: PlacedDesign,
+    lockstep: LockStep<'a>,
+    stimulus_state: u64,
+    stimulus_override: Option<Vec<bool>>,
+}
+
+impl<'a> TransparencyHarness<'a> {
+    /// Builds the harness; `placed` must be `netlist`'s implementation on
+    /// `dev`.
+    pub fn new(netlist: &'a Netlist, dev: Device, placed: PlacedDesign) -> Self {
+        let lockstep = LockStep::new(netlist, &dev, &placed);
+        TransparencyHarness {
+            netlist,
+            dev,
+            placed,
+            lockstep,
+            stimulus_state: 0x9E3779B97F4A7C15,
+            stimulus_override: None,
+        }
+    }
+
+    /// The device (read-only).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// The placed design (read-only).
+    pub fn placed(&self) -> &PlacedDesign {
+        &self.placed
+    }
+
+    /// The netlist under test.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Glitches observed so far.
+    pub fn glitches(&self) -> &[Glitch] {
+        self.lockstep.device_sim.glitches()
+    }
+
+    /// Output divergences observed so far.
+    pub fn divergences(&self) -> &[Divergence] {
+        self.lockstep.divergences()
+    }
+
+    /// True if nothing has been observed that the application could
+    /// notice.
+    pub fn transparent(&self) -> bool {
+        self.lockstep.transparent()
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.lockstep.device_sim.cycle()
+    }
+
+    /// Pins the stimulus to a fixed input vector (e.g. holding a clock
+    /// enable low for the skip-aux ablation); `None` restores the
+    /// pseudo-random stream.
+    pub fn set_stimulus_override(&mut self, fixed: Option<Vec<bool>>) {
+        self.stimulus_override = fixed;
+    }
+
+    fn next_stimulus(&mut self) -> Vec<bool> {
+        if let Some(fixed) = &self.stimulus_override {
+            return fixed.clone();
+        }
+        let width = self.netlist.inputs().len();
+        (0..width)
+            .map(|_| {
+                // SplitMix64 — deterministic, quick, uncorrelated bits.
+                self.stimulus_state = self.stimulus_state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = self.stimulus_state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
+
+    /// Runs `cycles` clock cycles of the application with pseudo-random
+    /// stimulus, comparing device and golden models every cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (cannot occur for a well-formed
+    /// harness).
+    pub fn run_cycles(&mut self, cycles: u64) -> Result<(), CoreError> {
+        for _ in 0..cycles {
+            let inputs = self.next_stimulus();
+            self.lockstep.step(&self.dev, &inputs)?;
+        }
+        Ok(())
+    }
+
+    /// Relocates the cell at `src` to `dst` while the application keeps
+    /// running: after every procedure step the device simulation re-syncs
+    /// and both models run the step's wait cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors; the transparency verdict is *not* an
+    /// error — query [`TransparencyHarness::transparent`].
+    pub fn relocate_cell(
+        &mut self,
+        src: CellLoc,
+        dst: CellLoc,
+    ) -> Result<RelocationReport, CoreError> {
+        self.relocate_cell_with(src, dst, &RelocationOptions::default())
+    }
+
+    /// Like [`TransparencyHarness::relocate_cell`] with explicit options
+    /// (used by the skip-aux ablation).
+    pub fn relocate_cell_with(
+        &mut self,
+        src: CellLoc,
+        dst: CellLoc,
+        opts: &RelocationOptions,
+    ) -> Result<RelocationReport, CoreError> {
+        // The engine borrows dev+placed; the lockstep sim is advanced in
+        // the observer between steps. Observation points follow the
+        // design tables, which the engine updates as soon as original and
+        // replica agree; while a feed cell is mid-move, both locations
+        // present the forced input value (aliases).
+        let netlist_width = self.netlist.inputs().len();
+        let mut stim_state = self.stimulus_state;
+        let stim_override = self.stimulus_override.clone();
+        let lockstep = &mut self.lockstep;
+        let report = relocate_cell(
+            &mut self.dev,
+            &mut self.placed,
+            src,
+            dst,
+            opts,
+            |dev, placed: &PlacedDesign, record: &StepRecord| {
+                for (i, (_, loc)) in placed.output_locs().iter().enumerate() {
+                    lockstep.device_sim.move_output(i, *loc);
+                }
+                for (i, loc) in placed.placement.feed_locs.iter().enumerate() {
+                    lockstep.device_sim.move_feed(i, *loc);
+                    if *loc == dst || *loc == src {
+                        // Mid-move: force both original and replica.
+                        lockstep.device_sim.add_feed_alias(i, src);
+                        lockstep.device_sim.add_feed_alias(i, dst);
+                    }
+                }
+                lockstep.device_sim.sync(dev);
+                for _ in 0..record.wait_cycles {
+                    let inputs: Vec<bool> = match &stim_override {
+                        Some(fixed) => fixed.clone(),
+                        None => (0..netlist_width)
+                            .map(|_| {
+                                stim_state = stim_state.wrapping_add(0x9E3779B97F4A7C15);
+                                let mut z = stim_state;
+                                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                                (z ^ (z >> 31)) & 1 == 1
+                            })
+                            .collect(),
+                    };
+                    lockstep
+                        .step(dev, &inputs)
+                        .expect("lockstep width matches netlist");
+                }
+            },
+        )?;
+        self.stimulus_state = stim_state;
+
+        // Settle observation points on the final tables.
+        for (i, (_, loc)) in self.placed.output_locs().iter().enumerate() {
+            self.lockstep.device_sim.move_output(i, *loc);
+        }
+        for (i, loc) in self.placed.placement.feed_locs.iter().enumerate() {
+            self.lockstep.device_sim.move_feed(i, *loc);
+        }
+        self.lockstep.device_sim.sync(&self.dev);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_fpga::geom::{ClbCoord, Rect};
+    use rtm_fpga::part::Part;
+    use rtm_netlist::random::RandomCircuit;
+    use rtm_netlist::techmap::map_to_luts;
+    use rtm_netlist::{GateKind, Netlist};
+    use rtm_sim::design::implement;
+
+    fn build(netlist: &Netlist) -> (Device, PlacedDesign) {
+        let mapped = map_to_luts(netlist).unwrap();
+        let mut dev = Device::new(Part::Xcv200);
+        let region = Rect::new(ClbCoord::new(4, 4), 10, 10);
+        let placed = implement(&mut dev, &mapped, region).unwrap();
+        (dev, placed)
+    }
+
+    fn toggler() -> Netlist {
+        let mut n = Netlist::new("toggler");
+        let q = n.add_ff_ce(None, None, false);
+        let inv = n.add_gate(GateKind::Not, &[q]);
+        n.set_ff_input(q, inv, None);
+        n.add_output("q", q);
+        n
+    }
+
+    fn gated_counter() -> Netlist {
+        let mut n = Netlist::new("gated2");
+        let ce = n.add_input("ce");
+        let q0 = n.add_ff_ce(None, None, false);
+        let q1 = n.add_ff_ce(None, None, false);
+        let d0 = n.add_gate(GateKind::Not, &[q0]);
+        let d1 = n.add_gate(GateKind::Xor, &[q1, q0]);
+        n.set_ff_input(q0, d0, Some(ce));
+        n.set_ff_input(q1, d1, Some(ce));
+        n.add_output("q0", q0);
+        n.add_output("q1", q1);
+        n
+    }
+
+    #[test]
+    fn free_running_ff_relocates_transparently() {
+        let netlist = toggler();
+        let (dev, placed) = build(&netlist);
+        let mut h = TransparencyHarness::new(&netlist, dev, placed);
+        h.run_cycles(10).unwrap();
+        // Move every design cell, one at a time, to a far free corner.
+        for i in 0..h.placed().design.cells.len() {
+            let src = h.placed().cell_loc(i);
+            let dst = (ClbCoord::new(20, 20 + i as u16), 0);
+            let report = h.relocate_cell(src, dst).unwrap();
+            assert!(report.frames_total() > 0);
+            h.run_cycles(10).unwrap();
+        }
+        assert!(h.transparent(), "glitches: {:?}, div: {:?}", h.glitches(), h.divergences());
+    }
+
+    #[test]
+    fn gated_ff_relocates_transparently_with_aux_circuit() {
+        let netlist = gated_counter();
+        let (dev, placed) = build(&netlist);
+        let mut h = TransparencyHarness::new(&netlist, dev, placed);
+        h.run_cycles(16).unwrap();
+        // Relocate both gated FF cells.
+        for i in 0..h.placed().design.cells.len() {
+            if !h.placed().design.cells[i].storage.is_sequential() {
+                continue;
+            }
+            let src = h.placed().cell_loc(i);
+            let dst = (ClbCoord::new(22, 20 + 2 * i as u16), 1);
+            let report = h.relocate_cell(src, dst).unwrap();
+            assert_eq!(report.class, crate::RelocationClass::GatedClock);
+            assert_eq!(report.aux_sites.len(), 3);
+            h.run_cycles(16).unwrap();
+        }
+        assert!(h.transparent(), "glitches: {:?}, div: {:?}", h.glitches(), h.divergences());
+    }
+
+    #[test]
+    fn skip_aux_ablation_loses_state_under_idle_ce() {
+        // A gated FF whose CE is held low during the move: skipping the
+        // auxiliary circuit must corrupt the observation (the replica
+        // never captures), demonstrating the circuit is load-bearing.
+        let netlist = gated_counter();
+        let (dev, placed) = build(&netlist);
+        let mut h = TransparencyHarness::new(&netlist, dev, placed);
+        // Count up with CE=1 so the FFs hold live state…
+        h.set_stimulus_override(Some(vec![true]));
+        h.run_cycles(3).unwrap();
+        // …then hold CE low (the paper's problem scenario) and move.
+        h.set_stimulus_override(Some(vec![false]));
+        h.run_cycles(2).unwrap();
+        let mut moved = false;
+        for i in 0..h.placed().design.cells.len() {
+            if !h.placed().design.cells[i].storage.is_sequential() {
+                continue;
+            }
+            let src = h.placed().cell_loc(i);
+            let dst = (ClbCoord::new(24, 24 + 2 * i as u16), 2);
+            let opts = RelocationOptions { skip_aux: true, ..Default::default() };
+            h.relocate_cell_with(src, dst, &opts).unwrap();
+            moved = true;
+        }
+        assert!(moved);
+        h.run_cycles(10).unwrap();
+        assert!(
+            !h.transparent(),
+            "skipping the aux circuit must be observable for gated-clock cells"
+        );
+
+        // Control: the identical scenario WITH the aux circuit stays
+        // transparent.
+        let netlist2 = gated_counter();
+        let (dev2, placed2) = build(&netlist2);
+        let mut h2 = TransparencyHarness::new(&netlist2, dev2, placed2);
+        h2.set_stimulus_override(Some(vec![true]));
+        h2.run_cycles(3).unwrap();
+        h2.set_stimulus_override(Some(vec![false]));
+        h2.run_cycles(2).unwrap();
+        for i in 0..h2.placed().design.cells.len() {
+            if !h2.placed().design.cells[i].storage.is_sequential() {
+                continue;
+            }
+            let src = h2.placed().cell_loc(i);
+            let dst = (ClbCoord::new(24, 24 + 2 * i as u16), 2);
+            h2.relocate_cell(src, dst).unwrap();
+        }
+        h2.run_cycles(10).unwrap();
+        assert!(
+            h2.transparent(),
+            "aux circuit must transfer state even with CE idle: {:?} {:?}",
+            h2.glitches(),
+            h2.divergences()
+        );
+    }
+
+    #[test]
+    fn random_circuit_survives_relocation_of_every_cell() {
+        let netlist = RandomCircuit::free_running(5, 15, 77).generate();
+        let (dev, placed) = build(&netlist);
+        let mut h = TransparencyHarness::new(&netlist, dev, placed);
+        h.run_cycles(12).unwrap();
+        let n = h.placed().design.cells.len();
+        for i in 0..n {
+            let src = h.placed().cell_loc(i);
+            let dst = (ClbCoord::new(16 + (i as u16 % 8), 16 + (i as u16 / 8)), 3);
+            h.relocate_cell(src, dst).unwrap();
+            h.run_cycles(4).unwrap();
+        }
+        h.run_cycles(30).unwrap();
+        assert!(h.transparent(), "glitches: {:?}, div: {:?}", h.glitches(), h.divergences());
+    }
+
+    #[test]
+    fn feed_cell_relocates() {
+        let netlist = gated_counter();
+        let (dev, placed) = build(&netlist);
+        let mut h = TransparencyHarness::new(&netlist, dev, placed);
+        h.run_cycles(8).unwrap();
+        let src = h.placed().feed_loc(0);
+        let dst = (ClbCoord::new(25, 25), 0);
+        h.relocate_cell(src, dst).unwrap();
+        assert_eq!(h.placed().feed_loc(0), dst);
+        h.run_cycles(8).unwrap();
+        assert!(h.transparent(), "glitches: {:?}, div: {:?}", h.glitches(), h.divergences());
+    }
+
+    #[test]
+    fn asynchronous_latch_relocates_transparently() {
+        // The paper's third class: transparent latches, handled by the
+        // same auxiliary circuit with the latch enable in place of CE.
+        let mut n = Netlist::new("latched");
+        let d = n.add_input("d");
+        let en = n.add_input("en");
+        let q = n.add_latch(None, None, false);
+        n.set_latch_input(q, d, en);
+        let o = n.add_gate(GateKind::Not, &[q]);
+        n.add_output("o", o);
+        let (dev, placed) = build(&n);
+        let mut h = TransparencyHarness::new(&n, dev, placed);
+        h.run_cycles(12).unwrap();
+        let i = (0..h.placed().design.cells.len())
+            .find(|i| h.placed().design.cells[*i].storage.is_sequential())
+            .unwrap();
+        let src = h.placed().cell_loc(i);
+        let report = h.relocate_cell(src, (ClbCoord::new(20, 20), 0)).unwrap();
+        assert_eq!(report.class, crate::RelocationClass::Asynchronous);
+        h.run_cycles(20).unwrap();
+        assert!(h.transparent(), "{:?} {:?}", h.glitches(), h.divergences());
+    }
+
+    #[test]
+    fn staged_relocation_bounds_hop_length_and_stays_transparent() {
+        use crate::relocation::relocate_cell_staged;
+        let netlist = gated_counter();
+        let (dev, placed) = build(&netlist);
+        let mut h = TransparencyHarness::new(&netlist, dev, placed);
+        h.run_cycles(10).unwrap();
+        // Drive the staged engine directly through the harness's device.
+        // (The harness API wraps single relocations; for the staged variant
+        // we reuse its internals via a fresh environment.)
+        let netlist2 = gated_counter();
+        let mapped = map_to_luts(&netlist2).unwrap();
+        let mut dev = Device::new(Part::Xcv200);
+        let region = Rect::new(ClbCoord::new(2, 2), 8, 8);
+        let mut placed = implement(&mut dev, &mapped, region).unwrap();
+        let victim = (0..placed.design.cells.len())
+            .find(|i| placed.design.cells[*i].storage.is_sequential())
+            .unwrap();
+        let src = placed.placement.cell_locs[victim];
+        let dst = (ClbCoord::new(26, 38), 0); // far corner
+        let reports = relocate_cell_staged(
+            &mut dev,
+            &mut placed,
+            src,
+            dst,
+            6,
+            &crate::relocation::RelocationOptions::default(),
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert!(reports.len() >= 3, "a far move must take several stages");
+        // Every hop is bounded and the chain ends at the destination.
+        let mut cur = src;
+        for r in &reports {
+            assert_eq!(r.src, cur);
+            assert!(
+                r.src.0.manhattan(r.dst.0) <= 6 + 2,
+                "hop {} -> {} exceeds bound",
+                r.src.0,
+                r.dst.0
+            );
+            cur = r.dst;
+        }
+        assert_eq!(cur, dst);
+        assert_eq!(placed.placement.cell_locs[victim], dst);
+    }
+
+    #[test]
+    fn ram_cell_refused() {
+        let netlist = toggler();
+        let (mut dev, placed) = build(&netlist);
+        // Flip a placed cell into RAM mode behind the design's back.
+        let loc = placed.cell_loc(0);
+        let mut clb = *dev.clb(loc.0).unwrap();
+        clb.cells[loc.1].ram_mode = true;
+        dev.set_clb(loc.0, clb).unwrap();
+        let mut h = TransparencyHarness::new(&netlist, dev, placed);
+        let err = h.relocate_cell(loc, (ClbCoord::new(20, 20), 0)).unwrap_err();
+        assert!(matches!(err, CoreError::RamRelocationUnsupported { .. }));
+    }
+}

@@ -1,0 +1,211 @@
+//! The logic cell: one 4-LUT plus one storage element.
+//!
+//! A Virtex CLB comprises four of these cells (two slices of two); the paper
+//! relocates them individually (§2: "each CLB cell can be considered
+//! individually").
+
+use crate::lut::Lut;
+use crate::storage::{ClockingClass, StorageKind};
+use std::fmt;
+
+/// Number of configuration bits a [`LogicCell`] occupies in our frame
+/// layout: 16 LUT bits + 8 mode/control bits.
+pub const CELL_CONFIG_BITS: usize = 24;
+
+/// Configuration of one logic cell.
+///
+/// The `state` bit (FF/latch content) is *not* part of this struct — it
+/// lives in the configuration memory's state positions and in the
+/// simulator, mirroring how Virtex mixes "internal CLB configuration and
+/// state information" within the same frames (paper §2).
+///
+/// ```
+/// use rtm_fpga::cell::LogicCell;
+/// use rtm_fpga::lut::Lut;
+/// use rtm_fpga::storage::StorageKind;
+///
+/// let mut cell = LogicCell::default();
+/// cell.lut = Lut::from_fn(|i| i[0] ^ i[1]);
+/// cell.storage = StorageKind::FlipFlop;
+/// cell.registered_output = true;
+/// assert!(cell.is_used());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LogicCell {
+    /// The 4-input LUT truth table.
+    pub lut: Lut,
+    /// Storage element kind (none / FF / latch).
+    pub storage: StorageKind,
+    /// How the storage element is clocked — determines the relocation class.
+    pub clocking: ClockingClass,
+    /// If true, the cell output is taken from the storage element (Q);
+    /// otherwise the LUT output bypasses it.
+    pub registered_output: bool,
+    /// If true, the LUT is configured as 16×1 distributed RAM. The paper
+    /// shows such cells **cannot** be relocated on-line (§2, last
+    /// paragraph); the relocation engine refuses them.
+    pub ram_mode: bool,
+    /// If true, the cell uses the clock-enable input.
+    pub uses_ce: bool,
+    /// If true, the storage element's D input comes from the dedicated
+    /// fabric bypass pin (`Wire::CellDx`) instead of the LUT output. The
+    /// gated-clock relocation procedure uses this path so that switching
+    /// the replica's data source is a single-bit (glitch-free) write.
+    pub d_bypass: bool,
+}
+
+impl LogicCell {
+    /// An unconfigured (empty) cell.
+    pub fn new() -> Self {
+        LogicCell::default()
+    }
+
+    /// True if the cell implements any logic at all.
+    ///
+    /// An unused cell has a constant-0 LUT, no storage and no RAM mode —
+    /// the reset state of the configuration memory.
+    pub fn is_used(&self) -> bool {
+        *self != LogicCell::default()
+    }
+
+    /// True if relocating this cell requires state transfer.
+    pub fn is_sequential(&self) -> bool {
+        self.storage.is_sequential()
+    }
+
+    /// Encodes the cell into `CELL_CONFIG_BITS` configuration bits.
+    pub fn encode(&self) -> [bool; CELL_CONFIG_BITS] {
+        let mut out = [false; CELL_CONFIG_BITS];
+        for i in 0..16 {
+            out[i] = (self.lut.bits() >> i) & 1 == 1;
+        }
+        let (s0, s1) = match self.storage {
+            StorageKind::None => (false, false),
+            StorageKind::FlipFlop => (true, false),
+            StorageKind::Latch => (false, true),
+        };
+        out[16] = s0;
+        out[17] = s1;
+        let (c0, c1) = match self.clocking {
+            ClockingClass::FreeRunning => (false, false),
+            ClockingClass::GatedClock => (true, false),
+            ClockingClass::Asynchronous => (false, true),
+        };
+        out[18] = c0;
+        out[19] = c1;
+        out[20] = self.registered_output;
+        out[21] = self.ram_mode;
+        out[22] = self.uses_ce;
+        out[23] = self.d_bypass;
+        out
+    }
+
+    /// Decodes a cell from configuration bits (inverse of
+    /// [`LogicCell::encode`]).
+    pub fn decode(bits: &[bool; CELL_CONFIG_BITS]) -> Self {
+        let mut lut_bits = 0u16;
+        for (i, b) in bits.iter().take(16).enumerate() {
+            if *b {
+                lut_bits |= 1 << i;
+            }
+        }
+        let storage = match (bits[16], bits[17]) {
+            (false, false) => StorageKind::None,
+            (true, false) => StorageKind::FlipFlop,
+            (false, true) | (true, true) => StorageKind::Latch,
+        };
+        let clocking = match (bits[18], bits[19]) {
+            (false, false) => ClockingClass::FreeRunning,
+            (true, false) => ClockingClass::GatedClock,
+            (false, true) | (true, true) => ClockingClass::Asynchronous,
+        };
+        LogicCell {
+            lut: Lut::from_bits(lut_bits),
+            storage,
+            clocking,
+            registered_output: bits[20],
+            ram_mode: bits[21],
+            uses_ce: bits[22],
+            d_bypass: bits[23],
+        }
+    }
+}
+
+impl fmt::Display for LogicCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}{}{}",
+            self.lut,
+            self.storage,
+            self.clocking,
+            if self.registered_output { " reg" } else { "" },
+            if self.ram_mode { " ram" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_cell_is_unused() {
+        assert!(!LogicCell::default().is_used());
+        let mut c = LogicCell::default();
+        c.lut.set_bits(1);
+        assert!(c.is_used());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_manual() {
+        let cell = LogicCell {
+            lut: Lut::from_bits(0xA5C3),
+            storage: StorageKind::Latch,
+            clocking: ClockingClass::Asynchronous,
+            registered_output: true,
+            ram_mode: false,
+            uses_ce: true,
+            d_bypass: true,
+        };
+        assert_eq!(LogicCell::decode(&cell.encode()), cell);
+    }
+
+    #[test]
+    fn sequential_detection() {
+        let mut c = LogicCell::default();
+        assert!(!c.is_sequential());
+        c.storage = StorageKind::FlipFlop;
+        assert!(c.is_sequential());
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(lut in any::<u16>(),
+                                   storage in 0u8..3,
+                                   clocking in 0u8..3,
+                                   reg in any::<bool>(),
+                                   ram in any::<bool>(),
+                                   ce in any::<bool>()) {
+            let cell = LogicCell {
+                lut: Lut::from_bits(lut),
+                storage: match storage {
+                    0 => StorageKind::None,
+                    1 => StorageKind::FlipFlop,
+                    _ => StorageKind::Latch,
+                },
+                clocking: match clocking {
+                    0 => ClockingClass::FreeRunning,
+                    1 => ClockingClass::GatedClock,
+                    _ => ClockingClass::Asynchronous,
+                },
+                registered_output: reg,
+                ram_mode: ram,
+                uses_ce: ce,
+                d_bypass: ram ^ reg,
+            };
+            prop_assert_eq!(LogicCell::decode(&cell.encode()), cell);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Configurable Logic Blocks: four logic cells with shared clocking.
+
+use crate::cell::{LogicCell, CELL_CONFIG_BITS};
+use std::fmt;
+
+/// Number of logic cells per CLB (Virtex: two slices × two cells).
+pub const CELLS_PER_CLB: usize = 4;
+
+/// Configuration bits for a whole CLB in our frame layout.
+pub const CLB_CONFIG_BITS: usize = CELLS_PER_CLB * CELL_CONFIG_BITS;
+
+/// One Configurable Logic Block.
+///
+/// ```
+/// use rtm_fpga::clb::Clb;
+/// use rtm_fpga::lut::Lut;
+///
+/// let mut clb = Clb::default();
+/// clb.cells[2].lut = Lut::constant(true);
+/// assert!(clb.is_used());
+/// assert_eq!(clb.used_cells().count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Clb {
+    /// The four logic cells.
+    pub cells: [LogicCell; CELLS_PER_CLB],
+}
+
+impl Clb {
+    /// An unconfigured CLB.
+    pub fn new() -> Self {
+        Clb::default()
+    }
+
+    /// True if any cell is configured.
+    pub fn is_used(&self) -> bool {
+        self.cells.iter().any(LogicCell::is_used)
+    }
+
+    /// Indices of cells that are configured.
+    pub fn used_cells(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cells.iter().enumerate().filter(|(_, c)| c.is_used()).map(|(i, _)| i)
+    }
+
+    /// True if any cell holds sequential state.
+    pub fn is_sequential(&self) -> bool {
+        self.cells.iter().any(LogicCell::is_sequential)
+    }
+
+    /// True if any cell is in distributed-RAM mode (blocks on-line
+    /// relocation, paper §2).
+    pub fn has_ram(&self) -> bool {
+        self.cells.iter().any(|c| c.ram_mode)
+    }
+
+    /// Encodes the CLB into `CLB_CONFIG_BITS` configuration bits.
+    pub fn encode(&self) -> Vec<bool> {
+        let mut out = Vec::with_capacity(CLB_CONFIG_BITS);
+        for cell in &self.cells {
+            out.extend_from_slice(&cell.encode());
+        }
+        out
+    }
+
+    /// Decodes a CLB from configuration bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != CLB_CONFIG_BITS`.
+    pub fn decode(bits: &[bool]) -> Self {
+        assert_eq!(bits.len(), CLB_CONFIG_BITS, "clb config length");
+        let mut clb = Clb::default();
+        for (i, chunk) in bits.chunks_exact(CELL_CONFIG_BITS).enumerate() {
+            let mut arr = [false; CELL_CONFIG_BITS];
+            arr.copy_from_slice(chunk);
+            clb.cells[i] = LogicCell::decode(&arr);
+        }
+        clb
+    }
+}
+
+impl fmt::Display for Clb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_used() {
+            return f.write_str("CLB<empty>");
+        }
+        write!(f, "CLB<{} cells used>", self.used_cells().count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::Lut;
+    use crate::storage::StorageKind;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_clb_properties() {
+        let clb = Clb::new();
+        assert!(!clb.is_used());
+        assert!(!clb.is_sequential());
+        assert!(!clb.has_ram());
+        assert_eq!(clb.to_string(), "CLB<empty>");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut clb = Clb::default();
+        clb.cells[0].lut = Lut::from_bits(0x1234);
+        clb.cells[1].storage = StorageKind::FlipFlop;
+        clb.cells[3].ram_mode = true;
+        let bits = clb.encode();
+        assert_eq!(bits.len(), CLB_CONFIG_BITS);
+        assert_eq!(Clb::decode(&bits), clb);
+    }
+
+    #[test]
+    fn ram_detection() {
+        let mut clb = Clb::default();
+        assert!(!clb.has_ram());
+        clb.cells[2].ram_mode = true;
+        assert!(clb.has_ram());
+    }
+
+    #[test]
+    #[should_panic(expected = "clb config length")]
+    fn decode_wrong_length_panics() {
+        let _ = Clb::decode(&[false; 10]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_luts(a in any::<u16>(), b in any::<u16>(),
+                                 c in any::<u16>(), d in any::<u16>()) {
+            let mut clb = Clb::default();
+            clb.cells[0].lut = Lut::from_bits(a);
+            clb.cells[1].lut = Lut::from_bits(b);
+            clb.cells[2].lut = Lut::from_bits(c);
+            clb.cells[3].lut = Lut::from_bits(d);
+            prop_assert_eq!(Clb::decode(&clb.encode()), clb);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Frame addressing and frame payloads.
+
+use crate::bits::BitVec;
+use std::fmt;
+
+/// Which block of the device a configuration column belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BlockType {
+    /// The centre clock column.
+    Clock,
+    /// A CLB column (`major` = CLB column index).
+    Clb,
+    /// An IOB column (`major` = 0 for left, 1 for right).
+    Iob,
+}
+
+impl fmt::Display for BlockType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BlockType::Clock => "CLK",
+            BlockType::Clb => "CLB",
+            BlockType::Iob => "IOB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The address of one configuration frame: block type, major (column) and
+/// minor (frame-within-column) address.
+///
+/// ```
+/// use rtm_fpga::config::{FrameAddress, BlockType};
+/// let fa = FrameAddress::clb(7, 13);
+/// assert_eq!(fa.block, BlockType::Clb);
+/// assert_eq!(fa.major, 7);
+/// assert_eq!(fa.minor, 13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameAddress {
+    /// Block type.
+    pub block: BlockType,
+    /// Column index within the block type.
+    pub major: u16,
+    /// Frame index within the column.
+    pub minor: u16,
+}
+
+impl FrameAddress {
+    /// Frame `minor` of CLB column `major`.
+    pub fn clb(major: u16, minor: u16) -> Self {
+        FrameAddress { block: BlockType::Clb, major, minor }
+    }
+
+    /// Frame `minor` of IOB column `major` (0 = left, 1 = right).
+    pub fn iob(major: u16, minor: u16) -> Self {
+        FrameAddress { block: BlockType::Iob, major, minor }
+    }
+
+    /// Frame `minor` of the clock column.
+    pub fn clock(minor: u16) -> Self {
+        FrameAddress { block: BlockType::Clock, major: 0, minor }
+    }
+
+    /// Packs the address into the 32-bit FAR register format used by the
+    /// bitstream model (2 block bits, 15 major bits, 15 minor bits).
+    pub fn to_far(self) -> u32 {
+        let block = match self.block {
+            BlockType::Clock => 0u32,
+            BlockType::Clb => 1,
+            BlockType::Iob => 2,
+        };
+        (block << 30) | ((self.major as u32) << 15) | self.minor as u32
+    }
+
+    /// Unpacks a FAR register value.
+    pub fn from_far(far: u32) -> Self {
+        let block = match far >> 30 {
+            0 => BlockType::Clock,
+            1 => BlockType::Clb,
+            _ => BlockType::Iob,
+        };
+        FrameAddress {
+            block,
+            major: ((far >> 15) & 0x7FFF) as u16,
+            minor: (far & 0x7FFF) as u16,
+        }
+    }
+}
+
+impl fmt::Display for FrameAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}].{}", self.block, self.major, self.minor)
+    }
+}
+
+/// One configuration frame payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    bits: BitVec,
+}
+
+impl Frame {
+    /// An all-zero frame of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Frame { bits: BitVec::zeros(len) }
+    }
+
+    /// A frame wrapping an existing bit vector.
+    pub fn from_bits(bits: BitVec) -> Self {
+        Frame { bits }
+    }
+
+    /// Frame length in bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True if the frame has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get(&self, idx: usize) -> bool {
+        self.bits.get(idx)
+    }
+
+    /// Writes one bit, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set(&mut self, idx: usize, value: bool) -> bool {
+        self.bits.set(idx, value)
+    }
+
+    /// Borrow of the underlying bit vector.
+    pub fn as_bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Extracts the underlying bit vector.
+    pub fn into_bits(self) -> BitVec {
+        self.bits
+    }
+
+    /// Bit positions that differ from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn diff(&self, other: &Frame) -> Vec<usize> {
+        self.bits.diff_indices(&other.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn far_roundtrip() {
+        for fa in [
+            FrameAddress::clb(41, 47),
+            FrameAddress::iob(1, 53),
+            FrameAddress::clock(7),
+            FrameAddress::clb(0, 0),
+        ] {
+            assert_eq!(FrameAddress::from_far(fa.to_far()), fa);
+        }
+    }
+
+    #[test]
+    fn frame_set_get_diff() {
+        let mut a = Frame::zeros(64);
+        let b = Frame::zeros(64);
+        assert!(!a.set(10, true));
+        assert!(a.get(10));
+        assert_eq!(a.diff(&b), vec![10]);
+        assert_eq!(a.diff(&a.clone()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(FrameAddress::clb(3, 9).to_string(), "CLB[3].9");
+        assert_eq!(FrameAddress::clock(2).to_string(), "CLK[0].2");
+    }
+
+    #[test]
+    fn ordering_groups_by_block_then_major() {
+        let a = FrameAddress::clock(0);
+        let b = FrameAddress::clb(0, 5);
+        let c = FrameAddress::clb(1, 0);
+        let d = FrameAddress::iob(0, 0);
+        let mut v = vec![d, c, b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b, c, d]);
+    }
+}

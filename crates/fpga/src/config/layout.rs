@@ -1,0 +1,187 @@
+//! Mapping between typed device resources and configuration-frame bits.
+//!
+//! Each CLB column has [`FRAMES_PER_CLB_COLUMN`] frames; every frame
+//! contributes [`BITS_PER_ROW_PER_FRAME`] bits to each CLB row (plus one
+//! pad row-group at the top and bottom). A tile therefore owns
+//! `48 × 18 = 864` configuration bits, addressed here by a **tile-local
+//! bit index** `k`:
+//!
+//! | `k` range   | resource                                   |
+//! |-------------|--------------------------------------------|
+//! | `0..96`     | logic-cell configuration (4 × 24 bits)     |
+//! | `96..100`   | storage-element state (one bit per cell)   |
+//! | `100..100+P`| routing PIPs, in [`pip_table`] order       |
+//! | rest        | reserved (always zero)                     |
+//!
+//! This single table is what makes the paper's observation true in the
+//! model: a CLB's configuration **and** its state and routing live
+//! interleaved in the same column frames, so relocating a CLB touches
+//! several frames, and every touched frame may also cover unrelated logic
+//! (which must be rewritten with identical values).
+
+use crate::cell::CELL_CONFIG_BITS;
+use crate::clb::{CELLS_PER_CLB, CLB_CONFIG_BITS};
+use crate::config::frame::FrameAddress;
+use crate::geom::ClbCoord;
+use crate::part::{Part, BITS_PER_ROW_PER_FRAME, FRAMES_PER_CLB_COLUMN};
+use crate::routing::{pip_bit_index, pip_table, Pip};
+
+/// Tile-local configuration bits per tile (48 frames × 18 bits).
+pub const TILE_CONFIG_BITS: usize = FRAMES_PER_CLB_COLUMN as usize * BITS_PER_ROW_PER_FRAME;
+
+/// First tile-local bit of the storage-state group.
+pub const STATE_BITS_BASE: usize = CLB_CONFIG_BITS;
+
+/// First tile-local bit of the routing-PIP group.
+pub const PIP_BITS_BASE: usize = STATE_BITS_BASE + CELLS_PER_CLB;
+
+/// Converts a tile-local bit index into a frame address and bit offset
+/// within that frame.
+///
+/// # Panics
+///
+/// Panics if `k >= TILE_CONFIG_BITS`.
+pub fn tile_bit_location(tile: ClbCoord, k: usize) -> (FrameAddress, usize) {
+    assert!(k < TILE_CONFIG_BITS, "tile-local bit {k} out of range");
+    let minor = (k / BITS_PER_ROW_PER_FRAME) as u16;
+    // Row 0 of the frame payload is the top pad group; CLB row r uses
+    // payload rows r+1.
+    let bit = (tile.row as usize + 1) * BITS_PER_ROW_PER_FRAME + (k % BITS_PER_ROW_PER_FRAME);
+    (FrameAddress::clb(tile.col, minor), bit)
+}
+
+/// Inverse of [`tile_bit_location`] for CLB columns: which tile and
+/// tile-local bit a frame bit belongs to. Returns `None` for pad rows.
+pub fn frame_bit_owner(part: Part, addr: FrameAddress, bit: usize) -> Option<(ClbCoord, usize)> {
+    if addr.block != crate::config::BlockType::Clb {
+        return None;
+    }
+    let payload_row = bit / BITS_PER_ROW_PER_FRAME;
+    let within = bit % BITS_PER_ROW_PER_FRAME;
+    if payload_row == 0 || payload_row > part.clb_rows() as usize {
+        return None; // pad groups
+    }
+    let row = (payload_row - 1) as u16;
+    let k = addr.minor as usize * BITS_PER_ROW_PER_FRAME + within;
+    Some((ClbCoord::new(row, addr.major), k))
+}
+
+/// Location of one logic-cell configuration bit.
+///
+/// # Panics
+///
+/// Panics if `cell >= 4` or `bit >= CELL_CONFIG_BITS`.
+pub fn cell_config_bit(tile: ClbCoord, cell: usize, bit: usize) -> (FrameAddress, usize) {
+    assert!(cell < CELLS_PER_CLB, "cell index {cell} out of range");
+    assert!(bit < CELL_CONFIG_BITS, "cell config bit {bit} out of range");
+    tile_bit_location(tile, cell * CELL_CONFIG_BITS + bit)
+}
+
+/// Location of the storage-state bit of one cell.
+///
+/// # Panics
+///
+/// Panics if `cell >= 4`.
+pub fn state_bit(tile: ClbCoord, cell: usize) -> (FrameAddress, usize) {
+    assert!(cell < CELLS_PER_CLB, "cell index {cell} out of range");
+    tile_bit_location(tile, STATE_BITS_BASE + cell)
+}
+
+/// Location of the configuration bit controlling `pip`, or `None` if the
+/// PIP does not exist in the switch pattern.
+pub fn pip_config_bit(pip: &Pip) -> Option<(FrameAddress, usize)> {
+    let idx = pip_bit_index(pip.from, pip.to)?;
+    Some(tile_bit_location(pip.tile, PIP_BITS_BASE + idx))
+}
+
+/// Number of valid PIPs per tile (must fit the tile bit budget).
+pub fn pip_bits_used() -> usize {
+    pip_table().len()
+}
+
+/// The set of frame minors (within a tile's column) that hold any part of
+/// the tile's logic-cell configuration. Useful for counting the frames a
+/// CLB copy must write.
+pub fn clb_config_minors() -> std::ops::Range<u16> {
+    0..(CLB_CONFIG_BITS.div_ceil(BITS_PER_ROW_PER_FRAME)) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BlockType;
+
+    #[test]
+    fn budget_fits() {
+        assert!(
+            PIP_BITS_BASE + pip_bits_used() <= TILE_CONFIG_BITS,
+            "pip bits {} + base {} exceed tile budget {}",
+            pip_bits_used(),
+            PIP_BITS_BASE,
+            TILE_CONFIG_BITS
+        );
+    }
+
+    #[test]
+    fn tile_bit_location_distinct_within_tile() {
+        let tile = ClbCoord::new(3, 7);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..TILE_CONFIG_BITS {
+            let loc = tile_bit_location(tile, k);
+            assert!(seen.insert(loc), "duplicate location for bit {k}");
+            assert_eq!(loc.0.block, BlockType::Clb);
+            assert_eq!(loc.0.major, 7);
+        }
+    }
+
+    #[test]
+    fn tiles_in_same_column_share_frames_not_bits() {
+        let a = tile_bit_location(ClbCoord::new(0, 5), 100);
+        let b = tile_bit_location(ClbCoord::new(1, 5), 100);
+        assert_eq!(a.0, b.0, "same column + same k -> same frame");
+        assert_ne!(a.1, b.1, "different rows -> different frame bits");
+    }
+
+    #[test]
+    fn owner_roundtrip() {
+        let part = Part::Xcv200;
+        let tile = ClbCoord::new(13, 21);
+        for k in [0usize, 95, 96, 99, 100, 500, TILE_CONFIG_BITS - 1] {
+            let (addr, bit) = tile_bit_location(tile, k);
+            let (owner, k2) = frame_bit_owner(part, addr, bit).unwrap();
+            assert_eq!(owner, tile);
+            assert_eq!(k2, k);
+        }
+    }
+
+    #[test]
+    fn pad_rows_have_no_owner() {
+        let part = Part::Xcv200;
+        let addr = FrameAddress::clb(0, 0);
+        assert_eq!(frame_bit_owner(part, addr, 0), None);
+        let bottom_pad = (part.clb_rows() as usize + 1) * BITS_PER_ROW_PER_FRAME;
+        assert_eq!(frame_bit_owner(part, addr, bottom_pad), None);
+    }
+
+    #[test]
+    fn clb_config_spans_expected_minors() {
+        // 96 bits / 18 per frame = 6 minors (0..6).
+        assert_eq!(clb_config_minors(), 0..6);
+    }
+
+    #[test]
+    fn pip_bits_do_not_collide_with_cell_bits() {
+        let tile = ClbCoord::new(0, 0);
+        let pip = crate::routing::Pip::new(
+            tile,
+            crate::routing::Wire::CellOut(0),
+            crate::routing::Wire::Out(crate::routing::Dir::North, 0),
+        );
+        let (addr, bit) = pip_config_bit(&pip).unwrap();
+        let cell_locs: Vec<_> =
+            (0..CELLS_PER_CLB).flat_map(|c| (0..CELL_CONFIG_BITS).map(move |b| (c, b))).collect();
+        for (c, b) in cell_locs {
+            assert_ne!(cell_config_bit(tile, c, b), (addr, bit));
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The configuration-memory bit image.
+
+use crate::bits::BitVec;
+use crate::config::frame::{BlockType, Frame, FrameAddress};
+use crate::error::FpgaError;
+use crate::part::{Part, FRAMES_CLOCK_COLUMN, FRAMES_PER_CLB_COLUMN, FRAMES_PER_IOB_COLUMN};
+use std::collections::BTreeMap;
+
+/// The result of writing one frame: which payload bits actually changed.
+///
+/// The relocation procedure relies on the fact that "rewriting the same
+/// configuration data does not generate any transient signals" (paper §2);
+/// auditing `changed_bits` against the set of bits a step *intended* to
+/// change is how the transparency verifier proves a step is safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameWriteEffect {
+    /// The frame that was written.
+    pub addr: FrameAddress,
+    /// Payload bit positions whose value changed.
+    pub changed_bits: Vec<usize>,
+}
+
+impl FrameWriteEffect {
+    /// True if the write was a pure rewrite (no level changes anywhere).
+    pub fn is_transparent_rewrite(&self) -> bool {
+        self.changed_bits.is_empty()
+    }
+}
+
+/// The full configuration memory of one device: a map from frame address
+/// to frame payload, all frames initially zero.
+///
+/// ```
+/// use rtm_fpga::config::{ConfigMemory, FrameAddress};
+/// use rtm_fpga::part::Part;
+///
+/// # fn main() -> Result<(), rtm_fpga::FpgaError> {
+/// let mut mem = ConfigMemory::new(Part::Xcv200);
+/// let addr = FrameAddress::clb(0, 0);
+/// let mut frame = mem.read_frame(addr)?;
+/// frame.set(5, true);
+/// let effect = mem.write_frame(addr, frame)?;
+/// assert_eq!(effect.changed_bits, vec![5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigMemory {
+    part: Part,
+    // Only frames that have ever been written are stored; absent frames
+    // read as all-zero.
+    frames: BTreeMap<FrameAddress, Frame>,
+}
+
+impl ConfigMemory {
+    /// An all-zero configuration memory for `part`.
+    pub fn new(part: Part) -> Self {
+        ConfigMemory { part, frames: BTreeMap::new() }
+    }
+
+    /// The device this memory belongs to.
+    pub fn part(&self) -> Part {
+        self.part
+    }
+
+    /// Frame payload length in bits.
+    pub fn frame_len(&self) -> usize {
+        self.part.frame_payload_bits()
+    }
+
+    /// Validates that `addr` exists on this part.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BadFrameAddress`] if the column or minor index
+    /// is out of range.
+    pub fn validate_addr(&self, addr: FrameAddress) -> Result<(), FpgaError> {
+        let ok = match addr.block {
+            BlockType::Clb => {
+                addr.major < self.part.clb_cols() && addr.minor < FRAMES_PER_CLB_COLUMN
+            }
+            BlockType::Iob => addr.major < 2 && addr.minor < FRAMES_PER_IOB_COLUMN,
+            BlockType::Clock => addr.major == 0 && addr.minor < FRAMES_CLOCK_COLUMN,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(FpgaError::BadFrameAddress { detail: format!("{addr} on {}", self.part) })
+        }
+    }
+
+    /// Reads a frame (readback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BadFrameAddress`] for addresses outside the
+    /// part.
+    pub fn read_frame(&self, addr: FrameAddress) -> Result<Frame, FpgaError> {
+        self.validate_addr(addr)?;
+        Ok(self
+            .frames
+            .get(&addr)
+            .cloned()
+            .unwrap_or_else(|| Frame::zeros(self.frame_len())))
+    }
+
+    /// Writes a frame, returning which bits changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BadFrameAddress`] for addresses outside the
+    /// part and [`FpgaError::FrameLengthMismatch`] if the payload length is
+    /// wrong.
+    pub fn write_frame(
+        &mut self,
+        addr: FrameAddress,
+        frame: Frame,
+    ) -> Result<FrameWriteEffect, FpgaError> {
+        self.validate_addr(addr)?;
+        if frame.len() != self.frame_len() {
+            return Err(FpgaError::FrameLengthMismatch {
+                expected: self.frame_len(),
+                actual: frame.len(),
+            });
+        }
+        let old = self.read_frame(addr)?;
+        let changed_bits = old.diff(&frame);
+        self.frames.insert(addr, frame);
+        Ok(FrameWriteEffect { addr, changed_bits })
+    }
+
+    /// Reads one bit of one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BadFrameAddress`] for addresses outside the
+    /// part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` exceeds the frame length.
+    pub fn get_bit(&self, addr: FrameAddress, bit: usize) -> Result<bool, FpgaError> {
+        Ok(self.read_frame(addr)?.get(bit))
+    }
+
+    /// Sets one bit of one frame, returning whether the value changed.
+    ///
+    /// Note: on real hardware this still costs a whole-frame write; the
+    /// cost model accounts frames, not bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BadFrameAddress`] for addresses outside the
+    /// part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` exceeds the frame length.
+    pub fn set_bit(&mut self, addr: FrameAddress, bit: usize, value: bool) -> Result<bool, FpgaError> {
+        self.validate_addr(addr)?;
+        let len = self.frame_len();
+        let frame = self
+            .frames
+            .entry(addr)
+            .or_insert_with(|| Frame::zeros(len));
+        let old = frame.set(bit, value);
+        Ok(old != value)
+    }
+
+    /// All frame addresses that currently differ from `other`.
+    ///
+    /// This is the primitive behind partial-bitstream generation: the tool
+    /// writes exactly these frames.
+    pub fn diff_frames(&self, other: &ConfigMemory) -> Vec<FrameAddress> {
+        let mut out = Vec::new();
+        let zero = Frame::zeros(self.frame_len());
+        let mut addrs: Vec<FrameAddress> =
+            self.frames.keys().chain(other.frames.keys()).copied().collect();
+        addrs.sort();
+        addrs.dedup();
+        for addr in addrs {
+            let a = self.frames.get(&addr).unwrap_or(&zero);
+            let b = other.frames.get(&addr).unwrap_or(&zero);
+            if a != b {
+                out.push(addr);
+            }
+        }
+        out
+    }
+
+    /// Number of frames that have been written at least once.
+    pub fn touched_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// A snapshot for recovery ("the program always keeps a complete copy
+    /// of the current configuration", paper §4).
+    pub fn snapshot(&self) -> ConfigMemory {
+        self.clone()
+    }
+
+    /// Packs every non-zero frame as address + payload words (a trivial
+    /// serialisation used by the recovery file format).
+    pub fn dump(&self) -> Vec<(FrameAddress, Vec<u32>)> {
+        self.frames
+            .iter()
+            .map(|(addr, frame)| (*addr, frame.as_bits().to_config_words()))
+            .collect()
+    }
+
+    /// Rebuilds a memory from [`ConfigMemory::dump`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BadFrameAddress`] if a dumped address does not
+    /// exist on `part`.
+    pub fn restore(part: Part, dump: &[(FrameAddress, Vec<u32>)]) -> Result<Self, FpgaError> {
+        let mut mem = ConfigMemory::new(part);
+        for (addr, words) in dump {
+            let bits = BitVec::from_config_words(words, mem.frame_len());
+            mem.write_frame(*addr, Frame::from_bits(bits))?;
+        }
+        Ok(mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_frames_read_zero() {
+        let mem = ConfigMemory::new(Part::Xcv50);
+        let f = mem.read_frame(FrameAddress::clb(3, 7)).unwrap();
+        assert_eq!(f.as_bits().count_ones(), 0);
+        assert_eq!(f.len(), Part::Xcv50.frame_payload_bits());
+    }
+
+    #[test]
+    fn write_reports_changed_bits_only() {
+        let mut mem = ConfigMemory::new(Part::Xcv50);
+        let addr = FrameAddress::clb(0, 0);
+        let mut f = mem.read_frame(addr).unwrap();
+        f.set(1, true);
+        f.set(100, true);
+        let e1 = mem.write_frame(addr, f.clone()).unwrap();
+        assert_eq!(e1.changed_bits, vec![1, 100]);
+        // Rewriting identical data: zero transients.
+        let e2 = mem.write_frame(addr, f).unwrap();
+        assert!(e2.is_transparent_rewrite());
+    }
+
+    #[test]
+    fn bad_addresses_rejected() {
+        let mem = ConfigMemory::new(Part::Xcv50);
+        assert!(mem.read_frame(FrameAddress::clb(24, 0)).is_err());
+        assert!(mem.read_frame(FrameAddress::clb(0, 48)).is_err());
+        assert!(mem.read_frame(FrameAddress::iob(2, 0)).is_err());
+        assert!(mem.read_frame(FrameAddress::clock(8)).is_err());
+        assert!(mem.read_frame(FrameAddress::clock(7)).is_ok());
+    }
+
+    #[test]
+    fn wrong_frame_length_rejected() {
+        let mut mem = ConfigMemory::new(Part::Xcv50);
+        let err = mem.write_frame(FrameAddress::clb(0, 0), Frame::zeros(10)).unwrap_err();
+        assert!(matches!(err, FpgaError::FrameLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn set_bit_reports_change() {
+        let mut mem = ConfigMemory::new(Part::Xcv50);
+        let addr = FrameAddress::clb(1, 1);
+        assert!(mem.set_bit(addr, 9, true).unwrap());
+        assert!(!mem.set_bit(addr, 9, true).unwrap());
+        assert!(mem.get_bit(addr, 9).unwrap());
+    }
+
+    #[test]
+    fn diff_frames_finds_exactly_differences() {
+        let mut a = ConfigMemory::new(Part::Xcv50);
+        let mut b = ConfigMemory::new(Part::Xcv50);
+        a.set_bit(FrameAddress::clb(2, 3), 0, true).unwrap();
+        b.set_bit(FrameAddress::clb(2, 3), 0, true).unwrap();
+        a.set_bit(FrameAddress::clb(5, 1), 4, true).unwrap();
+        b.set_bit(FrameAddress::clock(2), 8, true).unwrap();
+        let d = a.diff_frames(&b);
+        assert_eq!(d, vec![FrameAddress::clock(2), FrameAddress::clb(5, 1)]);
+        assert_eq!(a.diff_frames(&a.clone()), vec![]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut mem = ConfigMemory::new(Part::Xcv100);
+        mem.set_bit(FrameAddress::clb(7, 11), 33, true).unwrap();
+        mem.set_bit(FrameAddress::iob(1, 20), 2, true).unwrap();
+        let dump = mem.dump();
+        let back = ConfigMemory::restore(Part::Xcv100, &dump).unwrap();
+        assert_eq!(back, mem);
+        assert!(back.snapshot().diff_frames(&mem).is_empty());
+    }
+}

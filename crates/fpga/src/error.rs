@@ -1,0 +1,108 @@
+//! Error type for device-model operations.
+
+use crate::geom::ClbCoord;
+use std::fmt;
+
+/// Errors raised by the FPGA device model.
+///
+/// ```
+/// use rtm_fpga::FpgaError;
+/// use rtm_fpga::geom::ClbCoord;
+/// let err = FpgaError::OutOfBounds { coord: ClbCoord::new(99, 99), rows: 28, cols: 42 };
+/// assert!(err.to_string().contains("out of bounds"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpgaError {
+    /// A CLB coordinate fell outside the device array.
+    OutOfBounds {
+        /// The offending coordinate.
+        coord: ClbCoord,
+        /// Device row count.
+        rows: u16,
+        /// Device column count.
+        cols: u16,
+    },
+    /// A frame address does not exist on this part.
+    BadFrameAddress {
+        /// Human-readable description of the address.
+        detail: String,
+    },
+    /// An attempt to activate a PIP whose destination wire is already driven.
+    WireConflict {
+        /// Description of the conflicting wire.
+        detail: String,
+    },
+    /// An attempt to deactivate a PIP that is not active.
+    PipNotActive {
+        /// Description of the missing PIP.
+        detail: String,
+    },
+    /// A frame payload did not match the part's frame length.
+    FrameLengthMismatch {
+        /// Expected number of bits.
+        expected: usize,
+        /// Provided number of bits.
+        actual: usize,
+    },
+    /// Operation requires a LUT in logic mode but it is configured as RAM.
+    LutInRamMode {
+        /// Location of the offending cell.
+        coord: ClbCoord,
+        /// Cell index within the CLB (0–3).
+        cell: usize,
+    },
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::OutOfBounds { coord, rows, cols } => write!(
+                f,
+                "clb coordinate {coord} out of bounds for {rows}x{cols} array"
+            ),
+            FpgaError::BadFrameAddress { detail } => {
+                write!(f, "invalid frame address: {detail}")
+            }
+            FpgaError::WireConflict { detail } => {
+                write!(f, "wire already driven: {detail}")
+            }
+            FpgaError::PipNotActive { detail } => {
+                write!(f, "pip not active: {detail}")
+            }
+            FpgaError::FrameLengthMismatch { expected, actual } => {
+                write!(f, "frame length mismatch: expected {expected} bits, got {actual}")
+            }
+            FpgaError::LutInRamMode { coord, cell } => {
+                write!(f, "lut at {coord} cell {cell} is in distributed-RAM mode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FpgaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            FpgaError::OutOfBounds { coord: ClbCoord::new(1, 2), rows: 4, cols: 4 },
+            FpgaError::BadFrameAddress { detail: "x".into() },
+            FpgaError::WireConflict { detail: "w".into() },
+            FpgaError::PipNotActive { detail: "p".into() },
+            FpgaError::FrameLengthMismatch { expected: 10, actual: 9 },
+            FpgaError::LutInRamMode { coord: ClbCoord::new(0, 0), cell: 1 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FpgaError>();
+    }
+}

@@ -1,0 +1,289 @@
+//! Two-dimensional CLB-array geometry: coordinates and rectangles.
+//!
+//! The paper's rearrangement procedures reason about *contiguous* regions of
+//! the CLB array; [`Rect`] is the currency used by the placement and
+//! defragmentation crates.
+
+use std::fmt;
+
+/// The coordinate of one CLB in the array.
+///
+/// Rows run top-to-bottom, columns left-to-right, both starting at 0 —
+/// matching the Virtex configuration-column order (frames extend from the
+/// top to the bottom of a column).
+///
+/// ```
+/// use rtm_fpga::geom::ClbCoord;
+/// let c = ClbCoord::new(2, 5);
+/// assert_eq!(c.manhattan(ClbCoord::new(4, 1)), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClbCoord {
+    /// Row index (0 = top).
+    pub row: u16,
+    /// Column index (0 = left).
+    pub col: u16,
+}
+
+impl ClbCoord {
+    /// Creates a coordinate at `(row, col)`.
+    pub fn new(row: u16, col: u16) -> Self {
+        ClbCoord { row, col }
+    }
+
+    /// Manhattan distance to `other`, in CLB hops.
+    ///
+    /// Relocations to *nearby* CLBs are preferred by the paper (§3) because
+    /// long replica paths increase propagation delay.
+    pub fn manhattan(self, other: ClbCoord) -> u32 {
+        let dr = (self.row as i32 - other.row as i32).unsigned_abs();
+        let dc = (self.col as i32 - other.col as i32).unsigned_abs();
+        dr + dc
+    }
+
+    /// The coordinate translated by `(drow, dcol)`, or `None` on underflow.
+    pub fn offset(self, drow: i32, dcol: i32) -> Option<ClbCoord> {
+        let row = self.row as i32 + drow;
+        let col = self.col as i32 + dcol;
+        if row < 0 || col < 0 || row > u16::MAX as i32 || col > u16::MAX as i32 {
+            None
+        } else {
+            Some(ClbCoord::new(row as u16, col as u16))
+        }
+    }
+}
+
+impl fmt::Display for ClbCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}C{}", self.row, self.col)
+    }
+}
+
+impl From<(u16, u16)> for ClbCoord {
+    fn from((row, col): (u16, u16)) -> Self {
+        ClbCoord::new(row, col)
+    }
+}
+
+/// An axis-aligned rectangle of CLBs, given by its top-left corner and size.
+///
+/// A `Rect` with `rows == 0 || cols == 0` is empty.
+///
+/// ```
+/// use rtm_fpga::geom::{ClbCoord, Rect};
+/// let r = Rect::new(ClbCoord::new(1, 1), 2, 3);
+/// assert_eq!(r.area(), 6);
+/// assert!(r.contains(ClbCoord::new(2, 3)));
+/// assert!(!r.contains(ClbCoord::new(3, 1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Top-left corner.
+    pub origin: ClbCoord,
+    /// Number of rows (height).
+    pub rows: u16,
+    /// Number of columns (width).
+    pub cols: u16,
+}
+
+impl Rect {
+    /// Creates a rectangle with top-left `origin` spanning `rows` × `cols`.
+    pub fn new(origin: ClbCoord, rows: u16, cols: u16) -> Self {
+        Rect { origin, rows, cols }
+    }
+
+    /// Creates a rectangle from corner coordinates (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bottom_right` is above or left of `top_left`.
+    pub fn from_corners(top_left: ClbCoord, bottom_right: ClbCoord) -> Self {
+        assert!(
+            bottom_right.row >= top_left.row && bottom_right.col >= top_left.col,
+            "bottom-right corner must not precede top-left"
+        );
+        Rect {
+            origin: top_left,
+            rows: bottom_right.row - top_left.row + 1,
+            cols: bottom_right.col - top_left.col + 1,
+        }
+    }
+
+    /// Number of CLBs covered.
+    pub fn area(&self) -> u32 {
+        self.rows as u32 * self.cols as u32
+    }
+
+    /// True if the rectangle covers no CLBs.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Row just past the bottom edge.
+    pub fn row_end(&self) -> u16 {
+        self.origin.row + self.rows
+    }
+
+    /// Column just past the right edge.
+    pub fn col_end(&self) -> u16 {
+        self.origin.col + self.cols
+    }
+
+    /// True if `coord` lies inside the rectangle.
+    pub fn contains(&self, coord: ClbCoord) -> bool {
+        coord.row >= self.origin.row
+            && coord.row < self.row_end()
+            && coord.col >= self.origin.col
+            && coord.col < self.col_end()
+    }
+
+    /// True if `other` lies entirely inside `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        other.origin.row >= self.origin.row
+            && other.origin.col >= self.origin.col
+            && other.row_end() <= self.row_end()
+            && other.col_end() <= self.col_end()
+    }
+
+    /// True if the two rectangles share at least one CLB.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        self.origin.row < other.row_end()
+            && other.origin.row < self.row_end()
+            && self.origin.col < other.col_end()
+            && other.origin.col < self.col_end()
+    }
+
+    /// The overlapping region, if any.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let row = self.origin.row.max(other.origin.row);
+        let col = self.origin.col.max(other.origin.col);
+        let row_end = self.row_end().min(other.row_end());
+        let col_end = self.col_end().min(other.col_end());
+        Some(Rect::new(ClbCoord::new(row, col), row_end - row, col_end - col))
+    }
+
+    /// Iterator over every CLB coordinate inside the rectangle, row-major.
+    pub fn iter(&self) -> RectIter {
+        RectIter { rect: *self, next: if self.is_empty() { None } else { Some(self.origin) } }
+    }
+
+    /// Inclusive range of configuration columns the rectangle touches.
+    pub fn column_span(&self) -> std::ops::Range<u16> {
+        self.origin.col..self.col_end()
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}x{}", self.origin, self.rows, self.cols)
+    }
+}
+
+/// Iterator over the CLB coordinates of a [`Rect`], produced by [`Rect::iter`].
+#[derive(Debug, Clone)]
+pub struct RectIter {
+    rect: Rect,
+    next: Option<ClbCoord>,
+}
+
+impl Iterator for RectIter {
+    type Item = ClbCoord;
+
+    fn next(&mut self) -> Option<ClbCoord> {
+        let cur = self.next?;
+        let mut nxt = cur;
+        nxt.col += 1;
+        if nxt.col >= self.rect.col_end() {
+            nxt.col = self.rect.origin.col;
+            nxt.row += 1;
+        }
+        self.next = if nxt.row >= self.rect.row_end() { None } else { Some(nxt) };
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_symmetric() {
+        let a = ClbCoord::new(3, 9);
+        let b = ClbCoord::new(7, 2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn offset_rejects_underflow() {
+        assert_eq!(ClbCoord::new(0, 0).offset(-1, 0), None);
+        assert_eq!(ClbCoord::new(0, 0).offset(0, -1), None);
+        assert_eq!(ClbCoord::new(1, 1).offset(-1, -1), Some(ClbCoord::new(0, 0)));
+    }
+
+    #[test]
+    fn rect_iter_row_major_covers_area() {
+        let r = Rect::new(ClbCoord::new(1, 2), 2, 3);
+        let v: Vec<_> = r.iter().collect();
+        assert_eq!(v.len(), r.area() as usize);
+        assert_eq!(v[0], ClbCoord::new(1, 2));
+        assert_eq!(v[1], ClbCoord::new(1, 3));
+        assert_eq!(v[3], ClbCoord::new(2, 2));
+        assert_eq!(*v.last().unwrap(), ClbCoord::new(2, 4));
+    }
+
+    #[test]
+    fn empty_rect_iterates_nothing() {
+        let r = Rect::new(ClbCoord::new(0, 0), 0, 5);
+        assert_eq!(r.iter().count(), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn intersection_basics() {
+        let a = Rect::new(ClbCoord::new(0, 0), 4, 4);
+        let b = Rect::new(ClbCoord::new(2, 2), 4, 4);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(ClbCoord::new(2, 2), 2, 2));
+        let c = Rect::new(ClbCoord::new(4, 0), 1, 1);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn touching_rects_do_not_intersect() {
+        let a = Rect::new(ClbCoord::new(0, 0), 2, 2);
+        let b = Rect::new(ClbCoord::new(0, 2), 2, 2);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn contains_rect_edges() {
+        let outer = Rect::new(ClbCoord::new(0, 0), 4, 4);
+        assert!(outer.contains_rect(&Rect::new(ClbCoord::new(2, 2), 2, 2)));
+        assert!(!outer.contains_rect(&Rect::new(ClbCoord::new(3, 3), 2, 2)));
+        assert!(outer.contains_rect(&Rect::new(ClbCoord::new(9, 9), 0, 0)));
+    }
+
+    #[test]
+    fn from_corners_inclusive() {
+        let r = Rect::from_corners(ClbCoord::new(1, 1), ClbCoord::new(3, 4));
+        assert_eq!(r.rows, 3);
+        assert_eq!(r.cols, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bottom-right")]
+    fn from_corners_panics_on_inverted() {
+        let _ = Rect::from_corners(ClbCoord::new(3, 3), ClbCoord::new(1, 1));
+    }
+}

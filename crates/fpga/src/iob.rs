@@ -1,0 +1,128 @@
+//! Input/Output Blocks: the periphery ring.
+//!
+//! The model keeps IOBs simple — the paper's mechanism never relocates
+//! IOBs, but the device's external pins are where benchmark circuits attach
+//! their primary inputs and outputs, and IOB columns contribute frames to
+//! the configuration size.
+
+use crate::geom::ClbCoord;
+use crate::routing::{Dir, Wire};
+use std::fmt;
+
+/// Which edge of the array an IOB sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IobSide {
+    /// Above row 0.
+    Top,
+    /// Right of the last column.
+    Right,
+    /// Below the last row.
+    Bottom,
+    /// Left of column 0.
+    Left,
+}
+
+impl IobSide {
+    /// All four sides.
+    pub const ALL: [IobSide; 4] = [IobSide::Top, IobSide::Right, IobSide::Bottom, IobSide::Left];
+
+    /// The direction from the adjacent CLB tile toward this edge.
+    pub fn outward(self) -> Dir {
+        match self {
+            IobSide::Top => Dir::North,
+            IobSide::Right => Dir::East,
+            IobSide::Bottom => Dir::South,
+            IobSide::Left => Dir::West,
+        }
+    }
+}
+
+impl fmt::Display for IobSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IobSide::Top => "T",
+            IobSide::Right => "R",
+            IobSide::Bottom => "B",
+            IobSide::Left => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An I/O block location: edge + index along that edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IobCoord {
+    /// The edge.
+    pub side: IobSide,
+    /// Index along the edge (row index for Left/Right, column index for
+    /// Top/Bottom).
+    pub index: u16,
+}
+
+impl IobCoord {
+    /// Creates an IOB coordinate.
+    pub fn new(side: IobSide, index: u16) -> Self {
+        IobCoord { side, index }
+    }
+
+    /// The CLB tile adjacent to this IOB on a `rows`×`cols` array.
+    pub fn adjacent_tile(self, rows: u16, cols: u16) -> ClbCoord {
+        match self.side {
+            IobSide::Top => ClbCoord::new(0, self.index.min(cols - 1)),
+            IobSide::Bottom => ClbCoord::new(rows - 1, self.index.min(cols - 1)),
+            IobSide::Left => ClbCoord::new(self.index.min(rows - 1), 0),
+            IobSide::Right => ClbCoord::new(self.index.min(rows - 1), cols - 1),
+        }
+    }
+
+    /// The tile wire an *input* pad drives: the inbound single 0 from the
+    /// edge side of the adjacent tile.
+    pub fn pad_input_wire(self) -> Wire {
+        Wire::In(self.side.outward(), 0)
+    }
+
+    /// The tile wire an *output* pad listens to: the outbound single 0
+    /// toward the edge.
+    pub fn pad_output_wire(self) -> Wire {
+        Wire::Out(self.side.outward(), 0)
+    }
+}
+
+impl fmt::Display for IobCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IOB{}{}", self.side, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_tiles_on_edges() {
+        let (rows, cols) = (28, 42);
+        assert_eq!(IobCoord::new(IobSide::Top, 5).adjacent_tile(rows, cols), ClbCoord::new(0, 5));
+        assert_eq!(
+            IobCoord::new(IobSide::Bottom, 5).adjacent_tile(rows, cols),
+            ClbCoord::new(27, 5)
+        );
+        assert_eq!(IobCoord::new(IobSide::Left, 9).adjacent_tile(rows, cols), ClbCoord::new(9, 0));
+        assert_eq!(
+            IobCoord::new(IobSide::Right, 9).adjacent_tile(rows, cols),
+            ClbCoord::new(9, 41)
+        );
+    }
+
+    #[test]
+    fn index_clamped_to_array() {
+        let t = IobCoord::new(IobSide::Top, 999).adjacent_tile(4, 4);
+        assert_eq!(t, ClbCoord::new(0, 3));
+    }
+
+    #[test]
+    fn pad_wires_point_outward() {
+        let iob = IobCoord::new(IobSide::Left, 3);
+        assert_eq!(iob.pad_input_wire(), Wire::In(Dir::West, 0));
+        assert_eq!(iob.pad_output_wire(), Wire::Out(Dir::West, 0));
+    }
+}

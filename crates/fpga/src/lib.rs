@@ -1,0 +1,60 @@
+//! # rtm-fpga
+//!
+//! A Virtex-class FPGA device and configuration-memory model.
+//!
+//! This crate is the hardware substrate for the DATE 2003 reproduction
+//! *Run-Time Management of Logic Resources on Reconfigurable Systems*
+//! (Gericota et al.). It models the parts of a Xilinx Virtex device that the
+//! paper's dynamic-relocation mechanism depends on:
+//!
+//! * a rectangular array of CLBs, each containing four [`cell::LogicCell`]s
+//!   (4-input LUT + storage element with clock-enable),
+//! * a configurable routing fabric described as programmable interconnect
+//!   points ([`routing::Pip`]) between [`routing::Wire`]s,
+//! * a configuration memory organised as one-bit-wide vertical
+//!   [`config::Frame`]s grouped into columns — the smallest units that can be
+//!   read or written, which is what makes glitch-free partial
+//!   reconfiguration possible, and
+//! * device geometry tables for the Virtex family ([`part::Part`]),
+//!   including the XCV200 used in the paper's experiments.
+//!
+//! The model maintains the invariant the paper relies on: **rewriting a
+//! configuration bit with the value it already holds produces no transient**
+//! ([`config::ConfigMemory::write_frame`] reports exactly which bits
+//! changed), so a relocation procedure can be audited for transparency.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtm_fpga::{Device, part::Part, geom::ClbCoord, clb::Clb};
+//!
+//! # fn main() -> Result<(), rtm_fpga::FpgaError> {
+//! let mut dev = Device::new(Part::Xcv200);
+//! assert_eq!(dev.part().clb_rows(), 28);
+//! assert_eq!(dev.part().clb_cols(), 42);
+//!
+//! // Configure a CLB and observe the frame writes it generates.
+//! let mut clb = Clb::default();
+//! clb.cells[0].lut.set_bits(0xF0F0);
+//! let writes = dev.set_clb(ClbCoord::new(3, 7), clb)?;
+//! assert!(!writes.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bits;
+pub mod cell;
+pub mod clb;
+pub mod config;
+pub mod device;
+pub mod error;
+pub mod geom;
+pub mod iob;
+pub mod lut;
+pub mod part;
+pub mod routing;
+pub mod storage;
+
+pub use device::Device;
+pub use error::FpgaError;
+pub use geom::{ClbCoord, Rect};

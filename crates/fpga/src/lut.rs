@@ -1,0 +1,165 @@
+//! 4-input look-up tables, the combinational element of a Virtex logic cell.
+
+use std::fmt;
+
+/// Number of inputs of a Virtex LUT.
+pub const LUT_INPUTS: usize = 4;
+
+/// Number of configuration bits in a 4-input LUT truth table.
+pub const LUT_BITS: usize = 1 << LUT_INPUTS;
+
+/// A 4-input look-up table holding a 16-bit truth table.
+///
+/// Bit `i` of the table is the output for the input vector whose binary
+/// encoding is `i` (input 0 is the least-significant address bit).
+///
+/// ```
+/// use rtm_fpga::lut::Lut;
+/// // 2-input AND on inputs 0 and 1 (inputs 2,3 ignored).
+/// let and2 = Lut::from_fn(|ins| ins[0] && ins[1]);
+/// assert!(and2.eval([true, true, false, false]));
+/// assert!(!and2.eval([true, false, false, false]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Lut {
+    bits: u16,
+}
+
+impl Lut {
+    /// A LUT computing constant `false`.
+    pub fn new() -> Self {
+        Lut { bits: 0 }
+    }
+
+    /// A LUT with the given raw truth table.
+    pub fn from_bits(bits: u16) -> Self {
+        Lut { bits }
+    }
+
+    /// A LUT computing constant `value`.
+    pub fn constant(value: bool) -> Self {
+        Lut { bits: if value { 0xFFFF } else { 0x0000 } }
+    }
+
+    /// A LUT that passes through input `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 4`.
+    pub fn passthrough(idx: usize) -> Self {
+        assert!(idx < LUT_INPUTS, "lut input index {idx} out of range");
+        Lut::from_fn(|ins| ins[idx])
+    }
+
+    /// Builds a truth table by evaluating `f` on all 16 input vectors.
+    pub fn from_fn<F: Fn([bool; LUT_INPUTS]) -> bool>(f: F) -> Self {
+        let mut bits = 0u16;
+        for i in 0..LUT_BITS {
+            let ins = [i & 1 != 0, i & 2 != 0, i & 4 != 0, i & 8 != 0];
+            if f(ins) {
+                bits |= 1 << i;
+            }
+        }
+        Lut { bits }
+    }
+
+    /// The raw 16-bit truth table.
+    pub fn bits(&self) -> u16 {
+        self.bits
+    }
+
+    /// Replaces the truth table.
+    pub fn set_bits(&mut self, bits: u16) {
+        self.bits = bits;
+    }
+
+    /// Evaluates the LUT for one input vector.
+    pub fn eval(&self, inputs: [bool; LUT_INPUTS]) -> bool {
+        let mut addr = 0usize;
+        for (i, b) in inputs.iter().enumerate() {
+            if *b {
+                addr |= 1 << i;
+            }
+        }
+        (self.bits >> addr) & 1 == 1
+    }
+
+    /// True if the output never depends on input `idx`.
+    pub fn ignores_input(&self, idx: usize) -> bool {
+        assert!(idx < LUT_INPUTS, "lut input index {idx} out of range");
+        for a in 0..LUT_BITS {
+            let b = a ^ (1 << idx);
+            if (self.bits >> a) & 1 != (self.bits >> b) & 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if the LUT computes a constant function.
+    pub fn is_constant(&self) -> bool {
+        self.bits == 0 || self.bits == 0xFFFF
+    }
+}
+
+impl fmt::Display for Lut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LUT:{:04X}", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_luts() {
+        assert!(Lut::constant(true).eval([false; 4]));
+        assert!(Lut::constant(true).eval([true; 4]));
+        assert!(!Lut::constant(false).eval([true; 4]));
+        assert!(Lut::constant(true).is_constant());
+        assert!(!Lut::passthrough(0).is_constant());
+    }
+
+    #[test]
+    fn passthrough_each_input() {
+        for idx in 0..4 {
+            let lut = Lut::passthrough(idx);
+            for v in 0..16u32 {
+                let ins = [v & 1 != 0, v & 2 != 0, v & 4 != 0, v & 8 != 0];
+                assert_eq!(lut.eval(ins), ins[idx]);
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_matches_eval() {
+        let xor4 = Lut::from_fn(|i| i[0] ^ i[1] ^ i[2] ^ i[3]);
+        assert!(xor4.eval([true, false, false, false]));
+        assert!(!xor4.eval([true, true, false, false]));
+        assert!(xor4.eval([true, true, true, false]));
+    }
+
+    #[test]
+    fn ignores_input_detects_support() {
+        let and01 = Lut::from_fn(|i| i[0] && i[1]);
+        assert!(!and01.ignores_input(0));
+        assert!(!and01.ignores_input(1));
+        assert!(and01.ignores_input(2));
+        assert!(and01.ignores_input(3));
+        assert!(Lut::constant(false).ignores_input(0));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut lut = Lut::new();
+        lut.set_bits(0xBEEF);
+        assert_eq!(lut.bits(), 0xBEEF);
+        assert_eq!(Lut::from_bits(0xBEEF), lut);
+    }
+
+    #[test]
+    fn display_shows_table() {
+        assert_eq!(Lut::from_bits(0x00FF).to_string(), "LUT:00FF");
+    }
+}

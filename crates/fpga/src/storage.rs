@@ -1,0 +1,198 @@
+//! Storage elements: edge-triggered flip-flops and transparent latches.
+//!
+//! The paper distinguishes three implementation classes whose state-transfer
+//! requirements differ (§2):
+//!
+//! * **synchronous free-running clock** — the two-phase procedure alone
+//!   suffices, because the replica FF acquires state from the paralleled
+//!   inputs within one clock cycle;
+//! * **synchronous gated-clock** — the clock-enable (CE) may be inactive for
+//!   arbitrarily long, so an auxiliary relocation circuit must transfer the
+//!   state explicitly while staying coherent if CE fires mid-transfer;
+//! * **asynchronous** — transparent latches controlled by an input control
+//!   signal; handled by the same auxiliary circuit with the latch-enable in
+//!   place of CE.
+
+use std::fmt;
+
+/// Which storage element (if any) a logic cell instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageKind {
+    /// Purely combinational cell: the LUT output bypasses storage.
+    #[default]
+    None,
+    /// Edge-triggered D flip-flop (rising edge).
+    FlipFlop,
+    /// Level-sensitive transparent latch: transparent while the enable is
+    /// high, holding when it falls (value stored on the 1→0 transition,
+    /// paper §2).
+    Latch,
+}
+
+impl StorageKind {
+    /// True if the cell holds state that a relocation must preserve.
+    pub fn is_sequential(&self) -> bool {
+        !matches!(self, StorageKind::None)
+    }
+}
+
+impl fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StorageKind::None => "comb",
+            StorageKind::FlipFlop => "ff",
+            StorageKind::Latch => "latch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How the storage element's clock/enable is driven — the paper's three
+/// implementation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ClockingClass {
+    /// Synchronous, clock always toggling, CE tied active.
+    #[default]
+    FreeRunning,
+    /// Synchronous, input acquisition gated by a clock-enable signal.
+    GatedClock,
+    /// Asynchronous transparent latch controlled by an input signal.
+    Asynchronous,
+}
+
+impl ClockingClass {
+    /// True if a relocation of this class requires the auxiliary relocation
+    /// circuit of Fig. 3 (state cannot be assumed to refresh on its own).
+    pub fn needs_auxiliary_circuit(&self) -> bool {
+        matches!(self, ClockingClass::GatedClock | ClockingClass::Asynchronous)
+    }
+}
+
+impl fmt::Display for ClockingClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ClockingClass::FreeRunning => "free-running",
+            ClockingClass::GatedClock => "gated-clock",
+            ClockingClass::Asynchronous => "asynchronous",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Behavioural model of one storage element, used by the simulator and by
+/// the readback path (Virtex frames capture FF state).
+///
+/// ```
+/// use rtm_fpga::storage::{StorageElement, StorageKind};
+/// let mut ff = StorageElement::new(StorageKind::FlipFlop);
+/// ff.clock_edge(true, true);   // D=1, CE=1, rising edge
+/// assert!(ff.q());
+/// ff.clock_edge(false, false); // CE=0: holds
+/// assert!(ff.q());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StorageElement {
+    kind: StorageKind,
+    state: bool,
+}
+
+impl StorageElement {
+    /// A storage element of the given kind, initial state 0 (the Virtex
+    /// power-up/GSR value unless INIT is set).
+    pub fn new(kind: StorageKind) -> Self {
+        StorageElement { kind, state: false }
+    }
+
+    /// The element kind.
+    pub fn kind(&self) -> StorageKind {
+        self.kind
+    }
+
+    /// Current stored value (Q output).
+    pub fn q(&self) -> bool {
+        self.state
+    }
+
+    /// Forces the stored value — models configuration-memory initialisation
+    /// and the state-capture write performed by the relocation procedure.
+    pub fn load(&mut self, value: bool) {
+        self.state = value;
+    }
+
+    /// Applies a rising clock edge with data `d` and clock-enable `ce`.
+    ///
+    /// No-op for combinational cells and for latches (latches use
+    /// [`StorageElement::latch_update`]).
+    pub fn clock_edge(&mut self, d: bool, ce: bool) {
+        if self.kind == StorageKind::FlipFlop && ce {
+            self.state = d;
+        }
+    }
+
+    /// Applies latch semantics: while `enable` is high the latch is
+    /// transparent (output follows `d`); the value present when `enable`
+    /// falls remains stored.
+    ///
+    /// No-op for non-latch cells.
+    pub fn latch_update(&mut self, d: bool, enable: bool) {
+        if self.kind == StorageKind::Latch && enable {
+            self.state = d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ff_respects_clock_enable() {
+        let mut ff = StorageElement::new(StorageKind::FlipFlop);
+        ff.clock_edge(true, false);
+        assert!(!ff.q(), "CE low must block capture");
+        ff.clock_edge(true, true);
+        assert!(ff.q());
+        ff.clock_edge(false, false);
+        assert!(ff.q(), "CE low must hold state");
+    }
+
+    #[test]
+    fn latch_transparent_when_enabled() {
+        let mut latch = StorageElement::new(StorageKind::Latch);
+        latch.latch_update(true, true);
+        assert!(latch.q());
+        latch.latch_update(false, true);
+        assert!(!latch.q());
+        latch.latch_update(true, false);
+        assert!(!latch.q(), "disabled latch must hold");
+    }
+
+    #[test]
+    fn comb_cell_ignores_all_updates() {
+        let mut c = StorageElement::new(StorageKind::None);
+        c.clock_edge(true, true);
+        c.latch_update(true, true);
+        assert!(!c.q());
+        assert!(!c.kind().is_sequential());
+    }
+
+    #[test]
+    fn load_overrides_state() {
+        let mut ff = StorageElement::new(StorageKind::FlipFlop);
+        ff.load(true);
+        assert!(ff.q());
+    }
+
+    #[test]
+    fn clocking_class_auxiliary_requirements() {
+        assert!(!ClockingClass::FreeRunning.needs_auxiliary_circuit());
+        assert!(ClockingClass::GatedClock.needs_auxiliary_circuit());
+        assert!(ClockingClass::Asynchronous.needs_auxiliary_circuit());
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(StorageKind::FlipFlop.to_string(), "ff");
+        assert_eq!(ClockingClass::GatedClock.to_string(), "gated-clock");
+    }
+}

@@ -1,0 +1,209 @@
+//! The JTAG port: instruction/data scans against a device, with exact
+//! TCK cycle accounting for the timing model.
+
+use crate::error::JtagError;
+use crate::instruction::{Instruction, IR_LENGTH};
+use crate::tap::{TapController, TapState};
+use rtm_bitstream::port::{ApplyReport, ConfigPort};
+use rtm_bitstream::readback::{build_readback_stream, readback, Readback};
+use rtm_fpga::config::FrameAddress;
+use rtm_fpga::part::Part;
+use rtm_fpga::Device;
+
+/// A single-device Boundary Scan chain with configuration access.
+///
+/// Every operation walks the real TAP state machine edge by edge, so
+/// [`JtagPort::tck_cycles`] is the exact cycle count a hardware cable
+/// would spend — the basis of the paper's 22.6 ms figure.
+#[derive(Debug)]
+pub struct JtagPort {
+    part: Part,
+    tap: TapController,
+    ir: Option<Instruction>,
+}
+
+impl JtagPort {
+    /// A port attached to a single device of type `part`, with the TAP
+    /// reset and parked in Run-Test/Idle.
+    pub fn new(part: Part) -> Self {
+        let mut tap = TapController::new();
+        tap.reset();
+        tap.step(false); // -> Run-Test/Idle
+        JtagPort { part, tap, ir: None }
+    }
+
+    /// The attached part.
+    pub fn part(&self) -> Part {
+        self.part
+    }
+
+    /// Total TCK cycles consumed since construction.
+    pub fn tck_cycles(&self) -> u64 {
+        self.tap.tck_cycles()
+    }
+
+    /// Resets the cycle counter by rebuilding the port (parked in RTI).
+    pub fn reset_accounting(&mut self) {
+        *self = JtagPort::new(self.part);
+    }
+
+    /// The currently loaded instruction.
+    pub fn instruction(&self) -> Option<Instruction> {
+        self.ir
+    }
+
+    /// Shifts an instruction into the IR.
+    pub fn load_instruction(&mut self, instr: Instruction) {
+        self.tap.goto(TapState::ShiftIr);
+        // IR_LENGTH bits: the last one is clocked on the Exit1 transition.
+        for _ in 0..IR_LENGTH - 1 {
+            self.tap.step(false);
+        }
+        self.tap.step(true); // last bit + Exit1-IR
+        self.tap.goto(TapState::RunTestIdle);
+        self.ir = Some(instr);
+    }
+
+    /// Shifts `bits` data bits through the selected DR and returns to
+    /// Run-Test/Idle. Returns the TCK cycles the scan consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JtagError::NoInstruction`] if no instruction is loaded.
+    pub fn scan_dr(&mut self, bits: usize) -> Result<u64, JtagError> {
+        if self.ir.is_none() {
+            return Err(JtagError::NoInstruction);
+        }
+        let before = self.tap.tck_cycles();
+        self.tap.goto(TapState::ShiftDr);
+        if bits > 0 {
+            for _ in 0..bits - 1 {
+                self.tap.step(false);
+            }
+            self.tap.step(true); // last bit + Exit1-DR
+        } else {
+            self.tap.step(true);
+        }
+        self.tap.goto(TapState::RunTestIdle);
+        Ok(self.tap.tck_cycles() - before)
+    }
+
+    /// Reads the 32-bit IDCODE register.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a well-formed part; the `Result` mirrors hardware
+    /// drivers.
+    pub fn read_idcode(&mut self) -> Result<u32, JtagError> {
+        self.load_instruction(Instruction::Idcode);
+        self.scan_dr(32)?;
+        Ok(self.part.idcode())
+    }
+
+    /// Plays a configuration word stream into `dev` through CFG_IN,
+    /// walking the TAP for every bit shifted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the packet processor.
+    pub fn configure(&mut self, words: &[u32], dev: &mut Device) -> Result<ApplyReport, JtagError> {
+        self.load_instruction(Instruction::CfgIn);
+        self.scan_dr(words.len() * 32)?;
+        let report = ConfigPort::new().apply(words, dev)?;
+        Ok(report)
+    }
+
+    /// Reads `count` frames starting at `start` through CFG_IN (command)
+    /// and CFG_OUT (data), accounting both scans.
+    ///
+    /// # Errors
+    ///
+    /// Propagates readback errors (overflow, bad addresses).
+    pub fn read_frames(
+        &mut self,
+        dev: &Device,
+        start: FrameAddress,
+        count: usize,
+    ) -> Result<Readback, JtagError> {
+        let cmd = build_readback_stream(dev.part(), start, count);
+        self.load_instruction(Instruction::CfgIn);
+        self.scan_dr(cmd.len() * 32)?;
+        let rb = readback(dev, start, count)?;
+        self.load_instruction(Instruction::CfgOut);
+        self.scan_dr(rb.words_shifted * 32)?;
+        Ok(rb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_bitstream::PartialBitstream;
+    use rtm_fpga::clb::Clb;
+    use rtm_fpga::geom::ClbCoord;
+    use rtm_fpga::lut::Lut;
+
+    #[test]
+    fn idcode_roundtrip() {
+        let mut port = JtagPort::new(Part::Xcv200);
+        assert_eq!(port.read_idcode().unwrap(), Part::Xcv200.idcode());
+        assert!(port.tck_cycles() > 32);
+    }
+
+    #[test]
+    fn scan_requires_instruction() {
+        let mut port = JtagPort::new(Part::Xcv50);
+        assert_eq!(port.scan_dr(8), Err(JtagError::NoInstruction));
+    }
+
+    #[test]
+    fn dr_scan_cycle_cost_is_linear_in_bits() {
+        let mut port = JtagPort::new(Part::Xcv50);
+        port.load_instruction(Instruction::Bypass);
+        let c100 = port.scan_dr(100).unwrap();
+        let c1100 = port.scan_dr(1100).unwrap();
+        assert_eq!(c1100 - c100, 1000, "each extra bit costs one TCK");
+    }
+
+    #[test]
+    fn configure_applies_and_counts_cycles() {
+        let mut src = Device::new(Part::Xcv50);
+        let mut clb = Clb::default();
+        clb.cells[0].lut = Lut::from_bits(0x0FF0);
+        src.set_clb(ClbCoord::new(1, 1), clb).unwrap();
+        let blank = Device::new(Part::Xcv50);
+        let p = PartialBitstream::diff(blank.config(), src.config()).unwrap();
+
+        let mut port = JtagPort::new(Part::Xcv50);
+        let before = port.tck_cycles();
+        let mut dst = Device::new(Part::Xcv50);
+        let report = port.configure(p.words(), &mut dst).unwrap();
+        assert_eq!(report.frames_written, p.frame_count());
+        let cycles = port.tck_cycles() - before;
+        assert!(
+            cycles as u64 >= p.len_bits(),
+            "must cost at least one TCK per stream bit ({cycles} vs {})",
+            p.len_bits()
+        );
+        assert_eq!(dst.clb(ClbCoord::new(1, 1)).unwrap(), &clb);
+    }
+
+    #[test]
+    fn readback_counts_in_and_out_scans() {
+        let dev = Device::new(Part::Xcv50);
+        let mut port = JtagPort::new(Part::Xcv50);
+        let before = port.tck_cycles();
+        let rb = port.read_frames(&dev, FrameAddress::clb(0, 0), 4).unwrap();
+        let cycles = port.tck_cycles() - before;
+        assert!(cycles as usize >= rb.words_shifted * 32 + rb.command_words * 32);
+    }
+
+    #[test]
+    fn reset_accounting_zeroes_counter() {
+        let mut port = JtagPort::new(Part::Xcv50);
+        port.read_idcode().unwrap();
+        port.reset_accounting();
+        // Fresh port costs only the initial reset+idle walk.
+        assert!(port.tck_cycles() <= 6);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for Boundary Scan operations.
+
+use rtm_bitstream::BitstreamError;
+use std::fmt;
+
+/// Errors raised by the Boundary Scan model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JtagError {
+    /// An operation required the TAP to be in Run-Test/Idle.
+    NotIdle {
+        /// The state the TAP was actually in.
+        state: String,
+    },
+    /// A data scan was attempted with no instruction loaded.
+    NoInstruction,
+    /// The loaded instruction does not support the attempted operation.
+    WrongInstruction {
+        /// The loaded instruction.
+        loaded: String,
+        /// The instruction the operation requires.
+        required: String,
+    },
+    /// An underlying bitstream/configuration error.
+    Bitstream(BitstreamError),
+}
+
+impl fmt::Display for JtagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JtagError::NotIdle { state } => {
+                write!(f, "tap not in run-test/idle (in {state})")
+            }
+            JtagError::NoInstruction => write!(f, "no instruction loaded"),
+            JtagError::WrongInstruction { loaded, required } => {
+                write!(f, "instruction {loaded} loaded, {required} required")
+            }
+            JtagError::Bitstream(e) => write!(f, "configuration error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JtagError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JtagError::Bitstream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BitstreamError> for JtagError {
+    fn from(e: BitstreamError) -> Self {
+        JtagError::Bitstream(e)
+    }
+}
+
+impl From<rtm_fpga::FpgaError> for JtagError {
+    fn from(e: rtm_fpga::FpgaError) -> Self {
+        JtagError::Bitstream(BitstreamError::Fpga(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            JtagError::NotIdle { state: "ShiftDr".into() },
+            JtagError::NoInstruction,
+            JtagError::WrongInstruction { loaded: "IDCODE".into(), required: "CFG_IN".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Virtex JTAG instruction register encodings.
+
+use std::fmt;
+
+/// Length of the Virtex instruction register, in bits.
+pub const IR_LENGTH: usize = 5;
+
+/// JTAG instructions relevant to configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Shift the 32-bit device identification register.
+    Idcode,
+    /// Shift configuration data *into* the packet processor.
+    CfgIn,
+    /// Shift configuration/readback data *out of* the device.
+    CfgOut,
+    /// Start-up sequencing after configuration.
+    Jstart,
+    /// One-bit bypass register.
+    Bypass,
+    /// Sample/preload of the boundary register.
+    SamplePreload,
+}
+
+impl Instruction {
+    /// The 5-bit IR encoding (Virtex values).
+    pub fn code(self) -> u8 {
+        match self {
+            Instruction::Idcode => 0b01001,
+            Instruction::CfgIn => 0b00101,
+            Instruction::CfgOut => 0b00100,
+            Instruction::Jstart => 0b01100,
+            Instruction::Bypass => 0b11111,
+            Instruction::SamplePreload => 0b00001,
+        }
+    }
+
+    /// Decodes an IR value.
+    pub fn from_code(code: u8) -> Option<Instruction> {
+        Some(match code {
+            0b01001 => Instruction::Idcode,
+            0b00101 => Instruction::CfgIn,
+            0b00100 => Instruction::CfgOut,
+            0b01100 => Instruction::Jstart,
+            0b11111 => Instruction::Bypass,
+            0b00001 => Instruction::SamplePreload,
+            _ => return None,
+        })
+    }
+
+    /// Length of the data register this instruction selects, in bits;
+    /// `None` for variable-length registers (CFG_IN / CFG_OUT).
+    pub fn dr_length(self) -> Option<usize> {
+        match self {
+            Instruction::Idcode => Some(32),
+            Instruction::Bypass => Some(1),
+            Instruction::Jstart => Some(1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Instruction::Idcode => "IDCODE",
+            Instruction::CfgIn => "CFG_IN",
+            Instruction::CfgOut => "CFG_OUT",
+            Instruction::Jstart => "JSTART",
+            Instruction::Bypass => "BYPASS",
+            Instruction::SamplePreload => "SAMPLE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for i in [
+            Instruction::Idcode,
+            Instruction::CfgIn,
+            Instruction::CfgOut,
+            Instruction::Jstart,
+            Instruction::Bypass,
+            Instruction::SamplePreload,
+        ] {
+            assert_eq!(Instruction::from_code(i.code()), Some(i));
+            assert!(i.code() < 1 << IR_LENGTH);
+        }
+        assert_eq!(Instruction::from_code(0b11110), None);
+    }
+
+    #[test]
+    fn dr_lengths() {
+        assert_eq!(Instruction::Idcode.dr_length(), Some(32));
+        assert_eq!(Instruction::Bypass.dr_length(), Some(1));
+        assert_eq!(Instruction::CfgIn.dr_length(), None);
+    }
+}

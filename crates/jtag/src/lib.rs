@@ -1,0 +1,43 @@
+//! # rtm-jtag
+//!
+//! IEEE 1149.1 (Boundary Scan / JTAG) model: the 16-state TAP controller,
+//! instruction and data scans, the Virtex configuration instructions
+//! (CFG_IN / CFG_OUT), and a cycle-exact timing model.
+//!
+//! The paper performs every reconfiguration through this interface: "the
+//! average relocation time of each CLB implementing synchronous
+//! gated-clock circuits is about 22.6 ms, when the Boundary Scan
+//! infrastructure is used to perform the reconfiguration, at a test clock
+//! frequency of 20 MHz" (§2). The timing model here — TCK cycles counted
+//! by an explicitly stepped TAP state machine — is what the `rtm-core`
+//! cost model multiplies out to reproduce that number.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtm_jtag::{JtagPort, Instruction, timing::ConfigInterface};
+//! use rtm_fpga::{Device, part::Part};
+//!
+//! # fn main() -> Result<(), rtm_jtag::JtagError> {
+//! let mut port = JtagPort::new(Part::Xcv200);
+//! let idcode = port.read_idcode()?;
+//! assert_eq!(idcode, Part::Xcv200.idcode());
+//!
+//! // Cycle accounting feeds the timing model.
+//! let iface = ConfigInterface::boundary_scan(20_000_000);
+//! let secs = iface.transfer_seconds(port.tck_cycles());
+//! assert!(secs > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod chain;
+pub mod error;
+pub mod instruction;
+pub mod tap;
+pub mod timing;
+
+pub use chain::JtagPort;
+pub use error::JtagError;
+pub use instruction::Instruction;
+pub use tap::{TapController, TapState};

@@ -1,0 +1,267 @@
+//! The IEEE 1149.1 TAP controller: the 16-state state machine every
+//! Boundary Scan operation walks through, with TCK cycle accounting.
+
+use std::fmt;
+
+/// The sixteen TAP controller states of IEEE 1149.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TapState {
+    /// Test-Logic-Reset: entered by five TMS=1 clocks from anywhere.
+    TestLogicReset,
+    /// Run-Test/Idle.
+    RunTestIdle,
+    /// Select-DR-Scan.
+    SelectDrScan,
+    /// Capture-DR.
+    CaptureDr,
+    /// Shift-DR.
+    ShiftDr,
+    /// Exit1-DR.
+    Exit1Dr,
+    /// Pause-DR.
+    PauseDr,
+    /// Exit2-DR.
+    Exit2Dr,
+    /// Update-DR.
+    UpdateDr,
+    /// Select-IR-Scan.
+    SelectIrScan,
+    /// Capture-IR.
+    CaptureIr,
+    /// Shift-IR.
+    ShiftIr,
+    /// Exit1-IR.
+    Exit1Ir,
+    /// Pause-IR.
+    PauseIr,
+    /// Exit2-IR.
+    Exit2Ir,
+    /// Update-IR.
+    UpdateIr,
+}
+
+impl TapState {
+    /// The state entered on a rising TCK edge with the given TMS level.
+    pub fn next(self, tms: bool) -> TapState {
+        use TapState::*;
+        match (self, tms) {
+            (TestLogicReset, true) => TestLogicReset,
+            (TestLogicReset, false) => RunTestIdle,
+            (RunTestIdle, true) => SelectDrScan,
+            (RunTestIdle, false) => RunTestIdle,
+            (SelectDrScan, true) => SelectIrScan,
+            (SelectDrScan, false) => CaptureDr,
+            (CaptureDr, true) => Exit1Dr,
+            (CaptureDr, false) => ShiftDr,
+            (ShiftDr, true) => Exit1Dr,
+            (ShiftDr, false) => ShiftDr,
+            (Exit1Dr, true) => UpdateDr,
+            (Exit1Dr, false) => PauseDr,
+            (PauseDr, true) => Exit2Dr,
+            (PauseDr, false) => PauseDr,
+            (Exit2Dr, true) => UpdateDr,
+            (Exit2Dr, false) => ShiftDr,
+            (UpdateDr, true) => SelectDrScan,
+            (UpdateDr, false) => RunTestIdle,
+            (SelectIrScan, true) => TestLogicReset,
+            (SelectIrScan, false) => CaptureIr,
+            (CaptureIr, true) => Exit1Ir,
+            (CaptureIr, false) => ShiftIr,
+            (ShiftIr, true) => Exit1Ir,
+            (ShiftIr, false) => ShiftIr,
+            (Exit1Ir, true) => UpdateIr,
+            (Exit1Ir, false) => PauseIr,
+            (PauseIr, true) => Exit2Ir,
+            (PauseIr, false) => PauseIr,
+            (Exit2Ir, true) => UpdateIr,
+            (Exit2Ir, false) => ShiftIr,
+            (UpdateIr, true) => SelectDrScan,
+            (UpdateIr, false) => RunTestIdle,
+        }
+    }
+}
+
+impl fmt::Display for TapState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A TAP controller instance with TCK accounting.
+///
+/// ```
+/// use rtm_jtag::{TapController, TapState};
+/// let mut tap = TapController::new();
+/// assert_eq!(tap.state(), TapState::TestLogicReset);
+/// tap.step(false); // -> Run-Test/Idle
+/// assert_eq!(tap.state(), TapState::RunTestIdle);
+/// assert_eq!(tap.tck_cycles(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapController {
+    state: TapState,
+    tck: u64,
+}
+
+impl Default for TapController {
+    fn default() -> Self {
+        TapController::new()
+    }
+}
+
+impl TapController {
+    /// A controller in Test-Logic-Reset (power-up state).
+    pub fn new() -> Self {
+        TapController { state: TapState::TestLogicReset, tck: 0 }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TapState {
+        self.state
+    }
+
+    /// TCK cycles consumed so far.
+    pub fn tck_cycles(&self) -> u64 {
+        self.tck
+    }
+
+    /// Applies one TCK rising edge with the given TMS level.
+    pub fn step(&mut self, tms: bool) -> TapState {
+        self.state = self.state.next(tms);
+        self.tck += 1;
+        self.state
+    }
+
+    /// Drives the TAP to Test-Logic-Reset (five TMS=1 clocks).
+    pub fn reset(&mut self) {
+        for _ in 0..5 {
+            self.step(true);
+        }
+        debug_assert_eq!(self.state, TapState::TestLogicReset);
+    }
+
+    /// Walks the shortest TMS path from the current state to `target`,
+    /// returning the number of cycles used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is unreachable within 16 steps (cannot happen:
+    /// the TAP graph has diameter < 16).
+    pub fn goto(&mut self, target: TapState) -> u64 {
+        let before = self.tck;
+        // BFS over the 16-state graph for the shortest TMS sequence.
+        if self.state == target {
+            return 0;
+        }
+        let path = shortest_path(self.state, target);
+        for tms in path {
+            self.step(tms);
+        }
+        self.tck - before
+    }
+}
+
+fn shortest_path(from: TapState, to: TapState) -> Vec<bool> {
+    use std::collections::{HashMap, VecDeque};
+    let mut prev: HashMap<TapState, (TapState, bool)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    while let Some(s) = queue.pop_front() {
+        if s == to {
+            break;
+        }
+        for tms in [false, true] {
+            let n = s.next(tms);
+            if n != from && !prev.contains_key(&n) {
+                prev.insert(n, (s, tms));
+                queue.push_back(n);
+            }
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let (p, tms) = prev[&cur];
+        path.push(tms);
+        cur = p;
+    }
+    path.reverse();
+    assert!(path.len() < 16, "tap path unexpectedly long");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TapState::*;
+
+    #[test]
+    fn five_tms_ones_reset_from_anywhere() {
+        // From every reachable state, five TMS=1 edges land in TLR.
+        let all = [
+            TestLogicReset, RunTestIdle, SelectDrScan, CaptureDr, ShiftDr, Exit1Dr, PauseDr,
+            Exit2Dr, UpdateDr, SelectIrScan, CaptureIr, ShiftIr, Exit1Ir, PauseIr, Exit2Ir,
+            UpdateIr,
+        ];
+        for start in all {
+            let mut s = start;
+            for _ in 0..5 {
+                s = s.next(true);
+            }
+            assert_eq!(s, TestLogicReset, "from {start}");
+        }
+    }
+
+    #[test]
+    fn canonical_ir_scan_path() {
+        let mut tap = TapController::new();
+        tap.step(false); // RTI
+        for (tms, expect) in [
+            (true, SelectDrScan),
+            (true, SelectIrScan),
+            (false, CaptureIr),
+            (false, ShiftIr),
+        ] {
+            assert_eq!(tap.step(tms), expect);
+        }
+        // Shift a few bits, exit, update, back to idle.
+        tap.step(false);
+        tap.step(false);
+        assert_eq!(tap.state(), ShiftIr);
+        assert_eq!(tap.step(true), Exit1Ir);
+        assert_eq!(tap.step(true), UpdateIr);
+        assert_eq!(tap.step(false), RunTestIdle);
+    }
+
+    #[test]
+    fn goto_reaches_every_state() {
+        let all = [
+            RunTestIdle, SelectDrScan, CaptureDr, ShiftDr, Exit1Dr, PauseDr, Exit2Dr, UpdateDr,
+            SelectIrScan, CaptureIr, ShiftIr, Exit1Ir, PauseIr, Exit2Ir, UpdateIr, TestLogicReset,
+        ];
+        for target in all {
+            let mut tap = TapController::new();
+            tap.goto(target);
+            assert_eq!(tap.state(), target);
+        }
+    }
+
+    #[test]
+    fn goto_is_cycle_minimal_for_known_paths() {
+        let mut tap = TapController::new();
+        tap.goto(RunTestIdle);
+        let c = tap.tck_cycles();
+        assert_eq!(c, 1, "TLR -> RTI is one TMS=0 edge");
+        let used = tap.goto(ShiftDr);
+        assert_eq!(used, 3, "RTI -> SelectDR -> CaptureDR -> ShiftDR");
+    }
+
+    #[test]
+    fn cycle_accounting_accumulates() {
+        let mut tap = TapController::new();
+        tap.reset();
+        assert_eq!(tap.tck_cycles(), 5);
+        tap.step(false);
+        assert_eq!(tap.tck_cycles(), 6);
+    }
+}

@@ -1,0 +1,123 @@
+//! Configuration-interface timing: turning cycle counts into wall time.
+//!
+//! The paper's headline cost — 22.6 ms per gated-clock CLB relocation —
+//! is a property of the *interface*: the Boundary Scan port shifts one bit
+//! per TCK at 20 MHz. The same frame traffic through a SelectMAP-style
+//! 8-bit parallel port is ~20× faster; [`ConfigInterface`] models both so
+//! the benches can sweep them (DESIGN.md ablation 5).
+
+use std::fmt;
+
+/// A configuration interface with its clock rate and per-clock payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigInterface {
+    /// IEEE 1149.1 Boundary Scan: 1 bit per TCK.
+    BoundaryScan {
+        /// Test clock frequency in Hz (the paper uses 20 MHz).
+        tck_hz: u64,
+    },
+    /// SelectMAP-style parallel port: 8 bits per CCLK.
+    SelectMap {
+        /// Configuration clock frequency in Hz.
+        cclk_hz: u64,
+    },
+}
+
+impl ConfigInterface {
+    /// Boundary Scan at `tck_hz`.
+    pub fn boundary_scan(tck_hz: u64) -> Self {
+        ConfigInterface::BoundaryScan { tck_hz }
+    }
+
+    /// The paper's configuration: Boundary Scan at 20 MHz.
+    pub fn paper_default() -> Self {
+        ConfigInterface::BoundaryScan { tck_hz: 20_000_000 }
+    }
+
+    /// SelectMAP at `cclk_hz`.
+    pub fn select_map(cclk_hz: u64) -> Self {
+        ConfigInterface::SelectMap { cclk_hz }
+    }
+
+    /// Bits transferred per interface clock.
+    pub fn bits_per_clock(&self) -> u64 {
+        match self {
+            ConfigInterface::BoundaryScan { .. } => 1,
+            ConfigInterface::SelectMap { .. } => 8,
+        }
+    }
+
+    /// Interface clock in Hz.
+    pub fn clock_hz(&self) -> u64 {
+        match self {
+            ConfigInterface::BoundaryScan { tck_hz } => *tck_hz,
+            ConfigInterface::SelectMap { cclk_hz } => *cclk_hz,
+        }
+    }
+
+    /// Clock cycles needed to move `bits` payload bits.
+    pub fn cycles_for_bits(&self, bits: u64) -> u64 {
+        bits.div_ceil(self.bits_per_clock())
+    }
+
+    /// Wall-clock seconds for `cycles` interface clocks.
+    pub fn transfer_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz() as f64
+    }
+
+    /// Wall-clock seconds to move `bits` payload bits.
+    pub fn seconds_for_bits(&self, bits: u64) -> f64 {
+        self.transfer_seconds(self.cycles_for_bits(bits))
+    }
+}
+
+impl fmt::Display for ConfigInterface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigInterface::BoundaryScan { tck_hz } => {
+                write!(f, "BoundaryScan@{:.1}MHz", *tck_hz as f64 / 1e6)
+            }
+            ConfigInterface::SelectMap { cclk_hz } => {
+                write!(f, "SelectMAP@{:.1}MHz", *cclk_hz as f64 / 1e6)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_20mhz_boundary_scan() {
+        let i = ConfigInterface::paper_default();
+        assert_eq!(i.clock_hz(), 20_000_000);
+        assert_eq!(i.bits_per_clock(), 1);
+    }
+
+    #[test]
+    fn boundary_scan_bit_per_cycle() {
+        let i = ConfigInterface::boundary_scan(20_000_000);
+        assert_eq!(i.cycles_for_bits(1000), 1000);
+        let t = i.seconds_for_bits(20_000_000);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectmap_is_8x_denser() {
+        let bs = ConfigInterface::boundary_scan(20_000_000);
+        let sm = ConfigInterface::select_map(20_000_000);
+        assert_eq!(sm.cycles_for_bits(1600), bs.cycles_for_bits(1600) / 8);
+    }
+
+    #[test]
+    fn ceil_division_on_partial_bytes() {
+        let sm = ConfigInterface::select_map(1);
+        assert_eq!(sm.cycles_for_bits(9), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ConfigInterface::paper_default().to_string(), "BoundaryScan@20.0MHz");
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for netlist construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building, validating or mapping netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A node referenced an id that does not exist.
+    DanglingRef {
+        /// The referencing node.
+        node: u32,
+        /// The missing id.
+        target: u32,
+    },
+    /// A gate has the wrong number of fan-ins for its kind.
+    BadArity {
+        /// The offending node.
+        node: u32,
+        /// What the gate kind requires (textual, e.g. "exactly 1").
+        expected: String,
+        /// What was provided.
+        actual: usize,
+    },
+    /// A storage element was left without a data input.
+    UnwiredStorage {
+        /// The offending node.
+        node: u32,
+    },
+    /// The combinational part contains a cycle (through the listed node).
+    CombinationalCycle {
+        /// A node on the cycle.
+        node: u32,
+    },
+    /// Simulation was driven with the wrong number of primary inputs.
+    InputWidthMismatch {
+        /// Inputs the netlist declares.
+        expected: usize,
+        /// Inputs provided.
+        actual: usize,
+    },
+    /// Technology mapping hit a gate with more than 4 inputs after
+    /// decomposition (internal invariant violation).
+    MapArity {
+        /// The offending node.
+        node: u32,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DanglingRef { node, target } => {
+                write!(f, "node {node} references missing node {target}")
+            }
+            NetlistError::BadArity { node, expected, actual } => {
+                write!(f, "node {node} has {actual} fan-ins, expected {expected}")
+            }
+            NetlistError::UnwiredStorage { node } => {
+                write!(f, "storage node {node} has no data input")
+            }
+            NetlistError::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through node {node}")
+            }
+            NetlistError::InputWidthMismatch { expected, actual } => {
+                write!(f, "expected {expected} primary inputs, got {actual}")
+            }
+            NetlistError::MapArity { node } => {
+                write!(f, "node {node} still exceeds 4 inputs after decomposition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            NetlistError::DanglingRef { node: 1, target: 9 },
+            NetlistError::BadArity { node: 1, expected: "exactly 1".into(), actual: 3 },
+            NetlistError::UnwiredStorage { node: 2 },
+            NetlistError::CombinationalCycle { node: 3 },
+            NetlistError::InputWidthMismatch { expected: 2, actual: 1 },
+            NetlistError::MapArity { node: 4 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

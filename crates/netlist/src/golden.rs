@@ -1,0 +1,296 @@
+//! The golden-model simulator: cycle-accurate netlist semantics.
+//!
+//! Relocation transparency is judged against this oracle: the device-level
+//! simulation of a placed circuit must match the golden model cycle for
+//! cycle — before, during and after a relocation.
+
+use crate::error::NetlistError;
+use crate::ir::{Netlist, NodeId, NodeKind};
+
+/// Cycle-accurate simulator over a [`Netlist`].
+///
+/// Per call to [`GoldenSim::step`]:
+/// 1. primary inputs are applied,
+/// 2. the combinational part is evaluated in topological order,
+/// 3. flip-flops capture on the (implicit) rising clock edge if their CE
+///    is active,
+/// 4. latches update transparently where their enable is high.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct GoldenSim<'a> {
+    netlist: &'a Netlist,
+    order: Vec<NodeId>,
+    values: Vec<bool>,
+    cycle: u64,
+}
+
+impl<'a> GoldenSim<'a> {
+    /// Builds a simulator; storage elements start at their `init` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist does not validate — construct only from
+    /// validated netlists.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        netlist.validate().expect("golden sim requires a valid netlist");
+        let order = netlist.topo_order().expect("validated netlist has a topo order");
+        let mut values = vec![false; netlist.len()];
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            match node {
+                NodeKind::Ff { init, .. } | NodeKind::Latch { init, .. } => values[i] = *init,
+                _ => {}
+            }
+        }
+        GoldenSim { netlist, order, values, cycle: 0 }
+    }
+
+    /// The number of clock cycles simulated.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current value of any node.
+    pub fn value(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// Current primary-output values, in declaration order.
+    pub fn outputs(&self) -> Vec<bool> {
+        self.netlist.outputs().iter().map(|(_, id)| self.value(*id)).collect()
+    }
+
+    /// Current storage-element values (FFs and latches), in node order.
+    pub fn state(&self) -> Vec<bool> {
+        self.netlist
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_sequential())
+            .map(|(i, _)| self.values[i])
+            .collect()
+    }
+
+    /// Forces a storage element's value (used to check state-transfer
+    /// scenarios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a storage node.
+    pub fn load_state(&mut self, id: NodeId, value: bool) {
+        assert!(
+            self.netlist.node(id).is_sequential(),
+            "{id} is not a storage element"
+        );
+        self.values[id.index()] = value;
+    }
+
+    /// Evaluates the combinational part for the given inputs without
+    /// advancing the clock (useful to inspect next-state logic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` has the
+    /// wrong width.
+    pub fn settle(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
+        let expected = self.netlist.inputs().len();
+        if inputs.len() != expected {
+            return Err(NetlistError::InputWidthMismatch { expected, actual: inputs.len() });
+        }
+        for (id, v) in self.netlist.inputs().iter().zip(inputs) {
+            self.values[id.index()] = *v;
+        }
+        for id in &self.order {
+            if let NodeKind::Gate { kind, fanin } = self.netlist.node(*id) {
+                let vals: Vec<bool> = fanin.iter().map(|f| self.values[f.index()]).collect();
+                self.values[id.index()] = kind.eval(&vals);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies inputs, settles combinational logic, then clocks storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` has the
+    /// wrong width.
+    pub fn step(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
+        self.settle(inputs)?;
+        // Capture all storage inputs before updating any (simultaneous
+        // edge semantics).
+        let mut updates: Vec<(usize, bool)> = Vec::new();
+        for (i, node) in self.netlist.nodes().iter().enumerate() {
+            match node {
+                NodeKind::Ff { d, ce, .. } => {
+                    let ce_on = ce.map(|c| self.values[c.index()]).unwrap_or(true);
+                    if ce_on {
+                        let d = d.expect("validated");
+                        updates.push((i, self.values[d.index()]));
+                    }
+                }
+                NodeKind::Latch { d, en, .. } => {
+                    let en_on = en.map(|c| self.values[c.index()]).unwrap_or(false);
+                    if en_on {
+                        let d = d.expect("validated");
+                        updates.push((i, self.values[d.index()]));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (i, v) in updates {
+            self.values[i] = v;
+        }
+        // Re-settle the combinational part so sampled outputs reflect the
+        // post-edge state (the value a register or pad would see just
+        // before the next edge).
+        for id in &self.order {
+            if let NodeKind::Gate { kind, fanin } = self.netlist.node(*id) {
+                let vals: Vec<bool> = fanin.iter().map(|f| self.values[f.index()]).collect();
+                self.values[id.index()] = kind.eval(&vals);
+            }
+        }
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Runs `steps` cycles with inputs produced by `stim(cycle)` and
+    /// returns the output trace (one vector per cycle, sampled *after*
+    /// the clock edge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if the stimulus width
+    /// is wrong.
+    pub fn run<F: FnMut(u64) -> Vec<bool>>(
+        &mut self,
+        steps: u64,
+        mut stim: F,
+    ) -> Result<Vec<Vec<bool>>, NetlistError> {
+        let mut trace = Vec::with_capacity(steps as usize);
+        for _ in 0..steps {
+            let inputs = stim(self.cycle);
+            self.step(&inputs)?;
+            trace.push(self.outputs());
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::GateKind;
+
+    fn toggler() -> Netlist {
+        let mut n = Netlist::new("toggle");
+        let q = n.add_ff_ce(None, None, false);
+        let inv = n.add_gate(GateKind::Not, &[q]);
+        n.set_ff_input(q, inv, None);
+        n.add_output("q", q);
+        n
+    }
+
+    #[test]
+    fn free_running_toggle() {
+        let n = toggler();
+        let mut sim = GoldenSim::new(&n);
+        assert_eq!(sim.outputs(), vec![false]);
+        sim.step(&[]).unwrap();
+        assert_eq!(sim.outputs(), vec![true]);
+        sim.step(&[]).unwrap();
+        assert_eq!(sim.outputs(), vec![false]);
+        assert_eq!(sim.cycle(), 2);
+    }
+
+    #[test]
+    fn gated_ff_holds_when_ce_low() {
+        let mut n = Netlist::new("gated");
+        let ce = n.add_input("ce");
+        let q = n.add_ff_ce(None, None, false);
+        let inv = n.add_gate(GateKind::Not, &[q]);
+        n.set_ff_input(q, inv, Some(ce));
+        n.add_output("q", q);
+        let mut sim = GoldenSim::new(&n);
+        sim.step(&[false]).unwrap();
+        assert_eq!(sim.outputs(), vec![false], "held");
+        sim.step(&[true]).unwrap();
+        assert_eq!(sim.outputs(), vec![true], "toggled");
+        sim.step(&[false]).unwrap();
+        assert_eq!(sim.outputs(), vec![true], "held again");
+    }
+
+    #[test]
+    fn latch_transparent_only_when_enabled() {
+        let mut n = Netlist::new("latch");
+        let d = n.add_input("d");
+        let en = n.add_input("en");
+        let q = n.add_latch(None, None, false);
+        n.set_latch_input(q, d, en);
+        n.add_output("q", q);
+        let mut sim = GoldenSim::new(&n);
+        sim.step(&[true, false]).unwrap();
+        assert_eq!(sim.outputs(), vec![false], "opaque");
+        sim.step(&[true, true]).unwrap();
+        assert_eq!(sim.outputs(), vec![true], "captured");
+        sim.step(&[false, false]).unwrap();
+        assert_eq!(sim.outputs(), vec![true], "held on enable fall");
+    }
+
+    #[test]
+    fn settle_does_not_clock() {
+        let n = toggler();
+        let mut sim = GoldenSim::new(&n);
+        sim.settle(&[]).unwrap();
+        sim.settle(&[]).unwrap();
+        assert_eq!(sim.outputs(), vec![false]);
+        assert_eq!(sim.cycle(), 0);
+    }
+
+    #[test]
+    fn input_width_checked() {
+        let n = toggler();
+        let mut sim = GoldenSim::new(&n);
+        assert!(matches!(
+            sim.step(&[true]),
+            Err(NetlistError::InputWidthMismatch { expected: 0, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn load_state_overrides() {
+        let n = toggler();
+        let mut sim = GoldenSim::new(&n);
+        let ff = NodeId(0);
+        sim.load_state(ff, true);
+        assert_eq!(sim.outputs(), vec![true]);
+    }
+
+    #[test]
+    fn run_produces_trace() {
+        let n = toggler();
+        let mut sim = GoldenSim::new(&n);
+        let trace = sim.run(4, |_| vec![]).unwrap();
+        assert_eq!(trace, vec![vec![true], vec![false], vec![true], vec![false]]);
+    }
+
+    #[test]
+    fn simultaneous_update_semantics() {
+        // Two FFs swapping values must not see each other's new value.
+        let mut n = Netlist::new("swap");
+        let a = n.add_ff_ce(None, None, true);
+        let b = n.add_ff_ce(None, None, false);
+        let buf_a = n.add_gate(GateKind::Buf, &[a]);
+        let buf_b = n.add_gate(GateKind::Buf, &[b]);
+        n.set_ff_input(a, buf_b, None);
+        n.set_ff_input(b, buf_a, None);
+        n.add_output("a", a);
+        n.add_output("b", b);
+        let mut sim = GoldenSim::new(&n);
+        sim.step(&[]).unwrap();
+        assert_eq!(sim.outputs(), vec![false, true]);
+        sim.step(&[]).unwrap();
+        assert_eq!(sim.outputs(), vec![true, false]);
+    }
+}

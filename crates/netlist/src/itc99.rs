@@ -1,0 +1,190 @@
+//! Synthetic ITC'99-style benchmark circuits.
+//!
+//! The paper validates relocation on "circuits from the ITC'99 Benchmark
+//! Circuits from the Politécnico di Torino implemented in a Virtex
+//! XCV200" (§2), which "are purely synchronous with only one single-phase
+//! clock signal". The originals are RT-level VHDL; building a VHDL
+//! frontend is out of scope, so this module generates *synthetic
+//! equivalents*: deterministic FSM-style circuits whose primary-input,
+//! primary-output and flip-flop counts match the published b01–b15
+//! characteristics, with combinational clouds of comparable size. The
+//! relocation experiments only depend on these structural properties
+//! (number and connectivity of live CLBs), not on the circuits' semantics.
+//!
+//! Every circuit is generated in two variants: the paper's free-running
+//! class and a gated-clock class (clock-enable derived from an extra
+//! input), so the Fig. 2 and Fig. 3 experiments can run the same suite.
+
+use crate::ir::Netlist;
+use crate::random::RandomCircuit;
+use std::fmt;
+
+/// Published structural characteristics of an ITC'99 circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Itc99Profile {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Primary inputs (excluding clock/reset).
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Flip-flops.
+    pub ffs: usize,
+    /// Approximate gate count of the synthesised circuit.
+    pub gates: usize,
+}
+
+/// The ITC'99 suite subset used by the experiments (b01–b10, the sizes
+/// that fit comfortably on an XCV200 alongside free space to relocate
+/// into, plus the larger b11–b13 for stress runs).
+pub const PROFILES: [Itc99Profile; 13] = [
+    Itc99Profile { name: "b01", inputs: 2, outputs: 2, ffs: 5, gates: 45 },
+    Itc99Profile { name: "b02", inputs: 1, outputs: 1, ffs: 4, gates: 25 },
+    Itc99Profile { name: "b03", inputs: 4, outputs: 4, ffs: 30, gates: 150 },
+    Itc99Profile { name: "b04", inputs: 11, outputs: 8, ffs: 66, gates: 480 },
+    Itc99Profile { name: "b05", inputs: 1, outputs: 36, ffs: 34, gates: 608 },
+    Itc99Profile { name: "b06", inputs: 2, outputs: 6, ffs: 9, gates: 56 },
+    Itc99Profile { name: "b07", inputs: 1, outputs: 8, ffs: 49, gates: 420 },
+    Itc99Profile { name: "b08", inputs: 9, outputs: 4, ffs: 21, gates: 168 },
+    Itc99Profile { name: "b09", inputs: 1, outputs: 1, ffs: 28, gates: 159 },
+    Itc99Profile { name: "b10", inputs: 11, outputs: 6, ffs: 17, gates: 189 },
+    Itc99Profile { name: "b11", inputs: 7, outputs: 6, ffs: 31, gates: 366 },
+    Itc99Profile { name: "b12", inputs: 5, outputs: 6, ffs: 121, gates: 1000 },
+    Itc99Profile { name: "b13", inputs: 10, outputs: 10, ffs: 53, gates: 339 },
+];
+
+/// Clocking variant to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Variant {
+    /// Single free-running clock — the class the paper's ITC'99 runs use.
+    #[default]
+    FreeRunning,
+    /// Clock-enable driven storage (Fig. 3 experiments).
+    GatedClock,
+    /// Transparent-latch storage (asynchronous class).
+    Asynchronous,
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Variant::FreeRunning => "free",
+            Variant::GatedClock => "gated",
+            Variant::Asynchronous => "async",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Looks up a profile by name (`"b01"` … `"b13"`).
+pub fn profile(name: &str) -> Option<Itc99Profile> {
+    PROFILES.iter().find(|p| p.name == name).copied()
+}
+
+/// Generates the synthetic circuit for `profile` in the given variant.
+///
+/// Generation is deterministic: the same profile and variant always yield
+/// the same netlist.
+pub fn generate(profile: Itc99Profile, variant: Variant) -> Netlist {
+    // Seed derived from the name so every benchmark is distinct but
+    // reproducible.
+    let seed = profile
+        .name
+        .bytes()
+        .fold(0xB99u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
+        ^ match variant {
+            Variant::FreeRunning => 0,
+            Variant::GatedClock => 0x1000,
+            Variant::Asynchronous => 0x2000,
+        };
+    let (gated_fraction, latch_fraction) = match variant {
+        Variant::FreeRunning => (0.0, 0.0),
+        Variant::GatedClock => (1.0, 0.0),
+        Variant::Asynchronous => (0.0, 1.0),
+    };
+    let params = RandomCircuit {
+        name: format!("{}_{variant}", profile.name),
+        inputs: profile.inputs.max(1),
+        outputs: profile.outputs.max(1),
+        ffs: profile.ffs,
+        gates: profile.gates,
+        gated_fraction,
+        latch_fraction,
+        seed,
+    };
+    params.generate()
+}
+
+/// Generates the full free-running suite b01–b10 (the paper's experiment
+/// set).
+pub fn paper_suite() -> Vec<Netlist> {
+    PROFILES[..10].iter().map(|p| generate(*p, Variant::FreeRunning)).collect()
+}
+
+/// Generates the gated-clock variants of b01–b10 (Fig. 3 experiments).
+pub fn gated_suite() -> Vec<Netlist> {
+    PROFILES[..10].iter().map(|p| generate(*p, Variant::GatedClock)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::GoldenSim;
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn all_profiles_generate_valid_circuits() {
+        for p in PROFILES {
+            for v in [Variant::FreeRunning, Variant::GatedClock, Variant::Asynchronous] {
+                let n = generate(p, v);
+                n.validate().unwrap_or_else(|e| panic!("{} {v}: {e}", p.name));
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_match_published_profiles() {
+        for p in PROFILES {
+            let n = generate(p, Variant::FreeRunning);
+            let s = NetlistStats::of(&n);
+            assert_eq!(s.ffs, p.ffs, "{}", p.name);
+            assert_eq!(s.gates, p.gates, "{}", p.name);
+            assert_eq!(s.inputs, p.inputs.max(1), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(PROFILES[0], Variant::FreeRunning);
+        let b = generate(PROFILES[0], Variant::FreeRunning);
+        assert_eq!(a, b);
+        let c = generate(PROFILES[0], Variant::GatedClock);
+        assert_ne!(a, c, "variants differ");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(profile("b05").unwrap().ffs, 34);
+        assert!(profile("b99").is_none());
+    }
+
+    #[test]
+    fn paper_suite_is_b01_to_b10() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 10);
+        assert_eq!(suite[0].name(), "b01_free");
+        assert_eq!(suite[9].name(), "b10_free");
+    }
+
+    #[test]
+    fn suite_circuits_simulate_100_cycles() {
+        for n in paper_suite().iter().take(4) {
+            let width = n.inputs().len();
+            let mut sim = GoldenSim::new(n);
+            for i in 0..100u64 {
+                let inputs: Vec<bool> = (0..width).map(|b| (i >> (b % 60)) & 1 == 1).collect();
+                sim.step(&inputs).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # rtm-netlist
+//!
+//! Structural netlists, a cycle-accurate golden-model simulator, a 4-LUT
+//! technology mapper, and benchmark-circuit generators.
+//!
+//! The paper validates its relocation procedure on "a group of circuits
+//! from the ITC'99 Benchmark Circuits from the Politécnico di Torino
+//! implemented in a Virtex XCV200" (§2). The originals are VHDL; this
+//! crate provides behaviourally-equivalent *synthetic* FSM circuits with
+//! the published flip-flop/gate counts ([`itc99`]), plus a parameterised
+//! random circuit generator ([`random`]) for property tests and sweeps.
+//!
+//! The flow mirrors a real implementation flow at the granularity the
+//! experiments need:
+//!
+//! 1. build or generate a [`Netlist`] (gates, FFs, latches),
+//! 2. map it to 4-input LUT cells with [`techmap::map_to_luts`],
+//! 3. hand the [`techmap::MappedNetlist`] to `rtm-sim`'s placer/router to
+//!    implement it on the device model,
+//! 4. compare live device behaviour against [`GoldenSim`] — the
+//!    transparency oracle used throughout the relocation experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtm_netlist::{Netlist, GateKind, GoldenSim};
+//!
+//! // A 2-bit counter with enable.
+//! let mut n = Netlist::new("counter2");
+//! let en = n.add_input("en");
+//! let q0 = n.add_ff_ce(None, None, false); // placeholder D, CE wired below
+//! let q1 = n.add_ff_ce(None, None, false);
+//! let d0 = n.add_gate(GateKind::Not, &[q0]);
+//! let carry = n.add_gate(GateKind::And, &[q0]);
+//! let d1 = n.add_gate(GateKind::Xor, &[q1, carry]);
+//! n.set_ff_input(q0, d0, Some(en));
+//! n.set_ff_input(q1, d1, Some(en));
+//! n.add_output("q0", q0);
+//! n.add_output("q1", q1);
+//! n.validate().unwrap();
+//!
+//! let mut sim = GoldenSim::new(&n);
+//! sim.step(&[true]); // en=1: 00 -> 01
+//! assert_eq!(sim.outputs(), vec![true, false]);
+//! sim.step(&[false]); // en=0: holds
+//! assert_eq!(sim.outputs(), vec![true, false]);
+//! ```
+
+pub mod error;
+pub mod golden;
+pub mod ir;
+pub mod itc99;
+pub mod random;
+pub mod stats;
+pub mod techmap;
+
+pub use error::NetlistError;
+pub use golden::GoldenSim;
+pub use ir::{GateKind, Netlist, NodeId, NodeKind};

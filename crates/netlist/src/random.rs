@@ -1,0 +1,195 @@
+//! Parameterised random sequential circuit generation.
+//!
+//! Used by property tests (random relocation targets) and by the workload
+//! sweeps in the benches. Generation is fully deterministic in the seed.
+
+use crate::ir::{GateKind, Netlist, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`RandomCircuit::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomCircuit {
+    /// Circuit name.
+    pub name: String,
+    /// Primary inputs (≥1).
+    pub inputs: usize,
+    /// Primary outputs (≥1).
+    pub outputs: usize,
+    /// Flip-flops/latches.
+    pub ffs: usize,
+    /// Combinational gates.
+    pub gates: usize,
+    /// Fraction of storage elements that are clock-gated (0.0–1.0).
+    pub gated_fraction: f64,
+    /// Fraction of storage elements that are transparent latches.
+    pub latch_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomCircuit {
+    fn default() -> Self {
+        RandomCircuit {
+            name: "random".into(),
+            inputs: 4,
+            outputs: 4,
+            ffs: 8,
+            gates: 32,
+            gated_fraction: 0.0,
+            latch_fraction: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+impl RandomCircuit {
+    /// A free-running synchronous circuit of the given size.
+    pub fn free_running(ffs: usize, gates: usize, seed: u64) -> Self {
+        RandomCircuit { ffs, gates, seed, ..RandomCircuit::default() }
+    }
+
+    /// A gated-clock circuit (all storage gated).
+    pub fn gated(ffs: usize, gates: usize, seed: u64) -> Self {
+        RandomCircuit { ffs, gates, seed, gated_fraction: 1.0, ..RandomCircuit::default() }
+    }
+
+    /// An asynchronous (latch-based) circuit.
+    pub fn asynchronous(latches: usize, gates: usize, seed: u64) -> Self {
+        RandomCircuit {
+            ffs: latches,
+            gates,
+            seed,
+            latch_fraction: 1.0,
+            ..RandomCircuit::default()
+        }
+    }
+
+    /// Generates the netlist.
+    ///
+    /// The construction is sound by design: gates only reference earlier
+    /// nodes (inputs, storage outputs, earlier gates), so the
+    /// combinational part is acyclic; storage inputs are wired last and
+    /// may reference any gate.
+    pub fn generate(&self) -> Netlist {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut n = Netlist::new(self.name.clone());
+
+        let inputs: Vec<NodeId> =
+            (0..self.inputs.max(1)).map(|i| n.add_input(format!("i{i}"))).collect();
+
+        let n_latches = (self.ffs as f64 * self.latch_fraction).round() as usize;
+        let n_gated =
+            ((self.ffs - n_latches.min(self.ffs)) as f64 * self.gated_fraction).round() as usize;
+        let mut storage = Vec::with_capacity(self.ffs);
+        for i in 0..self.ffs {
+            let init = rng.gen_bool(0.5);
+            if i < n_latches {
+                storage.push(n.add_latch(None, None, init));
+            } else {
+                storage.push(n.add_ff_ce(None, None, init));
+            }
+        }
+
+        // Pool of referencable signals grows as gates are added.
+        let mut pool: Vec<NodeId> = inputs.iter().chain(storage.iter()).copied().collect();
+        let kinds = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Mux,
+        ];
+        let mut gates = Vec::with_capacity(self.gates);
+        for _ in 0..self.gates {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let (lo, hi) = kind.arity();
+            let arity = if lo == hi { lo } else { rng.gen_range(2..=4usize) };
+            let fanin: Vec<NodeId> =
+                (0..arity).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let g = n.add_gate(kind, &fanin);
+            pool.push(g);
+            gates.push(g);
+        }
+
+        // Wire storage: D from any gate (or input if no gates), CE/EN from
+        // the pool.
+        let d_pool: &[NodeId] = if gates.is_empty() { &inputs } else { &gates };
+        for (i, s) in storage.iter().enumerate() {
+            let d = d_pool[rng.gen_range(0..d_pool.len())];
+            if i < n_latches {
+                let en = inputs[rng.gen_range(0..inputs.len())];
+                n.set_latch_input(*s, d, en);
+            } else if i < n_latches + n_gated {
+                let ce = inputs[rng.gen_range(0..inputs.len())];
+                n.set_ff_input(*s, d, Some(ce));
+            } else {
+                n.set_ff_input(*s, d, None);
+            }
+        }
+
+        for i in 0..self.outputs.max(1) {
+            let src = pool[rng.gen_range(0..pool.len())];
+            n.add_output(format!("o{i}"), src);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn generated_circuits_validate() {
+        for seed in 0..20 {
+            let n = RandomCircuit::free_running(10, 40, seed).generate();
+            n.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = RandomCircuit::gated(6, 20, 42).generate();
+        let b = RandomCircuit::gated(6, 20, 42).generate();
+        assert_eq!(a, b);
+        let c = RandomCircuit::gated(6, 20, 43).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sizes_match_request() {
+        let n = RandomCircuit::free_running(12, 50, 7).generate();
+        let stats = NetlistStats::of(&n);
+        assert_eq!(stats.ffs + stats.latches, 12);
+        assert_eq!(stats.gates, 50);
+        assert_eq!(stats.inputs, 4);
+    }
+
+    #[test]
+    fn latch_and_gated_fractions_respected() {
+        let n = RandomCircuit::asynchronous(8, 30, 3).generate();
+        let stats = NetlistStats::of(&n);
+        assert_eq!(stats.latches, 8);
+        assert_eq!(stats.ffs, 0);
+
+        let g = RandomCircuit::gated(8, 30, 3).generate();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn generated_circuits_simulate() {
+        use crate::golden::GoldenSim;
+        let n = RandomCircuit::gated(5, 25, 11).generate();
+        let mut sim = GoldenSim::new(&n);
+        for i in 0..50u64 {
+            let inputs: Vec<bool> = (0..4).map(|b| (i >> b) & 1 == 1).collect();
+            sim.step(&inputs).unwrap();
+        }
+        assert_eq!(sim.cycle(), 50);
+    }
+}

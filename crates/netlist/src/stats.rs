@@ -1,0 +1,109 @@
+//! Netlist size and depth statistics.
+
+use crate::ir::{Netlist, NodeKind};
+use std::fmt;
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Combinational gates.
+    pub gates: usize,
+    /// Edge-triggered flip-flops.
+    pub ffs: usize,
+    /// Transparent latches.
+    pub latches: usize,
+    /// Longest combinational path, in gates.
+    pub depth: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle (validate first).
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut s = NetlistStats {
+            inputs: netlist.inputs().len(),
+            outputs: netlist.outputs().len(),
+            ..NetlistStats::default()
+        };
+        for node in netlist.nodes() {
+            match node {
+                NodeKind::Gate { .. } => s.gates += 1,
+                NodeKind::Ff { .. } => s.ffs += 1,
+                NodeKind::Latch { .. } => s.latches += 1,
+                NodeKind::Input { .. } => {}
+            }
+        }
+        // Depth via the topological order.
+        let order = netlist.topo_order().expect("stats require an acyclic netlist");
+        let mut depth = vec![0usize; netlist.len()];
+        for id in order {
+            if let NodeKind::Gate { fanin, .. } = netlist.node(id) {
+                let d = fanin.iter().map(|f| depth[f.index()]).max().unwrap_or(0) + 1;
+                depth[id.index()] = d;
+                s.depth = s.depth.max(d);
+            }
+        }
+        s
+    }
+
+    /// Total storage elements.
+    pub fn storage(&self) -> usize {
+        self.ffs + self.latches
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in, {} out, {} gates, {} ffs, {} latches, depth {}",
+            self.inputs, self.outputs, self.gates, self.ffs, self.latches, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::GateKind;
+
+    #[test]
+    fn counts_and_depth() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(GateKind::And, &[a, b]);
+        let g2 = n.add_gate(GateKind::Not, &[g1]);
+        let g3 = n.add_gate(GateKind::Or, &[g2, a]);
+        let q = n.add_ff(g3, false);
+        n.add_output("q", q);
+        let s = NetlistStats::of(&n);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.ffs, 1);
+        assert_eq!(s.latches, 0);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.storage(), 1);
+        assert!(s.to_string().contains("3 gates"));
+    }
+
+    #[test]
+    fn depth_resets_at_storage_boundaries() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::Not, &[a]);
+        let q = n.add_ff(g1, false);
+        let g2 = n.add_gate(GateKind::Not, &[q]);
+        n.add_output("o", g2);
+        let s = NetlistStats::of(&n);
+        assert_eq!(s.depth, 1, "ff breaks the path");
+    }
+}

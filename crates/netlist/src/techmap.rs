@@ -1,0 +1,577 @@
+//! Technology mapping: netlist → 4-input LUT cells.
+//!
+//! The mapper performs the two steps a minimal FPGA flow needs:
+//!
+//! 1. **decomposition** — wide gates are broken into trees of ≤4-input
+//!    gates;
+//! 2. **covering** — every remaining gate becomes one LUT cell; storage
+//!    elements become cells with a pass-through LUT and the appropriate
+//!    storage/clocking configuration.
+//!
+//! No packing optimisation is attempted: cell count is a few × the gate
+//! count, which only makes the relocation experiments *harder* (more CLBs
+//! to move), never easier.
+
+use crate::error::NetlistError;
+use crate::ir::{GateKind, Netlist, NodeId, NodeKind};
+use rtm_fpga::lut::{Lut, LUT_INPUTS};
+use rtm_fpga::storage::{ClockingClass, StorageKind};
+
+/// Where a mapped cell input comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellSrc {
+    /// Primary input `i` of the design.
+    Input(usize),
+    /// Output of mapped cell `i`.
+    Cell(usize),
+}
+
+/// One mapped 4-LUT logic cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappedCell {
+    /// The LUT truth table over `inputs` (input `i` is LUT address bit
+    /// `i`; unused address bits are don't-care).
+    pub lut: Lut,
+    /// LUT inputs, at most 4.
+    pub inputs: Vec<CellSrc>,
+    /// Storage element kind.
+    pub storage: StorageKind,
+    /// Clocking class, determining the relocation procedure required.
+    pub clocking: ClockingClass,
+    /// If true the cell output is the storage output (Q), else the LUT.
+    pub registered_output: bool,
+    /// Clock-enable (FF) or latch-enable source, if gated/asynchronous.
+    pub ce: Option<CellSrc>,
+    /// Power-up storage value.
+    pub init: bool,
+}
+
+impl MappedCell {
+    fn comb(lut: Lut, inputs: Vec<CellSrc>) -> Self {
+        MappedCell {
+            lut,
+            inputs,
+            storage: StorageKind::None,
+            clocking: ClockingClass::FreeRunning,
+            registered_output: false,
+            ce: None,
+            init: false,
+        }
+    }
+}
+
+/// A technology-mapped design: LUT cells referencing primary inputs and
+/// one another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappedNetlist {
+    /// Design name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub n_inputs: usize,
+    /// The cells.
+    pub cells: Vec<MappedCell>,
+    /// Primary outputs (name, source).
+    pub outputs: Vec<(String, CellSrc)>,
+    /// Topological order of the cells' combinational evaluation.
+    comb_order: Vec<usize>,
+}
+
+impl MappedNetlist {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the design has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of sequential cells.
+    pub fn ff_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.storage.is_sequential()).count()
+    }
+
+    /// The topological evaluation order of the cells.
+    pub fn comb_order(&self) -> &[usize] {
+        &self.comb_order
+    }
+
+    /// The dominant clocking class: asynchronous if any latch is present,
+    /// else gated-clock if any gated FF, else free-running.
+    pub fn clocking_class(&self) -> ClockingClass {
+        let mut class = ClockingClass::FreeRunning;
+        for c in &self.cells {
+            match c.clocking {
+                ClockingClass::Asynchronous => return ClockingClass::Asynchronous,
+                ClockingClass::GatedClock => class = ClockingClass::GatedClock,
+                ClockingClass::FreeRunning => {}
+            }
+        }
+        class
+    }
+}
+
+/// Maps a validated netlist onto 4-input LUT cells.
+///
+/// # Errors
+///
+/// Propagates validation errors; returns
+/// [`NetlistError::CombinationalCycle`] if decomposition exposes one
+/// (cannot happen for valid inputs).
+pub fn map_to_luts(netlist: &Netlist) -> Result<MappedNetlist, NetlistError> {
+    netlist.validate()?;
+    // Step 1: decompose wide gates into a ≤4-input equivalent netlist.
+    let narrow = decompose(netlist);
+
+    // Step 2: one cell per non-input node.
+    let mut node_to_src: Vec<Option<CellSrc>> = vec![None; narrow.len()];
+    let mut input_count = 0usize;
+    let mut cell_count = 0usize;
+    for (i, node) in narrow.nodes().iter().enumerate() {
+        match node {
+            NodeKind::Input { .. } => {
+                node_to_src[i] = Some(CellSrc::Input(input_count));
+                input_count += 1;
+            }
+            _ => {
+                node_to_src[i] = Some(CellSrc::Cell(cell_count));
+                cell_count += 1;
+            }
+        }
+    }
+    let src_of = |id: NodeId| node_to_src[id.index()].expect("all nodes assigned");
+
+    let mut cells: Vec<MappedCell> = Vec::with_capacity(cell_count);
+    for (i, node) in narrow.nodes().iter().enumerate() {
+        match node {
+            NodeKind::Input { .. } => {}
+            NodeKind::Gate { kind, fanin } => {
+                if fanin.len() > LUT_INPUTS {
+                    return Err(NetlistError::MapArity { node: i as u32 });
+                }
+                let k = *kind;
+                let n = fanin.len();
+                let lut = Lut::from_fn(|addr| {
+                    let vals: Vec<bool> = (0..n).map(|j| addr[j]).collect();
+                    k.eval(&vals)
+                });
+                let inputs = fanin.iter().map(|f| src_of(*f)).collect();
+                cells.push(MappedCell::comb(lut, inputs));
+            }
+            NodeKind::Ff { d, ce, init } => {
+                let d = d.expect("validated");
+                let gated = ce.is_some();
+                cells.push(MappedCell {
+                    lut: Lut::passthrough(0),
+                    inputs: vec![src_of(d)],
+                    storage: StorageKind::FlipFlop,
+                    clocking: if gated {
+                        ClockingClass::GatedClock
+                    } else {
+                        ClockingClass::FreeRunning
+                    },
+                    registered_output: true,
+                    ce: ce.map(src_of),
+                    init: *init,
+                });
+            }
+            NodeKind::Latch { d, en, init } => {
+                let d = d.expect("validated");
+                let en = en.expect("validated");
+                cells.push(MappedCell {
+                    lut: Lut::passthrough(0),
+                    inputs: vec![src_of(d)],
+                    storage: StorageKind::Latch,
+                    clocking: ClockingClass::Asynchronous,
+                    registered_output: true,
+                    ce: Some(src_of(en)),
+                    init: *init,
+                });
+            }
+        }
+    }
+
+    let outputs = narrow.outputs().iter().map(|(n, id)| (n.clone(), src_of(*id))).collect();
+    let comb_order = comb_topo_order(&cells)?;
+    Ok(MappedNetlist {
+        name: narrow.name().to_string(),
+        n_inputs: input_count,
+        cells,
+        outputs,
+        comb_order,
+    })
+}
+
+/// Rebuilds the netlist with every gate fan-in ≤ 4 by tree decomposition.
+fn decompose(netlist: &Netlist) -> Netlist {
+    let mut out = Netlist::new(netlist.name());
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.len()];
+
+    // First pass: create placeholders so feedback references resolve.
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let id = match node {
+            NodeKind::Input { name } => out.add_input(name.clone()),
+            NodeKind::Ff { init, .. } => out.add_ff_ce(None, None, *init),
+            NodeKind::Latch { init, .. } => out.add_latch(None, None, *init),
+            NodeKind::Gate { .. } => {
+                // Gates are created in the second pass (they only reference
+                // earlier nodes or storage placeholders). Reserve nothing.
+                continue;
+            }
+        };
+        map[i] = Some(id);
+    }
+
+    // Second pass: gates in original order (fan-ins reference originals
+    // that are either already-mapped or storage placeholders).
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        if let NodeKind::Gate { kind, fanin } = node {
+            let srcs: Vec<NodeId> =
+                fanin.iter().map(|f| map[f.index()].expect("fanin resolved")).collect();
+            let id = build_narrow_gate(&mut out, *kind, &srcs);
+            map[i] = Some(id);
+        }
+    }
+
+    // Third pass: wire storage inputs.
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        match node {
+            NodeKind::Ff { d, ce, .. } => {
+                let ff = map[i].unwrap();
+                let d = map[d.expect("validated").index()].unwrap();
+                let ce = ce.map(|c| map[c.index()].unwrap());
+                out.set_ff_input(ff, d, ce);
+            }
+            NodeKind::Latch { d, en, .. } => {
+                let latch = map[i].unwrap();
+                let d = map[d.expect("validated").index()].unwrap();
+                let en = map[en.expect("validated").index()].unwrap();
+                out.set_latch_input(latch, d, en);
+            }
+            _ => {}
+        }
+    }
+
+    for (name, id) in netlist.outputs() {
+        out.add_output(name.clone(), map[id.index()].unwrap());
+    }
+    out
+}
+
+/// Emits `kind` over `srcs` as a tree of ≤4-input gates.
+fn build_narrow_gate(out: &mut Netlist, kind: GateKind, srcs: &[NodeId]) -> NodeId {
+    if srcs.len() <= LUT_INPUTS {
+        return out.add_gate(kind, srcs);
+    }
+    // Reduce with the associative core of the gate, applying the final
+    // inversion (NAND/NOR/XNOR) only at the root.
+    let (assoc, invert) = match kind {
+        GateKind::And => (GateKind::And, false),
+        GateKind::Nand => (GateKind::And, true),
+        GateKind::Or => (GateKind::Or, false),
+        GateKind::Nor => (GateKind::Or, true),
+        GateKind::Xor => (GateKind::Xor, false),
+        GateKind::Xnor => (GateKind::Xor, true),
+        // Non-associative kinds never exceed 4 inputs.
+        _ => unreachable!("gate kind {kind} cannot be wide"),
+    };
+    let mut layer: Vec<NodeId> = srcs.to_vec();
+    while layer.len() > LUT_INPUTS {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(LUT_INPUTS));
+        for chunk in layer.chunks(LUT_INPUTS) {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+            } else {
+                next.push(out.add_gate(assoc, chunk));
+            }
+        }
+        layer = next;
+    }
+    let root = out.add_gate(assoc, &layer);
+    if invert {
+        out.add_gate(GateKind::Not, &[root])
+    } else {
+        root
+    }
+}
+
+/// Topological order for combinational evaluation of the mapped cells.
+fn comb_topo_order(cells: &[MappedCell]) -> Result<Vec<usize>, NetlistError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let comb_deps = |i: usize| -> Vec<usize> {
+        // Registered outputs are state: not combinational dependencies.
+        cells[i]
+            .inputs
+            .iter()
+            .chain(cells[i].ce.iter())
+            .filter_map(|s| match s {
+                CellSrc::Cell(j) if !cells[*j].registered_output => Some(*j),
+                _ => None,
+            })
+            .collect()
+    };
+    let mut marks = vec![Mark::White; cells.len()];
+    let mut order = Vec::with_capacity(cells.len());
+    for start in 0..cells.len() {
+        if marks[start] != Mark::White {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        marks[start] = Mark::Grey;
+        while let Some((node, child)) = stack.pop() {
+            let deps = comb_deps(node);
+            if child < deps.len() {
+                stack.push((node, child + 1));
+                let next = deps[child];
+                match marks[next] {
+                    Mark::White => {
+                        marks[next] = Mark::Grey;
+                        stack.push((next, 0));
+                    }
+                    Mark::Grey => {
+                        return Err(NetlistError::CombinationalCycle { node: next as u32 })
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                marks[node] = Mark::Black;
+                order.push(node);
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// Cycle-accurate simulator of a mapped netlist — used to prove the
+/// mapping is behaviourally equivalent to the golden model.
+#[derive(Debug, Clone)]
+pub struct MappedSim<'a> {
+    design: &'a MappedNetlist,
+    lut_val: Vec<bool>,
+    q: Vec<bool>,
+    cycle: u64,
+}
+
+impl<'a> MappedSim<'a> {
+    /// A simulator with storage at init values.
+    pub fn new(design: &'a MappedNetlist) -> Self {
+        let q = design.cells.iter().map(|c| c.init).collect();
+        MappedSim { design, lut_val: vec![false; design.cells.len()], q, cycle: 0 }
+    }
+
+    /// Clock cycles simulated.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn src_value(&self, src: CellSrc, inputs: &[bool]) -> bool {
+        match src {
+            CellSrc::Input(i) => inputs[i],
+            CellSrc::Cell(i) => self.cell_output(i),
+        }
+    }
+
+    /// The visible output of cell `i`.
+    pub fn cell_output(&self, i: usize) -> bool {
+        if self.design.cells[i].registered_output {
+            self.q[i]
+        } else {
+            self.lut_val[i]
+        }
+    }
+
+    /// The stored value of cell `i` (meaningful for sequential cells).
+    pub fn cell_state(&self, i: usize) -> bool {
+        self.q[i]
+    }
+
+    /// Primary output values.
+    pub fn outputs(&self, inputs: &[bool]) -> Vec<bool> {
+        self.design.outputs.iter().map(|(_, s)| self.src_value(*s, inputs)).collect()
+    }
+
+    /// One clock cycle: settle LUTs, then clock storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] for wrong input width.
+    pub fn step(&mut self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if inputs.len() != self.design.n_inputs {
+            return Err(NetlistError::InputWidthMismatch {
+                expected: self.design.n_inputs,
+                actual: inputs.len(),
+            });
+        }
+        for &i in &self.design.comb_order {
+            let cell = &self.design.cells[i];
+            let mut addr = [false; LUT_INPUTS];
+            for (p, src) in cell.inputs.iter().enumerate() {
+                addr[p] = self.src_value(*src, inputs);
+            }
+            self.lut_val[i] = cell.lut.eval(addr);
+        }
+        // Simultaneous storage update.
+        let mut updates = Vec::new();
+        for (i, cell) in self.design.cells.iter().enumerate() {
+            if !cell.storage.is_sequential() {
+                continue;
+            }
+            let enabled = match cell.storage {
+                StorageKind::FlipFlop => {
+                    cell.ce.map(|s| self.src_value(s, inputs)).unwrap_or(true)
+                }
+                StorageKind::Latch => cell.ce.map(|s| self.src_value(s, inputs)).unwrap_or(false),
+                StorageKind::None => false,
+            };
+            if enabled {
+                updates.push((i, self.lut_val[i]));
+            }
+        }
+        for (i, v) in updates {
+            self.q[i] = v;
+        }
+        // Post-edge combinational re-settle (matches GoldenSim).
+        for &i in &self.design.comb_order {
+            let cell = &self.design.cells[i];
+            let mut addr = [false; LUT_INPUTS];
+            for (p, src) in cell.inputs.iter().enumerate() {
+                addr[p] = self.src_value(*src, inputs);
+            }
+            self.lut_val[i] = cell.lut.eval(addr);
+        }
+        self.cycle += 1;
+        Ok(self.outputs(inputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::GoldenSim;
+    use crate::ir::Netlist;
+    use proptest::prelude::*;
+
+    fn check_equivalence(netlist: &Netlist, stim: Vec<Vec<bool>>) {
+        let mapped = map_to_luts(netlist).unwrap();
+        let mut gold = GoldenSim::new(netlist);
+        let mut msim = MappedSim::new(&mapped);
+        for inputs in stim {
+            gold.step(&inputs).unwrap();
+            let mapped_out = msim.step(&inputs).unwrap();
+            assert_eq!(mapped_out, gold.outputs(), "divergence at cycle {}", gold.cycle());
+        }
+    }
+
+    #[test]
+    fn wide_and_gate_decomposes_and_matches() {
+        let mut n = Netlist::new("wide");
+        let ins: Vec<_> = (0..11).map(|i| n.add_input(format!("i{i}"))).collect();
+        let g = n.add_gate(GateKind::And, &ins);
+        n.add_output("o", g);
+        let mapped = map_to_luts(&n).unwrap();
+        for c in &mapped.cells {
+            assert!(c.inputs.len() <= 4);
+        }
+        let all_true = vec![vec![true; 11]];
+        check_equivalence(&n, all_true);
+        let mut one_false = vec![true; 11];
+        one_false[7] = false;
+        check_equivalence(&n, vec![one_false]);
+    }
+
+    #[test]
+    fn wide_nor_inversion_at_root() {
+        let mut n = Netlist::new("nor");
+        let ins: Vec<_> = (0..9).map(|i| n.add_input(format!("i{i}"))).collect();
+        let g = n.add_gate(GateKind::Nor, &ins);
+        n.add_output("o", g);
+        check_equivalence(&n, vec![vec![false; 9], vec![true; 9]]);
+    }
+
+    #[test]
+    fn counter_equivalence_over_time() {
+        let mut n = Netlist::new("cnt");
+        let en = n.add_input("en");
+        let q0 = n.add_ff_ce(None, None, false);
+        let q1 = n.add_ff_ce(None, None, false);
+        let d0 = n.add_gate(GateKind::Not, &[q0]);
+        let d1 = n.add_gate(GateKind::Xor, &[q1, q0]);
+        n.set_ff_input(q0, d0, Some(en));
+        n.set_ff_input(q1, d1, Some(en));
+        n.add_output("q0", q0);
+        n.add_output("q1", q1);
+        let stim = vec![
+            vec![true],
+            vec![true],
+            vec![false],
+            vec![true],
+            vec![false],
+            vec![true],
+            vec![true],
+        ];
+        check_equivalence(&n, stim);
+    }
+
+    #[test]
+    fn latch_design_equivalence() {
+        let mut n = Netlist::new("latched");
+        let d = n.add_input("d");
+        let en = n.add_input("en");
+        let q = n.add_latch(None, None, false);
+        n.set_latch_input(q, d, en);
+        let o = n.add_gate(GateKind::Not, &[q]);
+        n.add_output("o", o);
+        let mapped = map_to_luts(&n).unwrap();
+        assert_eq!(mapped.clocking_class(), rtm_fpga::storage::ClockingClass::Asynchronous);
+        check_equivalence(
+            &n,
+            vec![vec![true, true], vec![false, false], vec![false, true], vec![true, false]],
+        );
+    }
+
+    #[test]
+    fn gated_class_detected() {
+        let mut n = Netlist::new("g");
+        let ce = n.add_input("ce");
+        let d = n.add_input("d");
+        let q = n.add_ff_ce(Some(d), Some(ce), false);
+        n.add_output("q", q);
+        let mapped = map_to_luts(&n).unwrap();
+        assert_eq!(mapped.clocking_class(), rtm_fpga::storage::ClockingClass::GatedClock);
+        assert_eq!(mapped.ff_count(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn random_stimulus_equivalence(seed in 0u64..1000, steps in 1usize..20) {
+            // Small mixed design driven with pseudo-random stimulus.
+            let mut n = Netlist::new("p");
+            let a = n.add_input("a");
+            let b = n.add_input("b");
+            let c = n.add_input("c");
+            let g1 = n.add_gate(GateKind::Xor, &[a, b]);
+            let g2 = n.add_gate(GateKind::Mux, &[c, g1, a]);
+            let q = n.add_ff_ce(None, None, false);
+            let g3 = n.add_gate(GateKind::And, &[g2, q]);
+            let d = n.add_gate(GateKind::Or, &[g3, b]);
+            n.set_ff_input(q, d, Some(c));
+            n.add_output("x", g3);
+            n.add_output("q", q);
+
+            let mut s = seed;
+            let mut rnd = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 33) & 1 == 1
+            };
+            let stim: Vec<Vec<bool>> = (0..steps).map(|_| vec![rnd(), rnd(), rnd()]).collect();
+            check_equivalence(&n, stim);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! On-line allocation strategies (DESIGN.md ablation 3).
+
+use crate::arena::Arena;
+use rtm_fpga::geom::{ClbCoord, Rect};
+use std::fmt;
+
+/// Placement strategy for incoming rectangular requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// First feasible origin in row-major scan order.
+    #[default]
+    FirstFit,
+    /// Feasible origin with maximal contact (touching occupied cells or
+    /// arena edges) — packs tightly, preserving large free areas.
+    BestFit,
+    /// Feasible origin closest to the bottom-left corner (classic on-line
+    /// rectangle packing).
+    BottomLeft,
+    /// Feasible origin with minimal contact — a deliberately bad packer
+    /// used as an ablation baseline.
+    WorstFit,
+}
+
+impl Strategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [Strategy; 4] =
+        [Strategy::FirstFit, Strategy::BestFit, Strategy::BottomLeft, Strategy::WorstFit];
+
+    /// Chooses an origin for a `rows`×`cols` request, or `None` if
+    /// nothing fits.
+    pub fn choose(&self, arena: &Arena, rows: u16, cols: u16) -> Option<ClbCoord> {
+        let candidates = arena.candidate_origins(rows, cols);
+        match self {
+            Strategy::FirstFit => candidates.first().copied(),
+            Strategy::BottomLeft => candidates
+                .iter()
+                .max_by_key(|o| (o.row, std::cmp::Reverse(o.col)))
+                .copied(),
+            Strategy::BestFit => candidates
+                .iter()
+                .max_by_key(|o| contact(arena, Rect::new(**o, rows, cols)))
+                .copied(),
+            Strategy::WorstFit => candidates
+                .iter()
+                .min_by_key(|o| contact(arena, Rect::new(**o, rows, cols)))
+                .copied(),
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::FirstFit => "first-fit",
+            Strategy::BestFit => "best-fit",
+            Strategy::BottomLeft => "bottom-left",
+            Strategy::WorstFit => "worst-fit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Contact score: perimeter cells of `rect` that touch occupied cells or
+/// the arena boundary. Higher = tighter packing.
+fn contact(arena: &Arena, rect: Rect) -> u32 {
+    let bounds = arena.bounds();
+    let mut score = 0;
+    let occupied_or_edge = |coord: Option<ClbCoord>| -> bool {
+        match coord {
+            None => true,
+            Some(c) => {
+                if !bounds.contains(c) {
+                    true
+                } else {
+                    arena.occupied(c)
+                }
+            }
+        }
+    };
+    for r in rect.origin.row..rect.row_end() {
+        score += u32::from(occupied_or_edge(ClbCoord::new(r, rect.origin.col).offset(0, -1)));
+        score += u32::from(occupied_or_edge(ClbCoord::new(r, rect.col_end() - 1).offset(0, 1)));
+    }
+    for c in rect.origin.col..rect.col_end() {
+        score += u32::from(occupied_or_edge(ClbCoord::new(rect.origin.row, c).offset(-1, 0)));
+        score += u32::from(occupied_or_edge(ClbCoord::new(rect.row_end() - 1, c).offset(1, 0)));
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_with(rects: &[Rect]) -> Arena {
+        let mut a = Arena::new(Rect::new(ClbCoord::new(0, 0), 8, 8));
+        for r in rects {
+            a.claim(r).unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn first_fit_takes_topmost_leftmost() {
+        let a = arena_with(&[Rect::new(ClbCoord::new(0, 0), 2, 2)]);
+        assert_eq!(Strategy::FirstFit.choose(&a, 2, 2), Some(ClbCoord::new(0, 2)));
+    }
+
+    #[test]
+    fn bottom_left_takes_lowest_then_leftmost() {
+        let a = arena_with(&[]);
+        assert_eq!(Strategy::BottomLeft.choose(&a, 2, 2), Some(ClbCoord::new(6, 0)));
+    }
+
+    #[test]
+    fn best_fit_prefers_corner_over_centre() {
+        let a = arena_with(&[]);
+        let chosen = Strategy::BestFit.choose(&a, 2, 2).unwrap();
+        let corners = [
+            ClbCoord::new(0, 0),
+            ClbCoord::new(0, 6),
+            ClbCoord::new(6, 0),
+            ClbCoord::new(6, 6),
+        ];
+        assert!(corners.contains(&chosen), "best-fit picked {chosen}");
+    }
+
+    #[test]
+    fn worst_fit_avoids_contact() {
+        let a = arena_with(&[]);
+        let chosen = Strategy::WorstFit.choose(&a, 2, 2).unwrap();
+        // The centre has zero contact.
+        assert!(chosen.row > 0 && chosen.row < 6);
+        assert!(chosen.col > 0 && chosen.col < 6);
+    }
+
+    #[test]
+    fn none_when_full() {
+        let a = arena_with(&[Rect::new(ClbCoord::new(0, 0), 8, 8)]);
+        for s in Strategy::ALL {
+            assert_eq!(s.choose(&a, 1, 1), None, "{s}");
+        }
+    }
+
+    #[test]
+    fn best_fit_fills_notch() {
+        // A notch of exactly 2x2 next to an allocation: best-fit must
+        // prefer it over open space.
+        let a = arena_with(&[
+            Rect::new(ClbCoord::new(0, 0), 2, 2),
+            Rect::new(ClbCoord::new(0, 4), 2, 4),
+            Rect::new(ClbCoord::new(2, 0), 6, 8),
+        ]);
+        // Only free cells: rows 0-1, cols 2-3 (the notch).
+        assert_eq!(Strategy::BestFit.choose(&a, 2, 2), Some(ClbCoord::new(0, 2)));
+    }
+
+    #[test]
+    fn strategies_display() {
+        assert_eq!(Strategy::FirstFit.to_string(), "first-fit");
+        assert_eq!(Strategy::ALL.len(), 4);
+    }
+}

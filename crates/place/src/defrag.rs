@@ -1,0 +1,321 @@
+//! Rearrangement planning: make room for incoming functions by moving
+//! running ones.
+//!
+//! "If a new function cannot be allocated immediately due to lack of
+//! contiguous free resources, a suitable rearrangement of a subset of the
+//! functions currently running may solve the problem." (paper §1, citing
+//! Diessel et al.\[5\] for the planning methods). The planner offers the
+//! two method families of \[5\]:
+//!
+//! * **local repacking** ([`make_room`]) — move as few tasks as possible,
+//!   preferring single-task moves;
+//! * **ordered compaction** ([`compact`]) — slide every task toward the
+//!   left edge in column order, consolidating all free space.
+//!
+//! What the *paper* adds is downstream of this planner: executing the
+//! moves with dynamic relocation so the moved tasks never stop.
+
+use crate::arena::{TaskArena, TaskId};
+use rtm_fpga::geom::{ClbCoord, Rect};
+use std::fmt;
+
+/// One planned task move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    /// The task to move.
+    pub id: TaskId,
+    /// Where it currently is.
+    pub from: Rect,
+    /// Where it should go.
+    pub to: Rect,
+}
+
+impl Move {
+    /// Manhattan distance of the move in CLBs (relocation cost scales
+    /// with it).
+    pub fn distance(&self) -> u32 {
+        self.from.origin.manhattan(self.to.origin)
+    }
+
+    /// CLBs that must be relocated (the task's area).
+    pub fn cells_moved(&self) -> u32 {
+        self.from.area()
+    }
+}
+
+impl fmt::Display for Move {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {}: {} -> {}", self.id, self.from, self.to)
+    }
+}
+
+/// Summary cost of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCost {
+    /// Number of task moves.
+    pub moves: usize,
+    /// Total CLBs relocated.
+    pub cells: u32,
+    /// Total Manhattan distance.
+    pub distance: u32,
+}
+
+/// Cost of a move list.
+pub fn plan_cost(moves: &[Move]) -> PlanCost {
+    PlanCost {
+        moves: moves.len(),
+        cells: moves.iter().map(Move::cells_moved).sum(),
+        distance: moves.iter().map(Move::distance).sum(),
+    }
+}
+
+/// Ordered compaction: slides every task as far left (then up) as it can
+/// go, in left-to-right task order. Returns the executed move list; the
+/// arena is updated.
+pub fn compact(arena: &mut TaskArena) -> Vec<Move> {
+    let mut order: Vec<(TaskId, Rect)> =
+        arena.tasks().iter().map(|(id, r)| (*id, *r)).collect();
+    order.sort_by_key(|(_, r)| (r.origin.col, r.origin.row));
+    let mut moves = Vec::new();
+    for (id, from) in order {
+        let Some(to) = leftmost_position(arena, id, from) else { continue };
+        if to != from {
+            arena.relocate(id, to).expect("planned move must be feasible");
+            moves.push(Move { id, from, to });
+        }
+    }
+    moves
+}
+
+/// The leftmost-topmost feasible position for `id` (ignoring its own
+/// current cells), reachable as a direct move.
+fn leftmost_position(arena: &TaskArena, id: TaskId, from: Rect) -> Option<Rect> {
+    let bounds = arena.arena().bounds();
+    let mut best: Option<ClbCoord> = None;
+    for c in bounds.origin.col..=(bounds.col_end().checked_sub(from.cols)?) {
+        for r in bounds.origin.row..=(bounds.row_end().checked_sub(from.rows)?) {
+            let cand = Rect::new(ClbCoord::new(r, c), from.rows, from.cols);
+            if free_ignoring(arena, &cand, id) {
+                best = Some(cand.origin);
+                break;
+            }
+        }
+        if best.is_some() {
+            break;
+        }
+    }
+    best.map(|o| Rect::new(o, from.rows, from.cols))
+}
+
+/// True if `rect` is free treating task `id`'s own cells as free.
+fn free_ignoring(arena: &TaskArena, rect: &Rect, id: TaskId) -> bool {
+    if !arena.arena().bounds().contains_rect(rect) {
+        return false;
+    }
+    let own = arena.task_rect(id);
+    rect.iter().all(|c| {
+        !arena.arena().occupied(c) || own.map(|r| r.contains(c)).unwrap_or(false)
+    })
+}
+
+/// Plans the cheapest rearrangement (within this planner's repertoire)
+/// that frees a contiguous `rows`×`cols` region:
+///
+/// 1. no moves if the request already fits;
+/// 2. otherwise the single-task move whose relocation opens a fitting
+///    hole, minimising relocated cells (local repacking);
+/// 3. otherwise full ordered compaction, if that suffices.
+///
+/// Returns the move list (empty = fits as-is) applied to a scratch copy —
+/// the caller's arena is *not* modified — or `None` when even compaction
+/// cannot help (insufficient total area).
+pub fn make_room(arena: &TaskArena, rows: u16, cols: u16) -> Option<Vec<Move>> {
+    let fits = |a: &TaskArena| !a.arena().candidate_origins(rows, cols).is_empty();
+    if fits(arena) {
+        return Some(Vec::new());
+    }
+
+    // Local repacking: try every single-task move, cheapest first.
+    let mut candidates: Vec<(TaskId, Rect)> =
+        arena.tasks().iter().map(|(id, r)| (*id, *r)).collect();
+    candidates.sort_by_key(|(_, r)| r.area());
+    let bounds = arena.arena().bounds();
+    for (id, from) in &candidates {
+        let mut best: Option<Move> = None;
+        for r in bounds.origin.row..=(bounds.row_end().saturating_sub(from.rows)) {
+            for c in bounds.origin.col..=(bounds.col_end().saturating_sub(from.cols)) {
+                let to = Rect::new(ClbCoord::new(r, c), from.rows, from.cols);
+                if to == *from || !free_ignoring(arena, &to, *id) {
+                    continue;
+                }
+                let mut scratch = arena.clone();
+                scratch.relocate(*id, to).expect("checked feasible");
+                if fits(&scratch) {
+                    let mv = Move { id: *id, from: *from, to };
+                    let better = match &best {
+                        None => true,
+                        Some(b) => mv.distance() < b.distance(),
+                    };
+                    if better {
+                        best = Some(mv);
+                    }
+                }
+            }
+        }
+        if let Some(mv) = best {
+            return Some(vec![mv]);
+        }
+    }
+
+    // Full compaction on a scratch copy.
+    let mut scratch = arena.clone();
+    let moves = compact(&mut scratch);
+    if fits(&scratch) {
+        Some(moves)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arena_8x8() -> TaskArena {
+        TaskArena::new(Rect::new(ClbCoord::new(0, 0), 8, 8))
+    }
+
+    #[test]
+    fn compact_slides_tasks_left() {
+        let mut a = arena_8x8();
+        a.allocate_at(1, Rect::new(ClbCoord::new(0, 5), 4, 2)).unwrap();
+        a.allocate_at(2, Rect::new(ClbCoord::new(4, 3), 4, 2)).unwrap();
+        let moves = compact(&mut a);
+        assert_eq!(moves.len(), 2);
+        assert_eq!(a.task_rect(2), Some(Rect::new(ClbCoord::new(0, 0), 4, 2)));
+        assert_eq!(a.task_rect(1), Some(Rect::new(ClbCoord::new(4, 0), 4, 2)));
+        // After compaction the free space is one rectangle.
+        assert_eq!(a.fragmentation().fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn compact_is_idempotent() {
+        let mut a = arena_8x8();
+        a.allocate_at(1, Rect::new(ClbCoord::new(2, 4), 2, 2)).unwrap();
+        compact(&mut a);
+        let second = compact(&mut a);
+        assert!(second.is_empty(), "second compaction must be a no-op");
+    }
+
+    #[test]
+    fn make_room_returns_empty_when_fits() {
+        let mut a = arena_8x8();
+        a.allocate_at(1, Rect::new(ClbCoord::new(0, 0), 2, 2)).unwrap();
+        assert_eq!(make_room(&a, 4, 4), Some(Vec::new()));
+    }
+
+    #[test]
+    fn make_room_prefers_single_move() {
+        let mut a = arena_8x8();
+        // A 2x2 task stranded in the middle blocks a 8x4 request.
+        a.allocate_at(1, Rect::new(ClbCoord::new(3, 3), 2, 2)).unwrap();
+        let moves = make_room(&a, 8, 4).unwrap();
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].id, 1);
+        // Applying the move must open the region.
+        let mut scratch = a.clone();
+        scratch.relocate(1, moves[0].to).unwrap();
+        assert!(!scratch.arena().candidate_origins(8, 4).is_empty());
+    }
+
+    #[test]
+    fn make_room_falls_back_to_compaction() {
+        let mut a = arena_8x8();
+        // Three 8x1 walls spread out: a 8x4 region needs >=2 moves.
+        a.allocate_at(1, Rect::new(ClbCoord::new(0, 2), 8, 1)).unwrap();
+        a.allocate_at(2, Rect::new(ClbCoord::new(0, 4), 8, 1)).unwrap();
+        a.allocate_at(3, Rect::new(ClbCoord::new(0, 6), 8, 1)).unwrap();
+        let moves = make_room(&a, 8, 5).unwrap();
+        assert!(moves.len() >= 2, "single move cannot open 5 columns");
+        // Replay on a scratch copy.
+        let mut scratch = a.clone();
+        for mv in &moves {
+            scratch.relocate(mv.id, mv.to).unwrap();
+        }
+        assert!(!scratch.arena().candidate_origins(8, 5).is_empty());
+    }
+
+    #[test]
+    fn make_room_impossible_when_area_insufficient() {
+        let mut a = arena_8x8();
+        a.allocate_at(1, Rect::new(ClbCoord::new(0, 0), 8, 5)).unwrap();
+        assert_eq!(make_room(&a, 8, 4), None);
+    }
+
+    #[test]
+    fn plan_cost_sums() {
+        let moves = [
+            Move {
+                id: 1,
+                from: Rect::new(ClbCoord::new(0, 4), 2, 2),
+                to: Rect::new(ClbCoord::new(0, 0), 2, 2),
+            },
+            Move {
+                id: 2,
+                from: Rect::new(ClbCoord::new(4, 4), 1, 1),
+                to: Rect::new(ClbCoord::new(4, 3), 1, 1),
+            },
+        ];
+        let cost = plan_cost(&moves);
+        assert_eq!(cost.moves, 2);
+        assert_eq!(cost.cells, 5);
+        assert_eq!(cost.distance, 5);
+        assert!(moves[0].to_string().contains("task 1"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn compaction_preserves_tasks_and_never_overlaps(
+            specs in proptest::collection::vec((1u16..4, 1u16..4), 0..10))
+        {
+            let mut a = arena_8x8();
+            let mut placed = 0u64;
+            for (i, (h, w)) in specs.iter().enumerate() {
+                if a.allocate(i as u64, *h, *w, crate::alloc::Strategy::WorstFit).is_ok() {
+                    placed += 1;
+                }
+            }
+            let before: Vec<(TaskId, u32)> =
+                a.tasks().iter().map(|(id, r)| (*id, r.area())).collect();
+            compact(&mut a);
+            let after: Vec<(TaskId, u32)> =
+                a.tasks().iter().map(|(id, r)| (*id, r.area())).collect();
+            prop_assert_eq!(before, after, "tasks and sizes preserved");
+            prop_assert_eq!(a.tasks().len() as u64, placed);
+            // No overlaps: total occupied equals sum of areas.
+            let total: u32 = a.tasks().values().map(Rect::area).sum();
+            prop_assert_eq!(64 - a.arena().free_cells(), total);
+            // Compaction never increases fragmentation beyond pre-state.
+        }
+
+        #[test]
+        fn make_room_plans_are_executable(
+            specs in proptest::collection::vec((1u16..4, 1u16..4), 1..8),
+            req_h in 2u16..6, req_w in 2u16..6)
+        {
+            let mut a = arena_8x8();
+            for (i, (h, w)) in specs.iter().enumerate() {
+                let _ = a.allocate(i as u64, *h, *w, crate::alloc::Strategy::WorstFit);
+            }
+            if let Some(moves) = make_room(&a, req_h, req_w) {
+                let mut scratch = a.clone();
+                for mv in &moves {
+                    scratch.relocate(mv.id, mv.to).unwrap();
+                }
+                prop_assert!(!scratch.arena().candidate_origins(req_h, req_w).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for area management.
+
+use rtm_fpga::geom::Rect;
+use std::fmt;
+
+/// Errors raised by the free-space manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The requested rectangle overlaps an allocation.
+    Overlap {
+        /// The rejected rectangle.
+        rect: Rect,
+    },
+    /// The rectangle exceeds the arena bounds.
+    OutOfBounds {
+        /// The rejected rectangle.
+        rect: Rect,
+    },
+    /// No free region can satisfy the request right now.
+    NoFit {
+        /// Requested rows.
+        rows: u16,
+        /// Requested columns.
+        cols: u16,
+    },
+    /// The task id is unknown.
+    UnknownTask {
+        /// The offending id.
+        id: u64,
+    },
+    /// The task id is already allocated.
+    DuplicateTask {
+        /// The offending id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::Overlap { rect } => write!(f, "rectangle {rect} overlaps an allocation"),
+            PlaceError::OutOfBounds { rect } => write!(f, "rectangle {rect} outside arena"),
+            PlaceError::NoFit { rows, cols } => {
+                write!(f, "no contiguous {rows}x{cols} region available")
+            }
+            PlaceError::UnknownTask { id } => write!(f, "unknown task {id}"),
+            PlaceError::DuplicateTask { id } => write!(f, "task {id} already allocated"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_fpga::geom::ClbCoord;
+
+    #[test]
+    fn displays_nonempty() {
+        let r = Rect::new(ClbCoord::new(0, 0), 2, 2);
+        for e in [
+            PlaceError::Overlap { rect: r },
+            PlaceError::OutOfBounds { rect: r },
+            PlaceError::NoFit { rows: 3, cols: 4 },
+            PlaceError::UnknownTask { id: 7 },
+            PlaceError::DuplicateTask { id: 7 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

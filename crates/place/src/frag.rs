@@ -1,0 +1,109 @@
+//! Fragmentation metrics (experiment T3).
+
+use crate::arena::Arena;
+use std::fmt;
+
+/// Fragmentation state of an arena at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragMetrics {
+    /// Total free CLBs.
+    pub free_cells: u32,
+    /// Area of the largest contiguous free rectangle.
+    pub largest_rect: u32,
+    /// Total CLBs in the arena.
+    pub total_cells: u32,
+}
+
+impl FragMetrics {
+    /// Measures `arena`.
+    pub fn of(arena: &Arena) -> Self {
+        FragMetrics {
+            free_cells: arena.free_cells(),
+            largest_rect: arena.largest_free_rect(),
+            total_cells: arena.bounds().area(),
+        }
+    }
+
+    /// External fragmentation index in `[0, 1]`:
+    /// `1 − largest_free_rect / free_cells`. Zero when all free space is
+    /// one rectangle; approaches one as free space shatters. Zero when
+    /// the arena is full (no free space to fragment).
+    pub fn fragmentation(&self) -> f64 {
+        if self.free_cells == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_rect as f64 / self.free_cells as f64
+        }
+    }
+
+    /// Utilisation in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        1.0 - self.free_cells as f64 / self.total_cells as f64
+    }
+
+    /// The largest request (as an area) guaranteed satisfiable right now.
+    pub fn satisfiable_area(&self) -> u32 {
+        self.largest_rect
+    }
+}
+
+impl fmt::Display for FragMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "free {}/{} cells, largest rect {}, frag {:.3}",
+            self.free_cells,
+            self.total_cells,
+            self.largest_rect,
+            self.fragmentation()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_fpga::geom::{ClbCoord, Rect};
+
+    #[test]
+    fn empty_arena_is_unfragmented() {
+        let a = Arena::new(Rect::new(ClbCoord::new(0, 0), 6, 6));
+        let m = FragMetrics::of(&a);
+        assert_eq!(m.free_cells, 36);
+        assert_eq!(m.largest_rect, 36);
+        assert_eq!(m.fragmentation(), 0.0);
+        assert_eq!(m.utilisation(), 0.0);
+    }
+
+    #[test]
+    fn full_arena_reports_zero_fragmentation() {
+        let mut a = Arena::new(Rect::new(ClbCoord::new(0, 0), 4, 4));
+        a.claim(&Rect::new(ClbCoord::new(0, 0), 4, 4)).unwrap();
+        let m = FragMetrics::of(&a);
+        assert_eq!(m.fragmentation(), 0.0);
+        assert_eq!(m.utilisation(), 1.0);
+    }
+
+    #[test]
+    fn shattered_free_space_scores_high() {
+        // Claim a comb pattern: free cells are isolated columns.
+        let mut a = Arena::new(Rect::new(ClbCoord::new(0, 0), 4, 8));
+        for col in [1u16, 3, 5, 7] {
+            a.claim(&Rect::new(ClbCoord::new(0, col), 4, 1)).unwrap();
+        }
+        let m = FragMetrics::of(&a);
+        assert_eq!(m.free_cells, 16);
+        assert_eq!(m.largest_rect, 4);
+        assert!(m.fragmentation() > 0.7);
+        assert!(m.to_string().contains("frag"));
+    }
+
+    #[test]
+    fn compact_free_space_scores_zero() {
+        let mut a = Arena::new(Rect::new(ClbCoord::new(0, 0), 4, 8));
+        a.claim(&Rect::new(ClbCoord::new(0, 0), 4, 4)).unwrap();
+        let m = FragMetrics::of(&a);
+        assert_eq!(m.fragmentation(), 0.0);
+        assert_eq!(m.satisfiable_area(), 16);
+    }
+}

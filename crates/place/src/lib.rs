@@ -1,0 +1,41 @@
+//! # rtm-place
+//!
+//! Free-space management for the 2D CLB array: on-line allocation of
+//! rectangular regions, fragmentation measurement, and rearrangement
+//! planning (defragmentation).
+//!
+//! This crate operationalises the paper's motivation (§1): "many small
+//! pools of resources are created as they are released. These unallocated
+//! areas tend to become so small that they fail to satisfy any request and
+//! for that reason remain unused, leading to a fragmentation of the FPGA
+//! logic space." The [`defrag`] planner produces the *rearrangements* that
+//! the paper's dynamic relocation executes without halting the moved
+//! functions.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtm_place::arena::TaskArena;
+//! use rtm_place::alloc::Strategy;
+//! use rtm_fpga::geom::{ClbCoord, Rect};
+//!
+//! # fn main() -> Result<(), rtm_place::PlaceError> {
+//! let mut arena = TaskArena::new(Rect::new(ClbCoord::new(0, 0), 28, 42));
+//! let a = arena.allocate(1, 10, 10, Strategy::BottomLeft)?;
+//! let b = arena.allocate(2, 10, 10, Strategy::BottomLeft)?;
+//! assert!(!a.intersects(&b));
+//! arena.release(1)?;
+//! let frag = arena.fragmentation();
+//! assert!(frag.free_cells > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod alloc;
+pub mod arena;
+pub mod defrag;
+pub mod error;
+pub mod frag;
+
+pub use arena::TaskArena;
+pub use error::PlaceError;

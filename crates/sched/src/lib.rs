@@ -1,0 +1,47 @@
+//! # rtm-sched
+//!
+//! On-line spatial/temporal scheduling of tasks on the reconfigurable
+//! array — the workload layer of the reproduction.
+//!
+//! The paper's system promise (§1, §5): several applications share one
+//! FPGA, functions are swapped in and out at run time, and when
+//! fragmentation blocks an incoming function the manager rearranges
+//! running ones — *without* halting them, unlike the rearrangements of
+//! Diessel et al.\[5\]. This crate turns that claim into a measurable
+//! experiment (T2):
+//!
+//! * [`task::TaskSpec`] — rectangular task requests with arrival and
+//!   execution times;
+//! * [`workload`] — reproducible stochastic workload generation;
+//! * [`scheduler::Scheduler`] — a discrete-event simulation of arrival,
+//!   placement, rearrangement and departure, parameterised by a
+//!   [`policy::Policy`]:
+//!   [`policy::Policy::NoRearrange`] (queue until a hole appears),
+//!   [`policy::Policy::HaltRearrange`] (the \[5\] baseline: moved tasks
+//!   stop while they move) and [`policy::Policy::TransparentReloc`] (this
+//!   paper: moves never stop the moved task);
+//! * [`metrics::RunMetrics`] — waiting times, halt times, utilisation,
+//!   move traffic.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtm_sched::{workload::WorkloadParams, scheduler::Scheduler, policy::Policy};
+//! use rtm_fpga::geom::{ClbCoord, Rect};
+//!
+//! let tasks = WorkloadParams::default().generate();
+//! let arena = Rect::new(ClbCoord::new(0, 0), 28, 42);
+//! let metrics = Scheduler::new(arena, Policy::TransparentReloc).run(&tasks);
+//! assert_eq!(metrics.completed, tasks.len());
+//! assert_eq!(metrics.total_halt_time, 0, "transparent moves never halt tasks");
+//! ```
+
+pub mod metrics;
+pub mod policy;
+pub mod scheduler;
+pub mod task;
+pub mod workload;
+
+pub use policy::Policy;
+pub use scheduler::Scheduler;
+pub use task::TaskSpec;

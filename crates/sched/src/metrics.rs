@@ -1,0 +1,123 @@
+//! Aggregate metrics of one scheduling run (the T2 report row).
+
+use crate::task::{Micros, TaskOutcome};
+use std::fmt;
+
+/// Aggregated results of a scheduling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Tasks completed.
+    pub completed: usize,
+    /// Fraction of tasks placed the instant they arrived.
+    pub immediate_rate: f64,
+    /// Mean waiting time (µs).
+    pub mean_wait: f64,
+    /// Maximum waiting time (µs).
+    pub max_wait: Micros,
+    /// Total halt time inflicted on *running* tasks by rearrangements
+    /// (µs) — zero for transparent relocation, the paper's claim.
+    pub total_halt_time: Micros,
+    /// Number of task moves executed.
+    pub moves: usize,
+    /// Total CLBs relocated.
+    pub cells_moved: u64,
+    /// Time the last task finished (µs).
+    pub makespan: Micros,
+    /// Time-averaged CLB utilisation in `[0, 1]`.
+    pub utilisation: f64,
+    /// Per-task outcomes.
+    pub outcomes: Vec<TaskOutcome>,
+}
+
+impl RunMetrics {
+    /// Builds the aggregate from per-task outcomes plus run-level
+    /// counters.
+    pub fn from_outcomes(
+        outcomes: Vec<TaskOutcome>,
+        moves: usize,
+        cells_moved: u64,
+        utilisation: f64,
+    ) -> Self {
+        let completed = outcomes.len();
+        let immediate = outcomes.iter().filter(|o| o.immediate).count();
+        let total_wait: u128 = outcomes.iter().map(|o| o.wait() as u128).sum();
+        RunMetrics {
+            completed,
+            immediate_rate: if completed == 0 {
+                1.0
+            } else {
+                immediate as f64 / completed as f64
+            },
+            mean_wait: if completed == 0 {
+                0.0
+            } else {
+                total_wait as f64 / completed as f64
+            },
+            max_wait: outcomes.iter().map(|o| o.wait()).max().unwrap_or(0),
+            total_halt_time: outcomes.iter().map(|o| o.halt_time).sum(),
+            moves,
+            cells_moved,
+            makespan: outcomes.iter().map(|o| o.finish).max().unwrap_or(0),
+            utilisation,
+            outcomes,
+        }
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks | immediate {:.1}% | wait mean {:.1}ms max {:.1}ms | halt {:.1}ms | {} moves ({} CLBs) | util {:.1}%",
+            self.completed,
+            self.immediate_rate * 100.0,
+            self.mean_wait / 1000.0,
+            self.max_wait as f64 / 1000.0,
+            self.total_halt_time as f64 / 1000.0,
+            self.moves,
+            self.cells_moved,
+            self.utilisation * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+
+    fn outcome(id: u64, arrival: u64, start: u64, finish: u64, halt: u64) -> TaskOutcome {
+        TaskOutcome {
+            spec: TaskSpec { id, rows: 2, cols: 2, arrival, duration: finish - start - halt },
+            start,
+            finish,
+            halt_time: halt,
+            immediate: start == arrival,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = RunMetrics::from_outcomes(
+            vec![outcome(0, 0, 0, 100, 0), outcome(1, 10, 40, 200, 20)],
+            3,
+            12,
+            0.5,
+        );
+        assert_eq!(m.completed, 2);
+        assert!((m.immediate_rate - 0.5).abs() < 1e-9);
+        assert!((m.mean_wait - 15.0).abs() < 1e-9);
+        assert_eq!(m.max_wait, 30);
+        assert_eq!(m.total_halt_time, 20);
+        assert_eq!(m.makespan, 200);
+        assert!(m.to_string().contains("2 tasks"));
+    }
+
+    #[test]
+    fn empty_run() {
+        let m = RunMetrics::from_outcomes(vec![], 0, 0, 0.0);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.mean_wait, 0.0);
+        assert_eq!(m.immediate_rate, 1.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Rearrangement policies: the paper versus its baselines.
+
+use crate::task::Micros;
+use std::fmt;
+
+/// Default per-CLB relocation cost through the Boundary Scan port (µs),
+/// the paper's measured 22.6 ms.
+pub const BOUNDARY_SCAN_US_PER_CLB: Micros = 22_600;
+
+/// What the scheduler may do when an arriving task does not fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Never rearrange: the task queues until departures open a hole.
+    NoRearrange,
+    /// Rearrange by halting the moved tasks while they are copied
+    /// (Diessel et al.\[5\]): each moved task stops for its own move time.
+    HaltRearrange,
+    /// Rearrange with dynamic relocation (this paper): moved tasks keep
+    /// running; only the incoming task waits for the moves to complete.
+    TransparentReloc,
+}
+
+impl Policy {
+    /// All policies, for sweeps.
+    pub const ALL: [Policy; 3] =
+        [Policy::NoRearrange, Policy::HaltRearrange, Policy::TransparentReloc];
+
+    /// True if the policy may move running tasks.
+    pub fn rearranges(&self) -> bool {
+        !matches!(self, Policy::NoRearrange)
+    }
+
+    /// Halt time charged to a moved task of `cells` CLBs.
+    pub fn halt_time(&self, cells: u32, us_per_clb: Micros) -> Micros {
+        match self {
+            Policy::HaltRearrange => cells as Micros * us_per_clb,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Policy::NoRearrange => "no-rearrange",
+            Policy::HaltRearrange => "halt-rearrange",
+            Policy::TransparentReloc => "transparent-reloc",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halt_time_only_for_halting_policy() {
+        assert_eq!(Policy::NoRearrange.halt_time(10, 100), 0);
+        assert_eq!(Policy::TransparentReloc.halt_time(10, 100), 0);
+        assert_eq!(Policy::HaltRearrange.halt_time(10, 100), 1000);
+    }
+
+    #[test]
+    fn rearrange_flags() {
+        assert!(!Policy::NoRearrange.rearranges());
+        assert!(Policy::HaltRearrange.rearranges());
+        assert!(Policy::TransparentReloc.rearranges());
+        assert_eq!(Policy::ALL.len(), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Policy::TransparentReloc.to_string(), "transparent-reloc");
+    }
+}

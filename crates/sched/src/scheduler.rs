@@ -1,0 +1,347 @@
+//! The discrete-event on-line scheduler.
+//!
+//! Simulates the arrival → placement → (rearrangement) → departure life
+//! cycle on a [`TaskArena`], charging rearrangement time according to the
+//! selected [`Policy`]: under [`Policy::HaltRearrange`] a moved task's
+//! completion slips by its own move time (it stopped running, as in
+//! Diessel et al.\[5\]); under [`Policy::TransparentReloc`] it does not
+//! (the paper's contribution) — only the *incoming* task waits for the
+//! reconfiguration port to execute the moves.
+
+use crate::metrics::RunMetrics;
+use crate::policy::{Policy, BOUNDARY_SCAN_US_PER_CLB};
+use crate::task::{Micros, TaskOutcome, TaskSpec};
+use rtm_fpga::geom::Rect;
+use rtm_place::alloc::Strategy;
+use rtm_place::defrag::{make_room, plan_cost};
+use rtm_place::TaskArena;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A running task's bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    spec: TaskSpec,
+    start: Micros,
+    finish: Micros,
+    halt_time: Micros,
+    immediate: bool,
+}
+
+/// The on-line scheduler. See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    bounds: Rect,
+    policy: Policy,
+    strategy: Strategy,
+    /// Relocation cost per CLB (µs); defaults to the paper's Boundary
+    /// Scan figure.
+    pub us_per_clb: Micros,
+}
+
+impl Scheduler {
+    /// A scheduler over `bounds` with the given policy, first-fit
+    /// placement and Boundary Scan move costs.
+    pub fn new(bounds: Rect, policy: Policy) -> Self {
+        Scheduler {
+            bounds,
+            policy,
+            strategy: Strategy::BestFit,
+            us_per_clb: BOUNDARY_SCAN_US_PER_CLB,
+        }
+    }
+
+    /// Replaces the allocation strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the per-CLB move cost (e.g. a SelectMAP-class port).
+    pub fn with_move_cost(mut self, us_per_clb: Micros) -> Self {
+        self.us_per_clb = us_per_clb;
+        self
+    }
+
+    /// Runs the workload to completion and returns the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task is larger than the arena (it could never run).
+    pub fn run(&self, tasks: &[TaskSpec]) -> RunMetrics {
+        for t in tasks {
+            assert!(
+                t.rows <= self.bounds.rows && t.cols <= self.bounds.cols,
+                "{t} larger than the array"
+            );
+        }
+        let mut arrivals: Vec<TaskSpec> = tasks.to_vec();
+        arrivals.sort_by_key(|t| t.arrival);
+        let mut arrivals: VecDeque<TaskSpec> = arrivals.into();
+
+        let mut arena = TaskArena::new(self.bounds);
+        let mut running: BTreeMap<u64, Running> = BTreeMap::new();
+        let mut queue: VecDeque<TaskSpec> = VecDeque::new();
+        let mut outcomes: Vec<TaskOutcome> = Vec::new();
+        let mut moves = 0usize;
+        let mut cells_moved = 0u64;
+        let mut now: Micros = 0;
+        let mut busy_area_time: u128 = 0;
+
+        loop {
+            // Next event time: earliest arrival or completion.
+            let next_arrival = arrivals.front().map(|t| t.arrival);
+            let next_finish = running.values().map(|r| r.finish).min();
+            let next = match (next_arrival, next_finish) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(f)) => f,
+                (Some(a), Some(f)) => a.min(f),
+            };
+            // Advance time, integrating utilisation.
+            let occupied: u128 = arena.tasks().values().map(|r| r.area() as u128).sum();
+            busy_area_time += occupied * (next - now) as u128;
+            now = next;
+
+            // Departures first: they can only help the queue.
+            let finished: Vec<u64> = running
+                .iter()
+                .filter(|(_, r)| r.finish <= now)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in finished {
+                let r = running.remove(&id).expect("present");
+                arena.release(id).expect("running task is allocated");
+                outcomes.push(TaskOutcome {
+                    spec: r.spec,
+                    start: r.start,
+                    finish: r.finish,
+                    halt_time: r.halt_time,
+                    immediate: r.immediate,
+                });
+            }
+
+            // Arrivals at this instant join the queue (FIFO).
+            while arrivals.front().map(|t| t.arrival <= now).unwrap_or(false) {
+                queue.push_back(arrivals.pop_front().expect("checked"));
+            }
+
+            // Serve the queue head-first; stop at the first task we
+            // cannot place (FIFO fairness).
+            while let Some(head) = queue.front().copied() {
+                match self.try_place(&mut arena, &mut running, head, now, &mut moves, &mut cells_moved)
+                {
+                    Some(()) => {
+                        queue.pop_front();
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        debug_assert!(queue.is_empty(), "all tasks eventually run");
+        let total_area = self.bounds.area() as u128;
+        let utilisation = if now == 0 {
+            0.0
+        } else {
+            busy_area_time as f64 / (total_area * now as u128) as f64
+        };
+        outcomes.sort_by_key(|o| o.spec.id);
+        RunMetrics::from_outcomes(outcomes, moves, cells_moved, utilisation)
+    }
+
+    /// Attempts to place `task` at time `now`, rearranging if the policy
+    /// allows. Returns `Some(())` on success.
+    fn try_place(
+        &self,
+        arena: &mut TaskArena,
+        running: &mut BTreeMap<u64, Running>,
+        task: TaskSpec,
+        now: Micros,
+        moves: &mut usize,
+        cells_moved: &mut u64,
+    ) -> Option<()> {
+        let immediate_possible =
+            !arena.arena().candidate_origins(task.rows, task.cols).is_empty();
+        let mut start = now;
+        if !immediate_possible {
+            if !self.policy.rearranges() {
+                return None;
+            }
+            let plan = make_room(arena, task.rows, task.cols)?;
+            debug_assert!(!plan.is_empty(), "fit check said no space");
+            let cost = plan_cost(&plan);
+            // Execute the plan: the reconfiguration port is busy for the
+            // whole move traffic; the incoming task starts afterwards.
+            let move_time = cost.cells as Micros * self.us_per_clb;
+            for mv in &plan {
+                arena.relocate(mv.id, mv.to).expect("planned move feasible");
+                if let Some(r) = running.get_mut(&mv.id) {
+                    let halt = self.policy.halt_time(mv.cells_moved(), self.us_per_clb);
+                    r.halt_time += halt;
+                    r.finish += halt;
+                }
+            }
+            *moves += plan.len();
+            *cells_moved += cost.cells as u64;
+            start = now + move_time;
+        }
+        let rect = arena
+            .allocate(task.id, task.rows, task.cols, self.strategy)
+            .ok()?;
+        debug_assert_eq!(rect.area(), task.area());
+        running.insert(
+            task.id,
+            Running {
+                spec: task,
+                start,
+                finish: start + task.duration,
+                halt_time: 0,
+                // "Allocated on arrival" in the sense of Diessel et al.:
+                // the task was admitted at its arrival event (possibly
+                // after rearrangement), not parked in the queue.
+                immediate: now == task.arrival,
+            },
+        );
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadParams;
+    use rtm_fpga::geom::ClbCoord;
+
+    fn arena28x42() -> Rect {
+        Rect::new(ClbCoord::new(0, 0), 28, 42)
+    }
+
+    fn light_workload() -> Vec<TaskSpec> {
+        WorkloadParams { n_tasks: 30, ..WorkloadParams::default() }.generate()
+    }
+
+    #[test]
+    fn all_tasks_complete_under_every_policy() {
+        let tasks = light_workload();
+        for policy in Policy::ALL {
+            let m = Scheduler::new(arena28x42(), policy).run(&tasks);
+            assert_eq!(m.completed, tasks.len(), "{policy}");
+            assert!(m.makespan > 0);
+        }
+    }
+
+    #[test]
+    fn transparent_never_halts_but_halting_does() {
+        // Heavy load forces rearrangements.
+        let tasks = WorkloadParams {
+            n_tasks: 80,
+            mean_interarrival: 8_000.0,
+            rows: (6, 14),
+            cols: (6, 14),
+            duration: (200_000, 800_000),
+            seed: 3,
+        }
+        .generate();
+        let transparent = Scheduler::new(arena28x42(), Policy::TransparentReloc).run(&tasks);
+        assert_eq!(transparent.total_halt_time, 0);
+        let halting = Scheduler::new(arena28x42(), Policy::HaltRearrange).run(&tasks);
+        if halting.moves > 0 {
+            assert!(halting.total_halt_time > 0, "halting policy must charge halts");
+        }
+        assert!(transparent.moves > 0, "heavy load must trigger rearrangement");
+    }
+
+    #[test]
+    fn rearrangement_raises_allocation_rate_and_transparency_beats_halting() {
+        let tasks = WorkloadParams {
+            n_tasks: 60,
+            mean_interarrival: 10_000.0,
+            rows: (6, 13),
+            cols: (6, 13),
+            duration: (150_000, 600_000),
+            seed: 11,
+        }
+        .generate();
+        let none = Scheduler::new(arena28x42(), Policy::NoRearrange).run(&tasks);
+        let halting = Scheduler::new(arena28x42(), Policy::HaltRearrange).run(&tasks);
+        let transparent = Scheduler::new(arena28x42(), Policy::TransparentReloc).run(&tasks);
+        // Rearrangement admits more tasks the instant they arrive —
+        // Diessel's "rate at which waiting functions are allocated".
+        assert!(
+            transparent.immediate_rate >= none.immediate_rate,
+            "transparent {:.2} vs none {:.2}",
+            transparent.immediate_rate,
+            none.immediate_rate
+        );
+        // Same plans, but halting charges moved tasks their move time:
+        // total delay under transparency strictly dominates.
+        let delay = |m: &crate::metrics::RunMetrics| -> u64 {
+            m.outcomes.iter().map(|o| o.delay()).sum()
+        };
+        assert!(delay(&transparent) <= delay(&halting));
+        assert_eq!(transparent.total_halt_time, 0);
+        if halting.moves > 0 {
+            assert!(halting.total_halt_time > 0);
+        }
+    }
+
+    #[test]
+    fn sequential_tasks_run_back_to_back() {
+        // Two tasks that each fill the device: strict serialisation.
+        let tasks = vec![
+            TaskSpec { id: 0, rows: 28, cols: 42, arrival: 0, duration: 100 },
+            TaskSpec { id: 1, rows: 28, cols: 42, arrival: 0, duration: 100 },
+        ];
+        let m = Scheduler::new(arena28x42(), Policy::TransparentReloc).run(&tasks);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.makespan, 200);
+        let waits: Vec<u64> = m.outcomes.iter().map(|o| o.wait()).collect();
+        assert_eq!(waits, vec![0, 100]);
+    }
+
+    #[test]
+    fn utilisation_bounded() {
+        let tasks = light_workload();
+        let m = Scheduler::new(arena28x42(), Policy::TransparentReloc).run(&tasks);
+        assert!(m.utilisation > 0.0 && m.utilisation <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the array")]
+    fn oversized_task_rejected() {
+        let tasks =
+            vec![TaskSpec { id: 0, rows: 64, cols: 64, arrival: 0, duration: 10 }];
+        Scheduler::new(arena28x42(), Policy::NoRearrange).run(&tasks);
+    }
+
+    #[test]
+    fn strategies_sweep_completes() {
+        let tasks = light_workload();
+        for s in Strategy::ALL {
+            let m = Scheduler::new(arena28x42(), Policy::TransparentReloc)
+                .with_strategy(s)
+                .run(&tasks);
+            assert_eq!(m.completed, tasks.len(), "{s}");
+        }
+    }
+
+    #[test]
+    fn faster_port_reduces_move_penalty() {
+        let tasks = WorkloadParams {
+            n_tasks: 60,
+            mean_interarrival: 8_000.0,
+            rows: (7, 14),
+            cols: (7, 14),
+            duration: (200_000, 700_000),
+            seed: 5,
+        }
+        .generate();
+        let slow = Scheduler::new(arena28x42(), Policy::TransparentReloc).run(&tasks);
+        let fast = Scheduler::new(arena28x42(), Policy::TransparentReloc)
+            .with_move_cost(BOUNDARY_SCAN_US_PER_CLB / 20)
+            .run(&tasks);
+        if slow.moves > 0 {
+            assert!(fast.mean_wait <= slow.mean_wait);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Task model: rectangular functions with arrival and execution times.
+//!
+//! Times are in microseconds, matching the reconfiguration cost scale
+//! (a Boundary Scan CLB relocation is ~22 600 µs, §2).
+
+use std::fmt;
+
+/// Time unit: microseconds.
+pub type Micros = u64;
+
+/// One task (function) request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Unique id.
+    pub id: u64,
+    /// CLB rows required.
+    pub rows: u16,
+    /// CLB columns required.
+    pub cols: u16,
+    /// Arrival time (µs).
+    pub arrival: Micros,
+    /// Execution time once started (µs).
+    pub duration: Micros,
+}
+
+impl TaskSpec {
+    /// Area in CLBs.
+    pub fn area(&self) -> u32 {
+        self.rows as u32 * self.cols as u32
+    }
+}
+
+impl fmt::Display for TaskSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} [{}x{}] @{}us for {}us",
+            self.id, self.rows, self.cols, self.arrival, self.duration
+        )
+    }
+}
+
+/// Per-task outcome of a scheduling run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskOutcome {
+    /// The task.
+    pub spec: TaskSpec,
+    /// When it was placed and started (µs).
+    pub start: Micros,
+    /// When it finished (µs), including any halt time.
+    pub finish: Micros,
+    /// Time spent halted by rearrangements (µs).
+    pub halt_time: Micros,
+    /// Whether it was placed the instant it arrived.
+    pub immediate: bool,
+}
+
+impl TaskOutcome {
+    /// Waiting time between arrival and start.
+    pub fn wait(&self) -> Micros {
+        self.start - self.spec.arrival
+    }
+
+    /// Total delay versus an ideal dedicated device
+    /// (wait + halt overhead).
+    pub fn delay(&self) -> Micros {
+        self.wait() + self.halt_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_display() {
+        let t = TaskSpec { id: 3, rows: 4, cols: 5, arrival: 10, duration: 100 };
+        assert_eq!(t.area(), 20);
+        assert!(t.to_string().contains("task 3"));
+    }
+
+    #[test]
+    fn outcome_math() {
+        let spec = TaskSpec { id: 1, rows: 1, cols: 1, arrival: 100, duration: 50 };
+        let o = TaskOutcome { spec, start: 130, finish: 200, halt_time: 20, immediate: false };
+        assert_eq!(o.wait(), 30);
+        assert_eq!(o.delay(), 50);
+    }
+}

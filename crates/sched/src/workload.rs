@@ -1,0 +1,110 @@
+//! Reproducible stochastic workloads (experiment T2/T3 input).
+
+use crate::task::{Micros, TaskSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Mean inter-arrival time (µs); arrivals are exponential.
+    pub mean_interarrival: f64,
+    /// Task rows drawn uniformly from this inclusive range.
+    pub rows: (u16, u16),
+    /// Task columns drawn uniformly from this inclusive range.
+    pub cols: (u16, u16),
+    /// Execution time (µs) drawn uniformly from this inclusive range.
+    pub duration: (Micros, Micros),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            n_tasks: 60,
+            mean_interarrival: 40_000.0,
+            rows: (4, 12),
+            cols: (4, 12),
+            duration: (50_000, 400_000),
+            seed: 7,
+        }
+    }
+}
+
+impl WorkloadParams {
+    /// A heavier load (shorter inter-arrival), keeping other defaults.
+    pub fn with_load_factor(mut self, factor: f64) -> Self {
+        self.mean_interarrival /= factor.max(1e-9);
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the task list, sorted by arrival.
+    pub fn generate(&self) -> Vec<TaskSpec> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tasks = Vec::with_capacity(self.n_tasks);
+        let mut t = 0f64;
+        for id in 0..self.n_tasks {
+            // Exponential inter-arrival via inverse transform.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -self.mean_interarrival * u.ln();
+            let rows = rng.gen_range(self.rows.0..=self.rows.1);
+            let cols = rng.gen_range(self.cols.0..=self.cols.1);
+            let duration = rng.gen_range(self.duration.0..=self.duration.1);
+            tasks.push(TaskSpec { id: id as u64, rows, cols, arrival: t as Micros, duration });
+        }
+        tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = WorkloadParams::default().generate();
+        let b = WorkloadParams::default().generate();
+        assert_eq!(a, b);
+        let c = WorkloadParams::default().with_seed(8).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_sorted_and_sized() {
+        let tasks = WorkloadParams::default().generate();
+        assert_eq!(tasks.len(), 60);
+        for w in tasks.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        for t in &tasks {
+            assert!((4..=12).contains(&t.rows));
+            assert!((4..=12).contains(&t.cols));
+            assert!((50_000..=400_000).contains(&t.duration));
+        }
+    }
+
+    #[test]
+    fn load_factor_compresses_arrivals() {
+        let slow = WorkloadParams::default().generate();
+        let fast = WorkloadParams::default().with_load_factor(4.0).generate();
+        assert!(fast.last().unwrap().arrival < slow.last().unwrap().arrival);
+    }
+
+    #[test]
+    fn mean_interarrival_roughly_respected() {
+        let params = WorkloadParams { n_tasks: 2000, ..WorkloadParams::default() };
+        let tasks = params.generate();
+        let span = tasks.last().unwrap().arrival as f64;
+        let mean = span / 2000.0;
+        assert!((mean - 40_000.0).abs() < 4_000.0, "empirical mean {mean}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Lock-step equivalence checking: the transparency oracle.
+//!
+//! Runs the device-level simulation against the golden netlist model with
+//! identical stimulus and compares primary outputs cycle by cycle. A
+//! relocation is *transparent* iff this comparison never diverges and the
+//! device sim records no glitch while the procedure executes.
+
+use crate::design::PlacedDesign;
+use crate::devsim::DeviceSim;
+use crate::error::SimError;
+use crate::logic::Logic;
+use rtm_fpga::Device;
+use rtm_netlist::{GoldenSim, Netlist};
+
+/// One cycle's divergence record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Clock cycle at which outputs differed.
+    pub cycle: u64,
+    /// Output name.
+    pub output: String,
+    /// Golden value.
+    pub expected: bool,
+    /// Device value.
+    pub actual: Logic,
+}
+
+/// Lock-step harness pairing a device simulation with the golden model.
+#[derive(Debug)]
+pub struct LockStep<'a> {
+    /// The golden model.
+    pub golden: GoldenSim<'a>,
+    /// The device-level simulation.
+    pub device_sim: DeviceSim,
+    divergences: Vec<Divergence>,
+}
+
+impl<'a> LockStep<'a> {
+    /// Builds the pair for a freshly implemented design.
+    ///
+    /// The golden model's storage is aligned to the device's initial
+    /// state (both come from the netlist's init values).
+    pub fn new(netlist: &'a Netlist, dev: &Device, placed: &PlacedDesign) -> Self {
+        LockStep {
+            golden: GoldenSim::new(netlist),
+            device_sim: DeviceSim::new(dev, placed),
+            divergences: Vec::new(),
+        }
+    }
+
+    /// Divergences observed so far.
+    pub fn divergences(&self) -> &[Divergence] {
+        &self.divergences
+    }
+
+    /// True if no divergence and no glitch has been observed.
+    pub fn transparent(&self) -> bool {
+        self.divergences.is_empty() && self.device_sim.glitches().is_empty()
+    }
+
+    /// Advances both models one cycle and compares outputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input-width errors from either model.
+    pub fn step(&mut self, dev: &Device, inputs: &[bool]) -> Result<(), SimError> {
+        self.golden.step(inputs).map_err(|e| match e {
+            rtm_netlist::NetlistError::InputWidthMismatch { expected, actual } => {
+                SimError::InputWidthMismatch { expected, actual }
+            }
+            other => panic!("golden model failed: {other}"),
+        })?;
+        self.device_sim.step(dev, inputs)?;
+        let expected = self.golden.outputs();
+        let actual = self.device_sim.outputs();
+        for (i, (e, a)) in expected.iter().zip(actual.iter()).enumerate() {
+            if a.to_bool() != Some(*e) {
+                self.divergences.push(Divergence {
+                    cycle: self.device_sim.cycle() - 1,
+                    output: format!("out{i}"),
+                    expected: *e,
+                    actual: *a,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `cycles` steps with stimulus from `stim(cycle)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors.
+    pub fn run<F: FnMut(u64) -> Vec<bool>>(
+        &mut self,
+        dev: &Device,
+        cycles: u64,
+        mut stim: F,
+    ) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            let inputs = stim(self.device_sim.cycle());
+            self.step(dev, &inputs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::implement;
+    use rtm_fpga::geom::{ClbCoord, Rect};
+    use rtm_fpga::part::Part;
+    use rtm_netlist::random::RandomCircuit;
+    use rtm_netlist::techmap::map_to_luts;
+
+    #[test]
+    fn clean_implementation_is_transparent() {
+        let netlist = RandomCircuit::free_running(8, 30, 21).generate();
+        let mapped = map_to_luts(&netlist).unwrap();
+        let mut dev = Device::new(Part::Xcv200);
+        let region = Rect::new(ClbCoord::new(1, 1), 12, 12);
+        let placed = implement(&mut dev, &mapped, region).unwrap();
+        let mut ls = LockStep::new(&netlist, &dev, &placed);
+        ls.run(&dev, 100, |c| (0..4).map(|b| (c >> b) & 1 == 1).collect()).unwrap();
+        assert!(ls.transparent(), "divergences: {:?}", ls.divergences());
+    }
+
+    #[test]
+    fn gated_circuit_is_transparent() {
+        let netlist = RandomCircuit::gated(6, 24, 33).generate();
+        let mapped = map_to_luts(&netlist).unwrap();
+        let mut dev = Device::new(Part::Xcv200);
+        let region = Rect::new(ClbCoord::new(1, 1), 12, 12);
+        let placed = implement(&mut dev, &mapped, region).unwrap();
+        let mut ls = LockStep::new(&netlist, &dev, &placed);
+        ls.run(&dev, 100, |c| (0..4).map(|b| (c >> (b + 1)) & 1 == 1).collect()).unwrap();
+        assert!(ls.transparent(), "divergences: {:?}", ls.divergences());
+    }
+
+    #[test]
+    fn corrupted_lut_diverges() {
+        let netlist = RandomCircuit::free_running(4, 16, 44).generate();
+        let mapped = map_to_luts(&netlist).unwrap();
+        let mut dev = Device::new(Part::Xcv200);
+        let region = Rect::new(ClbCoord::new(1, 1), 10, 10);
+        let placed = implement(&mut dev, &mapped, region).unwrap();
+        // Sabotage: invert a LUT the first output depends on.
+        let (_, loc) = placed.output_locs()[0].clone();
+        let mut clb = *dev.clb(loc.0).unwrap();
+        let bits = clb.cells[loc.1].lut.bits();
+        clb.cells[loc.1].lut.set_bits(!bits);
+        dev.set_clb(loc.0, clb).unwrap();
+
+        let mut ls = LockStep::new(&netlist, &dev, &placed);
+        ls.run(&dev, 20, |c| (0..4).map(|b| (c >> b) & 1 == 1).collect()).unwrap();
+        assert!(!ls.divergences().is_empty(), "sabotage must be caught");
+    }
+}

@@ -1,0 +1,144 @@
+//! Static timing over routed paths: the Fig. 6 analysis.
+//!
+//! "Since different paths are used while paralleling the original and
+//! replica interconnections, each of them will have a different
+//! propagation delay. … the signal at the input of the CLB destination
+//! will show an interval of fuzziness. … for transient analysis, the
+//! propagation delay associated to the parallel interconnections shall be
+//! the longer of the two paths." (paper §3)
+
+use crate::route::{NetDb, NetId};
+use rtm_fpga::routing::RouteNode;
+use std::fmt;
+
+/// Timing of one sink pin reached by two paralleled paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelPathTiming {
+    /// Delay through the original path, picoseconds.
+    pub original_ps: u64,
+    /// Delay through the replica path, picoseconds.
+    pub replica_ps: u64,
+}
+
+impl ParallelPathTiming {
+    /// The fuzziness window: the interval during which the two arrivals
+    /// may disagree after a source transition (Fig. 6).
+    pub fn fuzziness_ps(&self) -> u64 {
+        self.original_ps.abs_diff(self.replica_ps)
+    }
+
+    /// The effective propagation delay while paralleled: the longer of
+    /// the two paths (paper §3, last paragraph).
+    pub fn effective_delay_ps(&self) -> u64 {
+        self.original_ps.max(self.replica_ps)
+    }
+
+    /// Start of the fuzziness window after a source transition.
+    pub fn window_start_ps(&self) -> u64 {
+        self.original_ps.min(self.replica_ps)
+    }
+}
+
+impl fmt::Display for ParallelPathTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "orig {}ps / replica {}ps (fuzzy {}ps, effective {}ps)",
+            self.original_ps,
+            self.replica_ps,
+            self.fuzziness_ps(),
+            self.effective_delay_ps()
+        )
+    }
+}
+
+/// Computes the paralleled-path timing for `sink`, reached both by net
+/// `original` and net `replica`. Returns `None` if either net misses the
+/// sink.
+pub fn parallel_timing(
+    netdb: &NetDb,
+    original: NetId,
+    replica: NetId,
+    sink: RouteNode,
+) -> Option<ParallelPathTiming> {
+    let original_ps = netdb.net(original)?.sink_delay_ps(sink)?;
+    let replica_ps = netdb.net(replica)?.sink_delay_ps(sink)?;
+    Some(ParallelPathTiming { original_ps, replica_ps })
+}
+
+/// Worst sink delay of a net (its timing-critical connection), in
+/// picoseconds. Returns `None` for sink-less nets.
+pub fn critical_delay_ps(netdb: &NetDb, net: NetId) -> Option<u64> {
+    let n = netdb.net(net)?;
+    n.sinks().filter_map(|s| n.sink_delay_ps(s)).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_fpga::geom::ClbCoord;
+    use rtm_fpga::part::Part;
+    use rtm_fpga::routing::Wire;
+    use rtm_fpga::Device;
+
+    fn node(r: u16, c: u16, wire: Wire) -> RouteNode {
+        RouteNode::new(ClbCoord::new(r, c), wire)
+    }
+
+    #[test]
+    fn fuzziness_math() {
+        let t = ParallelPathTiming { original_ps: 900, replica_ps: 1500 };
+        assert_eq!(t.fuzziness_ps(), 600);
+        assert_eq!(t.effective_delay_ps(), 1500);
+        assert_eq!(t.window_start_ps(), 900);
+        assert!(t.to_string().contains("600"));
+    }
+
+    #[test]
+    fn equal_paths_have_no_fuzziness() {
+        let t = ParallelPathTiming { original_ps: 700, replica_ps: 700 };
+        assert_eq!(t.fuzziness_ps(), 0);
+        assert_eq!(t.effective_delay_ps(), 700);
+    }
+
+    #[test]
+    fn parallel_timing_from_real_routes() {
+        let mut dev = Device::new(Part::Xcv50);
+        let mut db = crate::route::NetDb::new();
+        let sink = node(5, 8, Wire::CellIn(0, 0));
+        // Original: short path from an adjacent tile.
+        let orig = db
+            .route_net(&mut dev, node(5, 7, Wire::CellOut(0)), &[sink], None)
+            .unwrap();
+        // Replica: longer path from a distant tile, sharing the sink pin.
+        let repl = db
+            .route_net(&mut dev, node(10, 2, Wire::CellOut(0)), &[sink], None)
+            .unwrap();
+        let t = parallel_timing(&db, orig, repl, sink).unwrap();
+        assert!(t.replica_ps > t.original_ps, "{t}");
+        assert!(t.fuzziness_ps() > 0);
+        assert_eq!(t.effective_delay_ps(), t.replica_ps);
+    }
+
+    #[test]
+    fn critical_delay_is_worst_sink() {
+        let mut dev = Device::new(Part::Xcv50);
+        let mut db = crate::route::NetDb::new();
+        let near = node(2, 3, Wire::CellIn(0, 1));
+        let far = node(12, 18, Wire::CellIn(0, 3));
+        let id = db
+            .route_net(&mut dev, node(2, 2, Wire::CellOut(0)), &[near, far], None)
+            .unwrap();
+        let crit = critical_delay_ps(&db, id).unwrap();
+        let near_d = db.net(id).unwrap().sink_delay_ps(near).unwrap();
+        assert!(crit >= near_d);
+        assert_eq!(crit, db.net(id).unwrap().sink_delay_ps(far).unwrap().max(near_d));
+    }
+
+    #[test]
+    fn missing_sink_yields_none() {
+        let db = crate::route::NetDb::new();
+        assert!(parallel_timing(&db, 0, 1, node(0, 0, Wire::CellIn(0, 0))).is_none());
+        assert!(critical_delay_ps(&db, 0).is_none());
+    }
+}

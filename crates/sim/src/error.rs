@@ -1,0 +1,115 @@
+//! Error type for implementation and simulation.
+
+use rtm_fpga::geom::{ClbCoord, Rect};
+use rtm_fpga::routing::RouteNode;
+use std::fmt;
+
+/// Errors raised while placing, routing or simulating.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The region cannot hold the design.
+    RegionTooSmall {
+        /// Cells to place (including input feed cells).
+        cells: usize,
+        /// Cell slots available in the region.
+        capacity: usize,
+        /// The region offered.
+        region: Rect,
+    },
+    /// The region does not fit on the device.
+    RegionOutOfBounds {
+        /// The region offered.
+        region: Rect,
+    },
+    /// The router could not find a path for a connection.
+    Unroutable {
+        /// Net source.
+        from: RouteNode,
+        /// Unreached sink.
+        to: RouteNode,
+    },
+    /// A sink pin was already claimed by another net.
+    SinkOccupied {
+        /// The contested pin.
+        pin: RouteNode,
+    },
+    /// The simulator was driven with the wrong number of inputs.
+    InputWidthMismatch {
+        /// Inputs the design declares.
+        expected: usize,
+        /// Inputs provided.
+        actual: usize,
+    },
+    /// A placed cell location no longer holds a configured cell
+    /// (device and design views diverged).
+    StaleDesign {
+        /// The offending location.
+        tile: ClbCoord,
+        /// Cell index within the CLB.
+        cell: usize,
+    },
+    /// An underlying device error.
+    Fpga(rtm_fpga::FpgaError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RegionTooSmall { cells, capacity, region } => {
+                write!(f, "region {region} holds {capacity} cells, design needs {cells}")
+            }
+            SimError::RegionOutOfBounds { region } => {
+                write!(f, "region {region} exceeds the device array")
+            }
+            SimError::Unroutable { from, to } => write!(f, "no route from {from} to {to}"),
+            SimError::SinkOccupied { pin } => write!(f, "sink pin {pin} already claimed"),
+            SimError::InputWidthMismatch { expected, actual } => {
+                write!(f, "expected {expected} primary inputs, got {actual}")
+            }
+            SimError::StaleDesign { tile, cell } => {
+                write!(f, "design references unconfigured cell {tile}/{cell}")
+            }
+            SimError::Fpga(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Fpga(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rtm_fpga::FpgaError> for SimError {
+    fn from(e: rtm_fpga::FpgaError) -> Self {
+        SimError::Fpga(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_fpga::routing::Wire;
+
+    #[test]
+    fn displays_nonempty() {
+        let node = RouteNode::new(ClbCoord::new(0, 0), Wire::CellOut(0));
+        for e in [
+            SimError::RegionTooSmall {
+                cells: 10,
+                capacity: 4,
+                region: Rect::new(ClbCoord::new(0, 0), 1, 1),
+            },
+            SimError::RegionOutOfBounds { region: Rect::new(ClbCoord::new(0, 0), 99, 99) },
+            SimError::Unroutable { from: node, to: node },
+            SimError::SinkOccupied { pin: node },
+            SimError::InputWidthMismatch { expected: 1, actual: 2 },
+            SimError::StaleDesign { tile: ClbCoord::new(1, 1), cell: 0 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

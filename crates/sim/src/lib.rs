@@ -1,0 +1,60 @@
+//! # rtm-sim
+//!
+//! Implementation (place & route) and observation (simulation, timing) of
+//! circuits on the Virtex-class device model.
+//!
+//! The paper's claims are *observational*: "no loss of information or
+//! functional disturbance was observed during the execution of these
+//! experiments" (§2). This crate is the instrument that makes those
+//! observations in the reproduction:
+//!
+//! * [`place`] / [`route`] / [`design`] — implement a technology-mapped
+//!   netlist on a device region: pack cells into CLBs, route every net
+//!   through real PIPs and wire segments, and keep the net database
+//!   editable (the relocation engine extends and retires nets live);
+//! * [`devsim::DeviceSim`] — a cycle-accurate, three-valued (0/1/X)
+//!   simulator that reads its structure *from the configuration memory
+//!   itself*, resolves multi-driver wires (paralleled original/replica
+//!   paths), flags driver conflicts and X-observations as glitch events,
+//!   and is re-synchronised after every reconfiguration step;
+//! * [`delay`] — static timing over routed paths, reproducing Fig. 6:
+//!   while two paths are paralleled the arrival window is
+//!   `|d_orig − d_replica|` and the effective delay is the maximum of the
+//!   two;
+//! * [`compare`] — lock-step equivalence running of the device against the
+//!   golden netlist model, the transparency oracle.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtm_fpga::{Device, part::Part, geom::{ClbCoord, Rect}};
+//! use rtm_netlist::{itc99, techmap};
+//! use rtm_sim::design::implement;
+//! use rtm_sim::devsim::DeviceSim;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut dev = Device::new(Part::Xcv200);
+//! let netlist = itc99::generate(itc99::profile("b02").unwrap(),
+//!                               itc99::Variant::FreeRunning);
+//! let mapped = techmap::map_to_luts(&netlist)?;
+//! let region = Rect::new(ClbCoord::new(2, 2), 12, 12);
+//! let placed = implement(&mut dev, &mapped, region)?;
+//!
+//! let mut sim = DeviceSim::new(&dev, &placed);
+//! sim.step(&dev, &[true])?;
+//! assert!(sim.glitches().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod compare;
+pub mod delay;
+pub mod design;
+pub mod devsim;
+pub mod error;
+pub mod logic;
+pub mod place;
+pub mod route;
+
+pub use error::SimError;
+pub use logic::Logic;

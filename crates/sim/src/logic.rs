@@ -1,0 +1,177 @@
+//! Three-valued logic: 0, 1 and X (unknown/conflict).
+//!
+//! X serves two purposes in the transparency experiments:
+//!
+//! * a replica cell whose state has not yet been captured holds X —
+//!   connecting its output too early provably corrupts the observation;
+//! * two paralleled drivers that momentarily disagree resolve to X — the
+//!   digital abstraction of the glitch the paper's procedure is designed
+//!   to avoid.
+
+use rtm_fpga::lut::{Lut, LUT_INPUTS};
+use std::fmt;
+
+/// A three-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / conflicting.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Converts a known boolean.
+    pub fn known(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// The boolean value, if known.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// True if the value is unknown.
+    pub fn is_x(self) -> bool {
+        self == Logic::X
+    }
+
+    /// Resolution of two drivers on one wire: agreement keeps the value,
+    /// disagreement (or any X) yields X.
+    pub fn resolve(self, other: Logic) -> Logic {
+        if self == other {
+            self
+        } else {
+            Logic::X
+        }
+    }
+
+    /// Resolves an iterator of drivers; no driver at all is X.
+    pub fn resolve_all<I: IntoIterator<Item = Logic>>(drivers: I) -> Logic {
+        let mut iter = drivers.into_iter();
+        let first = match iter.next() {
+            Some(v) => v,
+            None => return Logic::X,
+        };
+        iter.fold(first, Logic::resolve)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Logic::Zero => "0",
+            Logic::One => "1",
+            Logic::X => "X",
+        };
+        f.write_str(s)
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::known(b)
+    }
+}
+
+/// Evaluates a LUT under three-valued inputs: if every completion of the
+/// X inputs produces the same output, that output is returned; otherwise
+/// X.
+///
+/// ```
+/// use rtm_sim::logic::{lut_eval_x, Logic};
+/// use rtm_fpga::lut::Lut;
+/// let and2 = Lut::from_fn(|i| i[0] && i[1]);
+/// // 0 AND X is 0 regardless of X:
+/// assert_eq!(lut_eval_x(&and2, [Logic::Zero, Logic::X, Logic::Zero, Logic::Zero]), Logic::Zero);
+/// // 1 AND X is unknown:
+/// assert_eq!(lut_eval_x(&and2, [Logic::One, Logic::X, Logic::Zero, Logic::Zero]), Logic::X);
+/// ```
+pub fn lut_eval_x(lut: &Lut, inputs: [Logic; LUT_INPUTS]) -> Logic {
+    let x_positions: Vec<usize> =
+        (0..LUT_INPUTS).filter(|i| inputs[*i].is_x()).collect();
+    let mut base = [false; LUT_INPUTS];
+    for i in 0..LUT_INPUTS {
+        if let Some(b) = inputs[i].to_bool() {
+            base[i] = b;
+        }
+    }
+    let mut result: Option<bool> = None;
+    for combo in 0..(1usize << x_positions.len()) {
+        let mut ins = base;
+        for (bit, pos) in x_positions.iter().enumerate() {
+            ins[*pos] = (combo >> bit) & 1 == 1;
+        }
+        let out = lut.eval(ins);
+        match result {
+            None => result = Some(out),
+            Some(prev) if prev != out => return Logic::X,
+            _ => {}
+        }
+    }
+    Logic::known(result.unwrap_or(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_rules() {
+        assert_eq!(Logic::One.resolve(Logic::One), Logic::One);
+        assert_eq!(Logic::Zero.resolve(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::One.resolve(Logic::Zero), Logic::X);
+        assert_eq!(Logic::One.resolve(Logic::X), Logic::X);
+        assert_eq!(Logic::resolve_all([]), Logic::X);
+        assert_eq!(Logic::resolve_all([Logic::One, Logic::One]), Logic::One);
+        assert_eq!(Logic::resolve_all([Logic::One, Logic::Zero, Logic::One]), Logic::X);
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Logic::known(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert!(Logic::X.is_x());
+    }
+
+    #[test]
+    fn lut_x_propagation_blocked_by_controlling_values() {
+        let or2 = Lut::from_fn(|i| i[0] || i[1]);
+        assert_eq!(lut_eval_x(&or2, [Logic::One, Logic::X, Logic::Zero, Logic::Zero]), Logic::One);
+        assert_eq!(lut_eval_x(&or2, [Logic::Zero, Logic::X, Logic::Zero, Logic::Zero]), Logic::X);
+    }
+
+    #[test]
+    fn lut_ignores_x_on_unused_inputs() {
+        let pass0 = Lut::passthrough(0);
+        assert_eq!(
+            lut_eval_x(&pass0, [Logic::One, Logic::X, Logic::X, Logic::X]),
+            Logic::One
+        );
+    }
+
+    #[test]
+    fn all_x_on_constant_lut_is_known() {
+        let c = Lut::constant(true);
+        assert_eq!(lut_eval_x(&c, [Logic::X; 4]), Logic::One);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Logic::X.to_string(), "X");
+        assert_eq!(Logic::One.to_string(), "1");
+    }
+}

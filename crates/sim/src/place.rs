@@ -1,0 +1,171 @@
+//! Cell placement: packing mapped cells into a rectangular CLB region.
+//!
+//! The placer is deliberately simple — row-major packing at a configurable
+//! density — because the experiments care about *where cells are and how
+//! far nets travel*, not about placement optimality. Primary inputs become
+//! *feed cells* (pass-through LUTs whose outputs the simulator forces), so
+//! every connection in the design is a real routed net.
+
+use crate::error::SimError;
+use rtm_fpga::clb::CELLS_PER_CLB;
+use rtm_fpga::geom::{ClbCoord, Rect};
+use rtm_netlist::techmap::MappedNetlist;
+
+/// A cell slot: tile plus cell index within the CLB.
+pub type CellLoc = (ClbCoord, usize);
+
+/// Placement of a mapped design (plus its input feed cells and output
+/// tap cells) in a region.
+///
+/// *Feed* cells stand in for input pads: pass-through LUTs whose outputs
+/// the simulator forces. *Tap* cells stand in for output pads: pass-
+/// through LUTs that consume the producing net, so primary outputs are
+/// routed sinks that stay put when the producing cell is relocated —
+/// exactly like the IOBs of the real device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// The region the design occupies.
+    pub region: Rect,
+    /// Location of each mapped cell, indexed like `MappedNetlist::cells`.
+    pub cell_locs: Vec<CellLoc>,
+    /// Location of the feed cell for each primary input.
+    pub feed_locs: Vec<CellLoc>,
+    /// Location of the tap cell for each primary output.
+    pub tap_locs: Vec<CellLoc>,
+    /// Cells used per CLB (the packing density applied).
+    pub density: usize,
+}
+
+impl Placement {
+    /// All slots of `region` in row-major, cell-minor order, using
+    /// `density` cells per CLB (1–4).
+    pub fn slots(region: Rect, density: usize) -> impl Iterator<Item = CellLoc> {
+        let density = density.clamp(1, CELLS_PER_CLB);
+        region.iter().flat_map(move |tile| (0..density).map(move |c| (tile, c)))
+    }
+
+    /// Cell capacity of `region` at `density`.
+    pub fn capacity(region: Rect, density: usize) -> usize {
+        region.area() as usize * density.clamp(1, CELLS_PER_CLB)
+    }
+
+    /// The tiles actually occupied by at least one cell.
+    pub fn occupied_tiles(&self) -> Vec<ClbCoord> {
+        let mut tiles: Vec<ClbCoord> = self
+            .cell_locs
+            .iter()
+            .chain(self.feed_locs.iter())
+            .chain(self.tap_locs.iter())
+            .map(|(t, _)| *t)
+            .collect();
+        tiles.sort();
+        tiles.dedup();
+        tiles
+    }
+}
+
+/// Packs `design` (feeds first, then cells) into `region` at the highest
+/// density that fits, preferring lower densities (which spreads logic and
+/// eases routing).
+///
+/// # Errors
+///
+/// Returns [`SimError::RegionTooSmall`] if even density 4 cannot hold the
+/// design.
+pub fn place(design: &MappedNetlist, region: Rect, bounds: Rect) -> Result<Placement, SimError> {
+    if !bounds.contains_rect(&region) {
+        return Err(SimError::RegionOutOfBounds { region });
+    }
+    let n_taps = design.outputs.len();
+    let needed = design.n_inputs + n_taps + design.cells.len();
+    let density = (1..=CELLS_PER_CLB)
+        .find(|d| Placement::capacity(region, *d) >= needed)
+        .ok_or(SimError::RegionTooSmall {
+            cells: needed,
+            capacity: Placement::capacity(region, CELLS_PER_CLB),
+            region,
+        })?;
+    let mut slots = Placement::slots(region, density);
+    let feed_locs: Vec<CellLoc> = slots.by_ref().take(design.n_inputs).collect();
+    let tap_locs: Vec<CellLoc> = slots.by_ref().take(n_taps).collect();
+    let cell_locs: Vec<CellLoc> = slots.by_ref().take(design.cells.len()).collect();
+    debug_assert_eq!(feed_locs.len(), design.n_inputs);
+    debug_assert_eq!(tap_locs.len(), n_taps);
+    debug_assert_eq!(cell_locs.len(), design.cells.len());
+    Ok(Placement { region, cell_locs, feed_locs, tap_locs, density })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_netlist::random::RandomCircuit;
+    use rtm_netlist::techmap::map_to_luts;
+
+    fn small_design() -> MappedNetlist {
+        let n = RandomCircuit::free_running(4, 12, 5).generate();
+        map_to_luts(&n).unwrap()
+    }
+
+    #[test]
+    fn placement_fits_region() {
+        let design = small_design();
+        let region = Rect::new(ClbCoord::new(2, 3), 6, 6);
+        let bounds = Rect::new(ClbCoord::new(0, 0), 16, 24);
+        let p = place(&design, region, bounds).unwrap();
+        assert_eq!(p.cell_locs.len(), design.cells.len());
+        assert_eq!(p.feed_locs.len(), design.n_inputs);
+        for (tile, cell) in p.cell_locs.iter().chain(p.feed_locs.iter()) {
+            assert!(region.contains(*tile));
+            assert!(*cell < CELLS_PER_CLB);
+        }
+    }
+
+    #[test]
+    fn distinct_slots() {
+        let design = small_design();
+        let region = Rect::new(ClbCoord::new(0, 0), 8, 8);
+        let bounds = Rect::new(ClbCoord::new(0, 0), 16, 24);
+        let p = place(&design, region, bounds).unwrap();
+        let mut all: Vec<CellLoc> =
+            p.feed_locs.iter().chain(p.cell_locs.iter()).copied().collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n, "no slot reused");
+    }
+
+    #[test]
+    fn prefers_low_density() {
+        let design = small_design(); // ~20 cells
+        let region = Rect::new(ClbCoord::new(0, 0), 8, 8); // 64 tiles
+        let bounds = Rect::new(ClbCoord::new(0, 0), 16, 24);
+        let p = place(&design, region, bounds).unwrap();
+        assert_eq!(p.density, 1, "plenty of room: one cell per CLB");
+    }
+
+    #[test]
+    fn too_small_region_rejected() {
+        let design = small_design();
+        let region = Rect::new(ClbCoord::new(0, 0), 2, 2); // 16 slots max
+        let bounds = Rect::new(ClbCoord::new(0, 0), 16, 24);
+        let err = place(&design, region, bounds).unwrap_err();
+        assert!(matches!(err, SimError::RegionTooSmall { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_region_rejected() {
+        let design = small_design();
+        let region = Rect::new(ClbCoord::new(10, 20), 10, 10);
+        let bounds = Rect::new(ClbCoord::new(0, 0), 16, 24);
+        let err = place(&design, region, bounds).unwrap_err();
+        assert!(matches!(err, SimError::RegionOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn capacity_math() {
+        let r = Rect::new(ClbCoord::new(0, 0), 3, 3);
+        assert_eq!(Placement::capacity(r, 1), 9);
+        assert_eq!(Placement::capacity(r, 4), 36);
+        assert_eq!(Placement::slots(r, 2).count(), 18);
+    }
+}

@@ -1,0 +1,85 @@
+//! On-line defragmentation: functions keep running while the manager
+//! rearranges them to admit a request that fragmentation was blocking.
+//!
+//! This is the paper's headline scenario end to end: load functions,
+//! fragment the array, submit a request that does not fit, and watch the
+//! run-time manager execute a rearrangement with **dynamic relocation**
+//! (every moved CLB relocated live through the two-phase procedure),
+//! then admit the request.
+//!
+//! ```sh
+//! cargo run --example defragmentation
+//! ```
+
+use rtm_core::cost::CostModel;
+use rtm_core::manager::RunTimeManager;
+use rtm_fpga::geom::{ClbCoord, Rect};
+use rtm_fpga::part::Part;
+use rtm_netlist::random::RandomCircuit;
+use rtm_netlist::techmap::map_to_luts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mgr = RunTimeManager::new(Part::Xcv50); // 16x24 CLBs
+    let cost_model = CostModel::paper_default();
+    println!("device: XCV50 (16x24 CLBs), cost model: {cost_model}\n");
+
+    // Load two functions, then move them apart to fragment the array.
+    let d1 = map_to_luts(&RandomCircuit::free_running(6, 20, 1).generate())?;
+    let d2 = map_to_luts(&RandomCircuit::free_running(6, 20, 2).generate())?;
+    let f1 = mgr.load(&d1, 16, 6, |_, _, _| {})?;
+    let f2 = mgr.load(&d2, 16, 6, |_, _, _| {})?;
+    mgr.relocate_function(f1.id, Rect::new(ClbCoord::new(0, 18), 16, 6), |_, _, _| {})?;
+    mgr.relocate_function(f2.id, Rect::new(ClbCoord::new(0, 6), 16, 6), |_, _, _| {})?;
+
+    let frag = mgr.fragmentation();
+    println!("after fragmenting: {frag}");
+    println!(
+        "free cells: {}, but largest contiguous rectangle only {} —\n\
+         a 16x10 function (160 CLBs) cannot be placed despite {} free CLBs\n",
+        frag.free_cells,
+        frag.largest_rect,
+        frag.free_cells
+    );
+
+    // Submit the blocked request: the manager plans and executes a
+    // rearrangement, relocating every CLB of the moved functions live.
+    let d3 = map_to_luts(&RandomCircuit::free_running(8, 30, 3).generate())?;
+    let mut steps = 0usize;
+    let report = mgr.load(&d3, 16, 10, |_, _, record| {
+        steps += 1;
+        if steps <= 3 {
+            println!(
+                "  reconfiguration step {:-20} -> {} frames",
+                record.step.to_string(),
+                record.frames.len()
+            );
+        } else if steps == 4 {
+            println!("  ... (more steps) ...");
+        }
+    })?;
+
+    println!("\nrequest admitted as function {} at {}", report.id, report.region);
+    println!("rearrangement: {} function moves", report.moves.len());
+    for mv in &report.moves {
+        println!("  {mv}");
+    }
+    let total_cells: u32 = report.moves.iter().map(|m| m.cells_moved()).sum();
+    let total_ms: f64 = report
+        .relocations
+        .iter()
+        .map(|r| cost_model.relocation_cost(mgr.device().part(), r).millis())
+        .sum();
+    println!(
+        "  {} CLB relocations executed, {:.1} ms of reconfiguration traffic,",
+        report.relocations.len(),
+        total_ms
+    );
+    println!(
+        "  {total_cells} CLBs of running logic moved — with ZERO halt time for the\n\
+         moved functions (the halting baseline would have stopped them for\n\
+         {:.1} ms, see the t2 bench).",
+        total_cells as f64 * 22.6
+    );
+    println!("\nfinal state: {}", mgr.status());
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! # rtm — Run-Time Management of Logic Resources on Reconfigurable Systems
+//!
+//! Umbrella crate for the DATE 2003 reproduction (Gericota, Alves, Silva,
+//! Ferreira). It re-exports every sub-crate so examples and integration
+//! tests can reach the whole stack through a single dependency:
+//!
+//! * [`fpga`] — Virtex-class device and configuration-memory model
+//! * [`bitstream`] — configuration packets and partial-bitstream diffing
+//! * [`jtag`] — IEEE 1149.1 Boundary Scan port and timing model
+//! * [`netlist`] — netlist IR, tech mapping and ITC'99-style benchmarks
+//! * [`sim`] — event-driven simulator with glitch detection
+//! * [`place`] — free-space management and defragmentation
+//! * [`sched`] — on-line spatial/temporal task scheduling
+//! * [`core`] — the paper's contribution: dynamic relocation + run-time
+//!   manager
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: place a circuit,
+//! relocate a live CLB with the two-phase procedure, and verify that the
+//! running function never glitched.
+
+pub use rtm_bitstream as bitstream;
+pub use rtm_core as core;
+pub use rtm_fpga as fpga;
+pub use rtm_jtag as jtag;
+pub use rtm_netlist as netlist;
+pub use rtm_place as place;
+pub use rtm_sched as sched;
+pub use rtm_sim as sim;

@@ -1,0 +1,104 @@
+//! Guard-rail for the T1 reproduction: the gated-clock relocation cost
+//! under the paper's configuration must stay in the 22.6 ms regime, and
+//! the cost model's scaling laws must hold exactly.
+
+use rtm::core::cost::{CostModel, WriteGranularity};
+use rtm::core::relocation::{relocate_cell, RelocationOptions};
+use rtm::core::RelocationClass;
+use rtm::fpga::geom::{ClbCoord, Rect};
+use rtm::fpga::part::Part;
+use rtm::fpga::Device;
+use rtm::jtag::timing::ConfigInterface;
+use rtm::netlist::itc99::{self, Variant};
+use rtm::netlist::techmap::map_to_luts;
+use rtm::sim::design::implement;
+
+fn one_gated_relocation() -> (Part, rtm::core::relocation::RelocationReport) {
+    let netlist = itc99::generate(itc99::profile("b02").unwrap(), Variant::GatedClock);
+    let mapped = map_to_luts(&netlist).unwrap();
+    let mut dev = Device::new(Part::Xcv200);
+    let placed_region = Rect::new(ClbCoord::new(2, 2), 10, 10);
+    let mut placed = implement(&mut dev, &mapped, placed_region).unwrap();
+    let victim = (0..placed.design.cells.len())
+        .find(|i| placed.design.cells[*i].storage.is_sequential())
+        .unwrap();
+    let src = placed.placement.cell_locs[victim];
+    // Nearest free slot outside the region.
+    let dst = (ClbCoord::new(13, 5), 0);
+    let report = relocate_cell(
+        &mut dev,
+        &mut placed,
+        src,
+        dst,
+        &RelocationOptions::default(),
+        |_, _, _| {},
+    )
+    .unwrap();
+    assert_eq!(report.class, RelocationClass::GatedClock);
+    (Part::Xcv200, report)
+}
+
+#[test]
+fn gated_relocation_cost_in_paper_regime() {
+    let (part, report) = one_gated_relocation();
+    let paper = CostModel::paper_default();
+    let cost = paper.relocation_cost(part, &report);
+    // The paper reports 22.6 ms; our model (see EXPERIMENTS.md gap
+    // analysis) must stay within the same regime: 10–80 ms.
+    assert!(
+        cost.millis() > 10.0 && cost.millis() < 80.0,
+        "gated relocation cost {:.1} ms left the 22.6 ms regime",
+        cost.millis()
+    );
+}
+
+#[test]
+fn cost_scales_exactly_with_tck() {
+    let (part, report) = one_gated_relocation();
+    let at = |hz: u64| {
+        CostModel {
+            granularity: WriteGranularity::Column,
+            interface: ConfigInterface::boundary_scan(hz),
+        }
+        .relocation_cost(part, &report)
+        .seconds
+    };
+    let s10 = at(10_000_000);
+    let s20 = at(20_000_000);
+    let s40 = at(40_000_000);
+    assert!((s10 / s20 - 2.0).abs() < 1e-9);
+    assert!((s20 / s40 - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn frame_granularity_strictly_cheaper_and_selectmap_faster() {
+    let (part, report) = one_gated_relocation();
+    let column = CostModel::paper_default().relocation_cost(part, &report);
+    let frame = CostModel::frame_granular(ConfigInterface::paper_default())
+        .relocation_cost(part, &report);
+    assert!(frame.bits < column.bits);
+    assert!(frame.seconds < column.seconds);
+    let selectmap = CostModel {
+        granularity: WriteGranularity::Column,
+        interface: ConfigInterface::select_map(20_000_000),
+    }
+    .relocation_cost(part, &report);
+    assert!((column.seconds / selectmap.seconds - 8.0).abs() < 1e-9, "8 bits per CCLK");
+}
+
+#[test]
+fn jtag_cycle_count_brackets_cost_model() {
+    // The cost model's bit arithmetic must agree with actually walking
+    // the TAP: shifting N words costs at least 32N TCK cycles and at
+    // most 32N plus a small protocol overhead.
+    use rtm::jtag::JtagPort;
+    let mut port = rtm::jtag::JtagPort::new(Part::Xcv200);
+    let words = 1000;
+    port.load_instruction(rtm::jtag::Instruction::CfgIn);
+    let before = port.tck_cycles();
+    port.scan_dr(words * 32).unwrap();
+    let cycles = port.tck_cycles() - before;
+    assert!(cycles >= (words * 32) as u64);
+    assert!(cycles < (words * 32) as u64 + 16, "protocol overhead is a few cycles");
+    let _ = JtagPort::new(Part::Xcv50);
+}
