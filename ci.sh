@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate for the rtm workspace. Mirrors the tier-1 verify plus style
+# and lint gates. Run from the repository root.
+set -euo pipefail
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q (superset of the tier-1 'cargo test -q')"
+cargo test --workspace -q
+
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
+echo "CI OK"

@@ -20,10 +20,8 @@ fn bench_relocate_cell(c: &mut Criterion) {
     c.bench_function("relocate_free_running_cell", |b| {
         b.iter_batched(
             || {
-                let netlist = itc99::generate(
-                    itc99::profile("b02").expect("known"),
-                    Variant::FreeRunning,
-                );
+                let netlist =
+                    itc99::generate(itc99::profile("b02").expect("known"), Variant::FreeRunning);
                 // Leak to satisfy the harness's borrow of the netlist; a
                 // handful of netlists per benchmark run is negligible.
                 let netlist: &'static _ = Box::leak(Box::new(netlist));

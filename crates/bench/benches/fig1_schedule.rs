@@ -28,18 +28,50 @@ fn functions() -> Vec<Vec<Func>> {
     // the Fig. 1 trade-off becomes visible as stalls at parallelism 3.
     vec![
         vec![
-            Func { rows: 20, cols: 28, exec_us: 400_000 },
-            Func { rows: 20, cols: 26, exec_us: 350_000 },
+            Func {
+                rows: 20,
+                cols: 28,
+                exec_us: 400_000,
+            },
+            Func {
+                rows: 20,
+                cols: 26,
+                exec_us: 350_000,
+            },
         ],
         vec![
-            Func { rows: 16, cols: 22, exec_us: 300_000 },
-            Func { rows: 16, cols: 24, exec_us: 450_000 },
+            Func {
+                rows: 16,
+                cols: 22,
+                exec_us: 300_000,
+            },
+            Func {
+                rows: 16,
+                cols: 24,
+                exec_us: 450_000,
+            },
         ],
         vec![
-            Func { rows: 12, cols: 18, exec_us: 200_000 },
-            Func { rows: 12, cols: 20, exec_us: 250_000 },
-            Func { rows: 12, cols: 18, exec_us: 200_000 },
-            Func { rows: 12, cols: 16, exec_us: 220_000 },
+            Func {
+                rows: 12,
+                cols: 18,
+                exec_us: 200_000,
+            },
+            Func {
+                rows: 12,
+                cols: 20,
+                exec_us: 250_000,
+            },
+            Func {
+                rows: 12,
+                cols: 18,
+                exec_us: 200_000,
+            },
+            Func {
+                rows: 12,
+                cols: 16,
+                exec_us: 220_000,
+            },
         ],
     ]
 }
@@ -76,7 +108,10 @@ fn schedule(par: usize) -> (u64, u64, f64) {
                 continue;
             }
             let f = apps[i][next_fn[i]];
-            if arena.allocate(task, f.rows, f.cols, Strategy::BestFit).is_ok() {
+            if arena
+                .allocate(task, f.rows, f.cols, Strategy::BestFit)
+                .is_ok()
+            {
                 running.push((task, i, now + f.exec_us));
                 busy_until[i] = now + f.exec_us;
                 next_fn[i] += 1;
@@ -117,7 +152,10 @@ fn schedule(par: usize) -> (u64, u64, f64) {
 
 fn main() {
     println!("F1: virtual-hardware schedule vs degree of parallelism (XCV200)");
-    println!("{:<14} {:>14} {:>12} {:>12}", "parallelism", "makespan (ms)", "stall (ms)", "util (%)");
+    println!(
+        "{:<14} {:>14} {:>12} {:>12}",
+        "parallelism", "makespan (ms)", "stall (ms)", "util (%)"
+    );
     for par in 1..=3 {
         let (makespan, stall, util) = schedule(par);
         println!(

@@ -28,8 +28,7 @@ fn main() {
     let mut grand_moves = 0usize;
     let mut all_clean = true;
     for name in ["b01", "b02", "b03", "b06", "b08", "b09", "b10"] {
-        let netlist =
-            itc99::generate(itc99::profile(name).expect("known"), Variant::FreeRunning);
+        let netlist = itc99::generate(itc99::profile(name).expect("known"), Variant::FreeRunning);
         let (_, mut h) = build_harness(&netlist);
         h.run_cycles(40).expect("clean run");
 

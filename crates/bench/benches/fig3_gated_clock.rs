@@ -52,8 +52,12 @@ fn run(variant: Variant, schedule: CeSchedule, skip_aux: bool) -> (usize, bool) 
             }
             let src = h.placed().cell_loc(i);
             let dst = nearby_free_slot(&h, src);
-            let opts = RelocationOptions { skip_aux, ..Default::default() };
-            h.relocate_cell_with(src, dst, &opts).expect("relocation succeeds");
+            let opts = RelocationOptions {
+                skip_aux,
+                ..Default::default()
+            };
+            h.relocate_cell_with(src, dst, &opts)
+                .expect("relocation succeeds");
             moves += 1;
             // Re-enable CE and give corruption a chance to surface.
             h.set_stimulus_override(Some(active.clone()));
@@ -75,9 +79,10 @@ fn main() {
         "class", "CE schedule", "aux", "moves", "transparent"
     );
     rule(66);
-    for (variant, vname) in
-        [(Variant::GatedClock, "gated-clock"), (Variant::Asynchronous, "asynchronous")]
-    {
+    for (variant, vname) in [
+        (Variant::GatedClock, "gated-clock"),
+        (Variant::Asynchronous, "asynchronous"),
+    ] {
         for (schedule, sname) in [
             (CeSchedule::IdleDuringMove, "idle during move"),
             (CeSchedule::FiringMidMove, "firing mid-move"),

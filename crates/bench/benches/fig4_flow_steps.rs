@@ -11,7 +11,10 @@ fn main() {
     let cost = CostModel::paper_default();
     for (variant, title) in [
         (Variant::FreeRunning, "free-running (two-phase, Fig. 2)"),
-        (Variant::GatedClock, "gated-clock (auxiliary circuit, Fig. 3/4)"),
+        (
+            Variant::GatedClock,
+            "gated-clock (auxiliary circuit, Fig. 3/4)",
+        ),
         (Variant::Asynchronous, "asynchronous (latch, Fig. 3/4)"),
     ] {
         let netlist = itc99::generate(itc99::profile("b02").expect("known"), variant);
@@ -24,12 +27,16 @@ fn main() {
         h.run_cycles(20).expect("clean");
 
         println!("F4: {title}");
-        println!("{:<24} {:>8} {:>10} {:>10}", "step", "frames", "wait CLK", "ms");
+        println!(
+            "{:<24} {:>8} {:>10} {:>10}",
+            "step", "frames", "wait CLK", "ms"
+        );
         rule(56);
         for s in &report.steps {
-            let ms = cost.interface.seconds_for_bits(
-                cost.step_bits(h.device().part(), &s.frames),
-            ) * 1e3;
+            let ms = cost
+                .interface
+                .seconds_for_bits(cost.step_bits(h.device().part(), &s.frames))
+                * 1e3;
             println!(
                 "{:<24} {:>8} {:>10} {:>10.2}",
                 s.step.to_string(),

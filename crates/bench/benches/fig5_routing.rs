@@ -21,7 +21,9 @@ fn main() {
         let mut db = NetDb::new();
         let source = RouteNode::new(ClbCoord::new(10, 2), Wire::CellOut(0));
         let sink = RouteNode::new(ClbCoord::new(10, 2 + span), Wire::CellIn(0, 0));
-        let net = db.route_net(&mut dev, source, &[sink], None).expect("routes");
+        let net = db
+            .route_net(&mut dev, source, &[sink], None)
+            .expect("routes");
         let mut stayed_connected = true;
         let report = relocate_sink_path(&mut dev, &mut db, net, sink, None, |d| {
             stayed_connected &= d.sinks_of(source).contains(&sink);

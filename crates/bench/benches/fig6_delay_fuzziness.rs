@@ -21,7 +21,9 @@ fn main() {
         let mut db = NetDb::new();
         let source = RouteNode::new(ClbCoord::new(14, 2), Wire::CellOut(1));
         let sink = RouteNode::new(ClbCoord::new(14, 2 + span), Wire::CellIn(1, 2));
-        let net = db.route_net(&mut dev, source, &[sink], None).expect("routes");
+        let net = db
+            .route_net(&mut dev, source, &[sink], None)
+            .expect("routes");
         let report =
             relocate_sink_path(&mut dev, &mut db, net, sink, None, |_| {}).expect("reroutes");
         let t = report.parallel_timing();
@@ -33,8 +35,14 @@ fn main() {
             t.fuzziness_ps(),
             t.effective_delay_ps()
         );
-        assert_eq!(t.fuzziness_ps(), report.old_delay_ps.abs_diff(report.new_delay_ps));
-        assert_eq!(t.effective_delay_ps(), report.old_delay_ps.max(report.new_delay_ps));
+        assert_eq!(
+            t.fuzziness_ps(),
+            report.old_delay_ps.abs_diff(report.new_delay_ps)
+        );
+        assert_eq!(
+            t.effective_delay_ps(),
+            report.old_delay_ps.max(report.new_delay_ps)
+        );
     }
     println!();
     println!(

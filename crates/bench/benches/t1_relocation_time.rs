@@ -38,7 +38,10 @@ fn average_ms(
             moves += 1;
             h.run_cycles(5).expect("clean run");
         }
-        assert!(h.transparent(), "{name} {variant} relocations must be transparent");
+        assert!(
+            h.transparent(),
+            "{name} {variant} relocations must be transparent"
+        );
     }
     (total_ms / moves as f64, moves)
 }

@@ -58,8 +58,7 @@ fn churn(policy: DefragPolicy, epochs: usize, seed: u64) -> Outcome {
             let admitted = match arena.allocate(next_id, rows, cols, Strategy::BestFit) {
                 Ok(_) => true,
                 Err(_) => {
-                    let enough_area =
-                        arena.arena().free_cells() >= rows as u32 * cols as u32;
+                    let enough_area = arena.arena().free_cells() >= rows as u32 * cols as u32;
                     if enough_area {
                         out.false_rejections += 1;
                     }

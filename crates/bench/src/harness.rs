@@ -24,7 +24,10 @@ pub fn build_harness(netlist: &Netlist) -> (MappedNetlist, TransparencyHarness<'
     let side = ((needed as f64).sqrt().ceil() as u16 + 3).min(26);
     let region = Rect::new(ClbCoord::new(1, 1), side, side);
     let placed = implement(&mut dev, &mapped, region).expect("benchmark circuits implement");
-    (mapped.clone(), TransparencyHarness::new(netlist, dev, placed))
+    (
+        mapped.clone(),
+        TransparencyHarness::new(netlist, dev, placed),
+    )
 }
 
 /// The nearest free destination slot for relocating `src` (the paper
@@ -34,8 +37,7 @@ pub fn build_harness(netlist: &Netlist) -> (MappedNetlist, TransparencyHarness<'
 ///
 /// Panics if the device is full (cannot happen in these experiments).
 pub fn nearby_free_slot(h: &TransparencyHarness<'_>, src: CellLoc) -> CellLoc {
-    find_aux_sites(h.device(), &h.placed().netdb, src.0, 1, &[src])
-        .expect("free slot exists")[0]
+    find_aux_sites(h.device(), &h.placed().netdb, src.0, 1, &[src]).expect("free slot exists")[0]
 }
 
 /// A free slot at (approximately) `distance` CLBs from `src`, for the
@@ -44,11 +46,7 @@ pub fn nearby_free_slot(h: &TransparencyHarness<'_>, src: CellLoc) -> CellLoc {
 /// # Panics
 ///
 /// Panics if no free slot exists in that direction.
-pub fn distant_free_slot(
-    h: &TransparencyHarness<'_>,
-    src: CellLoc,
-    distance: u16,
-) -> CellLoc {
+pub fn distant_free_slot(h: &TransparencyHarness<'_>, src: CellLoc, distance: u16) -> CellLoc {
     let dev = h.device();
     let target = ClbCoord::new(
         (src.0.row + distance).min(dev.rows() - 1),

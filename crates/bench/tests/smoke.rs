@@ -1,0 +1,18 @@
+//! Crate-level smoke test: the shared bench harness must be able to
+//! stand up a transparency harness for a small benchmark.
+
+use rtm_bench::harness::{build_harness, nearby_free_slot, sequential_cells};
+use rtm_netlist::itc99::{self, Variant};
+
+#[test]
+fn harness_builds_and_finds_slots_for_b02() {
+    let netlist = itc99::generate(itc99::profile("b02").unwrap(), Variant::FreeRunning);
+    let (mapped, mut h) = build_harness(&netlist);
+    assert!(!mapped.is_empty());
+    h.run_cycles(5).unwrap();
+    let seq = sequential_cells(&h);
+    assert!(!seq.is_empty(), "b02 has flip-flops");
+    let src = h.placed().cell_loc(seq[0]);
+    let dst = nearby_free_slot(&h, src);
+    assert_ne!(src, dst);
+}

@@ -64,13 +64,22 @@ impl fmt::Display for BitstreamError {
                 write!(f, "stream truncated, {missing} payload words missing")
             }
             BitstreamError::CrcMismatch { computed, expected } => {
-                write!(f, "crc mismatch: computed {computed:#X}, stream carries {expected:#X}")
+                write!(
+                    f,
+                    "crc mismatch: computed {computed:#X}, stream carries {expected:#X}"
+                )
             }
             BitstreamError::FlrMismatch { stream, part } => {
-                write!(f, "frame length register {stream} does not match part ({part})")
+                write!(
+                    f,
+                    "frame length register {stream} does not match part ({part})"
+                )
             }
             BitstreamError::PartialFrame { leftover } => {
-                write!(f, "fdri payload not a whole number of frames ({leftover} words left)")
+                write!(
+                    f,
+                    "fdri payload not a whole number of frames ({leftover} words left)"
+                )
             }
             BitstreamError::FarOverflow => write!(f, "frame address overflow"),
             BitstreamError::Fpga(e) => write!(f, "device error: {e}"),
@@ -101,11 +110,20 @@ mod tests {
     fn displays_nonempty() {
         let variants = [
             BitstreamError::MissingSync,
-            BitstreamError::BadPacket { offset: 3, word: 0xDEAD_BEEF },
+            BitstreamError::BadPacket {
+                offset: 3,
+                word: 0xDEAD_BEEF,
+            },
             BitstreamError::BadRegister { addr: 0x3F },
             BitstreamError::Truncated { missing: 4 },
-            BitstreamError::CrcMismatch { computed: 1, expected: 2 },
-            BitstreamError::FlrMismatch { stream: 10, part: 17 },
+            BitstreamError::CrcMismatch {
+                computed: 1,
+                expected: 2,
+            },
+            BitstreamError::FlrMismatch {
+                stream: 10,
+                part: 17,
+            },
             BitstreamError::PartialFrame { leftover: 3 },
             BitstreamError::FarOverflow,
         ];

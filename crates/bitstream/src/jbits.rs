@@ -60,7 +60,12 @@ impl JBits {
     /// # Panics
     ///
     /// Panics if `cell >= 4`.
-    pub fn set_lut(&mut self, coord: ClbCoord, cell: usize, bits: u16) -> Result<(), BitstreamError> {
+    pub fn set_lut(
+        &mut self,
+        coord: ClbCoord,
+        cell: usize,
+        bits: u16,
+    ) -> Result<(), BitstreamError> {
         let mut config = self.dev.clb(coord)?.cells[cell];
         config.lut.set_bits(bits);
         self.dev.set_cell(coord, cell, config)?;
@@ -140,7 +145,12 @@ impl JBits {
     /// # Errors
     ///
     /// Returns a device error for out-of-bounds coordinates.
-    pub fn set_state(&mut self, coord: ClbCoord, cell: usize, value: bool) -> Result<(), BitstreamError> {
+    pub fn set_state(
+        &mut self,
+        coord: ClbCoord,
+        cell: usize,
+        value: bool,
+    ) -> Result<(), BitstreamError> {
         self.dev.set_cell_state(coord, cell, value)?;
         Ok(())
     }
@@ -209,15 +219,26 @@ mod tests {
     fn flush_applies_to_twin_device() {
         let mut jb = jb();
         jb.set_lut(ClbCoord::new(2, 3), 1, 0x5555).unwrap();
-        jb.add_pip(Pip::new(ClbCoord::new(2, 3), Wire::CellOut(1), Wire::Out(Dir::East, 1)))
-            .unwrap();
+        jb.add_pip(Pip::new(
+            ClbCoord::new(2, 3),
+            Wire::CellOut(1),
+            Wire::Out(Dir::East, 1),
+        ))
+        .unwrap();
         jb.set_state(ClbCoord::new(2, 3), 1, true).unwrap();
         let p = jb.flush().unwrap();
 
         let mut twin = Device::new(Part::Xcv50);
         ConfigPort::new().apply(p.words(), &mut twin).unwrap();
-        assert_eq!(twin.clb(ClbCoord::new(2, 3)).unwrap().cells[1].lut.bits(), 0x5555);
-        assert!(twin.has_pip(&Pip::new(ClbCoord::new(2, 3), Wire::CellOut(1), Wire::Out(Dir::East, 1))));
+        assert_eq!(
+            twin.clb(ClbCoord::new(2, 3)).unwrap().cells[1].lut.bits(),
+            0x5555
+        );
+        assert!(twin.has_pip(&Pip::new(
+            ClbCoord::new(2, 3),
+            Wire::CellOut(1),
+            Wire::Out(Dir::East, 1)
+        )));
         assert!(twin.cell_state(ClbCoord::new(2, 3), 1).unwrap());
     }
 
@@ -230,7 +251,10 @@ mod tests {
         jb.set_state(src, 2, true).unwrap();
         jb.copy_clb(src, dst).unwrap();
         assert_eq!(jb.device().clb(dst).unwrap().cells[2].lut.bits(), 0xF00D);
-        assert!(!jb.device().cell_state(dst, 2).unwrap(), "state must not be copied");
+        assert!(
+            !jb.device().cell_state(dst, 2).unwrap(),
+            "state must not be copied"
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ pub enum Packet {
 impl Packet {
     /// Builds a type-1 register write.
     pub fn write(reg: Register, data: Vec<u32>) -> Packet {
-        Packet::Type1 { op: Op::Write, reg, data }
+        Packet::Type1 {
+            op: Op::Write,
+            reg,
+            data,
+        }
     }
 
     /// Builds a type-1 single-word register write.
@@ -131,7 +135,12 @@ pub struct PacketReader<'a> {
 impl<'a> PacketReader<'a> {
     /// A reader over a raw word stream (dummy words + sync + packets).
     pub fn new(words: &'a [u32]) -> Self {
-        PacketReader { words, pos: 0, synced: false, last_reg: None }
+        PacketReader {
+            words,
+            pos: 0,
+            synced: false,
+            last_reg: None,
+        }
     }
 
     /// Current word offset.
@@ -198,7 +207,10 @@ impl<'a> PacketReader<'a> {
                 let data = self.take(count, op)?;
                 Ok(Some(Packet::Type2 { op, data }))
             }
-            _ => Err(BitstreamError::BadPacket { offset, word: header }),
+            _ => Err(BitstreamError::BadPacket {
+                offset,
+                word: header,
+            }),
         }
     }
 
@@ -233,7 +245,7 @@ mod tests {
     #[test]
     fn encode_decode_type1() {
         let p = Packet::write(Register::Cmd, vec![7]);
-        let words = stream(&[p.clone()]);
+        let words = stream(std::slice::from_ref(&p));
         let mut rd = PacketReader::new(&words);
         assert_eq!(rd.next_packet().unwrap(), Some(p));
         assert_eq!(rd.next_packet().unwrap(), None);
@@ -249,7 +261,9 @@ mod tests {
         assert!(matches!(first, Packet::Type1 { ref data, .. } if data.is_empty()));
         assert_eq!(rd.last_reg(), Some(Register::Fdri));
         let second = rd.next_packet().unwrap().unwrap();
-        assert!(matches!(second, Packet::Type2 { ref data, .. } if data == &(0..3000).collect::<Vec<u32>>()));
+        assert!(
+            matches!(second, Packet::Type2 { ref data, .. } if data == &(0..3000).collect::<Vec<u32>>())
+        );
     }
 
     #[test]
@@ -272,22 +286,33 @@ mod tests {
         words.push(super::type1_header(Op::Write, Register::Fdri, 5));
         words.push(1);
         let mut rd = PacketReader::new(&words);
-        assert_eq!(rd.next_packet(), Err(BitstreamError::Truncated { missing: 4 }));
+        assert_eq!(
+            rd.next_packet(),
+            Err(BitstreamError::Truncated { missing: 4 })
+        );
     }
 
     #[test]
     fn unknown_register_detected() {
         let words = vec![SYNC_WORD, (0b001 << 29) | (2 << 27) | (10 << 13)];
         let mut rd = PacketReader::new(&words);
-        assert!(matches!(rd.next_packet(), Err(BitstreamError::BadRegister { addr: 10 })));
+        assert!(matches!(
+            rd.next_packet(),
+            Err(BitstreamError::BadRegister { addr: 10 })
+        ));
     }
 
     #[test]
     fn read_packets_have_no_payload() {
-        let words = vec![SYNC_WORD, super::type1_header(Op::Read, Register::Fdro, 100)];
+        let words = vec![
+            SYNC_WORD,
+            super::type1_header(Op::Read, Register::Fdro, 100),
+        ];
         let mut rd = PacketReader::new(&words);
         let p = rd.next_packet().unwrap().unwrap();
-        assert!(matches!(p, Packet::Type1 { op: Op::Read, reg: Register::Fdro, ref data } if data.is_empty()));
+        assert!(
+            matches!(p, Packet::Type1 { op: Op::Read, reg: Register::Fdro, ref data } if data.is_empty())
+        );
     }
 
     #[test]

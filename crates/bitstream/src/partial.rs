@@ -69,7 +69,7 @@ impl PartialBitstream {
                 payload.extend(to.read_frame(*addr)?.as_bits().to_config_words());
             }
             // Pipeline pad frame.
-            payload.extend(std::iter::repeat(0).take(fw));
+            payload.extend(std::iter::repeat_n(0, fw));
             feed(Register::Fdri, &payload, &mut words);
             bursts += 1;
             i = end + 1;
@@ -79,7 +79,12 @@ impl PartialBitstream {
         let crc_value = crc.value();
         Packet::write1(Register::Crc, crc_value).encode(&mut words);
 
-        Ok(PartialBitstream { part, words, frames: changed, bursts })
+        Ok(PartialBitstream {
+            part,
+            words,
+            frames: changed,
+            bursts,
+        })
     }
 
     /// The part this bitstream targets.
@@ -156,7 +161,10 @@ mod tests {
         assert!(report.crc_checked);
         assert_eq!(report.frames_written, p.frame_count());
         assert!(dst.config().diff_frames(src.config()).is_empty());
-        assert_eq!(dst.clb(ClbCoord::new(4, 4)).unwrap(), src.clb(ClbCoord::new(4, 4)).unwrap());
+        assert_eq!(
+            dst.clb(ClbCoord::new(4, 4)).unwrap(),
+            src.clb(ClbCoord::new(4, 4)).unwrap()
+        );
     }
 
     #[test]

@@ -84,15 +84,29 @@ impl ConfigPort {
     /// on CRC failure, [`BitstreamError::PartialFrame`] for ragged FDRI
     /// payloads and [`BitstreamError::FarOverflow`] for writes past the
     /// device.
-    pub fn apply(&mut self, words: &[u32], dev: &mut Device) -> Result<ApplyReport, BitstreamError> {
-        let mut report = ApplyReport { words: words.len(), ..ApplyReport::default() };
+    pub fn apply(
+        &mut self,
+        words: &[u32],
+        dev: &mut Device,
+    ) -> Result<ApplyReport, BitstreamError> {
+        let mut report = ApplyReport {
+            words: words.len(),
+            ..ApplyReport::default()
+        };
         let mut reader = PacketReader::new(words);
         while let Some(packet) = reader.next_packet()? {
             match packet {
-                Packet::Type1 { op: Op::Write, reg, data } => {
+                Packet::Type1 {
+                    op: Op::Write,
+                    reg,
+                    data,
+                } => {
                     self.register_write(reg, &data, dev, &mut report)?;
                 }
-                Packet::Type2 { op: Op::Write, data } => {
+                Packet::Type2 {
+                    op: Op::Write,
+                    data,
+                } => {
                     let reg = reader.last_reg().unwrap_or(Register::Fdri);
                     self.register_write(reg, &data, dev, &mut report)?;
                 }
@@ -120,7 +134,10 @@ impl ConfigPort {
                 let flr = data.first().copied().unwrap_or(0);
                 let expect = dev.part().frame_words() as u32;
                 if flr != expect {
-                    return Err(BitstreamError::FlrMismatch { stream: flr, part: expect });
+                    return Err(BitstreamError::FlrMismatch {
+                        stream: flr,
+                        part: expect,
+                    });
                 }
             }
             Register::Far => {
@@ -162,8 +179,10 @@ impl ConfigPort {
         report: &mut ApplyReport,
     ) -> Result<(), BitstreamError> {
         let fw = dev.part().frame_words();
-        if data.len() % fw != 0 {
-            return Err(BitstreamError::PartialFrame { leftover: data.len() % fw });
+        if !data.len().is_multiple_of(fw) {
+            return Err(BitstreamError::PartialFrame {
+                leftover: data.len() % fw,
+            });
         }
         let n_frames = data.len() / fw;
         if n_frames == 0 {
@@ -208,7 +227,7 @@ mod tests {
             payload.extend_from_slice(f);
         }
         // pad frame
-        payload.extend(std::iter::repeat(0).take(dev.part().frame_words()));
+        payload.extend(std::iter::repeat_n(0, dev.part().frame_words()));
         Packet::write(Register::Fdri, payload).encode(&mut words);
         words
     }
@@ -223,8 +242,9 @@ mod tests {
         src.set_clb(coord, clb).unwrap();
 
         // Copy minors 0..6 of column 5 in one FDRI burst.
-        let frames: Vec<Vec<u32>> =
-            (0..6).map(|m| frame_words_of(&src, FrameAddress::clb(5, m))).collect();
+        let frames: Vec<Vec<u32>> = (0..6)
+            .map(|m| frame_words_of(&src, FrameAddress::clb(5, m)))
+            .collect();
         let words = build_write(&src, FrameAddress::clb(5, 0), &frames);
 
         let mut dst = Device::new(part);
@@ -253,7 +273,12 @@ mod tests {
         {
             let mut reader = PacketReader::new(&words);
             while let Some(p) = reader.next_packet().unwrap() {
-                if let Packet::Type1 { op: Op::Write, reg, data } = p {
+                if let Packet::Type1 {
+                    op: Op::Write,
+                    reg,
+                    data,
+                } = p
+                {
                     if reg == Register::Cmd && data.first() == Some(&Command::RCrc.code()) {
                         crc.reset();
                         continue;

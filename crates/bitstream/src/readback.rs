@@ -27,15 +27,23 @@ pub struct Readback {
 
 /// Builds the command stream that requests `count` frames starting at
 /// `start` (FAR write, RCFG command, FDRO read header).
-pub fn build_readback_stream(part: rtm_fpga::part::Part, start: FrameAddress, count: usize) -> Vec<u32> {
+pub fn build_readback_stream(
+    part: rtm_fpga::part::Part,
+    start: FrameAddress,
+    count: usize,
+) -> Vec<u32> {
     let mut words = vec![DUMMY_WORD, SYNC_WORD];
     Packet::write1(Register::Far, start.to_far()).encode(&mut words);
     Packet::write1(Register::Cmd, Command::RCfg.code()).encode(&mut words);
     // FDRO read header: count+1 frames (pipeline pad) worth of words.
     let total_words = (count + 1) * part.frame_words();
     let mut hdr = Vec::new();
-    Packet::Type1 { op: crate::packet::Op::Read, reg: Register::Fdro, data: Vec::new() }
-        .encode(&mut hdr);
+    Packet::Type1 {
+        op: crate::packet::Op::Read,
+        reg: Register::Fdro,
+        data: Vec::new(),
+    }
+    .encode(&mut hdr);
     // Patch in the word count (type-1 headers carry up to 2047 words;
     // larger counts use a type-2 header, matching Packet::encode).
     if total_words <= 0x7FF {
@@ -54,7 +62,11 @@ pub fn build_readback_stream(part: rtm_fpga::part::Part, start: FrameAddress, co
 ///
 /// Returns [`BitstreamError::FarOverflow`] if the range runs past the end
 /// of the device, or a device error for invalid addresses.
-pub fn readback(dev: &Device, start: FrameAddress, count: usize) -> Result<Readback, BitstreamError> {
+pub fn readback(
+    dev: &Device,
+    start: FrameAddress,
+    count: usize,
+) -> Result<Readback, BitstreamError> {
     let mut frames = Vec::with_capacity(count);
     let mut far = Some(start);
     for _ in 0..count {
@@ -65,7 +77,12 @@ pub fn readback(dev: &Device, start: FrameAddress, count: usize) -> Result<Readb
     let command_words = build_readback_stream(dev.part(), start, count).len();
     // The device shifts out one pipeline pad frame before real data.
     let words_shifted = (count + 1) * dev.part().frame_words();
-    Ok(Readback { start, frames, words_shifted, command_words })
+    Ok(Readback {
+        start,
+        frames,
+        words_shifted,
+        command_words,
+    })
 }
 
 #[cfg(test)]
@@ -87,7 +104,8 @@ mod tests {
         // Reconstructing a device from the frames recovers the CLB.
         let mut dev2 = Device::new(Part::Xcv50);
         for (i, f) in rb.frames.iter().enumerate() {
-            dev2.write_frame(FrameAddress::clb(6, i as u16), f.clone()).unwrap();
+            dev2.write_frame(FrameAddress::clb(6, i as u16), f.clone())
+                .unwrap();
         }
         assert_eq!(dev2.clb(ClbCoord::new(3, 6)).unwrap(), &clb);
     }

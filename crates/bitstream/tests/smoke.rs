@@ -1,0 +1,39 @@
+//! Crate-level smoke tests for partial-bitstream diffing.
+
+use rtm_bitstream::PartialBitstream;
+use rtm_fpga::cell::LogicCell;
+use rtm_fpga::geom::ClbCoord;
+use rtm_fpga::lut::Lut;
+use rtm_fpga::part::Part;
+use rtm_fpga::Device;
+
+#[test]
+fn identical_configs_diff_to_nothing() {
+    let a = Device::new(Part::Xcv50);
+    let b = Device::new(Part::Xcv50);
+    let p = PartialBitstream::diff(a.config(), b.config()).unwrap();
+    assert!(p.is_empty());
+    assert_eq!(p.frame_count(), 0);
+}
+
+#[test]
+fn one_cell_change_yields_a_small_partial() {
+    let blank = Device::new(Part::Xcv50);
+    let mut dev = Device::new(Part::Xcv50);
+    let cfg = LogicCell {
+        lut: Lut::constant(true),
+        ..LogicCell::default()
+    };
+    dev.set_cell(ClbCoord::new(2, 2), 0, cfg).unwrap();
+    let p = PartialBitstream::diff(blank.config(), dev.config()).unwrap();
+    assert!(!p.is_empty());
+    assert!(p.frame_count() > 0);
+    assert!(p.len_bits() > 0);
+    // Partial reconfiguration is the point: far fewer frames than a
+    // full-device bitstream.
+    assert!(
+        p.frame_count() < 100,
+        "diff touched {} frames",
+        p.frame_count()
+    );
+}

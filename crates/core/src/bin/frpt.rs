@@ -76,7 +76,11 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let mut mgr = RunTimeManager::new(part);
     let cost_model = CostModel::paper_default();
-    println!("frpt: device {part} ({}x{} CLBs)", part.clb_rows(), part.clb_cols());
+    println!(
+        "frpt: device {part} ({}x{} CLBs)",
+        part.clb_rows(),
+        part.clb_cols()
+    );
 
     for raw in script.split([';', '\n']) {
         let line = raw.trim();
@@ -118,7 +122,9 @@ fn cmd_load(mgr: &mut RunTimeManager, words: &[&str]) -> Result<(), String> {
         itc99::generate(profile, itc99::Variant::FreeRunning)
     };
     let mapped = map_to_luts(&netlist).map_err(|e| e.to_string())?;
-    let report = mgr.load(&mapped, rows, cols, |_, _, _| {}).map_err(|e| e.to_string())?;
+    let report = mgr
+        .load(&mapped, rows, cols, |_, _, _| {})
+        .map_err(|e| e.to_string())?;
     println!(
         "loaded {} as function {} at {} ({} cells){}",
         circuit,
@@ -146,7 +152,9 @@ fn cmd_move(
         .ok_or_else(|| format!("unknown function {id}"))?
         .region;
     let to = Rect::new(coord, region.rows, region.cols);
-    let reports = mgr.relocate_function(id, to, |_, _, _| {}).map_err(|e| e.to_string())?;
+    let reports = mgr
+        .relocate_function(id, to, |_, _, _| {})
+        .map_err(|e| e.to_string())?;
     let total_ms: f64 = reports
         .iter()
         .map(|r| cost_model.relocation_cost(mgr.device().part(), r).millis())
@@ -168,8 +176,18 @@ fn cmd_reloc(
     words: &[&str],
 ) -> Result<(), String> {
     let id = parse_id(words, 1)?;
-    let src = parse_cell_loc(words.get(2).copied().ok_or("reloc: missing source R,C,cell")?)?;
-    let dst = parse_cell_loc(words.get(3).copied().ok_or("reloc: missing dest R,C,cell")?)?;
+    let src = parse_cell_loc(
+        words
+            .get(2)
+            .copied()
+            .ok_or("reloc: missing source R,C,cell")?,
+    )?;
+    let dst = parse_cell_loc(
+        words
+            .get(3)
+            .copied()
+            .ok_or("reloc: missing dest R,C,cell")?,
+    )?;
     let report = mgr
         .relocate_cell_of(id, src, dst, |_, _, _| {})
         .map_err(|e| e.to_string())?;
@@ -182,8 +200,7 @@ fn cmd_defrag(mgr: &mut RunTimeManager, cost_model: &CostModel) -> Result<(), St
     // Plan a full compaction over the current layout and execute it with
     // live relocations.
     let before = mgr.fragmentation();
-    let tasks: Vec<(FunctionId, Rect)> =
-        mgr.functions().map(|(id, f)| (id, f.region)).collect();
+    let tasks: Vec<(FunctionId, Rect)> = mgr.functions().map(|(id, f)| (id, f.region)).collect();
     let mut scratch = rtm_place::TaskArena::new(mgr.device().bounds());
     for (id, r) in &tasks {
         scratch.allocate_at(*id, *r).map_err(|e| e.to_string())?;
@@ -192,8 +209,9 @@ fn cmd_defrag(mgr: &mut RunTimeManager, cost_model: &CostModel) -> Result<(), St
     let mut total_ms = 0.0;
     let n = moves.len();
     for mv in moves {
-        let reports =
-            mgr.relocate_function(mv.id, mv.to, |_, _, _| {}).map_err(|e| e.to_string())?;
+        let reports = mgr
+            .relocate_function(mv.id, mv.to, |_, _, _| {})
+            .map_err(|e| e.to_string())?;
         total_ms += reports
             .iter()
             .map(|r| cost_model.relocation_cost(mgr.device().part(), r).millis())
@@ -219,7 +237,9 @@ fn parse_part(name: &str) -> Result<Part, String> {
 }
 
 fn parse_shape(s: &str) -> Result<(u16, u16), String> {
-    let (a, b) = s.split_once('x').ok_or_else(|| format!("bad shape {s}, want AxB"))?;
+    let (a, b) = s
+        .split_once('x')
+        .ok_or_else(|| format!("bad shape {s}, want AxB"))?;
     Ok((
         a.parse().map_err(|_| format!("bad number {a}"))?,
         b.parse().map_err(|_| format!("bad number {b}"))?,
@@ -227,7 +247,9 @@ fn parse_shape(s: &str) -> Result<(u16, u16), String> {
 }
 
 fn parse_coord(s: &str) -> Result<ClbCoord, String> {
-    let (r, c) = s.split_once(',').ok_or_else(|| format!("bad coordinate {s}, want R,C"))?;
+    let (r, c) = s
+        .split_once(',')
+        .ok_or_else(|| format!("bad coordinate {s}, want R,C"))?;
     Ok(ClbCoord::new(
         r.parse().map_err(|_| format!("bad number {r}"))?,
         c.parse().map_err(|_| format!("bad number {c}"))?,
@@ -239,9 +261,15 @@ fn parse_cell_loc(s: &str) -> Result<(ClbCoord, usize), String> {
     if parts.len() != 3 {
         return Err(format!("bad cell location {s}, want R,C,CELL"));
     }
-    let r: u16 = parts[0].parse().map_err(|_| format!("bad number {}", parts[0]))?;
-    let c: u16 = parts[1].parse().map_err(|_| format!("bad number {}", parts[1]))?;
-    let cell: usize = parts[2].parse().map_err(|_| format!("bad number {}", parts[2]))?;
+    let r: u16 = parts[0]
+        .parse()
+        .map_err(|_| format!("bad number {}", parts[0]))?;
+    let c: u16 = parts[1]
+        .parse()
+        .map_err(|_| format!("bad number {}", parts[1]))?;
+    let cell: usize = parts[2]
+        .parse()
+        .map_err(|_| format!("bad number {}", parts[2]))?;
     Ok((ClbCoord::new(r, c), cell))
 }
 

@@ -70,7 +70,10 @@ impl CostModel {
 
     /// A frame-granular model over the same interface.
     pub fn frame_granular(interface: ConfigInterface) -> Self {
-        CostModel { granularity: WriteGranularity::Frame, interface }
+        CostModel {
+            granularity: WriteGranularity::Frame,
+            interface,
+        }
     }
 
     /// Words of one partial configuration file that writes `frames`.
@@ -153,7 +156,11 @@ impl CostModel {
             };
         }
         let seconds = self.interface.seconds_for_bits(bits);
-        RelocationCost { bits, frames_written, seconds }
+        RelocationCost {
+            bits,
+            frames_written,
+            seconds,
+        }
     }
 }
 
@@ -189,7 +196,13 @@ impl RelocationCost {
 
 impl fmt::Display for RelocationCost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2} ms ({} frames, {} bits)", self.millis(), self.frames_written, self.bits)
+        write!(
+            f,
+            "{:.2} ms ({} frames, {} bits)",
+            self.millis(),
+            self.frames_written,
+            self.bits
+        )
     }
 }
 
@@ -240,8 +253,12 @@ mod tests {
             interface: ConfigInterface::boundary_scan(20_000_000),
         };
         let fs = frames(&[0, 1], 2);
-        let ts = slow.interface.seconds_for_bits(slow.step_bits(Part::Xcv200, &fs));
-        let tf = fast.interface.seconds_for_bits(fast.step_bits(Part::Xcv200, &fs));
+        let ts = slow
+            .interface
+            .seconds_for_bits(slow.step_bits(Part::Xcv200, &fs));
+        let tf = fast
+            .interface
+            .seconds_for_bits(fast.step_bits(Part::Xcv200, &fs));
         assert!((ts / tf - 2.0).abs() < 1e-9);
     }
 
@@ -260,7 +277,11 @@ mod tests {
     fn display() {
         let m = CostModel::paper_default();
         assert!(m.to_string().contains("column"));
-        let c = RelocationCost { bits: 1000, frames_written: 2, seconds: 0.0226 };
+        let c = RelocationCost {
+            bits: 1000,
+            frames_written: 2,
+            seconds: 0.0226,
+        };
         assert!(c.to_string().contains("22.60 ms"));
     }
 }

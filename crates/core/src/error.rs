@@ -64,13 +64,22 @@ impl fmt::Display for CoreError {
                 write!(f, "destination {tile}/{cell} is not free")
             }
             CoreError::RamRelocationUnsupported { tile, cell } => {
-                write!(f, "cell {tile}/{cell} is in LUT/RAM mode; on-line relocation unsupported")
+                write!(
+                    f,
+                    "cell {tile}/{cell} is in LUT/RAM mode; on-line relocation unsupported"
+                )
             }
             CoreError::RamColumnHazard { column } => {
-                write!(f, "column {column} holds LUT/RAM cells and would be rewritten")
+                write!(
+                    f,
+                    "column {column} holds LUT/RAM cells and would be rewritten"
+                )
             }
             CoreError::NoAuxiliarySite { near } => {
-                write!(f, "no free cells for the auxiliary relocation circuit near {near}")
+                write!(
+                    f,
+                    "no free cells for the auxiliary relocation circuit near {near}"
+                )
             }
             CoreError::DesignMismatch { detail } => write!(f, "design mismatch: {detail}"),
             CoreError::Sim(e) => write!(f, "implementation error: {e}"),

@@ -136,11 +136,20 @@ impl RunTimeManager {
         let placed = implement_reserved(&mut self.dev, design, region, &reserved)?;
         self.functions.insert(
             id,
-            LoadedFunction { design: design.clone(), region, placed },
+            LoadedFunction {
+                design: design.clone(),
+                region,
+                placed,
+            },
         );
         self.next_id += 1;
         self.checkpoint();
-        Ok(LoadReport { id, region, moves: plan, relocations })
+        Ok(LoadReport {
+            id,
+            region,
+            moves: plan,
+            relocations,
+        })
     }
 
     /// Unloads a function: releases its region, routing and cells.
@@ -149,9 +158,10 @@ impl RunTimeManager {
     ///
     /// Returns [`CoreError::Place`] for unknown ids.
     pub fn unload(&mut self, id: FunctionId) -> Result<(), CoreError> {
-        let f = self.functions.remove(&id).ok_or(CoreError::Place(
-            rtm_place::PlaceError::UnknownTask { id },
-        ))?;
+        let f = self
+            .functions
+            .remove(&id)
+            .ok_or(CoreError::Place(rtm_place::PlaceError::UnknownTask { id }))?;
         self.arena.release(id)?;
         let mut placed = f.placed;
         let nets: Vec<_> = placed.netdb.nets().map(|(n, _)| n).collect();
@@ -167,7 +177,8 @@ impl RunTimeManager {
             .copied()
             .collect();
         for loc in all_locs {
-            self.dev.set_cell(loc.0, loc.1, rtm_fpga::cell::LogicCell::default())?;
+            self.dev
+                .set_cell(loc.0, loc.1, rtm_fpga::cell::LogicCell::default())?;
             self.dev.set_cell_state(loc.0, loc.1, false)?;
         }
         self.checkpoint();
@@ -208,7 +219,10 @@ impl RunTimeManager {
         // All routing of this move must respect every other function's
         // wires: reserve their nodes in the moving function's database.
         let reserved = self.foreign_nodes(Some(id));
-        let f = self.functions.get_mut(&id).expect("function table in sync with arena");
+        let f = self
+            .functions
+            .get_mut(&id)
+            .expect("function table in sync with arena");
         f.placed.netdb.reserve(reserved);
         let dr = to.origin.row as i32 - from.origin.row as i32;
         let dc = to.origin.col as i32 - from.origin.col as i32;
@@ -238,11 +252,17 @@ impl RunTimeManager {
                 continue;
             }
             let opts = RelocationOptions::default();
-            let report =
-                relocate_cell(&mut self.dev, &mut f.placed, src, dst, &opts, &mut *observer)
-                    .inspect_err(|_| {
-                        // Leave no dangling reservations behind on failure.
-                    });
+            let report = relocate_cell(
+                &mut self.dev,
+                &mut f.placed,
+                src,
+                dst,
+                &opts,
+                &mut *observer,
+            )
+            .inspect_err(|_| {
+                // Leave no dangling reservations behind on failure.
+            });
             match report {
                 Ok(report) => reports.push(report),
                 Err(e) => {
@@ -293,12 +313,16 @@ impl RunTimeManager {
         {
             // The destination must stay within the function's region so
             // the area bookkeeping remains truthful.
-            return Err(CoreError::DestinationBusy { tile: dst.0, cell: dst.1 });
+            return Err(CoreError::DestinationBusy {
+                tile: dst.0,
+                cell: dst.1,
+            });
         }
         let reserved = self.foreign_nodes(Some(id));
-        let f = self.functions.get_mut(&id).ok_or(CoreError::Place(
-            rtm_place::PlaceError::UnknownTask { id },
-        ))?;
+        let f = self
+            .functions
+            .get_mut(&id)
+            .ok_or(CoreError::Place(rtm_place::PlaceError::UnknownTask { id }))?;
         f.placed.netdb.reserve(reserved);
         let result = relocate_cell(
             &mut self.dev,
@@ -359,7 +383,11 @@ pub struct ManagerStatus {
 
 impl fmt::Display for ManagerStatus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} | {} functions | {}", self.part, self.functions, self.frag)
+        write!(
+            f,
+            "{} | {} functions | {}",
+            self.part, self.functions, self.frag
+        )
     }
 }
 
@@ -415,7 +443,12 @@ mod tests {
         assert!(!reports.is_empty());
         let f = mgr.function(r.id).unwrap();
         assert_eq!(f.region, to);
-        for loc in f.placed.placement.cell_locs.iter().chain(f.placed.placement.feed_locs.iter())
+        for loc in f
+            .placed
+            .placement
+            .cell_locs
+            .iter()
+            .chain(f.placed.placement.feed_locs.iter())
         {
             assert!(to.contains(loc.0), "{} escaped the target region", loc.0);
         }
@@ -431,9 +464,16 @@ mod tests {
         let from = r.region;
         // Slide by 3 columns (direction chosen to stay on the device):
         // overlapping source/destination.
-        let new_col =
-            if from.origin.col >= 3 { from.origin.col - 3 } else { from.origin.col + 3 };
-        let to = Rect::new(ClbCoord::new(from.origin.row, new_col), from.rows, from.cols);
+        let new_col = if from.origin.col >= 3 {
+            from.origin.col - 3
+        } else {
+            from.origin.col + 3
+        };
+        let to = Rect::new(
+            ClbCoord::new(from.origin.row, new_col),
+            from.rows,
+            from.cols,
+        );
         mgr.relocate_function(r.id, to, |_, _, _| {}).unwrap();
         assert_eq!(mgr.function(r.id).unwrap().region, to);
     }
@@ -446,19 +486,17 @@ mod tests {
         let f = mgr.function(r.id).unwrap();
         let src = f.placed.placement.cell_locs[0];
         // A free slot inside the function's own region.
-        let dst = crate::relocation::find_aux_sites(
-            mgr.device(),
-            &f.placed.netdb,
-            src.0,
-            1,
-            &[src],
-        )
-        .unwrap()[0];
+        let dst =
+            crate::relocation::find_aux_sites(mgr.device(), &f.placed.netdb, src.0, 1, &[src])
+                .unwrap()[0];
         assert!(r.region.contains(dst.0), "aux search stays near src");
         let report = mgr.relocate_cell_of(r.id, src, dst, |_, _, _| {}).unwrap();
         assert_eq!(report.src, src);
         assert_eq!(report.dst, dst);
-        assert_eq!(mgr.function(r.id).unwrap().placed.placement.cell_locs[0], dst);
+        assert_eq!(
+            mgr.function(r.id).unwrap().placed.placement.cell_locs[0],
+            dst
+        );
 
         // A destination outside the region is refused.
         let outside_tile = mgr
@@ -492,7 +530,7 @@ mod tests {
     #[test]
     fn load_rearranges_when_fragmented() {
         let mut mgr = RunTimeManager::new(Part::Xcv50); // 16x24
-        // Two 16x6 functions arranged to leave two 6-column gaps.
+                                                        // Two 16x6 functions arranged to leave two 6-column gaps.
         let d1 = small_design(5);
         let a = mgr.load(&d1, 16, 6, |_, _, _| {}).unwrap();
         let d2 = small_design(6);

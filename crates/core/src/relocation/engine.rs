@@ -145,13 +145,22 @@ pub fn relocate_cell(
 ) -> Result<RelocationReport, CoreError> {
     let cfg = dev.clb(src.0)?.cells[src.1];
     if !cfg.is_used() {
-        return Err(CoreError::SourceUnused { tile: src.0, cell: src.1 });
+        return Err(CoreError::SourceUnused {
+            tile: src.0,
+            cell: src.1,
+        });
     }
     if cfg.ram_mode {
-        return Err(CoreError::RamRelocationUnsupported { tile: src.0, cell: src.1 });
+        return Err(CoreError::RamRelocationUnsupported {
+            tile: src.0,
+            cell: src.1,
+        });
     }
     if !free_slot(dev, &placed.netdb, dst) {
-        return Err(CoreError::DestinationBusy { tile: dst.0, cell: dst.1 });
+        return Err(CoreError::DestinationBusy {
+            tile: dst.0,
+            cell: dst.1,
+        });
     }
     check_ram_columns(dev, &[src.0.col, dst.0.col])?;
 
@@ -189,7 +198,13 @@ pub fn relocate_cell(
     };
     let (steps, aux_sites) = (ctx.steps, ctx.aux_sites_used);
 
-    Ok(RelocationReport { class, src, dst, aux_sites, steps })
+    Ok(RelocationReport {
+        class,
+        src,
+        dst,
+        aux_sites,
+        steps,
+    })
 }
 
 fn design_slot(placed: &PlacedDesign, src: CellLoc) -> Result<DesignSlot, CoreError> {
@@ -241,7 +256,11 @@ impl<F: FnMut(&Device, &PlacedDesign, &StepRecord)> Engine<'_, F> {
         let before = self.dev.config().snapshot();
         body(self.dev, self.placed, self.opts)?;
         let frames = self.dev.config().diff_frames(&before);
-        let record = StepRecord { step: kind, frames, wait_cycles: kind.wait_cycles() };
+        let record = StepRecord {
+            step: kind,
+            frames,
+            wait_cycles: kind.wait_cycles(),
+        };
         (self.observer)(self.dev, self.placed, &record);
         self.steps.push(record);
         Ok(())
@@ -267,13 +286,18 @@ impl<F: FnMut(&Device, &PlacedDesign, &StepRecord)> Engine<'_, F> {
         self.step(StepKind::ParallelInputs, |dev, placed, opts| {
             for (p, net) in input_nets.iter().enumerate() {
                 if let Some(net) = net {
-                    placed
-                        .netdb
-                        .extend_net(dev, *net, PlacedDesign::in_node(dst, p), opts.within)?;
+                    placed.netdb.extend_net(
+                        dev,
+                        *net,
+                        PlacedDesign::in_node(dst, p),
+                        opts.within,
+                    )?;
                 }
             }
             if let Some(net) = ce_net {
-                placed.netdb.extend_net(dev, net, PlacedDesign::ce_node(dst), opts.within)?;
+                placed
+                    .netdb
+                    .extend_net(dev, net, PlacedDesign::ce_node(dst), opts.within)?;
             }
             Ok(())
         })?;
@@ -296,8 +320,7 @@ impl<F: FnMut(&Device, &PlacedDesign, &StepRecord)> Engine<'_, F> {
             detail: format!("gated cell {}/{} has no routed enable", src.0, src.1),
         })?;
         let out_net = out_net.expect("checked by caller");
-        let aux =
-            find_aux_sites(self.dev, &self.placed.netdb, dst.0, 3, &[src, dst])?;
+        let aux = find_aux_sites(self.dev, &self.placed.netdb, dst.0, 3, &[src, dst])?;
         check_ram_columns(self.dev, &[aux[0].0.col, aux[1].0.col, aux[2].0.col])?;
         let (mux_loc, or_loc, comb_loc) = (aux[0], aux[1], aux[2]);
         self.aux_sites_used = aux.clone();
@@ -322,8 +345,14 @@ impl<F: FnMut(&Device, &PlacedDesign, &StepRecord)> Engine<'_, F> {
         // OR gate with the clock-enable control folded into its truth
         // table: or(ce, control) where `control` is rewritten through the
         // configuration memory.
-        let or_inactive = LogicCell { lut: Lut::passthrough(0), ..comb_copy };
-        let or_active = LogicCell { lut: Lut::constant(true), ..comb_copy };
+        let or_inactive = LogicCell {
+            lut: Lut::passthrough(0),
+            ..comb_copy
+        };
+        let or_active = LogicCell {
+            lut: Lut::constant(true),
+            ..comb_copy
+        };
 
         // Step 1: build and connect the auxiliary circuit; parallel the
         // CLB input signals.
@@ -335,17 +364,32 @@ impl<F: FnMut(&Device, &PlacedDesign, &StepRecord)> Engine<'_, F> {
             dev.set_cell(or_loc.0, or_loc.1, or_inactive)?;
             for (p, net) in input_nets.iter().enumerate() {
                 if let Some(net) = net {
-                    placed
-                        .netdb
-                        .extend_net(dev, *net, PlacedDesign::in_node(comb_loc, p), opts.within)?;
-                    placed
-                        .netdb
-                        .extend_net(dev, *net, PlacedDesign::in_node(dst, p), opts.within)?;
+                    placed.netdb.extend_net(
+                        dev,
+                        *net,
+                        PlacedDesign::in_node(comb_loc, p),
+                        opts.within,
+                    )?;
+                    placed.netdb.extend_net(
+                        dev,
+                        *net,
+                        PlacedDesign::in_node(dst, p),
+                        opts.within,
+                    )?;
                 }
             }
-            placed.netdb.extend_net(dev, ce_net, PlacedDesign::in_node(mux_loc, 0), opts.within)?;
-            placed.netdb.extend_net(dev, ce_net, PlacedDesign::in_node(or_loc, 0), opts.within)?;
-            placed.netdb.extend_net(dev, out_net, PlacedDesign::in_node(mux_loc, 1), opts.within)?;
+            placed
+                .netdb
+                .extend_net(dev, ce_net, PlacedDesign::in_node(mux_loc, 0), opts.within)?;
+            placed
+                .netdb
+                .extend_net(dev, ce_net, PlacedDesign::in_node(or_loc, 0), opts.within)?;
+            placed.netdb.extend_net(
+                dev,
+                out_net,
+                PlacedDesign::in_node(mux_loc, 1),
+                opts.within,
+            )?;
             let c_out = placed.netdb.route_net(
                 dev,
                 PlacedDesign::out_node(comb_loc),
@@ -381,7 +425,9 @@ impl<F: FnMut(&Device, &PlacedDesign, &StepRecord)> Engine<'_, F> {
         })?;
         // Step 4: connect the clock-enable inputs of both CLBs.
         self.step(StepKind::ConnectCeBoth, |dev, placed, opts| {
-            placed.netdb.extend_net(dev, ce_net, PlacedDesign::ce_node(dst), opts.within)?;
+            placed
+                .netdb
+                .extend_net(dev, ce_net, PlacedDesign::ce_node(dst), opts.within)?;
             Ok(())
         })?;
         // Step 5: atomically switch the replica's D source to its own LUT
@@ -397,12 +443,20 @@ impl<F: FnMut(&Device, &PlacedDesign, &StepRecord)> Engine<'_, F> {
             placed.netdb.remove_net(dev, b_out);
             for (p, net) in input_nets.iter().enumerate() {
                 if let Some(net) = net {
-                    placed.netdb.remove_sink(dev, *net, PlacedDesign::in_node(comb_loc, p));
+                    placed
+                        .netdb
+                        .remove_sink(dev, *net, PlacedDesign::in_node(comb_loc, p));
                 }
             }
-            placed.netdb.remove_sink(dev, ce_net, PlacedDesign::in_node(mux_loc, 0));
-            placed.netdb.remove_sink(dev, ce_net, PlacedDesign::in_node(or_loc, 0));
-            placed.netdb.remove_sink(dev, out_net, PlacedDesign::in_node(mux_loc, 1));
+            placed
+                .netdb
+                .remove_sink(dev, ce_net, PlacedDesign::in_node(mux_loc, 0));
+            placed
+                .netdb
+                .remove_sink(dev, ce_net, PlacedDesign::in_node(or_loc, 0));
+            placed
+                .netdb
+                .remove_sink(dev, out_net, PlacedDesign::in_node(mux_loc, 1));
             dev.set_cell(comb_loc.0, comb_loc.1, LogicCell::default())?;
             dev.set_cell(mux_loc.0, mux_loc.1, LogicCell::default())?;
             dev.set_cell(or_loc.0, or_loc.1, LogicCell::default())?;
@@ -416,7 +470,12 @@ impl<F: FnMut(&Device, &PlacedDesign, &StepRecord)> Engine<'_, F> {
     /// Done as soon as both copies agree (after outputs are paralleled),
     /// so observers tracking the design see a valid location at every
     /// step.
-    fn update_tables(placed: &mut PlacedDesign, slot: DesignSlot, dst: CellLoc, net: Option<NetId>) {
+    fn update_tables(
+        placed: &mut PlacedDesign,
+        slot: DesignSlot,
+        dst: CellLoc,
+        net: Option<NetId>,
+    ) {
         match slot {
             DesignSlot::Cell(i) => {
                 placed.placement.cell_locs[i] = dst;
@@ -495,6 +554,66 @@ impl<F: FnMut(&Device, &PlacedDesign, &StepRecord)> Engine<'_, F> {
     }
 }
 
+/// Relocates a cell to a (possibly distant) destination **in stages** of
+/// at most `max_hop` CLBs each, as the paper recommends: "the relocation
+/// of a complete function may take place in several stages, to avoid an
+/// excessive increase in path delays during the relocation interval"
+/// (§3). Every intermediate hop is a full transparent relocation; the
+/// replica paths therefore never span more than `max_hop` tiles.
+///
+/// Returns one report per hop.
+///
+/// # Errors
+///
+/// As [`relocate_cell`]; additionally fails if no free intermediate slot
+/// exists near a waypoint.
+///
+/// # Panics
+///
+/// Panics if `max_hop` is zero.
+pub fn relocate_cell_staged(
+    dev: &mut Device,
+    placed: &mut PlacedDesign,
+    src: CellLoc,
+    dst: CellLoc,
+    max_hop: u16,
+    opts: &RelocationOptions,
+    mut observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+) -> Result<Vec<RelocationReport>, CoreError> {
+    assert!(max_hop > 0, "max_hop must be positive");
+    let mut reports = Vec::new();
+    let mut cur = src;
+    loop {
+        let remaining = cur.0.manhattan(dst.0);
+        if remaining <= max_hop as u32 {
+            reports.push(relocate_cell(dev, placed, cur, dst, opts, &mut observer)?);
+            return Ok(reports);
+        }
+        // Waypoint: step `max_hop` CLBs along the dominant axis toward
+        // the destination, then take the nearest free slot.
+        let dr = (dst.0.row as i32 - cur.0.row as i32).clamp(-(max_hop as i32), max_hop as i32);
+        let budget = max_hop as i32 - dr.abs();
+        let dc = (dst.0.col as i32 - cur.0.col as i32).clamp(-budget, budget);
+        let target = cur
+            .0
+            .offset(dr, dc)
+            .ok_or_else(|| CoreError::DesignMismatch {
+                detail: format!("waypoint from {} out of bounds", cur.0),
+            })?;
+        let waypoint =
+            crate::relocation::plan::find_aux_sites(dev, &placed.netdb, target, 1, &[cur, dst])?[0];
+        reports.push(relocate_cell(
+            dev,
+            placed,
+            cur,
+            waypoint,
+            opts,
+            &mut observer,
+        )?);
+        cur = waypoint;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,8 +669,10 @@ mod tests {
         let (mut dev, mut placed) = setup(3);
         // Configure a cell the design does not know about.
         let alien = (ClbCoord::new(20, 20), 0);
-        let mut cfg = LogicCell::default();
-        cfg.lut = Lut::constant(true);
+        let cfg = LogicCell {
+            lut: Lut::constant(true),
+            ..LogicCell::default()
+        };
         dev.set_cell(alien.0, alien.1, cfg).unwrap();
         let err = relocate_cell(
             &mut dev,
@@ -583,7 +704,10 @@ mod tests {
             |_, _, _| {},
         )
         .unwrap_err();
-        assert!(matches!(err, CoreError::Sim(rtm_sim::SimError::Unroutable { .. })));
+        assert!(matches!(
+            err,
+            CoreError::Sim(rtm_sim::SimError::Unroutable { .. })
+        ));
     }
 
     #[test]
@@ -592,9 +716,11 @@ mod tests {
         let src = placed.placement.cell_locs[0];
         let dst = (ClbCoord::new(20, 20), 0);
         // Park a RAM-mode cell in the destination column.
-        let mut ram = LogicCell::default();
-        ram.lut = Lut::constant(true);
-        ram.ram_mode = true;
+        let ram = LogicCell {
+            lut: Lut::constant(true),
+            ram_mode: true,
+            ..LogicCell::default()
+        };
         dev.set_cell(ClbCoord::new(5, dst.0.col), 3, ram).unwrap();
         let err = relocate_cell(
             &mut dev,
@@ -651,67 +777,11 @@ mod tests {
         assert_eq!(kinds.last(), Some(&StepKind::DisconnectOrigInputs));
         let pi = kinds.iter().position(|k| *k == StepKind::ParallelInputs);
         let po = kinds.iter().position(|k| *k == StepKind::ParallelOutputs);
-        let dc = kinds.iter().position(|k| *k == StepKind::DisconnectOrigOutputs);
+        let dc = kinds
+            .iter()
+            .position(|k| *k == StepKind::DisconnectOrigOutputs);
         if let (Some(pi), Some(po), Some(dc)) = (pi, po, dc) {
             assert!(pi < po && po < dc, "phase order violated: {kinds:?}");
         }
-    }
-}
-
-/// Relocates a cell to a (possibly distant) destination **in stages** of
-/// at most `max_hop` CLBs each, as the paper recommends: "the relocation
-/// of a complete function may take place in several stages, to avoid an
-/// excessive increase in path delays during the relocation interval"
-/// (§3). Every intermediate hop is a full transparent relocation; the
-/// replica paths therefore never span more than `max_hop` tiles.
-///
-/// Returns one report per hop.
-///
-/// # Errors
-///
-/// As [`relocate_cell`]; additionally fails if no free intermediate slot
-/// exists near a waypoint.
-///
-/// # Panics
-///
-/// Panics if `max_hop` is zero.
-pub fn relocate_cell_staged(
-    dev: &mut Device,
-    placed: &mut PlacedDesign,
-    src: CellLoc,
-    dst: CellLoc,
-    max_hop: u16,
-    opts: &RelocationOptions,
-    mut observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
-) -> Result<Vec<RelocationReport>, CoreError> {
-    assert!(max_hop > 0, "max_hop must be positive");
-    let mut reports = Vec::new();
-    let mut cur = src;
-    loop {
-        let remaining = cur.0.manhattan(dst.0);
-        if remaining <= max_hop as u32 {
-            reports.push(relocate_cell(dev, placed, cur, dst, opts, &mut observer)?);
-            return Ok(reports);
-        }
-        // Waypoint: step `max_hop` CLBs along the dominant axis toward
-        // the destination, then take the nearest free slot.
-        let dr = (dst.0.row as i32 - cur.0.row as i32).clamp(-(max_hop as i32), max_hop as i32);
-        let budget = max_hop as i32 - dr.abs();
-        let dc = (dst.0.col as i32 - cur.0.col as i32).clamp(-budget, budget);
-        let target = cur
-            .0
-            .offset(dr, dc)
-            .ok_or_else(|| CoreError::DesignMismatch {
-                detail: format!("waypoint from {} out of bounds", cur.0),
-            })?;
-        let waypoint = crate::relocation::plan::find_aux_sites(
-            dev,
-            &placed.netdb,
-            target,
-            1,
-            &[cur, dst],
-        )?[0];
-        reports.push(relocate_cell(dev, placed, cur, waypoint, opts, &mut observer)?);
-        cur = waypoint;
     }
 }

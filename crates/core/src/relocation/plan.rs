@@ -43,7 +43,10 @@ impl RelocationClass {
 
     /// True if the class needs the auxiliary relocation circuit.
     pub fn needs_auxiliary(&self) -> bool {
-        matches!(self, RelocationClass::GatedClock | RelocationClass::Asynchronous)
+        matches!(
+            self,
+            RelocationClass::GatedClock | RelocationClass::Asynchronous
+        )
     }
 }
 
@@ -117,7 +120,9 @@ impl fmt::Display for StepKind {
 /// True if the cell slot is unused on the device and none of its pins
 /// carry a routed net.
 pub fn free_slot(dev: &Device, netdb: &NetDb, loc: CellLoc) -> bool {
-    let Ok(clb) = dev.clb(loc.0) else { return false };
+    let Ok(clb) = dev.clb(loc.0) else {
+        return false;
+    };
     if clb.cells[loc.1].is_used() {
         return false;
     }
@@ -131,7 +136,8 @@ pub fn free_slot(dev: &Device, netdb: &NetDb, loc: CellLoc) -> bool {
         Wire::CellIn(c, 2),
         Wire::CellIn(c, 3),
     ];
-    pins.iter().all(|w| netdb.users_of(RouteNode::new(loc.0, *w)).is_empty())
+    pins.iter()
+        .all(|w| netdb.users_of(RouteNode::new(loc.0, *w)).is_empty())
 }
 
 /// Finds `count` free cell slots near `center` (spiral search by
@@ -156,7 +162,9 @@ pub fn find_aux_sites(
             let rem = radius - dr.abs();
             let dcs: &[i32] = if rem == 0 { &[0] } else { &[-rem, rem] };
             for &dc in dcs {
-                let Some(tile) = center.offset(dr, dc) else { continue };
+                let Some(tile) = center.offset(dr, dc) else {
+                    continue;
+                };
                 if tile.row >= dev.rows() || tile.col >= dev.cols() {
                     continue;
                 }
@@ -214,8 +222,10 @@ mod tests {
         let db = NetDb::new();
         let loc = (ClbCoord::new(3, 3), 1);
         assert!(free_slot(&dev, &db, loc));
-        let mut cfg = LogicCell::default();
-        cfg.lut = Lut::constant(true);
+        let cfg = LogicCell {
+            lut: Lut::constant(true),
+            ..LogicCell::default()
+        };
         dev.set_cell(loc.0, loc.1, cfg).unwrap();
         assert!(!free_slot(&dev, &db, loc));
     }
@@ -248,8 +258,10 @@ mod tests {
     #[test]
     fn aux_site_search_fails_on_full_device() {
         let mut dev = Device::new(Part::Xcv50);
-        let mut cfg = LogicCell::default();
-        cfg.lut = Lut::constant(true);
+        let cfg = LogicCell {
+            lut: Lut::constant(true),
+            ..LogicCell::default()
+        };
         for tile in dev.bounds().iter() {
             for c in 0..CELLS_PER_CLB {
                 dev.set_cell(tile, c, cfg).unwrap();

@@ -35,7 +35,10 @@ pub struct RoutingRelocationReport {
 impl RoutingRelocationReport {
     /// The Fig. 6 timing while both paths were paralleled.
     pub fn parallel_timing(&self) -> ParallelPathTiming {
-        ParallelPathTiming { original_ps: self.old_delay_ps, replica_ps: self.new_delay_ps }
+        ParallelPathTiming {
+            original_ps: self.old_delay_ps,
+            replica_ps: self.new_delay_ps,
+        }
     }
 }
 
@@ -131,7 +134,9 @@ mod tests {
         let source = node(4, 4, Wire::CellOut(0));
         let sink = node(4, 8, Wire::CellIn(0, 0));
         let other_sink = node(6, 4, Wire::CellIn(0, 0));
-        let net = db.route_net(&mut dev, source, &[sink, other_sink], None).unwrap();
+        let net = db
+            .route_net(&mut dev, source, &[sink, other_sink], None)
+            .unwrap();
 
         let mut observed_parallel = false;
         let report = relocate_sink_path(&mut dev, &mut db, net, sink, None, |d| {
@@ -165,8 +170,14 @@ mod tests {
         let net = db.route_net(&mut dev, source, &[sink], None).unwrap();
         let report = relocate_sink_path(&mut dev, &mut db, net, sink, None, |_| {}).unwrap();
         let t = report.parallel_timing();
-        assert_eq!(t.effective_delay_ps(), report.old_delay_ps.max(report.new_delay_ps));
-        assert_eq!(t.fuzziness_ps(), report.old_delay_ps.abs_diff(report.new_delay_ps));
+        assert_eq!(
+            t.effective_delay_ps(),
+            report.old_delay_ps.max(report.new_delay_ps)
+        );
+        assert_eq!(
+            t.fuzziness_ps(),
+            report.old_delay_ps.abs_diff(report.new_delay_ps)
+        );
     }
 
     #[test]
@@ -196,8 +207,13 @@ mod tests {
         assert_ne!(report.new_delay_ps, 0);
         let after_nodes: Vec<RouteNode> = db.net(net).unwrap().nodes().collect();
         // Old exclusive intermediate nodes were released.
-        let released: Vec<_> =
-            before_nodes.iter().filter(|n| !after_nodes.contains(n)).collect();
-        assert!(!released.is_empty(), "original branch resources must be freed");
+        let released: Vec<_> = before_nodes
+            .iter()
+            .filter(|n| !after_nodes.contains(n))
+            .collect();
+        assert!(
+            !released.is_empty(),
+            "original branch resources must be freed"
+        );
     }
 }

@@ -14,9 +14,7 @@
 //!   clocking during the whole procedure.
 
 use crate::error::CoreError;
-use crate::relocation::{
-    relocate_cell, RelocationOptions, RelocationReport, StepRecord,
-};
+use crate::relocation::{relocate_cell, RelocationOptions, RelocationReport, StepRecord};
 use rtm_fpga::Device;
 use rtm_netlist::Netlist;
 use rtm_sim::compare::{Divergence, LockStep};
@@ -63,7 +61,7 @@ impl<'a> TransparencyHarness<'a> {
 
     /// The netlist under test.
     pub fn netlist(&self) -> &Netlist {
-        &self.netlist
+        self.netlist
     }
 
     /// Glitches observed so far.
@@ -266,7 +264,12 @@ mod tests {
             assert!(report.frames_total() > 0);
             h.run_cycles(10).unwrap();
         }
-        assert!(h.transparent(), "glitches: {:?}, div: {:?}", h.glitches(), h.divergences());
+        assert!(
+            h.transparent(),
+            "glitches: {:?}, div: {:?}",
+            h.glitches(),
+            h.divergences()
+        );
     }
 
     #[test]
@@ -287,7 +290,12 @@ mod tests {
             assert_eq!(report.aux_sites.len(), 3);
             h.run_cycles(16).unwrap();
         }
-        assert!(h.transparent(), "glitches: {:?}, div: {:?}", h.glitches(), h.divergences());
+        assert!(
+            h.transparent(),
+            "glitches: {:?}, div: {:?}",
+            h.glitches(),
+            h.divergences()
+        );
     }
 
     #[test]
@@ -311,7 +319,10 @@ mod tests {
             }
             let src = h.placed().cell_loc(i);
             let dst = (ClbCoord::new(24, 24 + 2 * i as u16), 2);
-            let opts = RelocationOptions { skip_aux: true, ..Default::default() };
+            let opts = RelocationOptions {
+                skip_aux: true,
+                ..Default::default()
+            };
             h.relocate_cell_with(src, dst, &opts).unwrap();
             moved = true;
         }
@@ -362,7 +373,12 @@ mod tests {
             h.run_cycles(4).unwrap();
         }
         h.run_cycles(30).unwrap();
-        assert!(h.transparent(), "glitches: {:?}, div: {:?}", h.glitches(), h.divergences());
+        assert!(
+            h.transparent(),
+            "glitches: {:?}, div: {:?}",
+            h.glitches(),
+            h.divergences()
+        );
     }
 
     #[test]
@@ -376,7 +392,12 @@ mod tests {
         h.relocate_cell(src, dst).unwrap();
         assert_eq!(h.placed().feed_loc(0), dst);
         h.run_cycles(8).unwrap();
-        assert!(h.transparent(), "glitches: {:?}, div: {:?}", h.glitches(), h.divergences());
+        assert!(
+            h.transparent(),
+            "glitches: {:?}, div: {:?}",
+            h.glitches(),
+            h.divergences()
+        );
     }
 
     #[test]
@@ -460,7 +481,9 @@ mod tests {
         clb.cells[loc.1].ram_mode = true;
         dev.set_clb(loc.0, clb).unwrap();
         let mut h = TransparencyHarness::new(&netlist, dev, placed);
-        let err = h.relocate_cell(loc, (ClbCoord::new(20, 20), 0)).unwrap_err();
+        let err = h
+            .relocate_cell(loc, (ClbCoord::new(20, 20), 0))
+            .unwrap_err();
         assert!(matches!(err, CoreError::RamRelocationUnsupported { .. }));
     }
 }

@@ -1,0 +1,36 @@
+//! Crate-level smoke tests for the run-time manager.
+
+use rtm_core::manager::RunTimeManager;
+use rtm_fpga::part::Part;
+use rtm_netlist::itc99::{self, Variant};
+use rtm_netlist::techmap::map_to_luts;
+
+#[test]
+fn manager_loads_runs_and_unloads_b01() {
+    let netlist = itc99::generate(itc99::profile("b01").unwrap(), Variant::FreeRunning);
+    let mapped = map_to_luts(&netlist).unwrap();
+    let mut mgr = RunTimeManager::new(Part::Xcv200);
+    let report = mgr.load(&mapped, 12, 12, |_, _, _| {}).unwrap();
+    assert_eq!(report.region.area(), 144);
+    assert_eq!(mgr.functions().count(), 1);
+    assert!(mgr.fragmentation().free_cells < 28 * 42);
+    mgr.unload(report.id).unwrap();
+    assert_eq!(mgr.functions().count(), 0);
+}
+
+#[test]
+fn device_always_matches_last_checkpoint_after_manager_ops() {
+    // Every public mutation (load/unload) checkpoints on completion, so
+    // recovery of an undisturbed manager must be a no-op.
+    let netlist = itc99::generate(itc99::profile("b02").unwrap(), Variant::FreeRunning);
+    let mapped = map_to_luts(&netlist).unwrap();
+    let mut mgr = RunTimeManager::new(Part::Xcv200);
+    let report = mgr.load(&mapped, 10, 10, |_, _, _| {}).unwrap();
+    assert_eq!(
+        mgr.recover().unwrap(),
+        0,
+        "clean manager needs no recovery frames"
+    );
+    mgr.unload(report.id).unwrap();
+    assert_eq!(mgr.recover().unwrap(), 0);
+}

@@ -24,7 +24,10 @@ pub struct BitVec {
 impl BitVec {
     /// Creates a bit vector of `len` zero bits.
     pub fn zeros(len: usize) -> Self {
-        BitVec { len, words: vec![0; len.div_ceil(64)] }
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Creates a bit vector from an iterator of bools.
@@ -90,7 +93,10 @@ impl BitVec {
     ///
     /// Panics if lengths differ.
     pub fn hamming(&self, other: &BitVec) -> usize {
-        assert_eq!(self.len, other.len, "hamming distance requires equal lengths");
+        assert_eq!(
+            self.len, other.len,
+            "hamming distance requires equal lengths"
+        );
         self.words
             .iter()
             .zip(&other.words)

@@ -76,8 +76,8 @@ impl LogicCell {
     /// Encodes the cell into `CELL_CONFIG_BITS` configuration bits.
     pub fn encode(&self) -> [bool; CELL_CONFIG_BITS] {
         let mut out = [false; CELL_CONFIG_BITS];
-        for i in 0..16 {
-            out[i] = (self.lut.bits() >> i) & 1 == 1;
+        for (i, bit) in out.iter_mut().enumerate().take(16) {
+            *bit = (self.lut.bits() >> i) & 1 == 1;
         }
         let (s0, s1) = match self.storage {
             StorageKind::None => (false, false),

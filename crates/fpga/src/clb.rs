@@ -39,7 +39,11 @@ impl Clb {
 
     /// Indices of cells that are configured.
     pub fn used_cells(&self) -> impl Iterator<Item = usize> + '_ {
-        self.cells.iter().enumerate().filter(|(_, c)| c.is_used()).map(|(i, _)| i)
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_used())
+            .map(|(i, _)| i)
     }
 
     /// True if any cell holds sequential state.

@@ -48,17 +48,29 @@ pub struct FrameAddress {
 impl FrameAddress {
     /// Frame `minor` of CLB column `major`.
     pub fn clb(major: u16, minor: u16) -> Self {
-        FrameAddress { block: BlockType::Clb, major, minor }
+        FrameAddress {
+            block: BlockType::Clb,
+            major,
+            minor,
+        }
     }
 
     /// Frame `minor` of IOB column `major` (0 = left, 1 = right).
     pub fn iob(major: u16, minor: u16) -> Self {
-        FrameAddress { block: BlockType::Iob, major, minor }
+        FrameAddress {
+            block: BlockType::Iob,
+            major,
+            minor,
+        }
     }
 
     /// Frame `minor` of the clock column.
     pub fn clock(minor: u16) -> Self {
-        FrameAddress { block: BlockType::Clock, major: 0, minor }
+        FrameAddress {
+            block: BlockType::Clock,
+            major: 0,
+            minor,
+        }
     }
 
     /// Packs the address into the 32-bit FAR register format used by the
@@ -102,7 +114,9 @@ pub struct Frame {
 impl Frame {
     /// An all-zero frame of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        Frame { bits: BitVec::zeros(len) }
+        Frame {
+            bits: BitVec::zeros(len),
+        }
     }
 
     /// A frame wrapping an existing bit vector.

@@ -178,8 +178,9 @@ mod tests {
             crate::routing::Wire::Out(crate::routing::Dir::North, 0),
         );
         let (addr, bit) = pip_config_bit(&pip).unwrap();
-        let cell_locs: Vec<_> =
-            (0..CELLS_PER_CLB).flat_map(|c| (0..CELL_CONFIG_BITS).map(move |b| (c, b))).collect();
+        let cell_locs: Vec<_> = (0..CELLS_PER_CLB)
+            .flat_map(|c| (0..CELL_CONFIG_BITS).map(move |b| (c, b)))
+            .collect();
         for (c, b) in cell_locs {
             assert_ne!(cell_config_bit(tile, c, b), (addr, bit));
         }

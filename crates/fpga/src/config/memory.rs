@@ -55,7 +55,10 @@ pub struct ConfigMemory {
 impl ConfigMemory {
     /// An all-zero configuration memory for `part`.
     pub fn new(part: Part) -> Self {
-        ConfigMemory { part, frames: BTreeMap::new() }
+        ConfigMemory {
+            part,
+            frames: BTreeMap::new(),
+        }
     }
 
     /// The device this memory belongs to.
@@ -85,7 +88,9 @@ impl ConfigMemory {
         if ok {
             Ok(())
         } else {
-            Err(FpgaError::BadFrameAddress { detail: format!("{addr} on {}", self.part) })
+            Err(FpgaError::BadFrameAddress {
+                detail: format!("{addr} on {}", self.part),
+            })
         }
     }
 
@@ -156,13 +161,15 @@ impl ConfigMemory {
     /// # Panics
     ///
     /// Panics if `bit` exceeds the frame length.
-    pub fn set_bit(&mut self, addr: FrameAddress, bit: usize, value: bool) -> Result<bool, FpgaError> {
+    pub fn set_bit(
+        &mut self,
+        addr: FrameAddress,
+        bit: usize,
+        value: bool,
+    ) -> Result<bool, FpgaError> {
         self.validate_addr(addr)?;
         let len = self.frame_len();
-        let frame = self
-            .frames
-            .entry(addr)
-            .or_insert_with(|| Frame::zeros(len));
+        let frame = self.frames.entry(addr).or_insert_with(|| Frame::zeros(len));
         let old = frame.set(bit, value);
         Ok(old != value)
     }
@@ -174,8 +181,12 @@ impl ConfigMemory {
     pub fn diff_frames(&self, other: &ConfigMemory) -> Vec<FrameAddress> {
         let mut out = Vec::new();
         let zero = Frame::zeros(self.frame_len());
-        let mut addrs: Vec<FrameAddress> =
-            self.frames.keys().chain(other.frames.keys()).copied().collect();
+        let mut addrs: Vec<FrameAddress> = self
+            .frames
+            .keys()
+            .chain(other.frames.keys())
+            .copied()
+            .collect();
         addrs.sort();
         addrs.dedup();
         for addr in addrs {
@@ -263,7 +274,9 @@ mod tests {
     #[test]
     fn wrong_frame_length_rejected() {
         let mut mem = ConfigMemory::new(Part::Xcv50);
-        let err = mem.write_frame(FrameAddress::clb(0, 0), Frame::zeros(10)).unwrap_err();
+        let err = mem
+            .write_frame(FrameAddress::clb(0, 0), Frame::zeros(10))
+            .unwrap_err();
         assert!(matches!(err, FpgaError::FrameLengthMismatch { .. }));
     }
 

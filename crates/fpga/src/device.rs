@@ -203,8 +203,7 @@ impl Device {
         if !self.pips.insert(pip) {
             return Ok(Vec::new());
         }
-        let (addr, offset) =
-            pip_config_bit(&pip).expect("pip_exists implies a config bit");
+        let (addr, offset) = pip_config_bit(&pip).expect("pip_exists implies a config bit");
         self.config.set_bit(addr, offset, true)?;
         Ok(vec![addr])
     }
@@ -217,10 +216,11 @@ impl Device {
     /// active.
     pub fn remove_pip(&mut self, pip: &Pip) -> Result<Vec<FrameAddress>, FpgaError> {
         if !self.pips.remove(pip) {
-            return Err(FpgaError::PipNotActive { detail: pip.to_string() });
+            return Err(FpgaError::PipNotActive {
+                detail: pip.to_string(),
+            });
         }
-        let (addr, offset) =
-            pip_config_bit(pip).expect("active pip must have a config bit");
+        let (addr, offset) = pip_config_bit(pip).expect("active pip must have a config bit");
         self.config.set_bit(addr, offset, false)?;
         Ok(vec![addr])
     }
@@ -339,11 +339,7 @@ impl Device {
         Ok(effect)
     }
 
-    fn decode_cell_from_config(
-        &self,
-        tile: ClbCoord,
-        cell: usize,
-    ) -> Result<LogicCell, FpgaError> {
+    fn decode_cell_from_config(&self, tile: ClbCoord, cell: usize) -> Result<LogicCell, FpgaError> {
         let mut bits = [false; CELL_CONFIG_BITS];
         for (i, slot) in bits.iter_mut().enumerate() {
             let (addr, offset) = cell_config_bit(tile, cell, i);
@@ -355,7 +351,9 @@ impl Device {
     /// The frames a full copy of `coord`'s CLB configuration must write
     /// (the cell-configuration minors of the tile's column).
     pub fn clb_config_frames(&self, coord: ClbCoord) -> Vec<FrameAddress> {
-        layout::clb_config_minors().map(|m| FrameAddress::clb(coord.col, m)).collect()
+        layout::clb_config_minors()
+            .map(|m| FrameAddress::clb(coord.col, m))
+            .collect()
     }
 
     /// Rectangular region occupancy: CLB coordinates in `rect` whose CLB is
@@ -432,7 +430,11 @@ mod tests {
     #[test]
     fn pip_add_remove_roundtrip() {
         let mut dev = small();
-        let pip = Pip::new(ClbCoord::new(1, 1), Wire::CellOut(0), Wire::Out(Dir::East, 0));
+        let pip = Pip::new(
+            ClbCoord::new(1, 1),
+            Wire::CellOut(0),
+            Wire::Out(Dir::East, 0),
+        );
         let touched = dev.add_pip(pip).unwrap();
         assert_eq!(touched.len(), 1);
         assert!(dev.has_pip(&pip));
@@ -452,7 +454,11 @@ mod tests {
     #[test]
     fn frame_write_decodes_pip() {
         let mut dev = small();
-        let pip = Pip::new(ClbCoord::new(5, 7), Wire::CellOut(1), Wire::Out(Dir::North, 1));
+        let pip = Pip::new(
+            ClbCoord::new(5, 7),
+            Wire::CellOut(1),
+            Wire::Out(Dir::North, 1),
+        );
         dev.add_pip(pip).unwrap();
         let (addr, _) = crate::config::layout::pip_config_bit(&pip).unwrap();
         let frame = dev.read_frame(addr).unwrap();
@@ -468,10 +474,20 @@ mod tests {
         let src_tile = ClbCoord::new(3, 3);
         let dst_tile = ClbCoord::new(3, 4);
         // cell0 output -> east single 0 -> next tile -> cell0 input pin
-        dev.add_pip(Pip::new(src_tile, Wire::CellOut(0), Wire::Out(Dir::East, 0))).unwrap();
+        dev.add_pip(Pip::new(
+            src_tile,
+            Wire::CellOut(0),
+            Wire::Out(Dir::East, 0),
+        ))
+        .unwrap();
         // In(West, 0) arrives at dst; pattern allows CellIn(c, p) with
         // p == (0 + c) % 4 or (0 + c + 1) % 4 -> for c=0: p 0 or 1.
-        dev.add_pip(Pip::new(dst_tile, Wire::In(Dir::West, 0), Wire::CellIn(0, 0))).unwrap();
+        dev.add_pip(Pip::new(
+            dst_tile,
+            Wire::In(Dir::West, 0),
+            Wire::CellIn(0, 0),
+        ))
+        .unwrap();
         let sinks = dev.sinks_of(RouteNode::new(src_tile, Wire::CellOut(0)));
         assert_eq!(sinks, vec![RouteNode::new(dst_tile, Wire::CellIn(0, 0))]);
     }
@@ -497,8 +513,10 @@ mod tests {
         let mut dev = small();
         let tile = ClbCoord::new(2, 2);
         let node = RouteNode::new(tile, Wire::Out(Dir::South, 1));
-        dev.add_pip(Pip::new(tile, Wire::CellOut(0), Wire::Out(Dir::South, 1))).unwrap();
-        dev.add_pip(Pip::new(tile, Wire::CellOut(1), Wire::Out(Dir::South, 1))).unwrap();
+        dev.add_pip(Pip::new(tile, Wire::CellOut(0), Wire::Out(Dir::South, 1)))
+            .unwrap();
+        dev.add_pip(Pip::new(tile, Wire::CellOut(1), Wire::Out(Dir::South, 1)))
+            .unwrap();
         assert_eq!(dev.pips_driving(node).len(), 2);
     }
 

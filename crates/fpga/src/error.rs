@@ -70,7 +70,10 @@ impl fmt::Display for FpgaError {
                 write!(f, "pip not active: {detail}")
             }
             FpgaError::FrameLengthMismatch { expected, actual } => {
-                write!(f, "frame length mismatch: expected {expected} bits, got {actual}")
+                write!(
+                    f,
+                    "frame length mismatch: expected {expected} bits, got {actual}"
+                )
             }
             FpgaError::LutInRamMode { coord, cell } => {
                 write!(f, "lut at {coord} cell {cell} is in distributed-RAM mode")
@@ -88,12 +91,22 @@ mod tests {
     #[test]
     fn display_is_nonempty_for_all_variants() {
         let variants = [
-            FpgaError::OutOfBounds { coord: ClbCoord::new(1, 2), rows: 4, cols: 4 },
+            FpgaError::OutOfBounds {
+                coord: ClbCoord::new(1, 2),
+                rows: 4,
+                cols: 4,
+            },
             FpgaError::BadFrameAddress { detail: "x".into() },
             FpgaError::WireConflict { detail: "w".into() },
             FpgaError::PipNotActive { detail: "p".into() },
-            FpgaError::FrameLengthMismatch { expected: 10, actual: 9 },
-            FpgaError::LutInRamMode { coord: ClbCoord::new(0, 0), cell: 1 },
+            FpgaError::FrameLengthMismatch {
+                expected: 10,
+                actual: 9,
+            },
+            FpgaError::LutInRamMode {
+                coord: ClbCoord::new(0, 0),
+                cell: 1,
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -168,12 +168,23 @@ impl Rect {
         let col = self.origin.col.max(other.origin.col);
         let row_end = self.row_end().min(other.row_end());
         let col_end = self.col_end().min(other.col_end());
-        Some(Rect::new(ClbCoord::new(row, col), row_end - row, col_end - col))
+        Some(Rect::new(
+            ClbCoord::new(row, col),
+            row_end - row,
+            col_end - col,
+        ))
     }
 
     /// Iterator over every CLB coordinate inside the rectangle, row-major.
     pub fn iter(&self) -> RectIter {
-        RectIter { rect: *self, next: if self.is_empty() { None } else { Some(self.origin) } }
+        RectIter {
+            rect: *self,
+            next: if self.is_empty() {
+                None
+            } else {
+                Some(self.origin)
+            },
+        }
     }
 
     /// Inclusive range of configuration columns the rectangle touches.
@@ -206,7 +217,11 @@ impl Iterator for RectIter {
             nxt.col = self.rect.origin.col;
             nxt.row += 1;
         }
-        self.next = if nxt.row >= self.rect.row_end() { None } else { Some(nxt) };
+        self.next = if nxt.row >= self.rect.row_end() {
+            None
+        } else {
+            Some(nxt)
+        };
         Some(cur)
     }
 }
@@ -227,7 +242,10 @@ mod tests {
     fn offset_rejects_underflow() {
         assert_eq!(ClbCoord::new(0, 0).offset(-1, 0), None);
         assert_eq!(ClbCoord::new(0, 0).offset(0, -1), None);
-        assert_eq!(ClbCoord::new(1, 1).offset(-1, -1), Some(ClbCoord::new(0, 0)));
+        assert_eq!(
+            ClbCoord::new(1, 1).offset(-1, -1),
+            Some(ClbCoord::new(0, 0))
+        );
     }
 
     #[test]

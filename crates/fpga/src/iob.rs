@@ -101,12 +101,18 @@ mod tests {
     #[test]
     fn adjacent_tiles_on_edges() {
         let (rows, cols) = (28, 42);
-        assert_eq!(IobCoord::new(IobSide::Top, 5).adjacent_tile(rows, cols), ClbCoord::new(0, 5));
+        assert_eq!(
+            IobCoord::new(IobSide::Top, 5).adjacent_tile(rows, cols),
+            ClbCoord::new(0, 5)
+        );
         assert_eq!(
             IobCoord::new(IobSide::Bottom, 5).adjacent_tile(rows, cols),
             ClbCoord::new(27, 5)
         );
-        assert_eq!(IobCoord::new(IobSide::Left, 9).adjacent_tile(rows, cols), ClbCoord::new(9, 0));
+        assert_eq!(
+            IobCoord::new(IobSide::Left, 9).adjacent_tile(rows, cols),
+            ClbCoord::new(9, 0)
+        );
         assert_eq!(
             IobCoord::new(IobSide::Right, 9).adjacent_tile(rows, cols),
             ClbCoord::new(9, 41)

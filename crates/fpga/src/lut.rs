@@ -38,7 +38,9 @@ impl Lut {
 
     /// A LUT computing constant `value`.
     pub fn constant(value: bool) -> Self {
-        Lut { bits: if value { 0xFFFF } else { 0x0000 } }
+        Lut {
+            bits: if value { 0xFFFF } else { 0x0000 },
+        }
     }
 
     /// A LUT that passes through input `idx`.

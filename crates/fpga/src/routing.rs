@@ -319,7 +319,11 @@ pub fn pip_table() -> &'static [(Wire, Wire)] {
 pub fn pip_bit_index(from: Wire, to: Wire) -> Option<usize> {
     static INDEX: OnceLock<std::collections::HashMap<(Wire, Wire), usize>> = OnceLock::new();
     let map = INDEX.get_or_init(|| {
-        pip_table().iter().enumerate().map(|(i, p)| (*p, i)).collect()
+        pip_table()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i))
+            .collect()
     });
     map.get(&(from, to)).copied()
 }
@@ -335,8 +339,12 @@ pub fn pip_bit_index(from: Wire, to: Wire) -> Option<usize> {
 /// assert_eq!(dst.unwrap().tile, ClbCoord::new(4, 5));
 /// assert_eq!(dst.unwrap().wire, Wire::In(Dir::South, 2));
 /// ```
+/// Direction, wire index, hop span and the in/outbound wire constructor
+/// of a fixed link, destructured from a [`Wire`].
+type LinkParts = (Dir, u8, u16, fn(Dir, u8) -> Wire);
+
 pub fn fixed_link(tile: ClbCoord, wire: Wire, rows: u16, cols: u16) -> Option<RouteNode> {
-    let (dir, idx, span, inbound): (Dir, u8, u16, fn(Dir, u8) -> Wire) = match wire {
+    let (dir, idx, span, inbound): LinkParts = match wire {
         Wire::Out(d, i) => (d, i, 1, Wire::In),
         Wire::HexOut(d, i) => (d, i, HEX_SPAN, Wire::HexIn),
         _ => return None,
@@ -352,7 +360,7 @@ pub fn fixed_link(tile: ClbCoord, wire: Wire, rows: u16, cols: u16) -> Option<Ro
 /// Reverse of [`fixed_link`]: the outbound wire (at another tile) that
 /// feeds an inbound wire, if any.
 pub fn fixed_link_rev(tile: ClbCoord, wire: Wire, rows: u16, cols: u16) -> Option<RouteNode> {
-    let (dir, idx, span, outbound): (Dir, u8, u16, fn(Dir, u8) -> Wire) = match wire {
+    let (dir, idx, span, outbound): LinkParts = match wire {
         Wire::In(d, i) => (d, i, 1, Wire::Out),
         Wire::HexIn(d, i) => (d, i, HEX_SPAN, Wire::HexOut),
         _ => return None,
@@ -389,7 +397,10 @@ mod tests {
         let n = pip_table().len();
         // See config::layout: routing bits per tile must fit under 764.
         assert!(n > 200, "switch pattern suspiciously small: {n}");
-        assert!(n <= 764, "switch pattern exceeds per-tile frame budget: {n}");
+        assert!(
+            n <= 764,
+            "switch pattern exceeds per-tile frame budget: {n}"
+        );
     }
 
     #[test]
@@ -404,7 +415,10 @@ mod tests {
     #[test]
     fn no_pip_drives_a_cell_output() {
         for (_, to) in pip_table() {
-            assert!(!matches!(to, Wire::CellOut(_)), "cell outputs are driven by the cell");
+            assert!(
+                !matches!(to, Wire::CellOut(_)),
+                "cell outputs are driven by the cell"
+            );
         }
     }
 
@@ -466,7 +480,10 @@ mod tests {
     #[test]
     fn delays_are_positive_for_fabric() {
         assert!(Wire::Out(Dir::North, 0).segment_delay_ps() > 0);
-        assert!(Wire::HexOut(Dir::East, 1).segment_delay_ps() > Wire::Out(Dir::East, 1).segment_delay_ps());
+        assert!(
+            Wire::HexOut(Dir::East, 1).segment_delay_ps()
+                > Wire::Out(Dir::East, 1).segment_delay_ps()
+        );
         assert_eq!(Wire::CellOut(0).segment_delay_ps(), 0);
     }
 }

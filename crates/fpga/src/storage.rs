@@ -64,7 +64,10 @@ impl ClockingClass {
     /// True if a relocation of this class requires the auxiliary relocation
     /// circuit of Fig. 3 (state cannot be assumed to refresh on its own).
     pub fn needs_auxiliary_circuit(&self) -> bool {
-        matches!(self, ClockingClass::GatedClock | ClockingClass::Asynchronous)
+        matches!(
+            self,
+            ClockingClass::GatedClock | ClockingClass::Asynchronous
+        )
     }
 }
 

@@ -1,0 +1,36 @@
+//! Crate-level smoke tests: fail fast on device-model regressions
+//! without pulling in the full stack.
+
+use rtm_fpga::cell::LogicCell;
+use rtm_fpga::geom::ClbCoord;
+use rtm_fpga::lut::Lut;
+use rtm_fpga::part::Part;
+use rtm_fpga::Device;
+
+#[test]
+fn every_part_constructs() {
+    for part in Part::ALL {
+        let dev = Device::new(part);
+        assert!(dev.rows() > 0 && dev.cols() > 0, "{part:?} has no array");
+        assert_eq!(dev.part(), part);
+    }
+}
+
+#[test]
+fn xcv200_dimensions_match_datasheet() {
+    let dev = Device::new(Part::Xcv200);
+    assert_eq!((dev.rows(), dev.cols()), (28, 42));
+}
+
+#[test]
+fn set_cell_roundtrips_through_config_memory() {
+    let mut dev = Device::new(Part::Xcv200);
+    let loc = ClbCoord::new(3, 5);
+    let cfg = LogicCell {
+        lut: Lut::constant(true),
+        ..LogicCell::default()
+    };
+    let frames = dev.set_cell(loc, 1, cfg).unwrap();
+    assert!(!frames.is_empty(), "a cell write must touch frames");
+    assert_eq!(dev.clb(loc).unwrap().cells[1], cfg);
+}

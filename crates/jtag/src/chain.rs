@@ -29,7 +29,11 @@ impl JtagPort {
         let mut tap = TapController::new();
         tap.reset();
         tap.step(false); // -> Run-Test/Idle
-        JtagPort { part, tap, ir: None }
+        JtagPort {
+            part,
+            tap,
+            ir: None,
+        }
     }
 
     /// The attached part.
@@ -181,7 +185,7 @@ mod tests {
         assert_eq!(report.frames_written, p.frame_count());
         let cycles = port.tck_cycles() - before;
         assert!(
-            cycles as u64 >= p.len_bits(),
+            cycles >= p.len_bits(),
             "must cost at least one TCK per stream bit ({cycles} vs {})",
             p.len_bits()
         );

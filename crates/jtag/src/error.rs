@@ -67,9 +67,14 @@ mod tests {
     #[test]
     fn displays_nonempty() {
         for e in [
-            JtagError::NotIdle { state: "ShiftDr".into() },
+            JtagError::NotIdle {
+                state: "ShiftDr".into(),
+            },
             JtagError::NoInstruction,
-            JtagError::WrongInstruction { loaded: "IDCODE".into(), required: "CFG_IN".into() },
+            JtagError::WrongInstruction {
+                loaded: "IDCODE".into(),
+                required: "CFG_IN".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -112,7 +112,10 @@ impl Default for TapController {
 impl TapController {
     /// A controller in Test-Logic-Reset (power-up state).
     pub fn new() -> Self {
-        TapController { state: TapState::TestLogicReset, tck: 0 }
+        TapController {
+            state: TapState::TestLogicReset,
+            tck: 0,
+        }
     }
 
     /// Current state.
@@ -199,8 +202,21 @@ mod tests {
     fn five_tms_ones_reset_from_anywhere() {
         // From every reachable state, five TMS=1 edges land in TLR.
         let all = [
-            TestLogicReset, RunTestIdle, SelectDrScan, CaptureDr, ShiftDr, Exit1Dr, PauseDr,
-            Exit2Dr, UpdateDr, SelectIrScan, CaptureIr, ShiftIr, Exit1Ir, PauseIr, Exit2Ir,
+            TestLogicReset,
+            RunTestIdle,
+            SelectDrScan,
+            CaptureDr,
+            ShiftDr,
+            Exit1Dr,
+            PauseDr,
+            Exit2Dr,
+            UpdateDr,
+            SelectIrScan,
+            CaptureIr,
+            ShiftIr,
+            Exit1Ir,
+            PauseIr,
+            Exit2Ir,
             UpdateIr,
         ];
         for start in all {
@@ -236,8 +252,22 @@ mod tests {
     #[test]
     fn goto_reaches_every_state() {
         let all = [
-            RunTestIdle, SelectDrScan, CaptureDr, ShiftDr, Exit1Dr, PauseDr, Exit2Dr, UpdateDr,
-            SelectIrScan, CaptureIr, ShiftIr, Exit1Ir, PauseIr, Exit2Ir, UpdateIr, TestLogicReset,
+            RunTestIdle,
+            SelectDrScan,
+            CaptureDr,
+            ShiftDr,
+            Exit1Dr,
+            PauseDr,
+            Exit2Dr,
+            UpdateDr,
+            SelectIrScan,
+            CaptureIr,
+            ShiftIr,
+            Exit1Ir,
+            PauseIr,
+            Exit2Ir,
+            UpdateIr,
+            TestLogicReset,
         ];
         for target in all {
             let mut tap = TapController::new();

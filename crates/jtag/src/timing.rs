@@ -118,6 +118,9 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(ConfigInterface::paper_default().to_string(), "BoundaryScan@20.0MHz");
+        assert_eq!(
+            ConfigInterface::paper_default().to_string(),
+            "BoundaryScan@20.0MHz"
+        );
     }
 }

@@ -1,0 +1,24 @@
+//! Crate-level smoke tests for the Boundary Scan port.
+
+use rtm_fpga::part::Part;
+use rtm_jtag::chain::JtagPort;
+use rtm_jtag::tap::{TapController, TapState};
+
+#[test]
+fn tap_walks_to_shift_dr_and_back() {
+    let mut tap = TapController::new();
+    assert_eq!(tap.state(), TapState::TestLogicReset);
+    tap.goto(TapState::ShiftDr);
+    assert_eq!(tap.state(), TapState::ShiftDr);
+    tap.reset();
+    assert_eq!(tap.state(), TapState::TestLogicReset);
+}
+
+#[test]
+fn idcode_reads_and_costs_tck_cycles() {
+    let mut port = JtagPort::new(Part::Xcv50);
+    let idcode = port.read_idcode().unwrap();
+    assert_ne!(idcode, 0);
+    assert_ne!(idcode, u32::MAX);
+    assert!(port.tck_cycles() > 0, "boundary scan cannot be free");
+}

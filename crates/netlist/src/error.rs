@@ -52,7 +52,11 @@ impl fmt::Display for NetlistError {
             NetlistError::DanglingRef { node, target } => {
                 write!(f, "node {node} references missing node {target}")
             }
-            NetlistError::BadArity { node, expected, actual } => {
+            NetlistError::BadArity {
+                node,
+                expected,
+                actual,
+            } => {
                 write!(f, "node {node} has {actual} fan-ins, expected {expected}")
             }
             NetlistError::UnwiredStorage { node } => {
@@ -81,10 +85,17 @@ mod tests {
     fn displays_nonempty() {
         for e in [
             NetlistError::DanglingRef { node: 1, target: 9 },
-            NetlistError::BadArity { node: 1, expected: "exactly 1".into(), actual: 3 },
+            NetlistError::BadArity {
+                node: 1,
+                expected: "exactly 1".into(),
+                actual: 3,
+            },
             NetlistError::UnwiredStorage { node: 2 },
             NetlistError::CombinationalCycle { node: 3 },
-            NetlistError::InputWidthMismatch { expected: 2, actual: 1 },
+            NetlistError::InputWidthMismatch {
+                expected: 2,
+                actual: 1,
+            },
             NetlistError::MapArity { node: 4 },
         ] {
             assert!(!e.to_string().is_empty());

@@ -33,8 +33,12 @@ impl<'a> GoldenSim<'a> {
     /// Panics if the netlist does not validate — construct only from
     /// validated netlists.
     pub fn new(netlist: &'a Netlist) -> Self {
-        netlist.validate().expect("golden sim requires a valid netlist");
-        let order = netlist.topo_order().expect("validated netlist has a topo order");
+        netlist
+            .validate()
+            .expect("golden sim requires a valid netlist");
+        let order = netlist
+            .topo_order()
+            .expect("validated netlist has a topo order");
         let mut values = vec![false; netlist.len()];
         for (i, node) in netlist.nodes().iter().enumerate() {
             match node {
@@ -42,7 +46,12 @@ impl<'a> GoldenSim<'a> {
                 _ => {}
             }
         }
-        GoldenSim { netlist, order, values, cycle: 0 }
+        GoldenSim {
+            netlist,
+            order,
+            values,
+            cycle: 0,
+        }
     }
 
     /// The number of clock cycles simulated.
@@ -57,7 +66,11 @@ impl<'a> GoldenSim<'a> {
 
     /// Current primary-output values, in declaration order.
     pub fn outputs(&self) -> Vec<bool> {
-        self.netlist.outputs().iter().map(|(_, id)| self.value(*id)).collect()
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|(_, id)| self.value(*id))
+            .collect()
     }
 
     /// Current storage-element values (FFs and latches), in node order.
@@ -95,7 +108,10 @@ impl<'a> GoldenSim<'a> {
     pub fn settle(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
         let expected = self.netlist.inputs().len();
         if inputs.len() != expected {
-            return Err(NetlistError::InputWidthMismatch { expected, actual: inputs.len() });
+            return Err(NetlistError::InputWidthMismatch {
+                expected,
+                actual: inputs.len(),
+            });
         }
         for (id, v) in self.netlist.inputs().iter().zip(inputs) {
             self.values[id.index()] = *v;
@@ -254,7 +270,10 @@ mod tests {
         let mut sim = GoldenSim::new(&n);
         assert!(matches!(
             sim.step(&[true]),
-            Err(NetlistError::InputWidthMismatch { expected: 0, actual: 1 })
+            Err(NetlistError::InputWidthMismatch {
+                expected: 0,
+                actual: 1
+            })
         ));
     }
 
@@ -272,7 +291,10 @@ mod tests {
         let n = toggler();
         let mut sim = GoldenSim::new(&n);
         let trace = sim.run(4, |_| vec![]).unwrap();
-        assert_eq!(trace, vec![vec![true], vec![false], vec![true], vec![false]]);
+        assert_eq!(
+            trace,
+            vec![vec![true], vec![false], vec![true], vec![false]]
+        );
     }
 
     #[test]

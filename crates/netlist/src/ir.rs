@@ -149,7 +149,12 @@ pub struct Netlist {
 impl Netlist {
     /// An empty netlist called `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        Netlist { name: name.into(), nodes: Vec::new(), inputs: Vec::new(), outputs: Vec::new() }
+        Netlist {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
     }
 
     /// The netlist name.
@@ -206,7 +211,10 @@ impl Netlist {
 
     /// Adds a combinational gate.
     pub fn add_gate(&mut self, kind: GateKind, fanin: &[NodeId]) -> NodeId {
-        self.push(NodeKind::Gate { kind, fanin: fanin.to_vec() })
+        self.push(NodeKind::Gate {
+            kind,
+            fanin: fanin.to_vec(),
+        })
     }
 
     /// Adds a constant driver.
@@ -237,7 +245,11 @@ impl Netlist {
     /// Panics if `ff` is not a flip-flop.
     pub fn set_ff_input(&mut self, ff: NodeId, d: NodeId, ce: Option<NodeId>) {
         match &mut self.nodes[ff.index()] {
-            NodeKind::Ff { d: slot, ce: ce_slot, .. } => {
+            NodeKind::Ff {
+                d: slot,
+                ce: ce_slot,
+                ..
+            } => {
                 *slot = Some(d);
                 *ce_slot = ce;
             }
@@ -252,7 +264,11 @@ impl Netlist {
     /// Panics if `latch` is not a latch.
     pub fn set_latch_input(&mut self, latch: NodeId, d: NodeId, en: NodeId) {
         match &mut self.nodes[latch.index()] {
-            NodeKind::Latch { d: slot, en: en_slot, .. } => {
+            NodeKind::Latch {
+                d: slot,
+                en: en_slot,
+                ..
+            } => {
                 *slot = Some(d);
                 *en_slot = Some(en);
             }
@@ -293,7 +309,10 @@ impl Netlist {
         let n = self.nodes.len() as u32;
         let check = |node: u32, target: NodeId| {
             if target.0 >= n {
-                Err(NetlistError::DanglingRef { node, target: target.0 })
+                Err(NetlistError::DanglingRef {
+                    node,
+                    target: target.0,
+                })
             } else {
                 Ok(())
             }
@@ -441,7 +460,10 @@ mod tests {
     fn unwired_ff_rejected() {
         let mut n = Netlist::new("t");
         let _ = n.add_ff_ce(None, None, false);
-        assert!(matches!(n.validate(), Err(NetlistError::UnwiredStorage { .. })));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::UnwiredStorage { .. })
+        ));
     }
 
     #[test]
@@ -456,7 +478,10 @@ mod tests {
     fn dangling_ref_rejected() {
         let mut n = Netlist::new("t");
         let _ = n.add_gate(GateKind::Buf, &[NodeId(99)]);
-        assert!(matches!(n.validate(), Err(NetlistError::DanglingRef { .. })));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::DanglingRef { .. })
+        ));
     }
 
     #[test]
@@ -477,7 +502,10 @@ mod tests {
         if let NodeKind::Gate { fanin, .. } = &mut bad.nodes[g1.index()] {
             fanin[0] = g2;
         }
-        assert!(matches!(bad.validate(), Err(NetlistError::CombinationalCycle { .. })));
+        assert!(matches!(
+            bad.validate(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
     }
 
     #[test]

@@ -38,19 +38,97 @@ pub struct Itc99Profile {
 /// that fit comfortably on an XCV200 alongside free space to relocate
 /// into, plus the larger b11–b13 for stress runs).
 pub const PROFILES: [Itc99Profile; 13] = [
-    Itc99Profile { name: "b01", inputs: 2, outputs: 2, ffs: 5, gates: 45 },
-    Itc99Profile { name: "b02", inputs: 1, outputs: 1, ffs: 4, gates: 25 },
-    Itc99Profile { name: "b03", inputs: 4, outputs: 4, ffs: 30, gates: 150 },
-    Itc99Profile { name: "b04", inputs: 11, outputs: 8, ffs: 66, gates: 480 },
-    Itc99Profile { name: "b05", inputs: 1, outputs: 36, ffs: 34, gates: 608 },
-    Itc99Profile { name: "b06", inputs: 2, outputs: 6, ffs: 9, gates: 56 },
-    Itc99Profile { name: "b07", inputs: 1, outputs: 8, ffs: 49, gates: 420 },
-    Itc99Profile { name: "b08", inputs: 9, outputs: 4, ffs: 21, gates: 168 },
-    Itc99Profile { name: "b09", inputs: 1, outputs: 1, ffs: 28, gates: 159 },
-    Itc99Profile { name: "b10", inputs: 11, outputs: 6, ffs: 17, gates: 189 },
-    Itc99Profile { name: "b11", inputs: 7, outputs: 6, ffs: 31, gates: 366 },
-    Itc99Profile { name: "b12", inputs: 5, outputs: 6, ffs: 121, gates: 1000 },
-    Itc99Profile { name: "b13", inputs: 10, outputs: 10, ffs: 53, gates: 339 },
+    Itc99Profile {
+        name: "b01",
+        inputs: 2,
+        outputs: 2,
+        ffs: 5,
+        gates: 45,
+    },
+    Itc99Profile {
+        name: "b02",
+        inputs: 1,
+        outputs: 1,
+        ffs: 4,
+        gates: 25,
+    },
+    Itc99Profile {
+        name: "b03",
+        inputs: 4,
+        outputs: 4,
+        ffs: 30,
+        gates: 150,
+    },
+    Itc99Profile {
+        name: "b04",
+        inputs: 11,
+        outputs: 8,
+        ffs: 66,
+        gates: 480,
+    },
+    Itc99Profile {
+        name: "b05",
+        inputs: 1,
+        outputs: 36,
+        ffs: 34,
+        gates: 608,
+    },
+    Itc99Profile {
+        name: "b06",
+        inputs: 2,
+        outputs: 6,
+        ffs: 9,
+        gates: 56,
+    },
+    Itc99Profile {
+        name: "b07",
+        inputs: 1,
+        outputs: 8,
+        ffs: 49,
+        gates: 420,
+    },
+    Itc99Profile {
+        name: "b08",
+        inputs: 9,
+        outputs: 4,
+        ffs: 21,
+        gates: 168,
+    },
+    Itc99Profile {
+        name: "b09",
+        inputs: 1,
+        outputs: 1,
+        ffs: 28,
+        gates: 159,
+    },
+    Itc99Profile {
+        name: "b10",
+        inputs: 11,
+        outputs: 6,
+        ffs: 17,
+        gates: 189,
+    },
+    Itc99Profile {
+        name: "b11",
+        inputs: 7,
+        outputs: 6,
+        ffs: 31,
+        gates: 366,
+    },
+    Itc99Profile {
+        name: "b12",
+        inputs: 5,
+        outputs: 6,
+        ffs: 121,
+        gates: 1000,
+    },
+    Itc99Profile {
+        name: "b13",
+        inputs: 10,
+        outputs: 10,
+        ffs: 53,
+        gates: 339,
+    },
 ];
 
 /// Clocking variant to generate.
@@ -88,15 +166,13 @@ pub fn profile(name: &str) -> Option<Itc99Profile> {
 pub fn generate(profile: Itc99Profile, variant: Variant) -> Netlist {
     // Seed derived from the name so every benchmark is distinct but
     // reproducible.
-    let seed = profile
-        .name
-        .bytes()
-        .fold(0xB99u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
-        ^ match variant {
-            Variant::FreeRunning => 0,
-            Variant::GatedClock => 0x1000,
-            Variant::Asynchronous => 0x2000,
-        };
+    let seed = profile.name.bytes().fold(0xB99u64, |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(b as u64)
+    }) ^ match variant {
+        Variant::FreeRunning => 0,
+        Variant::GatedClock => 0x1000,
+        Variant::Asynchronous => 0x2000,
+    };
     let (gated_fraction, latch_fraction) = match variant {
         Variant::FreeRunning => (0.0, 0.0),
         Variant::GatedClock => (1.0, 0.0),
@@ -118,12 +194,18 @@ pub fn generate(profile: Itc99Profile, variant: Variant) -> Netlist {
 /// Generates the full free-running suite b01–b10 (the paper's experiment
 /// set).
 pub fn paper_suite() -> Vec<Netlist> {
-    PROFILES[..10].iter().map(|p| generate(*p, Variant::FreeRunning)).collect()
+    PROFILES[..10]
+        .iter()
+        .map(|p| generate(*p, Variant::FreeRunning))
+        .collect()
 }
 
 /// Generates the gated-clock variants of b01–b10 (Fig. 3 experiments).
 pub fn gated_suite() -> Vec<Netlist> {
-    PROFILES[..10].iter().map(|p| generate(*p, Variant::GatedClock)).collect()
+    PROFILES[..10]
+        .iter()
+        .map(|p| generate(*p, Variant::GatedClock))
+        .collect()
 }
 
 #[cfg(test)]
@@ -135,9 +217,14 @@ mod tests {
     #[test]
     fn all_profiles_generate_valid_circuits() {
         for p in PROFILES {
-            for v in [Variant::FreeRunning, Variant::GatedClock, Variant::Asynchronous] {
+            for v in [
+                Variant::FreeRunning,
+                Variant::GatedClock,
+                Variant::Asynchronous,
+            ] {
                 let n = generate(p, v);
-                n.validate().unwrap_or_else(|e| panic!("{} {v}: {e}", p.name));
+                n.validate()
+                    .unwrap_or_else(|e| panic!("{} {v}: {e}", p.name));
             }
         }
     }

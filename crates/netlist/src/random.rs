@@ -46,12 +46,23 @@ impl Default for RandomCircuit {
 impl RandomCircuit {
     /// A free-running synchronous circuit of the given size.
     pub fn free_running(ffs: usize, gates: usize, seed: u64) -> Self {
-        RandomCircuit { ffs, gates, seed, ..RandomCircuit::default() }
+        RandomCircuit {
+            ffs,
+            gates,
+            seed,
+            ..RandomCircuit::default()
+        }
     }
 
     /// A gated-clock circuit (all storage gated).
     pub fn gated(ffs: usize, gates: usize, seed: u64) -> Self {
-        RandomCircuit { ffs, gates, seed, gated_fraction: 1.0, ..RandomCircuit::default() }
+        RandomCircuit {
+            ffs,
+            gates,
+            seed,
+            gated_fraction: 1.0,
+            ..RandomCircuit::default()
+        }
     }
 
     /// An asynchronous (latch-based) circuit.
@@ -75,8 +86,9 @@ impl RandomCircuit {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut n = Netlist::new(self.name.clone());
 
-        let inputs: Vec<NodeId> =
-            (0..self.inputs.max(1)).map(|i| n.add_input(format!("i{i}"))).collect();
+        let inputs: Vec<NodeId> = (0..self.inputs.max(1))
+            .map(|i| n.add_input(format!("i{i}")))
+            .collect();
 
         let n_latches = (self.ffs as f64 * self.latch_fraction).round() as usize;
         let n_gated =
@@ -107,9 +119,14 @@ impl RandomCircuit {
         for _ in 0..self.gates {
             let kind = kinds[rng.gen_range(0..kinds.len())];
             let (lo, hi) = kind.arity();
-            let arity = if lo == hi { lo } else { rng.gen_range(2..=4usize) };
-            let fanin: Vec<NodeId> =
-                (0..arity).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let arity = if lo == hi {
+                lo
+            } else {
+                rng.gen_range(2..=4usize)
+            };
+            let fanin: Vec<NodeId> = (0..arity)
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect();
             let g = n.add_gate(kind, &fanin);
             pool.push(g);
             gates.push(g);

@@ -41,7 +41,9 @@ impl NetlistStats {
             }
         }
         // Depth via the topological order.
-        let order = netlist.topo_order().expect("stats require an acyclic netlist");
+        let order = netlist
+            .topo_order()
+            .expect("stats require an acyclic netlist");
         let mut depth = vec![0usize; netlist.len()];
         for id in order {
             if let NodeKind::Gate { fanin, .. } = netlist.node(id) {

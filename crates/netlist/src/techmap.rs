@@ -89,7 +89,10 @@ impl MappedNetlist {
 
     /// Number of sequential cells.
     pub fn ff_count(&self) -> usize {
-        self.cells.iter().filter(|c| c.storage.is_sequential()).count()
+        self.cells
+            .iter()
+            .filter(|c| c.storage.is_sequential())
+            .count()
     }
 
     /// The topological evaluation order of the cells.
@@ -192,7 +195,11 @@ pub fn map_to_luts(netlist: &Netlist) -> Result<MappedNetlist, NetlistError> {
         }
     }
 
-    let outputs = narrow.outputs().iter().map(|(n, id)| (n.clone(), src_of(*id))).collect();
+    let outputs = narrow
+        .outputs()
+        .iter()
+        .map(|(n, id)| (n.clone(), src_of(*id)))
+        .collect();
     let comb_order = comb_topo_order(&cells)?;
     Ok(MappedNetlist {
         name: narrow.name().to_string(),
@@ -227,8 +234,10 @@ fn decompose(netlist: &Netlist) -> Netlist {
     // that are either already-mapped or storage placeholders).
     for (i, node) in netlist.nodes().iter().enumerate() {
         if let NodeKind::Gate { kind, fanin } = node {
-            let srcs: Vec<NodeId> =
-                fanin.iter().map(|f| map[f.index()].expect("fanin resolved")).collect();
+            let srcs: Vec<NodeId> = fanin
+                .iter()
+                .map(|f| map[f.index()].expect("fanin resolved"))
+                .collect();
             let id = build_narrow_gate(&mut out, *kind, &srcs);
             map[i] = Some(id);
         }
@@ -362,7 +371,12 @@ impl<'a> MappedSim<'a> {
     /// A simulator with storage at init values.
     pub fn new(design: &'a MappedNetlist) -> Self {
         let q = design.cells.iter().map(|c| c.init).collect();
-        MappedSim { design, lut_val: vec![false; design.cells.len()], q, cycle: 0 }
+        MappedSim {
+            design,
+            lut_val: vec![false; design.cells.len()],
+            q,
+            cycle: 0,
+        }
     }
 
     /// Clock cycles simulated.
@@ -393,7 +407,11 @@ impl<'a> MappedSim<'a> {
 
     /// Primary output values.
     pub fn outputs(&self, inputs: &[bool]) -> Vec<bool> {
-        self.design.outputs.iter().map(|(_, s)| self.src_value(*s, inputs)).collect()
+        self.design
+            .outputs
+            .iter()
+            .map(|(_, s)| self.src_value(*s, inputs))
+            .collect()
     }
 
     /// One clock cycle: settle LUTs, then clock storage.
@@ -423,9 +441,7 @@ impl<'a> MappedSim<'a> {
                 continue;
             }
             let enabled = match cell.storage {
-                StorageKind::FlipFlop => {
-                    cell.ce.map(|s| self.src_value(s, inputs)).unwrap_or(true)
-                }
+                StorageKind::FlipFlop => cell.ce.map(|s| self.src_value(s, inputs)).unwrap_or(true),
                 StorageKind::Latch => cell.ce.map(|s| self.src_value(s, inputs)).unwrap_or(false),
                 StorageKind::None => false,
             };
@@ -464,7 +480,12 @@ mod tests {
         for inputs in stim {
             gold.step(&inputs).unwrap();
             let mapped_out = msim.step(&inputs).unwrap();
-            assert_eq!(mapped_out, gold.outputs(), "divergence at cycle {}", gold.cycle());
+            assert_eq!(
+                mapped_out,
+                gold.outputs(),
+                "divergence at cycle {}",
+                gold.cycle()
+            );
         }
     }
 
@@ -528,10 +549,18 @@ mod tests {
         let o = n.add_gate(GateKind::Not, &[q]);
         n.add_output("o", o);
         let mapped = map_to_luts(&n).unwrap();
-        assert_eq!(mapped.clocking_class(), rtm_fpga::storage::ClockingClass::Asynchronous);
+        assert_eq!(
+            mapped.clocking_class(),
+            rtm_fpga::storage::ClockingClass::Asynchronous
+        );
         check_equivalence(
             &n,
-            vec![vec![true, true], vec![false, false], vec![false, true], vec![true, false]],
+            vec![
+                vec![true, true],
+                vec![false, false],
+                vec![false, true],
+                vec![true, false],
+            ],
         );
     }
 
@@ -543,7 +572,10 @@ mod tests {
         let q = n.add_ff_ce(Some(d), Some(ce), false);
         n.add_output("q", q);
         let mapped = map_to_luts(&n).unwrap();
-        assert_eq!(mapped.clocking_class(), rtm_fpga::storage::ClockingClass::GatedClock);
+        assert_eq!(
+            mapped.clocking_class(),
+            rtm_fpga::storage::ClockingClass::GatedClock
+        );
         assert_eq!(mapped.ff_count(), 1);
     }
 

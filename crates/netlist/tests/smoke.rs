@@ -1,0 +1,43 @@
+//! Crate-level smoke tests: benchmark generation must be deterministic
+//! and tech-mappable.
+
+use rtm_netlist::itc99::{self, Variant};
+use rtm_netlist::random::RandomCircuit;
+use rtm_netlist::techmap::map_to_luts;
+
+#[test]
+fn itc99_generation_is_deterministic() {
+    for name in ["b01", "b02", "b06"] {
+        let profile = itc99::profile(name).expect("known profile");
+        let a = itc99::generate(profile, Variant::FreeRunning);
+        let b = itc99::generate(profile, Variant::FreeRunning);
+        assert_eq!(a, b, "{name} must generate identically every time");
+        assert!(!a.inputs().is_empty());
+        assert!(!a.outputs().is_empty());
+    }
+}
+
+#[test]
+fn itc99_variants_differ() {
+    let profile = itc99::profile("b02").unwrap();
+    let free = itc99::generate(profile, Variant::FreeRunning);
+    let gated = itc99::generate(profile, Variant::GatedClock);
+    assert_ne!(free, gated);
+}
+
+#[test]
+fn paper_suite_maps_to_luts() {
+    for netlist in itc99::paper_suite() {
+        let mapped = map_to_luts(&netlist).unwrap();
+        assert!(!mapped.is_empty(), "{} mapped to zero LUTs", netlist.name());
+    }
+}
+
+#[test]
+fn random_circuits_are_seed_deterministic() {
+    let a = RandomCircuit::free_running(4, 12, 7).generate();
+    let b = RandomCircuit::free_running(4, 12, 7).generate();
+    assert_eq!(a, b);
+    let c = RandomCircuit::free_running(4, 12, 8).generate();
+    assert_ne!(a, c, "different seeds should differ");
+}

@@ -23,8 +23,12 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies, for sweeps.
-    pub const ALL: [Strategy; 4] =
-        [Strategy::FirstFit, Strategy::BestFit, Strategy::BottomLeft, Strategy::WorstFit];
+    pub const ALL: [Strategy; 4] = [
+        Strategy::FirstFit,
+        Strategy::BestFit,
+        Strategy::BottomLeft,
+        Strategy::WorstFit,
+    ];
 
     /// Chooses an origin for a `rows`×`cols` request, or `None` if
     /// nothing fits.
@@ -78,12 +82,20 @@ fn contact(arena: &Arena, rect: Rect) -> u32 {
         }
     };
     for r in rect.origin.row..rect.row_end() {
-        score += u32::from(occupied_or_edge(ClbCoord::new(r, rect.origin.col).offset(0, -1)));
-        score += u32::from(occupied_or_edge(ClbCoord::new(r, rect.col_end() - 1).offset(0, 1)));
+        score += u32::from(occupied_or_edge(
+            ClbCoord::new(r, rect.origin.col).offset(0, -1),
+        ));
+        score += u32::from(occupied_or_edge(
+            ClbCoord::new(r, rect.col_end() - 1).offset(0, 1),
+        ));
     }
     for c in rect.origin.col..rect.col_end() {
-        score += u32::from(occupied_or_edge(ClbCoord::new(rect.origin.row, c).offset(-1, 0)));
-        score += u32::from(occupied_or_edge(ClbCoord::new(rect.row_end() - 1, c).offset(1, 0)));
+        score += u32::from(occupied_or_edge(
+            ClbCoord::new(rect.origin.row, c).offset(-1, 0),
+        ));
+        score += u32::from(occupied_or_edge(
+            ClbCoord::new(rect.row_end() - 1, c).offset(1, 0),
+        ));
     }
     score
 }
@@ -103,13 +115,19 @@ mod tests {
     #[test]
     fn first_fit_takes_topmost_leftmost() {
         let a = arena_with(&[Rect::new(ClbCoord::new(0, 0), 2, 2)]);
-        assert_eq!(Strategy::FirstFit.choose(&a, 2, 2), Some(ClbCoord::new(0, 2)));
+        assert_eq!(
+            Strategy::FirstFit.choose(&a, 2, 2),
+            Some(ClbCoord::new(0, 2))
+        );
     }
 
     #[test]
     fn bottom_left_takes_lowest_then_leftmost() {
         let a = arena_with(&[]);
-        assert_eq!(Strategy::BottomLeft.choose(&a, 2, 2), Some(ClbCoord::new(6, 0)));
+        assert_eq!(
+            Strategy::BottomLeft.choose(&a, 2, 2),
+            Some(ClbCoord::new(6, 0))
+        );
     }
 
     #[test]
@@ -152,7 +170,10 @@ mod tests {
             Rect::new(ClbCoord::new(2, 0), 6, 8),
         ]);
         // Only free cells: rows 0-1, cols 2-3 (the notch).
-        assert_eq!(Strategy::BestFit.choose(&a, 2, 2), Some(ClbCoord::new(0, 2)));
+        assert_eq!(
+            Strategy::BestFit.choose(&a, 2, 2),
+            Some(ClbCoord::new(0, 2))
+        );
     }
 
     #[test]

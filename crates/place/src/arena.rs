@@ -19,7 +19,10 @@ pub struct Arena {
 impl Arena {
     /// An empty arena covering `bounds`.
     pub fn new(bounds: Rect) -> Self {
-        Arena { bounds, grid: vec![false; bounds.area() as usize] }
+        Arena {
+            bounds,
+            grid: vec![false; bounds.area() as usize],
+        }
     }
 
     /// The arena bounds.
@@ -110,8 +113,8 @@ impl Arena {
         let mut heights = vec![0u32; cols];
         let mut best = 0u32;
         for r in 0..rows {
-            for c in 0..cols {
-                heights[c] = if self.grid[r * cols + c] { 0 } else { heights[c] + 1 };
+            for (c, h) in heights.iter_mut().enumerate() {
+                *h = if self.grid[r * cols + c] { 0 } else { *h + 1 };
             }
             best = best.max(max_histogram_area(&heights));
         }
@@ -152,7 +155,10 @@ pub struct TaskArena {
 impl TaskArena {
     /// An empty task arena covering `bounds`.
     pub fn new(bounds: Rect) -> Self {
-        TaskArena { arena: Arena::new(bounds), tasks: BTreeMap::new() }
+        TaskArena {
+            arena: Arena::new(bounds),
+            tasks: BTreeMap::new(),
+        }
     }
 
     /// The underlying occupancy arena.
@@ -217,7 +223,10 @@ impl TaskArena {
     ///
     /// [`PlaceError::UnknownTask`] if `id` is not live.
     pub fn release(&mut self, id: TaskId) -> Result<Rect, PlaceError> {
-        let rect = self.tasks.remove(&id).ok_or(PlaceError::UnknownTask { id })?;
+        let rect = self
+            .tasks
+            .remove(&id)
+            .ok_or(PlaceError::UnknownTask { id })?;
         self.arena.release(&rect);
         Ok(rect)
     }
@@ -233,7 +242,11 @@ impl TaskArena {
     /// [`PlaceError::UnknownTask`], [`PlaceError::OutOfBounds`] or
     /// [`PlaceError::Overlap`].
     pub fn relocate(&mut self, id: TaskId, to: Rect) -> Result<(), PlaceError> {
-        let from = self.tasks.get(&id).copied().ok_or(PlaceError::UnknownTask { id })?;
+        let from = self
+            .tasks
+            .get(&id)
+            .copied()
+            .ok_or(PlaceError::UnknownTask { id })?;
         if to.rows != from.rows || to.cols != from.cols {
             return Err(PlaceError::OutOfBounds { rect: to });
         }
@@ -324,19 +337,26 @@ mod tests {
         ));
         let released = t.release(1).unwrap();
         assert_eq!(released, r1);
-        assert!(matches!(t.release(1), Err(PlaceError::UnknownTask { id: 1 })));
+        assert!(matches!(
+            t.release(1),
+            Err(PlaceError::UnknownTask { id: 1 })
+        ));
     }
 
     #[test]
     fn relocate_moves_atomically() {
         let mut t = TaskArena::new(Rect::new(ClbCoord::new(0, 0), 8, 8));
-        t.allocate_at(1, Rect::new(ClbCoord::new(0, 0), 2, 2)).unwrap();
-        t.allocate_at(2, Rect::new(ClbCoord::new(0, 4), 2, 2)).unwrap();
+        t.allocate_at(1, Rect::new(ClbCoord::new(0, 0), 2, 2))
+            .unwrap();
+        t.allocate_at(2, Rect::new(ClbCoord::new(0, 4), 2, 2))
+            .unwrap();
         // Sliding move overlapping itself is fine.
         t.relocate(1, Rect::new(ClbCoord::new(1, 1), 2, 2)).unwrap();
         assert_eq!(t.task_rect(1), Some(Rect::new(ClbCoord::new(1, 1), 2, 2)));
         // Collision with task 2 restores the original.
-        let err = t.relocate(1, Rect::new(ClbCoord::new(0, 3), 2, 2)).unwrap_err();
+        let err = t
+            .relocate(1, Rect::new(ClbCoord::new(0, 3), 2, 2))
+            .unwrap_err();
         assert!(matches!(err, PlaceError::Overlap { .. }));
         assert_eq!(t.task_rect(1), Some(Rect::new(ClbCoord::new(1, 1), 2, 2)));
         // Size change rejected.
@@ -350,7 +370,8 @@ mod tests {
         let mut t = TaskArena::new(Rect::new(ClbCoord::new(0, 0), 4, 8));
         // Checkerboard of 1x2 tasks leaving 16 free cells in slivers.
         for (i, col) in [0u16, 3, 6].iter().enumerate() {
-            t.allocate_at(i as u64, Rect::new(ClbCoord::new(0, *col), 4, 2)).unwrap();
+            t.allocate_at(i as u64, Rect::new(ClbCoord::new(0, *col), 4, 2))
+                .unwrap();
         }
         assert!(t.arena().free_cells() >= 8);
         let err = t.allocate(99, 4, 3, Alloc::FirstFit).unwrap_err();

@@ -73,14 +73,17 @@ pub fn plan_cost(moves: &[Move]) -> PlanCost {
 /// go, in left-to-right task order. Returns the executed move list; the
 /// arena is updated.
 pub fn compact(arena: &mut TaskArena) -> Vec<Move> {
-    let mut order: Vec<(TaskId, Rect)> =
-        arena.tasks().iter().map(|(id, r)| (*id, *r)).collect();
+    let mut order: Vec<(TaskId, Rect)> = arena.tasks().iter().map(|(id, r)| (*id, *r)).collect();
     order.sort_by_key(|(_, r)| (r.origin.col, r.origin.row));
     let mut moves = Vec::new();
     for (id, from) in order {
-        let Some(to) = leftmost_position(arena, id, from) else { continue };
+        let Some(to) = leftmost_position(arena, id, from) else {
+            continue;
+        };
         if to != from {
-            arena.relocate(id, to).expect("planned move must be feasible");
+            arena
+                .relocate(id, to)
+                .expect("planned move must be feasible");
             moves.push(Move { id, from, to });
         }
     }
@@ -113,9 +116,8 @@ fn free_ignoring(arena: &TaskArena, rect: &Rect, id: TaskId) -> bool {
         return false;
     }
     let own = arena.task_rect(id);
-    rect.iter().all(|c| {
-        !arena.arena().occupied(c) || own.map(|r| r.contains(c)).unwrap_or(false)
-    })
+    rect.iter()
+        .all(|c| !arena.arena().occupied(c) || own.map(|r| r.contains(c)).unwrap_or(false))
 }
 
 /// Plans the cheapest rearrangement (within this planner's repertoire)
@@ -151,7 +153,11 @@ pub fn make_room(arena: &TaskArena, rows: u16, cols: u16) -> Option<Vec<Move>> {
                 let mut scratch = arena.clone();
                 scratch.relocate(*id, to).expect("checked feasible");
                 if fits(&scratch) {
-                    let mv = Move { id: *id, from: *from, to };
+                    let mv = Move {
+                        id: *id,
+                        from: *from,
+                        to,
+                    };
                     let better = match &best {
                         None => true,
                         Some(b) => mv.distance() < b.distance(),
@@ -189,8 +195,10 @@ mod tests {
     #[test]
     fn compact_slides_tasks_left() {
         let mut a = arena_8x8();
-        a.allocate_at(1, Rect::new(ClbCoord::new(0, 5), 4, 2)).unwrap();
-        a.allocate_at(2, Rect::new(ClbCoord::new(4, 3), 4, 2)).unwrap();
+        a.allocate_at(1, Rect::new(ClbCoord::new(0, 5), 4, 2))
+            .unwrap();
+        a.allocate_at(2, Rect::new(ClbCoord::new(4, 3), 4, 2))
+            .unwrap();
         let moves = compact(&mut a);
         assert_eq!(moves.len(), 2);
         assert_eq!(a.task_rect(2), Some(Rect::new(ClbCoord::new(0, 0), 4, 2)));
@@ -202,7 +210,8 @@ mod tests {
     #[test]
     fn compact_is_idempotent() {
         let mut a = arena_8x8();
-        a.allocate_at(1, Rect::new(ClbCoord::new(2, 4), 2, 2)).unwrap();
+        a.allocate_at(1, Rect::new(ClbCoord::new(2, 4), 2, 2))
+            .unwrap();
         compact(&mut a);
         let second = compact(&mut a);
         assert!(second.is_empty(), "second compaction must be a no-op");
@@ -211,7 +220,8 @@ mod tests {
     #[test]
     fn make_room_returns_empty_when_fits() {
         let mut a = arena_8x8();
-        a.allocate_at(1, Rect::new(ClbCoord::new(0, 0), 2, 2)).unwrap();
+        a.allocate_at(1, Rect::new(ClbCoord::new(0, 0), 2, 2))
+            .unwrap();
         assert_eq!(make_room(&a, 4, 4), Some(Vec::new()));
     }
 
@@ -219,7 +229,8 @@ mod tests {
     fn make_room_prefers_single_move() {
         let mut a = arena_8x8();
         // A 2x2 task stranded in the middle blocks a 8x4 request.
-        a.allocate_at(1, Rect::new(ClbCoord::new(3, 3), 2, 2)).unwrap();
+        a.allocate_at(1, Rect::new(ClbCoord::new(3, 3), 2, 2))
+            .unwrap();
         let moves = make_room(&a, 8, 4).unwrap();
         assert_eq!(moves.len(), 1);
         assert_eq!(moves[0].id, 1);
@@ -233,9 +244,12 @@ mod tests {
     fn make_room_falls_back_to_compaction() {
         let mut a = arena_8x8();
         // Three 8x1 walls spread out: a 8x4 region needs >=2 moves.
-        a.allocate_at(1, Rect::new(ClbCoord::new(0, 2), 8, 1)).unwrap();
-        a.allocate_at(2, Rect::new(ClbCoord::new(0, 4), 8, 1)).unwrap();
-        a.allocate_at(3, Rect::new(ClbCoord::new(0, 6), 8, 1)).unwrap();
+        a.allocate_at(1, Rect::new(ClbCoord::new(0, 2), 8, 1))
+            .unwrap();
+        a.allocate_at(2, Rect::new(ClbCoord::new(0, 4), 8, 1))
+            .unwrap();
+        a.allocate_at(3, Rect::new(ClbCoord::new(0, 6), 8, 1))
+            .unwrap();
         let moves = make_room(&a, 8, 5).unwrap();
         assert!(moves.len() >= 2, "single move cannot open 5 columns");
         // Replay on a scratch copy.
@@ -249,7 +263,8 @@ mod tests {
     #[test]
     fn make_room_impossible_when_area_insufficient() {
         let mut a = arena_8x8();
-        a.allocate_at(1, Rect::new(ClbCoord::new(0, 0), 8, 5)).unwrap();
+        a.allocate_at(1, Rect::new(ClbCoord::new(0, 0), 8, 5))
+            .unwrap();
         assert_eq!(make_room(&a, 8, 4), None);
     }
 

@@ -1,0 +1,27 @@
+//! Crate-level smoke tests for free-space management.
+
+use rtm_fpga::geom::{ClbCoord, Rect};
+use rtm_place::alloc::Strategy;
+use rtm_place::frag::FragMetrics;
+use rtm_place::TaskArena;
+
+#[test]
+fn allocate_release_with_every_strategy() {
+    for strategy in [Strategy::FirstFit, Strategy::BestFit, Strategy::WorstFit] {
+        let mut arena = TaskArena::new(Rect::new(ClbCoord::new(0, 0), 8, 8));
+        let rect = arena.allocate(1, 3, 3, strategy).unwrap();
+        assert_eq!(rect.area(), 9);
+        assert_eq!(arena.arena().free_cells(), 64 - 9);
+        arena.release(1).unwrap();
+        assert_eq!(arena.arena().free_cells(), 64);
+    }
+}
+
+#[test]
+fn fragmentation_metrics_track_occupancy() {
+    let mut arena = TaskArena::new(Rect::new(ClbCoord::new(0, 0), 8, 8));
+    let empty: FragMetrics = arena.fragmentation();
+    assert_eq!(empty.free_cells, 64);
+    arena.allocate(1, 2, 2, Strategy::FirstFit).unwrap();
+    assert_eq!(arena.fragmentation().free_cells, 60);
+}

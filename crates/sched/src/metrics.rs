@@ -88,7 +88,13 @@ mod tests {
 
     fn outcome(id: u64, arrival: u64, start: u64, finish: u64, halt: u64) -> TaskOutcome {
         TaskOutcome {
-            spec: TaskSpec { id, rows: 2, cols: 2, arrival, duration: finish - start - halt },
+            spec: TaskSpec {
+                id,
+                rows: 2,
+                cols: 2,
+                arrival,
+                duration: finish - start - halt,
+            },
             start,
             finish,
             halt_time: halt,

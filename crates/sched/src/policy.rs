@@ -22,8 +22,11 @@ pub enum Policy {
 
 impl Policy {
     /// All policies, for sweeps.
-    pub const ALL: [Policy; 3] =
-        [Policy::NoRearrange, Policy::HaltRearrange, Policy::TransparentReloc];
+    pub const ALL: [Policy; 3] = [
+        Policy::NoRearrange,
+        Policy::HaltRearrange,
+        Policy::TransparentReloc,
+    ];
 
     /// True if the policy may move running tasks.
     pub fn rearranges(&self) -> bool {

@@ -128,8 +128,14 @@ impl Scheduler {
             // Serve the queue head-first; stop at the first task we
             // cannot place (FIFO fairness).
             while let Some(head) = queue.front().copied() {
-                match self.try_place(&mut arena, &mut running, head, now, &mut moves, &mut cells_moved)
-                {
+                match self.try_place(
+                    &mut arena,
+                    &mut running,
+                    head,
+                    now,
+                    &mut moves,
+                    &mut cells_moved,
+                ) {
                     Some(()) => {
                         queue.pop_front();
                     }
@@ -160,8 +166,10 @@ impl Scheduler {
         moves: &mut usize,
         cells_moved: &mut u64,
     ) -> Option<()> {
-        let immediate_possible =
-            !arena.arena().candidate_origins(task.rows, task.cols).is_empty();
+        let immediate_possible = !arena
+            .arena()
+            .candidate_origins(task.rows, task.cols)
+            .is_empty();
         let mut start = now;
         if !immediate_possible {
             if !self.policy.rearranges() {
@@ -217,7 +225,11 @@ mod tests {
     }
 
     fn light_workload() -> Vec<TaskSpec> {
-        WorkloadParams { n_tasks: 30, ..WorkloadParams::default() }.generate()
+        WorkloadParams {
+            n_tasks: 30,
+            ..WorkloadParams::default()
+        }
+        .generate()
     }
 
     #[test]
@@ -246,9 +258,15 @@ mod tests {
         assert_eq!(transparent.total_halt_time, 0);
         let halting = Scheduler::new(arena28x42(), Policy::HaltRearrange).run(&tasks);
         if halting.moves > 0 {
-            assert!(halting.total_halt_time > 0, "halting policy must charge halts");
+            assert!(
+                halting.total_halt_time > 0,
+                "halting policy must charge halts"
+            );
         }
-        assert!(transparent.moves > 0, "heavy load must trigger rearrangement");
+        assert!(
+            transparent.moves > 0,
+            "heavy load must trigger rearrangement"
+        );
     }
 
     #[test]
@@ -275,9 +293,8 @@ mod tests {
         );
         // Same plans, but halting charges moved tasks their move time:
         // total delay under transparency strictly dominates.
-        let delay = |m: &crate::metrics::RunMetrics| -> u64 {
-            m.outcomes.iter().map(|o| o.delay()).sum()
-        };
+        let delay =
+            |m: &crate::metrics::RunMetrics| -> u64 { m.outcomes.iter().map(|o| o.delay()).sum() };
         assert!(delay(&transparent) <= delay(&halting));
         assert_eq!(transparent.total_halt_time, 0);
         if halting.moves > 0 {
@@ -289,8 +306,20 @@ mod tests {
     fn sequential_tasks_run_back_to_back() {
         // Two tasks that each fill the device: strict serialisation.
         let tasks = vec![
-            TaskSpec { id: 0, rows: 28, cols: 42, arrival: 0, duration: 100 },
-            TaskSpec { id: 1, rows: 28, cols: 42, arrival: 0, duration: 100 },
+            TaskSpec {
+                id: 0,
+                rows: 28,
+                cols: 42,
+                arrival: 0,
+                duration: 100,
+            },
+            TaskSpec {
+                id: 1,
+                rows: 28,
+                cols: 42,
+                arrival: 0,
+                duration: 100,
+            },
         ];
         let m = Scheduler::new(arena28x42(), Policy::TransparentReloc).run(&tasks);
         assert_eq!(m.completed, 2);
@@ -309,8 +338,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "larger than the array")]
     fn oversized_task_rejected() {
-        let tasks =
-            vec![TaskSpec { id: 0, rows: 64, cols: 64, arrival: 0, duration: 10 }];
+        let tasks = vec![TaskSpec {
+            id: 0,
+            rows: 64,
+            cols: 64,
+            arrival: 0,
+            duration: 10,
+        }];
         Scheduler::new(arena28x42(), Policy::NoRearrange).run(&tasks);
     }
 

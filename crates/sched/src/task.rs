@@ -74,15 +74,33 @@ mod tests {
 
     #[test]
     fn area_and_display() {
-        let t = TaskSpec { id: 3, rows: 4, cols: 5, arrival: 10, duration: 100 };
+        let t = TaskSpec {
+            id: 3,
+            rows: 4,
+            cols: 5,
+            arrival: 10,
+            duration: 100,
+        };
         assert_eq!(t.area(), 20);
         assert!(t.to_string().contains("task 3"));
     }
 
     #[test]
     fn outcome_math() {
-        let spec = TaskSpec { id: 1, rows: 1, cols: 1, arrival: 100, duration: 50 };
-        let o = TaskOutcome { spec, start: 130, finish: 200, halt_time: 20, immediate: false };
+        let spec = TaskSpec {
+            id: 1,
+            rows: 1,
+            cols: 1,
+            arrival: 100,
+            duration: 50,
+        };
+        let o = TaskOutcome {
+            spec,
+            start: 130,
+            finish: 200,
+            halt_time: 20,
+            immediate: false,
+        };
         assert_eq!(o.wait(), 30);
         assert_eq!(o.delay(), 50);
     }

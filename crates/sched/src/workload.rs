@@ -59,7 +59,13 @@ impl WorkloadParams {
             let rows = rng.gen_range(self.rows.0..=self.rows.1);
             let cols = rng.gen_range(self.cols.0..=self.cols.1);
             let duration = rng.gen_range(self.duration.0..=self.duration.1);
-            tasks.push(TaskSpec { id: id as u64, rows, cols, arrival: t as Micros, duration });
+            tasks.push(TaskSpec {
+                id: id as u64,
+                rows,
+                cols,
+                arrival: t as Micros,
+                duration,
+            });
         }
         tasks
     }
@@ -101,7 +107,10 @@ mod tests {
 
     #[test]
     fn mean_interarrival_roughly_respected() {
-        let params = WorkloadParams { n_tasks: 2000, ..WorkloadParams::default() };
+        let params = WorkloadParams {
+            n_tasks: 2000,
+            ..WorkloadParams::default()
+        };
         let tasks = params.generate();
         let span = tasks.last().unwrap().arrival as f64;
         let mean = span / 2000.0;

@@ -1,0 +1,37 @@
+//! Crate-level smoke tests for the on-line scheduler.
+
+use rtm_fpga::geom::{ClbCoord, Rect};
+use rtm_sched::policy::Policy;
+use rtm_sched::scheduler::Scheduler;
+use rtm_sched::workload::WorkloadParams;
+
+#[test]
+fn workload_generation_is_deterministic() {
+    let a = WorkloadParams::default().generate();
+    let b = WorkloadParams::default().generate();
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+    let c = WorkloadParams::default().with_seed(999).generate();
+    assert_ne!(a, c);
+}
+
+#[test]
+fn every_policy_schedules_a_small_workload() {
+    let tasks = WorkloadParams::default().generate();
+    let bounds = Rect::new(ClbCoord::new(0, 0), 28, 42);
+    for policy in Policy::ALL {
+        let metrics = Scheduler::new(bounds, policy).run(&tasks);
+        assert!(metrics.makespan > 0, "{policy}: empty schedule");
+    }
+}
+
+#[test]
+fn transparent_relocation_never_loses_to_halting() {
+    let tasks = WorkloadParams::default().with_load_factor(2.0).generate();
+    let bounds = Rect::new(ClbCoord::new(0, 0), 16, 16);
+    let halt = Scheduler::new(bounds, Policy::HaltRearrange).run(&tasks);
+    let transparent = Scheduler::new(bounds, Policy::TransparentReloc).run(&tasks);
+    // Moved tasks keep running under transparent relocation, so total
+    // halt time can only shrink (the paper's Table 2 claim).
+    assert!(transparent.total_halt_time <= halt.total_halt_time);
+}

@@ -122,7 +122,8 @@ mod tests {
         let region = Rect::new(ClbCoord::new(1, 1), 12, 12);
         let placed = implement(&mut dev, &mapped, region).unwrap();
         let mut ls = LockStep::new(&netlist, &dev, &placed);
-        ls.run(&dev, 100, |c| (0..4).map(|b| (c >> b) & 1 == 1).collect()).unwrap();
+        ls.run(&dev, 100, |c| (0..4).map(|b| (c >> b) & 1 == 1).collect())
+            .unwrap();
         assert!(ls.transparent(), "divergences: {:?}", ls.divergences());
     }
 
@@ -134,7 +135,10 @@ mod tests {
         let region = Rect::new(ClbCoord::new(1, 1), 12, 12);
         let placed = implement(&mut dev, &mapped, region).unwrap();
         let mut ls = LockStep::new(&netlist, &dev, &placed);
-        ls.run(&dev, 100, |c| (0..4).map(|b| (c >> (b + 1)) & 1 == 1).collect()).unwrap();
+        ls.run(&dev, 100, |c| {
+            (0..4).map(|b| (c >> (b + 1)) & 1 == 1).collect()
+        })
+        .unwrap();
         assert!(ls.transparent(), "divergences: {:?}", ls.divergences());
     }
 
@@ -153,7 +157,8 @@ mod tests {
         dev.set_clb(loc.0, clb).unwrap();
 
         let mut ls = LockStep::new(&netlist, &dev, &placed);
-        ls.run(&dev, 20, |c| (0..4).map(|b| (c >> b) & 1 == 1).collect()).unwrap();
+        ls.run(&dev, 20, |c| (0..4).map(|b| (c >> b) & 1 == 1).collect())
+            .unwrap();
         assert!(!ls.divergences().is_empty(), "sabotage must be caught");
     }
 }

@@ -63,7 +63,10 @@ pub fn parallel_timing(
 ) -> Option<ParallelPathTiming> {
     let original_ps = netdb.net(original)?.sink_delay_ps(sink)?;
     let replica_ps = netdb.net(replica)?.sink_delay_ps(sink)?;
-    Some(ParallelPathTiming { original_ps, replica_ps })
+    Some(ParallelPathTiming {
+        original_ps,
+        replica_ps,
+    })
 }
 
 /// Worst sink delay of a net (its timing-critical connection), in
@@ -87,7 +90,10 @@ mod tests {
 
     #[test]
     fn fuzziness_math() {
-        let t = ParallelPathTiming { original_ps: 900, replica_ps: 1500 };
+        let t = ParallelPathTiming {
+            original_ps: 900,
+            replica_ps: 1500,
+        };
         assert_eq!(t.fuzziness_ps(), 600);
         assert_eq!(t.effective_delay_ps(), 1500);
         assert_eq!(t.window_start_ps(), 900);
@@ -96,7 +102,10 @@ mod tests {
 
     #[test]
     fn equal_paths_have_no_fuzziness() {
-        let t = ParallelPathTiming { original_ps: 700, replica_ps: 700 };
+        let t = ParallelPathTiming {
+            original_ps: 700,
+            replica_ps: 700,
+        };
         assert_eq!(t.fuzziness_ps(), 0);
         assert_eq!(t.effective_delay_ps(), 700);
     }
@@ -132,7 +141,10 @@ mod tests {
         let crit = critical_delay_ps(&db, id).unwrap();
         let near_d = db.net(id).unwrap().sink_delay_ps(near).unwrap();
         assert!(crit >= near_d);
-        assert_eq!(crit, db.net(id).unwrap().sink_delay_ps(far).unwrap().max(near_d));
+        assert_eq!(
+            crit,
+            db.net(id).unwrap().sink_delay_ps(far).unwrap().max(near_d)
+        );
     }
 
     #[test]

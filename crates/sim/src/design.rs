@@ -102,7 +102,10 @@ impl PlacedDesign {
 /// The device cell configuration used for input feed cells: an unused
 /// pass-through LUT whose output value the simulator forces.
 pub fn feed_cell_config() -> LogicCell {
-    LogicCell { lut: Lut::passthrough(0), ..LogicCell::default() }
+    LogicCell {
+        lut: Lut::passthrough(0),
+        ..LogicCell::default()
+    }
 }
 
 /// A constant-0 combinational cell encodes to all-zero configuration
@@ -212,7 +215,13 @@ pub fn implement_reserved(
     }
 
     netdb.clear_reservations();
-    Ok(PlacedDesign { design: design.clone(), placement, netdb, cell_nets, feed_nets })
+    Ok(PlacedDesign {
+        design: design.clone(),
+        placement,
+        netdb,
+        cell_nets,
+        feed_nets,
+    })
 }
 
 #[cfg(test)]
@@ -238,13 +247,21 @@ mod tests {
         // Every configured cell location holds a used cell on the device.
         for (i, loc) in placed.placement.cell_locs.iter().enumerate() {
             let clb = dev.clb(loc.0).unwrap();
-            assert!(clb.cells[loc.1].is_used(), "cell {i} at {:?} not configured", loc);
+            assert!(
+                clb.cells[loc.1].is_used(),
+                "cell {i} at {:?} not configured",
+                loc
+            );
         }
         // Every net's sinks are reachable on the device.
         for (_, net) in placed.netdb.nets() {
             let reached = dev.trace_downstream(net.source);
             for sink in net.sinks() {
-                assert!(reached.contains(&sink), "{sink} unreachable from {}", net.source);
+                assert!(
+                    reached.contains(&sink),
+                    "{sink} unreachable from {}",
+                    net.source
+                );
             }
         }
     }

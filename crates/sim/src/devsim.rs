@@ -97,8 +97,12 @@ impl DeviceSim {
     /// `placed` only to learn the feed-cell and output locations. Initial
     /// storage values come from the device's state bits.
     pub fn new(dev: &Device, placed: &crate::design::PlacedDesign) -> Self {
-        let feeds: Vec<Vec<CellLoc>> =
-            placed.placement.feed_locs.iter().map(|l| vec![*l]).collect();
+        let feeds: Vec<Vec<CellLoc>> = placed
+            .placement
+            .feed_locs
+            .iter()
+            .map(|l| vec![*l])
+            .collect();
         let outputs = placed.output_locs();
         let mut sim = DeviceSim {
             cells: Vec::new(),
@@ -143,7 +147,9 @@ impl DeviceSim {
 
     /// The visible output value at a location.
     pub fn output_at(&self, loc: CellLoc) -> Option<Logic> {
-        self.by_loc.get(&loc).map(|i| self.cell_out(&self.cells[*i]))
+        self.by_loc
+            .get(&loc)
+            .map(|i| self.cell_out(&self.cells[*i]))
     }
 
     /// Moves a feed (primary input) to a new location — used if an input
@@ -196,8 +202,7 @@ impl DeviceSim {
     }
 
     fn rebuild(&mut self, dev: &Device, init_state_from_device: bool) {
-        let old_q: HashMap<CellLoc, Logic> =
-            self.cells.iter().map(|c| (c.loc, c.q)).collect();
+        let old_q: HashMap<CellLoc, Logic> = self.cells.iter().map(|c| (c.loc, c.q)).collect();
         let mut cells = Vec::new();
         let mut by_loc = HashMap::new();
         for tile in dev.bounds().iter() {
@@ -271,9 +276,7 @@ impl DeviceSim {
             })
             .collect();
         let resolved = Logic::resolve_all(values.iter().copied());
-        if resolved.is_x() && values.iter().any(|v| *v == Logic::Zero)
-            && values.iter().any(|v| *v == Logic::One)
-        {
+        if resolved.is_x() && values.contains(&Logic::Zero) && values.contains(&Logic::One) {
             conflicts.push(format!("{site} <- {sources:?}"));
         }
         resolved
@@ -464,7 +467,9 @@ pub fn storage_snapshot(sim: &DeviceSim) -> BTreeMap<ClbCoord, Vec<(usize, Logic
     let mut out: BTreeMap<ClbCoord, Vec<(usize, Logic)>> = BTreeMap::new();
     for cell in &sim.cells {
         if cell.config.storage.is_sequential() {
-            out.entry(cell.loc.0).or_default().push((cell.loc.1, cell.q));
+            out.entry(cell.loc.0)
+                .or_default()
+                .push((cell.loc.1, cell.q));
         }
     }
     out
@@ -531,10 +536,12 @@ mod tests {
 
         // Configure a brand-new sequential cell somewhere free.
         let free = ClbCoord::new(15, 15);
-        let mut cfg = LogicCell::default();
-        cfg.lut = rtm_fpga::lut::Lut::passthrough(0);
-        cfg.storage = StorageKind::FlipFlop;
-        cfg.registered_output = true;
+        let cfg = LogicCell {
+            lut: rtm_fpga::lut::Lut::passthrough(0),
+            storage: StorageKind::FlipFlop,
+            registered_output: true,
+            ..LogicCell::default()
+        };
         dev.set_cell(free, 0, cfg).unwrap();
         sim.sync(&dev);
 
@@ -542,7 +549,11 @@ mod tests {
         for (tile, states) in &before {
             assert_eq!(after.get(tile), Some(states), "state lost at {tile}");
         }
-        assert_eq!(sim.state_at((free, 0)), Some(Logic::X), "new cell starts unknown");
+        assert_eq!(
+            sim.state_at((free, 0)),
+            Some(Logic::X),
+            "new cell starts unknown"
+        );
     }
 
     #[test]
@@ -553,7 +564,8 @@ mod tests {
         // Register an extra forced feed at a fresh location.
         let mut dev2 = dev.clone();
         let extra = (ClbCoord::new(20, 20), 0);
-        dev2.set_cell(extra.0, extra.1, crate::design::feed_cell_config()).unwrap();
+        dev2.set_cell(extra.0, extra.1, crate::design::feed_cell_config())
+            .unwrap();
         let idx = sim.push_feed(extra);
         assert_eq!(idx, base);
         let out_idx = sim.push_output("extra", extra);
@@ -579,9 +591,7 @@ mod tests {
     /// Configures two constant driver cells (t0 cells 0 and 3) whose
     /// outputs are paralleled onto pin 0 of a consumer cell at t1, plus a
     /// minimal placed design elsewhere so the sim has a feed and output.
-    fn parallel_driver_fixture(
-        second_value: bool,
-    ) -> (Device, crate::design::PlacedDesign) {
+    fn parallel_driver_fixture(second_value: bool) -> (Device, crate::design::PlacedDesign) {
         let mut dev = Device::new(Part::Xcv50);
         let netlist = {
             let mut n = rtm_netlist::Netlist::new("shim");
@@ -590,18 +600,22 @@ mod tests {
             n
         };
         let mapped = map_to_luts(&netlist).unwrap();
-        let placed =
-            implement(&mut dev, &mapped, Rect::new(ClbCoord::new(10, 10), 2, 2)).unwrap();
+        let placed = implement(&mut dev, &mapped, Rect::new(ClbCoord::new(10, 10), 2, 2)).unwrap();
 
         let t0 = ClbCoord::new(1, 1);
         let t1 = ClbCoord::new(1, 2);
-        let mut first = LogicCell::default();
-        first.lut = rtm_fpga::lut::Lut::constant(true);
-        let mut second = LogicCell::default();
-        second.lut = rtm_fpga::lut::Lut::constant(second_value);
-        let second = crate::design::mark_used(second);
-        let mut consumer = LogicCell::default();
-        consumer.lut = rtm_fpga::lut::Lut::passthrough(0);
+        let first = LogicCell {
+            lut: rtm_fpga::lut::Lut::constant(true),
+            ..LogicCell::default()
+        };
+        let second = crate::design::mark_used(LogicCell {
+            lut: rtm_fpga::lut::Lut::constant(second_value),
+            ..LogicCell::default()
+        });
+        let consumer = LogicCell {
+            lut: rtm_fpga::lut::Lut::passthrough(0),
+            ..LogicCell::default()
+        };
         dev.set_cell(t0, 0, first).unwrap();
         dev.set_cell(t0, 3, second).unwrap();
         dev.set_cell(t1, 0, consumer).unwrap();
@@ -609,10 +623,14 @@ mod tests {
         // satisfy p == (i + c) % 4 = 0. Out(E,0) is drivable by cell 0,
         // Out(E,4) by cell 3 (i % 4 == (c + 1) % 4).
         use rtm_fpga::routing::{Dir, Pip};
-        dev.add_pip(Pip::new(t0, Wire::CellOut(0), Wire::Out(Dir::East, 0))).unwrap();
-        dev.add_pip(Pip::new(t0, Wire::CellOut(3), Wire::Out(Dir::East, 4))).unwrap();
-        dev.add_pip(Pip::new(t1, Wire::In(Dir::West, 0), Wire::CellIn(0, 0))).unwrap();
-        dev.add_pip(Pip::new(t1, Wire::In(Dir::West, 4), Wire::CellIn(0, 0))).unwrap();
+        dev.add_pip(Pip::new(t0, Wire::CellOut(0), Wire::Out(Dir::East, 0)))
+            .unwrap();
+        dev.add_pip(Pip::new(t0, Wire::CellOut(3), Wire::Out(Dir::East, 4)))
+            .unwrap();
+        dev.add_pip(Pip::new(t1, Wire::In(Dir::West, 0), Wire::CellIn(0, 0)))
+            .unwrap();
+        dev.add_pip(Pip::new(t1, Wire::In(Dir::West, 4), Wire::CellIn(0, 0)))
+            .unwrap();
         (dev, placed)
     }
 
@@ -622,7 +640,9 @@ mod tests {
         let mut sim = DeviceSim::new(&dev, &placed);
         sim.step(&dev, &[false]).unwrap();
         assert!(
-            sim.glitches().iter().any(|g| g.kind == GlitchKind::DriverConflict),
+            sim.glitches()
+                .iter()
+                .any(|g| g.kind == GlitchKind::DriverConflict),
             "conflict not detected: {:?}",
             sim.glitches()
         );
@@ -633,9 +653,11 @@ mod tests {
         let (dev, placed) = parallel_driver_fixture(true);
         let mut sim = DeviceSim::new(&dev, &placed);
         sim.step(&dev, &[false]).unwrap();
-        assert!(!sim.glitches().iter().any(|g| g.kind == GlitchKind::DriverConflict));
+        assert!(!sim
+            .glitches()
+            .iter()
+            .any(|g| g.kind == GlitchKind::DriverConflict));
         sim.clear_glitches();
         assert!(sim.glitches().is_empty());
     }
 }
-

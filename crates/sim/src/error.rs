@@ -55,8 +55,15 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::RegionTooSmall { cells, capacity, region } => {
-                write!(f, "region {region} holds {capacity} cells, design needs {cells}")
+            SimError::RegionTooSmall {
+                cells,
+                capacity,
+                region,
+            } => {
+                write!(
+                    f,
+                    "region {region} holds {capacity} cells, design needs {cells}"
+                )
             }
             SimError::RegionOutOfBounds { region } => {
                 write!(f, "region {region} exceeds the device array")
@@ -103,11 +110,22 @@ mod tests {
                 capacity: 4,
                 region: Rect::new(ClbCoord::new(0, 0), 1, 1),
             },
-            SimError::RegionOutOfBounds { region: Rect::new(ClbCoord::new(0, 0), 99, 99) },
-            SimError::Unroutable { from: node, to: node },
+            SimError::RegionOutOfBounds {
+                region: Rect::new(ClbCoord::new(0, 0), 99, 99),
+            },
+            SimError::Unroutable {
+                from: node,
+                to: node,
+            },
             SimError::SinkOccupied { pin: node },
-            SimError::InputWidthMismatch { expected: 1, actual: 2 },
-            SimError::StaleDesign { tile: ClbCoord::new(1, 1), cell: 0 },
+            SimError::InputWidthMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            SimError::StaleDesign {
+                tile: ClbCoord::new(1, 1),
+                cell: 0,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

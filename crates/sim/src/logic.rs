@@ -99,8 +99,7 @@ impl From<bool> for Logic {
 /// assert_eq!(lut_eval_x(&and2, [Logic::One, Logic::X, Logic::Zero, Logic::Zero]), Logic::X);
 /// ```
 pub fn lut_eval_x(lut: &Lut, inputs: [Logic; LUT_INPUTS]) -> Logic {
-    let x_positions: Vec<usize> =
-        (0..LUT_INPUTS).filter(|i| inputs[*i].is_x()).collect();
+    let x_positions: Vec<usize> = (0..LUT_INPUTS).filter(|i| inputs[*i].is_x()).collect();
     let mut base = [false; LUT_INPUTS];
     for i in 0..LUT_INPUTS {
         if let Some(b) = inputs[i].to_bool() {
@@ -135,7 +134,10 @@ mod tests {
         assert_eq!(Logic::One.resolve(Logic::X), Logic::X);
         assert_eq!(Logic::resolve_all([]), Logic::X);
         assert_eq!(Logic::resolve_all([Logic::One, Logic::One]), Logic::One);
-        assert_eq!(Logic::resolve_all([Logic::One, Logic::Zero, Logic::One]), Logic::X);
+        assert_eq!(
+            Logic::resolve_all([Logic::One, Logic::Zero, Logic::One]),
+            Logic::X
+        );
     }
 
     #[test]
@@ -150,8 +152,14 @@ mod tests {
     #[test]
     fn lut_x_propagation_blocked_by_controlling_values() {
         let or2 = Lut::from_fn(|i| i[0] || i[1]);
-        assert_eq!(lut_eval_x(&or2, [Logic::One, Logic::X, Logic::Zero, Logic::Zero]), Logic::One);
-        assert_eq!(lut_eval_x(&or2, [Logic::Zero, Logic::X, Logic::Zero, Logic::Zero]), Logic::X);
+        assert_eq!(
+            lut_eval_x(&or2, [Logic::One, Logic::X, Logic::Zero, Logic::Zero]),
+            Logic::One
+        );
+        assert_eq!(
+            lut_eval_x(&or2, [Logic::Zero, Logic::X, Logic::Zero, Logic::Zero]),
+            Logic::X
+        );
     }
 
     #[test]

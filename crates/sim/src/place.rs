@@ -41,7 +41,9 @@ impl Placement {
     /// `density` cells per CLB (1–4).
     pub fn slots(region: Rect, density: usize) -> impl Iterator<Item = CellLoc> {
         let density = density.clamp(1, CELLS_PER_CLB);
-        region.iter().flat_map(move |tile| (0..density).map(move |c| (tile, c)))
+        region
+            .iter()
+            .flat_map(move |tile| (0..density).map(move |c| (tile, c)))
     }
 
     /// Cell capacity of `region` at `density`.
@@ -92,7 +94,13 @@ pub fn place(design: &MappedNetlist, region: Rect, bounds: Rect) -> Result<Place
     debug_assert_eq!(feed_locs.len(), design.n_inputs);
     debug_assert_eq!(tap_locs.len(), n_taps);
     debug_assert_eq!(cell_locs.len(), design.cells.len());
-    Ok(Placement { region, cell_locs, feed_locs, tap_locs, density })
+    Ok(Placement {
+        region,
+        cell_locs,
+        feed_locs,
+        tap_locs,
+        density,
+    })
 }
 
 #[cfg(test)]
@@ -126,8 +134,12 @@ mod tests {
         let region = Rect::new(ClbCoord::new(0, 0), 8, 8);
         let bounds = Rect::new(ClbCoord::new(0, 0), 16, 24);
         let p = place(&design, region, bounds).unwrap();
-        let mut all: Vec<CellLoc> =
-            p.feed_locs.iter().chain(p.cell_locs.iter()).copied().collect();
+        let mut all: Vec<CellLoc> = p
+            .feed_locs
+            .iter()
+            .chain(p.cell_locs.iter())
+            .copied()
+            .collect();
         let n = all.len();
         all.sort();
         all.dedup();

@@ -56,7 +56,12 @@ impl RoutedNet {
     fn new(source: RouteNode) -> Self {
         let mut node_refs = BTreeMap::new();
         node_refs.insert(source, 1);
-        RoutedNet { source, paths: BTreeMap::new(), node_refs, pip_refs: BTreeMap::new() }
+        RoutedNet {
+            source,
+            paths: BTreeMap::new(),
+            node_refs,
+            pip_refs: BTreeMap::new(),
+        }
     }
 
     /// The sinks this net reaches.
@@ -164,8 +169,10 @@ impl NetDb {
     /// All nodes currently owned by this database's live nets (the set a
     /// foreign database must reserve).
     pub fn all_nodes(&self) -> Vec<RouteNode> {
-        let mut out: Vec<RouteNode> =
-            self.nets().flat_map(|(_, n)| n.nodes().collect::<Vec<_>>()).collect();
+        let mut out: Vec<RouteNode> = self
+            .nets()
+            .flat_map(|(_, n)| n.nodes().collect::<Vec<_>>())
+            .collect();
         out.sort();
         out.dedup();
         out
@@ -178,7 +185,10 @@ impl NetDb {
 
     /// All live nets.
     pub fn nets(&self) -> impl Iterator<Item = (NetId, &RoutedNet)> {
-        self.nets.iter().enumerate().filter_map(|(i, n)| n.as_ref().map(|n| (i, n)))
+        self.nets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (i, n)))
     }
 
     /// The nets using `node` (pass-through owner first).
@@ -282,7 +292,10 @@ impl NetDb {
         assert_ne!(into, from, "cannot absorb a net into itself");
         let from_net = self.nets[from].take().expect("live source net");
         let into_net = self.nets[into].as_mut().expect("live target net");
-        assert_eq!(from_net.source, into_net.source, "absorb requires a shared source");
+        assert_eq!(
+            from_net.source, into_net.source,
+            "absorb requires a shared source"
+        );
         for (sink, path) in from_net.paths {
             assert!(
                 !into_net.paths.contains_key(&sink),
@@ -317,12 +330,16 @@ impl NetDb {
 
     /// The net (if any) having `sink` among its sinks.
     pub fn net_with_sink(&self, sink: RouteNode) -> Option<NetId> {
-        self.nets().find(|(_, n)| n.paths.contains_key(&sink)).map(|(id, _)| id)
+        self.nets()
+            .find(|(_, n)| n.paths.contains_key(&sink))
+            .map(|(id, _)| id)
     }
 
     /// The net (if any) driven from `source`.
     pub fn net_with_source(&self, source: RouteNode) -> Option<NetId> {
-        self.nets().find(|(_, n)| n.source == source).map(|(id, _)| id)
+        self.nets()
+            .find(|(_, n)| n.source == source)
+            .map(|(id, _)| id)
     }
 
     /// Removes an entire net, releasing all its resources.
@@ -420,7 +437,10 @@ impl NetDb {
                 return Ok(path);
             }
         }
-        Err(SimError::Unroutable { from: net.source, to: sink })
+        Err(SimError::Unroutable {
+            from: net.source,
+            to: sink,
+        })
     }
 
     /// Activates a found path: PIPs on the device, refcounts, occupancy.
@@ -516,7 +536,9 @@ mod tests {
     fn routes_neighbouring_connection() {
         let mut d = dev();
         let mut db = NetDb::new();
-        let id = db.route_net(&mut d, out(3, 3, 0), &[pin(3, 4, 0, 0)], None).unwrap();
+        let id = db
+            .route_net(&mut d, out(3, 3, 0), &[pin(3, 4, 0, 0)], None)
+            .unwrap();
         let net = db.net(id).unwrap();
         assert_eq!(net.sinks().collect::<Vec<_>>(), vec![pin(3, 4, 0, 0)]);
         // Device agrees: the sink is downstream of the source.
@@ -528,8 +550,14 @@ mod tests {
     fn routes_long_connection_with_positive_delay() {
         let mut d = dev();
         let mut db = NetDb::new();
-        let id = db.route_net(&mut d, out(0, 0, 1), &[pin(12, 20, 2, 1)], None).unwrap();
-        let delay = db.net(id).unwrap().sink_delay_ps(pin(12, 20, 2, 1)).unwrap();
+        let id = db
+            .route_net(&mut d, out(0, 0, 1), &[pin(12, 20, 2, 1)], None)
+            .unwrap();
+        let delay = db
+            .net(id)
+            .unwrap()
+            .sink_delay_ps(pin(12, 20, 2, 1))
+            .unwrap();
         assert!(delay > 5_000, "a ~30-tile route is several ns: {delay}ps");
         assert!(d.sinks_of(out(0, 0, 1)).contains(&pin(12, 20, 2, 1)));
     }
@@ -551,11 +579,15 @@ mod tests {
     fn occupancy_blocks_other_nets_and_release_restores() {
         let mut d = dev();
         let mut db = NetDb::new();
-        let id1 = db.route_net(&mut d, out(5, 5, 0), &[pin(5, 6, 0, 1)], None).unwrap();
+        let id1 = db
+            .route_net(&mut d, out(5, 5, 0), &[pin(5, 6, 0, 1)], None)
+            .unwrap();
         let used_before: Vec<RouteNode> = db.net(id1).unwrap().nodes().collect();
         // A second net from a different source to a different pin of the
         // same tile must not reuse net 1's nodes.
-        let id2 = db.route_net(&mut d, out(5, 5, 1), &[pin(5, 6, 1, 2)], None).unwrap();
+        let id2 = db
+            .route_net(&mut d, out(5, 5, 1), &[pin(5, 6, 1, 2)], None)
+            .unwrap();
         let n2: Vec<RouteNode> = db.net(id2).unwrap().nodes().collect();
         for n in &n2 {
             assert!(!used_before.contains(n), "{n} reused");
@@ -574,7 +606,10 @@ mod tests {
         let _orig = db.route_net(&mut d, out(8, 7, 0), &[sink], None).unwrap();
         // Replica output drives the same pin (Fig. 2 phase 2).
         let replica = db.route_net(&mut d, out(8, 9, 0), &[sink], None).unwrap();
-        assert_eq!(db.net(replica).unwrap().sinks().collect::<Vec<_>>(), vec![sink]);
+        assert_eq!(
+            db.net(replica).unwrap().sinks().collect::<Vec<_>>(),
+            vec![sink]
+        );
         assert_eq!(d.pips_driving(sink).len(), 2, "two drivers paralleled");
     }
 
@@ -582,7 +617,9 @@ mod tests {
     fn extend_net_adds_sink() {
         let mut d = dev();
         let mut db = NetDb::new();
-        let id = db.route_net(&mut d, out(1, 1, 0), &[pin(1, 2, 0, 1)], None).unwrap();
+        let id = db
+            .route_net(&mut d, out(1, 1, 0), &[pin(1, 2, 0, 1)], None)
+            .unwrap();
         db.extend_net(&mut d, id, pin(2, 2, 1, 2), None).unwrap();
         assert_eq!(db.net(id).unwrap().sinks().count(), 2);
     }
@@ -606,8 +643,9 @@ mod tests {
         let mut d = dev();
         let mut db = NetDb::new();
         let region = Rect::new(ClbCoord::new(0, 0), 4, 4);
-        let id =
-            db.route_net(&mut d, out(0, 0, 0), &[pin(3, 3, 0, 3)], Some(region)).unwrap();
+        let id = db
+            .route_net(&mut d, out(0, 0, 0), &[pin(3, 3, 0, 3)], Some(region))
+            .unwrap();
         for node in db.net(id).unwrap().nodes() {
             assert!(region.contains(node.tile), "{node} escapes region");
         }
@@ -619,8 +657,9 @@ mod tests {
         let mut db = NetDb::new();
         // Region containing only the source tile: sink outside.
         let region = Rect::new(ClbCoord::new(0, 0), 1, 1);
-        let err =
-            db.route_net(&mut d, out(0, 0, 0), &[pin(5, 5, 0, 0)], Some(region)).unwrap_err();
+        let err = db
+            .route_net(&mut d, out(0, 0, 0), &[pin(5, 5, 0, 0)], Some(region))
+            .unwrap_err();
         assert!(matches!(err, SimError::Unroutable { .. }));
         // Nothing leaked.
         assert_eq!(d.pips().count(), 0);
@@ -682,7 +721,9 @@ mod tests {
         // The only row-2 path is blocked; the router detours or fails
         // within a 1-row region.
         let region = Rect::new(ClbCoord::new(2, 2), 1, 3);
-        let err = db.route_net(&mut d, source, &[sink], Some(region)).unwrap_err();
+        let err = db
+            .route_net(&mut d, source, &[sink], Some(region))
+            .unwrap_err();
         assert!(matches!(err, SimError::Unroutable { .. }));
         db.clear_reservations();
         db.route_net(&mut d, source, &[sink], Some(region)).unwrap();

@@ -1,0 +1,35 @@
+//! Crate-level smoke tests: implementation and device simulation of a
+//! small benchmark, without the full transparency harness.
+
+use rtm_fpga::geom::{ClbCoord, Rect};
+use rtm_fpga::part::Part;
+use rtm_fpga::Device;
+use rtm_netlist::itc99::{self, Variant};
+use rtm_netlist::techmap::map_to_luts;
+use rtm_sim::design::implement;
+use rtm_sim::devsim::DeviceSim;
+use rtm_sim::logic::Logic;
+
+#[test]
+fn b01_implements_and_simulates() {
+    let netlist = itc99::generate(itc99::profile("b01").unwrap(), Variant::FreeRunning);
+    let mapped = map_to_luts(&netlist).unwrap();
+    let mut dev = Device::new(Part::Xcv200);
+    let region = Rect::new(ClbCoord::new(1, 1), 12, 12);
+    let placed = implement(&mut dev, &mapped, region).unwrap();
+    let mut sim = DeviceSim::new(&dev, &placed);
+    let inputs = vec![true; netlist.inputs().len()];
+    for _ in 0..20 {
+        sim.step(&dev, &inputs).unwrap();
+    }
+}
+
+#[test]
+fn x_state_resolution_is_conservative() {
+    assert_eq!(
+        Logic::known(true).resolve(Logic::known(true)),
+        Logic::known(true)
+    );
+    assert!(Logic::known(true).resolve(Logic::known(false)).is_x());
+    assert!(Logic::X.resolve(Logic::known(true)).is_x());
+}

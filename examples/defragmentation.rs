@@ -36,9 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "free cells: {}, but largest contiguous rectangle only {} —\n\
          a 16x10 function (160 CLBs) cannot be placed despite {} free CLBs\n",
-        frag.free_cells,
-        frag.largest_rect,
-        frag.free_cells
+        frag.free_cells, frag.largest_rect, frag.free_cells
     );
 
     // Submit the blocked request: the manager plans and executes a
@@ -58,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     })?;
 
-    println!("\nrequest admitted as function {} at {}", report.id, report.region);
+    println!(
+        "\nrequest admitted as function {} at {}",
+        report.id, report.region
+    );
     println!("rearrangement: {} function moves", report.moves.len());
     for mv in &report.moves {
         println!("  {mv}");

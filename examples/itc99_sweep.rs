@@ -18,7 +18,10 @@ use rtm_sim::design::implement;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cost_model = CostModel::paper_default();
-    println!("ITC'99 relocation sweep on XCV200 over {}\n", cost_model.interface);
+    println!(
+        "ITC'99 relocation sweep on XCV200 over {}\n",
+        cost_model.interface
+    );
     println!(
         "{:<10} {:>6} {:>8} {:>10} {:>12} {:>12}",
         "circuit", "cells", "moved", "class", "avg ms/CLB", "transparent"
@@ -63,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 total_ms / seq.len() as f64,
                 harness.transparent(),
             );
-            assert!(harness.transparent(), "{name} {variant} must stay transparent");
+            assert!(
+                harness.transparent(),
+                "{name} {variant} must stay transparent"
+            );
         }
     }
     println!(

@@ -33,12 +33,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         itc99::Variant::FreeRunning,
     );
     let mapped = map_to_luts(&netlist)?;
-    println!("circuit: {} -> {} LUT cells ({} flip-flops)", netlist.name(), mapped.len(), mapped.ff_count());
+    println!(
+        "circuit: {} -> {} LUT cells ({} flip-flops)",
+        netlist.name(),
+        mapped.len(),
+        mapped.ff_count()
+    );
 
     // 3. Place & route it into a region.
     let region = Rect::new(ClbCoord::new(4, 4), 10, 10);
     let placed = implement(&mut dev, &mapped, region)?;
-    println!("implemented in {region}: {} nets routed", placed.netdb.nets().count());
+    println!(
+        "implemented in {region}: {} nets routed",
+        placed.netdb.nets().count()
+    );
 
     // 4. Run it, relocate a live flip-flop cell, keep running.
     let mut harness = TransparencyHarness::new(&netlist, dev, placed);
@@ -49,15 +57,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("b01 has flip-flops");
     let src = harness.placed().cell_loc(victim);
     let dst = (ClbCoord::new(20, 24), 0);
-    println!("relocating live cell {}/{} -> {}/{} ...", src.0, src.1, dst.0, dst.1);
+    println!(
+        "relocating live cell {}/{} -> {}/{} ...",
+        src.0, src.1, dst.0, dst.1
+    );
     let report = harness.relocate_cell(src, dst)?;
     harness.run_cycles(100)?;
 
     // 5. The paper's claims, as observations.
     println!("procedure: {report}");
-    let cost = CostModel::paper_default()
-        .relocation_cost(harness.device().part(), &report);
-    println!("reconfiguration cost: {cost} over {}", CostModel::paper_default().interface);
+    let cost = CostModel::paper_default().relocation_cost(harness.device().part(), &report);
+    println!(
+        "reconfiguration cost: {cost} over {}",
+        CostModel::paper_default().interface
+    );
     println!(
         "transparent: {} ({} glitches, {} divergences over {} cycles)",
         harness.transparent(),

@@ -42,24 +42,64 @@ fn paper_apps() -> Vec<App> {
         App {
             name: "A",
             functions: vec![
-                Func { name: "A1", rows: 16, cols: 20, exec_us: 400_000 },
-                Func { name: "A2", rows: 16, cols: 18, exec_us: 350_000 },
+                Func {
+                    name: "A1",
+                    rows: 16,
+                    cols: 20,
+                    exec_us: 400_000,
+                },
+                Func {
+                    name: "A2",
+                    rows: 16,
+                    cols: 18,
+                    exec_us: 350_000,
+                },
             ],
         },
         App {
             name: "B",
             functions: vec![
-                Func { name: "B1", rows: 12, cols: 16, exec_us: 300_000 },
-                Func { name: "B2", rows: 12, cols: 18, exec_us: 450_000 },
+                Func {
+                    name: "B1",
+                    rows: 12,
+                    cols: 16,
+                    exec_us: 300_000,
+                },
+                Func {
+                    name: "B2",
+                    rows: 12,
+                    cols: 18,
+                    exec_us: 450_000,
+                },
             ],
         },
         App {
             name: "C",
             functions: vec![
-                Func { name: "C1", rows: 10, cols: 12, exec_us: 200_000 },
-                Func { name: "C2", rows: 10, cols: 14, exec_us: 250_000 },
-                Func { name: "C3", rows: 10, cols: 12, exec_us: 200_000 },
-                Func { name: "C4", rows: 10, cols: 10, exec_us: 220_000 },
+                Func {
+                    name: "C1",
+                    rows: 10,
+                    cols: 12,
+                    exec_us: 200_000,
+                },
+                Func {
+                    name: "C2",
+                    rows: 10,
+                    cols: 14,
+                    exec_us: 250_000,
+                },
+                Func {
+                    name: "C3",
+                    rows: 10,
+                    cols: 12,
+                    exec_us: 200_000,
+                },
+                Func {
+                    name: "C4",
+                    rows: 10,
+                    cols: 10,
+                    exec_us: 220_000,
+                },
             ],
         },
     ]
@@ -69,10 +109,16 @@ fn main() {
     let apps = paper_apps();
     let bounds = Rect::new(ClbCoord::new(0, 0), 28, 42);
     let device_area = bounds.area();
-    let total_area: u32 =
-        apps.iter().flat_map(|a| &a.functions).map(|f| f.rows as u32 * f.cols as u32).sum();
+    let total_area: u32 = apps
+        .iter()
+        .flat_map(|a| &a.functions)
+        .map(|f| f.rows as u32 * f.cols as u32)
+        .sum();
     println!("device: {device_area} CLBs; applications need {total_area} CLBs total");
-    println!("({}% of the device — virtual hardware)\n", total_area * 100 / device_area);
+    println!(
+        "({}% of the device — virtual hardware)\n",
+        total_area * 100 / device_area
+    );
 
     // Event-driven schedule: each application runs its functions in
     // sequence; the *next* function is configured while the current one
@@ -90,7 +136,12 @@ fn main() {
     let mut arena = TaskArena::new(bounds);
     let mut states: Vec<AppState> = apps
         .iter()
-        .map(|_| AppState { next_fn: 0, busy_until: 0, staged: true, stall_us: 0 })
+        .map(|_| AppState {
+            next_fn: 0,
+            busy_until: 0,
+            staged: true,
+            stall_us: 0,
+        })
         .collect();
     let mut now = 0u64;
     let mut task_id = 0u64;
@@ -98,7 +149,11 @@ fn main() {
 
     println!("time(ms) | event");
     let mut events = 0;
-    while states.iter().enumerate().any(|(i, s)| s.next_fn < apps[i].functions.len()) {
+    while states
+        .iter()
+        .enumerate()
+        .any(|(i, s)| s.next_fn < apps[i].functions.len())
+    {
         events += 1;
         if events > 200 {
             break;
@@ -116,8 +171,7 @@ fn main() {
                     // Reconfiguration interval rt: hidden if staged in
                     // advance (the previous function was still running);
                     // exposed as a stall if we had to wait for space.
-                    let rt =
-                        f.rows as u64 * f.cols as u64 * BOUNDARY_SCAN_US_PER_CLB / 100;
+                    let rt = f.rows as u64 * f.cols as u64 * BOUNDARY_SCAN_US_PER_CLB / 100;
                     let start = if s.staged { now } else { now + rt };
                     if !s.staged {
                         s.stall_us += rt;
@@ -131,7 +185,11 @@ fn main() {
                         region,
                         f.rows,
                         f.cols,
-                        if s.staged { "" } else { " [stalled: space was not free in advance]" }
+                        if s.staged {
+                            ""
+                        } else {
+                            " [stalled: space was not free in advance]"
+                        }
                     );
                     running.push((task_id, i, finish));
                     s.busy_until = finish;
@@ -174,7 +232,11 @@ fn main() {
 
     println!("\nper-application stall time (reconfiguration not hidden):");
     for (i, app) in apps.iter().enumerate() {
-        println!("  {}: {:.1} ms", app.name, states[i].stall_us as f64 / 1000.0);
+        println!(
+            "  {}: {:.1} ms",
+            app.name,
+            states[i].stall_us as f64 / 1000.0
+        );
     }
     println!(
         "\nWith functions swapped in advance the reconfiguration interval is\n\

@@ -1,0 +1,202 @@
+//! Offline shim for the subset of Criterion this workspace uses. The
+//! build environment has no crates.io access, so this provides a
+//! source-compatible `Criterion`/`Bencher`/`criterion_group!` surface
+//! that actually measures (median of `sample_size` timed samples) and
+//! prints one line per benchmark. Statistical rigor, plots and history
+//! are out of scope — swap the real crate back in when networked.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration setup state is batched; only the variants the
+/// workspace names exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for CLI compatibility with real Criterion harnesses;
+    /// filtering/baseline flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        println!("{id:<40} median {}", fmt_ns(median));
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Batch geometrically until the timing window is comfortably
+        // above Instant's granularity, so nanosecond-scale routines
+        // measure themselves rather than clock overhead.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.elapsed += elapsed;
+            self.iters += batch;
+            if elapsed >= Duration::from_millis(1) || self.iters >= 1 << 22 {
+                return;
+            }
+            batch = batch.saturating_mul(4);
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        let start = Instant::now();
+        black_box(routine(&mut input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Mirrors `criterion_group!` — both the simple list form and the
+/// `name = …; config = …; targets = …` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut n = 0u64;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("count", |b| b.iter(|| n += 1));
+        // Each of the 3 samples batches the cheap routine up enough to
+        // out-measure clock granularity.
+        assert!(n >= 3, "routine ran {n} times");
+    }
+
+    #[test]
+    fn cheap_routines_batch_past_timer_granularity() {
+        let mut iters = 0u64;
+        Criterion::default()
+            .sample_size(2)
+            .bench_function("nop", |b| b.iter(|| iters += 1));
+        assert!(
+            iters > 100,
+            "a ~1ns routine must batch, got {iters} iterations"
+        );
+    }
+
+    #[test]
+    fn batched_runs_setup_per_sample() {
+        let mut setups = 0u32;
+        Criterion::default()
+            .sample_size(4)
+            .bench_function("batched", |b| {
+                b.iter_batched(
+                    || {
+                        setups += 1;
+                        vec![1u8; 16]
+                    },
+                    |v| v.len(),
+                    BatchSize::LargeInput,
+                )
+            });
+        assert_eq!(setups, 4);
+    }
+}

@@ -74,8 +74,8 @@ fn cost_scales_exactly_with_tck() {
 fn frame_granularity_strictly_cheaper_and_selectmap_faster() {
     let (part, report) = one_gated_relocation();
     let column = CostModel::paper_default().relocation_cost(part, &report);
-    let frame = CostModel::frame_granular(ConfigInterface::paper_default())
-        .relocation_cost(part, &report);
+    let frame =
+        CostModel::frame_granular(ConfigInterface::paper_default()).relocation_cost(part, &report);
     assert!(frame.bits < column.bits);
     assert!(frame.seconds < column.seconds);
     let selectmap = CostModel {
@@ -83,7 +83,10 @@ fn frame_granularity_strictly_cheaper_and_selectmap_faster() {
         interface: ConfigInterface::select_map(20_000_000),
     }
     .relocation_cost(part, &report);
-    assert!((column.seconds / selectmap.seconds - 8.0).abs() < 1e-9, "8 bits per CCLK");
+    assert!(
+        (column.seconds / selectmap.seconds - 8.0).abs() < 1e-9,
+        "8 bits per CCLK"
+    );
 }
 
 #[test]
@@ -99,6 +102,9 @@ fn jtag_cycle_count_brackets_cost_model() {
     port.scan_dr(words * 32).unwrap();
     let cycles = port.tck_cycles() - before;
     assert!(cycles >= (words * 32) as u64);
-    assert!(cycles < (words * 32) as u64 + 16, "protocol overhead is a few cycles");
+    assert!(
+        cycles < (words * 32) as u64 + 16,
+        "protocol overhead is a few cycles"
+    );
     let _ = JtagPort::new(Part::Xcv50);
 }

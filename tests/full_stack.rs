@@ -19,8 +19,7 @@ fn netlist_mapping_and_device_agree_cycle_for_cycle() {
         let netlist = itc99::generate(itc99::profile(name).unwrap(), Variant::FreeRunning);
         let mapped = map_to_luts(&netlist).unwrap();
         let mut dev = Device::new(Part::Xcv200);
-        let placed =
-            implement(&mut dev, &mapped, Rect::new(ClbCoord::new(2, 2), 16, 16)).unwrap();
+        let placed = implement(&mut dev, &mapped, Rect::new(ClbCoord::new(2, 2), 16, 16)).unwrap();
 
         let mut golden = GoldenSim::new(&netlist);
         let mut msim = MappedSim::new(&mapped);
@@ -51,13 +50,20 @@ fn partial_bitstream_transports_whole_design_over_jtag() {
     let netlist = itc99::generate(itc99::profile("b06").unwrap(), Variant::GatedClock);
     let mapped = map_to_luts(&netlist).unwrap();
     let mut golden_dev = Device::new(Part::Xcv200);
-    let placed =
-        implement(&mut golden_dev, &mapped, Rect::new(ClbCoord::new(3, 3), 14, 14)).unwrap();
+    let placed = implement(
+        &mut golden_dev,
+        &mapped,
+        Rect::new(ClbCoord::new(3, 3), 14, 14),
+    )
+    .unwrap();
 
     // Generate the partial bitstream from blank to configured…
     let blank = Device::new(Part::Xcv200);
     let partial = PartialBitstream::diff(blank.config(), golden_dev.config()).unwrap();
-    assert!(partial.frame_count() > 50, "a real design spans many frames");
+    assert!(
+        partial.frame_count() > 50,
+        "a real design spans many frames"
+    );
 
     // …play it into a twin through the Boundary Scan port…
     let mut twin = Device::new(Part::Xcv200);
@@ -66,7 +72,7 @@ fn partial_bitstream_transports_whole_design_over_jtag() {
     assert_eq!(report.frames_written, partial.frame_count());
     assert!(report.crc_checked, "the stream carries a valid CRC");
     assert!(
-        port.tck_cycles() as u64 >= partial.len_bits(),
+        port.tck_cycles() >= partial.len_bits(),
         "boundary scan costs at least one TCK per bit"
     );
 
@@ -79,7 +85,11 @@ fn partial_bitstream_transports_whole_design_over_jtag() {
         let inputs: Vec<bool> = (0..width).map(|b| (cycle >> (b % 6)) & 1 == 1).collect();
         sim_a.step(&golden_dev, &inputs).unwrap();
         sim_b.step(&twin, &inputs).unwrap();
-        assert_eq!(sim_a.outputs(), sim_b.outputs(), "twins diverged at {cycle}");
+        assert_eq!(
+            sim_a.outputs(),
+            sim_b.outputs(),
+            "twins diverged at {cycle}"
+        );
     }
 }
 
@@ -97,14 +107,24 @@ fn readback_reconstructs_device() {
     // Read back every CLB column the region touches and rebuild.
     let mut rebuilt = Device::new(Part::Xcv50);
     for col in 0..dev.cols() {
-        let rb = readback(&dev, FrameAddress::clb(col, 0), FRAMES_PER_CLB_COLUMN as usize)
-            .unwrap();
+        let rb = readback(
+            &dev,
+            FrameAddress::clb(col, 0),
+            FRAMES_PER_CLB_COLUMN as usize,
+        )
+        .unwrap();
         for (minor, frame) in rb.frames.into_iter().enumerate() {
-            rebuilt.write_frame(FrameAddress::clb(col, minor as u16), frame).unwrap();
+            rebuilt
+                .write_frame(FrameAddress::clb(col, minor as u16), frame)
+                .unwrap();
         }
     }
     for tile in dev.bounds().iter() {
-        assert_eq!(dev.clb(tile).unwrap(), rebuilt.clb(tile).unwrap(), "at {tile}");
+        assert_eq!(
+            dev.clb(tile).unwrap(),
+            rebuilt.clb(tile).unwrap(),
+            "at {tile}"
+        );
     }
     assert_eq!(dev.pips().count(), rebuilt.pips().count());
 }

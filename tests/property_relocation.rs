@@ -47,7 +47,7 @@ proptest! {
                 14 + (seed % 8) as u16 + k as u16,
                 14 + ((seed / 8) % 8) as u16 + 2 * k as u16,
             );
-            let dst = (dst_tile, (k % 4) as usize);
+            let dst = (dst_tile, k % 4);
             let report = h.relocate_cell(src, dst).unwrap();
             prop_assert!(report.frames_total() > 0);
             // The vacated slot must be unconfigured and unrouted.

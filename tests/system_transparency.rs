@@ -98,7 +98,12 @@ fn applications_survive_live_rearrangement_under_observation() {
             )
         } else {
             (
-                f.placed.placement.feed_locs.iter().map(|l| dsim.push_feed(*l)).collect(),
+                f.placed
+                    .placement
+                    .feed_locs
+                    .iter()
+                    .map(|l| dsim.push_feed(*l))
+                    .collect(),
                 f.placed
                     .output_locs()
                     .iter()
@@ -132,34 +137,41 @@ fn applications_survive_live_rearrangement_under_observation() {
             let dsim = &mut dsim;
             let apps = &mut apps;
             let cycle = &mut cycle;
-            mgr.relocate_function(id, Rect::new(ClbCoord::new(0, col), 16, 6), |dev, placed, record| {
-                if let Some(app) = apps.iter_mut().find(|a| a.name == placed.design.name) {
-                    for (j, loc) in placed.placement.feed_locs.iter().enumerate() {
-                        let idx = app.feed_idx[j];
-                        dsim.move_feed(idx, *loc);
-                        // Alias the pre-move home only while its cell still
-                        // exists; once deconfigured the slot may be reused
-                        // by another relocated cell and must not be forced.
-                        let home = app.feed_home[j];
-                        if app.feed_home_active[j] {
-                            let gone = *loc != home
-                                && !dev.clb(home.0).map(|c| c.cells[home.1].is_used()).unwrap_or(false);
-                            if gone {
-                                app.feed_home_active[j] = false;
-                            } else {
-                                dsim.add_feed_alias(idx, home);
+            mgr.relocate_function(
+                id,
+                Rect::new(ClbCoord::new(0, col), 16, 6),
+                |dev, placed, record| {
+                    if let Some(app) = apps.iter_mut().find(|a| a.name == placed.design.name) {
+                        for (j, loc) in placed.placement.feed_locs.iter().enumerate() {
+                            let idx = app.feed_idx[j];
+                            dsim.move_feed(idx, *loc);
+                            // Alias the pre-move home only while its cell still
+                            // exists; once deconfigured the slot may be reused
+                            // by another relocated cell and must not be forced.
+                            let home = app.feed_home[j];
+                            if app.feed_home_active[j] {
+                                let gone = *loc != home
+                                    && !dev
+                                        .clb(home.0)
+                                        .map(|c| c.cells[home.1].is_used())
+                                        .unwrap_or(false);
+                                if gone {
+                                    app.feed_home_active[j] = false;
+                                } else {
+                                    dsim.add_feed_alias(idx, home);
+                                }
                             }
                         }
+                        for (j, (_, loc)) in placed.output_locs().iter().enumerate() {
+                            dsim.move_output(app.out_idx[j], *loc);
+                        }
                     }
-                    for (j, (_, loc)) in placed.output_locs().iter().enumerate() {
-                        dsim.move_output(app.out_idx[j], *loc);
+                    dsim.sync(dev);
+                    for _ in 0..record.wait_cycles {
+                        step_all(dsim, apps, cycle);
                     }
-                }
-                dsim.sync(dev);
-                for _ in 0..record.wait_cycles {
-                    step_all(dsim, apps, cycle);
-                }
-            })
+                },
+            )
             .unwrap();
         }
         // Collapse aliases onto the new home.
@@ -197,7 +209,10 @@ fn applications_survive_live_rearrangement_under_observation() {
                     let home = app.feed_home[j];
                     if app.feed_home_active[j] {
                         let gone = *loc != home
-                            && !dev.clb(home.0).map(|c| c.cells[home.1].is_used()).unwrap_or(false);
+                            && !dev
+                                .clb(home.0)
+                                .map(|c| c.cells[home.1].is_used())
+                                .unwrap_or(false);
                         if gone {
                             app.feed_home_active[j] = false;
                         } else {
@@ -236,7 +251,11 @@ fn applications_survive_live_rearrangement_under_observation() {
     }
 
     for app in &apps {
-        assert_eq!(app.divergences, 0, "{} diverged during live rearrangement", app.name);
+        assert_eq!(
+            app.divergences, 0,
+            "{} diverged during live rearrangement",
+            app.name
+        );
     }
     assert_eq!(mgr.functions().count(), 3);
 }
