@@ -15,6 +15,12 @@ cargo build --release
 echo "==> cargo test --workspace -q (superset of the tier-1 'cargo test -q')"
 cargo test --workspace -q
 
+echo "==> cargo doc --workspace --no-deps (deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "==> cargo test --workspace --doc"
+cargo test --workspace -q --doc
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 

@@ -1,0 +1,68 @@
+//! service_loop — the runtime service under its three trace scenarios,
+//! swept over defragmentation thresholds.
+//!
+//! Where T2/T3 evaluate the *planner* on pure area bookkeeping, this
+//! harness drives the whole stack: every admission is a real load
+//! (placement, routing, configuration frames) and every defrag cycle
+//! relocates running functions with the staged two-phase procedure.
+//! Reported per scenario/threshold: admission rate, defrag cycles,
+//! relocation traffic, reconfiguration time, and the fragmentation the
+//! service tolerated.
+
+use rtm_fpga::part::Part;
+use rtm_service::trace::Scenario;
+use rtm_service::{RuntimeService, ServiceConfig};
+
+fn main() {
+    let part = Part::Xcv50;
+    println!("service_loop: trace-driven service on {part}, threshold sweep");
+    println!(
+        "{:<24} {:>9} {:>9} {:>7} {:>7} {:>8} {:>11} {:>10} {:>10}",
+        "scenario",
+        "threshold",
+        "admitted",
+        "defrag",
+        "moves",
+        "frames",
+        "reconf ms",
+        "peak frag",
+        "final frag"
+    );
+    println!("{}", "-".repeat(104));
+    for scenario in Scenario::ALL {
+        for threshold in [0.3, 0.5, 2.0] {
+            let trace = scenario.trace(part, 42);
+            let config = ServiceConfig::default()
+                .with_part(part)
+                .with_frag_threshold(threshold);
+            let mut service = RuntimeService::new(config);
+            let report = service.run(&trace).expect("service loop stays up");
+            let label = if threshold > 1.0 {
+                "off".to_string()
+            } else {
+                format!("{threshold:.1}")
+            };
+            println!(
+                "{:<24} {:>9} {:>7}/{:<2} {:>7} {:>7} {:>8} {:>11.1} {:>10.3} {:>10.3}",
+                scenario.name(),
+                label,
+                report.admitted,
+                report.submitted,
+                report.defrag_cycles,
+                report.function_moves,
+                report.frames_written,
+                report.reconfig_ms,
+                report.peak_frag(),
+                report.final_frag.map(|m| m.fragmentation()).unwrap_or(0.0),
+            );
+        }
+    }
+    println!();
+    println!(
+        "Expected shape: with the trigger off, the adversarial trace leaves the\n\
+         array shattered (admissions survive only through load-time\n\
+         rearrangement); lower thresholds trade relocation traffic (frames,\n\
+         reconfiguration ms) for consistently low fragmentation — paid with\n\
+         zero halt time for the moved functions, which is the paper's point."
+    );
+}

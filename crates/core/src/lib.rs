@@ -51,6 +51,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cost;
 pub mod error;
 pub mod manager;
@@ -58,4 +60,7 @@ pub mod relocation;
 pub mod verify;
 
 pub use error::CoreError;
+pub use manager::{
+    DefragReport, FunctionId, LoadReport, LoadedFunction, ManagerStatus, RunTimeManager,
+};
 pub use relocation::{RelocationClass, RelocationReport, StepKind};

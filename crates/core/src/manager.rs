@@ -17,7 +17,7 @@ use rtm_fpga::part::Part;
 use rtm_fpga::Device;
 use rtm_netlist::techmap::MappedNetlist;
 use rtm_place::alloc::Strategy;
-use rtm_place::defrag::{make_room, Move};
+use rtm_place::defrag::{make_room, plan_compaction, Move};
 use rtm_place::frag::FragMetrics;
 use rtm_place::TaskArena;
 use rtm_sim::design::{implement_reserved, PlacedDesign};
@@ -53,6 +53,66 @@ pub struct LoadReport {
     pub relocations: Vec<RelocationReport>,
 }
 
+impl LoadReport {
+    /// Total configuration frames written by the rearrangement (zero
+    /// when the request fitted immediately).
+    pub fn frames_total(&self) -> usize {
+        self.relocations.iter().map(|r| r.frames_total()).sum()
+    }
+
+    /// CLBs of running logic that were relocated to make room.
+    pub fn cells_moved(&self) -> u32 {
+        self.moves.iter().map(Move::cells_moved).sum()
+    }
+}
+
+/// Summary returned by [`RunTimeManager::defragment`]: the executed
+/// compaction plan, the per-cell relocation traffic, and the
+/// fragmentation before/after — the evidence that a service-initiated
+/// defragmentation cycle actually helped.
+#[derive(Debug, Clone)]
+pub struct DefragReport {
+    /// The function moves the compaction executed.
+    pub moves: Vec<Move>,
+    /// Relocation reports for every cell moved.
+    pub relocations: Vec<RelocationReport>,
+    /// Fragmentation metrics before the cycle.
+    pub before: FragMetrics,
+    /// Fragmentation metrics after the cycle.
+    pub after: FragMetrics,
+}
+
+impl DefragReport {
+    /// Total configuration frames written across all relocations.
+    pub fn frames_total(&self) -> usize {
+        self.relocations.iter().map(|r| r.frames_total()).sum()
+    }
+
+    /// CLBs of running logic relocated.
+    pub fn cells_moved(&self) -> u32 {
+        self.moves.iter().map(Move::cells_moved).sum()
+    }
+
+    /// How much the fragmentation index dropped (positive = improved).
+    pub fn improvement(&self) -> f64 {
+        self.before.fragmentation() - self.after.fragmentation()
+    }
+}
+
+impl fmt::Display for DefragReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "defrag: {} moves, {} CLBs, {} frames, frag {:.3} -> {:.3}",
+            self.moves.len(),
+            self.cells_moved(),
+            self.frames_total(),
+            self.before.fragmentation(),
+            self.after.fragmentation(),
+        )
+    }
+}
+
 /// The run-time manager. See the [crate-level docs](crate).
 #[derive(Debug)]
 pub struct RunTimeManager {
@@ -67,6 +127,17 @@ pub struct RunTimeManager {
 
 impl RunTimeManager {
     /// A manager over a blank device.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtm_core::RunTimeManager;
+    /// use rtm_fpga::part::Part;
+    ///
+    /// let mgr = RunTimeManager::new(Part::Xcv50);
+    /// assert_eq!(mgr.status().functions, 0);
+    /// assert_eq!(mgr.fragmentation().utilisation(), 0.0);
+    /// ```
     pub fn new(part: Part) -> Self {
         let dev = Device::new(part);
         let arena = TaskArena::new(dev.bounds());
@@ -101,10 +172,82 @@ impl RunTimeManager {
         self.arena.fragmentation()
     }
 
+    /// Plans — without executing anything — the rearrangement that
+    /// [`RunTimeManager::load`] would run to free a `rows`×`cols`
+    /// region: an empty plan when the request fits as-is, a move list
+    /// when rearrangement would be needed, `None` when even compaction
+    /// cannot help. Lets a service weigh the relocation cost of an
+    /// admission before committing to it.
+    pub fn plan_room(&self, rows: u16, cols: u16) -> Option<Vec<Move>> {
+        make_room(&self.arena, rows, cols)
+    }
+
+    /// Plans — without executing anything — the full compaction that
+    /// [`RunTimeManager::defragment`] would run.
+    pub fn plan_defrag(&self) -> Vec<Move> {
+        plan_compaction(&self.arena)
+    }
+
+    /// Runs a full defragmentation cycle: plans an ordered compaction
+    /// (`rtm-place`'s [`plan_compaction`]) and executes every move with
+    /// staged dynamic relocation — the moved functions keep running
+    /// throughout, which is the paper's core claim. `observer` is
+    /// invoked after every relocation step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors if any cell move fails; the area
+    /// bookkeeping of already-executed moves remains consistent.
+    pub fn defragment(
+        &mut self,
+        mut observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<DefragReport, CoreError> {
+        let before = self.fragmentation();
+        let moves = plan_compaction(&self.arena);
+        if moves.is_empty() {
+            // Already compact (or incompressible): no device traffic,
+            // no checkpoint.
+            return Ok(DefragReport {
+                moves,
+                relocations: Vec::new(),
+                before,
+                after: before,
+            });
+        }
+        let mut relocations = Vec::new();
+        for mv in &moves {
+            let reports = self.relocate_function_inner(mv.id, mv.to, &mut observer)?;
+            relocations.extend(reports);
+        }
+        self.checkpoint();
+        Ok(DefragReport {
+            moves,
+            relocations,
+            before,
+            after: self.fragmentation(),
+        })
+    }
+
     /// Loads a function into a `rows`×`cols` region, rearranging running
     /// functions if needed. Each executed move is performed with dynamic
     /// relocation; `observer` is invoked after every relocation step so a
     /// caller can keep simulations clocking.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtm_core::RunTimeManager;
+    /// use rtm_fpga::part::Part;
+    /// use rtm_netlist::{random::RandomCircuit, techmap::map_to_luts};
+    ///
+    /// let mut mgr = RunTimeManager::new(Part::Xcv200);
+    /// let design = map_to_luts(&RandomCircuit::free_running(4, 10, 1).generate()).unwrap();
+    /// let report = mgr.load(&design, 8, 8, |_, _, _| {}).unwrap();
+    /// assert!(report.moves.is_empty(), "an empty device needs no rearrangement");
+    /// assert_eq!(mgr.functions().count(), 1);
+    /// mgr.unload(report.id).unwrap();
+    /// assert_eq!(mgr.functions().count(), 0);
+    /// ```
     ///
     /// # Errors
     ///
@@ -187,6 +330,23 @@ impl RunTimeManager {
 
     /// Moves a whole running function to a new region (same shape) with
     /// staged, cell-by-cell dynamic relocation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtm_core::RunTimeManager;
+    /// use rtm_fpga::part::Part;
+    /// use rtm_fpga::geom::{ClbCoord, Rect};
+    /// use rtm_netlist::{random::RandomCircuit, techmap::map_to_luts};
+    ///
+    /// let mut mgr = RunTimeManager::new(Part::Xcv200);
+    /// let design = map_to_luts(&RandomCircuit::free_running(4, 10, 2).generate()).unwrap();
+    /// let loaded = mgr.load(&design, 8, 8, |_, _, _| {}).unwrap();
+    /// let to = Rect::new(ClbCoord::new(18, 20), 8, 8);
+    /// let reports = mgr.relocate_function(loaded.id, to, |_, _, _| {}).unwrap();
+    /// assert!(!reports.is_empty(), "every placed cell was relocated live");
+    /// assert_eq!(mgr.function(loaded.id).unwrap().region, to);
+    /// ```
     ///
     /// # Errors
     ///
@@ -525,6 +685,50 @@ mod tests {
         let restored = mgr.recover().unwrap();
         assert!(restored > 0);
         assert!(mgr.device().config().diff_frames(&before).is_empty());
+    }
+
+    #[test]
+    fn defragment_consolidates_free_space() {
+        let mut mgr = RunTimeManager::new(Part::Xcv50); // 16x24
+        let d1 = small_design(12);
+        let d2 = small_design(13);
+        let a = mgr.load(&d1, 16, 6, |_, _, _| {}).unwrap();
+        let b = mgr.load(&d2, 16, 6, |_, _, _| {}).unwrap();
+        // Strand the functions so the free space splits into two gaps.
+        mgr.relocate_function(a.id, Rect::new(ClbCoord::new(0, 18), 16, 6), |_, _, _| {})
+            .unwrap();
+        mgr.relocate_function(b.id, Rect::new(ClbCoord::new(0, 6), 16, 6), |_, _, _| {})
+            .unwrap();
+        let before = mgr.fragmentation();
+        assert!(before.exceeds(0.4), "setup must fragment: {before}");
+        let planned = mgr.plan_defrag();
+        let report = mgr.defragment(|_, _, _| {}).unwrap();
+        assert_eq!(report.moves, planned, "plan matches execution");
+        assert!(!report.moves.is_empty());
+        assert!(report.frames_total() > 0);
+        assert!(
+            report.improvement() > 0.0,
+            "compaction must reduce fragmentation: {report}"
+        );
+        assert_eq!(report.after.fragmentation(), 0.0, "one free rectangle");
+        // Both functions still resident, regions disjoint.
+        assert_eq!(mgr.functions().count(), 2);
+    }
+
+    #[test]
+    fn plan_room_previews_load_rearrangement() {
+        let mut mgr = RunTimeManager::new(Part::Xcv50);
+        let d = small_design(14);
+        let r = mgr.load(&d, 16, 6, |_, _, _| {}).unwrap();
+        mgr.relocate_function(r.id, Rect::new(ClbCoord::new(0, 9), 16, 6), |_, _, _| {})
+            .unwrap();
+        // A 16x12 request needs the stranded function out of the middle.
+        let plan = mgr.plan_room(16, 12).expect("satisfiable");
+        assert!(!plan.is_empty());
+        // Planning must not have changed any state.
+        assert_eq!(mgr.function(r.id).unwrap().region.origin.col, 9);
+        // An impossible request is reported as such.
+        assert!(mgr.plan_room(16, 24).is_none());
     }
 
     #[test]

@@ -69,6 +69,32 @@ pub fn plan_cost(moves: &[Move]) -> PlanCost {
     }
 }
 
+/// Plans an ordered compaction without touching the caller's arena.
+///
+/// This is the planning half of [`compact`]: it returns the move list
+/// that compaction *would* execute, computed on a scratch copy. Callers
+/// that own real hardware state (the run-time manager) replay the plan
+/// themselves, executing each [`Move`] with dynamic relocation, instead
+/// of letting this crate mutate bookkeeping it does not own.
+///
+/// # Examples
+///
+/// ```
+/// use rtm_place::{TaskArena, defrag::plan_compaction};
+/// use rtm_fpga::geom::{ClbCoord, Rect};
+///
+/// let mut arena = TaskArena::new(Rect::new(ClbCoord::new(0, 0), 8, 8));
+/// arena.allocate_at(1, Rect::new(ClbCoord::new(0, 5), 4, 2)).unwrap();
+/// let plan = plan_compaction(&arena);
+/// assert_eq!(plan.len(), 1);
+/// // The caller's arena is untouched until it replays the plan.
+/// assert_eq!(arena.task_rect(1), Some(Rect::new(ClbCoord::new(0, 5), 4, 2)));
+/// ```
+pub fn plan_compaction(arena: &TaskArena) -> Vec<Move> {
+    let mut scratch = arena.clone();
+    compact(&mut scratch)
+}
+
 /// Ordered compaction: slides every task as far left (then up) as it can
 /// go, in left-to-right task order. Returns the executed move list; the
 /// arena is updated.
@@ -205,6 +231,25 @@ mod tests {
         assert_eq!(a.task_rect(1), Some(Rect::new(ClbCoord::new(4, 0), 4, 2)));
         // After compaction the free space is one rectangle.
         assert_eq!(a.fragmentation().fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn plan_compaction_matches_compact_without_mutating() {
+        let mut a = arena_8x8();
+        a.allocate_at(1, Rect::new(ClbCoord::new(0, 5), 4, 2))
+            .unwrap();
+        a.allocate_at(2, Rect::new(ClbCoord::new(4, 3), 4, 2))
+            .unwrap();
+        let before = a.clone();
+        let plan = plan_compaction(&a);
+        assert_eq!(a, before, "planning must not mutate the arena");
+        let mut replay = a.clone();
+        for mv in &plan {
+            replay.relocate(mv.id, mv.to).unwrap();
+        }
+        let executed = compact(&mut a);
+        assert_eq!(plan, executed);
+        assert_eq!(replay, a);
     }
 
     #[test]

@@ -45,6 +45,23 @@ impl FragMetrics {
     pub fn satisfiable_area(&self) -> u32 {
         self.largest_rect
     }
+
+    /// True when the fragmentation index exceeds `threshold` — the
+    /// condition a run-time service uses to trigger a defragmentation
+    /// cycle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtm_place::frag::FragMetrics;
+    ///
+    /// let m = FragMetrics { free_cells: 100, largest_rect: 25, total_cells: 200 };
+    /// assert!(m.exceeds(0.5));  // index 0.75
+    /// assert!(!m.exceeds(0.8));
+    /// ```
+    pub fn exceeds(&self, threshold: f64) -> bool {
+        self.fragmentation() > threshold
+    }
 }
 
 impl fmt::Display for FragMetrics {

@@ -1,0 +1,103 @@
+//! Admission callbacks: a shared vocabulary for accept/defer decisions.
+//!
+//! Both the discrete-event [`Scheduler`](crate::Scheduler) and any
+//! higher layer that drives a real manager from the same policies (the
+//! `rtm-service` runtime loop) face the same decision points: a task
+//! arrives, and it is either placed immediately, placed after a
+//! rearrangement, or deferred. [`AdmissionOutcome`] names those
+//! outcomes and [`AdmissionHook`] lets an external observer watch every
+//! decision as the simulation makes it — the mechanism behind
+//! [`Scheduler::run_with_hook`](crate::Scheduler::run_with_hook).
+
+use crate::task::{Micros, TaskSpec};
+use rtm_fpga::geom::Rect;
+
+/// The outcome of one admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionOutcome {
+    /// Placed immediately in existing free space.
+    Immediate {
+        /// The region the task received.
+        region: Rect,
+    },
+    /// Placed after a rearrangement of running tasks made room.
+    AfterRearrange {
+        /// The region the task received.
+        region: Rect,
+        /// Task moves the rearrangement executed.
+        moves: usize,
+        /// CLBs relocated by those moves.
+        cells_moved: u32,
+    },
+    /// Does not fit right now (and the policy cannot or may not make
+    /// room): the task stays queued. Reported at every decision point
+    /// where the head of the queue fails to place, so an observer sees
+    /// each retry.
+    Deferred,
+}
+
+impl AdmissionOutcome {
+    /// True for either admitted variant.
+    pub fn admitted(&self) -> bool {
+        !matches!(self, AdmissionOutcome::Deferred)
+    }
+}
+
+/// Observer of admission decisions.
+///
+/// Implemented for closures, so the simplest hook is a `FnMut`:
+///
+/// # Examples
+///
+/// ```
+/// use rtm_sched::{Scheduler, Policy, workload::WorkloadParams};
+/// use rtm_sched::admission::AdmissionOutcome;
+/// use rtm_fpga::geom::{ClbCoord, Rect};
+///
+/// let tasks = WorkloadParams::default().generate();
+/// let arena = Rect::new(ClbCoord::new(0, 0), 28, 42);
+/// let mut admitted = 0usize;
+/// let metrics = Scheduler::new(arena, Policy::TransparentReloc).run_with_hook(
+///     &tasks,
+///     &mut |_now, _task: &rtm_sched::TaskSpec, outcome: AdmissionOutcome| {
+///         if outcome.admitted() {
+///             admitted += 1;
+///         }
+///     },
+/// );
+/// assert_eq!(admitted, metrics.completed);
+/// ```
+pub trait AdmissionHook {
+    /// Called at every admission decision at simulated time `now`.
+    fn on_decision(&mut self, now: Micros, task: &TaskSpec, outcome: AdmissionOutcome);
+}
+
+/// The no-op hook (used by [`Scheduler::run`](crate::Scheduler::run)).
+impl AdmissionHook for () {
+    fn on_decision(&mut self, _now: Micros, _task: &TaskSpec, _outcome: AdmissionOutcome) {}
+}
+
+impl<F: FnMut(Micros, &TaskSpec, AdmissionOutcome)> AdmissionHook for F {
+    fn on_decision(&mut self, now: Micros, task: &TaskSpec, outcome: AdmissionOutcome) {
+        self(now, task, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_fpga::geom::ClbCoord;
+
+    #[test]
+    fn admitted_flags() {
+        let region = Rect::new(ClbCoord::new(0, 0), 2, 2);
+        assert!(AdmissionOutcome::Immediate { region }.admitted());
+        assert!(AdmissionOutcome::AfterRearrange {
+            region,
+            moves: 1,
+            cells_moved: 4
+        }
+        .admitted());
+        assert!(!AdmissionOutcome::Deferred.admitted());
+    }
+}

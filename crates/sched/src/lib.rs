@@ -36,12 +36,16 @@
 //! assert_eq!(metrics.total_halt_time, 0, "transparent moves never halt tasks");
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod admission;
 pub mod metrics;
 pub mod policy;
 pub mod scheduler;
 pub mod task;
 pub mod workload;
 
+pub use admission::{AdmissionHook, AdmissionOutcome};
 pub use policy::Policy;
 pub use scheduler::Scheduler;
 pub use task::TaskSpec;

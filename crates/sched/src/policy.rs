@@ -8,6 +8,17 @@ use std::fmt;
 pub const BOUNDARY_SCAN_US_PER_CLB: Micros = 22_600;
 
 /// What the scheduler may do when an arriving task does not fit.
+///
+/// # Examples
+///
+/// ```
+/// use rtm_sched::Policy;
+///
+/// assert!(!Policy::NoRearrange.rearranges());
+/// // Only the halting baseline charges moved tasks for their move.
+/// assert_eq!(Policy::TransparentReloc.halt_time(10, 22_600), 0);
+/// assert_eq!(Policy::HaltRearrange.halt_time(10, 22_600), 226_000);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// Never rearrange: the task queues until departures open a hole.

@@ -8,6 +8,7 @@
 //! (the paper's contribution) — only the *incoming* task waits for the
 //! reconfiguration port to execute the moves.
 
+use crate::admission::{AdmissionHook, AdmissionOutcome};
 use crate::metrics::RunMetrics;
 use crate::policy::{Policy, BOUNDARY_SCAN_US_PER_CLB};
 use crate::task::{Micros, TaskOutcome, TaskSpec};
@@ -64,10 +65,35 @@ impl Scheduler {
 
     /// Runs the workload to completion and returns the metrics.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtm_sched::{Scheduler, Policy, workload::WorkloadParams};
+    /// use rtm_fpga::geom::{ClbCoord, Rect};
+    ///
+    /// let tasks = WorkloadParams::default().generate();
+    /// let arena = Rect::new(ClbCoord::new(0, 0), 28, 42);
+    /// let metrics = Scheduler::new(arena, Policy::TransparentReloc).run(&tasks);
+    /// assert_eq!(metrics.completed, tasks.len());
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if a task is larger than the arena (it could never run).
     pub fn run(&self, tasks: &[TaskSpec]) -> RunMetrics {
+        self.run_with_hook(tasks, &mut ())
+    }
+
+    /// Runs the workload like [`Scheduler::run`], invoking `hook` at
+    /// every admission decision (see [`AdmissionOutcome`] for the
+    /// reported cases). This is how external layers — reports, QoS
+    /// accounting, the `rtm-service` runtime loop — observe the policy's
+    /// choices without re-implementing the event loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task is larger than the arena (it could never run).
+    pub fn run_with_hook(&self, tasks: &[TaskSpec], hook: &mut impl AdmissionHook) -> RunMetrics {
         for t in tasks {
             assert!(
                 t.rows <= self.bounds.rows && t.cols <= self.bounds.cols,
@@ -136,10 +162,14 @@ impl Scheduler {
                     &mut moves,
                     &mut cells_moved,
                 ) {
-                    Some(()) => {
+                    Some(outcome) => {
+                        hook.on_decision(now, &head, outcome);
                         queue.pop_front();
                     }
-                    None => break,
+                    None => {
+                        hook.on_decision(now, &head, AdmissionOutcome::Deferred);
+                        break;
+                    }
                 }
             }
         }
@@ -156,7 +186,8 @@ impl Scheduler {
     }
 
     /// Attempts to place `task` at time `now`, rearranging if the policy
-    /// allows. Returns `Some(())` on success.
+    /// allows. Returns the admission outcome on success, `None` when the
+    /// task must stay queued.
     fn try_place(
         &self,
         arena: &mut TaskArena,
@@ -165,12 +196,13 @@ impl Scheduler {
         now: Micros,
         moves: &mut usize,
         cells_moved: &mut u64,
-    ) -> Option<()> {
+    ) -> Option<AdmissionOutcome> {
         let immediate_possible = !arena
             .arena()
             .candidate_origins(task.rows, task.cols)
             .is_empty();
         let mut start = now;
+        let mut rearrangement: Option<(usize, u32)> = None;
         if !immediate_possible {
             if !self.policy.rearranges() {
                 return None;
@@ -191,6 +223,7 @@ impl Scheduler {
             }
             *moves += plan.len();
             *cells_moved += cost.cells as u64;
+            rearrangement = Some((plan.len(), cost.cells));
             start = now + move_time;
         }
         let rect = arena
@@ -210,7 +243,14 @@ impl Scheduler {
                 immediate: now == task.arrival,
             },
         );
-        Some(())
+        Some(match rearrangement {
+            None => AdmissionOutcome::Immediate { region: rect },
+            Some((moves, cells_moved)) => AdmissionOutcome::AfterRearrange {
+                region: rect,
+                moves,
+                cells_moved,
+            },
+        })
     }
 }
 
@@ -300,6 +340,37 @@ mod tests {
         if halting.moves > 0 {
             assert!(halting.total_halt_time > 0);
         }
+    }
+
+    #[test]
+    fn hook_sees_every_admission_and_rearrangements() {
+        let tasks = WorkloadParams {
+            n_tasks: 60,
+            mean_interarrival: 8_000.0,
+            rows: (6, 14),
+            cols: (6, 14),
+            duration: (200_000, 800_000),
+            seed: 3,
+        }
+        .generate();
+        let mut admitted = 0usize;
+        let mut rearranged = 0usize;
+        let mut deferred = 0usize;
+        let m = Scheduler::new(arena28x42(), Policy::TransparentReloc).run_with_hook(
+            &tasks,
+            &mut |_now, _task: &TaskSpec, outcome: crate::admission::AdmissionOutcome| match outcome
+            {
+                crate::admission::AdmissionOutcome::Immediate { .. } => admitted += 1,
+                crate::admission::AdmissionOutcome::AfterRearrange { moves, .. } => {
+                    admitted += 1;
+                    rearranged += moves;
+                }
+                crate::admission::AdmissionOutcome::Deferred => deferred += 1,
+            },
+        );
+        assert_eq!(admitted, m.completed, "one admitted decision per task");
+        assert_eq!(rearranged, m.moves, "hook sees the same move count");
+        assert!(deferred > 0, "heavy load must defer someone");
     }
 
     #[test]

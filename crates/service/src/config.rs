@@ -1,0 +1,102 @@
+//! Service configuration: device, policies and the defrag trigger.
+
+use rtm_core::cost::CostModel;
+use rtm_fpga::part::Part;
+use rtm_place::alloc::Strategy;
+use rtm_sched::policy::{Policy, BOUNDARY_SCAN_US_PER_CLB};
+use rtm_sched::task::Micros;
+
+/// Configuration of a [`RuntimeService`](crate::RuntimeService).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// The device the service manages.
+    pub part: Part,
+    /// Rearrangement policy applied at admission time (the `rtm-sched`
+    /// vocabulary): under [`Policy::NoRearrange`] a request that does
+    /// not fit as-is queues; the other policies let the manager move
+    /// running functions to make room.
+    pub policy: Policy,
+    /// Allocation strategy for incoming functions.
+    pub strategy: Strategy,
+    /// Defragmentation trigger: when the fragmentation index exceeds
+    /// this threshold after an event, the service runs a compaction
+    /// cycle with live relocation (see
+    /// [`RunTimeManager::defragment`](rtm_core::RunTimeManager::defragment)).
+    /// Set above `1.0` to disable.
+    pub frag_threshold: f64,
+    /// Cost model used to price relocation traffic in the report.
+    pub cost_model: CostModel,
+    /// Per-CLB move cost (µs) used for simulated-time accounting of
+    /// rearrangements and the halting-baseline comparison.
+    pub us_per_clb: Micros,
+    /// Seed for the per-arrival synthetic designs.
+    pub design_seed: u64,
+}
+
+impl Default for ServiceConfig {
+    /// XCV50, transparent relocation, best-fit, defrag above 0.5,
+    /// paper-default (Boundary Scan, column-granular) costs.
+    fn default() -> Self {
+        ServiceConfig {
+            part: Part::Xcv50,
+            policy: Policy::TransparentReloc,
+            strategy: Strategy::BestFit,
+            frag_threshold: 0.5,
+            cost_model: CostModel::paper_default(),
+            us_per_clb: BOUNDARY_SCAN_US_PER_CLB,
+            design_seed: 0x5eed,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Replaces the device part.
+    pub fn with_part(mut self, part: Part) -> Self {
+        self.part = part;
+        self
+    }
+
+    /// Replaces the rearrangement policy.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the allocation strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the defragmentation threshold.
+    pub fn with_frag_threshold(mut self, threshold: f64) -> Self {
+        self.frag_threshold = threshold;
+        self
+    }
+
+    /// Replaces the per-CLB move cost (e.g. a SelectMAP-class port).
+    pub fn with_move_cost(mut self, us_per_clb: Micros) -> Self {
+        self.us_per_clb = us_per_clb;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = ServiceConfig::default()
+            .with_part(Part::Xcv200)
+            .with_policy(Policy::NoRearrange)
+            .with_strategy(Strategy::FirstFit)
+            .with_frag_threshold(0.8)
+            .with_move_cost(100);
+        assert_eq!(c.part, Part::Xcv200);
+        assert_eq!(c.policy, Policy::NoRearrange);
+        assert_eq!(c.strategy, Strategy::FirstFit);
+        assert_eq!(c.frag_threshold, 0.8);
+        assert_eq!(c.us_per_clb, 100);
+    }
+}

@@ -1,0 +1,340 @@
+//! The runtime service loop: replay a trace against the live manager.
+
+use crate::config::ServiceConfig;
+use crate::report::{AdmissionRecord, DefragSummary, FragSample, ServiceReport};
+use crate::trace::{Arrival, Trace, TraceEvent};
+use rtm_core::manager::{FunctionId, RunTimeManager};
+use rtm_core::{CoreError, RelocationReport};
+use rtm_netlist::random::RandomCircuit;
+use rtm_netlist::techmap::{map_to_luts, MappedNetlist};
+use rtm_place::defrag::Move;
+use rtm_sched::admission::AdmissionOutcome;
+use rtm_sched::task::Micros;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A queued request.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    arrival: Arrival,
+    queued_at: Micros,
+}
+
+/// What became of one admission attempt.
+enum Attempt {
+    /// Admitted and resident.
+    Admitted,
+    /// Dropped from the queue (deadline or load failure), already
+    /// recorded in the report.
+    Dropped,
+    /// Cannot be placed right now; stays at the head of the queue.
+    NoRoom,
+}
+
+/// The event-driven runtime service: the paper's on-line management
+/// story closed into a loop. Functions arrive through a [`Trace`], are
+/// admitted under an `rtm-sched` [`Policy`](rtm_sched::Policy), become
+/// *real* loaded functions on the managed device (placement, routing,
+/// configuration frames), get relocated live when fragmentation crosses
+/// the configured threshold, and leave when their residency ends.
+///
+/// State persists across [`RuntimeService::run`] calls — a service is
+/// long-running — so replaying a second trace continues from the
+/// device state the first one left behind.
+///
+/// # Examples
+///
+/// ```
+/// use rtm_service::{RuntimeService, ServiceConfig};
+/// use rtm_service::trace::{Arrival, Trace, TraceEvent};
+///
+/// let mut trace = Trace::new("doc");
+/// trace.push(0, TraceEvent::Arrival(Arrival {
+///     id: 0, rows: 6, cols: 6, duration: Some(100_000), deadline: None,
+/// }));
+/// let mut service = RuntimeService::new(ServiceConfig::default());
+/// let report = service.run(&trace).unwrap();
+/// assert_eq!(report.admitted, 1);
+/// assert_eq!(report.departures, 1, "duration expired inside the run");
+/// ```
+#[derive(Debug)]
+pub struct RuntimeService {
+    config: ServiceConfig,
+    mgr: RunTimeManager,
+    now: Micros,
+    /// Trace id → manager function id for resident functions.
+    resident: BTreeMap<u64, FunctionId>,
+    /// Trace id → simulated time its residency expires.
+    expiry: BTreeMap<u64, Micros>,
+    queue: VecDeque<Queued>,
+}
+
+impl RuntimeService {
+    /// A service over a blank device described by `config`.
+    pub fn new(config: ServiceConfig) -> Self {
+        let mut mgr = RunTimeManager::new(config.part);
+        mgr.strategy = config.strategy;
+        RuntimeService {
+            config,
+            mgr,
+            now: 0,
+            resident: BTreeMap::new(),
+            expiry: BTreeMap::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The managed device and function table (read-only).
+    pub fn manager(&self) -> &RunTimeManager {
+        &self.mgr
+    }
+
+    /// Current simulated time (µs).
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Replays `trace` to completion: every event is processed in time
+    /// order, then the clock advances through the remaining known
+    /// residency expirations so duration-bound functions depart inside
+    /// the run. Returns the structured report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] only for failures that corrupt the
+    /// service invariants (a failed unload or defragmentation).
+    /// Per-request load failures are absorbed into
+    /// [`ServiceReport::failures`] — one bad request must not take the
+    /// service down.
+    pub fn run(&mut self, trace: &Trace) -> Result<ServiceReport, CoreError> {
+        let mut report = ServiceReport::new(trace.name());
+        let events = trace.events();
+        let mut idx = 0usize;
+        loop {
+            let next_trace = events.get(idx).map(|e| e.at);
+            let next_expiry = self.expiry.values().min().copied();
+            let now = match (next_trace, next_expiry) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(e)) => e,
+                (Some(a), Some(e)) => a.min(e),
+            };
+            self.now = self.now.max(now);
+
+            // 1. Residencies that expired by now.
+            let due: Vec<u64> = self
+                .expiry
+                .iter()
+                .filter(|(_, t)| **t <= now)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in due {
+                self.depart(id, &mut report)?;
+            }
+
+            // 2. Trace events at this instant, in stream order.
+            while idx < events.len() && events[idx].at <= now {
+                match events[idx].event {
+                    TraceEvent::Arrival(a) => {
+                        report.submitted += 1;
+                        self.queue.push_back(Queued {
+                            arrival: a,
+                            queued_at: events[idx].at,
+                        });
+                    }
+                    TraceEvent::Departure { id } => self.depart(id, &mut report)?,
+                }
+                idx += 1;
+            }
+
+            // 3. Serve the queue (departures may have opened room).
+            self.serve_queue(&mut report)?;
+
+            // The timeline must show the state the trigger saw, not
+            // only the post-defrag recovery.
+            report.frag_timeline.push(FragSample {
+                at: self.now,
+                metrics: self.mgr.fragmentation(),
+            });
+
+            // 4. Defragmentation trigger. `defragment` plans once and
+            //    returns an empty no-traffic report when the layout is
+            //    already compact (or incompressible), so a layout stuck
+            //    above the threshold cannot cause thrash — only
+            //    executed cycles are recorded.
+            if self.mgr.fragmentation().exceeds(self.config.frag_threshold) {
+                let d = self.mgr.defragment(|_, _, _| {})?;
+                if !d.moves.is_empty() {
+                    report.defrag_cycles += 1;
+                    report.defrags.push(DefragSummary {
+                        at: self.now,
+                        before: d.before,
+                        after: d.after,
+                        moves: d.moves.len(),
+                        cells_moved: d.cells_moved(),
+                        frames: d.frames_total(),
+                    });
+                    self.account_moves(&d.moves, &d.relocations, &mut report);
+                    // Consolidated free space may admit queued requests.
+                    self.serve_queue(&mut report)?;
+                    report.frag_timeline.push(FragSample {
+                        at: self.now,
+                        metrics: self.mgr.fragmentation(),
+                    });
+                }
+            }
+        }
+
+        report.queued_at_end = self.queue.len();
+        report.resident_at_end = self.resident.len();
+        report.final_frag = Some(self.mgr.fragmentation());
+        Ok(report)
+    }
+
+    /// Unloads a resident function, or cancels a queued one (counted as
+    /// [`ServiceReport::cancelled`]). Unknown ids are ignored (a trace
+    /// may depart a function that was never admitted).
+    fn depart(&mut self, trace_id: u64, report: &mut ServiceReport) -> Result<(), CoreError> {
+        if let Some(fid) = self.resident.remove(&trace_id) {
+            self.expiry.remove(&trace_id);
+            self.mgr.unload(fid)?;
+            report.departures += 1;
+        } else {
+            let before = self.queue.len();
+            self.queue.retain(|q| q.arrival.id != trace_id);
+            report.cancelled += before - self.queue.len();
+        }
+        Ok(())
+    }
+
+    /// Serves the queue head-first (FIFO fairness): drops requests whose
+    /// deadline has passed, then admits until the head cannot be placed.
+    fn serve_queue(&mut self, report: &mut ServiceReport) -> Result<(), CoreError> {
+        let now = self.now;
+        self.queue.retain(|q| {
+            let overdue = q.arrival.deadline.map(|d| d < now).unwrap_or(false);
+            if overdue {
+                report.rejected_deadline += 1;
+            }
+            !overdue
+        });
+        while let Some(q) = self.queue.front().copied() {
+            match self.try_admit(&q, report)? {
+                Attempt::NoRoom => break,
+                Attempt::Admitted | Attempt::Dropped => {
+                    self.queue.pop_front();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempts to admit one queued request.
+    fn try_admit(&mut self, q: &Queued, report: &mut ServiceReport) -> Result<Attempt, CoreError> {
+        let a = q.arrival;
+        // A duplicate of a still-resident id would orphan the earlier
+        // function in the bookkeeping: refuse it outright.
+        if self.resident.contains_key(&a.id) {
+            report.failures += 1;
+            return Ok(Attempt::Dropped);
+        }
+        // Preview the rearrangement the load would need, so the
+        // admission decision can weigh its cost *before* committing.
+        let Some(plan) = self.mgr.plan_room(a.rows, a.cols) else {
+            return Ok(Attempt::NoRoom);
+        };
+        if !plan.is_empty() && !self.config.policy.rearranges() {
+            return Ok(Attempt::NoRoom);
+        }
+        // The reconfiguration port is busy for the whole move traffic;
+        // the incoming function starts afterwards. If that would miss
+        // the deadline, don't move running functions for nothing — the
+        // request stays queued: a departure may yet shrink the plan,
+        // and `serve_queue` rejects it once the deadline itself passes.
+        let plan_cells: u32 = plan.iter().map(Move::cells_moved).sum();
+        let start = self.now + plan_cells as Micros * self.config.us_per_clb;
+        if a.deadline.map(|d| start > d).unwrap_or(false) {
+            return Ok(Attempt::NoRoom);
+        }
+
+        let design = match self.design_for(&a) {
+            Ok(d) => d,
+            Err(_) => {
+                report.failures += 1;
+                return Ok(Attempt::Dropped);
+            }
+        };
+        match self.mgr.load(&design, a.rows, a.cols, |_, _, _| {}) {
+            Err(_) => {
+                // A placement/routing failure on a live device: the
+                // manager's bookkeeping stays consistent, the service
+                // records the casualty and keeps running.
+                report.failures += 1;
+                Ok(Attempt::Dropped)
+            }
+            Ok(lr) => {
+                let outcome = if lr.moves.is_empty() {
+                    report.immediate += 1;
+                    AdmissionOutcome::Immediate { region: lr.region }
+                } else {
+                    AdmissionOutcome::AfterRearrange {
+                        region: lr.region,
+                        moves: lr.moves.len(),
+                        cells_moved: lr.cells_moved(),
+                    }
+                };
+                report.admitted += 1;
+                report.admissions.push(AdmissionRecord {
+                    trace_id: a.id,
+                    at: self.now,
+                    waited: self.now - q.queued_at,
+                    outcome,
+                });
+                self.account_moves(&lr.moves, &lr.relocations, report);
+                if let Some(d) = a.duration {
+                    self.expiry.insert(a.id, start + d);
+                }
+                self.resident.insert(a.id, lr.id);
+                Ok(Attempt::Admitted)
+            }
+        }
+    }
+
+    /// Folds executed relocation traffic into the report totals.
+    fn account_moves(
+        &self,
+        moves: &[Move],
+        relocations: &[RelocationReport],
+        report: &mut ServiceReport,
+    ) {
+        let cells: u32 = moves.iter().map(Move::cells_moved).sum();
+        report.function_moves += moves.len();
+        report.cells_moved += cells as u64;
+        for r in relocations {
+            let cost = self.config.cost_model.relocation_cost(self.config.part, r);
+            report.frames_written += cost.frames_written;
+            report.reconfig_ms += cost.millis();
+        }
+        report.baseline_halt_ms += moves
+            .iter()
+            .map(|m| m.cells_moved() as Micros * self.config.us_per_clb)
+            .sum::<Micros>() as f64
+            / 1000.0;
+    }
+
+    /// A synthetic free-running design sized for the request. The logic
+    /// depth is kept modest — the *area* reservation is what the trace
+    /// exercises; the design only has to be real enough to place, route
+    /// and relocate.
+    fn design_for(&self, a: &Arrival) -> Result<MappedNetlist, rtm_netlist::NetlistError> {
+        let area = a.area();
+        let gates = (area / 8).clamp(4, 16) as usize;
+        let ffs = (area / 48).clamp(2, 4) as usize;
+        let seed = self.config.design_seed ^ a.id.wrapping_mul(0x9e37_79b9);
+        map_to_luts(&RandomCircuit::free_running(ffs, gates, seed).generate())
+    }
+}

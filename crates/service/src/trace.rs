@@ -1,0 +1,405 @@
+//! Trace model: the arrival/departure event streams the service replays.
+//!
+//! A [`Trace`] is a named, time-ordered stream of [`TraceEvent`]s —
+//! function arrivals (with area, optional residency duration and
+//! optional start deadline) and explicit departures for functions that
+//! stay resident until told otherwise. Traces come from three places:
+//! hand-built event lists ([`Trace::push`]), converted stochastic
+//! workloads ([`Trace::from_workload`]), and the canned [`Scenario`]
+//! generators used by the benches and the `service_loop` example.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtm_fpga::part::Part;
+use rtm_sched::task::{Micros, TaskSpec};
+use rtm_sched::workload::WorkloadParams;
+use std::fmt;
+
+/// One function-arrival request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Trace-level id (distinct from the manager's function id).
+    pub id: u64,
+    /// CLB rows requested.
+    pub rows: u16,
+    /// CLB columns requested.
+    pub cols: u16,
+    /// How long the function stays resident once started (µs). `None`
+    /// means it runs until an explicit [`TraceEvent::Departure`].
+    pub duration: Option<Micros>,
+    /// Absolute time by which the function must have *started* (µs).
+    /// `None` means the request waits patiently in the queue.
+    pub deadline: Option<Micros>,
+}
+
+impl Arrival {
+    /// Area in CLBs.
+    pub fn area(&self) -> u32 {
+        self.rows as u32 * self.cols as u32
+    }
+}
+
+impl fmt::Display for Arrival {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {} [{}x{}]", self.id, self.rows, self.cols)?;
+        if let Some(d) = self.duration {
+            write!(f, " for {d}us")?;
+        }
+        if let Some(d) = self.deadline {
+            write!(f, " deadline {d}us")?;
+        }
+        Ok(())
+    }
+}
+
+/// One event of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A function requests admission.
+    Arrival(Arrival),
+    /// A resident (or still-queued) function leaves. The id refers to
+    /// the [`Arrival::id`] of the function.
+    Departure {
+        /// The departing function's trace id.
+        id: u64,
+    },
+}
+
+/// An event stamped with its simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// When the event fires (µs).
+    pub at: Micros,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A named, time-ordered event stream.
+///
+/// # Examples
+///
+/// ```
+/// use rtm_service::trace::{Arrival, Trace, TraceEvent};
+///
+/// let mut trace = Trace::new("two-functions");
+/// trace.push(0, TraceEvent::Arrival(Arrival {
+///     id: 0, rows: 4, cols: 4, duration: Some(100_000), deadline: None,
+/// }));
+/// trace.push(50_000, TraceEvent::Arrival(Arrival {
+///     id: 1, rows: 4, cols: 4, duration: None, deadline: None,
+/// }));
+/// trace.push(400_000, TraceEvent::Departure { id: 1 });
+/// assert_eq!(trace.arrivals(), 2);
+/// assert!(trace.events().windows(2).all(|w| w[0].at <= w[1].at));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    events: Vec<TimedEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The trace's name (reported in the [`ServiceReport`]).
+    ///
+    /// [`ServiceReport`]: crate::report::ServiceReport
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inserts an event, keeping events sorted by time (stable: equal
+    /// timestamps keep insertion order).
+    pub fn push(&mut self, at: Micros, event: TraceEvent) {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, TimedEvent { at, event });
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Number of arrival events.
+    pub fn arrivals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::Arrival(_)))
+            .count()
+    }
+
+    /// Converts a stochastic `rtm-sched` workload into a trace: every
+    /// [`TaskSpec`] becomes an arrival with its duration and no
+    /// deadline.
+    pub fn from_workload(name: impl Into<String>, tasks: &[TaskSpec]) -> Self {
+        let mut trace = Trace::new(name);
+        for t in tasks {
+            trace.push(
+                t.arrival,
+                TraceEvent::Arrival(Arrival {
+                    id: t.id,
+                    rows: t.rows,
+                    cols: t.cols,
+                    duration: Some(t.duration),
+                    deadline: None,
+                }),
+            );
+        }
+        trace
+    }
+}
+
+/// The canned workload scenarios exercised by the `service_loop`
+/// example and bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Bursts of simultaneous arrivals with deadlines, separated by
+    /// quiet gaps — models interactive load spikes.
+    Bursty,
+    /// Poisson-like arrivals with overlapping residencies — the
+    /// steady-state churn that slowly fragments the array.
+    SteadyChurn,
+    /// A deterministic fragmenter: fill the device with full-height
+    /// strips, depart every other one (comb fragmentation), then submit
+    /// requests that fit only after a defragmentation cycle.
+    AdversarialFragmenter,
+}
+
+impl Scenario {
+    /// All scenarios, for sweeps.
+    pub const ALL: [Scenario; 3] = [
+        Scenario::Bursty,
+        Scenario::SteadyChurn,
+        Scenario::AdversarialFragmenter,
+    ];
+
+    /// The scenario's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Bursty => "bursty",
+            Scenario::SteadyChurn => "steady-churn",
+            Scenario::AdversarialFragmenter => "adversarial-fragmenter",
+        }
+    }
+
+    /// Generates the scenario's trace, sized for `part` and
+    /// reproducible in `seed`.
+    pub fn trace(&self, part: Part, seed: u64) -> Trace {
+        match self {
+            Scenario::Bursty => bursty(part, seed),
+            Scenario::SteadyChurn => steady_churn(part, seed),
+            Scenario::AdversarialFragmenter => adversarial_fragmenter(part, seed),
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Bursts of 4–6 deadline-bound arrivals with quiet gaps between them.
+fn bursty(part: Part, seed: u64) -> Trace {
+    let (rows, cols) = (part.clb_rows(), part.clb_cols());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new(Scenario::Bursty.name());
+    let mut id = 0u64;
+    let mut t: Micros = 0;
+    for _ in 0..4 {
+        let burst = rng.gen_range(4..=6);
+        for _ in 0..burst {
+            let jitter: Micros = rng.gen_range(0..20_000);
+            let at = t + jitter;
+            trace.push(
+                at,
+                TraceEvent::Arrival(Arrival {
+                    id,
+                    rows: rng.gen_range((rows / 4).max(2)..=(rows / 2).max(3)),
+                    cols: rng.gen_range((cols / 6).max(2)..=(cols / 3).max(3)),
+                    duration: Some(rng.gen_range(300_000..=900_000)),
+                    deadline: Some(at + 2_000_000),
+                }),
+            );
+            id += 1;
+        }
+        t += rng.gen_range(600_000u64..=1_200_000);
+    }
+    trace
+}
+
+/// Poisson-like arrivals with overlapping residencies (a converted
+/// `rtm-sched` workload).
+fn steady_churn(part: Part, seed: u64) -> Trace {
+    let (rows, cols) = (part.clb_rows(), part.clb_cols());
+    let tasks = WorkloadParams {
+        n_tasks: 24,
+        mean_interarrival: 120_000.0,
+        rows: (2, (rows / 2).max(3)),
+        cols: (2, (cols / 2).max(3)),
+        duration: (200_000, 700_000),
+        seed,
+    }
+    .generate();
+    Trace::from_workload(Scenario::SteadyChurn.name(), &tasks)
+}
+
+/// Fill with full-height strips, depart alternating ones, then submit
+/// requests larger than any surviving gap. The departure pattern is the
+/// textbook comb that maximises fragmentation for a given free area, so
+/// the big requests are admissible *only* after rearrangement.
+fn adversarial_fragmenter(part: Part, seed: u64) -> Trace {
+    let (rows, cols) = (part.clb_rows(), part.clb_cols());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let strip_w = (cols / 8).max(3);
+    let n_strips = (cols / strip_w) as u64;
+    let mut trace = Trace::new(Scenario::AdversarialFragmenter.name());
+    let mut t: Micros = 0;
+    // Phase 1: wall-to-wall strips with no fixed duration (daemons).
+    for i in 0..n_strips {
+        trace.push(
+            t,
+            TraceEvent::Arrival(Arrival {
+                id: i,
+                rows,
+                cols: strip_w,
+                duration: None,
+                deadline: None,
+            }),
+        );
+        t += 50_000;
+    }
+    // Phase 2: depart every other strip — comb fragmentation.
+    t += 200_000;
+    let parity = u64::from(rng.gen_bool(0.5));
+    for i in (0..n_strips).filter(|i| i % 2 == parity) {
+        trace.push(t, TraceEvent::Departure { id: i });
+        t += 10_000;
+    }
+    // Phase 3: requests wider than any single gap; only a
+    // defragmentation cycle (or load-time rearrangement) admits them.
+    t += 100_000;
+    let big_cols = 3 * strip_w;
+    for k in 0..2u64 {
+        trace.push(
+            t,
+            TraceEvent::Arrival(Arrival {
+                id: 1000 + k,
+                rows,
+                cols: big_cols,
+                duration: Some(400_000),
+                deadline: Some(t + 5_000_000),
+            }),
+        );
+        t += 300_000;
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_time_order_stably() {
+        let mut trace = Trace::new("t");
+        let arr = |id| {
+            TraceEvent::Arrival(Arrival {
+                id,
+                rows: 2,
+                cols: 2,
+                duration: None,
+                deadline: None,
+            })
+        };
+        trace.push(100, arr(0));
+        trace.push(50, arr(1));
+        trace.push(100, arr(2));
+        let times: Vec<Micros> = trace.events().iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![50, 100, 100]);
+        // Equal timestamps keep insertion order: 0 before 2.
+        let ids: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::Arrival(a) => Some(a.id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn scenarios_generate_deterministic_in_seed() {
+        for s in Scenario::ALL {
+            let a = s.trace(Part::Xcv50, 7);
+            let b = s.trace(Part::Xcv50, 7);
+            assert_eq!(a, b, "{s}");
+            assert!(a.arrivals() > 0, "{s}");
+            assert!(
+                a.events().windows(2).all(|w| w[0].at <= w[1].at),
+                "{s} sorted"
+            );
+            // Every request fits on the part.
+            for e in a.events() {
+                if let TraceEvent::Arrival(arr) = e.event {
+                    assert!(arr.rows <= Part::Xcv50.clb_rows(), "{s}: {arr}");
+                    assert!(arr.cols <= Part::Xcv50.clb_cols(), "{s}: {arr}");
+                }
+            }
+        }
+        let a = Scenario::Bursty.trace(Part::Xcv50, 1);
+        let b = Scenario::Bursty.trace(Part::Xcv50, 2);
+        assert_ne!(a, b, "seed must matter");
+    }
+
+    #[test]
+    fn from_workload_preserves_tasks() {
+        let tasks = WorkloadParams {
+            n_tasks: 10,
+            ..WorkloadParams::default()
+        }
+        .generate();
+        let trace = Trace::from_workload("w", &tasks);
+        assert_eq!(trace.arrivals(), 10);
+        for (e, t) in trace.events().iter().zip(&tasks) {
+            assert_eq!(e.at, t.arrival);
+            match e.event {
+                TraceEvent::Arrival(a) => {
+                    assert_eq!(a.id, t.id);
+                    assert_eq!(a.duration, Some(t.duration));
+                    assert_eq!(a.deadline, None);
+                }
+                _ => panic!("workload traces contain only arrivals"),
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_trace_has_departures_and_big_requests() {
+        let trace = Scenario::AdversarialFragmenter.trace(Part::Xcv50, 3);
+        let departures = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::Departure { .. }))
+            .count();
+        assert_eq!(departures, 4, "half of the 8 strips depart");
+        let strip_w = 3;
+        let biggest = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::Arrival(a) => Some(a.cols),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert!(biggest > strip_w, "big requests must exceed any single gap");
+    }
+}

@@ -1,0 +1,80 @@
+//! The runtime service loop end to end: replay all three canned trace
+//! scenarios against the live run-time manager and print the structured
+//! report of each.
+//!
+//! Functions arrive, are placed and routed for real, get relocated live
+//! when fragmentation crosses the threshold, and depart — the paper's
+//! on-line management story closed into one loop.
+//!
+//! ```sh
+//! cargo run --release --example service_loop
+//! ```
+
+use rtm_fpga::part::Part;
+use rtm_service::trace::Scenario;
+use rtm_service::{RuntimeService, ServiceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let part = Part::Xcv50;
+    let config = ServiceConfig::default()
+        .with_part(part)
+        .with_frag_threshold(0.5);
+    println!(
+        "device: {part} ({}x{} CLBs), defrag threshold {:.2}, policy {}\n",
+        part.clb_rows(),
+        part.clb_cols(),
+        config.frag_threshold,
+        config.policy,
+    );
+
+    for scenario in Scenario::ALL {
+        let trace = scenario.trace(part, 42);
+        println!(
+            "=== scenario '{scenario}' — {} events, {} arrivals ===",
+            trace.events().len(),
+            trace.arrivals()
+        );
+        // A fresh service per scenario: each starts on a blank device.
+        let mut service = RuntimeService::new(config);
+        let report = service.run(&trace)?;
+        println!("{report}\n");
+
+        if let Some(worst) = report
+            .frag_timeline
+            .iter()
+            .max_by(|a, b| {
+                a.metrics
+                    .fragmentation()
+                    .total_cmp(&b.metrics.fragmentation())
+            })
+            .filter(|s| s.metrics.fragmentation() > 0.0)
+        {
+            println!(
+                "  worst instant: t={:.1} ms — {}",
+                worst.at as f64 / 1000.0,
+                worst.metrics
+            );
+        }
+        for cycle in &report.defrags {
+            println!(
+                "  defrag @ t={:.1} ms: {} moves, {} CLBs, {} frames, \
+                 frag {:.3} -> {:.3}",
+                cycle.at as f64 / 1000.0,
+                cycle.moves,
+                cycle.cells_moved,
+                cycle.frames,
+                cycle.before.fragmentation(),
+                cycle.after.fragmentation(),
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "All three scenarios served by the same loop: admission through the\n\
+         scheduler's policy, real loads on the device, threshold-triggered\n\
+         defragmentation executed with dynamic relocation — zero halt time\n\
+         for the moved functions."
+    );
+    Ok(())
+}

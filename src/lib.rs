@@ -13,6 +13,8 @@
 //! * [`sched`] — on-line spatial/temporal task scheduling
 //! * [`core`] — the paper's contribution: dynamic relocation + run-time
 //!   manager
+//! * [`service`] — the runtime service loop: trace-driven workloads
+//!   closed over the manager, with threshold-triggered defragmentation
 //!
 //! ## Quickstart
 //!
@@ -27,4 +29,5 @@ pub use rtm_jtag as jtag;
 pub use rtm_netlist as netlist;
 pub use rtm_place as place;
 pub use rtm_sched as sched;
+pub use rtm_service as service;
 pub use rtm_sim as sim;
