@@ -24,4 +24,7 @@ cargo test --workspace -q --doc
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
+echo "==> example smoke: fleet_loop (3 scenarios x 4 routing policies on a 3-device fleet)"
+cargo run --release --example fleet_loop > /dev/null
+
 echo "CI OK"

@@ -1,0 +1,77 @@
+//! fleet_loop — the multi-device fleet under its trace scenarios,
+//! swept over device counts × routing policies.
+//!
+//! Where `service_loop` drives one device, this harness drives the
+//! sharding layer: every scenario is offered at ~(N+1)/N of the fleet's
+//! capacity (N+1 staggered scenario copies over N devices) so the
+//! routing decision is load-bearing. Reported per scenario/fleet/policy:
+//! fleet admission rate, retries, defrag cycles, relocation traffic and
+//! the peak fleet fragmentation.
+
+use rtm_fleet::routing::standard_policies;
+use rtm_fleet::{FleetConfig, FleetService};
+use rtm_fpga::part::Part;
+use rtm_service::trace::{Scenario, Trace};
+use rtm_service::ServiceConfig;
+
+fn fleet_trace(scenario: Scenario, copies: u64, seed: u64, stagger: u64) -> Trace {
+    let traces: Vec<Trace> = (0..copies)
+        .map(|k| scenario.trace(Part::Xcv50, seed + 100 * k))
+        .collect();
+    Trace::merged(format!("{scenario}-x{copies}"), &traces, 1 << 32, stagger)
+}
+
+fn main() {
+    let seed = 42;
+    println!("fleet_loop: trace-driven fleet, device-count x routing-policy sweep");
+    println!(
+        "{:<24} {:>7} {:>16} {:>9} {:>7} {:>7} {:>8} {:>11} {:>10}",
+        "scenario",
+        "devices",
+        "policy",
+        "admitted",
+        "retry",
+        "defrag",
+        "moves",
+        "reconf ms",
+        "peak frag"
+    );
+    println!("{}", "-".repeat(108));
+    for scenario in Scenario::ALL {
+        for n_devices in [2usize, 3] {
+            // Two XCV50s, plus an XCV100 in the three-device fleet.
+            let mut parts = vec![Part::Xcv50; 2];
+            if n_devices == 3 {
+                parts.push(Part::Xcv100);
+            }
+            let trace = fleet_trace(scenario, n_devices as u64 + 1, seed, 170_000);
+            for policy in standard_policies() {
+                let name = policy.name();
+                let config = FleetConfig::heterogeneous(&parts, ServiceConfig::default());
+                let mut fleet = FleetService::new(config, policy);
+                let report = fleet.run(&trace).expect("fleet loop stays up");
+                println!(
+                    "{:<24} {:>7} {:>16} {:>6}/{:<3} {:>6} {:>7} {:>8} {:>11.1} {:>10.3}",
+                    scenario.name(),
+                    n_devices,
+                    name,
+                    report.admitted(),
+                    report.submitted,
+                    report.retries,
+                    report.defrag_cycles(),
+                    report.function_moves(),
+                    report.reconfig_ms(),
+                    report.peak_worst_frag(),
+                );
+            }
+        }
+    }
+    println!();
+    println!(
+        "Expected shape: round-robin pays for its blindness on the adversarial\n\
+         trace (queued/deadline-starved requests on comb-fragmented devices);\n\
+         the informed policies trade a little preview work for strictly more\n\
+         admissions, and frag-aware routing buys the lowest relocation bill at\n\
+         equal admission rates."
+    );
+}

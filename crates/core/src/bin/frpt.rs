@@ -30,7 +30,6 @@ use rtm_fpga::part::Part;
 use rtm_netlist::itc99;
 use rtm_netlist::random::RandomCircuit;
 use rtm_netlist::techmap::map_to_luts;
-use rtm_place::defrag;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -197,33 +196,28 @@ fn cmd_reloc(
 }
 
 fn cmd_defrag(mgr: &mut RunTimeManager, cost_model: &CostModel) -> Result<(), String> {
-    // Plan a full compaction over the current layout and execute it with
-    // live relocations.
-    let before = mgr.fragmentation();
-    let tasks: Vec<(FunctionId, Rect)> = mgr.functions().map(|(id, f)| (id, f.region)).collect();
-    let mut scratch = rtm_place::TaskArena::new(mgr.device().bounds());
-    for (id, r) in &tasks {
-        scratch.allocate_at(*id, *r).map_err(|e| e.to_string())?;
+    // The manager plans the compaction and refuses cycles whose
+    // predicted improvement is zero — no relocation traffic for a
+    // fragmentation index that would not move.
+    let report = mgr.defragment(|_, _, _| {}).map_err(|e| e.to_string())?;
+    if report.moves.is_empty() {
+        println!(
+            "defrag: nothing to do (fragmentation {:.3}; compaction would not improve it)",
+            report.before.fragmentation()
+        );
+        return Ok(());
     }
-    let moves = defrag::compact(&mut scratch);
-    let mut total_ms = 0.0;
-    let n = moves.len();
-    for mv in moves {
-        let reports = mgr
-            .relocate_function(mv.id, mv.to, |_, _, _| {})
-            .map_err(|e| e.to_string())?;
-        total_ms += reports
-            .iter()
-            .map(|r| cost_model.relocation_cost(mgr.device().part(), r).millis())
-            .sum::<f64>();
-    }
-    let after = mgr.fragmentation();
+    let total_ms: f64 = report
+        .relocations
+        .iter()
+        .map(|r| cost_model.relocation_cost(mgr.device().part(), r).millis())
+        .sum();
     println!(
         "defrag: {} function moves, {:.1} ms; fragmentation {:.3} -> {:.3}",
-        n,
+        report.moves.len(),
         total_ms,
-        before.fragmentation(),
-        after.fragmentation()
+        report.before.fragmentation(),
+        report.after.fragmentation()
     );
     Ok(())
 }

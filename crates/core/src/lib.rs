@@ -61,6 +61,7 @@ pub mod verify;
 
 pub use error::CoreError;
 pub use manager::{
-    DefragReport, FunctionId, LoadReport, LoadedFunction, ManagerStatus, RunTimeManager,
+    AdmissionPreview, DefragReport, FunctionId, LoadReport, LoadedFunction, ManagerStatus,
+    RunTimeManager,
 };
 pub use relocation::{RelocationClass, RelocationReport, StepKind};

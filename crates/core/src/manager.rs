@@ -17,7 +17,7 @@ use rtm_fpga::part::Part;
 use rtm_fpga::Device;
 use rtm_netlist::techmap::MappedNetlist;
 use rtm_place::alloc::Strategy;
-use rtm_place::defrag::{make_room, plan_compaction, Move};
+use rtm_place::defrag::{make_room, plan_compaction, predict_metrics, Move};
 use rtm_place::frag::FragMetrics;
 use rtm_place::TaskArena;
 use rtm_sim::design::{implement_reserved, PlacedDesign};
@@ -61,6 +61,28 @@ impl LoadReport {
     }
 
     /// CLBs of running logic that were relocated to make room.
+    pub fn cells_moved(&self) -> u32 {
+        self.moves.iter().map(Move::cells_moved).sum()
+    }
+}
+
+/// The non-mutating preview returned by
+/// [`RunTimeManager::preview_admission`]: what loading a function of the
+/// requested shape would do to this device.
+#[derive(Debug, Clone)]
+pub struct AdmissionPreview {
+    /// Rearrangement moves the load would execute first (empty if the
+    /// request fits as-is).
+    pub moves: Vec<Move>,
+    /// The region the allocator would hand the function.
+    pub region: Rect,
+    /// Predicted fragmentation metrics after rearrangement *and*
+    /// placement.
+    pub after: FragMetrics,
+}
+
+impl AdmissionPreview {
+    /// CLBs of running logic the rearrangement would relocate.
     pub fn cells_moved(&self) -> u32 {
         self.moves.iter().map(Move::cells_moved).sum()
     }
@@ -182,10 +204,54 @@ impl RunTimeManager {
         make_room(&self.arena, rows, cols)
     }
 
-    /// Plans — without executing anything — the full compaction that
-    /// [`RunTimeManager::defragment`] would run.
+    /// Plans — without executing anything — the raw ordered compaction.
+    /// [`RunTimeManager::defragment`] additionally refuses to execute a
+    /// plan whose predicted improvement is zero; use
+    /// [`RunTimeManager::predicted_defrag_gain`] for the net effect.
     pub fn plan_defrag(&self) -> Vec<Move> {
         plan_compaction(&self.arena)
+    }
+
+    /// Predicted drop of the fragmentation index if
+    /// [`RunTimeManager::defragment`] ran now (zero when the cycle would
+    /// be skipped as useless). Lets a service — or a fleet router
+    /// choosing which device most deserves a cycle — rank devices by how
+    /// much a compaction would actually buy.
+    pub fn predicted_defrag_gain(&self) -> f64 {
+        let moves = plan_compaction(&self.arena);
+        if moves.is_empty() {
+            return 0.0;
+        }
+        let predicted = predict_metrics(&self.arena, &moves);
+        (self.fragmentation().fragmentation() - predicted.fragmentation()).max(0.0)
+    }
+
+    /// Previews — without executing anything — the full admission of a
+    /// `rows`×`cols` function: the rearrangement [`RunTimeManager::load`]
+    /// would execute, the region the allocator would then hand out, and
+    /// the fragmentation metrics the device would be left with. `None`
+    /// when even compaction cannot make room.
+    ///
+    /// This is the cross-device routing primitive: a fleet-level router
+    /// can ask every device "what would admitting this cost you and what
+    /// state would it leave you in" and pick the device whose
+    /// post-placement fragmentation is lowest.
+    pub fn preview_admission(&self, rows: u16, cols: u16) -> Option<AdmissionPreview> {
+        let moves = make_room(&self.arena, rows, cols)?;
+        let mut scratch = self.arena.clone();
+        for mv in &moves {
+            scratch.relocate(mv.id, mv.to).ok()?;
+        }
+        // An id no real function can hold: the preview allocation exists
+        // only on the scratch copy.
+        let region = scratch
+            .allocate(FunctionId::MAX, rows, cols, self.strategy)
+            .ok()?;
+        Some(AdmissionPreview {
+            moves,
+            region,
+            after: scratch.fragmentation(),
+        })
     }
 
     /// Runs a full defragmentation cycle: plans an ordered compaction
@@ -204,11 +270,17 @@ impl RunTimeManager {
     ) -> Result<DefragReport, CoreError> {
         let before = self.fragmentation();
         let moves = plan_compaction(&self.arena);
-        if moves.is_empty() {
-            // Already compact (or incompressible): no device traffic,
-            // no checkpoint.
+        // Execute only plans predicted to lower the fragmentation index.
+        // Ordered compaction always packs leftward, and on some layouts
+        // (the bursty trace showed 0.549 -> 0.549) that moves running
+        // functions without growing the largest free rectangle — pure
+        // reconfiguration traffic for nothing. Skipped cycles cause no
+        // device traffic and no checkpoint.
+        let useless = !moves.is_empty()
+            && predict_metrics(&self.arena, &moves).fragmentation() >= before.fragmentation();
+        if moves.is_empty() || useless {
             return Ok(DefragReport {
-                moves,
+                moves: Vec::new(),
                 relocations: Vec::new(),
                 before,
                 after: before,
@@ -269,6 +341,12 @@ impl RunTimeManager {
             let reports = self.relocate_function_inner(mv.id, mv.to, &mut observer)?;
             relocations.extend(reports);
         }
+        if !plan.is_empty() {
+            // The executed moves are durable state even if the load
+            // itself fails below: checkpoint them so a failure rollback
+            // keeps the configuration consistent with the bookkeeping.
+            self.checkpoint();
+        }
 
         let id = self.next_id;
         let region = self.arena.allocate(id, rows, cols, self.strategy)?;
@@ -276,7 +354,22 @@ impl RunTimeManager {
         // are not region-bounded): reserve them so the router cannot
         // bridge nets.
         let reserved = self.foreign_nodes(None);
-        let placed = implement_reserved(&mut self.dev, design, region, &reserved)?;
+        let placed = match implement_reserved(&mut self.dev, design, region, &reserved) {
+            Ok(placed) => placed,
+            Err(e) => {
+                // A failed implementation leaves partly configured
+                // cells and partly routed nets behind. Undo both sides:
+                // release the area reservation (an orphaned arena task
+                // would poison every later compaction plan) and restore
+                // the last configuration checkpoint — the paper's
+                // recovery copy doing exactly its job.
+                self.arena
+                    .release(id)
+                    .expect("region was allocated just above");
+                self.recover()?;
+                return Err(e.into());
+            }
+        };
         self.functions.insert(
             id,
             LoadedFunction {
@@ -584,6 +677,26 @@ mod tests {
     }
 
     #[test]
+    fn failed_load_leaves_no_orphan_state() {
+        let mut mgr = RunTimeManager::new(Part::Xcv50);
+        // Far more LUTs than a 2x2 region can hold: placement fails
+        // after the region was reserved.
+        let big = map_to_luts(&RandomCircuit::free_running(4, 30, 77).generate()).unwrap();
+        assert!(mgr.load(&big, 2, 2, |_, _, _| {}).is_err());
+        // The failure must not leak the area reservation (an orphaned
+        // arena task would poison every later compaction plan and crash
+        // `defragment`) nor any partial configuration.
+        assert_eq!(mgr.fragmentation().utilisation(), 0.0);
+        assert!(mgr.device().used_in(mgr.device().bounds()).is_empty());
+        // The manager keeps working normally.
+        mgr.defragment(|_, _, _| {}).unwrap();
+        let d = small_design(1);
+        let r = mgr.load(&d, 8, 8, |_, _, _| {}).unwrap();
+        mgr.unload(r.id).unwrap();
+        assert_eq!(mgr.functions().count(), 0);
+    }
+
+    #[test]
     fn unknown_function_errors() {
         let mut mgr = RunTimeManager::new(Part::Xcv200);
         assert!(mgr.unload(42).is_err());
@@ -713,6 +826,55 @@ mod tests {
         assert_eq!(report.after.fragmentation(), 0.0, "one free rectangle");
         // Both functions still resident, regions disjoint.
         assert_eq!(mgr.functions().count(), 2);
+    }
+
+    #[test]
+    fn defragment_skips_cycles_with_no_predicted_improvement() {
+        let mut mgr = RunTimeManager::new(Part::Xcv50); // 16x24
+        let a = mgr.load(&small_design(20), 16, 4, |_, _, _| {}).unwrap();
+        let b = mgr.load(&small_design(21), 16, 8, |_, _, _| {}).unwrap();
+        mgr.relocate_function(a.id, Rect::new(ClbCoord::new(0, 0), 16, 4), |_, _, _| {})
+            .unwrap();
+        mgr.relocate_function(b.id, Rect::new(ClbCoord::new(0, 16), 16, 8), |_, _, _| {})
+            .unwrap();
+        // Free space (cols 4-15) is already one rectangle, yet ordered
+        // compaction still wants to slide b leftward: 128 CLBs of
+        // relocation traffic with zero predicted improvement.
+        let before = mgr.fragmentation();
+        assert_eq!(before.fragmentation(), 0.0);
+        assert!(!mgr.plan_defrag().is_empty(), "left-pack plans a move");
+        assert_eq!(mgr.predicted_defrag_gain(), 0.0);
+
+        let report = mgr.defragment(|_, _, _| {}).unwrap();
+        assert!(report.moves.is_empty(), "useless cycle must be skipped");
+        assert!(report.relocations.is_empty());
+        assert_eq!(report.before, report.after);
+        // Nothing moved on the device.
+        assert_eq!(mgr.function(b.id).unwrap().region.origin.col, 16);
+    }
+
+    #[test]
+    fn preview_admission_predicts_without_mutating() {
+        let mut mgr = RunTimeManager::new(Part::Xcv50);
+        let r = mgr.load(&small_design(14), 16, 6, |_, _, _| {}).unwrap();
+        mgr.relocate_function(r.id, Rect::new(ClbCoord::new(0, 9), 16, 6), |_, _, _| {})
+            .unwrap();
+        // A 16x12 request needs the stranded function out of the middle.
+        let p = mgr.preview_admission(16, 12).expect("satisfiable");
+        assert!(!p.moves.is_empty());
+        assert!(p.cells_moved() > 0);
+        assert_eq!((p.region.rows, p.region.cols), (16, 12));
+        assert!(
+            p.after.utilisation() > mgr.fragmentation().utilisation(),
+            "prediction includes the incoming function"
+        );
+        // Nothing actually happened.
+        assert_eq!(mgr.function(r.id).unwrap().region.origin.col, 9);
+        assert_eq!(mgr.functions().count(), 1);
+        // A fitting request previews with an empty plan; an impossible
+        // one with None.
+        assert!(mgr.preview_admission(4, 4).unwrap().moves.is_empty());
+        assert!(mgr.preview_admission(16, 24).is_none());
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Fleet configuration: the shard list and the fleet-level trigger.
+
+use rtm_fpga::part::Part;
+use rtm_service::ServiceConfig;
+
+/// Configuration of a [`FleetService`](crate::FleetService): one
+/// [`ServiceConfig`] per shard (each with its own device part,
+/// allocation strategy, queue order and defragmentation threshold) plus
+/// the fleet-level defragmentation trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Per-shard service configurations. Order defines shard indices.
+    pub shards: Vec<ServiceConfig>,
+    /// Fleet-level defragmentation trigger: when the *mean*
+    /// fragmentation index across all devices exceeds this threshold
+    /// after an event, one cycle is forced on the device with the
+    /// highest predicted improvement — even if that device's own
+    /// threshold was not crossed. Set above `1.0` to disable.
+    pub fleet_frag_threshold: f64,
+}
+
+impl FleetConfig {
+    /// A fleet of `n` identical shards.
+    pub fn homogeneous(n: usize, shard: ServiceConfig) -> Self {
+        FleetConfig {
+            shards: vec![shard; n],
+            fleet_frag_threshold: 2.0,
+        }
+    }
+
+    /// A fleet with one shard per part, all sharing `template` for
+    /// everything but the device.
+    pub fn heterogeneous(parts: &[Part], template: ServiceConfig) -> Self {
+        FleetConfig {
+            shards: parts.iter().map(|p| template.with_part(*p)).collect(),
+            fleet_frag_threshold: 2.0,
+        }
+    }
+
+    /// Replaces the fleet-level defragmentation threshold.
+    pub fn with_fleet_threshold(mut self, threshold: f64) -> Self {
+        self.fleet_frag_threshold = threshold;
+        self
+    }
+
+    /// Adds one more shard.
+    pub fn with_shard(mut self, shard: ServiceConfig) -> Self {
+        self.shards.push(shard);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let c = FleetConfig::homogeneous(3, ServiceConfig::default());
+        assert_eq!(c.shards.len(), 3);
+        assert!(c.fleet_frag_threshold > 1.0, "disabled by default");
+
+        let h = FleetConfig::heterogeneous(
+            &[Part::Xcv50, Part::Xcv200],
+            ServiceConfig::default().with_frag_threshold(0.4),
+        )
+        .with_fleet_threshold(0.6)
+        .with_shard(ServiceConfig::default().with_part(Part::Xcv100));
+        assert_eq!(h.shards.len(), 3);
+        assert_eq!(h.shards[0].part, Part::Xcv50);
+        assert_eq!(h.shards[1].part, Part::Xcv200);
+        assert_eq!(h.shards[2].part, Part::Xcv100);
+        assert_eq!(h.shards[0].frag_threshold, 0.4, "template propagates");
+        assert_eq!(h.fleet_frag_threshold, 0.6);
+    }
+}

@@ -1,0 +1,338 @@
+//! The fleet service: one shared clock, N devices, one router.
+
+use crate::config::FleetConfig;
+use crate::report::{FleetReport, FleetSample, ShardOutcome};
+use crate::routing::RoutingPolicy;
+use rtm_core::CoreError;
+use rtm_sched::task::Micros;
+use rtm_service::trace::{Arrival, Trace, TraceEvent};
+use rtm_service::{OfferOutcome, RuntimeService, ServiceReport};
+use std::collections::BTreeMap;
+
+/// Per-run bookkeeping (reports are per run; shard state persists).
+struct RunState {
+    reports: Vec<ServiceReport>,
+    routed: Vec<usize>,
+    submitted: usize,
+    unplaceable: usize,
+    retries: usize,
+    fleet_defrags: usize,
+    timeline: Vec<FleetSample>,
+}
+
+/// The multi-device runtime service: owns N per-device
+/// [`RuntimeService`] shards (heterogeneous parts allowed) and replays
+/// a [`Trace`] across all of them under one shared clock. Arrivals are
+/// routed by the [`RoutingPolicy`]; if the chosen device cannot place a
+/// request right now the fleet retries the next-ranked device before
+/// queueing it on the best one. Departures and residency expirations
+/// are delivered to the shard that owns the function. On top of each
+/// shard's own defragmentation threshold, a fleet-level trigger
+/// ([`FleetConfig::fleet_frag_threshold`]) forces a cycle on the device
+/// with the highest predicted gain.
+///
+/// Like the single-device service, fleet state persists across
+/// [`FleetService::run`] calls: a second trace continues from the
+/// device states the first one left behind.
+///
+/// # Examples
+///
+/// ```
+/// use rtm_fleet::{FleetConfig, FleetService, routing::RoundRobin};
+/// use rtm_service::ServiceConfig;
+/// use rtm_service::trace::{Arrival, Trace, TraceEvent};
+///
+/// let config = FleetConfig::homogeneous(2, ServiceConfig::default());
+/// let mut fleet = FleetService::new(config, Box::new(RoundRobin::default()));
+///
+/// let mut trace = Trace::new("two");
+/// for id in 0..2 {
+///     trace.push(id * 1_000, TraceEvent::Arrival(Arrival {
+///         id, rows: 6, cols: 6, duration: None, deadline: None,
+///     }));
+/// }
+/// let report = fleet.run(&trace).unwrap();
+/// assert_eq!(report.admitted(), 2);
+/// // Round-robin spread the two functions over the two devices.
+/// assert_eq!(fleet.shards()[0].resident_count(), 1);
+/// assert_eq!(fleet.shards()[1].resident_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FleetService {
+    config: FleetConfig,
+    policy: Box<dyn RoutingPolicy>,
+    shards: Vec<RuntimeService>,
+    /// Trace id → shard index that hosts (or last hosted) the id.
+    owner: BTreeMap<u64, usize>,
+    now: Micros,
+}
+
+impl FleetService {
+    /// A fleet of blank devices described by `config`, routed by
+    /// `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is empty.
+    pub fn new(config: FleetConfig, policy: Box<dyn RoutingPolicy>) -> Self {
+        assert!(
+            !config.shards.is_empty(),
+            "a fleet needs at least one device"
+        );
+        let shards = config
+            .shards
+            .iter()
+            .map(|c| RuntimeService::new(*c))
+            .collect();
+        FleetService {
+            config,
+            policy,
+            shards,
+            owner: BTreeMap::new(),
+            now: 0,
+        }
+    }
+
+    /// The per-device shards (read-only).
+    pub fn shards(&self) -> &[RuntimeService] {
+        &self.shards
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The routing policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Current simulated time (µs).
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Ids the router currently tracks (resident or queued functions;
+    /// stale entries are pruned on departure and at the end of every
+    /// run, so this stays bounded by live work, not traffic history).
+    pub fn tracked_ids(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Mean and worst per-device fragmentation index right now.
+    pub fn frag_summary(&self) -> (f64, f64) {
+        let mut sum = 0.0;
+        let mut worst = 0.0f64;
+        for s in &self.shards {
+            let frag = s.manager().fragmentation().fragmentation();
+            sum += frag;
+            worst = worst.max(frag);
+        }
+        (sum / self.shards.len() as f64, worst)
+    }
+
+    /// Replays `trace` to completion across the fleet and returns the
+    /// aggregated report. Event processing mirrors the single-device
+    /// [`RuntimeService::run`] loop — clock to the next event or
+    /// residency expiration, depart, route arrivals, settle every
+    /// shard — with the routing and fleet-trigger decisions layered on
+    /// top.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] only for invariant-corrupting failures
+    /// (a failed unload or defragmentation on some shard); per-request
+    /// failures are absorbed into the owning shard's report.
+    pub fn run(&mut self, trace: &Trace) -> Result<FleetReport, CoreError> {
+        let n = self.shards.len();
+        let mut st = RunState {
+            reports: (0..n)
+                .map(|i| ServiceReport::new(format!("{}#{i}", trace.name())))
+                .collect(),
+            routed: vec![0; n],
+            submitted: 0,
+            unplaceable: 0,
+            retries: 0,
+            fleet_defrags: 0,
+            timeline: Vec::new(),
+        };
+
+        let events = trace.events();
+        let mut idx = 0usize;
+        loop {
+            let next_trace = events.get(idx).map(|e| e.at);
+            let next_expiry = self
+                .shards
+                .iter()
+                .filter_map(RuntimeService::next_expiry)
+                .min();
+            let now = match (next_trace, next_expiry) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(e)) => e,
+                (Some(a), Some(e)) => a.min(e),
+            };
+            self.now = self.now.max(now);
+
+            // 1. Clock every shard forward; due residencies depart.
+            for (s, rep) in self.shards.iter_mut().zip(&mut st.reports) {
+                s.advance_to(now, rep)?;
+            }
+
+            // 2. Trace events at this instant, in stream order.
+            while idx < events.len() && events[idx].at <= now {
+                match events[idx].event {
+                    TraceEvent::Arrival(a) => self.route(events[idx].at, a, &mut st)?,
+                    TraceEvent::Departure { id } => {
+                        // Deliver to the owning shard; ids the router
+                        // never saw are ignored, matching the
+                        // single-device service.
+                        if let Some(&s) = self.owner.get(&id) {
+                            self.shards[s].depart(id, &mut st.reports[s])?;
+                            if !self.shards[s].holds(id) {
+                                self.owner.remove(&id);
+                            }
+                        }
+                    }
+                }
+                idx += 1;
+            }
+
+            // 3. Every shard serves its queue, samples fragmentation
+            //    and runs its own threshold-triggered defrag.
+            for (s, rep) in self.shards.iter_mut().zip(&mut st.reports) {
+                s.settle(rep)?;
+            }
+
+            // The timeline must show the state the fleet trigger saw,
+            // not only the post-cycle recovery.
+            let (mean, worst) = self.frag_summary();
+            st.timeline.push(FleetSample {
+                at: self.now,
+                mean,
+                worst,
+            });
+
+            // 4. Fleet-level trigger: when the mean index climbs past
+            //    the fleet threshold, force a cycle on the device where
+            //    it buys the most.
+            if mean > self.config.fleet_frag_threshold {
+                let best = (0..n)
+                    .map(|i| (i, self.shards[i].manager().predicted_defrag_gain()))
+                    .filter(|(_, gain)| *gain > 0.0)
+                    .max_by(|a, b| a.1.total_cmp(&b.1));
+                if let Some((i, _)) = best {
+                    if self.shards[i].defrag_now(&mut st.reports[i])? {
+                        st.fleet_defrags += 1;
+                        let (mean, worst) = self.frag_summary();
+                        st.timeline.push(FleetSample {
+                            at: self.now,
+                            mean,
+                            worst,
+                        });
+                    }
+                }
+            }
+        }
+
+        for (s, rep) in self.shards.iter_mut().zip(&mut st.reports) {
+            s.finish(rep);
+        }
+        // Functions that expired inside the run left the router's
+        // tracking map behind; sweep it so a long-lived fleet does not
+        // accumulate one stale entry per id ever routed.
+        let shards_ref = &self.shards;
+        self.owner.retain(|id, s| shards_ref[*s].holds(*id));
+        let shards = self
+            .shards
+            .iter()
+            .zip(st.reports)
+            .zip(st.routed)
+            .map(|((s, report), routed)| ShardOutcome {
+                part: s.part(),
+                routed,
+                report,
+            })
+            .collect();
+        Ok(FleetReport {
+            trace_name: trace.name().to_string(),
+            policy: self.policy.name().to_string(),
+            submitted: st.submitted,
+            unplaceable: st.unplaceable,
+            retries: st.retries,
+            fleet_defrags: st.fleet_defrags,
+            shards,
+            timeline: st.timeline,
+        })
+    }
+
+    /// Routes one arrival: rank, offer down the ranking (cross-device
+    /// retry), queue on the best-ranked device if nobody can place it
+    /// now, or reject it as unplaceable if no device could ever hold
+    /// it.
+    ///
+    /// A [`OfferOutcome::Dropped`] (synthesis or load failure) consumes
+    /// the request on the shard that recorded it rather than retrying
+    /// elsewhere: synthesis failures are deterministic per request (the
+    /// same design would fail on every shard), and retrying a
+    /// device-specific load failure on a sibling would double-account
+    /// the request across shard reports, breaking the exact
+    /// `submitted = Σ shard_submitted + unplaceable` identity the
+    /// [`FleetReport`] guarantees.
+    fn route(&mut self, at: Micros, a: Arrival, st: &mut RunState) -> Result<(), CoreError> {
+        st.submitted += 1;
+
+        // An id the fleet already holds must be judged by its owning
+        // shard (whose duplicate refusal or queue bookkeeping applies),
+        // not shipped to a sibling that would happily admit a twin.
+        if let Some(&s) = self.owner.get(&a.id) {
+            if self.shards[s].holds(a.id) {
+                let part = self.shards[s].part();
+                if a.rows <= part.clb_rows() && a.cols <= part.clb_cols() {
+                    self.shards[s].enqueue(at, a, &mut st.reports[s]);
+                    st.routed[s] += 1;
+                } else {
+                    // A duplicate whose shape the owning device cannot
+                    // even hold would sit at that queue's head forever
+                    // (a blocked head blocks the queue): reject it
+                    // outright instead.
+                    st.unplaceable += 1;
+                }
+                return Ok(());
+            }
+            // The id departed long ago: drop the stale tracking entry
+            // and route the reused id like any fresh arrival.
+            self.owner.remove(&a.id);
+        }
+
+        let ranking = self.policy.rank(&a, &self.shards);
+        if ranking.is_empty() {
+            st.unplaceable += 1;
+            return Ok(());
+        }
+        for (attempt, &s) in ranking.iter().enumerate() {
+            match self.shards[s].offer(at, a, &mut st.reports[s])? {
+                OfferOutcome::Admitted => {
+                    if attempt > 0 {
+                        st.retries += 1;
+                    }
+                    self.owner.insert(a.id, s);
+                    st.routed[s] += 1;
+                    return Ok(());
+                }
+                OfferOutcome::Dropped => {
+                    st.routed[s] += 1;
+                    return Ok(());
+                }
+                OfferOutcome::NoRoom => {}
+            }
+        }
+        // Nobody can place it right now: wait on the preferred device.
+        let s = ranking[0];
+        self.shards[s].enqueue(at, a, &mut st.reports[s]);
+        self.owner.insert(a.id, s);
+        st.routed[s] += 1;
+        Ok(())
+    }
+}

@@ -1,0 +1,74 @@
+//! # rtm-fleet
+//!
+//! The multi-device sharding layer: where `rtm-service` closes the
+//! paper's on-line management story for *one* device, this crate scales
+//! it out to a fleet. A [`FleetService`] owns N per-device
+//! [`RuntimeService`](rtm_service::RuntimeService) shards (heterogeneous
+//! device sizes allowed) and replays one [`Trace`](rtm_service::Trace)
+//! across all of them under a shared clock. The decision this layer
+//! adds — *which device gets this function* — is a first-class policy
+//! ([`RoutingPolicy`]) exactly as in the surrounding literature: QoS
+//! driven function allocation (Ullmann et al.) and scalable FPGA
+//! resource-management layers both put a cross-device allocator above
+//! the per-device placer.
+//!
+//! What the fleet does per arrival:
+//!
+//! 1. the [`RoutingPolicy`] ranks every device that could physically
+//!    hold the request (round-robin, least-utilized,
+//!    best-fit-by-free-contiguous-area, or fragmentation-aware via the
+//!    non-mutating
+//!    [`preview_admission`](rtm_core::RunTimeManager::preview_admission));
+//! 2. the fleet offers the request to each ranked device in turn —
+//!    **cross-device retry** — admitting on the first that takes it;
+//! 3. if nobody can place it right now, the request queues on the
+//!    best-ranked device (served later in that shard's
+//!    [`QueueOrder`](rtm_service::QueueOrder));
+//! 4. requests no device can ever hold are counted
+//!    [`FleetReport::unplaceable`] and dropped, never queued.
+//!
+//! Each shard keeps its own defragmentation threshold; on top of that a
+//! fleet-level trigger ([`FleetConfig::fleet_frag_threshold`]) forces a
+//! cycle on the device with the highest predicted gain when the *mean*
+//! fragmentation index across the fleet climbs too high. The outcome of
+//! a run is a [`FleetReport`]: per-device
+//! [`ServiceReport`](rtm_service::ServiceReport)s plus fleet-wide
+//! admission totals, retry/unplaceable counts and a fragmentation
+//! timeline.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtm_fleet::{FleetConfig, FleetService, routing::BestFitContiguous};
+//! use rtm_fpga::part::Part;
+//! use rtm_service::ServiceConfig;
+//! use rtm_service::trace::{Arrival, Trace, TraceEvent};
+//!
+//! // Two small devices and a big one.
+//! let config = FleetConfig::heterogeneous(
+//!     &[Part::Xcv50, Part::Xcv50, Part::Xcv200],
+//!     ServiceConfig::default(),
+//! );
+//! let mut fleet = FleetService::new(config, Box::new(BestFitContiguous));
+//!
+//! // A request too big for an XCV50 routes to the XCV200.
+//! let mut trace = Trace::new("sized-routing");
+//! trace.push(0, TraceEvent::Arrival(Arrival {
+//!     id: 0, rows: 24, cols: 30, duration: None, deadline: None,
+//! }));
+//! let report = fleet.run(&trace).unwrap();
+//! assert_eq!(report.admitted(), 1);
+//! assert_eq!(fleet.shards()[2].resident_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fleet;
+pub mod report;
+pub mod routing;
+
+pub use config::FleetConfig;
+pub use fleet::FleetService;
+pub use report::{FleetReport, FleetSample, ShardOutcome};
+pub use routing::{standard_policies, RoutingPolicy};

@@ -1,0 +1,275 @@
+//! The aggregated outcome of one fleet run.
+
+use rtm_fpga::part::Part;
+use rtm_sched::task::Micros;
+use rtm_service::ServiceReport;
+use std::fmt;
+
+/// One shard's share of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutcome {
+    /// The shard's device part.
+    pub part: Part,
+    /// Requests this shard ended up hosting (admitted, dropped or
+    /// queued here) — the routing decision count.
+    pub routed: usize,
+    /// The shard's full per-device report.
+    pub report: ServiceReport,
+}
+
+/// One sample of the fleet-wide fragmentation timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSample {
+    /// Simulated time of the sample (µs).
+    pub at: Micros,
+    /// Mean fragmentation index across all devices.
+    pub mean: f64,
+    /// Worst per-device fragmentation index.
+    pub worst: f64,
+}
+
+/// Everything one [`FleetService::run`](crate::FleetService::run)
+/// produced: the per-device [`ServiceReport`]s plus the fleet-level
+/// counters no single device can see — routing retries, unplaceable
+/// rejections, fleet-triggered defragmentation cycles and the
+/// fleet-wide fragmentation timeline. All per-request totals roll up
+/// exactly: [`FleetReport::submitted`] equals the shard reports'
+/// `submitted` sum plus [`FleetReport::unplaceable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// The trace that was replayed.
+    pub trace_name: String,
+    /// The routing policy that made the placement decisions.
+    pub policy: String,
+    /// Arrival events seen at the fleet entrance.
+    pub submitted: usize,
+    /// Requests no device of the fleet could ever hold (shape exceeds
+    /// every part): rejected at routing time, never queued.
+    pub unplaceable: usize,
+    /// Admissions that succeeded on a retry device after the
+    /// first-ranked device could not place the request.
+    pub retries: usize,
+    /// Defragmentation cycles forced by the *fleet-level* trigger (on
+    /// top of the per-device threshold cycles counted in the shard
+    /// reports).
+    pub fleet_defrags: usize,
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ShardOutcome>,
+    /// Fleet-wide fragmentation sampled after every processed instant.
+    pub timeline: Vec<FleetSample>,
+}
+
+impl FleetReport {
+    fn sum(&self, f: impl Fn(&ServiceReport) -> usize) -> usize {
+        self.shards.iter().map(|s| f(&s.report)).sum()
+    }
+
+    /// Requests the shards accepted responsibility for (sums the shard
+    /// reports; equals [`FleetReport::submitted`] −
+    /// [`FleetReport::unplaceable`]).
+    pub fn shard_submitted(&self) -> usize {
+        self.sum(|r| r.submitted)
+    }
+
+    /// Functions admitted fleet-wide.
+    pub fn admitted(&self) -> usize {
+        self.sum(|r| r.admitted)
+    }
+
+    /// Admissions that fitted without moving anything.
+    pub fn immediate(&self) -> usize {
+        self.sum(|r| r.immediate)
+    }
+
+    /// Requests dropped because their deadline passed.
+    pub fn rejected_deadline(&self) -> usize {
+        self.sum(|r| r.rejected_deadline)
+    }
+
+    /// Per-request load/synthesis/duplicate failures.
+    pub fn failures(&self) -> usize {
+        self.sum(|r| r.failures)
+    }
+
+    /// Requests cancelled by the trace while queued.
+    pub fn cancelled(&self) -> usize {
+        self.sum(|r| r.cancelled)
+    }
+
+    /// Functions unloaded fleet-wide.
+    pub fn departures(&self) -> usize {
+        self.sum(|r| r.departures)
+    }
+
+    /// Requests still queued when the run ended.
+    pub fn queued_at_end(&self) -> usize {
+        self.sum(|r| r.queued_at_end)
+    }
+
+    /// Functions still resident when the run ended.
+    pub fn resident_at_end(&self) -> usize {
+        self.sum(|r| r.resident_at_end)
+    }
+
+    /// Defragmentation cycles executed fleet-wide (per-device threshold
+    /// cycles plus fleet-triggered ones — the latter also appear in the
+    /// owning shard's report, so this is simply the shard sum).
+    pub fn defrag_cycles(&self) -> usize {
+        self.sum(|r| r.defrag_cycles)
+    }
+
+    /// Whole-function moves executed fleet-wide.
+    pub fn function_moves(&self) -> usize {
+        self.sum(|r| r.function_moves)
+    }
+
+    /// CLBs of running logic relocated fleet-wide.
+    pub fn cells_moved(&self) -> u64 {
+        self.shards.iter().map(|s| s.report.cells_moved).sum()
+    }
+
+    /// Configuration frames written by relocations fleet-wide.
+    pub fn frames_written(&self) -> u64 {
+        self.shards.iter().map(|s| s.report.frames_written).sum()
+    }
+
+    /// Reconfiguration wall time of all relocation traffic (ms).
+    pub fn reconfig_ms(&self) -> f64 {
+        self.shards.iter().map(|s| s.report.reconfig_ms).sum()
+    }
+
+    /// Fraction of submitted requests admitted fleet-wide (unplaceable
+    /// requests count against the fleet — they were submitted to it).
+    pub fn admission_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.admitted() as f64 / self.submitted as f64
+        }
+    }
+
+    /// Highest mean fragmentation index on the timeline.
+    pub fn peak_mean_frag(&self) -> f64 {
+        self.timeline.iter().map(|s| s.mean).fold(0.0, f64::max)
+    }
+
+    /// Highest single-device fragmentation index on the timeline.
+    pub fn peak_worst_frag(&self) -> f64 {
+        self.timeline.iter().map(|s| s.worst).fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet report — trace '{}' via '{}' over {} devices",
+            self.trace_name,
+            self.policy,
+            self.shards.len()
+        )?;
+        writeln!(
+            f,
+            "  admissions : {}/{} (rate {:.3}), {} via retry, {} unplaceable",
+            self.admitted(),
+            self.submitted,
+            self.admission_rate(),
+            self.retries,
+            self.unplaceable,
+        )?;
+        writeln!(
+            f,
+            "  rejections : {} deadline, {} failed, {} cancelled, {} queued at end",
+            self.rejected_deadline(),
+            self.failures(),
+            self.cancelled(),
+            self.queued_at_end(),
+        )?;
+        writeln!(
+            f,
+            "  relocation : {} defrag cycles ({} fleet-triggered), {} moves, {} CLBs, \
+             {} frames, {:.1} ms",
+            self.defrag_cycles(),
+            self.fleet_defrags,
+            self.function_moves(),
+            self.cells_moved(),
+            self.frames_written(),
+            self.reconfig_ms(),
+        )?;
+        writeln!(
+            f,
+            "  frag       : peak mean {:.3}, peak worst {:.3}",
+            self.peak_mean_frag(),
+            self.peak_worst_frag()
+        )?;
+        for (i, s) in self.shards.iter().enumerate() {
+            writeln!(
+                f,
+                "  [{}] {:<8}: routed {:>3}, admitted {:>3}/{:<3}, {} defrags, \
+                 final frag {:.3}",
+                i,
+                s.part.to_string(),
+                s.routed,
+                s.report.admitted,
+                s.report.submitted,
+                s.report.defrag_cycles,
+                s.report
+                    .final_frag
+                    .map(|m| m.fragmentation())
+                    .unwrap_or(0.0),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(part: Part, submitted: usize, admitted: usize) -> ShardOutcome {
+        let mut report = ServiceReport::new("s");
+        report.submitted = submitted;
+        report.admitted = admitted;
+        ShardOutcome {
+            part,
+            routed: submitted,
+            report,
+        }
+    }
+
+    #[test]
+    fn totals_roll_up() {
+        let r = FleetReport {
+            trace_name: "t".into(),
+            policy: "round-robin".into(),
+            submitted: 11,
+            unplaceable: 1,
+            retries: 2,
+            fleet_defrags: 0,
+            shards: vec![shard(Part::Xcv50, 6, 5), shard(Part::Xcv100, 4, 4)],
+            timeline: vec![
+                FleetSample {
+                    at: 0,
+                    mean: 0.2,
+                    worst: 0.4,
+                },
+                FleetSample {
+                    at: 10,
+                    mean: 0.3,
+                    worst: 0.6,
+                },
+            ],
+        };
+        assert_eq!(r.shard_submitted(), 10);
+        assert_eq!(r.shard_submitted() + r.unplaceable, r.submitted);
+        assert_eq!(r.admitted(), 9);
+        assert!((r.admission_rate() - 9.0 / 11.0).abs() < 1e-9);
+        assert_eq!(r.peak_mean_frag(), 0.3);
+        assert_eq!(r.peak_worst_frag(), 0.6);
+        let shown = r.to_string();
+        assert!(shown.contains("9/11"), "{shown}");
+        assert!(shown.contains("round-robin"), "{shown}");
+        assert!(shown.contains("[1] XCV100"), "{shown}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Cross-device placement policies: which shard gets this function.
+//!
+//! A [`RoutingPolicy`] ranks the devices that could physically hold an
+//! arriving request; the fleet then *offers* the request to each ranked
+//! device in turn (cross-device retry) and queues it on the best-ranked
+//! one if nobody can place it right now. Policies read shard state
+//! through the read-only surface of [`RuntimeService`] — fragmentation
+//! metrics, queue depth, and the non-mutating
+//! [`preview_admission`](rtm_core::RunTimeManager::preview_admission)
+//! planner for the fragmentation-aware policy.
+
+use rtm_service::trace::Arrival;
+use rtm_service::RuntimeService;
+use std::fmt;
+
+/// A cross-device placement policy.
+///
+/// `rank` returns shard indices best-first; the fleet tries them in
+/// order. Returning an empty ranking declares the request unplaceable
+/// on every device of the fleet (the provided [`eligible`] helper
+/// encodes the only hard constraint: the request's shape must fit the
+/// device).
+pub trait RoutingPolicy: fmt::Debug {
+    /// The policy's name (reported in the
+    /// [`FleetReport`](crate::FleetReport)).
+    fn name(&self) -> &'static str;
+
+    /// Ranks the shards that could hold `arrival`, best first.
+    fn rank(&mut self, arrival: &Arrival, shards: &[RuntimeService]) -> Vec<usize>;
+}
+
+/// Shard indices whose device can physically hold `arrival` (its shape
+/// fits the part), in index order — the candidate set every policy
+/// ranks. A request eligible nowhere must be rejected, never queued.
+pub fn eligible(arrival: &Arrival, shards: &[RuntimeService]) -> Vec<usize> {
+    shards
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| arrival.rows <= s.part().clb_rows() && arrival.cols <= s.part().clb_cols())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// State-blind rotation over the eligible devices: each decision starts
+/// one device later than the previous one. The classic load-spreading
+/// baseline every informed policy has to beat.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoutingPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn rank(&mut self, arrival: &Arrival, shards: &[RuntimeService]) -> Vec<usize> {
+        let elig = eligible(arrival, shards);
+        if elig.is_empty() {
+            return elig;
+        }
+        let start = self.next % elig.len();
+        self.next = self.next.wrapping_add(1);
+        let mut ranked = Vec::with_capacity(elig.len());
+        ranked.extend_from_slice(&elig[start..]);
+        ranked.extend_from_slice(&elig[..start]);
+        ranked
+    }
+}
+
+/// Prefer the device with the lowest CLB utilisation (ties: shorter
+/// wait queue, then lower index). Balances *load*, not geometry: a
+/// lightly-used device may still be too fragmented for a big request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastUtilized;
+
+impl RoutingPolicy for LeastUtilized {
+    fn name(&self) -> &'static str {
+        "least-utilized"
+    }
+
+    fn rank(&mut self, arrival: &Arrival, shards: &[RuntimeService]) -> Vec<usize> {
+        let mut elig = eligible(arrival, shards);
+        elig.sort_by(|&a, &b| {
+            let (sa, sb) = (&shards[a], &shards[b]);
+            sa.manager()
+                .fragmentation()
+                .utilisation()
+                .total_cmp(&sb.manager().fragmentation().utilisation())
+                .then(sa.queue_len().cmp(&sb.queue_len()))
+                .then(a.cmp(&b))
+        });
+        elig
+    }
+}
+
+/// Best fit by free contiguous area: among devices whose largest free
+/// rectangle already holds the request, pick the *tightest* one —
+/// preserving the big holes of the other devices for big requests.
+/// Devices that would need rearrangement first go last, closest-to-
+/// fitting first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFitContiguous;
+
+impl RoutingPolicy for BestFitContiguous {
+    fn name(&self) -> &'static str {
+        "best-fit-area"
+    }
+
+    fn rank(&mut self, arrival: &Arrival, shards: &[RuntimeService]) -> Vec<usize> {
+        let area = arrival.area();
+        let mut elig = eligible(arrival, shards);
+        elig.sort_by_key(|&i| {
+            let largest = shards[i].manager().fragmentation().largest_rect;
+            if largest >= area {
+                // Tightest fitting hole first.
+                (0u8, largest, i)
+            } else {
+                // Needs rearrangement: closest to fitting first.
+                (1u8, u32::MAX - largest, i)
+            }
+        });
+        elig
+    }
+}
+
+/// Fragmentation-aware routing: ask every eligible device what
+/// admitting the request would do to it (the non-mutating
+/// [`preview_admission`](rtm_core::RunTimeManager::preview_admission)
+/// plan — rearrangement moves plus post-placement metrics) and prefer
+/// the device left with the lowest fragmentation index, breaking ties
+/// toward cheaper rearrangement. Devices that cannot admit right now
+/// even with compaction go last, least-fragmented first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FragAware;
+
+impl RoutingPolicy for FragAware {
+    fn name(&self) -> &'static str {
+        "frag-aware"
+    }
+
+    fn rank(&mut self, arrival: &Arrival, shards: &[RuntimeService]) -> Vec<usize> {
+        let elig = eligible(arrival, shards);
+        let mut keyed: Vec<(usize, Option<(f64, u32)>)> = elig
+            .into_iter()
+            .map(|i| {
+                let preview = shards[i]
+                    .manager()
+                    .preview_admission(arrival.rows, arrival.cols)
+                    .map(|p| (p.after.fragmentation(), p.cells_moved()));
+                (i, preview)
+            })
+            .collect();
+        keyed.sort_by(|(a, pa), (b, pb)| match (pa, pb) {
+            (Some((fa, ca)), Some((fb, cb))) => fa.total_cmp(fb).then(ca.cmp(cb)).then(a.cmp(b)),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => {
+                let (ma, mb) = (
+                    shards[*a].manager().fragmentation().fragmentation(),
+                    shards[*b].manager().fragmentation().fragmentation(),
+                );
+                ma.total_cmp(&mb).then(a.cmp(b))
+            }
+        });
+        keyed.into_iter().map(|(i, _)| i).collect()
+    }
+}
+
+/// The four standard policies, in sweep order: the state-blind baseline
+/// first, then increasingly informed ones.
+pub fn standard_policies() -> Vec<Box<dyn RoutingPolicy>> {
+    vec![
+        Box::new(RoundRobin::default()),
+        Box::new(LeastUtilized),
+        Box::new(BestFitContiguous),
+        Box::new(FragAware),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_fpga::part::Part;
+    use rtm_service::ServiceConfig;
+
+    fn arrival(rows: u16, cols: u16) -> Arrival {
+        Arrival {
+            id: 0,
+            rows,
+            cols,
+            duration: None,
+            deadline: None,
+        }
+    }
+
+    fn fleet(parts: &[Part]) -> Vec<RuntimeService> {
+        parts
+            .iter()
+            .map(|p| RuntimeService::new(ServiceConfig::default().with_part(*p)))
+            .collect()
+    }
+
+    #[test]
+    fn eligibility_excludes_too_small_devices() {
+        let shards = fleet(&[Part::Xcv50, Part::Xcv200]);
+        assert_eq!(eligible(&arrival(4, 4), &shards), vec![0, 1]);
+        // 20 rows exceed the XCV50's 16.
+        assert_eq!(eligible(&arrival(20, 10), &shards), vec![1]);
+        // 70 columns exceed everything.
+        assert!(eligible(&arrival(4, 70), &shards).is_empty());
+    }
+
+    #[test]
+    fn round_robin_rotates_over_eligible() {
+        let shards = fleet(&[Part::Xcv50, Part::Xcv50, Part::Xcv50]);
+        let mut rr = RoundRobin::default();
+        assert_eq!(rr.rank(&arrival(4, 4), &shards), vec![0, 1, 2]);
+        assert_eq!(rr.rank(&arrival(4, 4), &shards), vec![1, 2, 0]);
+        assert_eq!(rr.rank(&arrival(4, 4), &shards), vec![2, 0, 1]);
+        assert_eq!(rr.rank(&arrival(4, 4), &shards), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn least_utilized_prefers_emptier_devices() {
+        let mut shards = fleet(&[Part::Xcv50, Part::Xcv50]);
+        // Put load on shard 0.
+        let mut rep = rtm_service::ServiceReport::new("setup");
+        let a = arrival(8, 8);
+        let got = shards[0]
+            .offer(0, Arrival { id: 7, ..a }, &mut rep)
+            .unwrap();
+        assert_eq!(got, rtm_service::OfferOutcome::Admitted);
+        assert_eq!(
+            LeastUtilized.rank(&arrival(4, 4), &shards),
+            vec![1, 0],
+            "the empty device ranks first"
+        );
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_hole_and_frag_aware_ranks_cleanest() {
+        let mut shards = fleet(&[Part::Xcv50, Part::Xcv100]);
+        // Fill most of the XCV100 so its largest hole is smaller than
+        // the XCV50's blank 16x24.
+        let mut rep = rtm_service::ServiceReport::new("setup");
+        let got = shards[1]
+            .offer(
+                0,
+                Arrival {
+                    id: 9,
+                    ..arrival(20, 22)
+                },
+                &mut rep,
+            )
+            .unwrap();
+        assert_eq!(got, rtm_service::OfferOutcome::Admitted);
+        // XCV100 hole: 20x8 = 160 >= 16; XCV50 hole: 384. Tightest wins.
+        assert_eq!(BestFitContiguous.rank(&arrival(4, 4), &shards), vec![1, 0]);
+        // A request only the XCV50's hole satisfies flips the order.
+        assert_eq!(
+            BestFitContiguous.rank(&arrival(16, 12), &shards),
+            vec![0, 1]
+        );
+        // Frag-aware: placing 4x4 on the loaded XCV100 leaves a less
+        // fragmented *index* than splitting the XCV50's single free
+        // rectangle... whichever wins, the ranking must include both and
+        // put a device that needs no rearrangement first.
+        let ranked = FragAware.rank(&arrival(4, 4), &shards);
+        assert_eq!(ranked.len(), 2);
+    }
+
+    #[test]
+    fn standard_policies_cover_the_four_families() {
+        let names: Vec<&str> = standard_policies().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "round-robin",
+                "least-utilized",
+                "best-fit-area",
+                "frag-aware"
+            ]
+        );
+    }
+}

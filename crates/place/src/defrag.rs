@@ -16,6 +16,7 @@
 //! moves with dynamic relocation so the moved tasks never stop.
 
 use crate::arena::{TaskArena, TaskId};
+use crate::frag::FragMetrics;
 use rtm_fpga::geom::{ClbCoord, Rect};
 use std::fmt;
 
@@ -93,6 +94,42 @@ pub fn plan_cost(moves: &[Move]) -> PlanCost {
 pub fn plan_compaction(arena: &TaskArena) -> Vec<Move> {
     let mut scratch = arena.clone();
     compact(&mut scratch)
+}
+
+/// Predicts the fragmentation metrics `arena` would show after executing
+/// `moves` — computed on a scratch copy, the caller's arena is untouched.
+///
+/// This is how a run-time manager decides whether a planned cycle is
+/// worth its relocation traffic *before* moving anything: ordered
+/// compaction always packs tasks leftward, but on some layouts that
+/// shuffling never grows the largest free rectangle, so the predicted
+/// index equals the current one and the cycle should be skipped.
+///
+/// # Panics
+///
+/// Panics if `moves` is not executable on `arena` (the plan must come
+/// from this arena's planner, e.g. [`plan_compaction`] or [`make_room`]).
+///
+/// # Examples
+///
+/// ```
+/// use rtm_place::{TaskArena, defrag::{plan_compaction, predict_metrics}};
+/// use rtm_fpga::geom::{ClbCoord, Rect};
+///
+/// let mut arena = TaskArena::new(Rect::new(ClbCoord::new(0, 0), 8, 8));
+/// arena.allocate_at(1, Rect::new(ClbCoord::new(0, 5), 4, 2)).unwrap();
+/// let plan = plan_compaction(&arena);
+/// let predicted = predict_metrics(&arena, &plan);
+/// assert!(predicted.fragmentation() <= arena.fragmentation().fragmentation());
+/// ```
+pub fn predict_metrics(arena: &TaskArena, moves: &[Move]) -> FragMetrics {
+    let mut scratch = arena.clone();
+    for mv in moves {
+        scratch
+            .relocate(mv.id, mv.to)
+            .expect("predicted plan must be executable on its own arena");
+    }
+    scratch.fragmentation()
 }
 
 /// Ordered compaction: slides every task as far left (then up) as it can
@@ -250,6 +287,29 @@ mod tests {
         let executed = compact(&mut a);
         assert_eq!(plan, executed);
         assert_eq!(replay, a);
+    }
+
+    #[test]
+    fn predict_metrics_flags_useless_compaction() {
+        // Free space is already one rectangle (cols 2-3), yet ordered
+        // compaction still plans to slide task 2 leftward: the plan is
+        // non-empty but cannot improve the fragmentation index.
+        let mut a = arena_8x8();
+        a.allocate_at(1, Rect::new(ClbCoord::new(0, 0), 8, 2))
+            .unwrap();
+        a.allocate_at(2, Rect::new(ClbCoord::new(0, 4), 8, 4))
+            .unwrap();
+        let before = a.fragmentation();
+        assert_eq!(before.fragmentation(), 0.0, "one free rectangle");
+        let plan = plan_compaction(&a);
+        assert!(!plan.is_empty(), "left-pack still wants to move task 2");
+        let predicted = predict_metrics(&a, &plan);
+        assert_eq!(
+            predicted.fragmentation(),
+            before.fragmentation(),
+            "the cycle would move {} CLBs for nothing",
+            plan_cost(&plan).cells
+        );
     }
 
     #[test]

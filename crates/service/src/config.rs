@@ -5,6 +5,50 @@ use rtm_fpga::part::Part;
 use rtm_place::alloc::Strategy;
 use rtm_sched::policy::{Policy, BOUNDARY_SCAN_US_PER_CLB};
 use rtm_sched::task::Micros;
+use std::fmt;
+
+/// Order in which the wait queue is served.
+///
+/// Whatever the order, serving stops at the first request that cannot
+/// be placed — a blocked head blocks the queue — so each variant is a
+/// real scheduling discipline, not an opportunistic scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueOrder {
+    /// Arrival order (the [`Scheduler`](rtm_sched::Scheduler)'s
+    /// behaviour): perfectly fair, but one big blocked request starves
+    /// everything behind it.
+    Fifo,
+    /// Earliest start deadline first; deadline-free requests go last.
+    /// Raises admission rates when deadlines are tight and varied.
+    EarliestDeadline,
+    /// Smallest area first: small requests slip into gaps a big blocked
+    /// head would waste.
+    SmallestArea,
+}
+
+impl QueueOrder {
+    /// All orders, for sweeps.
+    pub const ALL: [QueueOrder; 3] = [
+        QueueOrder::Fifo,
+        QueueOrder::EarliestDeadline,
+        QueueOrder::SmallestArea,
+    ];
+
+    /// The order's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueueOrder::Fifo => "fifo",
+            QueueOrder::EarliestDeadline => "edf",
+            QueueOrder::SmallestArea => "smallest-area",
+        }
+    }
+}
+
+impl fmt::Display for QueueOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Configuration of a [`RuntimeService`](crate::RuntimeService).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,6 +62,8 @@ pub struct ServiceConfig {
     pub policy: Policy,
     /// Allocation strategy for incoming functions.
     pub strategy: Strategy,
+    /// Order in which the wait queue is served.
+    pub queue_order: QueueOrder,
     /// Defragmentation trigger: when the fragmentation index exceeds
     /// this threshold after an event, the service runs a compaction
     /// cycle with live relocation (see
@@ -41,6 +87,7 @@ impl Default for ServiceConfig {
             part: Part::Xcv50,
             policy: Policy::TransparentReloc,
             strategy: Strategy::BestFit,
+            queue_order: QueueOrder::Fifo,
             frag_threshold: 0.5,
             cost_model: CostModel::paper_default(),
             us_per_clb: BOUNDARY_SCAN_US_PER_CLB,
@@ -68,6 +115,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Replaces the queue-serving order.
+    pub fn with_queue_order(mut self, order: QueueOrder) -> Self {
+        self.queue_order = order;
+        self
+    }
+
     /// Replaces the defragmentation threshold.
     pub fn with_frag_threshold(mut self, threshold: f64) -> Self {
         self.frag_threshold = threshold;
@@ -91,12 +144,22 @@ mod tests {
             .with_part(Part::Xcv200)
             .with_policy(Policy::NoRearrange)
             .with_strategy(Strategy::FirstFit)
+            .with_queue_order(QueueOrder::EarliestDeadline)
             .with_frag_threshold(0.8)
             .with_move_cost(100);
         assert_eq!(c.part, Part::Xcv200);
         assert_eq!(c.policy, Policy::NoRearrange);
         assert_eq!(c.strategy, Strategy::FirstFit);
+        assert_eq!(c.queue_order, QueueOrder::EarliestDeadline);
         assert_eq!(c.frag_threshold, 0.8);
         assert_eq!(c.us_per_clb, 100);
+    }
+
+    #[test]
+    fn queue_order_names() {
+        assert_eq!(QueueOrder::ALL.len(), 3);
+        assert_eq!(QueueOrder::Fifo.to_string(), "fifo");
+        assert_eq!(QueueOrder::EarliestDeadline.to_string(), "edf");
+        assert_eq!(QueueOrder::SmallestArea.to_string(), "smallest-area");
     }
 }

@@ -56,7 +56,7 @@ pub mod report;
 pub mod service;
 pub mod trace;
 
-pub use config::ServiceConfig;
+pub use config::{QueueOrder, ServiceConfig};
 pub use report::ServiceReport;
-pub use service::RuntimeService;
+pub use service::{OfferOutcome, RuntimeService};
 pub use trace::{Scenario, Trace, TraceEvent};

@@ -1,10 +1,11 @@
 //! The runtime service loop: replay a trace against the live manager.
 
-use crate::config::ServiceConfig;
+use crate::config::{QueueOrder, ServiceConfig};
 use crate::report::{AdmissionRecord, DefragSummary, FragSample, ServiceReport};
 use crate::trace::{Arrival, Trace, TraceEvent};
 use rtm_core::manager::{FunctionId, RunTimeManager};
 use rtm_core::{CoreError, RelocationReport};
+use rtm_fpga::part::Part;
 use rtm_netlist::random::RandomCircuit;
 use rtm_netlist::techmap::{map_to_luts, MappedNetlist};
 use rtm_place::defrag::Move;
@@ -30,6 +31,21 @@ enum Attempt {
     NoRoom,
 }
 
+/// What became of one [`RuntimeService::offer`] — the immediate,
+/// queue-bypassing admission attempt a fleet router uses to probe
+/// devices before committing a request to one of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// Admitted and resident on this device.
+    Admitted,
+    /// Refused and accounted (duplicate id or load failure) — the
+    /// request is consumed, do not try it elsewhere.
+    Dropped,
+    /// Cannot be placed on this device right now; nothing was recorded,
+    /// the caller may try another device or queue it.
+    NoRoom,
+}
+
 /// The event-driven runtime service: the paper's on-line management
 /// story closed into a loop. Functions arrive through a [`Trace`], are
 /// admitted under an `rtm-sched` [`Policy`](rtm_sched::Policy), become
@@ -40,6 +56,14 @@ enum Attempt {
 /// State persists across [`RuntimeService::run`] calls — a service is
 /// long-running — so replaying a second trace continues from the
 /// device state the first one left behind.
+///
+/// [`RuntimeService::run`] owns the clock for a single device. A
+/// multi-device fleet drives the same machinery through the stepping
+/// API instead — [`RuntimeService::advance_to`],
+/// [`RuntimeService::offer`], [`RuntimeService::enqueue`],
+/// [`RuntimeService::depart`] and [`RuntimeService::settle`] — keeping
+/// one shared clock across all shards while each shard keeps its own
+/// queue, residency table and defragmentation trigger.
 ///
 /// # Examples
 ///
@@ -93,9 +117,37 @@ impl RuntimeService {
         &self.mgr
     }
 
+    /// The device part this service manages.
+    pub fn part(&self) -> Part {
+        self.config.part
+    }
+
     /// Current simulated time (µs).
     pub fn now(&self) -> Micros {
         self.now
+    }
+
+    /// Requests waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Functions currently resident.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True if this service holds `trace_id` — resident or waiting in
+    /// the queue. A fleet uses this to route duplicate arrivals to the
+    /// owning shard, so the shard-level duplicate refusal fires there.
+    pub fn holds(&self, trace_id: u64) -> bool {
+        self.resident.contains_key(&trace_id) || self.queue.iter().any(|q| q.arrival.id == trace_id)
+    }
+
+    /// The earliest known residency expiration, if any — the shard's
+    /// contribution to a fleet-wide event clock.
+    pub fn next_expiry(&self) -> Option<Micros> {
+        self.expiry.values().min().copied()
     }
 
     /// Replays `trace` to completion: every event is processed in time
@@ -116,89 +168,176 @@ impl RuntimeService {
         let mut idx = 0usize;
         loop {
             let next_trace = events.get(idx).map(|e| e.at);
-            let next_expiry = self.expiry.values().min().copied();
-            let now = match (next_trace, next_expiry) {
+            let now = match (next_trace, self.next_expiry()) {
                 (None, None) => break,
                 (Some(a), None) => a,
                 (None, Some(e)) => e,
                 (Some(a), Some(e)) => a.min(e),
             };
-            self.now = self.now.max(now);
-
-            // 1. Residencies that expired by now.
-            let due: Vec<u64> = self
-                .expiry
-                .iter()
-                .filter(|(_, t)| **t <= now)
-                .map(|(id, _)| *id)
-                .collect();
-            for id in due {
-                self.depart(id, &mut report)?;
-            }
+            // 1. Clock forward; residencies that expired by now depart.
+            self.advance_to(now, &mut report)?;
 
             // 2. Trace events at this instant, in stream order.
             while idx < events.len() && events[idx].at <= now {
                 match events[idx].event {
-                    TraceEvent::Arrival(a) => {
-                        report.submitted += 1;
-                        self.queue.push_back(Queued {
-                            arrival: a,
-                            queued_at: events[idx].at,
-                        });
-                    }
+                    TraceEvent::Arrival(a) => self.enqueue(events[idx].at, a, &mut report),
                     TraceEvent::Departure { id } => self.depart(id, &mut report)?,
                 }
                 idx += 1;
             }
 
-            // 3. Serve the queue (departures may have opened room).
-            self.serve_queue(&mut report)?;
-
-            // The timeline must show the state the trigger saw, not
-            // only the post-defrag recovery.
-            report.frag_timeline.push(FragSample {
-                at: self.now,
-                metrics: self.mgr.fragmentation(),
-            });
-
-            // 4. Defragmentation trigger. `defragment` plans once and
-            //    returns an empty no-traffic report when the layout is
-            //    already compact (or incompressible), so a layout stuck
-            //    above the threshold cannot cause thrash — only
-            //    executed cycles are recorded.
-            if self.mgr.fragmentation().exceeds(self.config.frag_threshold) {
-                let d = self.mgr.defragment(|_, _, _| {})?;
-                if !d.moves.is_empty() {
-                    report.defrag_cycles += 1;
-                    report.defrags.push(DefragSummary {
-                        at: self.now,
-                        before: d.before,
-                        after: d.after,
-                        moves: d.moves.len(),
-                        cells_moved: d.cells_moved(),
-                        frames: d.frames_total(),
-                    });
-                    self.account_moves(&d.moves, &d.relocations, &mut report);
-                    // Consolidated free space may admit queued requests.
-                    self.serve_queue(&mut report)?;
-                    report.frag_timeline.push(FragSample {
-                        at: self.now,
-                        metrics: self.mgr.fragmentation(),
-                    });
-                }
-            }
+            // 3. Serve the queue, sample fragmentation, defragment if
+            //    the trigger fires.
+            self.settle(&mut report)?;
         }
 
+        self.finish(&mut report);
+        Ok(report)
+    }
+
+    /// Advances the clock to `now` (monotonic: an earlier `now` is a
+    /// no-op) and departs every residency that expired by then.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from a failed unload.
+    pub fn advance_to(&mut self, now: Micros, report: &mut ServiceReport) -> Result<(), CoreError> {
+        self.now = self.now.max(now);
+        let due: Vec<u64> = self
+            .expiry
+            .iter()
+            .filter(|(_, t)| **t <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in due {
+            self.depart(id, report)?;
+        }
+        Ok(())
+    }
+
+    /// Queues an arrival that was submitted at `at` without attempting
+    /// admission yet — [`RuntimeService::settle`] (or the next
+    /// [`RuntimeService::run`] step) serves it in the configured
+    /// [`QueueOrder`]. Advances the clock to `at` so wait times and
+    /// residency expirations can never be computed against a stale
+    /// clock.
+    pub fn enqueue(&mut self, at: Micros, arrival: Arrival, report: &mut ServiceReport) {
+        self.now = self.now.max(at);
+        report.submitted += 1;
+        self.queue.push_back(Queued {
+            arrival,
+            queued_at: at,
+        });
+    }
+
+    /// Attempts to admit `arrival` right now, bypassing the queue: the
+    /// probe a fleet router sends to candidate devices. On
+    /// [`OfferOutcome::NoRoom`] nothing is recorded and the caller may
+    /// probe another device; the other outcomes consume the request and
+    /// account it on this shard. Advances the clock to `at` first, so
+    /// deadline feasibility, wait times and residency expirations are
+    /// all judged at the offer's own time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] only for invariant-corrupting failures,
+    /// exactly like [`RuntimeService::run`].
+    pub fn offer(
+        &mut self,
+        at: Micros,
+        arrival: Arrival,
+        report: &mut ServiceReport,
+    ) -> Result<OfferOutcome, CoreError> {
+        self.now = self.now.max(at);
+        let q = Queued {
+            arrival,
+            queued_at: at,
+        };
+        Ok(match self.try_admit(&q, report)? {
+            Attempt::NoRoom => OfferOutcome::NoRoom,
+            Attempt::Admitted => {
+                report.submitted += 1;
+                OfferOutcome::Admitted
+            }
+            Attempt::Dropped => {
+                report.submitted += 1;
+                OfferOutcome::Dropped
+            }
+        })
+    }
+
+    /// Serves the wait queue, samples the fragmentation timeline, and
+    /// runs a defragmentation cycle when the index exceeds the
+    /// configured threshold. One call per processed instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from a failed defragmentation.
+    pub fn settle(&mut self, report: &mut ServiceReport) -> Result<(), CoreError> {
+        self.serve_queue(report)?;
+
+        // The timeline must show the state the trigger saw, not
+        // only the post-defrag recovery.
+        report.frag_timeline.push(FragSample {
+            at: self.now,
+            metrics: self.mgr.fragmentation(),
+        });
+
+        if self.mgr.fragmentation().exceeds(self.config.frag_threshold) {
+            self.defrag_now(report)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one defragmentation cycle immediately, regardless of this
+    /// shard's own threshold — the fleet-level trigger. The manager
+    /// still refuses plans with no predicted improvement, so forcing a
+    /// cycle on an incompressible (or already compact) layout is a
+    /// recorded no-op. Returns whether a cycle actually executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from a failed relocation.
+    pub fn defrag_now(&mut self, report: &mut ServiceReport) -> Result<bool, CoreError> {
+        let d = self.mgr.defragment(|_, _, _| {})?;
+        if d.moves.is_empty() {
+            return Ok(false);
+        }
+        report.defrag_cycles += 1;
+        report.defrags.push(DefragSummary {
+            at: self.now,
+            before: d.before,
+            after: d.after,
+            moves: d.moves.len(),
+            cells_moved: d.cells_moved(),
+            frames: d.frames_total(),
+        });
+        self.account_moves(&d.moves, &d.relocations, report);
+        // Consolidated free space may admit queued requests.
+        self.serve_queue(report)?;
+        report.frag_timeline.push(FragSample {
+            at: self.now,
+            metrics: self.mgr.fragmentation(),
+        });
+        Ok(true)
+    }
+
+    /// Closes out a run: queue/residency tallies and the final
+    /// fragmentation snapshot.
+    pub fn finish(&mut self, report: &mut ServiceReport) {
         report.queued_at_end = self.queue.len();
         report.resident_at_end = self.resident.len();
         report.final_frag = Some(self.mgr.fragmentation());
-        Ok(report)
     }
 
     /// Unloads a resident function, or cancels a queued one (counted as
     /// [`ServiceReport::cancelled`]). Unknown ids are ignored (a trace
     /// may depart a function that was never admitted).
-    fn depart(&mut self, trace_id: u64, report: &mut ServiceReport) -> Result<(), CoreError> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from a failed unload.
+    pub fn depart(&mut self, trace_id: u64, report: &mut ServiceReport) -> Result<(), CoreError> {
         if let Some(fid) = self.resident.remove(&trace_id) {
             self.expiry.remove(&trace_id);
             self.mgr.unload(fid)?;
@@ -211,8 +350,11 @@ impl RuntimeService {
         Ok(())
     }
 
-    /// Serves the queue head-first (FIFO fairness): drops requests whose
-    /// deadline has passed, then admits until the head cannot be placed.
+    /// Serves the queue in the configured [`QueueOrder`]: drops requests
+    /// whose deadline has passed, orders the queue, then admits from the
+    /// head until it cannot be placed (a blocked head blocks the queue,
+    /// which is what makes each order a real scheduling discipline
+    /// rather than a scan).
     fn serve_queue(&mut self, report: &mut ServiceReport) -> Result<(), CoreError> {
         let now = self.now;
         self.queue.retain(|q| {
@@ -222,6 +364,17 @@ impl RuntimeService {
             }
             !overdue
         });
+        match self.config.queue_order {
+            QueueOrder::Fifo => {}
+            QueueOrder::EarliestDeadline => self
+                .queue
+                .make_contiguous()
+                .sort_by_key(|q| (q.arrival.deadline.unwrap_or(Micros::MAX), q.queued_at)),
+            QueueOrder::SmallestArea => self
+                .queue
+                .make_contiguous()
+                .sort_by_key(|q| (q.arrival.area(), q.queued_at)),
+        }
         while let Some(q) = self.queue.front().copied() {
             match self.try_admit(&q, report)? {
                 Attempt::NoRoom => break,

@@ -134,6 +134,74 @@ impl Trace {
             .count()
     }
 
+    /// Merges staggered copies of `traces` into one fleet-scale trace.
+    ///
+    /// Copy `k` keeps its internal event order, shifted `k * stagger`
+    /// microseconds later, with every id (arrivals *and* departures)
+    /// offset by `k * id_stride` so copies never collide, and absolute
+    /// deadlines shifted along with the arrival times. This is how a
+    /// multi-device workload is built from the single-device
+    /// [`Scenario`] generators: `n` copies of a scenario offer roughly
+    /// `n` devices' worth of load, with the phase offsets overlapping
+    /// each copy's burst/churn/departure phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `id_stride` exceeds the largest id used by any
+    /// input trace — a silent collision would make one copy's
+    /// departure unload another copy's function.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtm_fpga::part::Part;
+    /// use rtm_service::trace::{Scenario, Trace};
+    ///
+    /// let copies: Vec<Trace> = (0..3)
+    ///     .map(|k| Scenario::SteadyChurn.trace(Part::Xcv50, 42 + k))
+    ///     .collect();
+    /// let fleet = Trace::merged("churn-x3", &copies, 1 << 32, 100_000);
+    /// assert_eq!(fleet.arrivals(), copies.iter().map(Trace::arrivals).sum());
+    /// assert!(fleet.events().windows(2).all(|w| w[0].at <= w[1].at));
+    /// ```
+    pub fn merged(
+        name: impl Into<String>,
+        traces: &[Trace],
+        id_stride: u64,
+        stagger: Micros,
+    ) -> Self {
+        let max_id = traces
+            .iter()
+            .flat_map(|t| t.events())
+            .map(|e| match e.event {
+                TraceEvent::Arrival(a) => a.id,
+                TraceEvent::Departure { id } => id,
+            })
+            .max()
+            .unwrap_or(0);
+        assert!(
+            traces.len() <= 1 || id_stride > max_id,
+            "id_stride {id_stride} must exceed the largest input id {max_id}"
+        );
+        let mut out = Trace::new(name);
+        for (k, t) in traces.iter().enumerate() {
+            let dt = stagger * k as Micros;
+            let did = id_stride * k as u64;
+            for e in t.events() {
+                let event = match e.event {
+                    TraceEvent::Arrival(a) => TraceEvent::Arrival(Arrival {
+                        id: a.id + did,
+                        deadline: a.deadline.map(|d| d + dt),
+                        ..a
+                    }),
+                    TraceEvent::Departure { id } => TraceEvent::Departure { id: id + did },
+                };
+                out.push(e.at + dt, event);
+            }
+        }
+        out
+    }
+
     /// Converts a stochastic `rtm-sched` workload into a trace: every
     /// [`TaskSpec`] becomes an arrival with its duration and no
     /// deadline.
@@ -217,14 +285,21 @@ fn bursty(part: Part, seed: u64) -> Trace {
         for _ in 0..burst {
             let jitter: Micros = rng.gen_range(0..20_000);
             let at = t + jitter;
+            let rows = rng.gen_range((rows / 4).max(2)..=(rows / 2).max(3));
+            let cols = rng.gen_range((cols / 6).max(2)..=(cols / 3).max(3));
+            let duration = rng.gen_range(300_000..=900_000);
+            // Deadline tightness varies per request (interactive bursts
+            // mix latency-critical and patient work) — what makes
+            // deadline-aware queue orders differ from FIFO at all.
+            let slack: Micros = rng.gen_range(600_000..=3_000_000);
             trace.push(
                 at,
                 TraceEvent::Arrival(Arrival {
                     id,
-                    rows: rng.gen_range((rows / 4).max(2)..=(rows / 2).max(3)),
-                    cols: rng.gen_range((cols / 6).max(2)..=(cols / 3).max(3)),
-                    duration: Some(rng.gen_range(300_000..=900_000)),
-                    deadline: Some(at + 2_000_000),
+                    rows,
+                    cols,
+                    duration: Some(duration),
+                    deadline: Some(at + slack),
                 }),
             );
             id += 1;
@@ -357,6 +432,59 @@ mod tests {
         let a = Scenario::Bursty.trace(Part::Xcv50, 1);
         let b = Scenario::Bursty.trace(Part::Xcv50, 2);
         assert_ne!(a, b, "seed must matter");
+    }
+
+    #[test]
+    fn merged_offsets_ids_times_and_deadlines() {
+        let mut t = Trace::new("one");
+        t.push(
+            10,
+            TraceEvent::Arrival(Arrival {
+                id: 1,
+                rows: 2,
+                cols: 2,
+                duration: Some(100),
+                deadline: Some(500),
+            }),
+        );
+        t.push(20, TraceEvent::Departure { id: 1 });
+        let merged = Trace::merged("three", &[t.clone(), t.clone(), t], 1000, 7);
+        assert_eq!(merged.events().len(), 6);
+        assert_eq!(merged.arrivals(), 3);
+        assert!(merged.events().windows(2).all(|w| w[0].at <= w[1].at));
+        // Copy 2: times +14, ids +2000, deadline shifted with the copy.
+        let last_arrival = merged
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::Arrival(a) => Some((e.at, a)),
+                _ => None,
+            })
+            .next_back()
+            .unwrap();
+        assert_eq!(last_arrival.0, 24);
+        assert_eq!(last_arrival.1.id, 2001);
+        assert_eq!(last_arrival.1.deadline, Some(514));
+        assert_eq!(last_arrival.1.duration, Some(100), "durations are relative");
+    }
+
+    #[test]
+    #[should_panic(expected = "id_stride")]
+    fn merged_rejects_colliding_id_stride() {
+        let mut t = Trace::new("one");
+        t.push(
+            0,
+            TraceEvent::Arrival(Arrival {
+                id: 5,
+                rows: 2,
+                cols: 2,
+                duration: None,
+                deadline: None,
+            }),
+        );
+        // Stride 5 cannot separate ids up to 5: copy 0's id 5 would
+        // collide with copy 1's id 0.
+        let _ = Trace::merged("bad", &[t.clone(), t], 5, 0);
     }
 
     #[test]

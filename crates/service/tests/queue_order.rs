@@ -1,0 +1,96 @@
+//! Queue-order contract: serving the wait queue deadline- or size-aware
+//! must be able to beat FIFO admission rates — the reason `QueueOrder`
+//! exists. FIFO's failure mode is head-of-line blocking: one request
+//! that cannot be placed starves everything behind it until deadlines
+//! expire.
+
+use rtm_fpga::part::Part;
+use rtm_service::trace::{Arrival, Scenario, Trace, TraceEvent};
+use rtm_service::{QueueOrder, RuntimeService, ServiceConfig};
+
+fn run_with(order: QueueOrder, trace: &Trace) -> rtm_service::ServiceReport {
+    let config = ServiceConfig::default()
+        .with_part(Part::Xcv50)
+        .with_queue_order(order);
+    let mut service = RuntimeService::new(config);
+    service.run(trace).unwrap()
+}
+
+/// Staggered bursty copies on one XCV50 — enough contention that the
+/// queue stays populated with mixed deadline slacks. EDF admits
+/// strictly more than FIFO on the pinned seed (the margin holds across
+/// every seed 1..=14 at this load; one is pinned to keep the debug-mode
+/// test time reasonable): FIFO serves the oldest request first even
+/// when a tighter-deadline request behind it is about to expire.
+#[test]
+fn edf_beats_fifo_admission_rate_on_contended_bursty() {
+    for seed in [14u64] {
+        let copies: Vec<Trace> = (0..2)
+            .map(|k| Scenario::Bursty.trace(Part::Xcv50, seed + 100 * k))
+            .collect();
+        let trace = Trace::merged("bursty-x2", &copies, 1 << 32, 150_000);
+
+        let fifo = run_with(QueueOrder::Fifo, &trace);
+        let edf = run_with(QueueOrder::EarliestDeadline, &trace);
+
+        assert_eq!(fifo.submitted, edf.submitted, "same offered load");
+        assert!(
+            edf.admitted > fifo.admitted,
+            "seed {seed}: EDF must beat FIFO under contention \
+             (fifo {}/{}, edf {}/{})",
+            fifo.admitted,
+            fifo.submitted,
+            edf.admitted,
+            edf.submitted,
+        );
+        assert!(edf.admission_rate() > fifo.admission_rate());
+        // Every request is accounted under both orders.
+        for r in [&fifo, &edf] {
+            assert_eq!(
+                r.admitted + r.rejected_deadline + r.failures + r.cancelled + r.queued_at_end,
+                r.submitted,
+                "{r}"
+            );
+        }
+    }
+}
+
+/// Deterministic head-of-line blocking: the device is full, a big
+/// patient request arrives before a small deadline-bound one. FIFO lets
+/// the big head consume the space that opens and the small request's
+/// deadline expires; smallest-area-first slips the small one in, and the
+/// big one still gets admitted once the small one departs — one extra
+/// admission, nothing lost.
+#[test]
+fn smallest_area_first_fixes_head_of_line_blocking() {
+    let mut trace = Trace::new("hol-blocking");
+    let arr = |id, rows, cols, duration, deadline| {
+        TraceEvent::Arrival(Arrival {
+            id,
+            rows,
+            cols,
+            duration,
+            deadline,
+        })
+    };
+    // Two daemons fill the 16x24 device; the second expires at t=50ms.
+    trace.push(0, arr(0, 8, 24, None, None));
+    trace.push(0, arr(1, 8, 24, Some(50_000), None));
+    // A big patient request, then a small deadline-bound one.
+    trace.push(10_000, arr(2, 8, 24, Some(300_000), None));
+    trace.push(10_000, arr(3, 4, 4, Some(20_000), Some(80_000)));
+
+    let fifo = run_with(QueueOrder::Fifo, &trace);
+    assert_eq!(fifo.admitted, 3, "{fifo}");
+    assert_eq!(fifo.rejected_deadline, 1, "the 4x4 starved: {fifo}");
+
+    let saf = run_with(QueueOrder::SmallestArea, &trace);
+    assert_eq!(saf.admitted, 4, "small first, then the big one: {saf}");
+    assert_eq!(saf.rejected_deadline, 0, "{saf}");
+    assert!(saf.admission_rate() > fifo.admission_rate());
+
+    // The big request was only delayed, not displaced: it is admitted
+    // when the small one departs at t=70ms.
+    let big = saf.admissions.iter().find(|a| a.trace_id == 2).unwrap();
+    assert_eq!(big.at, 70_000, "{saf}");
+}

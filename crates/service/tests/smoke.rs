@@ -186,6 +186,35 @@ fn deadline_request_waits_for_cheaper_plan_instead_of_dropping() {
 }
 
 #[test]
+fn stepping_api_offer_synchronizes_the_clock() {
+    // The fleet drives shards through offer()/enqueue() directly; an
+    // offer ahead of the shard's clock must advance it, or wait times
+    // underflow and expiries are measured from a stale instant.
+    let mut service = RuntimeService::new(ServiceConfig::default());
+    let mut rep = rtm_service::ServiceReport::new("step");
+    let outcome = service
+        .offer(
+            1_000_000,
+            Arrival {
+                id: 0,
+                rows: 4,
+                cols: 4,
+                duration: Some(100_000),
+                deadline: None,
+            },
+            &mut rep,
+        )
+        .unwrap();
+    assert_eq!(outcome, rtm_service::OfferOutcome::Admitted);
+    assert_eq!(service.now(), 1_000_000, "offer advanced the clock");
+    assert_eq!(
+        service.next_expiry(),
+        Some(1_100_000),
+        "residency measured from the offer's own time"
+    );
+}
+
+#[test]
 fn bursty_and_churn_scenarios_run_clean() {
     for scenario in [Scenario::Bursty, Scenario::SteadyChurn] {
         let trace = scenario.trace(Part::Xcv50, 11);

@@ -15,6 +15,8 @@
 //!   manager
 //! * [`service`] — the runtime service loop: trace-driven workloads
 //!   closed over the manager, with threshold-triggered defragmentation
+//! * [`fleet`] — the multi-device sharding layer: cross-device routing
+//!   policies over per-device runtime services
 //!
 //! ## Quickstart
 //!
@@ -24,6 +26,7 @@
 
 pub use rtm_bitstream as bitstream;
 pub use rtm_core as core;
+pub use rtm_fleet as fleet;
 pub use rtm_fpga as fpga;
 pub use rtm_jtag as jtag;
 pub use rtm_netlist as netlist;
