@@ -27,4 +27,16 @@ cargo bench --workspace --no-run
 echo "==> example smoke: fleet_loop (3 scenarios x 4 routing policies on a 3-device fleet)"
 cargo run --release --example fleet_loop > /dev/null
 
+echo "==> perf gate: fleet_loop --baseline vs checked-in BENCH_fleet.json"
+# Deterministic counters (admissions, frames written, make_room passes,
+# plans reused, ...) are exact-match gated; wall time is printed in the
+# step output but never gated. Regenerate the baseline with:
+#   cargo run --release --example fleet_loop -- --baseline BENCH_fleet.json
+cargo run --release --example fleet_loop -- --baseline target/BENCH_fleet.json
+if ! diff -u BENCH_fleet.json target/BENCH_fleet.json; then
+  echo "perf counters drifted from BENCH_fleet.json — investigate, then"
+  echo "regenerate the baseline if the change is intentional."
+  exit 1
+fi
+
 echo "CI OK"

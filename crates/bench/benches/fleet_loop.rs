@@ -5,27 +5,37 @@
 //! sharding layer: every scenario is offered at ~(N+1)/N of the fleet's
 //! capacity (N+1 staggered scenario copies over N devices) so the
 //! routing decision is load-bearing. Reported per scenario/fleet/policy:
-//! fleet admission rate, retries, defrag cycles, relocation traffic and
-//! the peak fleet fragmentation.
+//! fleet admission rate, retries, defrag cycles, relocation traffic,
+//! planning passes (the plan-reuse pipeline's cost metric) and the peak
+//! fleet fragmentation.
+//!
+//! Two tiers:
+//!
+//! * the full scenario × policy matrix on small fleets (N = 2, 3);
+//! * the scale tier — N = 16 and N = 64 homogeneous fleets on the
+//!   adversarial scenario, state-blind round-robin vs the two-stage
+//!   frag-aware policy. Before the plan-reuse pipeline (epoch-cached
+//!   summaries, top-K previews, plan handoff) the frag-aware sweep at
+//!   these sizes previewed every device per arrival and re-planned
+//!   every admission twice; now its planning cost is flat per arrival,
+//!   which is what makes the N = 64 row finish at all.
 
-use rtm_fleet::routing::standard_policies;
+use rtm_fleet::routing::{standard_policies, FragAware, RoundRobin, RoutingPolicy};
 use rtm_fleet::{FleetConfig, FleetService};
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Scenario, Trace};
 use rtm_service::ServiceConfig;
+use std::time::Instant;
 
 fn fleet_trace(scenario: Scenario, copies: u64, seed: u64, stagger: u64) -> Trace {
-    let traces: Vec<Trace> = (0..copies)
-        .map(|k| scenario.trace(Part::Xcv50, seed + 100 * k))
-        .collect();
-    Trace::merged(format!("{scenario}-x{copies}"), &traces, 1 << 32, stagger)
+    // One definition for the fleet-scale workload (example, bench,
+    // tests, CI baseline all compare the same event stream).
+    scenario.fleet_trace(Part::Xcv50, copies, seed, stagger)
 }
 
-fn main() {
-    let seed = 42;
-    println!("fleet_loop: trace-driven fleet, device-count x routing-policy sweep");
+fn header() {
     println!(
-        "{:<24} {:>7} {:>16} {:>9} {:>7} {:>7} {:>8} {:>11} {:>10}",
+        "{:<24} {:>7} {:>16} {:>9} {:>7} {:>7} {:>8} {:>9} {:>8} {:>10} {:>9}",
         "scenario",
         "devices",
         "policy",
@@ -33,10 +43,43 @@ fn main() {
         "retry",
         "defrag",
         "moves",
-        "reconf ms",
-        "peak frag"
+        "planning",
+        "reused",
+        "peak frag",
+        "wall ms"
     );
-    println!("{}", "-".repeat(108));
+    println!("{}", "-".repeat(124));
+}
+
+fn run_row(scenario: Scenario, parts: &[Part], policy: Box<dyn RoutingPolicy>, trace: &Trace) {
+    let name = policy.name();
+    let config = FleetConfig::heterogeneous(parts, ServiceConfig::default());
+    let mut fleet = FleetService::new(config, policy);
+    let started = Instant::now();
+    let report = fleet.run(trace).expect("fleet loop stays up");
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = report.plan_stats();
+    println!(
+        "{:<24} {:>7} {:>16} {:>6}/{:<3} {:>6} {:>7} {:>8} {:>9} {:>8} {:>10.3} {:>9.0}",
+        scenario.name(),
+        parts.len(),
+        name,
+        report.admitted(),
+        report.submitted,
+        report.retries,
+        report.defrag_cycles(),
+        report.function_moves(),
+        stats.make_room_calls + stats.compaction_plans,
+        stats.plans_reused,
+        report.peak_worst_frag(),
+        wall_ms,
+    );
+}
+
+fn main() {
+    let seed = 42;
+    println!("fleet_loop: trace-driven fleet, device-count x routing-policy sweep");
+    header();
     for scenario in Scenario::ALL {
         for n_devices in [2usize, 3] {
             // Two XCV50s, plus an XCV100 in the three-device fleet.
@@ -46,32 +89,38 @@ fn main() {
             }
             let trace = fleet_trace(scenario, n_devices as u64 + 1, seed, 170_000);
             for policy in standard_policies() {
-                let name = policy.name();
-                let config = FleetConfig::heterogeneous(&parts, ServiceConfig::default());
-                let mut fleet = FleetService::new(config, policy);
-                let report = fleet.run(&trace).expect("fleet loop stays up");
-                println!(
-                    "{:<24} {:>7} {:>16} {:>6}/{:<3} {:>6} {:>7} {:>8} {:>11.1} {:>10.3}",
-                    scenario.name(),
-                    n_devices,
-                    name,
-                    report.admitted(),
-                    report.submitted,
-                    report.retries,
-                    report.defrag_cycles(),
-                    report.function_moves(),
-                    report.reconfig_ms(),
-                    report.peak_worst_frag(),
-                );
+                run_row(scenario, &parts, policy, &trace);
             }
         }
     }
+
+    println!();
+    println!("scale tier: adversarial scenario, homogeneous XCV50 fleets");
+    header();
+    for n_devices in [16usize, 64] {
+        let parts = vec![Part::Xcv50; n_devices];
+        let trace = fleet_trace(
+            Scenario::AdversarialFragmenter,
+            n_devices as u64 + 1,
+            seed,
+            170_000,
+        );
+        let policies: Vec<Box<dyn RoutingPolicy>> = vec![
+            Box::new(RoundRobin::default()),
+            Box::new(FragAware::default()),
+        ];
+        for policy in policies {
+            run_row(Scenario::AdversarialFragmenter, &parts, policy, &trace);
+        }
+    }
+
     println!();
     println!(
         "Expected shape: round-robin pays for its blindness on the adversarial\n\
          trace (queued/deadline-starved requests on comb-fragmented devices);\n\
          the informed policies trade a little preview work for strictly more\n\
-         admissions, and frag-aware routing buys the lowest relocation bill at\n\
-         equal admission rates."
+         admissions. On the scale tier, frag-aware's planning column stays\n\
+         proportional to arrivals (top-K previews, plans reused for every\n\
+         load), not to devices x arrivals — the plan-reuse pipeline's win."
     );
 }

@@ -97,7 +97,10 @@ fn run(args: &[String]) -> Result<(), String> {
             "move" => cmd_move(&mut mgr, &cost_model, &words)?,
             "reloc" => cmd_reloc(&mut mgr, &cost_model, &words)?,
             "defrag" => cmd_defrag(&mut mgr, &cost_model)?,
-            "status" => println!("{}", mgr.status()),
+            "status" => {
+                println!("{}", mgr.status());
+                println!("planning: {}", mgr.plan_stats());
+            }
             "recover" => {
                 let n = mgr.recover().map_err(|e| e.to_string())?;
                 println!("recovered {n} frames from checkpoint");
@@ -123,7 +126,10 @@ fn cmd_load(mgr: &mut RunTimeManager, words: &[&str]) -> Result<(), String> {
     let mapped = map_to_luts(&netlist).map_err(|e| e.to_string())?;
     let report = mgr
         .load(&mapped, rows, cols, |_, _, _| {})
-        .map_err(|e| e.to_string())?;
+        // The attributed reason (no-free-slots vs unroutable) is the
+        // routing-failure autopsy: area pressure and wiring congestion
+        // call for different fixes.
+        .map_err(|e| format!("load failed [{}]: {e}", e.load_failure_reason()))?;
     println!(
         "loaded {} as function {} at {} ({} cells){}",
         circuit,

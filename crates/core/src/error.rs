@@ -3,6 +3,41 @@
 use rtm_fpga::geom::ClbCoord;
 use std::fmt;
 
+/// Coarse, attributable reason a [`RunTimeManager::load`] failed — the
+/// routing-failure autopsy a service needs to tell congestion apart
+/// from capacity.
+///
+/// A load walks two phases that can fail for different reasons:
+/// placement (`implement_reserved` could not find cell slots inside the
+/// region, or no region existed at all) and routing (free slots
+/// existed, but a net could not be wired through the congested switch
+/// fabric). Absorbed per-request failures used to be a single opaque
+/// counter; classifying them tells an operator whether a fleet needs
+/// *bigger devices* or a *better router*.
+///
+/// [`RunTimeManager::load`]: crate::RunTimeManager::load
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadFailureReason {
+    /// Placement-side failure: no free region/cell slots could hold the
+    /// design (area pressure, not wiring).
+    NoFreeSlots,
+    /// Routing-side failure: cells placed, but a net was unroutable (or
+    /// its sink pin already claimed) through the shared fabric.
+    Unroutable,
+    /// Anything else (engine invariants, device errors).
+    Other,
+}
+
+impl fmt::Display for LoadFailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LoadFailureReason::NoFreeSlots => "no-free-slots",
+            LoadFailureReason::Unroutable => "unroutable",
+            LoadFailureReason::Other => "other",
+        })
+    }
+}
+
 /// Errors raised by the relocation engine and manager.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -52,6 +87,26 @@ pub enum CoreError {
     Place(rtm_place::PlaceError),
     /// An underlying bitstream error.
     Bitstream(rtm_bitstream::BitstreamError),
+}
+
+impl CoreError {
+    /// Classifies this error as a [`LoadFailureReason`] so a service
+    /// can attribute an absorbed load failure without matching on the
+    /// whole error tree.
+    pub fn load_failure_reason(&self) -> LoadFailureReason {
+        match self {
+            CoreError::Place(rtm_place::PlaceError::NoFit { .. })
+            | CoreError::Sim(rtm_sim::SimError::RegionTooSmall { .. })
+            | CoreError::Sim(rtm_sim::SimError::RegionOutOfBounds { .. }) => {
+                LoadFailureReason::NoFreeSlots
+            }
+            CoreError::Sim(rtm_sim::SimError::Unroutable { .. })
+            | CoreError::Sim(rtm_sim::SimError::SinkOccupied { .. }) => {
+                LoadFailureReason::Unroutable
+            }
+            _ => LoadFailureReason::Other,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -142,6 +197,46 @@ mod tests {
             CoreError::DesignMismatch { detail: "x".into() },
         ] {
             assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn load_failures_classify_by_phase() {
+        use rtm_fpga::routing::{RouteNode, Wire};
+        let r = rtm_fpga::geom::Rect::new(ClbCoord::new(0, 0), 2, 2);
+        let node = RouteNode::new(ClbCoord::new(0, 0), Wire::CellOut(0));
+        let no_slots: CoreError = rtm_place::PlaceError::NoFit { rows: 4, cols: 4 }.into();
+        assert_eq!(
+            no_slots.load_failure_reason(),
+            LoadFailureReason::NoFreeSlots
+        );
+        let too_small: CoreError = rtm_sim::SimError::RegionTooSmall {
+            cells: 9,
+            capacity: 4,
+            region: r,
+        }
+        .into();
+        assert_eq!(
+            too_small.load_failure_reason(),
+            LoadFailureReason::NoFreeSlots
+        );
+        let unroutable: CoreError = rtm_sim::SimError::Unroutable {
+            from: node,
+            to: node,
+        }
+        .into();
+        assert_eq!(
+            unroutable.load_failure_reason(),
+            LoadFailureReason::Unroutable
+        );
+        let other = CoreError::DesignMismatch { detail: "x".into() };
+        assert_eq!(other.load_failure_reason(), LoadFailureReason::Other);
+        for reason in [
+            LoadFailureReason::NoFreeSlots,
+            LoadFailureReason::Unroutable,
+            LoadFailureReason::Other,
+        ] {
+            assert!(!reason.to_string().is_empty());
         }
     }
 

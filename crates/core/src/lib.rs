@@ -59,9 +59,9 @@ pub mod manager;
 pub mod relocation;
 pub mod verify;
 
-pub use error::CoreError;
+pub use error::{CoreError, LoadFailureReason};
 pub use manager::{
-    AdmissionPreview, DefragReport, FunctionId, LoadReport, LoadedFunction, ManagerStatus,
-    RunTimeManager,
+    AdmissionPreview, DefragPlan, DefragReport, DeviceSummary, FunctionId, LoadReport,
+    LoadedFunction, ManagerStatus, PlanStats, RoomPlan, RunTimeManager,
 };
 pub use relocation::{RelocationClass, RelocationReport, StepKind};

@@ -22,6 +22,7 @@ use rtm_place::frag::FragMetrics;
 use rtm_place::TaskArena;
 use rtm_sim::design::{implement_reserved, PlacedDesign};
 use rtm_sim::place::CellLoc;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -66,14 +67,213 @@ impl LoadReport {
     }
 }
 
+/// Counters of the plan-reuse admission pipeline: how often the manager
+/// planned, how often callers handed a previously computed plan back
+/// for execution, and how the per-device summary cache behaved.
+///
+/// A frag-aware fleet admission historically ran `make_room` three
+/// times (routing preview, admission feasibility, load execution);
+/// these counters make the collapse to one planning pass — and any
+/// future regression — visible in reports and CI baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// `make_room` planning passes executed (previews, `plan_room`,
+    /// and internal re-planning on loads without a valid plan).
+    pub make_room_calls: u64,
+    /// Ordered-compaction planning passes (`plan_defrag`, defrag-gain
+    /// summaries, and internal re-planning inside `defragment`).
+    pub compaction_plans: u64,
+    /// [`RunTimeManager::preview_admission`] calls (each is also one
+    /// `make_room` pass).
+    pub previews: u64,
+    /// Caller-held plans executed as-is: the epoch stamp matched, so no
+    /// re-planning happened inside
+    /// [`RunTimeManager::load_with_plan`] /
+    /// [`RunTimeManager::defragment_with_plan`].
+    pub plans_reused: u64,
+    /// Caller-held plans rejected as stale (epoch mismatch) and
+    /// re-planned instead of executed.
+    pub plans_invalidated: u64,
+    /// [`RunTimeManager::summary`] calls answered from the epoch-keyed
+    /// cache.
+    pub summary_hits: u64,
+    /// [`RunTimeManager::summary`] calls that had to recompute.
+    pub summary_misses: u64,
+}
+
+impl PlanStats {
+    /// The counter movement since `base` (field-wise difference) — how
+    /// a service turns the manager's lifetime totals into per-run
+    /// deltas.
+    pub fn delta_since(self, base: PlanStats) -> PlanStats {
+        PlanStats {
+            make_room_calls: self.make_room_calls - base.make_room_calls,
+            compaction_plans: self.compaction_plans - base.compaction_plans,
+            previews: self.previews - base.previews,
+            plans_reused: self.plans_reused - base.plans_reused,
+            plans_invalidated: self.plans_invalidated - base.plans_invalidated,
+            summary_hits: self.summary_hits - base.summary_hits,
+            summary_misses: self.summary_misses - base.summary_misses,
+        }
+    }
+
+    /// Field-wise accumulation (fleet roll-up over shard reports).
+    pub fn merge(&mut self, other: PlanStats) {
+        self.make_room_calls += other.make_room_calls;
+        self.compaction_plans += other.compaction_plans;
+        self.previews += other.previews;
+        self.plans_reused += other.plans_reused;
+        self.plans_invalidated += other.plans_invalidated;
+        self.summary_hits += other.summary_hits;
+        self.summary_misses += other.summary_misses;
+    }
+}
+
+impl fmt::Display for PlanStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} make_room ({} previews), {} compactions, {} plans reused, \
+             {} invalidated, summary cache {}/{} hits",
+            self.make_room_calls,
+            self.previews,
+            self.compaction_plans,
+            self.plans_reused,
+            self.plans_invalidated,
+            self.summary_hits,
+            self.summary_hits + self.summary_misses,
+        )
+    }
+}
+
+/// A rearrangement plan stamped with the manager epoch — and the
+/// request shape — it was computed for.
+/// [`RunTimeManager::load_with_plan`] executes it without re-planning
+/// as long as both stamps still match — the heart of the plan-reuse
+/// admission pipeline. Fields are private so a plan can only come from
+/// this manager's own planner and its stamps cannot be forged; a plan
+/// handed back for a different shape is invalidated exactly like a
+/// stale one (its moves only make room for the shape it was planned
+/// for).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoomPlan {
+    epoch: u64,
+    rows: u16,
+    cols: u16,
+    moves: Vec<Move>,
+}
+
+impl RoomPlan {
+    /// The mutation epoch the plan was computed at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The request shape the plan makes room for.
+    pub fn shape(&self) -> (u16, u16) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the plan is executable as-is for a `rows`×`cols`
+    /// request on a manager at `epoch` (both stamps match).
+    fn valid_for(&self, epoch: u64, rows: u16, cols: u16) -> bool {
+        self.epoch == epoch && self.rows == rows && self.cols == cols
+    }
+
+    /// The planned moves (empty = the request fits as-is).
+    pub fn moves(&self) -> &[Move] {
+        &self.moves
+    }
+
+    /// True when no rearrangement is needed.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// CLBs of running logic the plan would relocate.
+    pub fn cells_moved(&self) -> u32 {
+        self.moves.iter().map(Move::cells_moved).sum()
+    }
+}
+
+/// An ordered-compaction plan stamped with its manager epoch, carrying
+/// the fragmentation metrics it was planned against and the metrics it
+/// predicts. [`RunTimeManager::defragment_with_plan`] executes it
+/// without re-planning while the stamp matches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefragPlan {
+    epoch: u64,
+    moves: Vec<Move>,
+    before: FragMetrics,
+    predicted: FragMetrics,
+}
+
+impl DefragPlan {
+    /// The mutation epoch the plan was computed at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The planned compaction moves.
+    pub fn moves(&self) -> &[Move] {
+        &self.moves
+    }
+
+    /// Fragmentation metrics at planning time.
+    pub fn before(&self) -> FragMetrics {
+        self.before
+    }
+
+    /// Predicted metrics after executing the plan.
+    pub fn predicted(&self) -> FragMetrics {
+        self.predicted
+    }
+
+    /// Predicted drop of the fragmentation index (zero when the plan is
+    /// empty or would not help).
+    pub fn predicted_gain(&self) -> f64 {
+        if self.moves.is_empty() {
+            return 0.0;
+        }
+        (self.before.fragmentation() - self.predicted.fragmentation()).max(0.0)
+    }
+
+    /// True when executing the plan is predicted to actually lower the
+    /// fragmentation index — the execution gate `defragment` applies.
+    pub fn is_worthwhile(&self) -> bool {
+        !self.moves.is_empty() && self.predicted.fragmentation() < self.before.fragmentation()
+    }
+}
+
+/// A cheap, cacheable snapshot of one device's state — what a fleet
+/// router reads per candidate before deciding which few devices deserve
+/// an expensive admission preview. Recomputed only when the manager's
+/// mutation epoch moves; [`PlanStats::summary_hits`] counts how often
+/// the cache answered. The predicted defragmentation gain is deliberately
+/// *not* part of the summary: it costs a compaction planning pass, so it
+/// lives behind its own lazy epoch-keyed cache
+/// ([`RunTimeManager::predicted_defrag_gain`]) and is computed only when
+/// something (the fleet defrag trigger) actually asks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSummary {
+    /// The mutation epoch the summary describes.
+    pub epoch: u64,
+    /// Fragmentation metrics (utilisation, largest free rectangle,
+    /// fragmentation index all derive from this).
+    pub frag: FragMetrics,
+}
+
 /// The non-mutating preview returned by
 /// [`RunTimeManager::preview_admission`]: what loading a function of the
-/// requested shape would do to this device.
+/// requested shape would do to this device — including the epoch-stamped
+/// [`RoomPlan`] the caller can hand straight to
+/// [`RunTimeManager::load_with_plan`] so admission never re-plans.
 #[derive(Debug, Clone)]
 pub struct AdmissionPreview {
-    /// Rearrangement moves the load would execute first (empty if the
-    /// request fits as-is).
-    pub moves: Vec<Move>,
+    /// The rearrangement plan the load would execute first (empty moves
+    /// if the request fits as-is), reusable via
+    /// [`RunTimeManager::load_with_plan`].
+    pub plan: RoomPlan,
     /// The region the allocator would hand the function.
     pub region: Rect,
     /// Predicted fragmentation metrics after rearrangement *and*
@@ -82,9 +282,14 @@ pub struct AdmissionPreview {
 }
 
 impl AdmissionPreview {
+    /// The rearrangement moves the load would execute first.
+    pub fn moves(&self) -> &[Move] {
+        self.plan.moves()
+    }
+
     /// CLBs of running logic the rearrangement would relocate.
     pub fn cells_moved(&self) -> u32 {
-        self.moves.iter().map(Move::cells_moved).sum()
+        self.plan.cells_moved()
     }
 }
 
@@ -145,6 +350,22 @@ pub struct RunTimeManager {
     recovery: ConfigMemory,
     /// Allocation strategy for incoming functions.
     pub strategy: Strategy,
+    /// Mutation epoch: bumped on every arena-visible change (load,
+    /// unload, relocation, defragmentation). Plans and summaries are
+    /// stamped with it; a mismatch means they describe a stale layout.
+    epoch: u64,
+    /// Planning counters (interior mutability: the non-mutating planning
+    /// API takes `&self`).
+    stats: Cell<PlanStats>,
+    /// Epoch-keyed cache of the fragmentation metrics.
+    frag_cache: Cell<Option<(u64, FragMetrics)>>,
+    /// Epoch-keyed cache of the routing summary.
+    summary_cache: Cell<Option<DeviceSummary>>,
+    /// Epoch-keyed cache of the predicted compaction gain (filled
+    /// lazily: computing it costs a compaction planning pass, and most
+    /// queries — routing summaries with the fleet trigger disabled —
+    /// never need it).
+    gain_cache: Cell<Option<(u64, f64)>>,
 }
 
 impl RunTimeManager {
@@ -171,7 +392,32 @@ impl RunTimeManager {
             next_id: 1,
             recovery,
             strategy: Strategy::BestFit,
+            epoch: 0,
+            stats: Cell::new(PlanStats::default()),
+            frag_cache: Cell::new(None),
+            summary_cache: Cell::new(None),
+            gain_cache: Cell::new(None),
         }
+    }
+
+    /// The current mutation epoch. Every arena-visible change (load,
+    /// unload, relocation, executed defragmentation) advances it; plans
+    /// stamped with an older epoch are stale and will be re-planned
+    /// instead of executed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Lifetime planning counters (see [`PlanStats`]). A service takes
+    /// per-run deltas with [`PlanStats::delta_since`].
+    pub fn plan_stats(&self) -> PlanStats {
+        self.stats.get()
+    }
+
+    fn bump_stats(&self, f: impl FnOnce(&mut PlanStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
     }
 
     /// The device (read-only).
@@ -189,41 +435,120 @@ impl RunTimeManager {
         self.functions.get(&id)
     }
 
-    /// Current fragmentation metrics.
+    /// Current fragmentation metrics (epoch-cached: recomputed only
+    /// after a mutation, so event loops can sample freely).
     pub fn fragmentation(&self) -> FragMetrics {
-        self.arena.fragmentation()
+        if let Some((epoch, m)) = self.frag_cache.get() {
+            if epoch == self.epoch {
+                return m;
+            }
+        }
+        let m = self.arena.fragmentation();
+        self.frag_cache.set(Some((self.epoch, m)));
+        m
+    }
+
+    /// The cheap routing summary of this device — fragmentation metrics
+    /// stamped with the mutation epoch. Cached — repeated calls between
+    /// mutations cost nothing (counted in [`PlanStats::summary_hits`]),
+    /// which is what lets a fleet router consult every device on every
+    /// arrival without re-measuring the world each time. The predicted
+    /// defragmentation gain is served separately (and lazily) by
+    /// [`RunTimeManager::predicted_defrag_gain`], because it costs a
+    /// compaction planning pass the routing path never needs.
+    pub fn summary(&self) -> DeviceSummary {
+        if let Some(s) = self.summary_cache.get() {
+            if s.epoch == self.epoch {
+                self.bump_stats(|st| st.summary_hits += 1);
+                return s;
+            }
+        }
+        self.bump_stats(|st| st.summary_misses += 1);
+        let s = DeviceSummary {
+            epoch: self.epoch,
+            frag: self.fragmentation(),
+        };
+        self.summary_cache.set(Some(s));
+        s
     }
 
     /// Plans — without executing anything — the rearrangement that
     /// [`RunTimeManager::load`] would run to free a `rows`×`cols`
     /// region: an empty plan when the request fits as-is, a move list
     /// when rearrangement would be needed, `None` when even compaction
-    /// cannot help. Lets a service weigh the relocation cost of an
-    /// admission before committing to it.
-    pub fn plan_room(&self, rows: u16, cols: u16) -> Option<Vec<Move>> {
-        make_room(&self.arena, rows, cols)
+    /// cannot help. The returned [`RoomPlan`] is epoch-stamped: hand it
+    /// to [`RunTimeManager::load_with_plan`] and the load executes it
+    /// without planning again.
+    pub fn plan_room(&self, rows: u16, cols: u16) -> Option<RoomPlan> {
+        self.bump_stats(|s| s.make_room_calls += 1);
+        let moves = make_room(&self.arena, rows, cols)?;
+        Some(RoomPlan {
+            epoch: self.epoch,
+            rows,
+            cols,
+            moves,
+        })
     }
 
-    /// Plans — without executing anything — the raw ordered compaction.
-    /// [`RunTimeManager::defragment`] additionally refuses to execute a
-    /// plan whose predicted improvement is zero; use
-    /// [`RunTimeManager::predicted_defrag_gain`] for the net effect.
-    pub fn plan_defrag(&self) -> Vec<Move> {
-        plan_compaction(&self.arena)
+    /// Revalidates a caller-held room plan: returns `plan` itself when
+    /// its epoch *and shape* stamps still match (free), otherwise
+    /// counts the invalidation and re-plans from the current layout.
+    /// `None` when the device can no longer make room at all.
+    pub fn revalidate_room_plan(
+        &self,
+        rows: u16,
+        cols: u16,
+        plan: Option<RoomPlan>,
+    ) -> Option<RoomPlan> {
+        match plan {
+            Some(p) if p.valid_for(self.epoch, rows, cols) => Some(p),
+            Some(_) => {
+                self.bump_stats(|s| s.plans_invalidated += 1);
+                self.plan_room(rows, cols)
+            }
+            None => self.plan_room(rows, cols),
+        }
+    }
+
+    /// Plans — without executing anything — the ordered compaction,
+    /// stamped with the current epoch and carrying its predicted
+    /// metrics. [`RunTimeManager::defragment_with_plan`] executes it
+    /// without re-planning while the stamp matches;
+    /// [`DefragPlan::is_worthwhile`] is the gate `defragment` applies
+    /// before moving anything.
+    pub fn plan_defrag(&self) -> DefragPlan {
+        self.bump_stats(|s| s.compaction_plans += 1);
+        let before = self.fragmentation();
+        let moves = plan_compaction(&self.arena);
+        let predicted = if moves.is_empty() {
+            before
+        } else {
+            predict_metrics(&self.arena, &moves)
+        };
+        DefragPlan {
+            epoch: self.epoch,
+            moves,
+            before,
+            predicted,
+        }
     }
 
     /// Predicted drop of the fragmentation index if
     /// [`RunTimeManager::defragment`] ran now (zero when the cycle would
-    /// be skipped as useless). Lets a service — or a fleet router
-    /// choosing which device most deserves a cycle — rank devices by how
-    /// much a compaction would actually buy.
+    /// be skipped as useless). Lazily epoch-cached: the first query
+    /// after a mutation pays one compaction planning pass, every later
+    /// one is free — so a fleet trigger ranking all devices costs one
+    /// pass per *mutated* device per query wave, and routing paths that
+    /// never ask pay nothing at all.
     pub fn predicted_defrag_gain(&self) -> f64 {
-        let moves = plan_compaction(&self.arena);
-        if moves.is_empty() {
-            return 0.0;
+        if let Some((epoch, gain)) = self.gain_cache.get() {
+            if epoch == self.epoch {
+                return gain;
+            }
         }
-        let predicted = predict_metrics(&self.arena, &moves);
-        (self.fragmentation().fragmentation() - predicted.fragmentation()).max(0.0)
+        let gain = self.plan_defrag().predicted_gain();
+        self.gain_cache.set(Some((self.epoch, gain)));
+        gain
     }
 
     /// Previews — without executing anything — the full admission of a
@@ -237,6 +562,10 @@ impl RunTimeManager {
     /// state would it leave you in" and pick the device whose
     /// post-placement fragmentation is lowest.
     pub fn preview_admission(&self, rows: u16, cols: u16) -> Option<AdmissionPreview> {
+        self.bump_stats(|s| {
+            s.previews += 1;
+            s.make_room_calls += 1;
+        });
         let moves = make_room(&self.arena, rows, cols)?;
         let mut scratch = self.arena.clone();
         for mv in &moves {
@@ -248,7 +577,12 @@ impl RunTimeManager {
             .allocate(FunctionId::MAX, rows, cols, self.strategy)
             .ok()?;
         Some(AdmissionPreview {
-            moves,
+            plan: RoomPlan {
+                epoch: self.epoch,
+                rows,
+                cols,
+                moves,
+            },
             region,
             after: scratch.fragmentation(),
         })
@@ -266,19 +600,55 @@ impl RunTimeManager {
     /// bookkeeping of already-executed moves remains consistent.
     pub fn defragment(
         &mut self,
+        observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<DefragReport, CoreError> {
+        let plan = self.plan_defrag();
+        self.execute_defrag(plan, observer)
+    }
+
+    /// Like [`RunTimeManager::defragment`], but executes a previously
+    /// returned [`DefragPlan`] instead of planning again. The plan's
+    /// epoch stamp is checked first: a stale plan (the layout mutated
+    /// since it was computed) is *not* executed — it is counted in
+    /// [`PlanStats::plans_invalidated`] and the cycle re-plans from the
+    /// current layout. A valid plan is counted in
+    /// [`PlanStats::plans_reused`] and costs no planning pass — this is
+    /// how a fleet trigger that already ranked devices by predicted
+    /// gain avoids paying for the winner's compaction plan twice.
+    ///
+    /// # Errors
+    ///
+    /// As [`RunTimeManager::defragment`].
+    pub fn defragment_with_plan(
+        &mut self,
+        plan: &DefragPlan,
+        observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<DefragReport, CoreError> {
+        let plan = if plan.epoch == self.epoch {
+            self.bump_stats(|s| s.plans_reused += 1);
+            plan.clone()
+        } else {
+            self.bump_stats(|s| s.plans_invalidated += 1);
+            self.plan_defrag()
+        };
+        self.execute_defrag(plan, observer)
+    }
+
+    /// Executes an epoch-valid compaction plan with staged dynamic
+    /// relocation. Execute only plans predicted to lower the
+    /// fragmentation index: ordered compaction always packs leftward,
+    /// and on some layouts (the bursty trace showed 0.549 -> 0.549)
+    /// that moves running functions without growing the largest free
+    /// rectangle — pure reconfiguration traffic for nothing. Skipped
+    /// cycles cause no device traffic and no checkpoint.
+    fn execute_defrag(
+        &mut self,
+        plan: DefragPlan,
         mut observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
     ) -> Result<DefragReport, CoreError> {
-        let before = self.fragmentation();
-        let moves = plan_compaction(&self.arena);
-        // Execute only plans predicted to lower the fragmentation index.
-        // Ordered compaction always packs leftward, and on some layouts
-        // (the bursty trace showed 0.549 -> 0.549) that moves running
-        // functions without growing the largest free rectangle — pure
-        // reconfiguration traffic for nothing. Skipped cycles cause no
-        // device traffic and no checkpoint.
-        let useless = !moves.is_empty()
-            && predict_metrics(&self.arena, &moves).fragmentation() >= before.fragmentation();
-        if moves.is_empty() || useless {
+        debug_assert_eq!(plan.epoch, self.epoch, "execute only validated plans");
+        let before = plan.before;
+        if !plan.is_worthwhile() {
             return Ok(DefragReport {
                 moves: Vec::new(),
                 relocations: Vec::new(),
@@ -287,13 +657,13 @@ impl RunTimeManager {
             });
         }
         let mut relocations = Vec::new();
-        for mv in &moves {
+        for mv in &plan.moves {
             let reports = self.relocate_function_inner(mv.id, mv.to, &mut observer)?;
             relocations.extend(reports);
         }
         self.checkpoint();
         Ok(DefragReport {
-            moves,
+            moves: plan.moves,
             relocations,
             before,
             after: self.fragmentation(),
@@ -330,12 +700,65 @@ impl RunTimeManager {
         design: &MappedNetlist,
         rows: u16,
         cols: u16,
-        mut observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+        observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
     ) -> Result<LoadReport, CoreError> {
-        // Plan (and execute) any rearrangement needed.
+        // Plan the rearrangement here; execution is shared with the
+        // plan-reuse entry point.
+        self.bump_stats(|s| s.make_room_calls += 1);
         let plan = make_room(&self.arena, rows, cols).ok_or(CoreError::Place(
             rtm_place::PlaceError::NoFit { rows, cols },
         ))?;
+        self.load_executing(design, rows, cols, plan, observer)
+    }
+
+    /// Like [`RunTimeManager::load`], but executes a previously returned
+    /// [`RoomPlan`] (from [`RunTimeManager::plan_room`] or
+    /// [`RunTimeManager::preview_admission`]) instead of planning again.
+    /// The plan's stamps are validated first: a stale plan — the layout
+    /// mutated since it was computed — or a plan computed for a
+    /// *different shape* than this request is never executed; it is
+    /// counted in [`PlanStats::plans_invalidated`] and the load falls
+    /// back to re-planning. A valid plan is counted in
+    /// [`PlanStats::plans_reused`] and the load runs zero planning
+    /// passes — collapsing the historical
+    /// preview-then-plan-then-plan-again admission to one pass.
+    ///
+    /// # Errors
+    ///
+    /// As [`RunTimeManager::load`].
+    pub fn load_with_plan(
+        &mut self,
+        design: &MappedNetlist,
+        rows: u16,
+        cols: u16,
+        plan: &RoomPlan,
+        observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<LoadReport, CoreError> {
+        let moves = if plan.valid_for(self.epoch, rows, cols) {
+            self.bump_stats(|s| s.plans_reused += 1);
+            plan.moves.clone()
+        } else {
+            self.bump_stats(|s| {
+                s.plans_invalidated += 1;
+                s.make_room_calls += 1;
+            });
+            make_room(&self.arena, rows, cols).ok_or(CoreError::Place(
+                rtm_place::PlaceError::NoFit { rows, cols },
+            ))?
+        };
+        self.load_executing(design, rows, cols, moves, observer)
+    }
+
+    /// Executes an epoch-valid rearrangement plan, then places, routes
+    /// and configures the incoming function.
+    fn load_executing(
+        &mut self,
+        design: &MappedNetlist,
+        rows: u16,
+        cols: u16,
+        plan: Vec<Move>,
+        mut observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<LoadReport, CoreError> {
         let mut relocations = Vec::new();
         for mv in &plan {
             let reports = self.relocate_function_inner(mv.id, mv.to, &mut observer)?;
@@ -350,6 +773,7 @@ impl RunTimeManager {
 
         let id = self.next_id;
         let region = self.arena.allocate(id, rows, cols, self.strategy)?;
+        self.epoch += 1;
         // Other functions' wires may cross this region (relocation paths
         // are not region-bounded): reserve them so the router cannot
         // bridge nets.
@@ -366,6 +790,7 @@ impl RunTimeManager {
                 self.arena
                     .release(id)
                     .expect("region was allocated just above");
+                self.epoch += 1;
                 self.recover()?;
                 return Err(e.into());
             }
@@ -399,6 +824,7 @@ impl RunTimeManager {
             .remove(&id)
             .ok_or(CoreError::Place(rtm_place::PlaceError::UnknownTask { id }))?;
         self.arena.release(id)?;
+        self.epoch += 1;
         let mut placed = f.placed;
         let nets: Vec<_> = placed.netdb.nets().map(|(n, _)| n).collect();
         for n in nets {
@@ -468,6 +894,7 @@ impl RunTimeManager {
             .ok_or(CoreError::Place(rtm_place::PlaceError::UnknownTask { id }))?;
         // Area bookkeeping first: rejects overlap with other functions.
         self.arena.relocate(id, to)?;
+        self.epoch += 1;
 
         // All routing of this move must respect every other function's
         // wires: reserve their nodes in the moving function's database.
@@ -815,8 +1242,10 @@ mod tests {
         let before = mgr.fragmentation();
         assert!(before.exceeds(0.4), "setup must fragment: {before}");
         let planned = mgr.plan_defrag();
+        assert!(planned.is_worthwhile());
+        assert!(planned.predicted_gain() > 0.0);
         let report = mgr.defragment(|_, _, _| {}).unwrap();
-        assert_eq!(report.moves, planned, "plan matches execution");
+        assert_eq!(report.moves, planned.moves(), "plan matches execution");
         assert!(!report.moves.is_empty());
         assert!(report.frames_total() > 0);
         assert!(
@@ -842,7 +1271,10 @@ mod tests {
         // relocation traffic with zero predicted improvement.
         let before = mgr.fragmentation();
         assert_eq!(before.fragmentation(), 0.0);
-        assert!(!mgr.plan_defrag().is_empty(), "left-pack plans a move");
+        assert!(
+            !mgr.plan_defrag().moves().is_empty(),
+            "left-pack plans a move"
+        );
         assert_eq!(mgr.predicted_defrag_gain(), 0.0);
 
         let report = mgr.defragment(|_, _, _| {}).unwrap();
@@ -861,7 +1293,8 @@ mod tests {
             .unwrap();
         // A 16x12 request needs the stranded function out of the middle.
         let p = mgr.preview_admission(16, 12).expect("satisfiable");
-        assert!(!p.moves.is_empty());
+        assert!(!p.moves().is_empty());
+        assert_eq!(p.plan.epoch(), mgr.epoch(), "plan stamped at current epoch");
         assert!(p.cells_moved() > 0);
         assert_eq!((p.region.rows, p.region.cols), (16, 12));
         assert!(
@@ -873,7 +1306,7 @@ mod tests {
         assert_eq!(mgr.functions().count(), 1);
         // A fitting request previews with an empty plan; an impossible
         // one with None.
-        assert!(mgr.preview_admission(4, 4).unwrap().moves.is_empty());
+        assert!(mgr.preview_admission(4, 4).unwrap().moves().is_empty());
         assert!(mgr.preview_admission(16, 24).is_none());
     }
 
@@ -912,5 +1345,193 @@ mod tests {
         let r = mgr.load(&d3, 16, 10, |_, _, _| {}).unwrap();
         assert!(!r.moves.is_empty(), "rearrangement must have happened");
         assert_eq!(mgr.functions().count(), 3);
+    }
+
+    /// A comb-fragmented XCV50 whose 16x12 request needs rearrangement.
+    fn fragmented_mgr() -> (RunTimeManager, FunctionId) {
+        let mut mgr = RunTimeManager::new(Part::Xcv50);
+        let r = mgr.load(&small_design(14), 16, 6, |_, _, _| {}).unwrap();
+        mgr.relocate_function(r.id, Rect::new(ClbCoord::new(0, 9), 16, 6), |_, _, _| {})
+            .unwrap();
+        (mgr, r.id)
+    }
+
+    #[test]
+    fn epoch_moves_with_every_arena_mutation() {
+        let mut mgr = RunTimeManager::new(Part::Xcv200);
+        let e0 = mgr.epoch();
+        let r = mgr.load(&small_design(1), 8, 8, |_, _, _| {}).unwrap();
+        let e1 = mgr.epoch();
+        assert!(e1 > e0, "load allocates");
+        mgr.relocate_function(r.id, Rect::new(ClbCoord::new(18, 20), 8, 8), |_, _, _| {})
+            .unwrap();
+        let e2 = mgr.epoch();
+        assert!(e2 > e1, "relocation moves the arena task");
+        mgr.unload(r.id).unwrap();
+        assert!(mgr.epoch() > e2, "unload releases");
+        // Pure planning never moves the epoch.
+        let e3 = mgr.epoch();
+        mgr.plan_room(4, 4);
+        mgr.plan_defrag();
+        mgr.preview_admission(4, 4);
+        mgr.summary();
+        assert_eq!(mgr.epoch(), e3);
+    }
+
+    #[test]
+    fn load_with_plan_reuses_the_preview_without_replanning() {
+        let (mut mgr, _) = fragmented_mgr();
+        let base = mgr.plan_stats();
+        let p = mgr.preview_admission(16, 12).expect("satisfiable");
+        let d = small_design(15);
+        let lr = mgr
+            .load_with_plan(&d, 16, 12, &p.plan, |_, _, _| {})
+            .unwrap();
+        let delta = mgr.plan_stats().delta_since(base);
+        assert_eq!(delta.make_room_calls, 1, "only the preview planned");
+        assert_eq!(delta.previews, 1);
+        assert_eq!(delta.plans_reused, 1);
+        assert_eq!(delta.plans_invalidated, 0);
+        assert_eq!(lr.moves, p.plan.moves(), "the preview's moves executed");
+        assert_eq!(lr.region, p.region, "same allocator, same region");
+        assert_eq!(
+            mgr.fragmentation(),
+            p.after,
+            "predicted metrics match the executed outcome exactly"
+        );
+    }
+
+    #[test]
+    fn stale_plan_is_replanned_not_executed() {
+        let (mut mgr, resident) = fragmented_mgr();
+        let p = mgr.preview_admission(16, 12).expect("satisfiable");
+        assert!(!p.moves().is_empty());
+        // An interleaved unload bumps the epoch: the previewed plan now
+        // describes a layout that no longer exists (its move would
+        // shuffle a function that is gone).
+        mgr.unload(resident).unwrap();
+        assert_ne!(p.plan.epoch(), mgr.epoch());
+        let base = mgr.plan_stats();
+        let d = small_design(16);
+        let lr = mgr
+            .load_with_plan(&d, 16, 12, &p.plan, |_, _, _| {})
+            .unwrap();
+        let delta = mgr.plan_stats().delta_since(base);
+        assert_eq!(delta.plans_invalidated, 1, "stale stamp detected");
+        assert_eq!(delta.plans_reused, 0);
+        assert_eq!(delta.make_room_calls, 1, "fell back to re-planning");
+        // The re-planned load needed no moves at all: the device is
+        // empty, so executing the stale plan would have been wrong twice.
+        assert!(lr.moves.is_empty());
+        assert_eq!(mgr.functions().count(), 1);
+    }
+
+    #[test]
+    fn revalidate_room_plan_passes_fresh_and_replaces_stale() {
+        let (mut mgr, resident) = fragmented_mgr();
+        let fresh = mgr.plan_room(16, 12).expect("satisfiable");
+        let same = mgr
+            .revalidate_room_plan(16, 12, Some(fresh.clone()))
+            .unwrap();
+        assert_eq!(same, fresh, "valid plans pass through untouched");
+        mgr.unload(resident).unwrap();
+        let base = mgr.plan_stats();
+        let replanned = mgr.revalidate_room_plan(16, 12, Some(fresh)).unwrap();
+        assert_eq!(replanned.epoch(), mgr.epoch());
+        assert!(replanned.is_empty(), "empty device needs no moves");
+        let delta = mgr.plan_stats().delta_since(base);
+        assert_eq!(delta.plans_invalidated, 1);
+        assert_eq!(delta.make_room_calls, 1);
+    }
+
+    #[test]
+    fn defragment_with_plan_reuses_and_detects_staleness() {
+        let mut mgr = RunTimeManager::new(Part::Xcv50);
+        let a = mgr.load(&small_design(12), 16, 6, |_, _, _| {}).unwrap();
+        let b = mgr.load(&small_design(13), 16, 6, |_, _, _| {}).unwrap();
+        mgr.relocate_function(a.id, Rect::new(ClbCoord::new(0, 18), 16, 6), |_, _, _| {})
+            .unwrap();
+        mgr.relocate_function(b.id, Rect::new(ClbCoord::new(0, 6), 16, 6), |_, _, _| {})
+            .unwrap();
+        let plan = mgr.plan_defrag();
+        assert!(plan.is_worthwhile());
+        let base = mgr.plan_stats();
+        let report = mgr.defragment_with_plan(&plan, |_, _, _| {}).unwrap();
+        let delta = mgr.plan_stats().delta_since(base);
+        assert_eq!(report.moves, plan.moves());
+        assert_eq!(delta.plans_reused, 1);
+        assert_eq!(delta.compaction_plans, 0, "no re-planning");
+        assert_eq!(report.after.fragmentation(), 0.0);
+
+        // The executed cycle bumped the epoch: replaying the same plan
+        // is detected as stale and re-planned (to a no-op here).
+        let base = mgr.plan_stats();
+        let again = mgr.defragment_with_plan(&plan, |_, _, _| {}).unwrap();
+        let delta = mgr.plan_stats().delta_since(base);
+        assert_eq!(delta.plans_invalidated, 1);
+        assert_eq!(delta.compaction_plans, 1);
+        assert!(again.moves.is_empty(), "compact layout: nothing to do");
+    }
+
+    #[test]
+    fn summary_is_cached_per_epoch() {
+        let mut mgr = RunTimeManager::new(Part::Xcv50);
+        let base = mgr.plan_stats();
+        let s1 = mgr.summary();
+        let s2 = mgr.summary();
+        assert_eq!(s1, s2);
+        let delta = mgr.plan_stats().delta_since(base);
+        assert_eq!(delta.summary_misses, 1);
+        assert_eq!(delta.summary_hits, 1);
+        assert_eq!(
+            delta.compaction_plans, 0,
+            "the routing summary never pays for a compaction plan"
+        );
+
+        let r = mgr.load(&small_design(3), 8, 8, |_, _, _| {}).unwrap();
+        let s3 = mgr.summary();
+        assert_ne!(s3.epoch, s1.epoch, "mutation invalidated the cache");
+        assert!(s3.frag.utilisation() > 0.0);
+        mgr.unload(r.id).unwrap();
+        assert_eq!(mgr.summary().frag.utilisation(), 0.0);
+    }
+
+    #[test]
+    fn defrag_gain_is_lazy_and_cached_per_epoch() {
+        let mut mgr = RunTimeManager::new(Part::Xcv50);
+        let r = mgr.load(&small_design(5), 8, 8, |_, _, _| {}).unwrap();
+        let base = mgr.plan_stats();
+        let g1 = mgr.predicted_defrag_gain();
+        let g2 = mgr.predicted_defrag_gain();
+        assert_eq!(g1, g2);
+        let delta = mgr.plan_stats().delta_since(base);
+        assert_eq!(delta.compaction_plans, 1, "first query plans, second hits");
+        // A mutation invalidates the cached gain.
+        mgr.unload(r.id).unwrap();
+        let base = mgr.plan_stats();
+        assert_eq!(mgr.predicted_defrag_gain(), 0.0, "empty device");
+        assert_eq!(mgr.plan_stats().delta_since(base).compaction_plans, 1);
+    }
+
+    #[test]
+    fn wrong_shape_plan_is_invalidated_not_executed() {
+        let (mut mgr, _) = fragmented_mgr();
+        // Planned for 16x12; handed back for a 4x4 request at the SAME
+        // epoch. Executing it would relocate a function for nothing
+        // (and its moves only make room for the 16x12 shape).
+        let p = mgr.preview_admission(16, 12).expect("satisfiable");
+        assert!(!p.moves().is_empty());
+        assert_eq!(p.plan.shape(), (16, 12));
+        let base = mgr.plan_stats();
+        let d = small_design(31);
+        let lr = mgr.load_with_plan(&d, 4, 4, &p.plan, |_, _, _| {}).unwrap();
+        let delta = mgr.plan_stats().delta_since(base);
+        assert_eq!(delta.plans_invalidated, 1, "shape mismatch detected");
+        assert_eq!(delta.plans_reused, 0);
+        assert!(lr.moves.is_empty(), "a 4x4 fits without any rearrangement");
+        // revalidate_room_plan applies the same shape check.
+        let p2 = mgr.plan_room(16, 12).expect("still satisfiable");
+        let revalidated = mgr.revalidate_room_plan(4, 4, Some(p2)).unwrap();
+        assert_eq!(revalidated.shape(), (4, 4));
     }
 }

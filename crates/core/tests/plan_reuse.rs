@@ -1,0 +1,117 @@
+//! Plan/execute coherence for the plan-reuse admission pipeline.
+//!
+//! The fleet's frag-aware router decides *where* a function goes based
+//! on [`RunTimeManager::preview_admission`]'s predicted post-placement
+//! metrics, then executes the preview's plan via
+//! [`RunTimeManager::load_with_plan`]. That decision is only sound if
+//! the prediction is exact: these tests pin that the observed
+//! [`FragMetrics`] after executing a previewed plan equal the preview
+//! — over randomized load/unload histories — and that a plan whose
+//! epoch stamp went stale is re-planned, never executed.
+
+use proptest::prelude::*;
+use rtm_core::RunTimeManager;
+use rtm_fpga::geom::{ClbCoord, Rect};
+use rtm_fpga::part::Part;
+use rtm_netlist::random::RandomCircuit;
+use rtm_netlist::techmap::{map_to_luts, MappedNetlist};
+
+/// A small synthetic design sized for an `rows`x`cols` request, the
+/// same way the runtime service synthesizes per-arrival designs.
+fn design_for(rows: u16, cols: u16, seed: u64) -> MappedNetlist {
+    let area = rows as u32 * cols as u32;
+    let gates = (area / 8).clamp(4, 16) as usize;
+    let ffs = (area / 48).clamp(2, 4) as usize;
+    map_to_luts(&RandomCircuit::free_running(ffs, gates, seed).generate()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Whatever load/unload history the device went through, the
+    /// metrics `preview_admission` predicts are exactly the metrics
+    /// `load_with_plan` leaves behind when it executes that plan.
+    #[test]
+    fn preview_metrics_match_load_with_plan_execution(
+        shapes in proptest::collection::vec((4u16..=16, 4u16..=12), 1..4),
+        unload_mask in proptest::collection::vec(any::<bool>(), 3..4),
+        req_rows in 4u16..=16,
+        req_cols in 4u16..=12,
+    ) {
+        let mut mgr = RunTimeManager::new(Part::Xcv50);
+        let mut loaded = Vec::new();
+        for (k, (rows, cols)) in shapes.iter().enumerate() {
+            let d = design_for(*rows, *cols, 77 + k as u64);
+            if let Ok(lr) = mgr.load(&d, *rows, *cols, |_, _, _| {}) {
+                loaded.push(lr.id);
+            }
+        }
+        for (k, id) in loaded.iter().enumerate() {
+            if unload_mask.get(k).copied().unwrap_or(false) {
+                mgr.unload(*id).unwrap();
+            }
+        }
+
+        // `None` = even compaction cannot make room: nothing to check.
+        if let Some(preview) = mgr.preview_admission(req_rows, req_cols) {
+            prop_assert_eq!(preview.plan.epoch(), mgr.epoch());
+            let base = mgr.plan_stats();
+            let d = design_for(req_rows, req_cols, 4242);
+            // A placement/routing failure rolls the device back; the
+            // prediction contract only covers successful loads.
+            if let Ok(lr) =
+                mgr.load_with_plan(&d, req_rows, req_cols, &preview.plan, |_, _, _| {})
+            {
+                prop_assert_eq!(lr.moves.as_slice(), preview.moves(),
+                    "the load executed exactly the previewed plan");
+                prop_assert_eq!(lr.region, preview.region,
+                    "same allocator state, same region");
+                prop_assert_eq!(mgr.fragmentation(), preview.after,
+                    "plan/execute coherence: predicted metrics are observed metrics");
+                let delta = mgr.plan_stats().delta_since(base);
+                prop_assert_eq!(delta.plans_reused, 1);
+                prop_assert_eq!(delta.make_room_calls, 0,
+                    "a valid plan admits with zero planning passes");
+            }
+        }
+    }
+}
+
+/// A stale plan — its epoch stamp predates an interleaved mutation —
+/// must be detected and re-planned, not executed: executing it would
+/// replay moves against a layout that no longer exists.
+#[test]
+fn interleaved_unload_invalidates_the_previewed_plan() {
+    let mut mgr = RunTimeManager::new(Part::Xcv50);
+    // A 16x6 function stranded mid-device forces a non-empty plan for a
+    // 16x12 request.
+    let blocker = design_for(16, 6, 7);
+    let r = mgr.load(&blocker, 16, 6, |_, _, _| {}).unwrap();
+    mgr.relocate_function(r.id, Rect::new(ClbCoord::new(0, 9), 16, 6), |_, _, _| {})
+        .unwrap();
+    let preview = mgr.preview_admission(16, 12).expect("satisfiable");
+    assert!(
+        !preview.moves().is_empty(),
+        "the stranded function must move"
+    );
+
+    // Interleaved departure: the planned move now names a function that
+    // is gone.
+    mgr.unload(r.id).unwrap();
+    assert_ne!(preview.plan.epoch(), mgr.epoch(), "epoch moved");
+
+    let base = mgr.plan_stats();
+    let d = design_for(16, 12, 11);
+    let lr = mgr
+        .load_with_plan(&d, 16, 12, &preview.plan, |_, _, _| {})
+        .expect("re-planned load succeeds on the empty device");
+    let delta = mgr.plan_stats().delta_since(base);
+    assert_eq!(delta.plans_invalidated, 1, "staleness detected");
+    assert_eq!(delta.plans_reused, 0, "the stale plan was NOT executed");
+    assert_eq!(delta.make_room_calls, 1, "exactly one fallback re-plan");
+    assert!(
+        lr.moves.is_empty(),
+        "the fresh plan needs no moves on an empty device — executing \
+         the stale one would have relocated a departed function"
+    );
+}

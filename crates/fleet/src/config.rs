@@ -17,14 +17,29 @@ pub struct FleetConfig {
     /// highest predicted improvement — even if that device's own
     /// threshold was not crossed. Set above `1.0` to disable.
     pub fleet_frag_threshold: f64,
+    /// How many ranked devices the router offers a request to before
+    /// queueing it. Each offer to a device without an attached plan
+    /// costs that device a `make_room` planning pass, so on big fleets
+    /// an uncapped retry chain makes every congested arrival pay
+    /// O(devices) planning. The cap bounds that cost; requests that
+    /// strike out queue on the best-ranked device that reported
+    /// "no room", exactly as before.
+    pub max_offer_attempts: usize,
 }
 
 impl FleetConfig {
+    /// The default cap on per-request offer attempts (see
+    /// [`FleetConfig::max_offer_attempts`]): generous enough that small
+    /// fleets keep their full cross-device retry chain, flat for big
+    /// ones.
+    pub const DEFAULT_MAX_OFFER_ATTEMPTS: usize = 8;
+
     /// A fleet of `n` identical shards.
     pub fn homogeneous(n: usize, shard: ServiceConfig) -> Self {
         FleetConfig {
             shards: vec![shard; n],
             fleet_frag_threshold: 2.0,
+            max_offer_attempts: Self::DEFAULT_MAX_OFFER_ATTEMPTS,
         }
     }
 
@@ -34,12 +49,19 @@ impl FleetConfig {
         FleetConfig {
             shards: parts.iter().map(|p| template.with_part(*p)).collect(),
             fleet_frag_threshold: 2.0,
+            max_offer_attempts: Self::DEFAULT_MAX_OFFER_ATTEMPTS,
         }
     }
 
     /// Replaces the fleet-level defragmentation threshold.
     pub fn with_fleet_threshold(mut self, threshold: f64) -> Self {
         self.fleet_frag_threshold = threshold;
+        self
+    }
+
+    /// Replaces the per-request offer-attempt cap.
+    pub fn with_max_offer_attempts(mut self, cap: usize) -> Self {
+        self.max_offer_attempts = cap.max(1);
         self
     }
 
@@ -59,6 +81,15 @@ mod tests {
         let c = FleetConfig::homogeneous(3, ServiceConfig::default());
         assert_eq!(c.shards.len(), 3);
         assert!(c.fleet_frag_threshold > 1.0, "disabled by default");
+        assert_eq!(
+            c.max_offer_attempts,
+            FleetConfig::DEFAULT_MAX_OFFER_ATTEMPTS
+        );
+        assert_eq!(
+            c.with_max_offer_attempts(0).max_offer_attempts,
+            1,
+            "at least one offer always happens"
+        );
 
         let h = FleetConfig::heterogeneous(
             &[Part::Xcv50, Part::Xcv200],

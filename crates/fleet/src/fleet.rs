@@ -16,6 +16,7 @@ struct RunState {
     submitted: usize,
     unplaceable: usize,
     retries: usize,
+    load_failovers: usize,
     fleet_defrags: usize,
     timeline: Vec<FleetSample>,
 }
@@ -154,6 +155,7 @@ impl FleetService {
             submitted: 0,
             unplaceable: 0,
             retries: 0,
+            load_failovers: 0,
             fleet_defrags: 0,
             timeline: Vec::new(),
         };
@@ -216,14 +218,19 @@ impl FleetService {
 
             // 4. Fleet-level trigger: when the mean index climbs past
             //    the fleet threshold, force a cycle on the device where
-            //    it buys the most.
+            //    it buys the most. The ranking reads epoch-cached
+            //    summaries (free for devices that have not mutated) and
+            //    the winner's compaction plan is handed straight to
+            //    `defragment_with_plan` — the trigger never plans the
+            //    same cycle twice.
             if mean > self.config.fleet_frag_threshold {
                 let best = (0..n)
                     .map(|i| (i, self.shards[i].manager().predicted_defrag_gain()))
                     .filter(|(_, gain)| *gain > 0.0)
                     .max_by(|a, b| a.1.total_cmp(&b.1));
                 if let Some((i, _)) = best {
-                    if self.shards[i].defrag_now(&mut st.reports[i])? {
+                    let plan = self.shards[i].manager().plan_defrag();
+                    if self.shards[i].defrag_now(Some(plan), &mut st.reports[i])? {
                         st.fleet_defrags += 1;
                         let (mean, worst) = self.frag_summary();
                         st.timeline.push(FleetSample {
@@ -261,6 +268,7 @@ impl FleetService {
             submitted: st.submitted,
             unplaceable: st.unplaceable,
             retries: st.retries,
+            load_failovers: st.load_failovers,
             fleet_defrags: st.fleet_defrags,
             shards,
             timeline: st.timeline,
@@ -268,18 +276,26 @@ impl FleetService {
     }
 
     /// Routes one arrival: rank, offer down the ranking (cross-device
-    /// retry), queue on the best-ranked device if nobody can place it
-    /// now, or reject it as unplaceable if no device could ever hold
-    /// it.
+    /// retry, capped at [`FleetConfig::max_offer_attempts`]), queue on
+    /// the best-ranked device that reported "no room" if nobody can
+    /// place it now, or reject it as unplaceable if no device could
+    /// ever hold it. A candidate that carries a previewed
+    /// [`RoomPlan`](rtm_core::RoomPlan) hands it to the shard's offer,
+    /// so the admission executes the routing plan instead of planning
+    /// again.
     ///
-    /// A [`OfferOutcome::Dropped`] (synthesis or load failure) consumes
-    /// the request on the shard that recorded it rather than retrying
-    /// elsewhere: synthesis failures are deterministic per request (the
-    /// same design would fail on every shard), and retrying a
-    /// device-specific load failure on a sibling would double-account
-    /// the request across shard reports, breaking the exact
-    /// `submitted = Σ shard_submitted + unplaceable` identity the
-    /// [`FleetReport`] guarantees.
+    /// Failure handling splits by determinism:
+    ///
+    /// * [`OfferOutcome::Dropped`] (duplicate id or synthesis failure)
+    ///   consumes the request — the same design would fail on every
+    ///   shard.
+    /// * [`OfferOutcome::LoadFailed`] (device-specific placement or
+    ///   routing congestion) moves on to the next-ranked device instead
+    ///   of consuming the request. Every shard that recorded such a
+    ///   failure accounted the request once, so the fleet counts each
+    ///   *extra* accounting in [`FleetReport::load_failovers`] and the
+    ///   report identity becomes
+    ///   `Σ shard_submitted = submitted − unplaceable + load_failovers`.
     fn route(&mut self, at: Micros, a: Arrival, st: &mut RunState) -> Result<(), CoreError> {
         st.submitted += 1;
 
@@ -311,28 +327,58 @@ impl FleetService {
             st.unplaceable += 1;
             return Ok(());
         }
-        for (attempt, &s) in ranking.iter().enumerate() {
-            match self.shards[s].offer(at, a, &mut st.reports[s])? {
+        // Shards that consumed an accounting via a load failure before
+        // the request finally landed somewhere (each is one extra
+        // shard-report `submitted`).
+        let mut failed_accountings = 0usize;
+        // Best-ranked shard that said "no room" — the queue slot.
+        let mut queue_on: Option<usize> = None;
+        let cap = self.config.max_offer_attempts.max(1);
+        for (attempt, cand) in ranking.into_iter().enumerate().take(cap) {
+            let s = cand.shard;
+            match self.shards[s].offer(at, a, cand.plan, &mut st.reports[s])? {
                 OfferOutcome::Admitted => {
                     if attempt > 0 {
                         st.retries += 1;
                     }
+                    st.load_failovers += failed_accountings;
                     self.owner.insert(a.id, s);
                     st.routed[s] += 1;
                     return Ok(());
                 }
                 OfferOutcome::Dropped => {
+                    st.load_failovers += failed_accountings;
                     st.routed[s] += 1;
                     return Ok(());
                 }
-                OfferOutcome::NoRoom => {}
+                OfferOutcome::LoadFailed => {
+                    // Recorded (and attributed) on this shard; the
+                    // failure is device-specific, so the next-ranked
+                    // device gets its chance instead of the request
+                    // being consumed.
+                    st.routed[s] += 1;
+                    failed_accountings += 1;
+                }
+                OfferOutcome::NoRoom => {
+                    if queue_on.is_none() {
+                        queue_on = Some(s);
+                    }
+                }
             }
         }
-        // Nobody can place it right now: wait on the preferred device.
-        let s = ranking[0];
-        self.shards[s].enqueue(at, a, &mut st.reports[s]);
-        self.owner.insert(a.id, s);
-        st.routed[s] += 1;
+        if let Some(s) = queue_on {
+            // Nobody can place it right now: wait on the best device
+            // that can still hope to (a departure may free room there).
+            st.load_failovers += failed_accountings;
+            self.shards[s].enqueue(at, a, &mut st.reports[s]);
+            self.owner.insert(a.id, s);
+            st.routed[s] += 1;
+        } else {
+            // Every offered device failed the load outright: the
+            // request is spent. The first failing shard's accounting is
+            // the request's own; the rest are failovers.
+            st.load_failovers += failed_accountings.saturating_sub(1);
+        }
         Ok(())
     }
 }

@@ -12,19 +12,34 @@
 //! resource-management layers both put a cross-device allocator above
 //! the per-device placer.
 //!
-//! What the fleet does per arrival:
+//! What the fleet does per arrival (the plan-reuse admission
+//! pipeline):
 //!
 //! 1. the [`RoutingPolicy`] ranks every device that could physically
 //!    hold the request (round-robin, least-utilized,
-//!    best-fit-by-free-contiguous-area, or fragmentation-aware via the
-//!    non-mutating
-//!    [`preview_admission`](rtm_core::RunTimeManager::preview_admission));
+//!    best-fit-by-free-contiguous-area, or the two-stage
+//!    fragmentation-aware policy: a cheap cut on every device's
+//!    epoch-cached [`summary`](rtm_core::RunTimeManager::summary),
+//!    then the expensive non-mutating
+//!    [`preview_admission`](rtm_core::RunTimeManager::preview_admission)
+//!    on the top-K survivors only);
 //! 2. the fleet offers the request to each ranked device in turn —
-//!    **cross-device retry** — admitting on the first that takes it;
-//! 3. if nobody can place it right now, the request queues on the
-//!    best-ranked device (served later in that shard's
-//!    [`QueueOrder`](rtm_service::QueueOrder));
-//! 4. requests no device can ever hold are counted
+//!    **cross-device retry**, capped by
+//!    [`FleetConfig::max_offer_attempts`] — admitting on the first
+//!    that takes it; a candidate previewed in step 1 carries its
+//!    epoch-stamped [`RoomPlan`](rtm_core::RoomPlan), which the shard
+//!    executes via
+//!    [`load_with_plan`](rtm_core::RunTimeManager::load_with_plan)
+//!    without planning again (stale plans are detected and re-planned,
+//!    never executed);
+//! 3. a device-specific *load* failure (placement/routing congestion)
+//!    is recorded and attributed on that shard, then the next-ranked
+//!    device gets the request — counted in
+//!    [`FleetReport::load_failovers`];
+//! 4. if nobody can place it right now, the request queues on the
+//!    best-ranked device that reported "no room" (served later in that
+//!    shard's [`QueueOrder`](rtm_service::QueueOrder));
+//! 5. requests no device can ever hold are counted
 //!    [`FleetReport::unplaceable`] and dropped, never queued.
 //!
 //! Each shard keeps its own defragmentation threshold; on top of that a
@@ -71,4 +86,4 @@ pub mod routing;
 pub use config::FleetConfig;
 pub use fleet::FleetService;
 pub use report::{FleetReport, FleetSample, ShardOutcome};
-pub use routing::{standard_policies, RoutingPolicy};
+pub use routing::{standard_policies, RouteCandidate, RoutingPolicy};

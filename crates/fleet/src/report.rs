@@ -1,5 +1,6 @@
 //! The aggregated outcome of one fleet run.
 
+use rtm_core::PlanStats;
 use rtm_fpga::part::Part;
 use rtm_sched::task::Micros;
 use rtm_service::ServiceReport;
@@ -31,10 +32,12 @@ pub struct FleetSample {
 /// Everything one [`FleetService::run`](crate::FleetService::run)
 /// produced: the per-device [`ServiceReport`]s plus the fleet-level
 /// counters no single device can see — routing retries, unplaceable
-/// rejections, fleet-triggered defragmentation cycles and the
-/// fleet-wide fragmentation timeline. All per-request totals roll up
-/// exactly: [`FleetReport::submitted`] equals the shard reports'
-/// `submitted` sum plus [`FleetReport::unplaceable`].
+/// rejections, load-failure failovers, fleet-triggered defragmentation
+/// cycles and the fleet-wide fragmentation timeline. All per-request
+/// totals roll up exactly: the shard reports' `submitted` sum equals
+/// [`FleetReport::submitted`] − [`FleetReport::unplaceable`] +
+/// [`FleetReport::load_failovers`] (each failover accounts the same
+/// request on one more shard).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
     /// The trace that was replayed.
@@ -49,6 +52,13 @@ pub struct FleetReport {
     /// Admissions that succeeded on a retry device after the
     /// first-ranked device could not place the request.
     pub retries: usize,
+    /// Extra shard accountings caused by device-specific load failures:
+    /// each time a request failed to load on one shard and was then
+    /// accounted again on another (retried, queued, or dropped there),
+    /// this counter moves by one. The failed shard keeps its attributed
+    /// failure record, so `Σ shard_submitted = submitted − unplaceable
+    /// + load_failovers` holds exactly.
+    pub load_failovers: usize,
     /// Defragmentation cycles forced by the *fleet-level* trigger (on
     /// top of the per-device threshold cycles counted in the shard
     /// reports).
@@ -66,7 +76,7 @@ impl FleetReport {
 
     /// Requests the shards accepted responsibility for (sums the shard
     /// reports; equals [`FleetReport::submitted`] −
-    /// [`FleetReport::unplaceable`]).
+    /// [`FleetReport::unplaceable`] + [`FleetReport::load_failovers`]).
     pub fn shard_submitted(&self) -> usize {
         self.sum(|r| r.submitted)
     }
@@ -89,6 +99,29 @@ impl FleetReport {
     /// Per-request load/synthesis/duplicate failures.
     pub fn failures(&self) -> usize {
         self.sum(|r| r.failures)
+    }
+
+    /// Load failures attributed to placement-side congestion (no free
+    /// cell slots) fleet-wide — the routing-failure autopsy roll-up.
+    pub fn failures_no_slots(&self) -> usize {
+        self.sum(|r| r.failures_no_slots)
+    }
+
+    /// Load failures attributed to routing-side congestion (unroutable
+    /// nets) fleet-wide.
+    pub fn failures_unroutable(&self) -> usize {
+        self.sum(|r| r.failures_unroutable)
+    }
+
+    /// The plan-reuse pipeline counters rolled up over every shard:
+    /// planning passes, previews, reused/invalidated plans and the
+    /// summary-cache hit rate for the whole fleet run.
+    pub fn plan_stats(&self) -> PlanStats {
+        let mut total = PlanStats::default();
+        for s in &self.shards {
+            total.merge(s.report.plan_stats);
+        }
+        total
     }
 
     /// Requests cancelled by the trace while queued.
@@ -170,12 +203,14 @@ impl fmt::Display for FleetReport {
         )?;
         writeln!(
             f,
-            "  admissions : {}/{} (rate {:.3}), {} via retry, {} unplaceable",
+            "  admissions : {}/{} (rate {:.3}), {} via retry, {} unplaceable, \
+             {} load failovers",
             self.admitted(),
             self.submitted,
             self.admission_rate(),
             self.retries,
             self.unplaceable,
+            self.load_failovers,
         )?;
         writeln!(
             f,
@@ -202,6 +237,7 @@ impl fmt::Display for FleetReport {
             self.peak_mean_frag(),
             self.peak_worst_frag()
         )?;
+        writeln!(f, "  planning   : {}", self.plan_stats())?;
         for (i, s) in self.shards.iter().enumerate() {
             writeln!(
                 f,
@@ -246,6 +282,7 @@ mod tests {
             submitted: 11,
             unplaceable: 1,
             retries: 2,
+            load_failovers: 0,
             fleet_defrags: 0,
             shards: vec![shard(Part::Xcv50, 6, 5), shard(Part::Xcv100, 4, 4)],
             timeline: vec![

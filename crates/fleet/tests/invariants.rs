@@ -12,7 +12,10 @@ use std::collections::BTreeMap;
 
 /// Every per-request fleet total must balance: what came in either got
 /// admitted, rejected (deadline / failure / unplaceable), cancelled by
-/// the trace, or is still queued.
+/// the trace, or is still queued. A device-specific load failure that
+/// failed over to another shard accounts the request on *each* shard
+/// it touched; `load_failovers` counts exactly those extra
+/// accountings, so both identities stay exact.
 fn assert_conservation(report: &rtm_fleet::FleetReport) {
     assert_eq!(
         report.admitted()
@@ -21,12 +24,17 @@ fn assert_conservation(report: &rtm_fleet::FleetReport) {
             + report.cancelled()
             + report.queued_at_end()
             + report.unplaceable,
-        report.submitted,
+        report.submitted + report.load_failovers,
         "{report}"
     );
     assert_eq!(
         report.shard_submitted() + report.unplaceable,
-        report.submitted,
+        report.submitted + report.load_failovers,
+        "{report}"
+    );
+    // The autopsy counters are subsets of the failure total.
+    assert!(
+        report.failures_no_slots() + report.failures_unroutable() <= report.failures(),
         "{report}"
     );
     for s in &report.shards {
@@ -69,7 +77,7 @@ proptest! {
             .count();
 
         let policies: Vec<Box<dyn RoutingPolicy>> =
-            vec![Box::new(RoundRobin::default()), Box::new(FragAware)];
+            vec![Box::new(RoundRobin::default()), Box::new(FragAware::default())];
         for policy in policies {
             let config = FleetConfig::heterogeneous(&parts, ServiceConfig::default());
             let mut fleet = FleetService::new(config, policy);
@@ -98,10 +106,7 @@ proptest! {
 /// per-device counters.
 #[test]
 fn fleet_totals_equal_shard_sums_on_a_real_run() {
-    let copies: Vec<Trace> = (0..3)
-        .map(|k| Scenario::AdversarialFragmenter.trace(Part::Xcv50, 40 + k))
-        .collect();
-    let trace = Trace::merged("adv-x3", &copies, 1 << 32, 170_000);
+    let trace = Scenario::AdversarialFragmenter.fleet_trace(Part::Xcv50, 3, 40, 170_000);
     let config = FleetConfig::homogeneous(3, ServiceConfig::default());
     let mut fleet = FleetService::new(config, Box::new(BestFitContiguous));
     let report = fleet.run(&trace).unwrap();

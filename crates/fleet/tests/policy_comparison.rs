@@ -11,10 +11,8 @@ use rtm_service::trace::{Scenario, Trace};
 use rtm_service::ServiceConfig;
 
 fn fleet_trace(seed: u64) -> Trace {
-    let copies: Vec<Trace> = (0..4)
-        .map(|k| Scenario::AdversarialFragmenter.trace(Part::Xcv50, seed + 100 * k))
-        .collect();
-    Trace::merged("adversarial-x4", &copies, 1 << 32, 170_000)
+    // The example's exact workload, via the one shared definition.
+    Scenario::AdversarialFragmenter.fleet_trace(Part::Xcv50, 4, seed, 170_000)
 }
 
 #[test]

@@ -1,5 +1,6 @@
 //! The structured outcome of one service run.
 
+use rtm_core::PlanStats;
 use rtm_place::frag::FragMetrics;
 use rtm_sched::admission::AdmissionOutcome;
 use rtm_sched::task::Micros;
@@ -63,6 +64,14 @@ pub struct ServiceReport {
     /// Requests dropped because design synthesis or loading failed, or
     /// because their id duplicated a still-resident function.
     pub failures: usize,
+    /// Subset of [`ServiceReport::failures`] whose load failed for lack
+    /// of free cell slots (placement-side congestion) — the
+    /// routing-failure autopsy.
+    pub failures_no_slots: usize,
+    /// Subset of [`ServiceReport::failures`] whose load failed because a
+    /// net was unroutable through the shared fabric (routing-side
+    /// congestion).
+    pub failures_unroutable: usize,
     /// Requests departed by the trace while still waiting in the queue
     /// (caller-initiated cancellations, not service rejections).
     pub cancelled: usize,
@@ -90,6 +99,13 @@ pub struct ServiceReport {
     pub defrags: Vec<DefragSummary>,
     /// Fragmentation sampled after every processed event time.
     pub frag_timeline: Vec<FragSample>,
+    /// Planning-pipeline counters for the run: how many `make_room` /
+    /// compaction planning passes the manager executed, how many
+    /// previously computed plans were executed without re-planning, and
+    /// how the per-device summary cache behaved (filled in by
+    /// [`RuntimeService::finish`](crate::RuntimeService::finish) as the
+    /// delta of the manager's lifetime counters over this run).
+    pub plan_stats: PlanStats,
     /// Requests still queued when the trace (and all residencies with
     /// known durations) ran out.
     pub queued_at_end: usize,
@@ -176,6 +192,16 @@ impl fmt::Display for ServiceReport {
             "  halt time  : 0 ms incurred (halting baseline would charge {:.1} ms)",
             self.baseline_halt_ms
         )?;
+        if self.failures > 0 {
+            writeln!(
+                f,
+                "  autopsy    : {} no-free-slots, {} unroutable, {} other failures",
+                self.failures_no_slots,
+                self.failures_unroutable,
+                self.failures - self.failures_no_slots - self.failures_unroutable,
+            )?;
+        }
+        writeln!(f, "  planning   : {}", self.plan_stats)?;
         writeln!(
             f,
             "  waits      : mean {:.1} ms, max {:.1} ms",

@@ -4,7 +4,7 @@ use crate::config::{QueueOrder, ServiceConfig};
 use crate::report::{AdmissionRecord, DefragSummary, FragSample, ServiceReport};
 use crate::trace::{Arrival, Trace, TraceEvent};
 use rtm_core::manager::{FunctionId, RunTimeManager};
-use rtm_core::{CoreError, RelocationReport};
+use rtm_core::{CoreError, DefragPlan, LoadFailureReason, PlanStats, RelocationReport, RoomPlan};
 use rtm_fpga::part::Part;
 use rtm_netlist::random::RandomCircuit;
 use rtm_netlist::techmap::{map_to_luts, MappedNetlist};
@@ -24,9 +24,14 @@ struct Queued {
 enum Attempt {
     /// Admitted and resident.
     Admitted,
-    /// Dropped from the queue (deadline or load failure), already
-    /// recorded in the report.
+    /// Dropped (deterministic refusal: duplicate id or synthesis
+    /// failure), already recorded in the report.
     Dropped,
+    /// The load itself failed on *this* device (placement or routing
+    /// congestion), recorded in the report with its attributed reason.
+    /// Unlike [`Attempt::Dropped`] this is device-specific: the same
+    /// request may well succeed on a sibling.
+    Failed,
     /// Cannot be placed right now; stays at the head of the queue.
     NoRoom,
 }
@@ -38,9 +43,14 @@ enum Attempt {
 pub enum OfferOutcome {
     /// Admitted and resident on this device.
     Admitted,
-    /// Refused and accounted (duplicate id or load failure) — the
-    /// request is consumed, do not try it elsewhere.
+    /// Refused and accounted (duplicate id or synthesis failure) — the
+    /// refusal is deterministic for the request, so the request is
+    /// consumed: do not try it elsewhere.
     Dropped,
+    /// The load failed on *this* device (placement/routing congestion),
+    /// recorded here with its attributed reason. The failure is
+    /// device-specific — a fleet may retry the next-ranked device.
+    LoadFailed,
     /// Cannot be placed on this device right now; nothing was recorded,
     /// the caller may try another device or queue it.
     NoRoom,
@@ -90,6 +100,16 @@ pub struct RuntimeService {
     /// Trace id → simulated time its residency expires.
     expiry: BTreeMap<u64, Micros>,
     queue: VecDeque<Queued>,
+    /// Manager plan-stats snapshot at the start of the current run —
+    /// [`RuntimeService::finish`] reports the delta.
+    stats_base: PlanStats,
+    /// The queue head that last failed to place, with the manager epoch
+    /// it failed at. While the head and epoch are unchanged, serving
+    /// the queue is a no-op without re-planning: `make_room` is a pure
+    /// function of the layout, and deadline slack only shrinks as the
+    /// clock advances, so a blocked head stays blocked until the device
+    /// mutates.
+    head_blocked: Option<(u64, u64)>,
 }
 
 impl RuntimeService {
@@ -104,6 +124,8 @@ impl RuntimeService {
             resident: BTreeMap::new(),
             expiry: BTreeMap::new(),
             queue: VecDeque::new(),
+            stats_base: PlanStats::default(),
+            head_blocked: None,
         }
     }
 
@@ -233,10 +255,19 @@ impl RuntimeService {
     /// Attempts to admit `arrival` right now, bypassing the queue: the
     /// probe a fleet router sends to candidate devices. On
     /// [`OfferOutcome::NoRoom`] nothing is recorded and the caller may
-    /// probe another device; the other outcomes consume the request and
-    /// account it on this shard. Advances the clock to `at` first, so
-    /// deadline feasibility, wait times and residency expirations are
-    /// all judged at the offer's own time.
+    /// probe another device; the other outcomes account the request on
+    /// this shard (and of those, only [`OfferOutcome::LoadFailed`]
+    /// leaves it retryable elsewhere). Advances the clock to `at`
+    /// first, so deadline feasibility, wait times and residency
+    /// expirations are all judged at the offer's own time.
+    ///
+    /// `plan` is an optional epoch-stamped rearrangement plan the
+    /// caller already computed for this request on this device —
+    /// typically the [`AdmissionPreview`](rtm_core::AdmissionPreview)
+    /// plan a frag-aware router obtained while ranking candidates. A
+    /// valid plan makes the admission plan-free: it is executed via
+    /// [`RunTimeManager::load_with_plan`] without running `make_room`
+    /// again; a stale plan is detected and re-planned.
     ///
     /// # Errors
     ///
@@ -246,6 +277,7 @@ impl RuntimeService {
         &mut self,
         at: Micros,
         arrival: Arrival,
+        plan: Option<RoomPlan>,
         report: &mut ServiceReport,
     ) -> Result<OfferOutcome, CoreError> {
         self.now = self.now.max(at);
@@ -253,7 +285,7 @@ impl RuntimeService {
             arrival,
             queued_at: at,
         };
-        Ok(match self.try_admit(&q, report)? {
+        Ok(match self.try_admit(&q, plan, report)? {
             Attempt::NoRoom => OfferOutcome::NoRoom,
             Attempt::Admitted => {
                 report.submitted += 1;
@@ -262,6 +294,10 @@ impl RuntimeService {
             Attempt::Dropped => {
                 report.submitted += 1;
                 OfferOutcome::Dropped
+            }
+            Attempt::Failed => {
+                report.submitted += 1;
+                OfferOutcome::LoadFailed
             }
         })
     }
@@ -284,7 +320,7 @@ impl RuntimeService {
         });
 
         if self.mgr.fragmentation().exceeds(self.config.frag_threshold) {
-            self.defrag_now(report)?;
+            self.defrag_now(None, report)?;
         }
         Ok(())
     }
@@ -295,11 +331,25 @@ impl RuntimeService {
     /// cycle on an incompressible (or already compact) layout is a
     /// recorded no-op. Returns whether a cycle actually executed.
     ///
+    /// `plan` lets a caller that already planned the compaction (a
+    /// fleet ranking devices by predicted gain) hand the plan over for
+    /// execution via
+    /// [`RunTimeManager::defragment_with_plan`](rtm_core::RunTimeManager::defragment_with_plan)
+    /// instead of paying a second planning pass; stale plans are
+    /// detected and re-planned.
+    ///
     /// # Errors
     ///
     /// Propagates [`CoreError`] from a failed relocation.
-    pub fn defrag_now(&mut self, report: &mut ServiceReport) -> Result<bool, CoreError> {
-        let d = self.mgr.defragment(|_, _, _| {})?;
+    pub fn defrag_now(
+        &mut self,
+        plan: Option<DefragPlan>,
+        report: &mut ServiceReport,
+    ) -> Result<bool, CoreError> {
+        let d = match plan {
+            Some(p) => self.mgr.defragment_with_plan(&p, |_, _, _| {})?,
+            None => self.mgr.defragment(|_, _, _| {})?,
+        };
         if d.moves.is_empty() {
             return Ok(false);
         }
@@ -322,12 +372,17 @@ impl RuntimeService {
         Ok(true)
     }
 
-    /// Closes out a run: queue/residency tallies and the final
-    /// fragmentation snapshot.
+    /// Closes out a run: queue/residency tallies, the final
+    /// fragmentation snapshot, and the run's planning-counter delta
+    /// (the manager counts for its whole life; the report shows what
+    /// *this* run moved).
     pub fn finish(&mut self, report: &mut ServiceReport) {
         report.queued_at_end = self.queue.len();
         report.resident_at_end = self.resident.len();
         report.final_frag = Some(self.mgr.fragmentation());
+        let totals = self.mgr.plan_stats();
+        report.plan_stats = totals.delta_since(self.stats_base);
+        self.stats_base = totals;
     }
 
     /// Unloads a resident function, or cancels a queued one (counted as
@@ -376,9 +431,21 @@ impl RuntimeService {
                 .sort_by_key(|q| (q.arrival.area(), q.queued_at)),
         }
         while let Some(q) = self.queue.front().copied() {
-            match self.try_admit(&q, report)? {
-                Attempt::NoRoom => break,
-                Attempt::Admitted | Attempt::Dropped => {
+            // A head that already failed to place at this exact epoch
+            // cannot succeed now: the layout is unchanged and deadline
+            // slack only shrinks. Skip the redundant planning pass —
+            // this is what keeps an idle-but-blocked queue from paying
+            // one `make_room` per processed instant.
+            if self.head_blocked == Some((q.arrival.id, self.mgr.epoch())) {
+                break;
+            }
+            match self.try_admit(&q, None, report)? {
+                Attempt::NoRoom => {
+                    self.head_blocked = Some((q.arrival.id, self.mgr.epoch()));
+                    break;
+                }
+                Attempt::Admitted | Attempt::Dropped | Attempt::Failed => {
+                    self.head_blocked = None;
                     self.queue.pop_front();
                 }
             }
@@ -386,8 +453,19 @@ impl RuntimeService {
         Ok(())
     }
 
-    /// Attempts to admit one queued request.
-    fn try_admit(&mut self, q: &Queued, report: &mut ServiceReport) -> Result<Attempt, CoreError> {
+    /// Attempts to admit one queued request. `routed_plan` is a
+    /// caller-held rearrangement plan (from a routing preview);
+    /// whatever happens, admission runs at most one planning pass: a
+    /// valid plan runs zero (reused for both the deadline-feasibility
+    /// check and the load), and a stale or absent one is planned once
+    /// and then executed via
+    /// [`RunTimeManager::load_with_plan`](rtm_core::RunTimeManager::load_with_plan).
+    fn try_admit(
+        &mut self,
+        q: &Queued,
+        routed_plan: Option<RoomPlan>,
+        report: &mut ServiceReport,
+    ) -> Result<Attempt, CoreError> {
         let a = q.arrival;
         // A duplicate of a still-resident id would orphan the earlier
         // function in the bookkeeping: refuse it outright.
@@ -395,9 +473,10 @@ impl RuntimeService {
             report.failures += 1;
             return Ok(Attempt::Dropped);
         }
-        // Preview the rearrangement the load would need, so the
-        // admission decision can weigh its cost *before* committing.
-        let Some(plan) = self.mgr.plan_room(a.rows, a.cols) else {
+        // The rearrangement the load would need, so the admission
+        // decision can weigh its cost *before* committing. A valid
+        // routed plan answers for free; otherwise plan once now.
+        let Some(plan) = self.mgr.revalidate_room_plan(a.rows, a.cols, routed_plan) else {
             return Ok(Attempt::NoRoom);
         };
         if !plan.is_empty() && !self.config.policy.rearranges() {
@@ -408,8 +487,7 @@ impl RuntimeService {
         // the deadline, don't move running functions for nothing — the
         // request stays queued: a departure may yet shrink the plan,
         // and `serve_queue` rejects it once the deadline itself passes.
-        let plan_cells: u32 = plan.iter().map(Move::cells_moved).sum();
-        let start = self.now + plan_cells as Micros * self.config.us_per_clb;
+        let start = self.now + plan.cells_moved() as Micros * self.config.us_per_clb;
         if a.deadline.map(|d| start > d).unwrap_or(false) {
             return Ok(Attempt::NoRoom);
         }
@@ -421,13 +499,23 @@ impl RuntimeService {
                 return Ok(Attempt::Dropped);
             }
         };
-        match self.mgr.load(&design, a.rows, a.cols, |_, _, _| {}) {
-            Err(_) => {
+        match self
+            .mgr
+            .load_with_plan(&design, a.rows, a.cols, &plan, |_, _, _| {})
+        {
+            Err(e) => {
                 // A placement/routing failure on a live device: the
                 // manager's bookkeeping stays consistent, the service
-                // records the casualty and keeps running.
+                // records the casualty — attributed, so fleet autopsies
+                // can tell area pressure from wiring congestion — and
+                // keeps running.
                 report.failures += 1;
-                Ok(Attempt::Dropped)
+                match e.load_failure_reason() {
+                    LoadFailureReason::NoFreeSlots => report.failures_no_slots += 1,
+                    LoadFailureReason::Unroutable => report.failures_unroutable += 1,
+                    LoadFailureReason::Other => {}
+                }
+                Ok(Attempt::Failed)
             }
             Ok(lr) => {
                 let outcome = if lr.moves.is_empty() {

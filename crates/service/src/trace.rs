@@ -265,6 +265,20 @@ impl Scenario {
             Scenario::AdversarialFragmenter => adversarial_fragmenter(part, seed),
         }
     }
+
+    /// `copies` staggered copies of this scenario (copy `k` seeded
+    /// `seed + 100·k`), sized for `part` and merged into one
+    /// fleet-scale trace named `"{scenario}-x{copies}"` with disjoint
+    /// id ranges — the canonical multi-device workload used by the
+    /// `fleet_loop` example/bench, the fleet tests, and the CI perf
+    /// baseline. One definition keeps all of those comparing the same
+    /// event stream.
+    pub fn fleet_trace(&self, part: Part, copies: u64, seed: u64, stagger: Micros) -> Trace {
+        let traces: Vec<Trace> = (0..copies)
+            .map(|k| self.trace(part, seed + 100 * k))
+            .collect();
+        Trace::merged(format!("{self}-x{copies}"), &traces, 1 << 32, stagger)
+    }
 }
 
 impl fmt::Display for Scenario {

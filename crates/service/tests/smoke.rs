@@ -202,6 +202,7 @@ fn stepping_api_offer_synchronizes_the_clock() {
                 duration: Some(100_000),
                 deadline: None,
             },
+            None,
             &mut rep,
         )
         .unwrap();

@@ -14,23 +14,127 @@
 //! ```sh
 //! cargo run --release --example fleet_loop
 //! ```
+//!
+//! ## CI perf gate: `--baseline [PATH]`
+//!
+//! ```sh
+//! cargo run --release --example fleet_loop -- --baseline target/BENCH_fleet.json
+//! ```
+//!
+//! Replays a fixed set of deterministic fleet runs — the three-device
+//! policy sweep plus frag-aware sweeps at N = 16 and N = 64 devices —
+//! and writes every run's counters (admissions, frames written,
+//! `make_room` planning passes, plans reused, …) as JSON. The checked-in
+//! `BENCH_fleet.json` is the baseline; `ci.sh` re-runs this mode and
+//! fails on any counter difference. Counters are exact-match gated;
+//! wall-clock time is printed for the log but never gated.
 
-use rtm::fleet::routing::standard_policies;
-use rtm::fleet::{FleetConfig, FleetService};
+use rtm::fleet::routing::{standard_policies, FragAware, RoutingPolicy};
+use rtm::fleet::{FleetConfig, FleetReport, FleetService};
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Scenario, Trace};
 use rtm_service::ServiceConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
 
-/// Four staggered copies of `scenario`, sized for the XCV50, with
-/// disjoint id ranges — the fleet-scale workload.
-fn fleet_trace(scenario: Scenario, seed: u64) -> Trace {
-    let copies: Vec<Trace> = (0..4)
-        .map(|k| scenario.trace(Part::Xcv50, seed + 100 * k))
-        .collect();
-    Trace::merged(format!("{scenario}-x4"), &copies, 1 << 32, 170_000)
+/// The canonical fleet-scale workload: `copies` staggered copies of
+/// `scenario`, sized for the XCV50 (see [`Scenario::fleet_trace`]).
+fn fleet_trace(scenario: Scenario, copies: u64, seed: u64) -> Trace {
+    scenario.fleet_trace(Part::Xcv50, copies, seed, 170_000)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// One deterministic counter block of the perf baseline, JSON-ready.
+fn json_block(devices: usize, report: &FleetReport) -> String {
+    let s = report.plan_stats();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "    {{\"scenario\": \"{}\", \"devices\": {}, \"policy\": \"{}\", \
+         \"submitted\": {}, \"admitted\": {}, \"retries\": {}, \
+         \"load_failovers\": {}, \"unplaceable\": {}, \"queued_at_end\": {}, \
+         \"failures\": {}, \"failures_no_slots\": {}, \"failures_unroutable\": {}, \
+         \"defrag_cycles\": {}, \"fleet_defrags\": {}, \"function_moves\": {}, \
+         \"cells_moved\": {}, \"frames_written\": {}, \
+         \"make_room_calls\": {}, \"previews\": {}, \"compaction_plans\": {}, \
+         \"plans_reused\": {}, \"plans_invalidated\": {}, \
+         \"summary_hits\": {}, \"summary_misses\": {}}}",
+        report.trace_name,
+        devices,
+        report.policy,
+        report.submitted,
+        report.admitted(),
+        report.retries,
+        report.load_failovers,
+        report.unplaceable,
+        report.queued_at_end(),
+        report.failures(),
+        report.failures_no_slots(),
+        report.failures_unroutable(),
+        report.defrag_cycles(),
+        report.fleet_defrags,
+        report.function_moves(),
+        report.cells_moved(),
+        report.frames_written(),
+        s.make_room_calls,
+        s.previews,
+        s.compaction_plans,
+        s.plans_reused,
+        s.plans_invalidated,
+        s.summary_hits,
+        s.summary_misses,
+    );
+    out
+}
+
+/// The deterministic baseline suite: every run the CI gate compares.
+fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 42;
+    let mut blocks: Vec<String> = Vec::new();
+    let mut run = |parts: &[Part], policy: Box<dyn RoutingPolicy>, trace: &Trace| {
+        let config = FleetConfig::heterogeneous(parts, ServiceConfig::default());
+        let mut fleet = FleetService::new(config, policy);
+        let started = Instant::now();
+        let report = fleet.run(trace).expect("baseline fleet run stays up");
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "  {:<26} N={:<3} {:<16} {:>3}/{:<3} admitted, {} make_room, \
+             {} reused   [{:.0} ms wall, not gated]",
+            report.trace_name,
+            parts.len(),
+            report.policy,
+            report.admitted(),
+            report.submitted,
+            report.plan_stats().make_room_calls,
+            report.plan_stats().plans_reused,
+            wall_ms,
+        );
+        blocks.push(json_block(parts.len(), &report));
+    };
+
+    // 1. The example's three-device fleet, all four policies, on the
+    //    adversarial scenario (the contended run the docs discuss).
+    let small = [Part::Xcv50, Part::Xcv50, Part::Xcv100];
+    let adv_x4 = fleet_trace(Scenario::AdversarialFragmenter, 4, seed);
+    for policy in standard_policies() {
+        run(&small, policy, &adv_x4);
+    }
+
+    // 2. Frag-aware at fleet scale: N = 16 and N = 64 homogeneous
+    //    XCV50s under (N+1) staggered adversarial copies — the sweeps
+    //    the summary cache and two-stage filter make tractable.
+    for n in [16usize, 64] {
+        let parts = vec![Part::Xcv50; n];
+        let trace = fleet_trace(Scenario::AdversarialFragmenter, n as u64 + 1, seed);
+        run(&parts, Box::<FragAware>::default(), &trace);
+    }
+
+    let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", blocks.join(",\n"));
+    std::fs::write(path, json)?;
+    println!("\nwrote {path}");
+    Ok(())
+}
+
+fn demo() -> Result<(), Box<dyn std::error::Error>> {
     let parts = [Part::Xcv50, Part::Xcv50, Part::Xcv100];
     let seed = 42;
     println!(
@@ -46,7 +150,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut adversarial: Vec<(String, usize, usize)> = Vec::new();
     for scenario in Scenario::ALL {
-        let trace = fleet_trace(scenario, seed);
+        let trace = fleet_trace(scenario, 4, seed);
         println!(
             "=== scenario '{scenario}' x4 — {} events, {} arrivals ===\n",
             trace.events().len(),
@@ -92,4 +196,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          more admissions from the same fleet."
     );
     Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--baseline") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_fleet.json");
+        println!("fleet_loop --baseline: deterministic counter runs (exact-match gated)");
+        return baseline(path);
+    }
+    demo()
 }
