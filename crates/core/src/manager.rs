@@ -22,7 +22,7 @@ use rtm_place::frag::FragMetrics;
 use rtm_place::TaskArena;
 use rtm_sim::design::{implement_reserved, PlacedDesign};
 use rtm_sim::place::CellLoc;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -293,6 +293,126 @@ impl AdmissionPreview {
     }
 }
 
+/// A cross-device migration plan: the evidence that moving one resident
+/// function from a *source* manager onto a *target* manager is
+/// executable right now, stamped on **both** sides. The source side
+/// carries the epoch the function's geometry was read at; the target
+/// side carries an epoch-stamped [`RoomPlan`] from the target's own
+/// planner. Either stamp going stale means the plan describes a layout
+/// that no longer exists, and the plan must be re-planned, never
+/// executed — [`RunTimeManager::migration_plan_valid`] is the source
+/// check, and [`RunTimeManager::readmit_function`] applies the standard
+/// room-plan revalidation on the target.
+#[derive(Debug, Clone)]
+pub struct MigrationPlan {
+    src_epoch: u64,
+    id: FunctionId,
+    rows: u16,
+    cols: u16,
+    room: RoomPlan,
+}
+
+impl MigrationPlan {
+    /// The function the plan would migrate (source-manager id).
+    pub fn id(&self) -> FunctionId {
+        self.id
+    }
+
+    /// The source-manager epoch the plan was computed at.
+    pub fn src_epoch(&self) -> u64 {
+        self.src_epoch
+    }
+
+    /// The migrating function's shape.
+    pub fn shape(&self) -> (u16, u16) {
+        (self.rows, self.cols)
+    }
+
+    /// CLBs the function occupies (the port-time cost of copying it).
+    pub fn cells(&self) -> u32 {
+        self.rows as u32 * self.cols as u32
+    }
+
+    /// The target-side rearrangement plan the readmission would execute
+    /// first (empty when the function fits the target as-is).
+    pub fn room(&self) -> &RoomPlan {
+        &self.room
+    }
+}
+
+/// A resident function snapshotted off its device mid-migration by
+/// [`RunTimeManager::extract_function`]: everything needed to
+/// re-implement it on another manager
+/// ([`RunTimeManager::readmit_function`]) — and everything needed to
+/// put it back *exactly* as it was on the source
+/// ([`RunTimeManager::restore_function`]) should the readmission fail.
+/// The pre-extraction configuration snapshot is the migration's
+/// checkpoint: restore is a frame-exact rollback, so a failed migration
+/// can never leave orphan state on either device.
+#[derive(Debug, Clone)]
+pub struct ExtractedFunction {
+    id: FunctionId,
+    design: MappedNetlist,
+    region: Rect,
+    placed: PlacedDesign,
+    /// Live storage-element state per design cell, captured at
+    /// extraction so the readmitted copy resumes instead of resetting.
+    states: Vec<bool>,
+    /// Full source-configuration snapshot taken *before* the extraction
+    /// — the checkpoint a failed migration restores from.
+    pre_config: ConfigMemory,
+    /// The source epoch right after the extraction; restore demands it
+    /// still matches (nothing else may have touched the source since).
+    post_epoch: u64,
+}
+
+impl ExtractedFunction {
+    /// The id the function had on the source manager.
+    pub fn source_id(&self) -> FunctionId {
+        self.id
+    }
+
+    /// The mapped design.
+    pub fn design(&self) -> &MappedNetlist {
+        &self.design
+    }
+
+    /// The region the function occupied on the source.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// The function's shape (`rows`, `cols`).
+    pub fn shape(&self) -> (u16, u16) {
+        (self.region.rows, self.region.cols)
+    }
+
+    /// CLBs the function occupies — the reconfiguration-port cost of
+    /// copying it off or onto a device, in the same unit as
+    /// [`Move::cells_moved`].
+    pub fn cells(&self) -> u32 {
+        self.region.area()
+    }
+
+    /// The source-side implementation (placement + nets) at extraction
+    /// time — what the readback-equivalence invariant compares against.
+    pub fn placed(&self) -> &PlacedDesign {
+        &self.placed
+    }
+
+    /// The captured storage-element state, indexed like
+    /// `design().cells`.
+    pub fn states(&self) -> &[bool] {
+        &self.states
+    }
+
+    /// The pre-extraction source-configuration snapshot (readback of
+    /// the whole device as it was with the function still resident).
+    pub fn pre_config(&self) -> &ConfigMemory {
+        &self.pre_config
+    }
+}
+
 /// Summary returned by [`RunTimeManager::defragment`]: the executed
 /// compaction plan, the per-cell relocation traffic, and the
 /// fragmentation before/after — the evidence that a service-initiated
@@ -361,11 +481,15 @@ pub struct RunTimeManager {
     frag_cache: Cell<Option<(u64, FragMetrics)>>,
     /// Epoch-keyed cache of the routing summary.
     summary_cache: Cell<Option<DeviceSummary>>,
-    /// Epoch-keyed cache of the predicted compaction gain (filled
-    /// lazily: computing it costs a compaction planning pass, and most
-    /// queries — routing summaries with the fleet trigger disabled —
-    /// never need it).
-    gain_cache: Cell<Option<(u64, f64)>>,
+    /// Lazy cache of the whole compaction plan (the plan is itself
+    /// epoch-stamped, so the stamp doubles as the cache key). Computing
+    /// it costs a compaction planning pass, and most queries — routing
+    /// summaries with the fleet trigger disabled — never need it; a
+    /// `RefCell` (not a `Cell`) because the non-`Copy` move list must
+    /// live here so a fleet trigger that already ranked devices by
+    /// predicted gain can execute the winner's plan without planning
+    /// the same cycle again.
+    defrag_cache: RefCell<Option<DefragPlan>>,
 }
 
 impl RunTimeManager {
@@ -396,7 +520,7 @@ impl RunTimeManager {
             stats: Cell::new(PlanStats::default()),
             frag_cache: Cell::new(None),
             summary_cache: Cell::new(None),
-            gain_cache: Cell::new(None),
+            defrag_cache: RefCell::new(None),
         }
     }
 
@@ -533,21 +657,44 @@ impl RunTimeManager {
         }
     }
 
-    /// Predicted drop of the fragmentation index if
-    /// [`RunTimeManager::defragment`] ran now (zero when the cycle would
-    /// be skipped as useless). Lazily epoch-cached: the first query
-    /// after a mutation pays one compaction planning pass, every later
-    /// one is free — so a fleet trigger ranking all devices costs one
-    /// pass per *mutated* device per query wave, and routing paths that
-    /// never ask pay nothing at all.
-    pub fn predicted_defrag_gain(&self) -> f64 {
-        if let Some((epoch, gain)) = self.gain_cache.get() {
-            if epoch == self.epoch {
-                return gain;
+    /// The compaction plan [`RunTimeManager::defragment`] would execute
+    /// now, answered from the lazy epoch-keyed plan cache: the first
+    /// query after a mutation pays one compaction planning pass
+    /// (exactly like [`RunTimeManager::predicted_defrag_gain`], which
+    /// is a view of this cache), every later one is free. A fleet
+    /// trigger that ranked devices by predicted gain hands this cached
+    /// plan straight to [`RunTimeManager::defragment_with_plan`], so a
+    /// fleet-triggered cycle is plan-free end to end — ranking already
+    /// paid the only pass.
+    pub fn cached_defrag_plan(&self) -> DefragPlan {
+        if let Some(p) = self.defrag_cache.borrow().as_ref() {
+            if p.epoch == self.epoch {
+                return p.clone();
             }
         }
-        let gain = self.plan_defrag().predicted_gain();
-        self.gain_cache.set(Some((self.epoch, gain)));
+        let p = self.plan_defrag();
+        *self.defrag_cache.borrow_mut() = Some(p.clone());
+        p
+    }
+
+    /// Predicted drop of the fragmentation index if
+    /// [`RunTimeManager::defragment`] ran now (zero when the cycle would
+    /// be skipped as useless). Lazily epoch-cached in the same plan
+    /// cache as [`RunTimeManager::cached_defrag_plan`]: the first query
+    /// after a mutation pays one compaction planning pass, every later
+    /// one reads the gain through the cache borrow (no plan clone) — so
+    /// a fleet trigger ranking all devices costs one pass per *mutated*
+    /// device per query wave, and routing paths that never ask pay
+    /// nothing at all.
+    pub fn predicted_defrag_gain(&self) -> f64 {
+        if let Some(p) = self.defrag_cache.borrow().as_ref() {
+            if p.epoch == self.epoch {
+                return p.predicted_gain();
+            }
+        }
+        let p = self.plan_defrag();
+        let gain = p.predicted_gain();
+        *self.defrag_cache.borrow_mut() = Some(p);
         gain
     }
 
@@ -585,6 +732,207 @@ impl RunTimeManager {
             },
             region,
             after: scratch.fragmentation(),
+        })
+    }
+
+    /// Fragmentation metrics this device would show if `id` were
+    /// extracted (computed on a scratch copy, nothing mutates). `None`
+    /// for unknown ids. This is the rebalancing planner's scoring
+    /// primitive: the difference to the current metrics, per CLB of the
+    /// function, says how much comb-repair one migration buys.
+    pub fn preview_release(&self, id: FunctionId) -> Option<FragMetrics> {
+        let mut scratch = self.arena.clone();
+        scratch.release(id).ok()?;
+        Some(scratch.fragmentation())
+    }
+
+    /// Plans — without executing anything — the migration of resident
+    /// function `id` from this manager onto `target`: the returned
+    /// [`MigrationPlan`] carries this manager's epoch stamp and the
+    /// target's epoch-stamped [`RoomPlan`] for the function's shape.
+    /// `None` when `id` is unknown or the target cannot make room even
+    /// with compaction.
+    pub fn plan_migration(&self, id: FunctionId, target: &RunTimeManager) -> Option<MigrationPlan> {
+        let region = self.arena.task_rect(id)?;
+        let room = target.plan_room(region.rows, region.cols)?;
+        Some(MigrationPlan {
+            src_epoch: self.epoch,
+            id,
+            rows: region.rows,
+            cols: region.cols,
+            room,
+        })
+    }
+
+    /// True while `plan` is still executable on this (source) manager:
+    /// the epoch stamp matches and the function still holds the shape
+    /// the plan was computed for. A stale plan must be re-planned,
+    /// never executed — its geometry (and the target's room plan)
+    /// describe a layout that no longer exists.
+    pub fn migration_plan_valid(&self, plan: &MigrationPlan) -> bool {
+        plan.src_epoch == self.epoch
+            && self
+                .arena
+                .task_rect(plan.id)
+                .map(|r| (r.rows, r.cols) == (plan.rows, plan.cols))
+                .unwrap_or(false)
+    }
+
+    /// Snapshots resident function `id` and removes it from this
+    /// device: the outbound half of a cross-device migration. The
+    /// returned [`ExtractedFunction`] carries the design, the live
+    /// storage state, the source implementation, and a pre-extraction
+    /// configuration checkpoint — enough to re-implement the function
+    /// on another manager ([`RunTimeManager::readmit_function`]) or to
+    /// roll this device back exactly
+    /// ([`RunTimeManager::restore_function`]) if the readmission fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Place`] for unknown ids; device errors from
+    /// the teardown leave the same state an [`RunTimeManager::unload`]
+    /// failure would.
+    pub fn extract_function(&mut self, id: FunctionId) -> Result<ExtractedFunction, CoreError> {
+        let f = self
+            .functions
+            .get(&id)
+            .ok_or(CoreError::Place(rtm_place::PlaceError::UnknownTask { id }))?;
+        let pre_config = self.dev.config().snapshot();
+        let mut states = Vec::with_capacity(f.design.cells.len());
+        for (i, cell) in f.design.cells.iter().enumerate() {
+            let loc = f.placed.cell_loc(i);
+            states.push(if cell.storage.is_sequential() {
+                self.dev.cell_state(loc.0, loc.1)?
+            } else {
+                false
+            });
+        }
+        let snapshot = ExtractedFunction {
+            id,
+            design: f.design.clone(),
+            region: f.region,
+            placed: f.placed.clone(),
+            states,
+            pre_config,
+            post_epoch: 0, // stamped below, after the teardown
+        };
+        self.unload(id)?;
+        Ok(ExtractedFunction {
+            post_epoch: self.epoch,
+            ..snapshot
+        })
+    }
+
+    /// Re-implements an extracted function on this device — the inbound
+    /// half of a cross-device migration — through the plan-reuse
+    /// pipeline: `plan` is validated exactly like any caller-held
+    /// [`RoomPlan`] (a stale or wrong-shape plan is counted invalidated
+    /// and re-planned, never executed), the load executes it, and the
+    /// captured storage-element state is written into the new cells so
+    /// the function *resumes* rather than restarting.
+    ///
+    /// # Errors
+    ///
+    /// As [`RunTimeManager::load`]; a failed implementation rolls this
+    /// device back to its checkpoint and leaves no orphan state, so the
+    /// caller can still [`RunTimeManager::restore_function`] the
+    /// extracted snapshot on the source.
+    pub fn readmit_function(
+        &mut self,
+        f: &ExtractedFunction,
+        plan: &RoomPlan,
+        observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<LoadReport, CoreError> {
+        let (rows, cols) = f.shape();
+        let lr = self.load_with_plan(&f.design, rows, cols, plan, observer)?;
+        // Carry the live state over: the paper's relocation never
+        // resets a moved cell, and neither does a migration.
+        let locs: Vec<CellLoc> = self
+            .functions
+            .get(&lr.id)
+            .expect("function table in sync with arena")
+            .placed
+            .placement
+            .cell_locs
+            .clone();
+        for (i, cell) in f.design.cells.iter().enumerate() {
+            if cell.storage.is_sequential() {
+                let loc = locs[i];
+                self.dev.set_cell_state(loc.0, loc.1, f.states[i])?;
+            }
+        }
+        self.checkpoint();
+        Ok(lr)
+    }
+
+    /// Puts an extracted function back onto this (source) device by
+    /// rolling the configuration back to the extraction checkpoint —
+    /// the recovery path of a failed migration. The rollback is
+    /// frame-exact: after it, the device configuration equals the
+    /// pre-extraction snapshot bit for bit, the region is re-claimed in
+    /// the arena, and the function table entry is reinstated (under a
+    /// fresh id). Returns the new id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DesignMismatch`] if this manager mutated
+    /// since the extraction (the checkpoint no longer composes with the
+    /// device state) or belongs to a different part, and
+    /// [`CoreError::Place`] if the original region is no longer free.
+    pub fn restore_function(&mut self, f: &ExtractedFunction) -> Result<FunctionId, CoreError> {
+        if f.pre_config.part() != self.dev.part() {
+            return Err(CoreError::DesignMismatch {
+                detail: format!(
+                    "restore of a {} extraction onto a {} device",
+                    f.pre_config.part(),
+                    self.dev.part()
+                ),
+            });
+        }
+        if self.epoch != f.post_epoch {
+            return Err(CoreError::DesignMismatch {
+                detail: "source mutated since extraction; checkpoint is stale".into(),
+            });
+        }
+        let id = self.next_id;
+        self.arena.allocate_at(id, f.region)?;
+        self.epoch += 1;
+        for addr in self.dev.config().diff_frames(&f.pre_config) {
+            let frame = f.pre_config.read_frame(addr)?;
+            self.dev.write_frame(addr, frame)?;
+        }
+        self.functions.insert(
+            id,
+            LoadedFunction {
+                design: f.design.clone(),
+                region: f.region,
+                placed: f.placed.clone(),
+            },
+        );
+        self.next_id += 1;
+        self.checkpoint();
+        Ok(id)
+    }
+
+    /// True while the function table and the area bookkeeping agree:
+    /// same ids, same regions, and every placed cell slot of every
+    /// function configured on the device. The invariant every migration
+    /// path (extract, readmit, restore, failure rollback) must
+    /// preserve — orphan arena tasks poison compaction plans, orphan
+    /// cells poison later loads.
+    pub fn bookkeeping_consistent(&self) -> bool {
+        let tasks = self.arena.tasks();
+        if tasks.len() != self.functions.len() {
+            return false;
+        }
+        self.functions.iter().all(|(id, f)| {
+            tasks.get(id) == Some(&f.region)
+                && f.placed.placement.cell_locs.iter().all(|loc| {
+                    self.dev
+                        .clb(loc.0)
+                        .map(|clb| clb.cells[loc.1].is_used())
+                        .unwrap_or(false)
+                })
         })
     }
 

@@ -25,6 +25,19 @@ pub struct FleetConfig {
     /// strike out queue on the best-ranked device that reported
     /// "no room", exactly as before.
     pub max_offer_attempts: usize,
+    /// Fleet-level rebalancing trigger: when the *worst* per-device
+    /// fragmentation index exceeds this threshold after an event — and
+    /// a [`RebalancePolicy`](crate::RebalancePolicy) is installed —
+    /// the fleet asks the planner for migrations and executes them
+    /// inside the shards' idle port windows. Worst rather than mean:
+    /// rebalancing drains the one shard that aged badly, a signal a
+    /// healthy majority would dilute out of a mean. Set above `1.0` to
+    /// disable (the default: rebalancing is opt-in).
+    pub rebalance_threshold: f64,
+    /// Cap on migrations executed per rebalance trigger: bounds the
+    /// port time one trigger wave can consume, the same way
+    /// [`FleetConfig::max_offer_attempts`] bounds routing cost.
+    pub max_migrations_per_trigger: usize,
 }
 
 impl FleetConfig {
@@ -34,12 +47,19 @@ impl FleetConfig {
     /// ones.
     pub const DEFAULT_MAX_OFFER_ATTEMPTS: usize = 8;
 
+    /// The default cap on migrations per rebalance trigger (see
+    /// [`FleetConfig::max_migrations_per_trigger`]): enough to repair a
+    /// comb in a couple of waves without monopolising the port.
+    pub const DEFAULT_MAX_MIGRATIONS_PER_TRIGGER: usize = 4;
+
     /// A fleet of `n` identical shards.
     pub fn homogeneous(n: usize, shard: ServiceConfig) -> Self {
         FleetConfig {
             shards: vec![shard; n],
             fleet_frag_threshold: 2.0,
             max_offer_attempts: Self::DEFAULT_MAX_OFFER_ATTEMPTS,
+            rebalance_threshold: 2.0,
+            max_migrations_per_trigger: Self::DEFAULT_MAX_MIGRATIONS_PER_TRIGGER,
         }
     }
 
@@ -50,12 +70,26 @@ impl FleetConfig {
             shards: parts.iter().map(|p| template.with_part(*p)).collect(),
             fleet_frag_threshold: 2.0,
             max_offer_attempts: Self::DEFAULT_MAX_OFFER_ATTEMPTS,
+            rebalance_threshold: 2.0,
+            max_migrations_per_trigger: Self::DEFAULT_MAX_MIGRATIONS_PER_TRIGGER,
         }
     }
 
     /// Replaces the fleet-level defragmentation threshold.
     pub fn with_fleet_threshold(mut self, threshold: f64) -> Self {
         self.fleet_frag_threshold = threshold;
+        self
+    }
+
+    /// Replaces the fleet-level rebalancing threshold.
+    pub fn with_rebalance_threshold(mut self, threshold: f64) -> Self {
+        self.rebalance_threshold = threshold;
+        self
+    }
+
+    /// Replaces the per-trigger migration cap.
+    pub fn with_max_migrations_per_trigger(mut self, cap: usize) -> Self {
+        self.max_migrations_per_trigger = cap.max(1);
         self
     }
 

@@ -1,6 +1,7 @@
 //! The fleet service: one shared clock, N devices, one router.
 
 use crate::config::FleetConfig;
+use crate::rebalance::{MigrationDirective, MigrationOutcome, RebalancePolicy};
 use crate::report::{FleetReport, FleetSample, ShardOutcome};
 use crate::routing::RoutingPolicy;
 use rtm_core::CoreError;
@@ -18,6 +19,9 @@ struct RunState {
     retries: usize,
     load_failovers: usize,
     fleet_defrags: usize,
+    migrations: usize,
+    migrations_failed: usize,
+    migrations_refused: usize,
     timeline: Vec<FleetSample>,
 }
 
@@ -62,6 +66,9 @@ struct RunState {
 pub struct FleetService {
     config: FleetConfig,
     policy: Box<dyn RoutingPolicy>,
+    /// The rebalancing planner, when migration is enabled (see
+    /// [`FleetService::with_rebalancer`]).
+    rebalancer: Option<Box<dyn RebalancePolicy>>,
     shards: Vec<RuntimeService>,
     /// Trace id → shard index that hosts (or last hosted) the id.
     owner: BTreeMap<u64, usize>,
@@ -88,10 +95,22 @@ impl FleetService {
         FleetService {
             config,
             policy,
+            rebalancer: None,
             shards,
             owner: BTreeMap::new(),
             now: 0,
         }
+    }
+
+    /// Installs a rebalancing planner: when the *worst* per-device
+    /// fragmentation index crosses
+    /// [`FleetConfig::rebalance_threshold`] — or some shard's queue is
+    /// geometry-starved — the fleet asks it for
+    /// [`MigrationDirective`]s and executes them inside the shards'
+    /// idle port windows (see [`FleetService::migrate`]).
+    pub fn with_rebalancer(mut self, rebalancer: Box<dyn RebalancePolicy>) -> Self {
+        self.rebalancer = Some(rebalancer);
+        self
     }
 
     /// The per-device shards (read-only).
@@ -157,6 +176,9 @@ impl FleetService {
             retries: 0,
             load_failovers: 0,
             fleet_defrags: 0,
+            migrations: 0,
+            migrations_failed: 0,
+            migrations_refused: 0,
             timeline: Vec::new(),
         };
 
@@ -220,16 +242,17 @@ impl FleetService {
             //    the fleet threshold, force a cycle on the device where
             //    it buys the most. The ranking reads epoch-cached
             //    summaries (free for devices that have not mutated) and
-            //    the winner's compaction plan is handed straight to
-            //    `defragment_with_plan` — the trigger never plans the
-            //    same cycle twice.
+            //    the winner's *cached* compaction plan is handed
+            //    straight to `defragment_with_plan` — ranking by
+            //    predicted gain already planned the cycle, so the
+            //    trigger is plan-free end to end.
             if mean > self.config.fleet_frag_threshold {
                 let best = (0..n)
                     .map(|i| (i, self.shards[i].manager().predicted_defrag_gain()))
                     .filter(|(_, gain)| *gain > 0.0)
                     .max_by(|a, b| a.1.total_cmp(&b.1));
                 if let Some((i, _)) = best {
-                    let plan = self.shards[i].manager().plan_defrag();
+                    let plan = self.shards[i].manager().cached_defrag_plan();
                     if self.shards[i].defrag_now(Some(plan), &mut st.reports[i])? {
                         st.fleet_defrags += 1;
                         let (mean, worst) = self.frag_summary();
@@ -239,6 +262,63 @@ impl FleetService {
                             worst,
                         });
                     }
+                }
+            }
+
+            // 5. Rebalancing trigger: alongside the defrag trigger,
+            //    when the *worst* per-device index climbs past the
+            //    rebalance threshold — or some shard's queue is
+            //    geometry-starved (a queued request no local compaction
+            //    can ever seat) — ask the planner for migrations and
+            //    execute them inside the shards' idle port windows.
+            //    Worst, not mean: rebalancing exists to drain the one
+            //    shard that aged badly, and on a big fleet the healthy
+            //    majority would dilute a mean signal forever. Aged
+            //    placements (the combs round-robin leaves behind) are
+            //    repaired by *moving functions between devices*, which
+            //    per-device compaction alone can never do.
+            //    The trigger prework (worst index, starvation scan)
+            //    only runs when a rebalancer is actually installed —
+            //    rebalancer-free fleets keep their old hot-loop cost.
+            if self.rebalancer.is_some()
+                && (self.frag_summary().1 > self.config.rebalance_threshold
+                    || self.shards.iter().any(crate::rebalance::queue_starved))
+            {
+                let directives = self
+                    .rebalancer
+                    .as_mut()
+                    .expect("checked above")
+                    .plan(&self.shards);
+                let mut moved = false;
+                for d in directives
+                    .into_iter()
+                    .take(self.config.max_migrations_per_trigger)
+                {
+                    match self.migrate(d, &mut st.reports)? {
+                        MigrationOutcome::Completed => {
+                            st.migrations += 1;
+                            moved = true;
+                        }
+                        MigrationOutcome::FailedRestored => st.migrations_failed += 1,
+                        MigrationOutcome::RefusedUnknown
+                        | MigrationOutcome::RefusedNoRoom
+                        | MigrationOutcome::RefusedWindow { .. } => st.migrations_refused += 1,
+                    }
+                }
+                if moved {
+                    // Migrations mutated layouts on both ends: serve
+                    // the queues now (a blocked big request may fit the
+                    // repaired shard) and show the post-repair state on
+                    // the timeline.
+                    for (s, rep) in self.shards.iter_mut().zip(&mut st.reports) {
+                        s.settle(rep)?;
+                    }
+                    let (mean, worst) = self.frag_summary();
+                    st.timeline.push(FleetSample {
+                        at: self.now,
+                        mean,
+                        worst,
+                    });
                 }
             }
         }
@@ -270,9 +350,121 @@ impl FleetService {
             retries: st.retries,
             load_failovers: st.load_failovers,
             fleet_defrags: st.fleet_defrags,
+            migrations: st.migrations,
+            migrations_failed: st.migrations_failed,
+            migrations_refused: st.migrations_refused,
+            rebalancer: self.rebalancer.as_ref().map(|r| r.name().to_string()),
             shards,
             timeline: st.timeline,
         })
+    }
+
+    /// Executes one [`MigrationDirective`] right now — the primitive
+    /// the rebalancing trigger drives, public so external orchestrators
+    /// (and tests) can migrate deliberately.
+    ///
+    /// The execution order is safety-first, and nothing is touched
+    /// until every check passes:
+    ///
+    /// 1. the directive must name a function resident on `from` and a
+    ///    distinct in-range target ([`MigrationOutcome::RefusedUnknown`]);
+    /// 2. the target must be able to make room for the function's
+    ///    shape — the epoch-stamped
+    ///    [`MigrationPlan`](rtm_core::MigrationPlan) is computed here,
+    ///    and a plan that goes stale is re-planned, never executed
+    ///    ([`MigrationOutcome::RefusedNoRoom`]);
+    /// 3. the reconfiguration-port time of the copy (function cells
+    ///    plus the target's rearrangement moves, priced at each
+    ///    shard's `us_per_clb`) must fit inside **both** shards' idle
+    ///    windows, so no queued deadline-bound request is ever made
+    ///    late ([`MigrationOutcome::RefusedWindow`]);
+    /// 4. only then is the function extracted and readmitted. A failed
+    ///    readmission restores it on the source from the extraction
+    ///    checkpoint, frame for frame
+    ///    ([`MigrationOutcome::FailedRestored`]).
+    ///
+    /// `reports` must hold one [`ServiceReport`] per shard (the per-run
+    /// reports inside [`FleetService::run`]; standalone callers pass
+    /// their own) — migration counters land on the involved shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] only for invariant-corrupting failures
+    /// (a restore that itself fails); an ordinary failed readmission is
+    /// absorbed as [`MigrationOutcome::FailedRestored`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` does not hold one report per shard.
+    pub fn migrate(
+        &mut self,
+        d: MigrationDirective,
+        reports: &mut [ServiceReport],
+    ) -> Result<MigrationOutcome, CoreError> {
+        assert_eq!(
+            reports.len(),
+            self.shards.len(),
+            "one report per shard, in shard order"
+        );
+        if d.from == d.to || d.from >= self.shards.len() || d.to >= self.shards.len() {
+            return Ok(MigrationOutcome::RefusedUnknown);
+        }
+        let Some(fid) = self.shards[d.from].resident_function_id(d.trace_id) else {
+            return Ok(MigrationOutcome::RefusedUnknown);
+        };
+
+        // Plan the migration (source geometry + target room, both
+        // epoch-stamped). Single-threaded as we are, the plan cannot go
+        // stale between here and execution; the validity check still
+        // runs so the never-execute-stale contract is enforced by code,
+        // not by convention.
+        let src_mgr = self.shards[d.from].manager();
+        let Some(plan) = src_mgr.plan_migration(fid, self.shards[d.to].manager()) else {
+            return Ok(MigrationOutcome::RefusedNoRoom);
+        };
+        debug_assert!(src_mgr.migration_plan_valid(&plan));
+
+        // Port-time cost on each side, against each side's idle window:
+        // the source pays the extraction copy, the target pays the
+        // readmission copy plus whatever rearrangement its room plan
+        // executes first.
+        let src_cost = plan.cells() as Micros * self.shards[d.from].config().us_per_clb;
+        let dst_cost = (plan.cells() + plan.room().cells_moved()) as Micros
+            * self.shards[d.to].config().us_per_clb;
+        let (src_window, dst_window) = (
+            self.shards[d.from].idle_window(),
+            self.shards[d.to].idle_window(),
+        );
+        if src_cost > src_window || dst_cost > dst_window {
+            let (needed, window) = if src_cost > src_window {
+                (src_cost, src_window)
+            } else {
+                (dst_cost, dst_window)
+            };
+            return Ok(MigrationOutcome::RefusedWindow { needed, window });
+        }
+
+        let now = self.now;
+        let bundle = self.shards[d.from].migrate_out(d.trace_id, &mut reports[d.from])?;
+        match self.shards[d.to].migrate_in(
+            now,
+            &bundle,
+            Some(plan.room().clone()),
+            &mut reports[d.to],
+        ) {
+            Ok(()) => {
+                self.owner.insert(d.trace_id, d.to);
+                Ok(MigrationOutcome::Completed)
+            }
+            Err(_) => {
+                // The target cleaned itself up; put the function back
+                // on the source from the checkpoint. A restore failure
+                // *is* invariant-corrupting and propagates.
+                self.shards[d.from].restore_migrated(&bundle, &mut reports[d.from])?;
+                self.owner.insert(d.trace_id, d.from);
+                Ok(MigrationOutcome::FailedRestored)
+            }
+        }
     }
 
     /// Routes one arrival: rank, offer down the ranking (cross-device

@@ -51,6 +51,17 @@
 //! admission totals, retry/unplaceable counts and a fragmentation
 //! timeline.
 //!
+//! Routing decides where a function *starts*; the [`rebalance`]
+//! subsystem revisits the decision. With a [`RebalancePolicy`]
+//! installed ([`FleetService::with_rebalancer`]), the fleet migrates
+//! resident functions between devices during **idle port windows** —
+//! extract with live state and a configuration checkpoint, readmit
+//! through the plan-reuse pipeline, restore frame-exactly on failure —
+//! repairing aged placements (round-robin's combs) that neither
+//! admission-time routing nor per-device compaction can fix. A
+//! migration is refused outright if its port time could make any
+//! queued deadline-bound request late.
+//!
 //! ## Example
 //!
 //! ```
@@ -80,10 +91,15 @@
 
 pub mod config;
 pub mod fleet;
+pub mod rebalance;
 pub mod report;
 pub mod routing;
 
 pub use config::FleetConfig;
 pub use fleet::FleetService;
+pub use rebalance::{
+    standard_rebalancers, MigrationDirective, MigrationOutcome, RebalancePolicy,
+    UtilizationLevelling, WorstShardDrain,
+};
 pub use report::{FleetReport, FleetSample, ShardOutcome};
 pub use routing::{standard_policies, RouteCandidate, RoutingPolicy};

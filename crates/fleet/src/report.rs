@@ -63,6 +63,24 @@ pub struct FleetReport {
     /// top of the per-device threshold cycles counted in the shard
     /// reports).
     pub fleet_defrags: usize,
+    /// Completed rebalancing migrations: a resident function extracted
+    /// from one shard and readmitted on another, its residency clock
+    /// intact. Always equals both [`FleetReport::migrations_in`] and
+    /// [`FleetReport::migrations_out`] — the extended sum identity.
+    pub migrations: usize,
+    /// Migrations whose readmission failed on the target; the function
+    /// was restored on its source from the extraction checkpoint (also
+    /// visible as the shard reports'
+    /// [`migrations_restored`](rtm_service::ServiceReport::migrations_restored)
+    /// sum).
+    pub migrations_failed: usize,
+    /// Migration directives refused before touching anything: no room
+    /// on the target, an idle window too short for the copy (a
+    /// migration may never make a queued request late), or a directive
+    /// naming a function that is not resident where claimed.
+    pub migrations_refused: usize,
+    /// The rebalancing planner's name, when one was installed.
+    pub rebalancer: Option<String>,
     /// Per-shard outcomes, in shard order.
     pub shards: Vec<ShardOutcome>,
     /// Fleet-wide fragmentation sampled after every processed instant.
@@ -127,6 +145,28 @@ impl FleetReport {
     /// Requests cancelled by the trace while queued.
     pub fn cancelled(&self) -> usize {
         self.sum(|r| r.cancelled)
+    }
+
+    /// Functions migrated onto some shard, summed over the shard
+    /// reports. Identity: equals [`FleetReport::migrations_out`] and
+    /// [`FleetReport::migrations`] exactly — every completed migration
+    /// leaves one shard and arrives on exactly one other.
+    pub fn migrations_in(&self) -> usize {
+        self.sum(|r| r.migrations_in)
+    }
+
+    /// Functions migrated off some shard, summed over the shard
+    /// reports (failed migrations are restored and move this counter
+    /// back, so the in/out identity is exact, not eventual).
+    pub fn migrations_out(&self) -> usize {
+        self.sum(|r| r.migrations_out)
+    }
+
+    /// Failed readmissions rolled back from the extraction checkpoint,
+    /// summed over the shard reports. Identity: equals
+    /// [`FleetReport::migrations_failed`].
+    pub fn migrations_restored(&self) -> usize {
+        self.sum(|r| r.migrations_restored)
     }
 
     /// Functions unloaded fleet-wide.
@@ -220,6 +260,18 @@ impl fmt::Display for FleetReport {
             self.cancelled(),
             self.queued_at_end(),
         )?;
+        if self.migrations + self.migrations_failed + self.migrations_refused > 0
+            || self.rebalancer.is_some()
+        {
+            writeln!(
+                f,
+                "  rebalance  : {} migrations via '{}' ({} failed+restored, {} refused)",
+                self.migrations,
+                self.rebalancer.as_deref().unwrap_or("none"),
+                self.migrations_failed,
+                self.migrations_refused,
+            )?;
+        }
         writeln!(
             f,
             "  relocation : {} defrag cycles ({} fleet-triggered), {} moves, {} CLBs, \
@@ -284,6 +336,10 @@ mod tests {
             retries: 2,
             load_failovers: 0,
             fleet_defrags: 0,
+            migrations: 0,
+            migrations_failed: 0,
+            migrations_refused: 0,
+            rebalancer: None,
             shards: vec![shard(Part::Xcv50, 6, 5), shard(Part::Xcv100, 4, 4)],
             timeline: vec![
                 FleetSample {

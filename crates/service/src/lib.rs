@@ -58,5 +58,5 @@ pub mod trace;
 
 pub use config::{QueueOrder, ServiceConfig};
 pub use report::ServiceReport;
-pub use service::{OfferOutcome, RuntimeService};
+pub use service::{MigratingFunction, OfferOutcome, RuntimeService};
 pub use trace::{Scenario, Trace, TraceEvent};

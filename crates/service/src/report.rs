@@ -77,6 +77,18 @@ pub struct ServiceReport {
     pub cancelled: usize,
     /// Functions unloaded (duration expiry or explicit departure).
     pub departures: usize,
+    /// Resident functions migrated *off* this device onto a sibling
+    /// shard (completed migrations only: a failed migration restores
+    /// the function here and moves this counter back, recording itself
+    /// in [`ServiceReport::migrations_restored`] instead). Fleet-wide,
+    /// `Σ migrations_out == Σ migrations_in` always.
+    pub migrations_out: usize,
+    /// Functions migrated *onto* this device from a sibling shard.
+    pub migrations_in: usize,
+    /// Failed readmissions rolled back onto this device from the
+    /// extraction checkpoint (the function is resident here again, as
+    /// if the migration had never been attempted).
+    pub migrations_restored: usize,
     /// Defragmentation cycles the service initiated.
     pub defrag_cycles: usize,
     /// Whole-function moves executed (admission rearrangements plus
@@ -177,6 +189,13 @@ impl fmt::Display for ServiceReport {
             "  lifecycle  : {} departures, {} resident at end, {} queued at end",
             self.departures, self.resident_at_end, self.queued_at_end
         )?;
+        if self.migrations_in + self.migrations_out + self.migrations_restored > 0 {
+            writeln!(
+                f,
+                "  migration  : {} in, {} out, {} restored after failed readmit",
+                self.migrations_in, self.migrations_out, self.migrations_restored
+            )?;
+        }
         writeln!(
             f,
             "  relocation : {} defrag cycles, {} function moves, {} CLBs, \

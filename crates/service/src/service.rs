@@ -4,7 +4,10 @@ use crate::config::{QueueOrder, ServiceConfig};
 use crate::report::{AdmissionRecord, DefragSummary, FragSample, ServiceReport};
 use crate::trace::{Arrival, Trace, TraceEvent};
 use rtm_core::manager::{FunctionId, RunTimeManager};
-use rtm_core::{CoreError, DefragPlan, LoadFailureReason, PlanStats, RelocationReport, RoomPlan};
+use rtm_core::{
+    CoreError, DefragPlan, ExtractedFunction, LoadFailureReason, PlanStats, RelocationReport,
+    RoomPlan,
+};
 use rtm_fpga::part::Part;
 use rtm_netlist::random::RandomCircuit;
 use rtm_netlist::techmap::{map_to_luts, MappedNetlist};
@@ -54,6 +57,48 @@ pub enum OfferOutcome {
     /// Cannot be placed on this device right now; nothing was recorded,
     /// the caller may try another device or queue it.
     NoRoom,
+}
+
+/// A function in flight between shards: the service-level wrapper a
+/// fleet carries from [`RuntimeService::migrate_out`] to
+/// [`RuntimeService::migrate_in`]. Besides the core-level
+/// [`ExtractedFunction`] snapshot it keeps the *service* identity — the
+/// trace id and the absolute residency expiry — so the function's
+/// lifecycle continues seamlessly on the new device: it departs at the
+/// same simulated time it always would have.
+#[derive(Debug, Clone)]
+pub struct MigratingFunction {
+    trace_id: u64,
+    extracted: ExtractedFunction,
+    expiry: Option<Micros>,
+}
+
+impl MigratingFunction {
+    /// The trace-level id of the migrating function.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The core-level snapshot (design, state, checkpoint).
+    pub fn extracted(&self) -> &ExtractedFunction {
+        &self.extracted
+    }
+
+    /// The function's shape (`rows`, `cols`).
+    pub fn shape(&self) -> (u16, u16) {
+        self.extracted.shape()
+    }
+
+    /// CLBs the function occupies — the reconfiguration-port time a
+    /// device pays (× `us_per_clb`) to copy it off or on.
+    pub fn cells(&self) -> u32 {
+        self.extracted.cells()
+    }
+
+    /// The absolute residency expiry carried across the migration.
+    pub fn expiry(&self) -> Option<Micros> {
+        self.expiry
+    }
 }
 
 /// The event-driven runtime service: the paper's on-line management
@@ -170,6 +215,58 @@ impl RuntimeService {
     /// contribution to a fleet-wide event clock.
     pub fn next_expiry(&self) -> Option<Micros> {
         self.expiry.values().min().copied()
+    }
+
+    /// The resident functions as `(trace_id, manager_id, region)` — the
+    /// candidate set a fleet rebalancing planner scores (via
+    /// [`RunTimeManager::preview_release`](rtm_core::RunTimeManager::preview_release)
+    /// and the region geometry) when deciding what to migrate where.
+    pub fn resident_functions(&self) -> Vec<(u64, FunctionId, rtm_fpga::geom::Rect)> {
+        self.resident
+            .iter()
+            .filter_map(|(tid, fid)| self.mgr.function(*fid).map(|f| (*tid, *fid, f.region)))
+            .collect()
+    }
+
+    /// The manager-level id of one resident trace id (`None` when the
+    /// id is not resident here) — the point lookup a fleet uses to
+    /// resolve a single migration directive without materialising the
+    /// whole resident set.
+    pub fn resident_function_id(&self, trace_id: u64) -> Option<FunctionId> {
+        self.resident.get(&trace_id).copied()
+    }
+
+    /// The requests waiting in this shard's queue, in queue order — a
+    /// fleet rebalancing planner reads them to spot *geometry
+    /// starvation*: a queued request larger than the shard's largest
+    /// free rectangle can only start if residents migrate away, no
+    /// amount of local compaction will seat it.
+    pub fn queued_requests(&self) -> Vec<Arrival> {
+        self.queue.iter().map(|q| q.arrival).collect()
+    }
+
+    /// Reconfiguration-port time (µs) this shard can spend on
+    /// background work — a migration copy in or out — without making
+    /// any *queued* request late: for every queued deadline-bound
+    /// request, the port must be free again early enough that the
+    /// request could still start by its deadline even if admitting it
+    /// costs a worst-case rearrangement of its own area. The tightest
+    /// such budget is the idle window; `Micros::MAX` when nothing
+    /// queued carries a deadline. Future arrivals are unknown and
+    /// deliberately not reserved for — migrations ride the windows the
+    /// *known* work leaves open, which is exactly the strip-packing-
+    /// with-delays discipline: defragment off the critical path.
+    pub fn idle_window(&self) -> Micros {
+        self.queue
+            .iter()
+            .filter_map(|q| {
+                q.arrival.deadline.map(|d| {
+                    d.saturating_sub(self.now)
+                        .saturating_sub(q.arrival.area() as Micros * self.config.us_per_clb)
+                })
+            })
+            .min()
+            .unwrap_or(Micros::MAX)
     }
 
     /// Replays `trace` to completion: every event is processed in time
@@ -402,6 +499,122 @@ impl RuntimeService {
             self.queue.retain(|q| q.arrival.id != trace_id);
             report.cancelled += before - self.queue.len();
         }
+        Ok(())
+    }
+
+    /// Extracts a resident function off this shard for migration to a
+    /// sibling: the outbound migration step. The function's residency
+    /// bookkeeping (trace id, absolute expiry) travels with the
+    /// returned [`MigratingFunction`]; the counter moves optimistically
+    /// ([`ServiceReport::migrations_out`]) and is moved back by
+    /// [`RuntimeService::restore_migrated`] if the readmission on the
+    /// target fails — so completed-migration counters always balance
+    /// fleet-wide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Place`] when `trace_id` is not resident
+    /// here (queued requests are routed, not migrated).
+    pub fn migrate_out(
+        &mut self,
+        trace_id: u64,
+        report: &mut ServiceReport,
+    ) -> Result<MigratingFunction, CoreError> {
+        let fid = self
+            .resident
+            .get(&trace_id)
+            .copied()
+            .ok_or(CoreError::Place(rtm_place::PlaceError::UnknownTask {
+                id: trace_id,
+            }))?;
+        let extracted = self.mgr.extract_function(fid)?;
+        self.resident.remove(&trace_id);
+        let expiry = self.expiry.remove(&trace_id);
+        report.migrations_out += 1;
+        Ok(MigratingFunction {
+            trace_id,
+            extracted,
+            expiry,
+        })
+    }
+
+    /// Readmits a migrating function onto this shard: the inbound
+    /// migration step. `plan` is the target-side rearrangement plan the
+    /// fleet computed while scoring this shard (revalidated exactly
+    /// like any caller-held plan — stale ⇒ re-planned, never
+    /// executed). On success the function is resident here with its
+    /// original expiry and the admission rearrangement traffic is
+    /// accounted like any other relocation work.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shard already holds the id, no room
+    /// can be made, or the implementation fails — in every case this
+    /// shard is left without orphan state and the caller still owns the
+    /// bundle, so the source can
+    /// [`RuntimeService::restore_migrated`] it.
+    pub fn migrate_in(
+        &mut self,
+        at: Micros,
+        m: &MigratingFunction,
+        plan: Option<RoomPlan>,
+        report: &mut ServiceReport,
+    ) -> Result<(), CoreError> {
+        self.now = self.now.max(at);
+        if self.resident.contains_key(&m.trace_id) {
+            return Err(CoreError::Place(rtm_place::PlaceError::DuplicateTask {
+                id: m.trace_id,
+            }));
+        }
+        let (rows, cols) = m.shape();
+        let plan = self
+            .mgr
+            .revalidate_room_plan(rows, cols, plan)
+            .ok_or(CoreError::Place(rtm_place::PlaceError::NoFit {
+                rows,
+                cols,
+            }))?;
+        let lr = self
+            .mgr
+            .readmit_function(&m.extracted, &plan, |_, _, _| {})?;
+        self.resident.insert(m.trace_id, lr.id);
+        if let Some(e) = m.expiry {
+            self.expiry.insert(m.trace_id, e);
+        }
+        report.migrations_in += 1;
+        self.account_moves(&lr.moves, &lr.relocations, report);
+        Ok(())
+    }
+
+    /// Rolls a failed migration back onto this (source) shard from the
+    /// extraction checkpoint: the function is resident again — frame
+    /// for frame as it was — its expiry is reinstated, and the
+    /// optimistic [`ServiceReport::migrations_out`] count moves back
+    /// into [`ServiceReport::migrations_restored`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates
+    /// [`RunTimeManager::restore_function`](rtm_core::RunTimeManager::restore_function)
+    /// errors (a restore can only fail if this shard mutated between
+    /// the extraction and the rollback, which the fleet's atomic
+    /// migration step never allows).
+    pub fn restore_migrated(
+        &mut self,
+        m: &MigratingFunction,
+        report: &mut ServiceReport,
+    ) -> Result<(), CoreError> {
+        let fid = self.mgr.restore_function(&m.extracted)?;
+        self.resident.insert(m.trace_id, fid);
+        if let Some(e) = m.expiry {
+            self.expiry.insert(m.trace_id, e);
+        }
+        debug_assert!(
+            report.migrations_out > 0,
+            "restore must be given the report that recorded the migrate_out"
+        );
+        report.migrations_out = report.migrations_out.saturating_sub(1);
+        report.migrations_restored += 1;
         Ok(())
     }
 

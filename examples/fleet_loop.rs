@@ -22,14 +22,16 @@
 //! ```
 //!
 //! Replays a fixed set of deterministic fleet runs — the three-device
-//! policy sweep plus frag-aware sweeps at N = 16 and N = 64 devices —
-//! and writes every run's counters (admissions, frames written,
-//! `make_room` planning passes, plans reused, …) as JSON. The checked-in
-//! `BENCH_fleet.json` is the baseline; `ci.sh` re-runs this mode and
-//! fails on any counter difference. Counters are exact-match gated;
-//! wall-clock time is printed for the log but never gated.
+//! policy sweep, frag-aware sweeps at N = 16 and N = 64 devices, and
+//! two round-robin + rebalancing-migration runs (x4 and N = 16) — and
+//! writes every run's counters (admissions, frames written, `make_room`
+//! planning passes, plans reused, migrations, …) as JSON. The
+//! checked-in `BENCH_fleet.json` is the baseline; `ci.sh` re-runs this
+//! mode and fails on any counter difference. Counters are exact-match
+//! gated; wall-clock time is printed for the log but never gated.
 
-use rtm::fleet::routing::{standard_policies, FragAware, RoutingPolicy};
+use rtm::fleet::rebalance::{RebalancePolicy, WorstShardDrain};
+use rtm::fleet::routing::{standard_policies, FragAware, RoundRobin, RoutingPolicy};
 use rtm::fleet::{FleetConfig, FleetReport, FleetService};
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Scenario, Trace};
@@ -50,17 +52,21 @@ fn json_block(devices: usize, report: &FleetReport) -> String {
     let _ = write!(
         out,
         "    {{\"scenario\": \"{}\", \"devices\": {}, \"policy\": \"{}\", \
+         \"rebalancer\": \"{}\", \
          \"submitted\": {}, \"admitted\": {}, \"retries\": {}, \
          \"load_failovers\": {}, \"unplaceable\": {}, \"queued_at_end\": {}, \
          \"failures\": {}, \"failures_no_slots\": {}, \"failures_unroutable\": {}, \
          \"defrag_cycles\": {}, \"fleet_defrags\": {}, \"function_moves\": {}, \
          \"cells_moved\": {}, \"frames_written\": {}, \
+         \"migrations\": {}, \"migrations_in\": {}, \"migrations_out\": {}, \
+         \"migrations_failed\": {}, \"migrations_refused\": {}, \
          \"make_room_calls\": {}, \"previews\": {}, \"compaction_plans\": {}, \
          \"plans_reused\": {}, \"plans_invalidated\": {}, \
          \"summary_hits\": {}, \"summary_misses\": {}}}",
         report.trace_name,
         devices,
         report.policy,
+        report.rebalancer.as_deref().unwrap_or("none"),
         report.submitted,
         report.admitted(),
         report.retries,
@@ -75,6 +81,11 @@ fn json_block(devices: usize, report: &FleetReport) -> String {
         report.function_moves(),
         report.cells_moved(),
         report.frames_written(),
+        report.migrations,
+        report.migrations_in(),
+        report.migrations_out(),
+        report.migrations_failed,
+        report.migrations_refused,
         s.make_room_calls,
         s.previews,
         s.compaction_plans,
@@ -90,15 +101,24 @@ fn json_block(devices: usize, report: &FleetReport) -> String {
 fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let seed = 42;
     let mut blocks: Vec<String> = Vec::new();
-    let mut run = |parts: &[Part], policy: Box<dyn RoutingPolicy>, trace: &Trace| {
-        let config = FleetConfig::heterogeneous(parts, ServiceConfig::default());
+    let mut run = |parts: &[Part],
+                   policy: Box<dyn RoutingPolicy>,
+                   rebalancer: Option<Box<dyn RebalancePolicy>>,
+                   trace: &Trace| {
+        let mut config = FleetConfig::heterogeneous(parts, ServiceConfig::default());
+        if rebalancer.is_some() {
+            config = config.with_rebalance_threshold(0.4);
+        }
         let mut fleet = FleetService::new(config, policy);
+        if let Some(r) = rebalancer {
+            fleet = fleet.with_rebalancer(r);
+        }
         let started = Instant::now();
         let report = fleet.run(trace).expect("baseline fleet run stays up");
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
         println!(
             "  {:<26} N={:<3} {:<16} {:>3}/{:<3} admitted, {} make_room, \
-             {} reused   [{:.0} ms wall, not gated]",
+             {} reused, {} migrations   [{:.0} ms wall, not gated]",
             report.trace_name,
             parts.len(),
             report.policy,
@@ -106,6 +126,7 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
             report.submitted,
             report.plan_stats().make_room_calls,
             report.plan_stats().plans_reused,
+            report.migrations,
             wall_ms,
         );
         blocks.push(json_block(parts.len(), &report));
@@ -116,7 +137,7 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let small = [Part::Xcv50, Part::Xcv50, Part::Xcv100];
     let adv_x4 = fleet_trace(Scenario::AdversarialFragmenter, 4, seed);
     for policy in standard_policies() {
-        run(&small, policy, &adv_x4);
+        run(&small, policy, None, &adv_x4);
     }
 
     // 2. Frag-aware at fleet scale: N = 16 and N = 64 homogeneous
@@ -125,8 +146,28 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     for n in [16usize, 64] {
         let parts = vec![Part::Xcv50; n];
         let trace = fleet_trace(Scenario::AdversarialFragmenter, n as u64 + 1, seed);
-        run(&parts, Box::<FragAware>::default(), &trace);
+        run(&parts, Box::<FragAware>::default(), None, &trace);
     }
+
+    // 3. Rebalancing migration: state-blind round-robin plus the
+    //    worst-shard-drain planner, on the x4 contended fleet and the
+    //    N = 16 sweep. The gate pins the repair (admissions match the
+    //    informed router, zero admission-time rearrangement at N = 16)
+    //    *and* the migration counters themselves.
+    run(
+        &small,
+        Box::<RoundRobin>::default(),
+        Some(Box::<WorstShardDrain>::default()),
+        &adv_x4,
+    );
+    let parts16 = vec![Part::Xcv50; 16];
+    let adv_x17 = fleet_trace(Scenario::AdversarialFragmenter, 17, seed);
+    run(
+        &parts16,
+        Box::<RoundRobin>::default(),
+        Some(Box::<WorstShardDrain>::default()),
+        &adv_x17,
+    );
 
     let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", blocks.join(",\n"));
     std::fs::write(path, json)?;
@@ -139,7 +180,7 @@ fn demo() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 42;
     println!(
         "fleet: {} devices ({}), per-shard defrag threshold 0.5, \
-         fleet trigger off\n",
+         fleet trigger off; rebalancing run: worst-shard-drain at 0.4\n",
         parts.len(),
         parts
             .iter()
@@ -167,6 +208,22 @@ fn demo() -> Result<(), Box<dyn std::error::Error>> {
                 adversarial.push((name, report.admitted(), report.submitted));
             }
         }
+        // The rebalancing run: the state-blind baseline again, but with
+        // idle-window migration repairing the comb placements it ages
+        // its devices into.
+        if scenario == Scenario::AdversarialFragmenter {
+            let config = FleetConfig::heterogeneous(&parts, ServiceConfig::default())
+                .with_rebalance_threshold(0.4);
+            let mut fleet = FleetService::new(config, Box::new(RoundRobin::default()))
+                .with_rebalancer(Box::<WorstShardDrain>::default());
+            let report = fleet.run(&trace)?;
+            println!("{report}");
+            adversarial.push((
+                "round-robin + rebalance".to_string(),
+                report.admitted(),
+                report.submitted,
+            ));
+        }
         println!();
     }
 
@@ -193,7 +250,10 @@ fn demo() -> Result<(), Box<dyn std::error::Error>> {
          fragmented ones whose rearrangement cost blows the deadline. The\n\
          informed policies read per-device state (utilisation, largest free\n\
          rectangle, predicted post-placement fragmentation) and buy strictly\n\
-         more admissions from the same fleet."
+         more admissions from the same fleet. Rebalancing migration recovers\n\
+         the same admissions *without* informing the router: resident\n\
+         functions move between devices during idle port windows (never\n\
+         making a queued deadline late), repairing the combs after the fact."
     );
     Ok(())
 }
