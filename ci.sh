@@ -9,6 +9,14 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> rtm-lint (static analysis: shard-locality / plan-pipeline discipline)"
+# Five rules over every workspace .rs file; every accepted finding is
+# justified in lint-allow.toml (stale entries fail the run). The lint
+# prints its own runtime — keep it sub-second. Rules and allowlist
+# policy: ARCHITECTURE.md, "Static analysis & concurrency-readiness".
+cargo run -q --release -p rtm-lint
+cargo test -q -p rtm-lint
+
 echo "==> cargo build --release"
 cargo build --release
 

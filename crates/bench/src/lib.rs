@@ -6,4 +6,6 @@
 //! measured vs published results); `engine_micro` additionally contains
 //! Criterion micro-benchmarks of the engine itself.
 
+#![warn(missing_docs)]
+
 pub mod harness;

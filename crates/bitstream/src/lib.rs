@@ -34,6 +34,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod crc;
 pub mod error;
 pub mod jbits;

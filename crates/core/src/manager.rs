@@ -492,6 +492,17 @@ pub struct RunTimeManager {
     defrag_cache: RefCell<Option<DefragPlan>>,
 }
 
+// Compile-time `Send` pin — the concurrency-readiness ground truth the
+// parallel fleet engine lands on. The manager's interior mutability
+// (`Cell`/`RefCell` caches for the non-mutating planning API) is `Send`
+// but deliberately not `Sync`: a manager belongs to exactly one shard
+// and crosses threads only whole. A field that broke `Send` (an `Rc`,
+// a raw pointer) would fail this assertion at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RunTimeManager>();
+};
+
 impl RunTimeManager {
     /// A manager over a blank device.
     ///
@@ -536,6 +547,17 @@ impl RunTimeManager {
     /// per-run deltas with [`PlanStats::delta_since`].
     pub fn plan_stats(&self) -> PlanStats {
         self.stats.get()
+    }
+
+    /// Advances the mutation epoch. Every arena-visible mutation must
+    /// route through here — the epoch is the cache key for every plan,
+    /// summary and fragmentation sample, so a mutation that skipped the
+    /// bump would let a stale plan execute. `rtm-lint`'s
+    /// epoch-discipline rule pins this mechanically: arena mutators in
+    /// this file must call `bump_epoch`, and nothing else may write
+    /// `self.epoch`.
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     fn bump_stats(&self, f: impl FnOnce(&mut PlanStats)) {
@@ -850,7 +872,12 @@ impl RunTimeManager {
         let locs: Vec<CellLoc> = self
             .functions
             .get(&lr.id)
-            .expect("function table in sync with arena")
+            .ok_or_else(|| CoreError::DesignMismatch {
+                detail: format!(
+                    "function {} missing from the table right after its load",
+                    lr.id
+                ),
+            })?
             .placed
             .placement
             .cell_locs
@@ -896,7 +923,7 @@ impl RunTimeManager {
         }
         let id = self.next_id;
         self.arena.allocate_at(id, f.region)?;
-        self.epoch += 1;
+        self.bump_epoch();
         for addr in self.dev.config().diff_frames(&f.pre_config) {
             let frame = f.pre_config.read_frame(addr)?;
             self.dev.write_frame(addr, frame)?;
@@ -1121,7 +1148,7 @@ impl RunTimeManager {
 
         let id = self.next_id;
         let region = self.arena.allocate(id, rows, cols, self.strategy)?;
-        self.epoch += 1;
+        self.bump_epoch();
         // Other functions' wires may cross this region (relocation paths
         // are not region-bounded): reserve them so the router cannot
         // bridge nets.
@@ -1135,10 +1162,8 @@ impl RunTimeManager {
                 // would poison every later compaction plan) and restore
                 // the last configuration checkpoint — the paper's
                 // recovery copy doing exactly its job.
-                self.arena
-                    .release(id)
-                    .expect("region was allocated just above");
-                self.epoch += 1;
+                self.arena.release(id)?;
+                self.bump_epoch();
                 self.recover()?;
                 return Err(e.into());
             }
@@ -1172,7 +1197,7 @@ impl RunTimeManager {
             .remove(&id)
             .ok_or(CoreError::Place(rtm_place::PlaceError::UnknownTask { id }))?;
         self.arena.release(id)?;
-        self.epoch += 1;
+        self.bump_epoch();
         let mut placed = f.placed;
         let nets: Vec<_> = placed.netdb.nets().map(|(n, _)| n).collect();
         for n in nets {
@@ -1242,7 +1267,7 @@ impl RunTimeManager {
             .ok_or(CoreError::Place(rtm_place::PlaceError::UnknownTask { id }))?;
         // Area bookkeeping first: rejects overlap with other functions.
         self.arena.relocate(id, to)?;
-        self.epoch += 1;
+        self.bump_epoch();
 
         // All routing of this move must respect every other function's
         // wires: reserve their nodes in the moving function's database.
@@ -1250,7 +1275,9 @@ impl RunTimeManager {
         let f = self
             .functions
             .get_mut(&id)
-            .expect("function table in sync with arena");
+            .ok_or_else(|| CoreError::DesignMismatch {
+                detail: format!("function {id} tracked by the arena but not the table"),
+            })?;
         f.placed.netdb.reserve(reserved);
         let dr = to.origin.row as i32 - from.origin.row as i32;
         let dc = to.origin.col as i32 - from.origin.col as i32;

@@ -75,6 +75,15 @@ pub struct FleetService {
     now: Micros,
 }
 
+// Compile-time `Send` pin: the whole fleet must be movable across
+// threads, which is what forces `RoutingPolicy` and `RebalancePolicy`
+// trait objects to carry the `Send` supertrait — a policy with
+// non-`Send` internals would fail here, today, not mid-refactor.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<FleetService>();
+};
+
 impl FleetService {
     /// A fleet of blank devices described by `config`, routed by
     /// `policy`.
@@ -280,46 +289,54 @@ impl FleetService {
             //    The trigger prework (worst index, starvation scan)
             //    only runs when a rebalancer is actually installed —
             //    rebalancer-free fleets keep their old hot-loop cost.
-            if self.rebalancer.is_some()
-                && (self.frag_summary().1 > self.config.rebalance_threshold
-                    || self.shards.iter().any(crate::rebalance::queue_starved))
-            {
-                let directives = self
-                    .rebalancer
-                    .as_mut()
-                    .expect("checked above")
-                    .plan(&self.shards);
-                let mut moved = false;
-                for d in directives
-                    .into_iter()
-                    .take(self.config.max_migrations_per_trigger)
+            //    The planner is moved out for the planning call (and
+            //    reinstalled right after) so the borrow checker sees
+            //    the shard reads and the later `migrate` calls as
+            //    disjoint — no `expect` needed to thread the borrow.
+            let directives = match self.rebalancer.take() {
+                Some(mut rebalancer)
+                    if self.frag_summary().1 > self.config.rebalance_threshold
+                        || self.shards.iter().any(crate::rebalance::queue_starved) =>
                 {
-                    match self.migrate(d, &mut st.reports)? {
-                        MigrationOutcome::Completed => {
-                            st.migrations += 1;
-                            moved = true;
-                        }
-                        MigrationOutcome::FailedRestored => st.migrations_failed += 1,
-                        MigrationOutcome::RefusedUnknown
-                        | MigrationOutcome::RefusedNoRoom
-                        | MigrationOutcome::RefusedWindow { .. } => st.migrations_refused += 1,
-                    }
+                    let directives = rebalancer.plan(&self.shards);
+                    self.rebalancer = Some(rebalancer);
+                    directives
                 }
-                if moved {
-                    // Migrations mutated layouts on both ends: serve
-                    // the queues now (a blocked big request may fit the
-                    // repaired shard) and show the post-repair state on
-                    // the timeline.
-                    for (s, rep) in self.shards.iter_mut().zip(&mut st.reports) {
-                        s.settle(rep)?;
-                    }
-                    let (mean, worst) = self.frag_summary();
-                    st.timeline.push(FleetSample {
-                        at: self.now,
-                        mean,
-                        worst,
-                    });
+                idle => {
+                    self.rebalancer = idle;
+                    Vec::new()
                 }
+            };
+            let mut moved = false;
+            for d in directives
+                .into_iter()
+                .take(self.config.max_migrations_per_trigger)
+            {
+                match self.migrate(d, &mut st.reports)? {
+                    MigrationOutcome::Completed => {
+                        st.migrations += 1;
+                        moved = true;
+                    }
+                    MigrationOutcome::FailedRestored => st.migrations_failed += 1,
+                    MigrationOutcome::RefusedUnknown
+                    | MigrationOutcome::RefusedNoRoom
+                    | MigrationOutcome::RefusedWindow { .. } => st.migrations_refused += 1,
+                }
+            }
+            if moved {
+                // Migrations mutated layouts on both ends: serve
+                // the queues now (a blocked big request may fit the
+                // repaired shard) and show the post-repair state on
+                // the timeline.
+                for (s, rep) in self.shards.iter_mut().zip(&mut st.reports) {
+                    s.settle(rep)?;
+                }
+                let (mean, worst) = self.frag_summary();
+                st.timeline.push(FleetSample {
+                    at: self.now,
+                    mean,
+                    worst,
+                });
             }
         }
 
@@ -572,5 +589,59 @@ impl FleetService {
             st.load_failovers += failed_accountings.saturating_sub(1);
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rebalance::UtilizationLevelling;
+    use crate::routing::RoundRobin;
+    use rtm_service::trace::{Arrival, TraceEvent};
+    use rtm_service::ServiceConfig;
+
+    /// Regression: the rebalancing trigger takes the planner out of
+    /// `self` for the planning call and must reinstall it afterwards —
+    /// on the triggering path AND the idle path. A dropped planner
+    /// would silently disable rebalancing for the rest of the fleet's
+    /// life (every later trigger would take `None`), with no error.
+    #[test]
+    fn rebalancer_survives_both_trigger_paths() {
+        // Threshold below any possible index: the planning arm runs on
+        // every step of the first trace.
+        let config =
+            FleetConfig::homogeneous(2, ServiceConfig::default()).with_rebalance_threshold(-1.0);
+        let mut fleet = FleetService::new(config, Box::new(RoundRobin::default()))
+            .with_rebalancer(Box::new(UtilizationLevelling::default()));
+
+        let mut trace = Trace::new("trigger");
+        for id in 0..4u64 {
+            trace.push(
+                id * 10_000,
+                TraceEvent::Arrival(Arrival {
+                    id,
+                    rows: 4,
+                    cols: 4,
+                    duration: None,
+                    deadline: None,
+                }),
+            );
+        }
+        fleet.run(&trace).expect("trace runs");
+        assert!(
+            fleet.rebalancer.is_some(),
+            "planner must be reinstalled after a triggering plan() call"
+        );
+
+        // Idle path: raise the threshold out of reach and run again —
+        // the `idle` match arm must hand the planner back too.
+        fleet.config.rebalance_threshold = f64::INFINITY;
+        let mut second = Trace::new("idle");
+        second.push(0, TraceEvent::Departure { id: 0 });
+        fleet.run(&second).expect("second trace runs");
+        assert!(
+            fleet.rebalancer.is_some(),
+            "planner must survive idle (non-triggering) steps"
+        );
     }
 }

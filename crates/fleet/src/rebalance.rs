@@ -71,7 +71,7 @@ pub enum MigrationOutcome {
 /// [`FleetConfig::max_migrations_per_trigger`](crate::FleetConfig::max_migrations_per_trigger)
 /// of them per trigger, each still subject to the idle-window and
 /// room checks — a planner proposes, the safety machinery disposes.
-pub trait RebalancePolicy: fmt::Debug {
+pub trait RebalancePolicy: fmt::Debug + Send {
     /// The planner's name (reported in the
     /// [`FleetReport`](crate::FleetReport)).
     fn name(&self) -> &'static str;

@@ -50,7 +50,7 @@ impl RouteCandidate {
 /// on every device of the fleet (the provided [`eligible`] helper
 /// encodes the only hard constraint: the request's shape must fit the
 /// device).
-pub trait RoutingPolicy: fmt::Debug {
+pub trait RoutingPolicy: fmt::Debug + Send {
     /// The policy's name (reported in the
     /// [`FleetReport`](crate::FleetReport)).
     fn name(&self) -> &'static str;

@@ -42,6 +42,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bits;
 pub mod cell;
 pub mod clb;

@@ -328,6 +328,10 @@ pub fn pip_bit_index(from: Wire, to: Wire) -> Option<usize> {
     map.get(&(from, to)).copied()
 }
 
+/// Direction, wire index, hop span and the in/outbound wire constructor
+/// of a fixed link, destructured from a [`Wire`].
+type LinkParts = (Dir, u8, u16, fn(Dir, u8) -> Wire);
+
 /// Where a fabric wire leaving one tile arrives, given the device
 /// dimensions. Returns `None` for cell pins, for inbound wires, and at the
 /// array edge.
@@ -339,10 +343,6 @@ pub fn pip_bit_index(from: Wire, to: Wire) -> Option<usize> {
 /// assert_eq!(dst.unwrap().tile, ClbCoord::new(4, 5));
 /// assert_eq!(dst.unwrap().wire, Wire::In(Dir::South, 2));
 /// ```
-/// Direction, wire index, hop span and the in/outbound wire constructor
-/// of a fixed link, destructured from a [`Wire`].
-type LinkParts = (Dir, u8, u16, fn(Dir, u8) -> Wire);
-
 pub fn fixed_link(tile: ClbCoord, wire: Wire, rows: u16, cols: u16) -> Option<RouteNode> {
     let (dir, idx, span, inbound): LinkParts = match wire {
         Wire::Out(d, i) => (d, i, 1, Wire::In),

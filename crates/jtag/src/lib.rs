@@ -31,6 +31,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod chain;
 pub mod error;
 pub mod instruction;

@@ -46,6 +46,8 @@
 //! assert_eq!(sim.outputs(), vec![true, false]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod golden;
 pub mod ir;

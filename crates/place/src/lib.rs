@@ -31,6 +31,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alloc;
 pub mod arena;
 pub mod defrag;

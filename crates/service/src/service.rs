@@ -157,6 +157,15 @@ pub struct RuntimeService {
     head_blocked: Option<(u64, u64)>,
 }
 
+// Compile-time `Send` pin: a shard (service + its manager) must be
+// movable to a worker thread for the parallel fleet engine. Holds today
+// because every field is owned data and the manager's interior
+// mutability is `Cell`/`RefCell` (`Send`, not `Sync`).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RuntimeService>();
+};
+
 impl RuntimeService {
     /// A service over a blank device described by `config`.
     pub fn new(config: ServiceConfig) -> Self {
@@ -443,10 +452,13 @@ impl RuntimeService {
         plan: Option<DefragPlan>,
         report: &mut ServiceReport,
     ) -> Result<bool, CoreError> {
-        let d = match plan {
-            Some(p) => self.mgr.defragment_with_plan(&p, |_, _, _| {})?,
-            None => self.mgr.defragment(|_, _, _| {})?,
-        };
+        // Both paths execute through the plan pipeline (rtm-lint's
+        // plan-discipline rule pins it): a caller-less trigger takes
+        // the manager's epoch-cached plan, so a threshold cycle whose
+        // gain the trigger already ranked costs no second planning
+        // pass.
+        let plan = plan.unwrap_or_else(|| self.mgr.cached_defrag_plan());
+        let d = self.mgr.defragment_with_plan(&plan, |_, _, _| {})?;
         if d.moves.is_empty() {
             return Ok(false);
         }

@@ -47,6 +47,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod compare;
 pub mod delay;
 pub mod design;

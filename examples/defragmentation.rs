@@ -39,11 +39,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         frag.free_cells, frag.largest_rect, frag.free_cells
     );
 
-    // Submit the blocked request: the manager plans and executes a
-    // rearrangement, relocating every CLB of the moved functions live.
+    // Submit the blocked request through the plan-reuse pipeline: plan
+    // the rearrangement first (nothing moves yet — the plan is a value
+    // we can inspect), then hand the plan to `load_with_plan`, which
+    // executes it without planning again.
     let d3 = map_to_luts(&RandomCircuit::free_running(8, 30, 3).generate())?;
+    let plan = mgr
+        .plan_room(16, 10)
+        .ok_or("even rearrangement cannot free a 16x10 region")?;
+    println!(
+        "room plan (epoch {}): {} function moves, {} CLBs to relocate",
+        plan.epoch(),
+        plan.moves().len(),
+        plan.cells_moved()
+    );
     let mut steps = 0usize;
-    let report = mgr.load(&d3, 16, 10, |_, _, record| {
+    let report = mgr.load_with_plan(&d3, 16, 10, &plan, |_, _, record| {
         steps += 1;
         if steps <= 3 {
             println!(

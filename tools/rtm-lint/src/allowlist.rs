@@ -1,0 +1,274 @@
+//! The checked-in suppression file: `lint-allow.toml` at the scanned
+//! root. Hand-rolled parser for the tiny TOML subset the file uses —
+//! `[[allow]]` tables of string/integer keys — because the toolchain is
+//! offline and a suppression file must never pull a dependency tree.
+//!
+//! Policy (enforced here, not just documented):
+//! - every entry MUST carry a non-empty `reason` — an allowlist without
+//!   written justifications is just a mute button;
+//! - an entry with `max = N` suppresses findings only while the file
+//!   has at most N of them — the allowlist doubles as a ratchet, so new
+//!   violations in an already-allowlisted file still fail;
+//! - an entry that matches nothing fails the run — stale suppressions
+//!   rot into lies about the codebase.
+
+use crate::rules::{Finding, RULES};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses.
+    pub rule: String,
+    /// Root-relative `/`-separated file the entry covers.
+    pub file: String,
+    /// Why the findings are acceptable. Required, non-empty.
+    pub reason: String,
+    /// Ratchet: maximum number of findings this entry may suppress.
+    /// More than `max` findings in the file report *all* of them.
+    pub max: Option<usize>,
+    /// 1-based line of the `[[allow]]` header, for error messages.
+    pub line: usize,
+}
+
+/// Parses the allowlist, validating the policy invariants.
+pub fn parse(src: &str, path: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut cur: Option<AllowEntry> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(e) = cur.take() {
+                validate(&e, path)?;
+                entries.push(e);
+            }
+            cur = Some(AllowEntry {
+                rule: String::new(),
+                file: String::new(),
+                reason: String::new(),
+                max: None,
+                line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{path}:{lineno}: expected `key = value` or `[[allow]]`"
+            ));
+        };
+        let Some(e) = cur.as_mut() else {
+            return Err(format!(
+                "{path}:{lineno}: `{}` outside an [[allow]] table",
+                key.trim()
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "rule" => e.rule = parse_string(value, path, lineno)?,
+            "file" => e.file = parse_string(value, path, lineno)?,
+            "reason" => e.reason = parse_string(value, path, lineno)?,
+            "max" => {
+                e.max = Some(value.parse::<usize>().map_err(|_| {
+                    format!("{path}:{lineno}: `max` must be a non-negative integer")
+                })?)
+            }
+            other => {
+                return Err(format!(
+                    "{path}:{lineno}: unknown key `{other}` (expected rule/file/reason/max)"
+                ))
+            }
+        }
+    }
+    if let Some(e) = cur.take() {
+        validate(&e, path)?;
+        entries.push(e);
+    }
+    Ok(entries)
+}
+
+/// Strips a trailing `#` comment, respecting `"` quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    line
+}
+
+fn parse_string(value: &str, path: &str, lineno: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].replace("\\\"", "\""))
+    } else {
+        Err(format!("{path}:{lineno}: expected a double-quoted string"))
+    }
+}
+
+fn validate(e: &AllowEntry, path: &str) -> Result<(), String> {
+    if e.rule.is_empty() || e.file.is_empty() {
+        return Err(format!(
+            "{path}:{}: [[allow]] entry needs both `rule` and `file`",
+            e.line
+        ));
+    }
+    if !RULES.iter().any(|r| r.id == e.rule) {
+        return Err(format!(
+            "{path}:{}: unknown rule `{}` (known: {})",
+            e.line,
+            e.rule,
+            RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    if e.reason.trim().is_empty() {
+        return Err(format!(
+            "{path}:{}: [[allow]] entry for {}:{} has no `reason` — every \
+             suppression must carry a written justification",
+            e.line, e.rule, e.file
+        ));
+    }
+    Ok(())
+}
+
+/// The result of filtering findings through the allowlist.
+pub struct Applied {
+    /// Findings not covered by any entry (these fail the run).
+    pub reported: Vec<Finding>,
+    /// Count of findings suppressed by entries.
+    pub suppressed: usize,
+    /// Entries that matched nothing (these also fail the run).
+    pub unused: Vec<AllowEntry>,
+}
+
+/// Applies the allowlist. Ratchet semantics: an entry whose file holds
+/// more findings than `max` suppresses nothing, and the diagnostics say
+/// so.
+pub fn apply(findings: Vec<Finding>, entries: &[AllowEntry]) -> Applied {
+    let mut used = vec![0usize; entries.len()];
+    let mut reported = Vec::new();
+    let mut suppressed = 0usize;
+
+    // Count matches per entry first (ratchet needs totals).
+    for f in &findings {
+        if let Some(i) = entries
+            .iter()
+            .position(|e| e.rule == f.rule && e.file == f.file)
+        {
+            used[i] += 1;
+        }
+    }
+    for mut f in findings {
+        let entry = entries
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.rule == f.rule && e.file == f.file);
+        match entry {
+            Some((i, e)) => {
+                let over = e.max.is_some_and(|m| used[i] > m);
+                if over {
+                    f.msg = format!(
+                        "{} [allowlisted max {} for this file, found {}]",
+                        f.msg,
+                        e.max.unwrap_or(0),
+                        used[i]
+                    );
+                    reported.push(f);
+                } else {
+                    suppressed += 1;
+                }
+            }
+            None => reported.push(f),
+        }
+    }
+    let unused = entries
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| used[*i] == 0)
+        .map(|(_, e)| e.clone())
+        .collect();
+    Applied {
+        reported,
+        suppressed,
+        unused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, file: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            col: 1,
+            msg: "m".into(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_requires_reason() {
+        let src = r#"
+# comment
+[[allow]]
+rule = "panic-hygiene"   # trailing comment
+file = "crates/x/src/lib.rs"
+max = 2
+reason = "messages name the invariant # not a comment"
+"#;
+        let e = parse(src, "t.toml").unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].max, Some(2));
+        assert!(e[0].reason.contains("# not a comment"));
+
+        let bad = "[[allow]]\nrule = \"panic-hygiene\"\nfile = \"x.rs\"\n";
+        assert!(parse(bad, "t.toml").unwrap_err().contains("reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let src = "[[allow]]\nrule = \"nope\"\nfile = \"x.rs\"\nreason = \"r\"\n";
+        assert!(parse(src, "t.toml").unwrap_err().contains("unknown rule"));
+    }
+
+    #[test]
+    fn ratchet_reports_all_when_over_max() {
+        let entries = parse(
+            "[[allow]]\nrule = \"panic-hygiene\"\nfile = \"a.rs\"\nmax = 1\nreason = \"r\"\n",
+            "t.toml",
+        )
+        .unwrap();
+        let ok = apply(vec![f("panic-hygiene", "a.rs")], &entries);
+        assert_eq!(ok.suppressed, 1);
+        assert!(ok.reported.is_empty());
+
+        let over = apply(
+            vec![f("panic-hygiene", "a.rs"), f("panic-hygiene", "a.rs")],
+            &entries,
+        );
+        assert_eq!(over.suppressed, 0);
+        assert_eq!(over.reported.len(), 2);
+        assert!(over.reported[0].msg.contains("max 1"));
+    }
+
+    #[test]
+    fn unmatched_entries_are_flagged_unused() {
+        let entries = parse(
+            "[[allow]]\nrule = \"determinism\"\nfile = \"gone.rs\"\nreason = \"r\"\n",
+            "t.toml",
+        )
+        .unwrap();
+        let a = apply(vec![], &entries);
+        assert_eq!(a.unused.len(), 1);
+    }
+}

@@ -1,0 +1,485 @@
+//! A hand-rolled Rust lexer — just enough fidelity for lexical lint
+//! rules: identifiers and punctuation with exact `line:col` positions,
+//! with comments (line, nested block, doc), string literals (plain,
+//! raw, byte), char literals and lifetimes skipped so that a pattern
+//! inside a doc example or a message string can never trigger a rule.
+//!
+//! The lexer is deliberately token-level, not syntactic: rules match
+//! token sequences (`.` `load` `(`), which is robust to formatting and
+//! costs microseconds per file. No external crates — consistent with
+//! the workspace's offline shim strategy.
+
+/// What a token is: everything a rule can match on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`load`, `fn`, `unsafe`, ...).
+    Ident(String),
+    /// A single punctuation character (`.` `(` `{` `=` `+` ...).
+    /// Multi-char operators arrive as consecutive tokens.
+    Punct(char),
+    /// A literal (number, string, char). Contents are not kept: rules
+    /// must never match inside literals.
+    Literal,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind (and ident text).
+    pub kind: TokKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in chars).
+    pub col: u32,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(i) if i == s)
+    }
+
+    /// True when this token is the punctuation char `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count chars, not bytes: UTF-8 continuation bytes do not
+            // advance the column.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs (string,
+/// block comment) consume to end of input rather than erroring: lint
+/// input is assumed to at least be code `rustc` accepts.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                while let Some(n) = c.peek() {
+                    if n == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => skip_block_comment(&mut c),
+            b'r' | b'b' if starts_raw_or_byte_string(&c) => {
+                lex_prefixed_string(&mut c);
+                out.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let mut ident = String::new();
+                while let Some(n) = c.peek() {
+                    if !is_ident_cont(n) {
+                        break;
+                    }
+                    ident.push(n as char);
+                    c.bump();
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident(ident),
+                    line,
+                    col,
+                });
+            }
+            b'0'..=b'9' => {
+                lex_number(&mut c);
+                out.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                lex_plain_string(&mut c);
+                out.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                if lex_char_or_lifetime(&mut c) {
+                    out.push(Tok {
+                        kind: TokKind::Literal,
+                        line,
+                        col,
+                    });
+                }
+                // Lifetimes produce no token: no rule matches them.
+            }
+            _ => {
+                c.bump();
+                out.push(Tok {
+                    kind: TokKind::Punct(b as char),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn skip_block_comment(c: &mut Cursor) {
+    c.bump(); // '/'
+    c.bump(); // '*'
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (c.peek(), c.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                c.bump();
+                c.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                c.bump();
+                c.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                c.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// `r"`, `r#`, `b"`, `b'`, `br"`, `br#` — anything that makes the
+/// leading `r`/`b` a literal prefix rather than an identifier.
+fn starts_raw_or_byte_string(c: &Cursor) -> bool {
+    matches!(
+        (c.peek(), c.peek_at(1), c.peek_at(2)),
+        (Some(b'r'), Some(b'"' | b'#'), _)
+            | (Some(b'b'), Some(b'"' | b'\''), _)
+            | (Some(b'b'), Some(b'r'), Some(b'"' | b'#'))
+    )
+}
+
+fn lex_prefixed_string(c: &mut Cursor) {
+    let mut raw = false;
+    while let Some(b'r' | b'b') = c.peek() {
+        raw = c.peek() == Some(b'r');
+        c.bump();
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while c.peek() == Some(b'#') {
+            hashes += 1;
+            c.bump();
+        }
+        c.bump(); // opening quote
+        loop {
+            match c.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && c.peek() == Some(b'#') {
+                        seen += 1;
+                        c.bump();
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                Some(_) => {}
+                None => return,
+            }
+        }
+    } else if c.peek() == Some(b'\'') {
+        // Byte char: b'x'
+        c.bump();
+        lex_quoted(c, b'\'');
+    } else {
+        c.bump(); // opening '"'
+        lex_quoted_tail(c, b'"');
+    }
+}
+
+fn lex_plain_string(c: &mut Cursor) {
+    c.bump(); // opening quote
+    lex_quoted_tail(c, b'"');
+}
+
+/// Consumes an escaped-quoted run whose opening delimiter was already
+/// consumed.
+fn lex_quoted_tail(c: &mut Cursor, delim: u8) {
+    loop {
+        match c.bump() {
+            Some(b'\\') => {
+                c.bump();
+            }
+            Some(b) if b == delim => return,
+            Some(_) => {}
+            None => return,
+        }
+    }
+}
+
+fn lex_quoted(c: &mut Cursor, delim: u8) {
+    lex_quoted_tail(c, delim)
+}
+
+fn lex_number(c: &mut Cursor) {
+    // Consume alphanumerics (covers 0x.., suffixes); a '.' continues the
+    // number only when followed by a digit, so `0..n` ranges survive.
+    while let Some(b) = c.peek() {
+        let continues = b.is_ascii_alphanumeric()
+            || b == b'_'
+            || (b == b'.' && c.peek_at(1).is_some_and(|n| n.is_ascii_digit()));
+        if continues {
+            c.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Returns true when a char literal was consumed (a token should be
+/// emitted); false for a lifetime.
+fn lex_char_or_lifetime(c: &mut Cursor) -> bool {
+    c.bump(); // opening '
+    match c.peek() {
+        Some(b'\\') => {
+            c.bump();
+            c.bump();
+            lex_quoted_tail(c, b'\'');
+            true
+        }
+        Some(b) if is_ident_start(b) => {
+            // Could be 'a' (char) or 'a (lifetime): consume the ident
+            // run, then check for a closing quote.
+            while let Some(n) = c.peek() {
+                if !is_ident_cont(n) {
+                    break;
+                }
+                c.bump();
+            }
+            if c.peek() == Some(b'\'') {
+                c.bump();
+                true
+            } else {
+                false
+            }
+        }
+        Some(_) => {
+            // 'x' with x non-ident (e.g. '.', ' ').
+            c.bump();
+            if c.peek() == Some(b'\'') {
+                c.bump();
+            }
+            true
+        }
+        None => false,
+    }
+}
+
+/// Strips every `#[cfg(test)]` item (attribute + the item it guards,
+/// including a whole `mod tests { ... }` block) from the token stream.
+/// Rules therefore never see test code, which is free to `unwrap`, use
+/// `HashMap`s and call whatever API it wants.
+pub fn strip_cfg_test(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(end) = cfg_test_item_end(&toks, i) {
+            i = end;
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// If `toks[i..]` starts a `#[cfg(test)]`-guarded item, returns the
+/// index one past that item.
+fn cfg_test_item_end(toks: &[Tok], i: usize) -> Option<usize> {
+    let t = |k: usize| toks.get(i + k);
+    if !(t(0)?.is_punct('#')
+        && t(1)?.is_punct('[')
+        && t(2)?.is_ident("cfg")
+        && t(3)?.is_punct('(')
+        && t(4)?.is_ident("test")
+        && t(5)?.is_punct(')')
+        && t(6)?.is_punct(']'))
+    {
+        return None;
+    }
+    let mut j = i + 7;
+    // Skip any further attributes on the same item.
+    while toks.get(j).is_some_and(|t| t.is_punct('#'))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let mut depth = 0i32;
+        j += 1;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Consume one item: everything up to a top-level `;` or through a
+    // balanced `{ ... }` block.
+    let mut brace = 0i32;
+    while let Some(t) = toks.get(j) {
+        match t.kind {
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => {
+                brace -= 1;
+                if brace == 0 {
+                    return Some(j + 1);
+                }
+            }
+            TokKind::Punct(';') if brace == 0 => return Some(j + 1),
+            _ => {}
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_skipped() {
+        let src = r##"
+            // mgr.load(x) in a comment
+            /* mgr.load(y) /* nested */ still comment */
+            let s = "mgr.load(z)"; // string
+            let r = r#"mgr.load(w)"#;
+            let c = '.';
+            mgr.real();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"load".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].col, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let toks = lex(src);
+        // The trailing `{ x }` must survive: a lexer that treated `'a`
+        // as an unterminated char literal would swallow it.
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+        assert!(toks.iter().any(|t| t.is_punct('{')));
+    }
+
+    #[test]
+    fn number_ranges_do_not_swallow_dots() {
+        let toks = lex("for i in 0..10 {}");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let src = r#"
+            fn lib() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); }
+            }
+            fn lib2() {}
+        "#;
+        let toks = strip_cfg_test(lex(src));
+        let ids: Vec<_> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert!(ids.contains(&"lib"));
+        assert!(ids.contains(&"lib2"));
+        assert!(!ids.contains(&"unwrap"));
+    }
+
+    #[test]
+    fn cfg_test_single_item_is_stripped() {
+        let src = "#[cfg(test)] use foo::bar; fn keep() {}";
+        let toks = strip_cfg_test(lex(src));
+        let ids: Vec<_> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert!(!ids.contains(&"bar"));
+        assert!(ids.contains(&"keep"));
+    }
+}

@@ -1,0 +1,109 @@
+//! CLI entry point. See the library docs ([`rtm_lint`]) for what the
+//! rules check; see `lint-allow.toml` at the workspace root for every
+//! accepted finding and its justification.
+
+use rtm_lint::{allowlist, engine, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+// Wall-clock here is operator feedback on the lint run itself (the
+// "stays sub-second" budget in ci.sh); it never reaches gated output.
+use std::time::Instant;
+
+fn usage() -> &'static str {
+    "usage: rtm-lint [--root DIR] [--allowlist FILE] [--no-allowlist] [--list-rules]\n\
+     \n\
+     Lints every workspace .rs file under DIR (default: current dir)\n\
+     against the shard-locality / plan-pipeline discipline rules.\n\
+     The allowlist defaults to DIR/lint-allow.toml when present."
+}
+
+fn main() -> ExitCode {
+    let started = Instant::now();
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut no_allowlist = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return config_error("--root needs a directory"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist_path = Some(PathBuf::from(v)),
+                None => return config_error("--allowlist needs a file"),
+            },
+            "--no-allowlist" => no_allowlist = true,
+            "--list-rules" => {
+                for r in rules::RULES {
+                    println!("{:<17} scope: {}", r.id, r.scope);
+                    println!("{:<17} {}", "", r.what);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return config_error(&format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+
+    let entries = if no_allowlist {
+        Vec::new()
+    } else {
+        let path = allowlist_path.unwrap_or_else(|| root.join("lint-allow.toml"));
+        if path.exists() {
+            let display = path.display().to_string();
+            match std::fs::read_to_string(&path) {
+                Ok(src) => match allowlist::parse(&src, &display) {
+                    Ok(entries) => entries,
+                    Err(e) => return config_error(&e),
+                },
+                Err(e) => return config_error(&format!("reading {display}: {e}")),
+            }
+        } else {
+            Vec::new()
+        }
+    };
+
+    let result = match engine::run(&root, &entries) {
+        Ok(r) => r,
+        Err(e) => return config_error(&e),
+    };
+
+    for f in &result.applied.reported {
+        println!("{}:{}:{}: [{}] {}", f.file, f.line, f.col, f.rule, f.msg);
+    }
+    for e in &result.applied.unused {
+        println!(
+            "lint-allow.toml:{}: stale [[allow]] entry ({} in {}) matches nothing — \
+             remove it or fix the path",
+            e.line, e.rule, e.file
+        );
+    }
+
+    let reported = result.applied.reported.len();
+    let stale = result.applied.unused.len();
+    println!(
+        "rtm-lint: {} files, {} findings ({} allowlisted, {} reported), \
+         {} stale allowlist entries, {} ms",
+        result.files,
+        result.total_findings,
+        result.applied.suppressed,
+        reported,
+        stale,
+        started.elapsed().as_millis()
+    );
+    if reported > 0 || stale > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn config_error(msg: &str) -> ExitCode {
+    eprintln!("rtm-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,6 @@
+//! Seeded violation suppressed by this fixture's lint-allow.toml.
+
+/// Hit counter with interior mutability.
+pub struct Stats {
+    hits: std::cell::Cell<u64>,
+}

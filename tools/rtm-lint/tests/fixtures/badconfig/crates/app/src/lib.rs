@@ -1,0 +1,6 @@
+//! Clean file; the fixture exercises allowlist validation only.
+
+/// Adds two numbers.
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}

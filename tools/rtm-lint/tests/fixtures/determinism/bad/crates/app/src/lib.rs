@@ -1,0 +1,6 @@
+//! Seeded violation: HashMap in code that feeds counters.
+
+/// Tallies hits per id into an unordered map.
+pub fn tally() -> std::collections::HashMap<u32, u32> {
+    Default::default()
+}

@@ -1,0 +1,6 @@
+//! Clean counterpart: ordered map, deterministic iteration.
+
+/// Tallies hits per id into an ordered map.
+pub fn tally() -> std::collections::BTreeMap<u32, u32> {
+    Default::default()
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: arena mutation without an epoch bump.
+
+impl RunTimeManager {
+    fn evict(&mut self, id: FunctionId) {
+        self.arena.release(id);
+    }
+}

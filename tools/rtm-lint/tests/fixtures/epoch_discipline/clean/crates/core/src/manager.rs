@@ -1,0 +1,8 @@
+//! Clean counterpart: the mutation routes through `bump_epoch`.
+
+impl RunTimeManager {
+    fn evict(&mut self, id: FunctionId) {
+        self.arena.release(id);
+        self.bump_epoch();
+    }
+}

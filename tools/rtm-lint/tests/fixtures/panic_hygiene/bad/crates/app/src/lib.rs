@@ -1,0 +1,6 @@
+//! Seeded violation: unwrap in library code.
+
+/// Reads the first element, panicking on empty input.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,6 @@
+//! Clean counterpart: empty input is an Option, not a panic.
+
+/// Reads the first element if there is one.
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: a direct `load()` call outside rtm-core.
+
+/// Loads straight through the manager, skipping the plan pipeline.
+pub fn admit(mgr: &mut rtm_core::RunTimeManager, d: &rtm_core::Design) {
+    let _ = mgr.load(d, 4, 4);
+}

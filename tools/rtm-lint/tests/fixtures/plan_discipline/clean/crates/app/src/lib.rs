@@ -1,0 +1,8 @@
+//! Clean counterpart: admission goes through the plan pipeline.
+
+/// Plans first, then loads with the stamped plan.
+pub fn admit(mgr: &mut rtm_core::RunTimeManager, d: &rtm_core::Design) {
+    if let Some(plan) = mgr.plan_room(4, 4) {
+        let _ = mgr.load_with_plan(d, 4, 4, &plan, |_, _, _| {});
+    }
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: interior mutability in library code.
+
+/// Hit counter with interior mutability.
+pub struct Stats {
+    hits: std::cell::Cell<u64>,
+}

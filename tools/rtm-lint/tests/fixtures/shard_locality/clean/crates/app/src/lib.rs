@@ -1,0 +1,6 @@
+//! Clean counterpart: owned state, mutated through `&mut self`.
+
+/// Hit counter with owned state.
+pub struct Stats {
+    hits: u64,
+}

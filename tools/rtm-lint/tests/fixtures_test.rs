@@ -1,0 +1,137 @@
+//! End-to-end fixture tests: run the real `rtm-lint` binary against the
+//! seeded mini-workspaces under `tests/fixtures/` and pin the exact
+//! diagnostics, summary counts, and exit codes — one violation per rule,
+//! a clean counterpart for each, allowlist suppression, stale-entry
+//! failure, and configuration-error handling.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(root: &str, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rtm-lint"))
+        .arg("--root")
+        .arg(fixture(root))
+        .args(extra)
+        .output()
+        .expect("rtm-lint binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+/// Asserts the bad tree reports exactly one diagnostic with the given
+/// prefix and the clean counterpart reports nothing.
+fn assert_rule(dir: &str, expected_prefix: &str) {
+    let bad = run(&format!("{dir}/bad"), &["--no-allowlist"]);
+    assert_eq!(bad.status.code(), Some(1), "bad tree must exit 1");
+    let text = stdout(&bad);
+    let mut lines = text.lines();
+    let diag = lines.next().expect("one diagnostic line");
+    assert!(
+        diag.starts_with(expected_prefix),
+        "expected `{expected_prefix}`, got `{diag}`"
+    );
+    let summary = lines.next().expect("summary line");
+    assert!(
+        summary.starts_with("rtm-lint: 1 files, 1 findings (0 allowlisted, 1 reported)"),
+        "unexpected summary: {summary}"
+    );
+    assert_eq!(lines.next(), None, "exactly two lines of output");
+
+    let clean = run(&format!("{dir}/clean"), &["--no-allowlist"]);
+    assert_eq!(clean.status.code(), Some(0), "clean tree must exit 0");
+    assert!(
+        stdout(&clean).starts_with("rtm-lint: 1 files, 0 findings"),
+        "clean tree must report nothing"
+    );
+}
+
+#[test]
+fn plan_discipline_diagnostic_and_exit_code() {
+    assert_rule(
+        "plan_discipline",
+        "crates/app/src/lib.rs:5:17: [plan-discipline] direct `load()` call outside \
+         rtm-core bypasses the plan-reuse pipeline; route it through `load_with_plan`",
+    );
+}
+
+#[test]
+fn epoch_discipline_diagnostic_and_exit_code() {
+    assert_rule(
+        "epoch_discipline",
+        "crates/core/src/manager.rs:5:20: [epoch-discipline] `fn evict` mutates the \
+         arena (`.arena.release()`) but never calls `bump_epoch`",
+    );
+}
+
+#[test]
+fn shard_locality_diagnostic_and_exit_code() {
+    assert_rule(
+        "shard_locality",
+        "crates/app/src/lib.rs:5:22: [shard-locality] interior mutability (`Cell`)",
+    );
+}
+
+#[test]
+fn determinism_diagnostic_and_exit_code() {
+    assert_rule(
+        "determinism",
+        "crates/app/src/lib.rs:4:37: [determinism] `HashMap` iteration order is \
+         nondeterministic",
+    );
+}
+
+#[test]
+fn panic_hygiene_diagnostic_and_exit_code() {
+    assert_rule(
+        "panic_hygiene",
+        "crates/app/src/lib.rs:5:17: [panic-hygiene] `.unwrap()` in library code",
+    );
+}
+
+#[test]
+fn allowlist_suppresses_justified_finding() {
+    // The fixture's own lint-allow.toml (picked up from --root) carries a
+    // justified entry for the seeded Cell: finding counted, not reported.
+    let out = run("allowlisted", &[]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        stdout(&out).starts_with("rtm-lint: 1 files, 1 findings (1 allowlisted, 0 reported)"),
+        "suppressed finding must still be counted: {}",
+        stdout(&out)
+    );
+
+    // Without the allowlist the same tree fails — the suppression is the
+    // allowlist's doing, not the rule going blind.
+    let out = run("allowlisted", &["--no-allowlist"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn stale_allowlist_entry_fails_the_run() {
+    let out = run("stale", &[]);
+    assert_eq!(out.status.code(), Some(1), "stale entries are failures");
+    let text = stdout(&out);
+    assert!(
+        text.contains("stale [[allow]] entry (panic-hygiene in crates/app/src/lib.rs)"),
+        "stale entry must be named: {text}"
+    );
+}
+
+#[test]
+fn missing_reason_is_a_config_error() {
+    let out = run("badconfig", &[]);
+    assert_eq!(out.status.code(), Some(2), "config errors exit 2");
+    let err = String::from_utf8(out.stderr.clone()).expect("utf-8 stderr");
+    assert!(
+        err.contains("has no `reason`"),
+        "must demand a justification: {err}"
+    );
+}
