@@ -23,6 +23,30 @@ cargo build --release
 echo "==> cargo test --workspace -q (superset of the tier-1 'cargo test -q')"
 cargo test --workspace -q
 
+echo "==> parallel-vs-sequential equivalence (release, full {1,2,4,8} thread pin)"
+# The debug workspace pass above runs the schedule-invariance suite in
+# its slimmed debug shape; this release pass runs the full net — every
+# equality checked under thread counts 1, 2, 4 and 8 — plus the
+# baseline-oracle counter pins. Both engines must produce FleetReports
+# equal in every field. Argument: crates/fleet/src/engine.rs docs.
+cargo test -q --release -p rtm-fleet --test parallel_determinism
+cargo test -q --release -p rtm-fleet --test baseline_oracle
+
+echo "==> work-stealing-off executor (rtm-fleet --no-default-features)"
+# Without the 'parallel' feature the engine deals shards to static
+# per-worker hands (no unsafe, no work stealing). The same equivalence
+# net must pass verbatim against it.
+cargo test -q --release -p rtm-fleet --no-default-features --test parallel_determinism
+
+if [ "${RTM_STRESS:-0}" = "1" ]; then
+  echo "==> RTM_STRESS=1: N=1024 soak + N=16/N=64 oracle scale rows (release)"
+  # Opt-in: minutes of single-core wall. The soak prints a
+  # sequential-vs-parallel speedup ratio (never gated); the scale rows
+  # re-pin the big BENCH_fleet.json counters through the library API.
+  cargo test -q --release -p rtm-fleet --test stress_parallel -- --ignored --nocapture
+  cargo test -q --release -p rtm-fleet --test baseline_oracle -- --ignored
+fi
+
 echo "==> cargo doc --workspace --no-deps (deny rustdoc warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
@@ -37,8 +61,12 @@ cargo run --release --example fleet_loop > /dev/null
 
 echo "==> perf gate: fleet_loop --baseline vs checked-in BENCH_fleet.json"
 # Deterministic counters (admissions, frames written, make_room passes,
-# plans reused, ...) are exact-match gated; wall time is printed in the
-# step output but never gated. Regenerate the baseline with:
+# plans reused, ...) are exact-match gated; wall time and the
+# arrivals/s throughput printed beside each row are for the log, never
+# gated. Every row is tagged with its stepping engine, and the twin
+# N=256 rows (sequential vs parallel) must agree on every counter —
+# the byte diff doubles as a standing cross-engine equivalence gate.
+# Regenerate the baseline with:
 #   cargo run --release --example fleet_loop -- --baseline BENCH_fleet.json
 cargo run --release --example fleet_loop -- --baseline target/BENCH_fleet.json
 if ! diff -u BENCH_fleet.json target/BENCH_fleet.json; then

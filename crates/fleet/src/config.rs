@@ -1,5 +1,6 @@
 //! Fleet configuration: the shard list and the fleet-level trigger.
 
+use crate::engine::EngineKind;
 use rtm_fpga::part::Part;
 use rtm_service::ServiceConfig;
 
@@ -38,6 +39,12 @@ pub struct FleetConfig {
     /// port time one trigger wave can consume, the same way
     /// [`FleetConfig::max_offer_attempts`] bounds routing cost.
     pub max_migrations_per_trigger: usize,
+    /// The stepping engine: how shard-local segments between
+    /// cross-shard synchronization points are executed. Defaults to
+    /// [`EngineKind::Sequential`]; [`EngineKind::Parallel`] runs the
+    /// same segments on scoped worker threads with byte-identical
+    /// results (the schedule-invariance suite pins the equality).
+    pub engine: EngineKind,
 }
 
 impl FleetConfig {
@@ -60,6 +67,7 @@ impl FleetConfig {
             max_offer_attempts: Self::DEFAULT_MAX_OFFER_ATTEMPTS,
             rebalance_threshold: 2.0,
             max_migrations_per_trigger: Self::DEFAULT_MAX_MIGRATIONS_PER_TRIGGER,
+            engine: EngineKind::Sequential,
         }
     }
 
@@ -72,6 +80,7 @@ impl FleetConfig {
             max_offer_attempts: Self::DEFAULT_MAX_OFFER_ATTEMPTS,
             rebalance_threshold: 2.0,
             max_migrations_per_trigger: Self::DEFAULT_MAX_MIGRATIONS_PER_TRIGGER,
+            engine: EngineKind::Sequential,
         }
     }
 
@@ -96,6 +105,20 @@ impl FleetConfig {
     /// Replaces the per-request offer-attempt cap.
     pub fn with_max_offer_attempts(mut self, cap: usize) -> Self {
         self.max_offer_attempts = cap.max(1);
+        self
+    }
+
+    /// Replaces the stepping engine (see [`EngineKind`]).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Shorthand for the parallel engine: shard-local segments run on
+    /// `threads` scoped worker threads (`0` = one per available core).
+    /// Results stay byte-identical to the sequential engine.
+    pub fn with_parallel_engine(mut self, threads: usize) -> Self {
+        self.engine = EngineKind::Parallel { threads };
         self
     }
 

@@ -1,6 +1,7 @@
 //! The fleet service: one shared clock, N devices, one router.
 
 use crate::config::FleetConfig;
+use crate::engine;
 use crate::rebalance::{MigrationDirective, MigrationOutcome, RebalancePolicy};
 use crate::report::{FleetReport, FleetSample, ShardOutcome};
 use crate::routing::RoutingPolicy;
@@ -162,11 +163,19 @@ impl FleetService {
     }
 
     /// Replays `trace` to completion across the fleet and returns the
-    /// aggregated report. Event processing mirrors the single-device
-    /// [`RuntimeService::run`] loop — clock to the next event or
-    /// residency expiration, depart, route arrivals, settle every
-    /// shard — with the routing and fleet-trigger decisions layered on
-    /// top.
+    /// aggregated report. The loop is epoch-based: each iteration
+    /// computes the next **cross-shard event horizon**
+    /// ([`engine::horizon`] — the earliest trace event or shard-local
+    /// residency expiry), advances every shard to that horizon as an
+    /// independent shard-local segment
+    /// ([`engine::for_each_shard`] — in parallel under
+    /// [`EngineKind::Parallel`](crate::EngineKind::Parallel)), and then
+    /// applies the cross-shard edges sequentially in fixed shard-index
+    /// order: trace-event routing, the fragmentation sample, the fleet
+    /// defrag trigger and the rebalancing migrations. Because shards
+    /// only interact inside those sequential edges, the thread schedule
+    /// can never be observed and every engine produces a byte-identical
+    /// [`FleetReport`].
     ///
     /// # Errors
     ///
@@ -192,28 +201,30 @@ impl FleetService {
         };
 
         let events = trace.events();
+        let engine = self.config.engine;
         let mut idx = 0usize;
         loop {
+            // The epoch boundary: the next instant at which anything
+            // cross-shard can happen. Everything up to it is
+            // shard-local by construction.
             let next_trace = events.get(idx).map(|e| e.at);
-            let next_expiry = self
-                .shards
-                .iter()
-                .filter_map(RuntimeService::next_expiry)
-                .min();
-            let now = match (next_trace, next_expiry) {
-                (None, None) => break,
-                (Some(a), None) => a,
-                (None, Some(e)) => e,
-                (Some(a), Some(e)) => a.min(e),
+            let Some(now) = engine::horizon(next_trace, &self.shards) else {
+                break;
             };
             self.now = self.now.max(now);
 
-            // 1. Clock every shard forward; due residencies depart.
-            for (s, rep) in self.shards.iter_mut().zip(&mut st.reports) {
-                s.advance_to(now, rep)?;
-            }
+            // 1. Shard-local segment: every shard advances to the
+            //    horizon independently (due residencies depart). Under
+            //    the parallel engine these segments run on scoped
+            //    worker threads; no shard reads a sibling until the
+            //    sequential cross-shard edges below, so the thread
+            //    schedule is unobservable.
+            engine::for_each_shard(engine, &mut self.shards, &mut st.reports, &|_, s, rep| {
+                s.advance_to(now, rep)
+            })?;
 
-            // 2. Trace events at this instant, in stream order.
+            // 2. Cross-shard edges, sequential in stream order: trace
+            //    events at this instant.
             while idx < events.len() && events[idx].at <= now {
                 match events[idx].event {
                     TraceEvent::Arrival(a) => self.route(events[idx].at, a, &mut st)?,
@@ -232,11 +243,13 @@ impl FleetService {
                 idx += 1;
             }
 
-            // 3. Every shard serves its queue, samples fragmentation
-            //    and runs its own threshold-triggered defrag.
-            for (s, rep) in self.shards.iter_mut().zip(&mut st.reports) {
-                s.settle(rep)?;
-            }
+            // 3. Shard-local again: every shard serves its queue,
+            //    samples fragmentation and runs its own
+            //    threshold-triggered defrag — parallel under the
+            //    parallel engine, same argument as step 1.
+            engine::for_each_shard(engine, &mut self.shards, &mut st.reports, &|_, s, rep| {
+                s.settle(rep)
+            })?;
 
             // The timeline must show the state the fleet trigger saw,
             // not only the post-cycle recovery.
@@ -327,10 +340,10 @@ impl FleetService {
                 // Migrations mutated layouts on both ends: serve
                 // the queues now (a blocked big request may fit the
                 // repaired shard) and show the post-repair state on
-                // the timeline.
-                for (s, rep) in self.shards.iter_mut().zip(&mut st.reports) {
-                    s.settle(rep)?;
-                }
+                // the timeline. Shard-local, so engine-driven too.
+                engine::for_each_shard(engine, &mut self.shards, &mut st.reports, &|_, s, rep| {
+                    s.settle(rep)
+                })?;
                 let (mean, worst) = self.frag_summary();
                 st.timeline.push(FleetSample {
                     at: self.now,

@@ -51,6 +51,20 @@
 //! admission totals, retry/unplaceable counts and a fragmentation
 //! timeline.
 //!
+//! The fleet advances epoch by epoch under a pluggable stepping
+//! [`engine`]: each epoch runs every shard's **shard-local segment**
+//! (departures, queue service, threshold defrag) up to the next
+//! cross-shard event horizon, then applies the cross-shard edges
+//! (routing, migration, the fleet defrag trigger) sequentially in
+//! shard-index order. [`EngineKind::Parallel`] executes the
+//! shard-local segments on scoped worker threads with **byte-identical
+//! reports** — the thread schedule is unobservable because shards only
+//! interact inside the sequential edges — which is what turns an
+//! N-device sweep from N× single-device wall time into roughly
+//! N/cores. The schedule-invariance test suite
+//! (`tests/parallel_determinism.rs`) pins the equality over random
+//! fleets, scenarios and thread counts.
+//!
 //! Routing decides where a function *starts*; the [`rebalance`]
 //! subsystem revisits the decision. With a [`RebalancePolicy`]
 //! installed ([`FleetService::with_rebalancer`]), the fleet migrates
@@ -90,12 +104,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod fleet;
 pub mod rebalance;
 pub mod report;
 pub mod routing;
 
 pub use config::FleetConfig;
+pub use engine::EngineKind;
 pub use fleet::FleetService;
 pub use rebalance::{
     standard_rebalancers, MigrationDirective, MigrationOutcome, RebalancePolicy,

@@ -232,6 +232,23 @@ proptest! {
         let mut fleet = FleetService::new(config, policy).with_rebalancer(rebalancer);
         let report = fleet.run(&trace).unwrap();
 
+        // The same history through the parallel engine: migrations are
+        // the riskiest cross-shard edge, so this net also pins the
+        // engines' equality before checking the identities (which then
+        // hold for both).
+        let rebalancer: Box<dyn RebalancePolicy> = if rebalancer_sel == 0 {
+            Box::new(WorstShardDrain::default())
+        } else {
+            Box::new(UtilizationLevelling::default())
+        };
+        let config = FleetConfig::heterogeneous(&parts, ServiceConfig::default())
+            .with_rebalance_threshold(0.35)
+            .with_parallel_engine(2);
+        let mut parallel_fleet = FleetService::new(config, Box::new(RoundRobin::default()))
+            .with_rebalancer(rebalancer);
+        let parallel = parallel_fleet.run(&trace).unwrap();
+        prop_assert_eq!(&report, &parallel, "engines diverged on a migration run");
+
         // Original conservation identities, untouched by migration.
         prop_assert_eq!(
             report.admitted()

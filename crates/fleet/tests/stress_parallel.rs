@@ -1,0 +1,99 @@
+//! Fleet-scale soak: the N = 1024 adversarial-fragmenter sweep through
+//! both stepping engines. `#[ignore]`d by default (minutes of wall on
+//! small boxes) and opted into by `ci.sh` when `RTM_STRESS=1`:
+//!
+//! ```sh
+//! RTM_STRESS=1 ./ci.sh          # or directly:
+//! cargo test --release -p rtm-fleet --test stress_parallel -- --ignored --nocapture
+//! ```
+//!
+//! Asserts the run *completes*, that the conservation identities hold
+//! at three orders of magnitude above the unit suites, and that the
+//! parallel report equals the sequential one verbatim. Wall clock and
+//! the speedup ratio are printed, never gated — on a multi-core box
+//! (4+ cores) expect the parallel engine to finish the shard-local
+//! work about `min(cores, shards-with-work)` times faster; on the
+//! single-core CI runner the ratio dips below 1 (the parallel run
+//! also pays the measurement's allocator cold start — see the run
+//! order note below).
+
+use rtm_fleet::routing::RoundRobin;
+use rtm_fleet::{EngineKind, FleetConfig, FleetReport, FleetService};
+use rtm_fpga::part::Part;
+use rtm_service::trace::Scenario;
+use rtm_service::ServiceConfig;
+use std::time::Instant;
+
+fn assert_conservation(report: &FleetReport) {
+    assert_eq!(
+        report.admitted()
+            + report.rejected_deadline()
+            + report.failures()
+            + report.cancelled()
+            + report.queued_at_end()
+            + report.unplaceable,
+        report.submitted + report.load_failovers,
+        "{report}"
+    );
+    assert_eq!(
+        report.shard_submitted() + report.unplaceable,
+        report.submitted + report.load_failovers,
+        "{report}"
+    );
+    assert_eq!(report.migrations_in(), report.migrations, "{report}");
+    assert_eq!(report.migrations_out(), report.migrations, "{report}");
+    for s in &report.shards {
+        assert_eq!(s.routed, s.report.submitted, "routed == hosted: {report}");
+        assert_eq!(
+            s.report.resident_at_end as i64,
+            s.report.admitted as i64 - s.report.departures as i64 + s.report.migrations_in as i64
+                - s.report.migrations_out as i64,
+            "per-shard residency identity: {report}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "N = 1024 soak: minutes of wall; ci.sh opts in via RTM_STRESS=1"]
+fn n1024_sweep_completes_identically_on_both_engines() {
+    const N: usize = 1024;
+    let parts = vec![Part::Xcv50; N];
+    let trace = Scenario::AdversarialFragmenter.fleet_trace(Part::Xcv50, N as u64 + 1, 42, 170_000);
+
+    let run = |engine: EngineKind| {
+        let config =
+            FleetConfig::heterogeneous(&parts, ServiceConfig::default()).with_engine(engine);
+        let mut fleet = FleetService::new(config, Box::<RoundRobin>::default());
+        let started = Instant::now();
+        let report = fleet.run(&trace).expect("soak run stays up");
+        (report, started.elapsed().as_secs_f64())
+    };
+
+    // Parallel runs FIRST on purpose: the first run at this scale pays
+    // the allocator/page-fault cold start (worth ~2x wall on its own),
+    // so this order makes the printed speedup conservative — a >= 2x
+    // readout is real parallelism, not warmup.
+    let (parallel, par_wall) = run(EngineKind::Parallel { threads: 0 });
+    let (sequential, seq_wall) = run(EngineKind::Sequential);
+
+    assert_eq!(sequential.submitted, trace.arrivals());
+    assert!(
+        sequential.admitted() > 0,
+        "soak must actually admit: {sequential}"
+    );
+    assert_conservation(&sequential);
+    assert_eq!(
+        sequential, parallel,
+        "engines diverged at N = {N} — schedule leaked into an outcome"
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let speedup = seq_wall / par_wall.max(1e-9);
+    println!(
+        "N={N}: {} arrivals, {} admitted; sequential {seq_wall:.2}s, \
+         parallel(auto, {cores} cores) {par_wall:.2}s — {speedup:.2}x \
+         [printed, not gated; expect >= 2x on 4+ cores]",
+        sequential.submitted,
+        sequential.admitted(),
+    );
+}

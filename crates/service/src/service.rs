@@ -226,6 +226,20 @@ impl RuntimeService {
         self.expiry.values().min().copied()
     }
 
+    /// The shard's next **self-scheduled** event: the read-only peek a
+    /// fleet stepping engine uses to compute the next cross-shard
+    /// horizon. Everything strictly before this instant is shard-local
+    /// — this shard will not unload, admit or defragment anything on
+    /// its own — so an engine may advance the shard to the horizon on
+    /// any worker thread without a sibling ever observing intermediate
+    /// state. Today the only self-scheduled events are residency
+    /// expirations ([`RuntimeService::next_expiry`]); queued deadlines
+    /// are *reactive* (checked when the queue is served at a processed
+    /// instant) and deliberately not part of the horizon.
+    pub fn next_local_event(&self) -> Option<Micros> {
+        self.next_expiry()
+    }
+
     /// The resident functions as `(trace_id, manager_id, region)` — the
     /// candidate set a fleet rebalancing planner scores (via
     /// [`RunTimeManager::preview_release`](rtm_core::RunTimeManager::preview_release)

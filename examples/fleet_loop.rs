@@ -22,17 +22,22 @@
 //! ```
 //!
 //! Replays a fixed set of deterministic fleet runs — the three-device
-//! policy sweep, frag-aware sweeps at N = 16 and N = 64 devices, and
-//! two round-robin + rebalancing-migration runs (x4 and N = 16) — and
-//! writes every run's counters (admissions, frames written, `make_room`
-//! planning passes, plans reused, migrations, …) as JSON. The
-//! checked-in `BENCH_fleet.json` is the baseline; `ci.sh` re-runs this
-//! mode and fails on any counter difference. Counters are exact-match
-//! gated; wall-clock time is printed for the log but never gated.
+//! policy sweep, frag-aware sweeps at N = 16 and N = 64 devices, two
+//! round-robin + rebalancing-migration runs (x4 and N = 16), and the
+//! epoch-engine scale tier (N = 256 under both stepping engines,
+//! N = 1024 under the parallel engine) — and writes every run's
+//! counters (admissions, frames written, `make_room` planning passes,
+//! plans reused, migrations, …) as JSON, each row tagged with the
+//! engine it ran under. The checked-in `BENCH_fleet.json` is the
+//! baseline; `ci.sh` re-runs this mode and fails on any counter
+//! difference — which makes the twin N = 256 rows a standing
+//! sequential/parallel equivalence proof. Counters are exact-match
+//! gated; wall-clock time and the arrivals/s throughput printed next
+//! to each row are for the log, never gated.
 
 use rtm::fleet::rebalance::{RebalancePolicy, WorstShardDrain};
 use rtm::fleet::routing::{standard_policies, FragAware, RoundRobin, RoutingPolicy};
-use rtm::fleet::{FleetConfig, FleetReport, FleetService};
+use rtm::fleet::{EngineKind, FleetConfig, FleetReport, FleetService};
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Scenario, Trace};
 use rtm_service::ServiceConfig;
@@ -46,13 +51,17 @@ fn fleet_trace(scenario: Scenario, copies: u64, seed: u64) -> Trace {
 }
 
 /// One deterministic counter block of the perf baseline, JSON-ready.
-fn json_block(devices: usize, report: &FleetReport) -> String {
+/// The `engine` field names the stepping engine the row ran under;
+/// because the gate is a byte diff, a sequential and a parallel row
+/// over the same workload agreeing on every other field *is* the
+/// cross-engine equivalence check, re-proven on every CI run.
+fn json_block(devices: usize, engine: EngineKind, report: &FleetReport) -> String {
     let s = report.plan_stats();
     let mut out = String::new();
     let _ = write!(
         out,
-        "    {{\"scenario\": \"{}\", \"devices\": {}, \"policy\": \"{}\", \
-         \"rebalancer\": \"{}\", \
+        "    {{\"scenario\": \"{}\", \"devices\": {}, \"engine\": \"{}\", \
+         \"policy\": \"{}\", \"rebalancer\": \"{}\", \
          \"submitted\": {}, \"admitted\": {}, \"retries\": {}, \
          \"load_failovers\": {}, \"unplaceable\": {}, \"queued_at_end\": {}, \
          \"failures\": {}, \"failures_no_slots\": {}, \"failures_unroutable\": {}, \
@@ -65,6 +74,7 @@ fn json_block(devices: usize, report: &FleetReport) -> String {
          \"summary_hits\": {}, \"summary_misses\": {}}}",
         report.trace_name,
         devices,
+        engine.name(),
         report.policy,
         report.rebalancer.as_deref().unwrap_or("none"),
         report.submitted,
@@ -102,10 +112,12 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let seed = 42;
     let mut blocks: Vec<String> = Vec::new();
     let mut run = |parts: &[Part],
+                   engine: EngineKind,
                    policy: Box<dyn RoutingPolicy>,
                    rebalancer: Option<Box<dyn RebalancePolicy>>,
                    trace: &Trace| {
-        let mut config = FleetConfig::heterogeneous(parts, ServiceConfig::default());
+        let mut config =
+            FleetConfig::heterogeneous(parts, ServiceConfig::default()).with_engine(engine);
         if rebalancer.is_some() {
             config = config.with_rebalance_threshold(0.4);
         }
@@ -115,21 +127,26 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         }
         let started = Instant::now();
         let report = fleet.run(trace).expect("baseline fleet run stays up");
-        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let wall = started.elapsed().as_secs_f64();
+        // Throughput rides next to the counter gate: arrivals the
+        // fleet chewed through per second of wall. Printed for the CI
+        // log — wall time (and thus this rate) is never gated.
         println!(
-            "  {:<26} N={:<3} {:<16} {:>3}/{:<3} admitted, {} make_room, \
-             {} reused, {} migrations   [{:.0} ms wall, not gated]",
+            "  {:<26} N={:<4} {:<13} {:<16} {:>5}/{:<5} admitted, {} make_room, \
+             {} reused, {} migrations   [{:.0} ms wall, {:.0} arrivals/s, not gated]",
             report.trace_name,
             parts.len(),
+            engine.name(),
             report.policy,
             report.admitted(),
             report.submitted,
             report.plan_stats().make_room_calls,
             report.plan_stats().plans_reused,
             report.migrations,
-            wall_ms,
+            wall * 1e3,
+            report.submitted as f64 / wall.max(1e-9),
         );
-        blocks.push(json_block(parts.len(), &report));
+        blocks.push(json_block(parts.len(), engine, &report));
     };
 
     // 1. The example's three-device fleet, all four policies, on the
@@ -137,7 +154,7 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let small = [Part::Xcv50, Part::Xcv50, Part::Xcv100];
     let adv_x4 = fleet_trace(Scenario::AdversarialFragmenter, 4, seed);
     for policy in standard_policies() {
-        run(&small, policy, None, &adv_x4);
+        run(&small, EngineKind::Sequential, policy, None, &adv_x4);
     }
 
     // 2. Frag-aware at fleet scale: N = 16 and N = 64 homogeneous
@@ -146,7 +163,13 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     for n in [16usize, 64] {
         let parts = vec![Part::Xcv50; n];
         let trace = fleet_trace(Scenario::AdversarialFragmenter, n as u64 + 1, seed);
-        run(&parts, Box::<FragAware>::default(), None, &trace);
+        run(
+            &parts,
+            EngineKind::Sequential,
+            Box::<FragAware>::default(),
+            None,
+            &trace,
+        );
     }
 
     // 3. Rebalancing migration: state-blind round-robin plus the
@@ -156,6 +179,7 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     //    *and* the migration counters themselves.
     run(
         &small,
+        EngineKind::Sequential,
         Box::<RoundRobin>::default(),
         Some(Box::<WorstShardDrain>::default()),
         &adv_x4,
@@ -164,9 +188,39 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let adv_x17 = fleet_trace(Scenario::AdversarialFragmenter, 17, seed);
     run(
         &parts16,
+        EngineKind::Sequential,
         Box::<RoundRobin>::default(),
         Some(Box::<WorstShardDrain>::default()),
         &adv_x17,
+    );
+
+    // 4. The scale tier, under the epoch engines. Round-robin keeps
+    //    routing O(1)-ish so the rows measure the stepping loop, not
+    //    the router. N = 256 runs under *both* engines: the byte diff
+    //    then re-proves sequential/parallel counter equality on every
+    //    CI run. N = 1024 — the soak-scale sweep — runs once, under
+    //    the parallel engine (its counters are pinned equal to
+    //    sequential by the schedule-invariance suite; a second
+    //    multi-minute sequential row would buy no extra signal).
+    let parts256 = vec![Part::Xcv50; 256];
+    let adv_x257 = fleet_trace(Scenario::AdversarialFragmenter, 257, seed);
+    for engine in [EngineKind::Sequential, EngineKind::Parallel { threads: 0 }] {
+        run(
+            &parts256,
+            engine,
+            Box::<RoundRobin>::default(),
+            None,
+            &adv_x257,
+        );
+    }
+    let parts1024 = vec![Part::Xcv50; 1024];
+    let adv_x1025 = fleet_trace(Scenario::AdversarialFragmenter, 1025, seed);
+    run(
+        &parts1024,
+        EngineKind::Parallel { threads: 0 },
+        Box::<RoundRobin>::default(),
+        None,
+        &adv_x1025,
     );
 
     let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", blocks.join(",\n"));
