@@ -59,6 +59,14 @@ cargo bench --workspace --no-run
 echo "==> example smoke: fleet_loop (3 scenarios x 4 routing policies on a 3-device fleet)"
 cargo run --release --example fleet_loop > /dev/null
 
+echo "==> trace smoke: fleet_loop --trace (JSONL export, self-validating)"
+# The exporter round-trips every emitted line through the rtm-obs JSONL
+# parser (byte-exact) and cross-checks seven event-count identities
+# against the FleetReport before exiting 0 — a failed identity or a
+# line that doesn't re-serialise identically is a nonzero exit here.
+cargo run --release --example fleet_loop -- --trace target/fleet_trace.jsonl > /dev/null
+test -s target/fleet_trace.jsonl
+
 echo "==> perf gate: fleet_loop --baseline vs checked-in BENCH_fleet.json"
 # Deterministic counters (admissions, frames written, make_room passes,
 # plans reused, ...) are exact-match gated; wall time and the

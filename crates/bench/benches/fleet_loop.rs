@@ -33,9 +33,9 @@ use rtm_fleet::rebalance::{RebalancePolicy, WorstShardDrain};
 use rtm_fleet::routing::{standard_policies, FragAware, RoundRobin, RoutingPolicy};
 use rtm_fleet::{EngineKind, FleetConfig, FleetService};
 use rtm_fpga::part::Part;
+use rtm_obs::Stopwatch;
 use rtm_service::trace::{Scenario, Trace};
 use rtm_service::ServiceConfig;
-use std::time::Instant;
 
 fn fleet_trace(scenario: Scenario, copies: u64, seed: u64, stagger: u64) -> Trace {
     // One definition for the fleet-scale workload (example, bench,
@@ -85,9 +85,9 @@ fn run_row(
     if let Some(r) = rebalancer {
         fleet = fleet.with_rebalancer(r);
     }
-    let started = Instant::now();
+    let sw = Stopwatch::start();
     let report = fleet.run(trace).expect("fleet loop stays up");
-    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let wall_ms = sw.elapsed_ms();
     let stats = report.plan_stats();
     println!(
         "{:<24} {:>7} {:>13} {:>18} {:>6}/{:<5} {:>4} {:>7} {:>8} {:>6} {:>9} {:>8} {:>10.3} {:>9.0}",

@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! USAGE
-//!   frpt [--part XCV200] <script.frpt>
+//!   frpt [--part XCV200] [--trace <out.jsonl>] <script.frpt>
 //!   frpt [--part XCV200] -e "load b01 10x10; status; defrag; status"
 //!
 //! COMMANDS
@@ -30,6 +30,7 @@ use rtm_fpga::part::Part;
 use rtm_netlist::itc99;
 use rtm_netlist::random::RandomCircuit;
 use rtm_netlist::techmap::map_to_luts;
+use rtm_obs::{to_jsonl_stream, EventBuffer, EventKind, EventSink};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     let mut part = Part::Xcv200;
     let mut script: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -53,6 +55,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 i += 1;
                 let name = args.get(i).ok_or("--part needs a value")?;
                 part = parse_part(name)?;
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).ok_or("--trace needs a path")?.clone());
             }
             "-e" => {
                 i += 1;
@@ -75,6 +81,11 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let mut mgr = RunTimeManager::new(part);
     let cost_model = CostModel::paper_default();
+    // The manager has no simulated clock, so the trace stamps events
+    // with the 1-based command ordinal instead — still deterministic,
+    // still wall-clock-free.
+    let events = trace_path.as_ref().map(|_| EventBuffer::new(0));
+    let mut op: u64 = 0;
     println!(
         "frpt: device {part} ({}x{} CLBs)",
         part.clb_rows(),
@@ -86,17 +97,21 @@ fn run(args: &[String]) -> Result<(), String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        op += 1;
         let words: Vec<&str> = line.split_whitespace().collect();
         match words[0] {
-            "load" => cmd_load(&mut mgr, &words)?,
+            "load" => cmd_load(&mut mgr, &words, events.as_ref(), op)?,
             "unload" => {
                 let id = parse_id(&words, 1)?;
                 mgr.unload(id).map_err(|e| e.to_string())?;
+                if let Some(b) = &events {
+                    b.emit(op, EventKind::Unload { id });
+                }
                 println!("unloaded function {id}");
             }
             "move" => cmd_move(&mut mgr, &cost_model, &words)?,
             "reloc" => cmd_reloc(&mut mgr, &cost_model, &words)?,
-            "defrag" => cmd_defrag(&mut mgr, &cost_model)?,
+            "defrag" => cmd_defrag(&mut mgr, &cost_model, events.as_ref(), op)?,
             "status" => {
                 println!("{}", mgr.status());
                 println!("planning: {}", mgr.plan_stats());
@@ -108,10 +123,21 @@ fn run(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown command `{other}` in: {line}")),
         }
     }
+    if let (Some(path), Some(b)) = (&trace_path, &events) {
+        let stream = b.take();
+        std::fs::write(path, to_jsonl_stream(&stream))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace: wrote {} events to {path}", stream.len());
+    }
     Ok(())
 }
 
-fn cmd_load(mgr: &mut RunTimeManager, words: &[&str]) -> Result<(), String> {
+fn cmd_load(
+    mgr: &mut RunTimeManager,
+    words: &[&str],
+    events: Option<&EventBuffer>,
+    at: u64,
+) -> Result<(), String> {
     let circuit = words.get(1).ok_or("load: missing circuit")?;
     let shape = words.get(2).ok_or("load: missing ROWSxCOLS")?;
     let (rows, cols) = parse_shape(shape)?;
@@ -130,6 +156,15 @@ fn cmd_load(mgr: &mut RunTimeManager, words: &[&str]) -> Result<(), String> {
         // routing-failure autopsy: area pressure and wiring congestion
         // call for different fixes.
         .map_err(|e| format!("load failed [{}]: {e}", e.load_failure_reason()))?;
+    if let Some(b) = events {
+        b.emit(
+            at,
+            EventKind::Load {
+                id: report.id,
+                frames: report.frames_total(),
+            },
+        );
+    }
     println!(
         "loaded {} as function {} at {} ({} cells){}",
         circuit,
@@ -201,7 +236,12 @@ fn cmd_reloc(
     Ok(())
 }
 
-fn cmd_defrag(mgr: &mut RunTimeManager, cost_model: &CostModel) -> Result<(), String> {
+fn cmd_defrag(
+    mgr: &mut RunTimeManager,
+    cost_model: &CostModel,
+    events: Option<&EventBuffer>,
+    at: u64,
+) -> Result<(), String> {
     // The manager plans the compaction and refuses cycles whose
     // predicted improvement is zero — no relocation traffic for a
     // fragmentation index that would not move.
@@ -212,6 +252,16 @@ fn cmd_defrag(mgr: &mut RunTimeManager, cost_model: &CostModel) -> Result<(), St
             report.before.fragmentation()
         );
         return Ok(());
+    }
+    if let Some(b) = events {
+        b.emit(
+            at,
+            EventKind::DefragCycle {
+                before: report.before,
+                after: report.after,
+                moves: report.moves.len(),
+            },
+        );
     }
     let total_ms: f64 = report
         .relocations
@@ -284,8 +334,13 @@ fn parse_id(words: &[&str], idx: usize) -> Result<FunctionId, String> {
 const HELP: &str = "frpt — FPGA Rearrangement and Programming Tool (DATE 2003 reproduction)
 
 USAGE
-  frpt [--part XCV200] <script.frpt>
+  frpt [--part XCV200] [--trace <out.jsonl>] <script.frpt>
   frpt [--part XCV200] -e \"load b01 10x10; status; defrag; status\"
+
+OPTIONS
+  --trace <out.jsonl>   export load/unload/defrag events as JSONL
+                        (stamped with the command ordinal — the tool
+                        has no simulated clock)
 
 COMMANDS (separated by ';' or newlines; '#' starts a comment)
   load <b01..b13|rand:FFSxGATES> <ROWSxCOLS>

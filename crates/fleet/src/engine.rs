@@ -36,6 +36,7 @@
 //! ban stays intact.
 
 use rtm_core::CoreError;
+use rtm_obs::PhaseProfiler;
 use rtm_sched::task::Micros;
 use rtm_service::{RuntimeService, ServiceReport};
 
@@ -116,6 +117,11 @@ pub fn horizon(next_trace: Option<Micros>, shards: &[RuntimeService]) -> Option<
 /// exact same per-shard results; they differ only in which thread runs
 /// which shard.
 ///
+/// `profiler` records *wall-clock* per-worker segment time (atomics, so
+/// workers write through a shared reference). It is observability only:
+/// results are bit-for-bit identical with and without it, and nothing
+/// it measures can reach a report.
+///
 /// # Errors
 ///
 /// Propagates the first [`CoreError`] **by shard index** (not by
@@ -132,6 +138,7 @@ pub fn for_each_shard<F>(
     engine: EngineKind,
     shards: &mut [RuntimeService],
     reports: &mut [ServiceReport],
+    profiler: Option<&PhaseProfiler>,
     step: &F,
 ) -> Result<(), CoreError>
 where
@@ -144,12 +151,13 @@ where
     );
     let workers = engine.worker_count(shards.len());
     if workers <= 1 {
+        let _t = profiler.map(|p| p.worker_timer(0));
         for (i, (s, r)) in shards.iter_mut().zip(reports.iter_mut()).enumerate() {
             step(i, s, r)?;
         }
         return Ok(());
     }
-    parallel_for_each(workers, shards, reports, step)
+    parallel_for_each(workers, shards, reports, profiler, step)
 }
 
 /// Scans per-shard outcomes in shard-index order and surfaces the
@@ -169,6 +177,7 @@ fn parallel_for_each<F>(
     workers: usize,
     shards: &mut [RuntimeService],
     reports: &mut [ServiceReport],
+    profiler: Option<&PhaseProfiler>,
     step: &F,
 ) -> Result<(), CoreError>
 where
@@ -183,28 +192,31 @@ where
     let results_ptr = SendPtr(results.as_mut_ptr());
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(move || {
+                let _t = profiler.map(|p| p.worker_timer(w));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // SAFETY: `fetch_add` hands index `i` to exactly one
+                    // worker, the three buffers are exactly `n` long and
+                    // outlive the scope, and the owning `&mut` slices are
+                    // untouched until every worker has joined — so each
+                    // reborrow below is the only live reference to its
+                    // element. This is the scoped-thread confinement
+                    // argument recorded in lint-allow.toml.
+                    let (s, r, slot) = unsafe {
+                        (
+                            &mut *shards_ptr.element(i),
+                            &mut *reports_ptr.element(i),
+                            &mut *results_ptr.element(i),
+                        )
+                    };
+                    *slot = Some(step(i, s, r));
                 }
-                // SAFETY: `fetch_add` hands index `i` to exactly one
-                // worker, the three buffers are exactly `n` long and
-                // outlive the scope, and the owning `&mut` slices are
-                // untouched until every worker has joined — so each
-                // reborrow below is the only live reference to its
-                // element. This is the scoped-thread confinement
-                // argument recorded in lint-allow.toml.
-                let (s, r, slot) = unsafe {
-                    (
-                        &mut *shards_ptr.element(i),
-                        &mut *reports_ptr.element(i),
-                        &mut *results_ptr.element(i),
-                    )
-                };
-                *slot = Some(step(i, s, r));
             });
         }
     });
@@ -221,6 +233,7 @@ fn parallel_for_each<F>(
     workers: usize,
     shards: &mut [RuntimeService],
     reports: &mut [ServiceReport],
+    profiler: Option<&PhaseProfiler>,
     step: &F,
 ) -> Result<(), CoreError>
 where
@@ -245,8 +258,9 @@ where
         hands[i % workers].push((i, s, r, slot));
     }
     std::thread::scope(|scope| {
-        for hand in hands {
+        for (w, hand) in hands.into_iter().enumerate() {
             scope.spawn(move || {
+                let _t = profiler.map(|p| p.worker_timer(w));
                 for (i, s, r, slot) in hand {
                     *slot = Some(step(i, s, r));
                 }
@@ -357,7 +371,7 @@ mod tests {
             EngineKind::Parallel { threads: 8 },
         ] {
             let (mut shards, mut reports) = fleet(5);
-            for_each_shard(engine, &mut shards, &mut reports, &|i, _s, rep| {
+            for_each_shard(engine, &mut shards, &mut reports, None, &|i, _s, rep| {
                 // Reuse a report counter as the per-shard touch mark;
                 // the index must match the slot the engine handed us.
                 rep.submitted += i + 1;
@@ -375,7 +389,7 @@ mod tests {
         use rtm_place::PlaceError;
         for engine in [EngineKind::Sequential, EngineKind::Parallel { threads: 4 }] {
             let (mut shards, mut reports) = fleet(6);
-            let err = for_each_shard(engine, &mut shards, &mut reports, &|i, _s, _r| {
+            let err = for_each_shard(engine, &mut shards, &mut reports, None, &|i, _s, _r| {
                 if i % 2 == 1 {
                     Err(CoreError::Place(PlaceError::UnknownTask { id: i as u64 }))
                 } else {

@@ -6,6 +6,10 @@ use crate::rebalance::{MigrationDirective, MigrationOutcome, RebalancePolicy};
 use crate::report::{FleetReport, FleetSample, ShardOutcome};
 use crate::routing::RoutingPolicy;
 use rtm_core::CoreError;
+use rtm_obs::{
+    EventBuffer, EventKind, EventSink, MetricsRegistry, Phase, PhaseProfiler, RejectReason,
+    RtmEvent, FLEET_SHARD,
+};
 use rtm_sched::task::Micros;
 use rtm_service::trace::{Arrival, Trace, TraceEvent};
 use rtm_service::{OfferOutcome, RuntimeService, ServiceReport};
@@ -24,6 +28,7 @@ struct RunState {
     migrations_failed: usize,
     migrations_refused: usize,
     timeline: Vec<FleetSample>,
+    metrics: MetricsRegistry,
 }
 
 /// The multi-device runtime service: owns N per-device
@@ -74,6 +79,20 @@ pub struct FleetService {
     /// Trace id → shard index that hosts (or last hosted) the id.
     owner: BTreeMap<u64, usize>,
     now: Micros,
+    /// The fleet-level event buffer (tag [`FLEET_SHARD`]), installed by
+    /// [`FleetService::enable_events`]: epoch boundaries and
+    /// unplaceable rejections, which no single shard owns.
+    fleet_events: Option<EventBuffer>,
+    /// The merged deterministic stream: per epoch, the fleet buffer is
+    /// drained first, then every shard's buffer in shard-index order —
+    /// always on the calling thread, after workers have joined, so the
+    /// merge order is identical under every engine.
+    event_log: Vec<RtmEvent>,
+    /// Wall-clock phase profiler, installed by
+    /// [`FleetService::enable_profiler`]. Deliberately *not* part of
+    /// any report: reports are engine-compared byte-exact, wall time is
+    /// printed beside them.
+    profiler: Option<PhaseProfiler>,
 }
 
 // Compile-time `Send` pin: the whole fleet must be movable across
@@ -109,6 +128,53 @@ impl FleetService {
             shards,
             owner: BTreeMap::new(),
             now: 0,
+            fleet_events: None,
+            event_log: Vec::new(),
+            profiler: None,
+        }
+    }
+
+    /// Enables deterministic event tracing: installs an [`EventBuffer`]
+    /// on every shard (tagged with its index) plus the fleet-level
+    /// buffer (tagged [`FLEET_SHARD`]). Drain the merged stream with
+    /// [`FleetService::take_events`] after a run.
+    pub fn enable_events(&mut self) {
+        self.fleet_events = Some(EventBuffer::new(FLEET_SHARD));
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            s.enable_events(i as u32);
+        }
+    }
+
+    /// Drains the merged event stream recorded so far (empty when
+    /// tracing is disabled). The stream is fully deterministic and
+    /// byte-identical across engines and thread counts.
+    pub fn take_events(&mut self) -> Vec<RtmEvent> {
+        self.drain_events();
+        std::mem::take(&mut self.event_log)
+    }
+
+    /// Installs the wall-clock [`PhaseProfiler`]; shares accumulate
+    /// across subsequent runs until [`FleetService::enable_profiler`]
+    /// is called again. Read it back via [`FleetService::profiler`].
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(PhaseProfiler::new());
+    }
+
+    /// The installed phase profiler, if any.
+    pub fn profiler(&self) -> Option<&PhaseProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Appends the fleet buffer, then every shard buffer in shard-index
+    /// order, to the merged log — the single fixed merge point that
+    /// makes the stream engine-invariant (always runs on the calling
+    /// thread, after any workers have joined).
+    fn drain_events(&mut self) {
+        if let Some(fleet_buf) = &self.fleet_events {
+            self.event_log.extend(fleet_buf.take());
+            for s in &mut self.shards {
+                self.event_log.extend(s.take_events());
+            }
         }
     }
 
@@ -183,6 +249,21 @@ impl FleetService {
     /// (a failed unload or defragmentation on some shard); per-request
     /// failures are absorbed into the owning shard's report.
     pub fn run(&mut self, trace: &Trace) -> Result<FleetReport, CoreError> {
+        // The profiler is moved out for the run (and reinstalled right
+        // after) so `run_inner` can borrow it immutably while mutating
+        // the shards — same disjoint-borrow move the rebalancing
+        // trigger uses for its planner.
+        let profiler = self.profiler.take();
+        let result = self.run_inner(trace, profiler.as_ref());
+        self.profiler = profiler;
+        result
+    }
+
+    fn run_inner(
+        &mut self,
+        trace: &Trace,
+        profiler: Option<&PhaseProfiler>,
+    ) -> Result<FleetReport, CoreError> {
         let n = self.shards.len();
         let mut st = RunState {
             reports: (0..n)
@@ -198,6 +279,7 @@ impl FleetService {
             migrations_failed: 0,
             migrations_refused: 0,
             timeline: Vec::new(),
+            metrics: MetricsRegistry::new(),
         };
 
         let events = trace.events();
@@ -208,10 +290,18 @@ impl FleetService {
             // cross-shard can happen. Everything up to it is
             // shard-local by construction.
             let next_trace = events.get(idx).map(|e| e.at);
-            let Some(now) = engine::horizon(next_trace, &self.shards) else {
+            let horizon = {
+                let _t = profiler.map(|p| p.start(Phase::Horizon));
+                engine::horizon(next_trace, &self.shards)
+            };
+            let Some(now) = horizon else {
                 break;
             };
             self.now = self.now.max(now);
+            if let Some(fleet_buf) = &self.fleet_events {
+                fleet_buf.emit(now, EventKind::EpochBoundary);
+            }
+            st.metrics.inc("epochs");
 
             // 1. Shard-local segment: every shard advances to the
             //    horizon independently (due residencies depart). Under
@@ -219,12 +309,20 @@ impl FleetService {
             //    worker threads; no shard reads a sibling until the
             //    sequential cross-shard edges below, so the thread
             //    schedule is unobservable.
-            engine::for_each_shard(engine, &mut self.shards, &mut st.reports, &|_, s, rep| {
-                s.advance_to(now, rep)
-            })?;
+            {
+                let _t = profiler.map(|p| p.start(Phase::Segments));
+                engine::for_each_shard(
+                    engine,
+                    &mut self.shards,
+                    &mut st.reports,
+                    profiler,
+                    &|_, s, rep| s.advance_to(now, rep),
+                )?;
+            }
 
             // 2. Cross-shard edges, sequential in stream order: trace
             //    events at this instant.
+            let routing = profiler.map(|p| p.start(Phase::Routing));
             while idx < events.len() && events[idx].at <= now {
                 match events[idx].event {
                     TraceEvent::Arrival(a) => self.route(events[idx].at, a, &mut st)?,
@@ -242,23 +340,38 @@ impl FleetService {
                 }
                 idx += 1;
             }
+            drop(routing);
 
             // 3. Shard-local again: every shard serves its queue,
             //    samples fragmentation and runs its own
             //    threshold-triggered defrag — parallel under the
             //    parallel engine, same argument as step 1.
-            engine::for_each_shard(engine, &mut self.shards, &mut st.reports, &|_, s, rep| {
-                s.settle(rep)
-            })?;
+            {
+                let _t = profiler.map(|p| p.start(Phase::Segments));
+                engine::for_each_shard(
+                    engine,
+                    &mut self.shards,
+                    &mut st.reports,
+                    profiler,
+                    &|_, s, rep| s.settle(rep),
+                )?;
+            }
 
             // The timeline must show the state the fleet trigger saw,
             // not only the post-cycle recovery.
+            let sampling = profiler.map(|p| p.start(Phase::Sampling));
             let (mean, worst) = self.frag_summary();
             st.timeline.push(FleetSample {
                 at: self.now,
                 mean,
                 worst,
             });
+            drop(sampling);
+
+            // Steps 4 and 5 are the migration/trigger edges of the
+            // epoch: both trigger scans, the forced defrag cycle and
+            // the migrate loop all accrue to one profiler phase.
+            let triggers = profiler.map(|p| p.start(Phase::Triggers));
 
             // 4. Fleet-level trigger: when the mean index climbs past
             //    the fleet threshold, force a cycle on the device where
@@ -336,14 +449,23 @@ impl FleetService {
                     | MigrationOutcome::RefusedWindow { .. } => st.migrations_refused += 1,
                 }
             }
+            drop(triggers);
             if moved {
                 // Migrations mutated layouts on both ends: serve
                 // the queues now (a blocked big request may fit the
                 // repaired shard) and show the post-repair state on
                 // the timeline. Shard-local, so engine-driven too.
-                engine::for_each_shard(engine, &mut self.shards, &mut st.reports, &|_, s, rep| {
-                    s.settle(rep)
-                })?;
+                {
+                    let _t = profiler.map(|p| p.start(Phase::Segments));
+                    engine::for_each_shard(
+                        engine,
+                        &mut self.shards,
+                        &mut st.reports,
+                        profiler,
+                        &|_, s, rep| s.settle(rep),
+                    )?;
+                }
+                let _t = profiler.map(|p| p.start(Phase::Sampling));
                 let (mean, worst) = self.frag_summary();
                 st.timeline.push(FleetSample {
                     at: self.now,
@@ -351,11 +473,18 @@ impl FleetService {
                     worst,
                 });
             }
+
+            // Merge this epoch's events — fleet buffer first, then
+            // every shard in index order, always on this thread — so
+            // the stream's order is fixed by construction, not by any
+            // worker schedule.
+            self.drain_events();
         }
 
         for (s, rep) in self.shards.iter_mut().zip(&mut st.reports) {
             s.finish(rep);
         }
+        self.drain_events();
         // Functions that expired inside the run left the router's
         // tracking map behind; sweep it so a long-lived fleet does not
         // accumulate one stale entry per id ever routed.
@@ -386,6 +515,7 @@ impl FleetService {
             rebalancer: self.rebalancer.as_ref().map(|r| r.name().to_string()),
             shards,
             timeline: st.timeline,
+            metrics: st.metrics,
         })
     }
 
@@ -536,6 +666,15 @@ impl FleetService {
                     // (a blocked head blocks the queue): reject it
                     // outright instead.
                     st.unplaceable += 1;
+                    if let Some(b) = &self.fleet_events {
+                        b.emit(
+                            at,
+                            EventKind::Rejected {
+                                id: a.id,
+                                reason: RejectReason::Unplaceable,
+                            },
+                        );
+                    }
                 }
                 return Ok(());
             }
@@ -547,6 +686,15 @@ impl FleetService {
         let ranking = self.policy.rank(&a, &self.shards);
         if ranking.is_empty() {
             st.unplaceable += 1;
+            if let Some(b) = &self.fleet_events {
+                b.emit(
+                    at,
+                    EventKind::Rejected {
+                        id: a.id,
+                        reason: RejectReason::Unplaceable,
+                    },
+                );
+            }
             return Ok(());
         }
         // Shards that consumed an accounting via a load failure before
@@ -555,21 +703,27 @@ impl FleetService {
         let mut failed_accountings = 0usize;
         // Best-ranked shard that said "no room" — the queue slot.
         let mut queue_on: Option<usize> = None;
+        // Devices offered before the request's fate was decided — the
+        // "offer_chain_len" histogram (1 = first-ranked device took it).
+        let mut offers = 0u64;
         let cap = self.config.max_offer_attempts.max(1);
         for (attempt, cand) in ranking.into_iter().enumerate().take(cap) {
             let s = cand.shard;
+            offers += 1;
             match self.shards[s].offer(at, a, cand.plan, &mut st.reports[s])? {
                 OfferOutcome::Admitted => {
                     if attempt > 0 {
                         st.retries += 1;
                     }
                     st.load_failovers += failed_accountings;
+                    st.metrics.observe("offer_chain_len", offers);
                     self.owner.insert(a.id, s);
                     st.routed[s] += 1;
                     return Ok(());
                 }
                 OfferOutcome::Dropped => {
                     st.load_failovers += failed_accountings;
+                    st.metrics.observe("offer_chain_len", offers);
                     st.routed[s] += 1;
                     return Ok(());
                 }
@@ -588,6 +742,7 @@ impl FleetService {
                 }
             }
         }
+        st.metrics.observe("offer_chain_len", offers);
         if let Some(s) = queue_on {
             // Nobody can place it right now: wait on the best device
             // that can still hope to (a departure may free room there).

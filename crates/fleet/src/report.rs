@@ -2,6 +2,7 @@
 
 use rtm_core::PlanStats;
 use rtm_fpga::part::Part;
+use rtm_obs::MetricsRegistry;
 use rtm_sched::task::Micros;
 use rtm_service::ServiceReport;
 use std::fmt;
@@ -85,6 +86,11 @@ pub struct FleetReport {
     pub shards: Vec<ShardOutcome>,
     /// Fleet-wide fragmentation sampled after every processed instant.
     pub timeline: Vec<FleetSample>,
+    /// Fleet-level deterministic metrics for the run: the epoch count
+    /// and the offer-chain-length histogram (devices offered per routed
+    /// arrival). Shard-level metrics live on the shard reports; merge
+    /// everything with [`FleetReport::metrics_rollup`].
+    pub metrics: MetricsRegistry,
 }
 
 impl FleetReport {
@@ -230,6 +236,17 @@ impl FleetReport {
     pub fn peak_worst_frag(&self) -> f64 {
         self.timeline.iter().map(|s| s.worst).fold(0.0, f64::max)
     }
+
+    /// The fleet-level metrics merged with every shard report's
+    /// registry: counters add, histograms add bucket-wise — one view of
+    /// queue waits, frames per load and offer chains for the whole run.
+    pub fn metrics_rollup(&self) -> MetricsRegistry {
+        let mut total = self.metrics.clone();
+        for s in &self.shards {
+            total.merge(&s.report.metrics);
+        }
+        total
+    }
 }
 
 impl fmt::Display for FleetReport {
@@ -353,6 +370,7 @@ mod tests {
                     worst: 0.6,
                 },
             ],
+            metrics: MetricsRegistry::new(),
         };
         assert_eq!(r.shard_submitted(), 10);
         assert_eq!(r.shard_submitted() + r.unplaceable, r.submitted);

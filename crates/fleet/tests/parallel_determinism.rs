@@ -68,14 +68,17 @@ fn rebalancer_by_index(i: usize) -> Option<Box<dyn RebalancePolicy>> {
 }
 
 /// One full fleet run under `engine`, fresh fleet each time so every
-/// engine faces identical initial state.
+/// engine faces identical initial state. The deterministic event
+/// stream is recorded alongside the report and returned serialized:
+/// byte equality of the JSONL text is the strongest stream statement
+/// available, covering order, timestamps, shard tags and payloads.
 fn run_with_engine(
     parts: &[Part],
     policy_sel: usize,
     rebalancer_sel: usize,
     trace: &Trace,
     engine: EngineKind,
-) -> FleetReport {
+) -> (FleetReport, String) {
     let mut config =
         FleetConfig::heterogeneous(parts, ServiceConfig::default()).with_engine(engine);
     if rebalancer_by_index(rebalancer_sel).is_some() {
@@ -85,7 +88,10 @@ fn run_with_engine(
     if let Some(r) = rebalancer_by_index(rebalancer_sel) {
         fleet = fleet.with_rebalancer(r);
     }
-    fleet.run(trace).expect("determinism-net run stays up")
+    fleet.enable_events();
+    let report = fleet.run(trace).expect("determinism-net run stays up");
+    let stream = rtm_obs::to_jsonl_stream(&fleet.take_events());
+    (report, stream)
 }
 
 proptest! {
@@ -108,10 +114,10 @@ proptest! {
         // overload tail (the anchors cover overload deterministically).
         let trace = scenario.fleet_trace(Part::Xcv50, parts.len() as u64, seed, 150_000);
 
-        let sequential =
+        let (sequential, seq_stream) =
             run_with_engine(&parts, policy_sel, rebalancer_sel, &trace, EngineKind::Sequential);
         for &threads in thread_counts() {
-            let parallel = run_with_engine(
+            let (parallel, par_stream) = run_with_engine(
                 &parts,
                 policy_sel,
                 rebalancer_sel,
@@ -122,7 +128,15 @@ proptest! {
                 &sequential, &parallel,
                 "parallel({}) diverged from sequential", threads
             );
+            // The event stream is the finer-grained statement: not just
+            // end-of-run counters but every intermediate event, in
+            // order, byte for byte.
+            prop_assert_eq!(
+                &seq_stream, &par_stream,
+                "event stream diverged under parallel({})", threads
+            );
         }
+        prop_assert!(!seq_stream.is_empty(), "traced runs must record events");
 
         // The sum identities hold on the (now provably shared) outcome.
         prop_assert_eq!(

@@ -20,9 +20,9 @@
 use rtm_fleet::routing::RoundRobin;
 use rtm_fleet::{EngineKind, FleetConfig, FleetReport, FleetService};
 use rtm_fpga::part::Part;
+use rtm_obs::Stopwatch;
 use rtm_service::trace::Scenario;
 use rtm_service::ServiceConfig;
-use std::time::Instant;
 
 fn assert_conservation(report: &FleetReport) {
     assert_eq!(
@@ -64,9 +64,18 @@ fn n1024_sweep_completes_identically_on_both_engines() {
         let config =
             FleetConfig::heterogeneous(&parts, ServiceConfig::default()).with_engine(engine);
         let mut fleet = FleetService::new(config, Box::<RoundRobin>::default());
-        let started = Instant::now();
+        // Phase profiler on the soak: where do the epochs actually go at
+        // N = 1024? The share table below feeds the ROADMAP reference
+        // numbers (printed, never gated — wall clock stays out of reports).
+        fleet.enable_profiler();
+        let sw = Stopwatch::start();
         let report = fleet.run(&trace).expect("soak run stays up");
-        (report, started.elapsed().as_secs_f64())
+        let wall = sw.elapsed_secs();
+        if let Some(p) = fleet.profiler() {
+            println!("{} phase shares at N = {N}:", engine.name());
+            println!("{}", p.share_table());
+        }
+        (report, wall)
     };
 
     // Parallel runs FIRST on purpose: the first run at this scale pays

@@ -1,0 +1,291 @@
+//! Wall-clock phase profiling — the one place in the workspace that is
+//! allowed to read `Instant`.
+//!
+//! Everything here measures *wall* time and therefore lives strictly
+//! apart from the deterministic event stream and metrics registry: a
+//! profiler is never part of a `ServiceReport`/`FleetReport` (which are
+//! `PartialEq`-compared across engines and byte-diffed by the CI perf
+//! gate), and its output is printed beside the gated counters, never
+//! into them. The rtm-lint determinism rule ratchets this boundary: the
+//! `Instant` tokens below carry the single `lint-allow.toml` entry, and
+//! every other crate routes wall-clock measurement through [`Stopwatch`]
+//! or [`PhaseProfiler`].
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Maximum worker threads the per-thread accumulators track.
+pub const MAX_WORKERS: usize = 64;
+
+/// The phases of one `FleetService::run` epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Cross-shard event-horizon scan (min over shards + trace peek).
+    Horizon,
+    /// Shard-local segments (advance/settle sweeps; the parallel part).
+    Segments,
+    /// Trace delivery and routing edges.
+    Routing,
+    /// Fleet defrag trigger and rebalance-migration edges.
+    Triggers,
+    /// Fragmentation timeline sampling.
+    Sampling,
+}
+
+impl Phase {
+    /// Every phase, in display order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Horizon,
+        Phase::Segments,
+        Phase::Routing,
+        Phase::Triggers,
+        Phase::Sampling,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Horizon => "horizon",
+            Phase::Segments => "segments",
+            Phase::Routing => "routing",
+            Phase::Triggers => "triggers",
+            Phase::Sampling => "sampling",
+        }
+    }
+
+    /// True for the phases that run single-threaded between segments —
+    /// the "cross-shard edges" of ROADMAP follow-up (a).
+    pub fn is_cross_shard_edge(&self) -> bool {
+        !matches!(self, Phase::Segments)
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Phase::Horizon => 0,
+            Phase::Segments => 1,
+            Phase::Routing => 2,
+            Phase::Triggers => 3,
+            Phase::Sampling => 4,
+        }
+    }
+}
+
+/// Per-phase and per-worker wall-clock accumulators for the epoch
+/// engine. Atomics so worker threads can record segment time through a
+/// shared reference while the main thread times the cross-shard edges.
+#[derive(Debug)]
+pub struct PhaseProfiler {
+    phase_ns: [AtomicU64; 5],
+    worker_ns: [AtomicU64; MAX_WORKERS],
+}
+
+impl Default for PhaseProfiler {
+    fn default() -> Self {
+        PhaseProfiler {
+            phase_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            worker_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl PhaseProfiler {
+    /// Creates a zeroed profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts timing `phase`; the elapsed wall time is accumulated when
+    /// the returned guard drops.
+    pub fn start(&self, phase: Phase) -> PhaseGuard<'_> {
+        PhaseGuard {
+            slot: &self.phase_ns[phase.index()],
+            started: Instant::now(),
+        }
+    }
+
+    /// Starts timing worker `worker`'s share of the current segment
+    /// phase; accumulates on drop. Workers at or beyond [`MAX_WORKERS`]
+    /// fold into the last slot.
+    pub fn worker_timer(&self, worker: usize) -> PhaseGuard<'_> {
+        PhaseGuard {
+            slot: &self.worker_ns[worker.min(MAX_WORKERS - 1)],
+            started: Instant::now(),
+        }
+    }
+
+    /// Accumulated wall nanoseconds for `phase`.
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Accumulated wall nanoseconds recorded by worker `worker`.
+    pub fn worker_nanos(&self, worker: usize) -> u64 {
+        self.worker_ns[worker.min(MAX_WORKERS - 1)].load(Ordering::Relaxed)
+    }
+
+    /// Sum over all phases.
+    pub fn total_nanos(&self) -> u64 {
+        Phase::ALL.iter().map(|p| self.phase_nanos(*p)).sum()
+    }
+
+    /// Sum over the single-threaded cross-shard edge phases (everything
+    /// except `Segments`).
+    pub fn cross_shard_nanos(&self) -> u64 {
+        Phase::ALL
+            .iter()
+            .filter(|p| p.is_cross_shard_edge())
+            .map(|p| self.phase_nanos(*p))
+            .sum()
+    }
+
+    /// The phase-share table: one line of phase percentages plus the
+    /// cross-shard edge share, and one line per worker that recorded
+    /// time. Wall clock only — printed beside gated output, never into
+    /// it.
+    pub fn share_table(&self) -> String {
+        let total = self.total_nanos();
+        let mut out = String::from("    phases:");
+        if total == 0 {
+            out.push_str(" (no samples)");
+            return out;
+        }
+        let pct = |ns: u64| 100.0 * ns as f64 / total as f64;
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{} {} {:.1}%",
+                if i == 0 { "" } else { " |" },
+                phase.name(),
+                pct(self.phase_nanos(*phase))
+            );
+        }
+        let _ = write!(
+            out,
+            " | cross-shard edges {:.1}% of {:.2}s",
+            pct(self.cross_shard_nanos()),
+            total as f64 / 1e9
+        );
+        let workers: Vec<(usize, u64)> = (0..MAX_WORKERS)
+            .map(|w| (w, self.worker_nanos(w)))
+            .filter(|&(_, ns)| ns > 0)
+            .collect();
+        if workers.len() > 1 {
+            let seg: u64 = workers.iter().map(|&(_, ns)| ns).sum();
+            out.push_str("\n    workers:");
+            for (w, ns) in workers {
+                let _ = write!(out, " w{} {:.1}%", w, 100.0 * ns as f64 / seg as f64);
+            }
+            out.push_str(" (of summed segment time)");
+        }
+        out
+    }
+}
+
+/// Accumulates elapsed wall time into one profiler slot on drop.
+#[derive(Debug)]
+pub struct PhaseGuard<'a> {
+    slot: &'a AtomicU64,
+    started: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let ns = self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.slot.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+/// A plain wall-clock stopwatch — the workspace-wide replacement for
+/// ad-hoc `Instant::now()` timing in benches, stress tests and demos.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Elapsed wall seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_accumulate_into_their_phase() {
+        let prof = PhaseProfiler::new();
+        {
+            let _g = prof.start(Phase::Horizon);
+            std::hint::black_box(0u64);
+        }
+        {
+            let _g = prof.start(Phase::Segments);
+            std::hint::black_box(0u64);
+        }
+        assert!(prof.phase_nanos(Phase::Horizon) > 0);
+        assert!(prof.phase_nanos(Phase::Segments) > 0);
+        assert_eq!(prof.phase_nanos(Phase::Routing), 0);
+        assert_eq!(
+            prof.total_nanos(),
+            Phase::ALL.iter().map(|p| prof.phase_nanos(*p)).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn cross_shard_share_excludes_segments() {
+        let prof = PhaseProfiler::new();
+        drop(prof.start(Phase::Routing));
+        drop(prof.start(Phase::Segments));
+        assert_eq!(
+            prof.cross_shard_nanos(),
+            prof.total_nanos() - prof.phase_nanos(Phase::Segments)
+        );
+    }
+
+    #[test]
+    fn worker_timers_land_in_their_slot() {
+        let prof = PhaseProfiler::new();
+        drop(prof.worker_timer(0));
+        drop(prof.worker_timer(2));
+        drop(prof.worker_timer(MAX_WORKERS + 7));
+        assert!(prof.worker_nanos(0) > 0);
+        assert_eq!(prof.worker_nanos(1), 0);
+        assert!(prof.worker_nanos(2) > 0);
+        assert!(
+            prof.worker_nanos(MAX_WORKERS - 1) > 0,
+            "overflow folds into last slot"
+        );
+    }
+
+    #[test]
+    fn share_table_handles_empty_and_filled() {
+        let prof = PhaseProfiler::new();
+        assert!(prof.share_table().contains("no samples"));
+        drop(prof.start(Phase::Horizon));
+        let table = prof.share_table();
+        assert!(table.contains("horizon"));
+        assert!(table.contains("cross-shard edges"));
+    }
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let sw = Stopwatch::start();
+        assert!(sw.elapsed_secs() >= 0.0);
+        assert!(sw.elapsed_ms() >= 0.0);
+    }
+}

@@ -1,6 +1,7 @@
 //! The structured outcome of one service run.
 
 use rtm_core::PlanStats;
+use rtm_obs::MetricsRegistry;
 use rtm_place::frag::FragMetrics;
 use rtm_sched::admission::AdmissionOutcome;
 use rtm_sched::task::Micros;
@@ -118,6 +119,13 @@ pub struct ServiceReport {
     /// [`RuntimeService::finish`](crate::RuntimeService::finish) as the
     /// delta of the manager's lifetime counters over this run).
     pub plan_stats: PlanStats,
+    /// Deterministic observability metrics for the run — named counters
+    /// and log2-bucketed histograms (queue wait in simulated µs, frames
+    /// per load, moves per admission) deltaed by
+    /// [`RuntimeService::finish`](crate::RuntimeService::finish) exactly
+    /// like [`ServiceReport::plan_stats`]. Simulated quantities only, so
+    /// the registry is engine-invariant and safe to compare byte-exact.
+    pub metrics: MetricsRegistry,
     /// Requests still queued when the trace (and all residencies with
     /// known durations) ran out.
     pub queued_at_end: usize,

@@ -11,6 +11,7 @@ use rtm_core::{
 use rtm_fpga::part::Part;
 use rtm_netlist::random::RandomCircuit;
 use rtm_netlist::techmap::{map_to_luts, MappedNetlist};
+use rtm_obs::{EventBuffer, EventKind, EventSink, MetricsRegistry, RejectReason, RtmEvent};
 use rtm_place::defrag::Move;
 use rtm_sched::admission::AdmissionOutcome;
 use rtm_sched::task::Micros;
@@ -155,6 +156,18 @@ pub struct RuntimeService {
     /// clock advances, so a blocked head stays blocked until the device
     /// mutates.
     head_blocked: Option<(u64, u64)>,
+    /// Deterministic event stream, recorded when tracing is enabled
+    /// ([`RuntimeService::enable_events`]). `None` keeps the hot path
+    /// branch-cheap. Manager-level events (loads, defrag cycles) are
+    /// emitted *here*, from the manager's reports — the manager itself
+    /// has no simulated clock to stamp them with.
+    events: Option<EventBuffer>,
+    /// Deterministic metric accumulators for the service's whole life;
+    /// [`RuntimeService::finish`] deltas them into the report exactly
+    /// like `PlanStats`.
+    metrics: MetricsRegistry,
+    /// Snapshot of `metrics` at the start of the current run.
+    metrics_base: MetricsRegistry,
 }
 
 // Compile-time `Send` pin: a shard (service + its manager) must be
@@ -180,7 +193,38 @@ impl RuntimeService {
             queue: VecDeque::new(),
             stats_base: PlanStats::default(),
             head_blocked: None,
+            events: None,
+            metrics: MetricsRegistry::new(),
+            metrics_base: MetricsRegistry::new(),
         }
+    }
+
+    /// Installs an [`EventBuffer`] tagged `shard`: from here on every
+    /// lifecycle step emits a deterministic [`RtmEvent`] (simulated
+    /// timestamps only). Drain with [`RuntimeService::take_events`].
+    pub fn enable_events(&mut self, shard: u32) {
+        self.events = Some(EventBuffer::new(shard));
+    }
+
+    /// True when an event buffer is installed.
+    pub fn events_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Drains the recorded events, oldest first (empty when tracing is
+    /// disabled).
+    pub fn take_events(&mut self) -> Vec<RtmEvent> {
+        self.events
+            .as_ref()
+            .map(EventBuffer::take)
+            .unwrap_or_default()
+    }
+
+    /// The event sink, when tracing is enabled — the internal
+    /// `Option<&dyn EventSink>` threaded through the admission,
+    /// departure, defragmentation and migration paths.
+    fn sink(&self) -> Option<&dyn EventSink> {
+        self.events.as_ref().map(|b| b as &dyn EventSink)
     }
 
     /// The configuration.
@@ -366,6 +410,17 @@ impl RuntimeService {
     pub fn enqueue(&mut self, at: Micros, arrival: Arrival, report: &mut ServiceReport) {
         self.now = self.now.max(at);
         report.submitted += 1;
+        if let Some(s) = self.sink() {
+            s.emit(
+                self.now,
+                EventKind::Arrival {
+                    id: arrival.id,
+                    rows: arrival.rows,
+                    cols: arrival.cols,
+                },
+            );
+            s.emit(self.now, EventKind::Enqueued { id: arrival.id });
+        }
         self.queue.push_back(Queued {
             arrival,
             queued_at: at,
@@ -405,7 +460,26 @@ impl RuntimeService {
             arrival,
             queued_at: at,
         };
-        Ok(match self.try_admit(&q, plan, report)? {
+        // The Arrival event must precede the outcome event, but a NoRoom
+        // offer records nothing — emit speculatively and roll back.
+        let mark = self.events.as_ref().map(EventBuffer::mark);
+        if let Some(s) = self.sink() {
+            s.emit(
+                self.now,
+                EventKind::Arrival {
+                    id: arrival.id,
+                    rows: arrival.rows,
+                    cols: arrival.cols,
+                },
+            );
+        }
+        let attempt = self.try_admit(&q, plan, report)?;
+        if matches!(attempt, Attempt::NoRoom) {
+            if let (Some(b), Some(m)) = (self.events.as_ref(), mark) {
+                b.truncate(m);
+            }
+        }
+        Ok(match attempt {
             Attempt::NoRoom => OfferOutcome::NoRoom,
             Attempt::Admitted => {
                 report.submitted += 1;
@@ -477,6 +551,16 @@ impl RuntimeService {
             return Ok(false);
         }
         report.defrag_cycles += 1;
+        if let Some(s) = self.sink() {
+            s.emit(
+                self.now,
+                EventKind::DefragCycle {
+                    before: d.before,
+                    after: d.after,
+                    moves: d.moves.len(),
+                },
+            );
+        }
         report.defrags.push(DefragSummary {
             at: self.now,
             before: d.before,
@@ -506,6 +590,8 @@ impl RuntimeService {
         let totals = self.mgr.plan_stats();
         report.plan_stats = totals.delta_since(self.stats_base);
         self.stats_base = totals;
+        report.metrics = self.metrics.delta_since(&self.metrics_base);
+        self.metrics_base = self.metrics.clone();
     }
 
     /// Unloads a resident function, or cancels a queued one (counted as
@@ -520,9 +606,29 @@ impl RuntimeService {
             self.expiry.remove(&trace_id);
             self.mgr.unload(fid)?;
             report.departures += 1;
+            if let Some(s) = self.sink() {
+                s.emit(self.now, EventKind::Unload { id: trace_id });
+            }
         } else {
             let before = self.queue.len();
-            self.queue.retain(|q| q.arrival.id != trace_id);
+            let now = self.now;
+            let events = self.events.as_ref();
+            self.queue.retain(|q| {
+                if q.arrival.id == trace_id {
+                    if let Some(b) = events {
+                        b.emit(
+                            now,
+                            EventKind::Dequeued {
+                                id: trace_id,
+                                waited: now - q.queued_at,
+                            },
+                        );
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
             report.cancelled += before - self.queue.len();
         }
         Ok(())
@@ -557,6 +663,9 @@ impl RuntimeService {
         self.resident.remove(&trace_id);
         let expiry = self.expiry.remove(&trace_id);
         report.migrations_out += 1;
+        if let Some(s) = self.sink() {
+            s.emit(self.now, EventKind::MigrationOut { id: trace_id });
+        }
         Ok(MigratingFunction {
             trace_id,
             extracted,
@@ -608,6 +717,9 @@ impl RuntimeService {
             self.expiry.insert(m.trace_id, e);
         }
         report.migrations_in += 1;
+        if let Some(s) = self.sink() {
+            s.emit(self.now, EventKind::MigrationIn { id: m.trace_id });
+        }
         self.account_moves(&lr.moves, &lr.relocations, report);
         Ok(())
     }
@@ -641,6 +753,9 @@ impl RuntimeService {
         );
         report.migrations_out = report.migrations_out.saturating_sub(1);
         report.migrations_restored += 1;
+        if let Some(s) = self.sink() {
+            s.emit(self.now, EventKind::MigrationRestored { id: m.trace_id });
+        }
         Ok(())
     }
 
@@ -651,10 +766,28 @@ impl RuntimeService {
     /// rather than a scan).
     fn serve_queue(&mut self, report: &mut ServiceReport) -> Result<(), CoreError> {
         let now = self.now;
+        let events = self.events.as_ref();
         self.queue.retain(|q| {
             let overdue = q.arrival.deadline.map(|d| d < now).unwrap_or(false);
             if overdue {
                 report.rejected_deadline += 1;
+                if let Some(b) = events {
+                    let id = q.arrival.id;
+                    b.emit(
+                        now,
+                        EventKind::Dequeued {
+                            id,
+                            waited: now - q.queued_at,
+                        },
+                    );
+                    b.emit(
+                        now,
+                        EventKind::Rejected {
+                            id,
+                            reason: RejectReason::DeadlinePassed,
+                        },
+                    );
+                }
             }
             !overdue
         });
@@ -678,8 +811,23 @@ impl RuntimeService {
             if self.head_blocked == Some((q.arrival.id, self.mgr.epoch())) {
                 break;
             }
+            // Dequeued precedes the admission outcome; a NoRoom head
+            // stays queued, so its speculative event rolls back.
+            let mark = self.events.as_ref().map(EventBuffer::mark);
+            if let Some(s) = self.sink() {
+                s.emit(
+                    self.now,
+                    EventKind::Dequeued {
+                        id: q.arrival.id,
+                        waited: self.now - q.queued_at,
+                    },
+                );
+            }
             match self.try_admit(&q, None, report)? {
                 Attempt::NoRoom => {
+                    if let (Some(b), Some(m)) = (self.events.as_ref(), mark) {
+                        b.truncate(m);
+                    }
                     self.head_blocked = Some((q.arrival.id, self.mgr.epoch()));
                     break;
                 }
@@ -706,10 +854,20 @@ impl RuntimeService {
         report: &mut ServiceReport,
     ) -> Result<Attempt, CoreError> {
         let a = q.arrival;
+        let had_routed_plan = routed_plan.is_some();
         // A duplicate of a still-resident id would orphan the earlier
         // function in the bookkeeping: refuse it outright.
         if self.resident.contains_key(&a.id) {
             report.failures += 1;
+            if let Some(s) = self.sink() {
+                s.emit(
+                    self.now,
+                    EventKind::Rejected {
+                        id: a.id,
+                        reason: RejectReason::DuplicateOrSynthesis,
+                    },
+                );
+            }
             return Ok(Attempt::Dropped);
         }
         // The rearrangement the load would need, so the admission
@@ -735,6 +893,15 @@ impl RuntimeService {
             Ok(d) => d,
             Err(_) => {
                 report.failures += 1;
+                if let Some(s) = self.sink() {
+                    s.emit(
+                        self.now,
+                        EventKind::Rejected {
+                            id: a.id,
+                            reason: RejectReason::DuplicateOrSynthesis,
+                        },
+                    );
+                }
                 return Ok(Attempt::Dropped);
             }
         };
@@ -749,10 +916,19 @@ impl RuntimeService {
                 // can tell area pressure from wiring congestion — and
                 // keeps running.
                 report.failures += 1;
-                match e.load_failure_reason() {
-                    LoadFailureReason::NoFreeSlots => report.failures_no_slots += 1,
-                    LoadFailureReason::Unroutable => report.failures_unroutable += 1,
-                    LoadFailureReason::Other => {}
+                let reason = match e.load_failure_reason() {
+                    LoadFailureReason::NoFreeSlots => {
+                        report.failures_no_slots += 1;
+                        RejectReason::NoFreeSlots
+                    }
+                    LoadFailureReason::Unroutable => {
+                        report.failures_unroutable += 1;
+                        RejectReason::Unroutable
+                    }
+                    LoadFailureReason::Other => RejectReason::LoadOther,
+                };
+                if let Some(s) = self.sink() {
+                    s.emit(self.now, EventKind::Rejected { id: a.id, reason });
                 }
                 Ok(Attempt::Failed)
             }
@@ -768,6 +944,26 @@ impl RuntimeService {
                     }
                 };
                 report.admitted += 1;
+                let waited = self.now - q.queued_at;
+                let frames = lr.frames_total();
+                if let Some(s) = self.sink() {
+                    s.emit(
+                        self.now,
+                        EventKind::Admitted {
+                            id: a.id,
+                            waited,
+                            moves: lr.moves.len(),
+                        },
+                    );
+                    s.emit(self.now, EventKind::Load { id: a.id, frames });
+                }
+                self.metrics.observe("queue_wait_us", waited);
+                self.metrics.observe("frames_per_load", frames as u64);
+                self.metrics
+                    .observe("moves_per_admission", lr.moves.len() as u64);
+                if had_routed_plan {
+                    self.metrics.inc("admissions_with_routed_plan");
+                }
                 report.admissions.push(AdmissionRecord {
                     trace_id: a.id,
                     at: self.now,

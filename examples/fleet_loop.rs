@@ -33,16 +33,32 @@
 //! difference — which makes the twin N = 256 rows a standing
 //! sequential/parallel equivalence proof. Counters are exact-match
 //! gated; wall-clock time and the arrivals/s throughput printed next
-//! to each row are for the log, never gated.
+//! to each row are for the log, never gated. The scale-tier rows
+//! (N = 256 both engines, N = 1024 parallel) also print the epoch
+//! engine's wall-clock **phase-share table** (stdout only, never in
+//! the JSON); pass `--profile` to print it for every row.
+//!
+//! ## Deterministic event export: `--trace [PATH]`
+//!
+//! ```sh
+//! cargo run --release --example fleet_loop -- --trace target/fleet_trace.jsonl
+//! ```
+//!
+//! Replays the first gated run (three devices, round-robin, the
+//! adversarial x4 trace) with the deterministic event stream enabled,
+//! writes it as JSONL, and self-validates: every line must round-trip
+//! byte-exact through the (de)serializer, and the event counts must
+//! equal the gated report counters (admissions, departures, epochs, …).
+//! Exits nonzero on any mismatch — `ci.sh` runs this as a smoke step.
 
 use rtm::fleet::rebalance::{RebalancePolicy, WorstShardDrain};
 use rtm::fleet::routing::{standard_policies, FragAware, RoundRobin, RoutingPolicy};
 use rtm::fleet::{EngineKind, FleetConfig, FleetReport, FleetService};
+use rtm::obs::{to_jsonl_stream, EventKind, RejectReason, RtmEvent, Stopwatch};
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Scenario, Trace};
 use rtm_service::ServiceConfig;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// The canonical fleet-scale workload: `copies` staggered copies of
 /// `scenario`, sized for the XCV50 (see [`Scenario::fleet_trace`]).
@@ -108,14 +124,16 @@ fn json_block(devices: usize, engine: EngineKind, report: &FleetReport) -> Strin
 }
 
 /// The deterministic baseline suite: every run the CI gate compares.
-fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+/// `profile_all` extends the scale-tier phase-share tables to every row.
+fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Error>> {
     let seed = 42;
     let mut blocks: Vec<String> = Vec::new();
     let mut run = |parts: &[Part],
                    engine: EngineKind,
                    policy: Box<dyn RoutingPolicy>,
                    rebalancer: Option<Box<dyn RebalancePolicy>>,
-                   trace: &Trace| {
+                   trace: &Trace,
+                   profile: bool| {
         let mut config =
             FleetConfig::heterogeneous(parts, ServiceConfig::default()).with_engine(engine);
         if rebalancer.is_some() {
@@ -125,9 +143,12 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         if let Some(r) = rebalancer {
             fleet = fleet.with_rebalancer(r);
         }
-        let started = Instant::now();
+        if profile || profile_all {
+            fleet.enable_profiler();
+        }
+        let sw = Stopwatch::start();
         let report = fleet.run(trace).expect("baseline fleet run stays up");
-        let wall = started.elapsed().as_secs_f64();
+        let wall = sw.elapsed_secs();
         // Throughput rides next to the counter gate: arrivals the
         // fleet chewed through per second of wall. Printed for the CI
         // log — wall time (and thus this rate) is never gated.
@@ -146,6 +167,11 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
             wall * 1e3,
             report.submitted as f64 / wall.max(1e-9),
         );
+        // The phase-share table rides in the log the same way: where
+        // the wall went, never what the gate compares.
+        if let Some(p) = fleet.profiler() {
+            println!("{}", p.share_table());
+        }
         blocks.push(json_block(parts.len(), engine, &report));
     };
 
@@ -154,7 +180,7 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let small = [Part::Xcv50, Part::Xcv50, Part::Xcv100];
     let adv_x4 = fleet_trace(Scenario::AdversarialFragmenter, 4, seed);
     for policy in standard_policies() {
-        run(&small, EngineKind::Sequential, policy, None, &adv_x4);
+        run(&small, EngineKind::Sequential, policy, None, &adv_x4, false);
     }
 
     // 2. Frag-aware at fleet scale: N = 16 and N = 64 homogeneous
@@ -169,6 +195,7 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
             Box::<FragAware>::default(),
             None,
             &trace,
+            false,
         );
     }
 
@@ -183,6 +210,7 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         Box::<RoundRobin>::default(),
         Some(Box::<WorstShardDrain>::default()),
         &adv_x4,
+        false,
     );
     let parts16 = vec![Part::Xcv50; 16];
     let adv_x17 = fleet_trace(Scenario::AdversarialFragmenter, 17, seed);
@@ -192,6 +220,7 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         Box::<RoundRobin>::default(),
         Some(Box::<WorstShardDrain>::default()),
         &adv_x17,
+        false,
     );
 
     // 4. The scale tier, under the epoch engines. Round-robin keeps
@@ -211,6 +240,7 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
             Box::<RoundRobin>::default(),
             None,
             &adv_x257,
+            true,
         );
     }
     let parts1024 = vec![Part::Xcv50; 1024];
@@ -221,6 +251,7 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         Box::<RoundRobin>::default(),
         None,
         &adv_x1025,
+        true,
     );
 
     let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", blocks.join(",\n"));
@@ -229,7 +260,92 @@ fn baseline(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn demo() -> Result<(), Box<dyn std::error::Error>> {
+/// `--trace`: replay the first gated baseline run with the event stream
+/// enabled, export it as JSONL, and self-validate the export — every
+/// line must round-trip byte-exact, and the stream must agree with the
+/// gated counters event for event. Any mismatch is a hard error (the CI
+/// smoke step relies on the exit code).
+fn trace_export(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let parts = [Part::Xcv50, Part::Xcv50, Part::Xcv100];
+    let trace = fleet_trace(Scenario::AdversarialFragmenter, 4, 42);
+    let config = FleetConfig::heterogeneous(&parts, ServiceConfig::default());
+    let mut fleet = FleetService::new(config, Box::<RoundRobin>::default());
+    fleet.enable_events();
+    let report = fleet.run(&trace)?;
+    let events = fleet.take_events();
+    let text = to_jsonl_stream(&events);
+    std::fs::write(path, &text)?;
+
+    // 1. Round trip: parse(line).to_jsonl() == line, for every line.
+    for (i, line) in text.lines().enumerate() {
+        let parsed = RtmEvent::from_jsonl(line)
+            .ok_or_else(|| format!("trace line {} does not parse: {line}", i + 1))?;
+        if parsed.to_jsonl() != line {
+            return Err(format!("trace line {} does not round-trip byte-exact", i + 1).into());
+        }
+    }
+
+    // 2. Count identity: the stream and the report describe one run.
+    let count = |pred: fn(&EventKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+    let checks = [
+        (
+            "arrival events == shard-accepted submissions",
+            count(|k| matches!(k, EventKind::Arrival { .. })),
+            report.shard_submitted(),
+        ),
+        (
+            "admitted events == admissions",
+            count(|k| matches!(k, EventKind::Admitted { .. })),
+            report.admitted(),
+        ),
+        (
+            "load events == admissions",
+            count(|k| matches!(k, EventKind::Load { .. })),
+            report.admitted(),
+        ),
+        (
+            "unload events == departures",
+            count(|k| matches!(k, EventKind::Unload { .. })),
+            report.departures(),
+        ),
+        (
+            "unplaceable rejections == unplaceable counter",
+            count(|k| {
+                matches!(
+                    k,
+                    EventKind::Rejected {
+                        reason: RejectReason::Unplaceable,
+                        ..
+                    }
+                )
+            }),
+            report.unplaceable,
+        ),
+        (
+            "defrag events == defrag cycles",
+            count(|k| matches!(k, EventKind::DefragCycle { .. })),
+            report.defrag_cycles(),
+        ),
+        (
+            "epoch boundaries == epochs counter",
+            count(|k| matches!(k, EventKind::EpochBoundary)),
+            report.metrics.counter("epochs") as usize,
+        ),
+    ];
+    for (what, got, want) in checks {
+        if got != want {
+            return Err(format!("event/counter mismatch: {what}: {got} != {want}").into());
+        }
+    }
+    println!(
+        "wrote {path}: {} events; every line round-trips byte-exact and \
+         all event counts match the gated report counters",
+        events.len()
+    );
+    Ok(())
+}
+
+fn demo(profile: bool) -> Result<(), Box<dyn std::error::Error>> {
     let parts = [Part::Xcv50, Part::Xcv50, Part::Xcv100];
     let seed = 42;
     println!(
@@ -256,8 +372,14 @@ fn demo() -> Result<(), Box<dyn std::error::Error>> {
             // A fresh fleet per run: every policy faces identical load.
             let config = FleetConfig::heterogeneous(&parts, ServiceConfig::default());
             let mut fleet = FleetService::new(config, policy);
+            if profile {
+                fleet.enable_profiler();
+            }
             let report = fleet.run(&trace)?;
             println!("{report}");
+            if let Some(p) = fleet.profiler() {
+                println!("{}", p.share_table());
+            }
             if scenario == Scenario::AdversarialFragmenter {
                 adversarial.push((name, report.admitted(), report.submitted));
             }
@@ -270,8 +392,14 @@ fn demo() -> Result<(), Box<dyn std::error::Error>> {
                 .with_rebalance_threshold(0.4);
             let mut fleet = FleetService::new(config, Box::new(RoundRobin::default()))
                 .with_rebalancer(Box::<WorstShardDrain>::default());
+            if profile {
+                fleet.enable_profiler();
+            }
             let report = fleet.run(&trace)?;
             println!("{report}");
+            if let Some(p) = fleet.profiler() {
+                println!("{}", p.share_table());
+            }
             adversarial.push((
                 "round-robin + rebalance".to_string(),
                 report.admitted(),
@@ -314,13 +442,24 @@ fn demo() -> Result<(), Box<dyn std::error::Error>> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
+    let profile = args.iter().any(|a| a == "--profile");
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let path = args
+            .get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("target/fleet_trace.jsonl");
+        println!("fleet_loop --trace: deterministic event export (self-validating)");
+        return trace_export(path);
+    }
     if let Some(i) = args.iter().position(|a| a == "--baseline") {
         let path = args
             .get(i + 1)
+            .filter(|p| !p.starts_with("--"))
             .map(String::as_str)
             .unwrap_or("BENCH_fleet.json");
         println!("fleet_loop --baseline: deterministic counter runs (exact-match gated)");
-        return baseline(path);
+        return baseline(path, profile);
     }
-    demo()
+    demo(profile)
 }

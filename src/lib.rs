@@ -17,6 +17,8 @@
 //!   closed over the manager, with threshold-triggered defragmentation
 //! * [`fleet`] — the multi-device sharding layer: cross-device routing
 //!   policies over per-device runtime services
+//! * [`obs`] — observability: the deterministic event stream, metrics
+//!   registry and wall-clock phase profiler
 //!
 //! ## Quickstart
 //!
@@ -30,6 +32,7 @@ pub use rtm_fleet as fleet;
 pub use rtm_fpga as fpga;
 pub use rtm_jtag as jtag;
 pub use rtm_netlist as netlist;
+pub use rtm_obs as obs;
 pub use rtm_place as place;
 pub use rtm_sched as sched;
 pub use rtm_service as service;

@@ -70,7 +70,9 @@ pub const RULES: &[RuleInfo] = &[
         id: "determinism",
         scope: "lib/bin/example code",
         what: "HashMap/HashSet iteration order and wall-clock reads must stay out \
-               of counter-gated paths — the CI baseline is byte-exact-diffed",
+               of counter-gated paths — the CI baseline is byte-exact-diffed; \
+               wall timing belongs in rtm-obs's profiler module (the one \
+               allowlisted Instant site), never in event payloads or reports",
     },
     RuleInfo {
         id: "panic-hygiene",
@@ -272,7 +274,12 @@ fn shard_locality(rel: &str, kind: FileKind, toks: &[Tok], out: &mut Vec<Finding
 /// anything that can reorder or time-skew output in library, binary or
 /// example code is flagged: `HashMap`/`HashSet` (iteration order varies
 /// run to run), `Instant`/`SystemTime` (wall time in gated paths).
-/// Benches are exempt — timing is their purpose.
+/// Benches are exempt — timing is their purpose. The observability
+/// split sharpens the wall-clock arm: `rtm-obs` keeps the deterministic
+/// event stream (simulated time only) strictly apart from the wall-clock
+/// phase profiler, so the *only* legitimate `Instant` home in workspace
+/// code is `crates/obs/src/profile.rs` — carried as the one justified
+/// determinism allowlist entry, not as a rule exemption.
 fn determinism(rel: &str, kind: FileKind, toks: &[Tok], out: &mut Vec<Finding>) {
     if !matches!(kind, FileKind::Lib | FileKind::Bin | FileKind::Example) {
         return;
@@ -287,8 +294,9 @@ fn determinism(rel: &str, kind: FileKind, toks: &[Tok], out: &mut Vec<Finding>) 
                 )),
                 "Instant" | "SystemTime" => Some(format!(
                     "wall-clock (`{id}`) near counter-gated paths threatens the \
-                     byte-exact CI baseline; keep time out of gated output or allowlist \
-                     print-only uses"
+                     byte-exact CI baseline; route timing through rtm-obs's phase \
+                     profiler/Stopwatch (the one allowlisted Instant site) and keep \
+                     events and reports on simulated time"
                 )),
                 _ => None,
             };

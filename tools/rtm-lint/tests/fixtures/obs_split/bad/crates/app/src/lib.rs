@@ -1,0 +1,13 @@
+//! Seeded violation of the observability split: wall-clock time inside
+//! an event payload. Events must carry *simulated* time only — an
+//! `Instant` here makes the stream differ run to run and engine to
+//! engine, which the byte-exact stream equality tests would catch late
+//! and expensively.
+
+/// An event stamped with wall clock instead of simulated time.
+pub struct StampedEvent {
+    /// Wrong: wall-clock stamp in a deterministic payload.
+    pub at: std::time::Instant,
+    /// The payload.
+    pub kind: u32,
+}

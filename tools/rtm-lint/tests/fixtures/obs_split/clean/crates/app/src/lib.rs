@@ -1,0 +1,18 @@
+//! Clean counterpart: the event carries a simulated-time stamp (a plain
+//! `u64` of µs), and any wall-clock curiosity is delegated to the
+//! profiler side of the split — which lives in rtm-obs, behind its own
+//! allowlist entry, never in payloads.
+
+/// An event stamped with simulated time.
+pub struct StampedEvent {
+    /// Simulated µs — deterministic, engine-invariant.
+    pub at: u64,
+    /// The payload.
+    pub kind: u32,
+}
+
+/// Wall time, when wanted, is a profiler concern: callers hand the
+/// measurement to the obs profiler rather than reading a clock here.
+pub fn observe_phase(profiler_nanos: &mut u64, spent: u64) {
+    *profiler_nanos += spent;
+}

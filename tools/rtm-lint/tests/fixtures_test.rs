@@ -89,6 +89,19 @@ fn determinism_diagnostic_and_exit_code() {
 }
 
 #[test]
+fn obs_split_wall_clock_in_event_payload_is_flagged() {
+    // The observability split: wall clock may live only in rtm-obs's
+    // profiler module (via allowlist); an `Instant` in an event payload
+    // is a determinism finding that points at the profiler instead.
+    assert_rule(
+        "obs_split",
+        "crates/app/src/lib.rs:10:24: [determinism] wall-clock (`Instant`) near \
+         counter-gated paths threatens the byte-exact CI baseline; route timing \
+         through rtm-obs's phase profiler/Stopwatch",
+    );
+}
+
+#[test]
 fn panic_hygiene_diagnostic_and_exit_code() {
     assert_rule(
         "panic_hygiene",
