@@ -32,6 +32,14 @@ echo "==> parallel-vs-sequential equivalence (release, full {1,2,4,8} thread pin
 cargo test -q --release -p rtm-fleet --test parallel_determinism
 cargo test -q --release -p rtm-fleet --test baseline_oracle
 
+echo "==> immediate-vs-deferred admission equivalence (release, full engine x mode grid)"
+# Two-phase admission: the routing edge decides (reserve), the engine's
+# execute phase implements. Reports and merged event streams must be
+# byte-identical between immediate and deferred execution under both
+# engines and thread counts {1,2,4,8}, including the forced deferred
+# LoadFailed failover anchors. Argument: crates/fleet/src/fleet.rs docs.
+cargo test -q --release -p rtm-fleet --test deferred_equivalence
+
 echo "==> work-stealing-off executor (rtm-fleet --no-default-features)"
 # Without the 'parallel' feature the engine deals shards to static
 # per-worker hands (no unsafe, no work stealing). The same equivalence
@@ -71,15 +79,40 @@ echo "==> perf gate: fleet_loop --baseline vs checked-in BENCH_fleet.json"
 # Deterministic counters (admissions, frames written, make_room passes,
 # plans reused, ...) are exact-match gated; wall time and the
 # arrivals/s throughput printed beside each row are for the log, never
-# gated. Every row is tagged with its stepping engine, and the twin
-# N=256 rows (sequential vs parallel) must agree on every counter —
-# the byte diff doubles as a standing cross-engine equivalence gate.
-# Regenerate the baseline with:
+# gated. Every row is tagged with its stepping engine and admission
+# mode; the N=256 rows (sequential/parallel x immediate/deferred) must
+# agree on every counter — the byte diff doubles as a standing
+# cross-engine *and* cross-mode equivalence gate. Regenerate with:
 #   cargo run --release --example fleet_loop -- --baseline BENCH_fleet.json
-cargo run --release --example fleet_loop -- --baseline target/BENCH_fleet.json
+cargo run --release --example fleet_loop -- --baseline target/BENCH_fleet.json \
+  | tee target/fleet_baseline.log
 if ! diff -u BENCH_fleet.json target/BENCH_fleet.json; then
   echo "perf counters drifted from BENCH_fleet.json — investigate, then"
   echo "regenerate the baseline if the change is intentional."
+  exit 1
+fi
+
+echo "==> twin-row byte agreement: N=256 engine x mode grid"
+# Strip the engine/mode tags off the four N=256 rows; the surviving
+# counter text must be one identical line repeated four times. This is
+# the explicit form of the gate the byte diff above implies: any
+# engine- or mode-dependent counter would break the agreement here
+# even if someone regenerated the baseline without looking.
+n256=$(grep '"devices": 256' BENCH_fleet.json \
+  | sed -e 's/"engine": "[^"]*", //' -e 's/"mode": "[^"]*", //' \
+  | sort -u | wc -l)
+if [ "$n256" != "1" ]; then
+  echo "N=256 twin rows disagree across engine/mode (got $n256 distinct rows)"
+  exit 1
+fi
+
+echo "==> profile smoke: execute phase absorbs deferred load work"
+# The deferred scale rows' share tables must show a nonzero execute
+# phase — the two-phase pipeline actually moving implementation work
+# off the routing edge. Shares are wall-clock and never gated beyond
+# this presence check.
+if ! grep -E 'execute [1-9][0-9]*\.[0-9]%' target/fleet_baseline.log > /dev/null; then
+  echo "no deferred run showed a nonzero execute phase share"
   exit 1
 fi
 

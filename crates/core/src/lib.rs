@@ -61,7 +61,8 @@ pub mod verify;
 
 pub use error::{CoreError, LoadFailureReason};
 pub use manager::{
-    AdmissionPreview, DefragPlan, DefragReport, DeviceSummary, ExtractedFunction, FunctionId,
-    LoadReport, LoadedFunction, ManagerStatus, MigrationPlan, PlanStats, RoomPlan, RunTimeManager,
+    AdmissionPreview, AdmissionTicket, DefragPlan, DefragReport, DeviceSummary, ExtractedFunction,
+    FunctionId, LoadReport, LoadedFunction, ManagerStatus, MigrationPlan, PlanStats, RoomPlan,
+    RunTimeManager,
 };
 pub use relocation::{RelocationClass, RelocationReport, StepKind};

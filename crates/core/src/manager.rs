@@ -40,6 +40,54 @@ pub struct LoadedFunction {
     pub placed: PlacedDesign,
 }
 
+/// A seated admission reservation: the decide half of the two-phase
+/// load pipeline. [`RunTimeManager::reserve_room`] executes the
+/// rearrangement plan and reserves an arena region for the incoming
+/// function — accounting it in every fragmentation metric and summary —
+/// but writes **no cells, nets or frames**. The ticket is epoch-stamped
+/// (the reservation itself bumped the epoch) and must be settled by
+/// exactly one of [`RunTimeManager::execute_reserved`] (implement the
+/// design inside the reserved region) or
+/// [`RunTimeManager::cancel_reservation`] (release the region again).
+/// Fields are private so a ticket can only come from this manager's own
+/// reservation path.
+#[derive(Debug, Clone)]
+pub struct AdmissionTicket {
+    id: FunctionId,
+    epoch: u64,
+    region: Rect,
+    moves: Vec<Move>,
+    relocations: Vec<RelocationReport>,
+}
+
+impl AdmissionTicket {
+    /// The reserved function id ([`RunTimeManager::cancel_reservation`]
+    /// takes it back on the failure path).
+    pub fn id(&self) -> FunctionId {
+        self.id
+    }
+
+    /// The mutation epoch right after the reservation was seated.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The region the reservation holds.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Rearrangement moves that were executed to open the room.
+    pub fn moves(&self) -> &[Move] {
+        &self.moves
+    }
+
+    /// CLBs of running logic the rearrangement relocated.
+    pub fn cells_moved(&self) -> u32 {
+        self.moves.iter().map(Move::cells_moved).sum()
+    }
+}
+
 /// Summary returned by [`RunTimeManager::load`].
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -466,6 +514,12 @@ pub struct RunTimeManager {
     dev: Device,
     arena: TaskArena,
     functions: BTreeMap<FunctionId, LoadedFunction>,
+    /// Regions reserved by seated [`AdmissionTicket`]s: arena tasks that
+    /// have no function-table entry yet because their design has not
+    /// been implemented. Every entry is settled by `execute_reserved`
+    /// or `cancel_reservation` — [`RunTimeManager::bookkeeping_consistent`]
+    /// counts them against the arena.
+    reserved: BTreeMap<FunctionId, Rect>,
     next_id: FunctionId,
     recovery: ConfigMemory,
     /// Allocation strategy for incoming functions.
@@ -524,6 +578,7 @@ impl RunTimeManager {
             dev,
             arena,
             functions: BTreeMap::new(),
+            reserved: BTreeMap::new(),
             next_id: 1,
             recovery,
             strategy: Strategy::BestFit,
@@ -949,7 +1004,17 @@ impl RunTimeManager {
     /// cells poison later loads.
     pub fn bookkeeping_consistent(&self) -> bool {
         let tasks = self.arena.tasks();
-        if tasks.len() != self.functions.len() {
+        if tasks.len() != self.functions.len() + self.reserved.len() {
+            return false;
+        }
+        // A seated reservation is an arena task without a function-table
+        // entry (its design is not implemented yet): it must hold
+        // exactly the region its ticket reserved, and nothing else.
+        if !self
+            .reserved
+            .iter()
+            .all(|(id, region)| tasks.get(id) == Some(region) && !self.functions.contains_key(id))
+        {
             return false;
         }
         self.functions.iter().all(|(id, f)| {
@@ -1125,7 +1190,10 @@ impl RunTimeManager {
     }
 
     /// Executes an epoch-valid rearrangement plan, then places, routes
-    /// and configures the incoming function.
+    /// and configures the incoming function — the single-shot
+    /// composition of the two-phase pipeline: seat a reservation,
+    /// implement it, and cancel the reservation right away if the
+    /// implementation fails.
     fn load_executing(
         &mut self,
         design: &MappedNetlist,
@@ -1134,40 +1202,132 @@ impl RunTimeManager {
         plan: Vec<Move>,
         mut observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
     ) -> Result<LoadReport, CoreError> {
+        let ticket = self.seat_reservation(rows, cols, plan, &mut observer)?;
+        let id = ticket.id;
+        self.execute_reserved(design, ticket).inspect_err(|_| {
+            // Single-shot callers get the historical contract: a failed
+            // load leaves no reservation behind. (Two-phase callers keep
+            // the reservation until they resolve the ticket, so both
+            // admission modes observe the same arena at every step.)
+            let _ = self.cancel_reservation(id);
+        })
+    }
+
+    /// The decide half of the two-phase admission pipeline: validates
+    /// `plan` exactly like [`RunTimeManager::load_with_plan`] (stale or
+    /// wrong-shape plans are counted invalidated and re-planned),
+    /// executes the rearrangement moves, and reserves an arena region
+    /// for the incoming function — bumping the epoch and accounting the
+    /// reservation in every metric — **without writing any cells, nets
+    /// or frames**. The returned [`AdmissionTicket`] must be settled
+    /// with [`RunTimeManager::execute_reserved`] or
+    /// [`RunTimeManager::cancel_reservation`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Place`] when even rearrangement cannot free
+    /// a region; relocation errors from executing the plan's moves.
+    pub fn reserve_room(
+        &mut self,
+        rows: u16,
+        cols: u16,
+        plan: &RoomPlan,
+        mut observer: impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<AdmissionTicket, CoreError> {
+        let moves = if plan.valid_for(self.epoch, rows, cols) {
+            self.bump_stats(|s| s.plans_reused += 1);
+            plan.moves.clone()
+        } else {
+            self.bump_stats(|s| {
+                s.plans_invalidated += 1;
+                s.make_room_calls += 1;
+            });
+            make_room(&self.arena, rows, cols).ok_or(CoreError::Place(
+                rtm_place::PlaceError::NoFit { rows, cols },
+            ))?
+        };
+        self.seat_reservation(rows, cols, moves, &mut observer)
+    }
+
+    /// Executes validated rearrangement moves and seats the reservation.
+    fn seat_reservation(
+        &mut self,
+        rows: u16,
+        cols: u16,
+        plan: Vec<Move>,
+        observer: &mut impl FnMut(&Device, &PlacedDesign, &StepRecord),
+    ) -> Result<AdmissionTicket, CoreError> {
         let mut relocations = Vec::new();
         for mv in &plan {
-            let reports = self.relocate_function_inner(mv.id, mv.to, &mut observer)?;
+            let reports = self.relocate_function_inner(mv.id, mv.to, observer)?;
             relocations.extend(reports);
         }
         if !plan.is_empty() {
-            // The executed moves are durable state even if the load
-            // itself fails below: checkpoint them so a failure rollback
-            // keeps the configuration consistent with the bookkeeping.
+            // The executed moves are durable state even if the
+            // implementation fails later: checkpoint them so a failure
+            // rollback keeps the configuration consistent with the
+            // bookkeeping.
             self.checkpoint();
         }
-
         let id = self.next_id;
         let region = self.arena.allocate(id, rows, cols, self.strategy)?;
         self.bump_epoch();
+        self.next_id += 1;
+        self.reserved.insert(id, region);
+        Ok(AdmissionTicket {
+            id,
+            epoch: self.epoch,
+            region,
+            moves: plan,
+            relocations,
+        })
+    }
+
+    /// The execute half of the two-phase admission pipeline: implements
+    /// `design` inside the region a previously seated
+    /// [`AdmissionTicket`] reserved — placement, net routing,
+    /// configuration frames — and promotes the reservation to a loaded
+    /// function. This is the heavy, shard-local part: it mutates only
+    /// this manager's device, so a fleet engine can fan ticket
+    /// executions across shards in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Implementation errors (placement/routing congestion) restore the
+    /// configuration checkpoint but **keep the arena reservation
+    /// seated** — the caller resolves the failure and releases it with
+    /// [`RunTimeManager::cancel_reservation`], so every observer of the
+    /// arena sees the same layout whether execution was inline or
+    /// deferred. Returns [`CoreError::Place`] for tickets this manager
+    /// never seated (or already settled).
+    pub fn execute_reserved(
+        &mut self,
+        design: &MappedNetlist,
+        ticket: AdmissionTicket,
+    ) -> Result<LoadReport, CoreError> {
+        let id = ticket.id;
+        let region = match self.reserved.get(&id) {
+            Some(r) => *r,
+            None => return Err(CoreError::Place(rtm_place::PlaceError::UnknownTask { id })),
+        };
         // Other functions' wires may cross this region (relocation paths
         // are not region-bounded): reserve them so the router cannot
-        // bridge nets.
+        // bridge nets. Pending reservations contribute nothing — they
+        // own no nets yet.
         let reserved = self.foreign_nodes(None);
         let placed = match implement_reserved(&mut self.dev, design, region, &reserved) {
             Ok(placed) => placed,
             Err(e) => {
                 // A failed implementation leaves partly configured
-                // cells and partly routed nets behind. Undo both sides:
-                // release the area reservation (an orphaned arena task
-                // would poison every later compaction plan) and restore
-                // the last configuration checkpoint — the paper's
-                // recovery copy doing exactly its job.
-                self.arena.release(id)?;
-                self.bump_epoch();
+                // cells and partly routed nets behind: restore the last
+                // configuration checkpoint — the paper's recovery copy
+                // doing exactly its job. The arena reservation stays
+                // seated until the caller cancels it.
                 self.recover()?;
                 return Err(e.into());
             }
         };
+        self.reserved.remove(&id);
         self.functions.insert(
             id,
             LoadedFunction {
@@ -1176,14 +1336,31 @@ impl RunTimeManager {
                 placed,
             },
         );
-        self.next_id += 1;
         self.checkpoint();
         Ok(LoadReport {
             id,
             region,
-            moves: plan,
-            relocations,
+            moves: ticket.moves,
+            relocations: ticket.relocations,
         })
+    }
+
+    /// Releases a seated reservation without implementing it — the
+    /// failure/abandon path of the two-phase pipeline. The region
+    /// returns to the free pool and the epoch advances (the arena
+    /// changed shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Place`] for ids this manager never reserved
+    /// (or already settled).
+    pub fn cancel_reservation(&mut self, id: FunctionId) -> Result<(), CoreError> {
+        if self.reserved.remove(&id).is_none() {
+            return Err(CoreError::Place(rtm_place::PlaceError::UnknownTask { id }));
+        }
+        self.arena.release(id)?;
+        self.bump_epoch();
+        Ok(())
     }
 
     /// Unloads a function: releases its region, routing and cells.
@@ -1886,6 +2063,60 @@ mod tests {
         let base = mgr.plan_stats();
         assert_eq!(mgr.predicted_defrag_gain(), 0.0, "empty device");
         assert_eq!(mgr.plan_stats().delta_since(base).compaction_plans, 1);
+    }
+
+    #[test]
+    fn two_phase_reserve_execute_matches_single_shot_load() {
+        let (mut mgr, _) = fragmented_mgr();
+        let plan = mgr.plan_room(16, 12).expect("satisfiable");
+        let base = mgr.plan_stats();
+        let ticket = mgr.reserve_room(16, 12, &plan, |_, _, _| {}).unwrap();
+        assert_eq!(
+            mgr.plan_stats().delta_since(base).plans_reused,
+            1,
+            "reserve validates like load_with_plan"
+        );
+        assert!(!ticket.moves().is_empty(), "the comb needed rearrangement");
+        assert_eq!(ticket.epoch(), mgr.epoch(), "stamped after the bump");
+        // The reservation is visible to every arena observer...
+        assert!(mgr.fragmentation().utilisation() > 0.3);
+        assert!(mgr.bookkeeping_consistent());
+        // ...but nothing was implemented yet: no nets, no new function.
+        assert_eq!(mgr.functions().count(), 1);
+        let d = small_design(40);
+        let lr = mgr.execute_reserved(&d, ticket.clone()).unwrap();
+        assert_eq!(lr.id, ticket.id());
+        assert_eq!(lr.region, ticket.region());
+        assert_eq!(mgr.functions().count(), 2);
+        assert!(mgr.bookkeeping_consistent());
+        // Settling the same ticket twice is refused.
+        assert!(mgr.execute_reserved(&d, ticket).is_err());
+    }
+
+    #[test]
+    fn failed_execute_keeps_the_reservation_until_cancelled() {
+        let mut mgr = RunTimeManager::new(Part::Xcv50);
+        let plan = mgr.plan_room(2, 2).expect("fits");
+        let ticket = mgr.reserve_room(2, 2, &plan, |_, _, _| {}).unwrap();
+        let id = ticket.id();
+        // Far more LUTs than a 2x2 region can hold: implementation fails.
+        let big = map_to_luts(&RandomCircuit::free_running(4, 30, 77).generate()).unwrap();
+        assert!(mgr.execute_reserved(&big, ticket).is_err());
+        // The device is clean, but the arena reservation is still seated
+        // — deferred and inline executors must observe the same layout
+        // until the caller resolves the failure.
+        assert!(mgr.device().used_in(mgr.device().bounds()).is_empty());
+        assert!(mgr.fragmentation().utilisation() > 0.0);
+        assert!(mgr.bookkeeping_consistent());
+        let epoch = mgr.epoch();
+        mgr.cancel_reservation(id).unwrap();
+        assert!(mgr.epoch() > epoch, "release is an arena mutation");
+        assert_eq!(mgr.fragmentation().utilisation(), 0.0);
+        assert!(mgr.bookkeeping_consistent());
+        assert!(mgr.cancel_reservation(id).is_err(), "already settled");
+        // The manager keeps working normally.
+        let r = mgr.load(&small_design(1), 8, 8, |_, _, _| {}).unwrap();
+        mgr.unload(r.id).unwrap();
     }
 
     #[test]

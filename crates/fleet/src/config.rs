@@ -45,6 +45,16 @@ pub struct FleetConfig {
     /// same segments on scoped worker threads with byte-identical
     /// results (the schedule-invariance suite pins the equality).
     pub engine: EngineKind,
+    /// Defer admission execution to the engine's execute phase: the
+    /// routing edge only *decides* (ranking + reservation, sequential
+    /// in shard-index order) and the heavy implementation work — cells,
+    /// nets, configuration frames — runs when each shard drains its own
+    /// ticket queue inside the next shard-local phase, where
+    /// [`EngineKind::Parallel`] fans it over workers. Reports and event
+    /// streams are byte-identical with and without deferral (pinned by
+    /// `tests/deferred_equivalence.rs` and the twin baseline rows);
+    /// only the wall-clock shape of the epoch changes. Off by default.
+    pub deferred_execution: bool,
 }
 
 impl FleetConfig {
@@ -68,6 +78,7 @@ impl FleetConfig {
             rebalance_threshold: 2.0,
             max_migrations_per_trigger: Self::DEFAULT_MAX_MIGRATIONS_PER_TRIGGER,
             engine: EngineKind::Sequential,
+            deferred_execution: false,
         }
     }
 
@@ -81,6 +92,7 @@ impl FleetConfig {
             rebalance_threshold: 2.0,
             max_migrations_per_trigger: Self::DEFAULT_MAX_MIGRATIONS_PER_TRIGGER,
             engine: EngineKind::Sequential,
+            deferred_execution: false,
         }
     }
 
@@ -122,6 +134,13 @@ impl FleetConfig {
         self
     }
 
+    /// Enables (or disables) deferred admission execution (see
+    /// [`FleetConfig::deferred_execution`]).
+    pub fn with_deferred_execution(mut self, deferred: bool) -> Self {
+        self.deferred_execution = deferred;
+        self
+    }
+
     /// Adds one more shard.
     pub fn with_shard(mut self, shard: ServiceConfig) -> Self {
         self.shards.push(shard);
@@ -138,6 +157,11 @@ mod tests {
         let c = FleetConfig::homogeneous(3, ServiceConfig::default());
         assert_eq!(c.shards.len(), 3);
         assert!(c.fleet_frag_threshold > 1.0, "disabled by default");
+        assert!(!c.deferred_execution, "immediate execution by default");
+        assert!(
+            c.clone().with_deferred_execution(true).deferred_execution,
+            "builder flips the execute phase on"
+        );
         assert_eq!(
             c.max_offer_attempts,
             FleetConfig::DEFAULT_MAX_OFFER_ATTEMPTS

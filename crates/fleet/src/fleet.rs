@@ -12,7 +12,7 @@ use rtm_obs::{
 };
 use rtm_sched::task::Micros;
 use rtm_service::trace::{Arrival, Trace, TraceEvent};
-use rtm_service::{OfferOutcome, RuntimeService, ServiceReport};
+use rtm_service::{AdmissionBid, ReserveOutcome, RuntimeService, ServiceReport, TicketOutcome};
 use std::collections::BTreeMap;
 
 /// Per-run bookkeeping (reports are per run; shard state persists).
@@ -29,6 +29,31 @@ struct RunState {
     migrations_refused: usize,
     timeline: Vec<FleetSample>,
     metrics: MetricsRegistry,
+    /// Reservations seated on this epoch's routing edge, in edge order,
+    /// awaiting execution (the engine's execute phase) and resolution
+    /// ([`FleetService::resolve_pending`]).
+    pending: Vec<PendingRoute>,
+}
+
+/// One routed arrival whose admission was *decided* (a ticket is seated
+/// on `shard`) but not yet resolved — everything the failover path
+/// needs to continue the capped offer chain if the deferred load fails.
+struct PendingRoute {
+    at: Micros,
+    arrival: Arrival,
+    /// The shard holding the reservation.
+    shard: usize,
+    /// Position of `shard` in the ranking (0 = first choice).
+    attempt: usize,
+    /// Devices offered so far (the `offer_chain_len` sample).
+    offers: u64,
+    /// Shards that consumed an accounting via a decide-time failure
+    /// before this reservation was seated.
+    failed_accountings: usize,
+    /// Best-ranked shard that said "no room" before the reservation.
+    queue_on: Option<usize>,
+    /// The not-yet-offered tail of the capped ranking.
+    remaining: Vec<crate::routing::RouteCandidate>,
 }
 
 /// The multi-device runtime service: owns N per-device
@@ -194,6 +219,14 @@ impl FleetService {
         &self.shards
     }
 
+    /// Makes shard `s`'s next `n` ticket executions fail
+    /// deterministically — the failover-net seam (see
+    /// `RuntimeService::force_execute_failures`).
+    #[doc(hidden)]
+    pub fn force_execute_failures(&mut self, s: usize, n: u32) {
+        self.shards[s].force_execute_failures(n);
+    }
+
     /// The fleet configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.config
@@ -280,19 +313,25 @@ impl FleetService {
             migrations_refused: 0,
             timeline: Vec::new(),
             metrics: MetricsRegistry::new(),
+            pending: Vec::new(),
         };
 
         let events = trace.events();
         let engine = self.config.engine;
         let mut idx = 0usize;
+        let mut clock = engine::HorizonClock::new(n);
         loop {
             // The epoch boundary: the next instant at which anything
             // cross-shard can happen. Everything up to it is
-            // shard-local by construction.
+            // shard-local by construction. The clock keeps a min-heap
+            // of per-shard next expiries and only re-reads shards whose
+            // schedule actually changed, replacing the O(N) per-epoch
+            // scan (the scan survives as `engine::horizon`, the clock's
+            // debug oracle).
             let next_trace = events.get(idx).map(|e| e.at);
             let horizon = {
                 let _t = profiler.map(|p| p.start(Phase::Horizon));
-                engine::horizon(next_trace, &self.shards)
+                clock.next(next_trace, &self.shards)
             };
             let Some(now) = horizon else {
                 break;
@@ -341,6 +380,32 @@ impl FleetService {
                 idx += 1;
             }
             drop(routing);
+
+            // 2b. Execute phase (deferred mode): the routing edge above
+            //     only *reserved*; each shard now drains its own ticket
+            //     queue — implementing designs and writing frames — as
+            //     an independent shard-local segment, in parallel under
+            //     the parallel engine. In immediate mode every ticket
+            //     was already executed inline on the edge, so the phase
+            //     is skipped entirely.
+            if self.config.deferred_execution && !st.pending.is_empty() {
+                let _t = profiler.map(|p| p.start(Phase::Execute));
+                engine::for_each_shard(
+                    engine,
+                    &mut self.shards,
+                    &mut st.reports,
+                    profiler,
+                    &|_, s, rep| s.execute_reserved(rep),
+                )?;
+            }
+            // 2c. Resolution edge (both modes): collect every seated
+            //     ticket's fate in edge order and run failover chains
+            //     for deferred load failures — sequential again, so the
+            //     accounting order is engine-invariant.
+            if !st.pending.is_empty() {
+                let _t = profiler.map(|p| p.start(Phase::Routing));
+                self.resolve_pending(&mut st)?;
+            }
 
             // 3. Shard-local again: every shard serves its queue,
             //    samples fragmentation and runs its own
@@ -627,27 +692,34 @@ impl FleetService {
         }
     }
 
-    /// Routes one arrival: rank, offer down the ranking (cross-device
-    /// retry, capped at [`FleetConfig::max_offer_attempts`]), queue on
-    /// the best-ranked device that reported "no room" if nobody can
-    /// place it now, or reject it as unplaceable if no device could
-    /// ever hold it. A candidate that carries a previewed
-    /// [`RoomPlan`](rtm_core::RoomPlan) hands it to the shard's offer,
-    /// so the admission executes the routing plan instead of planning
-    /// again.
+    /// Routes one arrival: rank, then walk the ranking with the
+    /// two-phase admission API — each candidate gets a
+    /// [`RuntimeService::reserve`] (decide only: routing/feasibility,
+    /// plan validation, arena reservation; no frames) — capped at
+    /// [`FleetConfig::max_offer_attempts`]. The first shard to seat a
+    /// ticket wins; the ranking tail is parked on a [`PendingRoute`] so
+    /// [`FleetService::resolve_pending`] can continue the failover
+    /// chain if the load later fails. Requests nobody can seat queue on
+    /// the best-ranked device that reported "no room", or are rejected
+    /// as unplaceable if no device could ever hold them. A candidate
+    /// that carries a previewed [`RoomPlan`](rtm_core::RoomPlan) hands
+    /// it to the shard's reserve, so the admission executes the routing
+    /// plan instead of planning again.
     ///
     /// Failure handling splits by determinism:
     ///
-    /// * [`OfferOutcome::Dropped`] (duplicate id or synthesis failure)
-    ///   consumes the request — the same design would fail on every
-    ///   shard.
-    /// * [`OfferOutcome::LoadFailed`] (device-specific placement or
-    ///   routing congestion) moves on to the next-ranked device instead
-    ///   of consuming the request. Every shard that recorded such a
-    ///   failure accounted the request once, so the fleet counts each
-    ///   *extra* accounting in [`FleetReport::load_failovers`] and the
-    ///   report identity becomes
+    /// * [`ReserveOutcome::Dropped`] (duplicate id or synthesis
+    ///   failure) consumes the request — the same design would fail on
+    ///   every shard.
+    /// * [`ReserveOutcome::Failed`] (device-specific planned-move
+    ///   congestion at decide time) moves on to the next-ranked device
+    ///   instead of consuming the request. Every shard that recorded
+    ///   such a failure accounted the request once, so the fleet counts
+    ///   each *extra* accounting in [`FleetReport::load_failovers`] and
+    ///   the report identity becomes
     ///   `Σ shard_submitted = submitted − unplaceable + load_failovers`.
+    ///   Execute-time failures surface the same way, one epoch phase
+    ///   later, through [`FleetService::resolve_pending`].
     fn route(&mut self, at: Micros, a: Arrival, st: &mut RunState) -> Result<(), CoreError> {
         st.submitted += 1;
 
@@ -655,10 +727,15 @@ impl FleetService {
         // shard (whose duplicate refusal or queue bookkeeping applies),
         // not shipped to a sibling that would happily admit a twin.
         if let Some(&s) = self.owner.get(&a.id) {
+            // Drain that shard's tickets first: an owner entry may
+            // point at a reservation seated earlier this edge, and the
+            // duplicate judgement below must see the same residency in
+            // immediate and deferred mode.
+            self.shards[s].execute_reserved(&mut st.reports[s])?;
             if self.shards[s].holds(a.id) {
                 let part = self.shards[s].part();
                 if a.rows <= part.clb_rows() && a.cols <= part.clb_cols() {
-                    self.shards[s].enqueue(at, a, &mut st.reports[s]);
+                    self.shards[s].enqueue(at, a, &mut st.reports[s])?;
                     st.routed[s] += 1;
                 } else {
                     // A duplicate whose shape the owning device cannot
@@ -697,9 +774,9 @@ impl FleetService {
             }
             return Ok(());
         }
-        // Shards that consumed an accounting via a load failure before
-        // the request finally landed somewhere (each is one extra
-        // shard-report `submitted`).
+        // Shards that consumed an accounting via a decide failure
+        // before the request finally landed somewhere (each is one
+        // extra shard-report `submitted`).
         let mut failed_accountings = 0usize;
         // Best-ranked shard that said "no room" — the queue slot.
         let mut queue_on: Option<usize> = None;
@@ -707,27 +784,45 @@ impl FleetService {
         // "offer_chain_len" histogram (1 = first-ranked device took it).
         let mut offers = 0u64;
         let cap = self.config.max_offer_attempts.max(1);
-        for (attempt, cand) in ranking.into_iter().enumerate().take(cap) {
+        let mut chain = ranking.into_iter().take(cap);
+        let mut attempt = 0usize;
+        while let Some(cand) = chain.next() {
             let s = cand.shard;
             offers += 1;
-            match self.shards[s].offer(at, a, cand.plan, &mut st.reports[s])? {
-                OfferOutcome::Admitted => {
-                    if attempt > 0 {
-                        st.retries += 1;
+            match self.shards[s].reserve(
+                at,
+                AdmissionBid::routed(a, cand.plan),
+                &mut st.reports[s],
+            )? {
+                ReserveOutcome::Reserved => {
+                    // The decision is made; the load itself runs in the
+                    // execute phase (immediately below in immediate
+                    // mode, inside the next shard-local segment under
+                    // deferred execution) and the chain's bookkeeping
+                    // is settled by `resolve_pending`.
+                    if !self.config.deferred_execution {
+                        self.shards[s].execute_reserved(&mut st.reports[s])?;
                     }
-                    st.load_failovers += failed_accountings;
-                    st.metrics.observe("offer_chain_len", offers);
                     self.owner.insert(a.id, s);
-                    st.routed[s] += 1;
+                    st.pending.push(PendingRoute {
+                        at,
+                        arrival: a,
+                        shard: s,
+                        attempt,
+                        offers,
+                        failed_accountings,
+                        queue_on,
+                        remaining: chain.collect(),
+                    });
                     return Ok(());
                 }
-                OfferOutcome::Dropped => {
+                ReserveOutcome::Dropped { .. } => {
                     st.load_failovers += failed_accountings;
                     st.metrics.observe("offer_chain_len", offers);
                     st.routed[s] += 1;
                     return Ok(());
                 }
-                OfferOutcome::LoadFailed => {
+                ReserveOutcome::Failed { .. } => {
                     // Recorded (and attributed) on this shard; the
                     // failure is device-specific, so the next-ranked
                     // device gets its chance instead of the request
@@ -735,19 +830,20 @@ impl FleetService {
                     st.routed[s] += 1;
                     failed_accountings += 1;
                 }
-                OfferOutcome::NoRoom => {
+                ReserveOutcome::NoRoom => {
                     if queue_on.is_none() {
                         queue_on = Some(s);
                     }
                 }
             }
+            attempt += 1;
         }
         st.metrics.observe("offer_chain_len", offers);
         if let Some(s) = queue_on {
             // Nobody can place it right now: wait on the best device
             // that can still hope to (a departure may free room there).
             st.load_failovers += failed_accountings;
-            self.shards[s].enqueue(at, a, &mut st.reports[s]);
+            self.shards[s].enqueue(at, a, &mut st.reports[s])?;
             self.owner.insert(a.id, s);
             st.routed[s] += 1;
         } else {
@@ -755,6 +851,122 @@ impl FleetService {
             // request is spent. The first failing shard's accounting is
             // the request's own; the rest are failovers.
             st.load_failovers += failed_accountings.saturating_sub(1);
+        }
+        Ok(())
+    }
+
+    /// Settles every [`PendingRoute`] seated on this epoch's routing
+    /// edge, in edge order: reads each ticket's fate off its shard
+    /// (every ticket has been executed by now — inline in immediate
+    /// mode, by the execute phase under deferred execution) and, when a
+    /// deferred load failed, continues the capped failover chain down
+    /// the parked ranking tail — synchronously, exactly as the
+    /// immediate path would have. Runs on the calling thread in both
+    /// modes, so the accounting and event order are engine-invariant.
+    fn resolve_pending(&mut self, st: &mut RunState) -> Result<(), CoreError> {
+        for p in std::mem::take(&mut st.pending) {
+            let PendingRoute {
+                at,
+                arrival: a,
+                shard,
+                attempt,
+                mut offers,
+                mut failed_accountings,
+                mut queue_on,
+                remaining,
+            } = p;
+            match self.shards[shard].resolve_ticket(a.id) {
+                Some(TicketOutcome::Executed) => {
+                    if attempt > 0 {
+                        st.retries += 1;
+                    }
+                    st.load_failovers += failed_accountings;
+                    st.metrics.observe("offer_chain_len", offers);
+                    st.routed[shard] += 1;
+                    continue;
+                }
+                Some(TicketOutcome::Failed { .. }) => {
+                    // The deferred load failed: the shard accounted the
+                    // request (one extra `submitted`) and recovered its
+                    // device; the reservation was cancelled by
+                    // `resolve_ticket`. Continue down the ranking tail.
+                    st.routed[shard] += 1;
+                    failed_accountings += 1;
+                    self.owner.remove(&a.id);
+                }
+                None => {
+                    return Err(CoreError::DesignMismatch {
+                        detail: "seated ticket did not resolve after the execute phase".into(),
+                    })
+                }
+            }
+            let mut landed = false;
+            for cand in remaining {
+                let s = cand.shard;
+                offers += 1;
+                match self.shards[s].reserve(
+                    at,
+                    AdmissionBid::failover(a, cand.plan),
+                    &mut st.reports[s],
+                )? {
+                    ReserveOutcome::Reserved => {
+                        // Failover loads run synchronously in both
+                        // modes: the epoch's execute phase is already
+                        // over, and a same-epoch retry must land before
+                        // anything later can observe the shard.
+                        self.shards[s].execute_reserved(&mut st.reports[s])?;
+                        match self.shards[s].resolve_ticket(a.id) {
+                            Some(TicketOutcome::Executed) => {
+                                st.retries += 1;
+                                st.load_failovers += failed_accountings;
+                                st.metrics.observe("offer_chain_len", offers);
+                                self.owner.insert(a.id, s);
+                                st.routed[s] += 1;
+                                landed = true;
+                            }
+                            Some(TicketOutcome::Failed { .. }) => {
+                                st.routed[s] += 1;
+                                failed_accountings += 1;
+                                continue;
+                            }
+                            None => {
+                                return Err(CoreError::DesignMismatch {
+                                    detail: "reserved failover did not resolve after its drain"
+                                        .into(),
+                                })
+                            }
+                        }
+                        break;
+                    }
+                    ReserveOutcome::Dropped { .. } => {
+                        st.load_failovers += failed_accountings;
+                        st.metrics.observe("offer_chain_len", offers);
+                        st.routed[s] += 1;
+                        landed = true;
+                        break;
+                    }
+                    ReserveOutcome::Failed { .. } => {
+                        st.routed[s] += 1;
+                        failed_accountings += 1;
+                    }
+                    ReserveOutcome::NoRoom => {
+                        if queue_on.is_none() {
+                            queue_on = Some(s);
+                        }
+                    }
+                }
+            }
+            if !landed {
+                st.metrics.observe("offer_chain_len", offers);
+                if let Some(s) = queue_on {
+                    st.load_failovers += failed_accountings;
+                    self.shards[s].enqueue(at, a, &mut st.reports[s])?;
+                    self.owner.insert(a.id, s);
+                    st.routed[s] += 1;
+                } else {
+                    st.load_failovers += failed_accountings.saturating_sub(1);
+                }
+            }
         }
         Ok(())
     }

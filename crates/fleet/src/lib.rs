@@ -23,19 +23,29 @@
 //!    then the expensive non-mutating
 //!    [`preview_admission`](rtm_core::RunTimeManager::preview_admission)
 //!    on the top-K survivors only);
-//! 2. the fleet offers the request to each ranked device in turn —
-//!    **cross-device retry**, capped by
-//!    [`FleetConfig::max_offer_attempts`] — admitting on the first
-//!    that takes it; a candidate previewed in step 1 carries its
-//!    epoch-stamped [`RoomPlan`](rtm_core::RoomPlan), which the shard
-//!    executes via
+//! 2. the fleet **reserves** the request on each ranked device in turn
+//!    — **cross-device retry**, capped by
+//!    [`FleetConfig::max_offer_attempts`] — seating an epoch-stamped
+//!    admission ticket on the first that takes it
+//!    ([`RuntimeService::reserve`](rtm_service::RuntimeService::reserve)
+//!    accounts the request and reserves the arena region but writes no
+//!    frames); a candidate previewed in step 1 carries its epoch-stamped
+//!    [`RoomPlan`](rtm_core::RoomPlan) inside the ticket, which the
+//!    execute step replays via
 //!    [`load_with_plan`](rtm_core::RunTimeManager::load_with_plan)
 //!    without planning again (stale plans are detected and re-planned,
 //!    never executed);
-//! 3. a device-specific *load* failure (placement/routing congestion)
-//!    is recorded and attributed on that shard, then the next-ranked
-//!    device gets the request — counted in
-//!    [`FleetReport::load_failovers`];
+//! 3. the ticket is **executed** —
+//!    [`RuntimeService::execute_reserved`](rtm_service::RuntimeService::execute_reserved)
+//!    implements the design and writes configuration frames — either
+//!    inline on the routing edge (immediate mode) or inside the next
+//!    shard-local segment
+//!    ([`FleetConfig::with_deferred_execution`]), where
+//!    [`EngineKind::Parallel`] fans the heavy load work across
+//!    workers; a device-specific *load* failure (placement/routing
+//!    congestion) is resolved after the execute phase, recorded and
+//!    attributed on that shard, then the next-ranked device gets the
+//!    request — counted in [`FleetReport::load_failovers`];
 //! 4. if nobody can place it right now, the request queues on the
 //!    best-ranked device that reported "no room" (served later in that
 //!    shard's [`QueueOrder`](rtm_service::QueueOrder));
@@ -56,14 +66,19 @@
 //! (departures, queue service, threshold defrag) up to the next
 //! cross-shard event horizon, then applies the cross-shard edges
 //! (routing, migration, the fleet defrag trigger) sequentially in
-//! shard-index order. [`EngineKind::Parallel`] executes the
-//! shard-local segments on scoped worker threads with **byte-identical
+//! shard-index order. With deferred execution on, each routing edge is
+//! followed by an **execute phase**: every shard drains its own ticket
+//! queue in parallel before the tickets are resolved on the edge.
+//! [`EngineKind::Parallel`] executes the shard-local segments (and the
+//! execute phase) on scoped worker threads with **byte-identical
 //! reports** — the thread schedule is unobservable because shards only
 //! interact inside the sequential edges — which is what turns an
 //! N-device sweep from N× single-device wall time into roughly
 //! N/cores. The schedule-invariance test suite
 //! (`tests/parallel_determinism.rs`) pins the equality over random
-//! fleets, scenarios and thread counts.
+//! fleets, scenarios and thread counts, and
+//! `tests/deferred_equivalence.rs` pins immediate-vs-deferred equality
+//! over the same space.
 //!
 //! Routing decides where a function *starts*; the [`rebalance`]
 //! subsystem revisits the decision. With a [`RebalancePolicy`]

@@ -324,16 +324,15 @@ mod tests {
     fn admit(shard: &mut RuntimeService, id: u64, rows: u16, cols: u16) {
         let mut rep = ServiceReport::new("setup");
         let got = shard
-            .offer(
+            .admit(
                 0,
-                Arrival {
+                rtm_service::AdmissionBid::direct(Arrival {
                     id,
                     rows,
                     cols,
                     duration: None,
                     deadline: None,
-                },
-                None,
+                }),
                 &mut rep,
             )
             .unwrap();

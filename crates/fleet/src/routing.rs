@@ -347,7 +347,11 @@ mod tests {
         let mut rep = rtm_service::ServiceReport::new("setup");
         let a = arrival(8, 8);
         let got = shards[0]
-            .offer(0, Arrival { id: 7, ..a }, None, &mut rep)
+            .admit(
+                0,
+                rtm_service::AdmissionBid::direct(Arrival { id: 7, ..a }),
+                &mut rep,
+            )
             .unwrap();
         assert_eq!(got, rtm_service::OfferOutcome::Admitted);
         assert_eq!(
@@ -364,13 +368,12 @@ mod tests {
         // the XCV50's blank 16x24.
         let mut rep = rtm_service::ServiceReport::new("setup");
         let got = shards[1]
-            .offer(
+            .admit(
                 0,
-                Arrival {
+                rtm_service::AdmissionBid::direct(Arrival {
                     id: 9,
                     ..arrival(20, 22)
-                },
-                None,
+                }),
                 &mut rep,
             )
             .unwrap();

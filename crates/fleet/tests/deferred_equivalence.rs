@@ -1,0 +1,359 @@
+//! Mode-invariance net for two-phase admission: with deferred
+//! execution on, the routing edge only *decides* (ranking +
+//! reservation) and each shard implements its tickets inside the next
+//! shard-local segment — yet the [`FleetReport`] and the merged event
+//! stream must be **byte-identical** to immediate execution, under
+//! both engines and every thread count.
+//!
+//! Why this must hold (the construction, abridged from
+//! `rtm_fleet::fleet`): a ticket's execute events land on its own
+//! shard's buffer, and every service entry point that could observe
+//! admission state drains pending tickets first — so the per-shard
+//! event order, the only order the epoch merge depends on, is the same
+//! whichever phase ran the load. All routing-policy-visible state is
+//! arena-derived, and the arena is shaped at *reserve* time, so
+//! rankings (and therefore every later decision) agree too.
+//!
+//! The deferred failure path gets its own deterministic anchors: a
+//! forced execute-time `LoadFailed` (via the failure-injection seam)
+//! must fail over down the parked ranking tail with exactly the
+//! immediate path's accounting, keeping the report identity
+//! `Σ shard_submitted = submitted − unplaceable + load_failovers`.
+//!
+//! The horizon min-heap rides along: `HorizonClock` must agree with
+//! the `engine::horizon` reference scan over arbitrary admission /
+//! departure / advance interleavings (the heap is lazily rebuilt from
+//! per-shard `schedule_version` dirty flags; a stale entry must never
+//! win).
+
+use proptest::prelude::*;
+use rtm_fleet::engine::{horizon, HorizonClock};
+use rtm_fleet::rebalance::{RebalancePolicy, UtilizationLevelling, WorstShardDrain};
+use rtm_fleet::routing::{FragAware, LeastUtilized, RoundRobin, RoutingPolicy};
+use rtm_fleet::{EngineKind, FleetConfig, FleetReport, FleetService};
+use rtm_fpga::part::Part;
+use rtm_sched::task::Micros;
+use rtm_service::trace::{Arrival, Scenario, Trace, TraceEvent};
+use rtm_service::{AdmissionBid, RuntimeService, ServiceConfig, ServiceReport};
+
+const MENU: [Part; 3] = [Part::Xcv50, Part::Xcv100, Part::Xcv200];
+
+/// Engines both modes are pinned under. Debug keeps the pair that
+/// matters most (sequential + one oversubscribed count); `ci.sh` runs
+/// the full `{1, 2, 4, 8}` pin in release.
+fn engines() -> Vec<EngineKind> {
+    if cfg!(debug_assertions) {
+        vec![EngineKind::Sequential, EngineKind::Parallel { threads: 2 }]
+    } else {
+        vec![
+            EngineKind::Sequential,
+            EngineKind::Parallel { threads: 1 },
+            EngineKind::Parallel { threads: 2 },
+            EngineKind::Parallel { threads: 4 },
+            EngineKind::Parallel { threads: 8 },
+        ]
+    }
+}
+
+fn policy_by_index(i: usize) -> Box<dyn RoutingPolicy> {
+    match i % 3 {
+        0 => Box::new(RoundRobin::default()),
+        1 => Box::new(LeastUtilized),
+        _ => Box::new(FragAware::default()),
+    }
+}
+
+fn rebalancer_by_index(i: usize) -> Option<Box<dyn RebalancePolicy>> {
+    match i % 3 {
+        0 => None,
+        1 => Some(Box::new(WorstShardDrain::default())),
+        _ => Some(Box::new(UtilizationLevelling::default())),
+    }
+}
+
+/// One full traced run: fresh fleet (identical initial state for every
+/// combination), `deferred` picks the admission mode, `fail_first`
+/// arms the failure-injection seam on shard 0 before the run.
+fn run_mode(
+    parts: &[Part],
+    policy_sel: usize,
+    rebalancer_sel: usize,
+    trace: &Trace,
+    engine: EngineKind,
+    deferred: bool,
+    fail_first: u32,
+) -> (FleetReport, String) {
+    let mut config = FleetConfig::heterogeneous(parts, ServiceConfig::default())
+        .with_engine(engine)
+        .with_deferred_execution(deferred);
+    if rebalancer_by_index(rebalancer_sel).is_some() {
+        config = config.with_rebalance_threshold(0.4);
+    }
+    let mut fleet = FleetService::new(config, policy_by_index(policy_sel));
+    if let Some(r) = rebalancer_by_index(rebalancer_sel) {
+        fleet = fleet.with_rebalancer(r);
+    }
+    if fail_first > 0 {
+        fleet.force_execute_failures(0, fail_first);
+    }
+    fleet.enable_events();
+    let report = fleet.run(trace).expect("equivalence-net run stays up");
+    let stream = rtm_obs::to_jsonl_stream(&fleet.take_events());
+    (report, stream)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(debug_assertions) { 1 } else { 3 }))]
+    /// The net itself: random fleet shapes × scenarios × policies ×
+    /// rebalancers, every engine × both modes equal to the immediate
+    /// sequential baseline — reports field-for-field, event streams
+    /// byte-for-byte.
+    #[test]
+    fn deferred_execution_is_mode_invariant_over_random_fleets(
+        parts_idx in proptest::collection::vec(0usize..3, 2..5),
+        scenario_sel in 0usize..3,
+        policy_sel in 0usize..3,
+        rebalancer_sel in 0usize..3,
+        seed in 1u64..500,
+    ) {
+        let parts: Vec<Part> = parts_idx.iter().map(|&i| MENU[i]).collect();
+        let scenario = Scenario::ALL[scenario_sel];
+        let trace = scenario.fleet_trace(Part::Xcv50, parts.len() as u64, seed, 150_000);
+
+        let (baseline, base_stream) = run_mode(
+            &parts, policy_sel, rebalancer_sel, &trace, EngineKind::Sequential, false, 0,
+        );
+        for engine in engines() {
+            for deferred in [false, true] {
+                if engine == EngineKind::Sequential && !deferred {
+                    continue;
+                }
+                let (report, stream) = run_mode(
+                    &parts, policy_sel, rebalancer_sel, &trace, engine, deferred, 0,
+                );
+                prop_assert_eq!(
+                    &baseline, &report,
+                    "deferred={} under {:?} diverged from immediate sequential",
+                    deferred, engine
+                );
+                prop_assert_eq!(
+                    &base_stream, &stream,
+                    "event stream diverged (deferred={}, {:?})", deferred, engine
+                );
+            }
+        }
+        prop_assert!(!base_stream.is_empty(), "traced runs must record events");
+    }
+}
+
+/// A three-arrival trace on two XCV50s: enough for a failover chain
+/// (two candidates per ranking) without drowning the assertion.
+fn failover_trace() -> Trace {
+    let mut trace = Trace::new("forced-failover");
+    for id in 0..3u64 {
+        trace.push(
+            id * 10_000,
+            TraceEvent::Arrival(Arrival {
+                id,
+                rows: 6,
+                cols: 6,
+                duration: None,
+                deadline: None,
+            }),
+        );
+    }
+    trace
+}
+
+/// Deferred `LoadFailed` anchor: shard 0's first ticket execution is
+/// forced to fail, so the resolution edge must walk the parked ranking
+/// tail and land the request on shard 1 — with identical reports and
+/// event streams in both modes, under every engine. The failover
+/// accounting identity is asserted explicitly.
+#[test]
+fn forced_deferred_load_failure_fails_over_identically() {
+    let parts = [Part::Xcv50, Part::Xcv50];
+    let trace = failover_trace();
+
+    let (baseline, base_stream) = run_mode(
+        &parts,
+        1, // least-utilized: deterministic [emptier, fuller] ranking
+        0,
+        &trace,
+        EngineKind::Sequential,
+        false,
+        1,
+    );
+    assert_eq!(
+        baseline.failures(),
+        1,
+        "the injected execute failure must surface: {baseline}"
+    );
+    assert_eq!(
+        baseline.load_failovers, 1,
+        "the failed shard's accounting is a failover: {baseline}"
+    );
+    assert_eq!(baseline.admitted(), 3, "every request lands: {baseline}");
+    assert_eq!(baseline.retries, 1, "the failover is a retry: {baseline}");
+    let shard_submitted: usize = baseline.shards.iter().map(|s| s.report.submitted).sum();
+    assert_eq!(
+        shard_submitted,
+        baseline.submitted - baseline.unplaceable + baseline.load_failovers,
+        "failover accounting identity: {baseline}"
+    );
+    assert!(
+        base_stream.contains("\"rejected\""),
+        "the forced failure must be visible in the stream"
+    );
+
+    for engine in engines() {
+        for deferred in [false, true] {
+            let (report, stream) = run_mode(&parts, 1, 0, &trace, engine, deferred, 1);
+            assert_eq!(
+                baseline, report,
+                "forced failover diverged (deferred={deferred}, {engine:?})"
+            );
+            assert_eq!(
+                base_stream, stream,
+                "forced-failover stream diverged (deferred={deferred}, {engine:?})"
+            );
+        }
+    }
+}
+
+/// The chain-exhausted variant: a single-shard fleet has no ranking
+/// tail, so a forced deferred failure spends the request — same
+/// consumption accounting as the immediate path, in both modes.
+#[test]
+fn forced_deferred_failure_with_no_failover_spends_the_request() {
+    let parts = [Part::Xcv50];
+    let trace = failover_trace();
+
+    let (baseline, base_stream) = run_mode(&parts, 0, 0, &trace, EngineKind::Sequential, false, 1);
+    assert_eq!(baseline.failures(), 1, "{baseline}");
+    assert_eq!(
+        baseline.load_failovers, 0,
+        "a spent request's own accounting is not a failover: {baseline}"
+    );
+    assert_eq!(baseline.admitted(), 2, "{baseline}");
+    assert_eq!(
+        baseline.admitted()
+            + baseline.rejected_deadline()
+            + baseline.failures()
+            + baseline.cancelled()
+            + baseline.queued_at_end()
+            + baseline.unplaceable,
+        baseline.submitted + baseline.load_failovers,
+        "conservation holds with the spent request: {baseline}"
+    );
+
+    for engine in engines() {
+        for deferred in [false, true] {
+            let (report, stream) = run_mode(&parts, 0, 0, &trace, engine, deferred, 1);
+            assert_eq!(
+                baseline, report,
+                "spent-request run diverged (deferred={deferred}, {engine:?})"
+            );
+            assert_eq!(base_stream, stream);
+        }
+    }
+}
+
+/// Applies one scripted op to the shard set, keeping the admitted-id
+/// bookkeeping the departure ops draw from.
+fn apply_horizon_op(
+    shards: &mut [RuntimeService],
+    reports: &mut [ServiceReport],
+    live: &mut Vec<(usize, u64)>,
+    next_id: &mut u64,
+    op: (u8, usize, u64),
+) {
+    let (kind, sel, val) = op;
+    let s = sel % shards.len();
+    match kind {
+        // Admit with a bounded residency: inserts an expiry.
+        0..=2 => {
+            let a = Arrival {
+                id: *next_id,
+                rows: 3,
+                cols: 3,
+                duration: Some(10_000 + (val % 90_000)),
+                deadline: None,
+            };
+            *next_id += 1;
+            let at = shards[s].now();
+            if shards[s]
+                .admit(at, AdmissionBid::direct(a), &mut reports[s])
+                .map(|o| o == rtm_service::OfferOutcome::Admitted)
+                .unwrap_or(false)
+            {
+                live.push((s, a.id));
+            }
+        }
+        // Admit a daemon (no expiry): the schedule must NOT change.
+        3 => {
+            let a = Arrival {
+                id: *next_id,
+                rows: 2,
+                cols: 2,
+                duration: None,
+                deadline: None,
+            };
+            *next_id += 1;
+            let at = shards[s].now();
+            let _ = shards[s].admit(at, AdmissionBid::direct(a), &mut reports[s]);
+        }
+        // Depart a random live id: removes an expiry.
+        4..=5 => {
+            if !live.is_empty() {
+                let (owner, id) = live.swap_remove(val as usize % live.len());
+                shards[owner].depart(id, &mut reports[owner]).unwrap();
+            }
+        }
+        // Advance one shard past some expiries: departs due residents.
+        _ => {
+            let to = shards[s].now() + (val % 60_000);
+            shards[s].advance_to(to, &mut reports[s]).unwrap();
+            live.retain(|&(owner, id)| owner != s || shards[owner].holds(id));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(debug_assertions) { 4 } else { 32 }))]
+    /// Heap-vs-scan equivalence: after every op in an arbitrary
+    /// admission/departure/advance interleaving, the lazily-rebuilt
+    /// min-heap clock must return exactly what the O(N) reference scan
+    /// returns, for a sweep of trace-event candidates.
+    #[test]
+    fn horizon_clock_equals_reference_scan(
+        n in 1usize..5,
+        ops in proptest::collection::vec(
+            (0u8..8, 0usize..8, 0u64..1_000_000), 1..40),
+    ) {
+        let mut shards: Vec<RuntimeService> = (0..n)
+            .map(|_| RuntimeService::new(ServiceConfig::default().with_part(Part::Xcv50)))
+            .collect();
+        let mut reports: Vec<ServiceReport> = (0..n)
+            .map(|i| ServiceReport::new(format!("horizon#{i}")))
+            .collect();
+        let mut clock = HorizonClock::new(n);
+        let mut live: Vec<(usize, u64)> = Vec::new();
+        let mut next_id = 0u64;
+
+        for op in ops {
+            apply_horizon_op(&mut shards, &mut reports, &mut live, &mut next_id, op);
+            // Sweep trace candidates around the schedule: none, early,
+            // and far-future must all agree with the scan.
+            for next_trace in [None, Some(0), Some(op.2), Some(Micros::MAX / 2)] {
+                prop_assert_eq!(
+                    clock.next(next_trace, &shards),
+                    horizon(next_trace, &shards),
+                    "clock diverged from scan (next_trace={:?})", next_trace
+                );
+            }
+        }
+    }
+}

@@ -23,7 +23,7 @@ use rtm_fpga::config::layout::{tile_bit_location, PIP_BITS_BASE};
 use rtm_fpga::geom::Rect;
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Arrival, Scenario};
-use rtm_service::{OfferOutcome, RuntimeService, ServiceConfig, ServiceReport};
+use rtm_service::{AdmissionBid, OfferOutcome, RuntimeService, ServiceConfig, ServiceReport};
 
 const MENU: [Part; 2] = [Part::Xcv50, Part::Xcv100];
 
@@ -101,7 +101,9 @@ proptest! {
                         deadline: None,
                     };
                     next_id += 1;
-                    let _ = shards[s].offer(now, arrival, None, &mut reports[s]).unwrap();
+                    let _ = shards[s]
+                        .admit(now, AdmissionBid::direct(arrival), &mut reports[s])
+                        .unwrap();
                 }
                 // Migrations: pick any resident anywhere, send it to
                 // the next shard over (mirroring the fleet's execute
@@ -160,7 +162,9 @@ proptest! {
                     let twin = Arrival {
                         id: tid, rows: 2, cols: 2, duration: None, deadline: None,
                     };
-                    if shards[dst].offer(now, twin, None, &mut reports[dst]).unwrap()
+                    if shards[dst]
+                        .admit(now, AdmissionBid::direct(twin), &mut reports[dst])
+                        .unwrap()
                         != OfferOutcome::Admitted { continue; }
                     forced_failure = true;
                     let restored_before = reports[src].migrations_restored;

@@ -8,9 +8,12 @@
 //! ```
 //!
 //! Asserts the run *completes*, that the conservation identities hold
-//! at three orders of magnitude above the unit suites, and that the
-//! parallel report equals the sequential one verbatim. Wall clock and
-//! the speedup ratio are printed, never gated — on a multi-core box
+//! at three orders of magnitude above the unit suites, that the
+//! parallel report equals the sequential one verbatim, and that the
+//! deferred-execution legs (reserve on the edge, execute in the
+//! segment) reproduce the immediate reports on both engines. Wall
+//! clock, the speedup ratio and per-mode arrivals/s are printed, never
+//! gated — on a multi-core box
 //! (4+ cores) expect the parallel engine to finish the shard-local
 //! work about `min(cores, shards-with-work)` times faster; on the
 //! single-core CI runner the ratio dips below 1 (the parallel run
@@ -60,9 +63,10 @@ fn n1024_sweep_completes_identically_on_both_engines() {
     let parts = vec![Part::Xcv50; N];
     let trace = Scenario::AdversarialFragmenter.fleet_trace(Part::Xcv50, N as u64 + 1, 42, 170_000);
 
-    let run = |engine: EngineKind| {
-        let config =
-            FleetConfig::heterogeneous(&parts, ServiceConfig::default()).with_engine(engine);
+    let run = |engine: EngineKind, deferred: bool| {
+        let config = FleetConfig::heterogeneous(&parts, ServiceConfig::default())
+            .with_engine(engine)
+            .with_deferred_execution(deferred);
         let mut fleet = FleetService::new(config, Box::<RoundRobin>::default());
         // Phase profiler on the soak: where do the epochs actually go at
         // N = 1024? The share table below feeds the ROADMAP reference
@@ -71,8 +75,9 @@ fn n1024_sweep_completes_identically_on_both_engines() {
         let sw = Stopwatch::start();
         let report = fleet.run(&trace).expect("soak run stays up");
         let wall = sw.elapsed_secs();
+        let mode = if deferred { "deferred" } else { "immediate" };
         if let Some(p) = fleet.profiler() {
-            println!("{} phase shares at N = {N}:", engine.name());
+            println!("{} ({mode}) phase shares at N = {N}:", engine.name());
             println!("{}", p.share_table());
         }
         (report, wall)
@@ -82,8 +87,13 @@ fn n1024_sweep_completes_identically_on_both_engines() {
     // the allocator/page-fault cold start (worth ~2x wall on its own),
     // so this order makes the printed speedup conservative — a >= 2x
     // readout is real parallelism, not warmup.
-    let (parallel, par_wall) = run(EngineKind::Parallel { threads: 0 });
-    let (sequential, seq_wall) = run(EngineKind::Sequential);
+    let (parallel, par_wall) = run(EngineKind::Parallel { threads: 0 }, false);
+    let (sequential, seq_wall) = run(EngineKind::Sequential, false);
+    // Deferred legs: reserve on the edge, execute in the segment. Both
+    // must reproduce the immediate reports verbatim — at this scale the
+    // gate covers millions of ticket resolutions per run.
+    let (par_def, par_def_wall) = run(EngineKind::Parallel { threads: 0 }, true);
+    let (seq_def, seq_def_wall) = run(EngineKind::Sequential, true);
 
     assert_eq!(sequential.submitted, trace.arrivals());
     assert!(
@@ -95,6 +105,14 @@ fn n1024_sweep_completes_identically_on_both_engines() {
         sequential, parallel,
         "engines diverged at N = {N} — schedule leaked into an outcome"
     );
+    assert_eq!(
+        sequential, seq_def,
+        "deferred execution changed the sequential outcome at N = {N}"
+    );
+    assert_eq!(
+        sequential, par_def,
+        "deferred execution changed the parallel outcome at N = {N}"
+    );
 
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let speedup = seq_wall / par_wall.max(1e-9);
@@ -104,5 +122,15 @@ fn n1024_sweep_completes_identically_on_both_engines() {
          [printed, not gated; expect >= 2x on 4+ cores]",
         sequential.submitted,
         sequential.admitted(),
+    );
+    let arrivals = sequential.submitted as f64;
+    println!(
+        "N={N} deferred: sequential {seq_def_wall:.2}s ({:.0} arrivals/s), \
+         parallel(auto) {par_def_wall:.2}s ({:.0} arrivals/s) \
+         [immediate: seq {:.0}, par {:.0} arrivals/s]",
+        arrivals / seq_def_wall.max(1e-9),
+        arrivals / par_def_wall.max(1e-9),
+        arrivals / seq_wall.max(1e-9),
+        arrivals / par_wall.max(1e-9),
     );
 }

@@ -81,6 +81,22 @@ pub enum EventKind {
         /// Simulated µs spent queued so far.
         waited: Micros,
     },
+    /// Admission was decided: an arena region is reserved and accounted,
+    /// but no cells, nets or frames have been written yet.
+    Reserved {
+        /// Trace id of the request.
+        id: u64,
+        /// Rearrangement moves the seated room plan will execute.
+        moves: usize,
+    },
+    /// A reserved admission finished implementing: design placed, nets
+    /// routed, configuration frames written.
+    Executed {
+        /// Trace id of the request.
+        id: u64,
+        /// Configuration frames the load wrote.
+        frames: usize,
+    },
     /// The request was admitted.
     Admitted {
         /// Trace id of the request.
@@ -144,6 +160,8 @@ impl EventKind {
             EventKind::Arrival { .. } => "arrival",
             EventKind::Enqueued { .. } => "enqueued",
             EventKind::Dequeued { .. } => "dequeued",
+            EventKind::Reserved { .. } => "reserved",
+            EventKind::Executed { .. } => "executed",
             EventKind::Admitted { .. } => "admitted",
             EventKind::Rejected { .. } => "rejected",
             EventKind::Load { .. } => "load",
@@ -197,6 +215,12 @@ impl RtmEvent {
             }
             EventKind::Dequeued { id, waited } => {
                 s.push_str(&format!(",\"id\":{id},\"waited\":{waited}"));
+            }
+            EventKind::Reserved { id, moves } => {
+                s.push_str(&format!(",\"id\":{id},\"moves\":{moves}"));
+            }
+            EventKind::Executed { id, frames } => {
+                s.push_str(&format!(",\"id\":{id},\"frames\":{frames}"));
             }
             EventKind::Admitted { id, waited, moves } => {
                 s.push_str(&format!(
@@ -265,6 +289,20 @@ impl RtmEvent {
                 c.lit(",\"waited\":")?;
                 let waited = c.u64()?;
                 EventKind::Dequeued { id, waited }
+            }
+            "reserved" => {
+                c.lit(",\"id\":")?;
+                let id = c.u64()?;
+                c.lit(",\"moves\":")?;
+                let moves = usize::try_from(c.u64()?).ok()?;
+                EventKind::Reserved { id, moves }
+            }
+            "executed" => {
+                c.lit(",\"id\":")?;
+                let id = c.u64()?;
+                c.lit(",\"frames\":")?;
+                let frames = usize::try_from(c.u64()?).ok()?;
+                EventKind::Executed { id, frames }
             }
             "admitted" => {
                 c.lit(",\"id\":")?;
@@ -403,6 +441,16 @@ mod tests {
                 at: 9,
                 shard: 1,
                 kind: EventKind::Dequeued { id: 2, waited: 4 },
+            },
+            RtmEvent {
+                at: 9,
+                shard: 1,
+                kind: EventKind::Reserved { id: 2, moves: 3 },
+            },
+            RtmEvent {
+                at: 9,
+                shard: 1,
+                kind: EventKind::Executed { id: 2, frames: 228 },
             },
             RtmEvent {
                 at: 9,

@@ -27,6 +27,9 @@ pub enum Phase {
     Segments,
     /// Trace delivery and routing edges.
     Routing,
+    /// Deferred admission execution (shard-local ticket drains; the
+    /// other parallel part).
+    Execute,
     /// Fleet defrag trigger and rebalance-migration edges.
     Triggers,
     /// Fragmentation timeline sampling.
@@ -35,10 +38,11 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Horizon,
         Phase::Segments,
         Phase::Routing,
+        Phase::Execute,
         Phase::Triggers,
         Phase::Sampling,
     ];
@@ -49,15 +53,18 @@ impl Phase {
             Phase::Horizon => "horizon",
             Phase::Segments => "segments",
             Phase::Routing => "routing",
+            Phase::Execute => "execute",
             Phase::Triggers => "triggers",
             Phase::Sampling => "sampling",
         }
     }
 
     /// True for the phases that run single-threaded between segments —
-    /// the "cross-shard edges" of ROADMAP follow-up (a).
+    /// the "cross-shard edges" of ROADMAP follow-up (a). `Execute` runs
+    /// shard-local ticket drains on the workers, so it sits with
+    /// `Segments` on the parallel side of the boundary.
     pub fn is_cross_shard_edge(&self) -> bool {
-        !matches!(self, Phase::Segments)
+        !matches!(self, Phase::Segments | Phase::Execute)
     }
 
     fn index(&self) -> usize {
@@ -65,8 +72,9 @@ impl Phase {
             Phase::Horizon => 0,
             Phase::Segments => 1,
             Phase::Routing => 2,
-            Phase::Triggers => 3,
-            Phase::Sampling => 4,
+            Phase::Execute => 3,
+            Phase::Triggers => 4,
+            Phase::Sampling => 5,
         }
     }
 }
@@ -76,7 +84,7 @@ impl Phase {
 /// shared reference while the main thread times the cross-shard edges.
 #[derive(Debug)]
 pub struct PhaseProfiler {
-    phase_ns: [AtomicU64; 5],
+    phase_ns: [AtomicU64; 6],
     worker_ns: [AtomicU64; MAX_WORKERS],
 }
 
@@ -247,14 +255,19 @@ mod tests {
     }
 
     #[test]
-    fn cross_shard_share_excludes_segments() {
+    fn cross_shard_share_excludes_segments_and_execute() {
         let prof = PhaseProfiler::new();
         drop(prof.start(Phase::Routing));
         drop(prof.start(Phase::Segments));
+        drop(prof.start(Phase::Execute));
         assert_eq!(
             prof.cross_shard_nanos(),
-            prof.total_nanos() - prof.phase_nanos(Phase::Segments)
+            prof.total_nanos()
+                - prof.phase_nanos(Phase::Segments)
+                - prof.phase_nanos(Phase::Execute)
         );
+        assert!(!Phase::Execute.is_cross_shard_edge());
+        assert!(Phase::Routing.is_cross_shard_edge());
     }
 
     #[test]

@@ -58,5 +58,8 @@ pub mod trace;
 
 pub use config::{QueueOrder, ServiceConfig};
 pub use report::ServiceReport;
-pub use service::{MigratingFunction, OfferOutcome, RuntimeService};
+pub use service::{
+    AdmissionBid, BidProvenance, MigratingFunction, OfferOutcome, ReserveOutcome, RuntimeService,
+    TicketOutcome,
+};
 pub use trace::{Scenario, Trace, TraceEvent};

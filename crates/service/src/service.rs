@@ -5,8 +5,8 @@ use crate::report::{AdmissionRecord, DefragSummary, FragSample, ServiceReport};
 use crate::trace::{Arrival, Trace, TraceEvent};
 use rtm_core::manager::{FunctionId, RunTimeManager};
 use rtm_core::{
-    CoreError, DefragPlan, ExtractedFunction, LoadFailureReason, PlanStats, RelocationReport,
-    RoomPlan,
+    AdmissionTicket, CoreError, DefragPlan, ExtractedFunction, LoadFailureReason, PlanStats,
+    RelocationReport, RoomPlan,
 };
 use rtm_fpga::part::Part;
 use rtm_netlist::random::RandomCircuit;
@@ -22,6 +22,81 @@ use std::collections::{BTreeMap, VecDeque};
 struct Queued {
     arrival: Arrival,
     queued_at: Micros,
+}
+
+/// Where an admission bid came from — typed provenance replacing the
+/// historical loose `(arrival, Option<RoomPlan>)` pair of `offer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BidProvenance {
+    /// Offered straight to this service (single-device callers, tests).
+    Direct,
+    /// Routed here by a fleet policy's first-choice ranking.
+    Routed,
+    /// Re-offered here after the load failed on a better-ranked sibling.
+    Failover,
+}
+
+/// A typed admission bid: the arrival, an optional epoch-stamped
+/// rearrangement plan the caller already computed for this request on
+/// this device (typically from a frag-aware routing preview), and the
+/// bid's provenance. [`RuntimeService::reserve`] and
+/// [`RuntimeService::admit`] consume bids; the deprecated
+/// [`RuntimeService::offer`] shim builds one from its loose pair.
+#[derive(Debug, Clone)]
+pub struct AdmissionBid {
+    arrival: Arrival,
+    plan: Option<RoomPlan>,
+    provenance: BidProvenance,
+}
+
+impl AdmissionBid {
+    /// A bid offered straight to this service, without a routed plan.
+    pub fn direct(arrival: Arrival) -> Self {
+        AdmissionBid {
+            arrival,
+            plan: None,
+            provenance: BidProvenance::Direct,
+        }
+    }
+
+    /// A bid delivered by a fleet router's first-choice ranking.
+    pub fn routed(arrival: Arrival, plan: Option<RoomPlan>) -> Self {
+        AdmissionBid {
+            arrival,
+            plan,
+            provenance: BidProvenance::Routed,
+        }
+    }
+
+    /// A bid re-offered after a load failure on a better-ranked sibling.
+    pub fn failover(arrival: Arrival, plan: Option<RoomPlan>) -> Self {
+        AdmissionBid {
+            arrival,
+            plan,
+            provenance: BidProvenance::Failover,
+        }
+    }
+
+    /// Folds a caller-held room plan into the bid.
+    pub fn with_plan(mut self, plan: Option<RoomPlan>) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// The arrival being bid.
+    pub fn arrival(&self) -> &Arrival {
+        &self.arrival
+    }
+
+    /// The caller-held rearrangement plan, if any.
+    pub fn plan(&self) -> Option<&RoomPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Where the bid came from.
+    pub fn provenance(&self) -> BidProvenance {
+        self.provenance
+    }
 }
 
 /// What became of one admission attempt.
@@ -40,9 +115,27 @@ enum Attempt {
     NoRoom,
 }
 
-/// What became of one [`RuntimeService::offer`] — the immediate,
+/// Outcome of the sequential *decide* step, before any frames are
+/// written. Mirrors [`ReserveOutcome`] without the accounting the
+/// public wrapper adds.
+enum Decision {
+    /// A ticket was seated and queued for execution.
+    Seated,
+    /// Deterministic refusal (duplicate id or synthesis failure),
+    /// recorded and attributed.
+    Dropped(RejectReason),
+    /// The reservation failed on this device (planned move hit
+    /// congestion, or allocation failed), recorded and attributed.
+    Failed(RejectReason),
+    /// Cannot be placed right now; nothing recorded.
+    NoRoom,
+}
+
+/// What became of one [`RuntimeService::admit`] — the immediate,
 /// queue-bypassing admission attempt a fleet router uses to probe
-/// devices before committing a request to one of them.
+/// devices before committing a request to one of them. Reject arms
+/// carry the attributed [`RejectReason`] so callers no longer have to
+/// re-derive it from the event stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OfferOutcome {
     /// Admitted and resident on this device.
@@ -50,14 +143,89 @@ pub enum OfferOutcome {
     /// Refused and accounted (duplicate id or synthesis failure) — the
     /// refusal is deterministic for the request, so the request is
     /// consumed: do not try it elsewhere.
-    Dropped,
+    Dropped {
+        /// Why the request was refused.
+        reason: RejectReason,
+    },
     /// The load failed on *this* device (placement/routing congestion),
     /// recorded here with its attributed reason. The failure is
     /// device-specific — a fleet may retry the next-ranked device.
-    LoadFailed,
+    LoadFailed {
+        /// The attributed load-failure reason.
+        reason: RejectReason,
+    },
     /// Cannot be placed on this device right now; nothing was recorded,
     /// the caller may try another device or queue it.
     NoRoom,
+}
+
+/// What became of one [`RuntimeService::reserve`] — the sequential
+/// *decide* half of two-phase admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReserveOutcome {
+    /// Decided and seated: an epoch-stamped ticket now reserves the
+    /// arena region and the request is accounted. The load itself runs
+    /// when this shard drains its ticket queue
+    /// ([`RuntimeService::execute_reserved`]); fetch the result with
+    /// [`RuntimeService::resolve_ticket`].
+    Reserved,
+    /// Refused and accounted at decide time (duplicate id or synthesis
+    /// failure) — deterministic for the request, do not retry
+    /// elsewhere.
+    Dropped {
+        /// Why the request was refused.
+        reason: RejectReason,
+    },
+    /// The *reservation* itself failed on this device (a planned
+    /// rearrangement move hit congestion, or allocation failed),
+    /// recorded with its attributed reason. Device-specific, like a
+    /// load failure: the caller may retry the next-ranked device.
+    Failed {
+        /// The attributed failure reason.
+        reason: RejectReason,
+    },
+    /// Cannot be placed on this device right now; nothing was recorded.
+    NoRoom,
+}
+
+/// The resolved fate of one executed admission ticket, returned by
+/// [`RuntimeService::resolve_ticket`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TicketOutcome {
+    /// The design was implemented and the function is resident.
+    Executed,
+    /// The deferred load failed (already accounted and attributed on
+    /// this shard); resolving it cancelled the reservation, so the
+    /// caller may failover the request to a sibling.
+    Failed {
+        /// The attributed load-failure reason.
+        reason: RejectReason,
+    },
+}
+
+/// A seated admission awaiting execution: everything the execute phase
+/// needs to finish the load without re-deciding anything.
+#[derive(Debug)]
+struct PendingTicket {
+    trace_id: u64,
+    queued_at: Micros,
+    ticket: AdmissionTicket,
+    design: MappedNetlist,
+    /// Simulated instant the function starts (decide time + planned
+    /// rearrangement traffic on the reconfiguration port).
+    start: Micros,
+    duration: Option<Micros>,
+    had_routed_plan: bool,
+    provenance: BidProvenance,
+}
+
+/// Execution fate of a ticket, parked until the caller resolves it. A
+/// failed ticket keeps its [`FunctionId`] so resolution can cancel the
+/// still-seated arena reservation.
+#[derive(Debug, Clone, Copy)]
+enum ResolvedTicket {
+    Executed,
+    Failed(FunctionId, RejectReason),
 }
 
 /// A function in flight between shards: the service-level wrapper a
@@ -116,10 +284,16 @@ impl MigratingFunction {
 /// [`RuntimeService::run`] owns the clock for a single device. A
 /// multi-device fleet drives the same machinery through the stepping
 /// API instead — [`RuntimeService::advance_to`],
-/// [`RuntimeService::offer`], [`RuntimeService::enqueue`],
+/// [`RuntimeService::reserve`] / [`RuntimeService::execute_reserved`] /
+/// [`RuntimeService::resolve_ticket`] (or the one-shot
+/// [`RuntimeService::admit`]), [`RuntimeService::enqueue`],
 /// [`RuntimeService::depart`] and [`RuntimeService::settle`] — keeping
 /// one shared clock across all shards while each shard keeps its own
-/// queue, residency table and defragmentation trigger.
+/// queue, residency table and defragmentation trigger. Admission is
+/// two-phase: the sequential *decide* step seats an epoch-stamped
+/// ticket on the routing edge, and the heavy *execute* step (cells,
+/// nets, configuration frames) runs when the shard drains its ticket
+/// queue — shard-locally, so an engine may fan it over workers.
 ///
 /// # Examples
 ///
@@ -168,6 +342,27 @@ pub struct RuntimeService {
     metrics: MetricsRegistry,
     /// Snapshot of `metrics` at the start of the current run.
     metrics_base: MetricsRegistry,
+    /// Seated admissions awaiting execution, in decide order. Drained
+    /// by [`RuntimeService::execute_reserved`] — and defensively by
+    /// every entry point that could otherwise observe a half-admitted
+    /// device, which is what makes deferred and immediate execution
+    /// byte-identical.
+    tickets: VecDeque<PendingTicket>,
+    /// Executed tickets awaiting [`RuntimeService::resolve_ticket`],
+    /// keyed by trace id. A failed entry still holds its arena
+    /// reservation (so sibling-ranking metrics agree between execution
+    /// modes); resolution cancels it.
+    resolved: BTreeMap<u64, ResolvedTicket>,
+    /// Bumped whenever the expiry schedule changes — the cheap dirty
+    /// flag a fleet's horizon clock compares before re-reading
+    /// [`RuntimeService::next_local_event`].
+    schedule_version: u64,
+    /// Deterministic failure injection: the next N ticket executions
+    /// fail as if the device refused the load (`LoadOther`). Test seam
+    /// for the failover nets — a real execute-time failure (routing
+    /// congestion under foreign nets) needs a layout too contrived to
+    /// pin deterministically across refactors.
+    force_fail_loads: u32,
 }
 
 // Compile-time `Send` pin: a shard (service + its manager) must be
@@ -196,7 +391,19 @@ impl RuntimeService {
             events: None,
             metrics: MetricsRegistry::new(),
             metrics_base: MetricsRegistry::new(),
+            tickets: VecDeque::new(),
+            resolved: BTreeMap::new(),
+            schedule_version: 0,
+            force_fail_loads: 0,
         }
+    }
+
+    /// Makes the next `n` ticket executions fail deterministically, as
+    /// if the device refused the load — the seam the failover test
+    /// nets use to exercise deferred `LoadFailed` paths on demand.
+    #[doc(hidden)]
+    pub fn force_execute_failures(&mut self, n: u32) {
+        self.force_fail_loads += n;
     }
 
     /// Installs an [`EventBuffer`] tagged `shard`: from here on every
@@ -284,6 +491,22 @@ impl RuntimeService {
         self.next_expiry()
     }
 
+    /// Monotonic counter bumped whenever the expiry schedule — and
+    /// therefore [`RuntimeService::next_local_event`] — may have
+    /// changed. A fleet horizon clock keeps per-shard heap entries
+    /// fresh by comparing versions instead of re-scanning every shard
+    /// every epoch.
+    pub fn schedule_version(&self) -> u64 {
+        self.schedule_version
+    }
+
+    /// Seated admissions not yet executed (the shard's ticket-queue
+    /// depth). Zero except between [`RuntimeService::reserve`] and the
+    /// next [`RuntimeService::execute_reserved`] drain.
+    pub fn pending_tickets(&self) -> usize {
+        self.tickets.len()
+    }
+
     /// The resident functions as `(trace_id, manager_id, region)` — the
     /// candidate set a fleet rebalancing planner scores (via
     /// [`RunTimeManager::preview_release`](rtm_core::RunTimeManager::preview_release)
@@ -366,7 +589,7 @@ impl RuntimeService {
             // 2. Trace events at this instant, in stream order.
             while idx < events.len() && events[idx].at <= now {
                 match events[idx].event {
-                    TraceEvent::Arrival(a) => self.enqueue(events[idx].at, a, &mut report),
+                    TraceEvent::Arrival(a) => self.enqueue(events[idx].at, a, &mut report)?,
                     TraceEvent::Departure { id } => self.depart(id, &mut report)?,
                 }
                 idx += 1;
@@ -388,6 +611,10 @@ impl RuntimeService {
     ///
     /// Propagates [`CoreError`] from a failed unload.
     pub fn advance_to(&mut self, now: Micros, report: &mut ServiceReport) -> Result<(), CoreError> {
+        // Settle any still-pending tickets at their decide-time clock
+        // before the clock moves: a departure (or anything else this
+        // sweep does) must never observe a half-admitted device.
+        self.execute_reserved(report)?;
         self.now = self.now.max(now);
         let due: Vec<u64> = self
             .expiry
@@ -407,7 +634,19 @@ impl RuntimeService {
     /// [`QueueOrder`]. Advances the clock to `at` so wait times and
     /// residency expirations can never be computed against a stale
     /// clock.
-    pub fn enqueue(&mut self, at: Micros, arrival: Arrival, report: &mut ServiceReport) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] only from draining still-pending
+    /// tickets (the events of an earlier admission must land before
+    /// this arrival's, whichever execution mode seated it).
+    pub fn enqueue(
+        &mut self,
+        at: Micros,
+        arrival: Arrival,
+        report: &mut ServiceReport,
+    ) -> Result<(), CoreError> {
+        self.execute_reserved(report)?;
         self.now = self.now.max(at);
         report.submitted += 1;
         if let Some(s) = self.sink() {
@@ -425,29 +664,171 @@ impl RuntimeService {
             arrival,
             queued_at: at,
         });
+        Ok(())
     }
 
-    /// Attempts to admit `arrival` right now, bypassing the queue: the
-    /// probe a fleet router sends to candidate devices. On
-    /// [`OfferOutcome::NoRoom`] nothing is recorded and the caller may
-    /// probe another device; the other outcomes account the request on
-    /// this shard (and of those, only [`OfferOutcome::LoadFailed`]
-    /// leaves it retryable elsewhere). Advances the clock to `at`
-    /// first, so deadline feasibility, wait times and residency
-    /// expirations are all judged at the offer's own time.
+    /// The *decide* half of two-phase admission: runs the routing and
+    /// feasibility pipeline for `bid` right now, bypassing the queue,
+    /// and on success seats an epoch-stamped [`AdmissionTicket`] that
+    /// reserves the arena region and accounts the request — but writes
+    /// no cells, nets or frames. The heavy implementation work runs
+    /// when this shard next drains its ticket queue
+    /// ([`RuntimeService::execute_reserved`] — inside the engine's
+    /// parallel execute phase, for a fleet), and the fate of the ticket
+    /// is fetched with [`RuntimeService::resolve_ticket`].
     ///
-    /// `plan` is an optional epoch-stamped rearrangement plan the
-    /// caller already computed for this request on this device —
-    /// typically the [`AdmissionPreview`](rtm_core::AdmissionPreview)
-    /// plan a frag-aware router obtained while ranking candidates. A
-    /// valid plan makes the admission plan-free: it is executed via
-    /// [`RunTimeManager::load_with_plan`] without running `make_room`
-    /// again; a stale plan is detected and re-planned.
+    /// On [`ReserveOutcome::NoRoom`] nothing is recorded and the caller
+    /// may probe another device; the other outcomes account the request
+    /// on this shard. Advances the clock to `at` first, so deadline
+    /// feasibility, wait times and residency expirations are all judged
+    /// at the bid's own time. A valid [`AdmissionBid::plan`] makes the
+    /// decision plan-free (executed without re-running `make_room`); a
+    /// stale plan is detected and re-planned.
+    ///
+    /// Still-pending tickets from earlier reservations are executed
+    /// first — every entry point that could observe admission state
+    /// drains the queue — so per-shard event order is identical whether
+    /// tickets are executed inline ([`RuntimeService::admit`]) or
+    /// deferred to an engine phase.
     ///
     /// # Errors
     ///
     /// Propagates [`CoreError`] only for invariant-corrupting failures,
     /// exactly like [`RuntimeService::run`].
+    pub fn reserve(
+        &mut self,
+        at: Micros,
+        bid: AdmissionBid,
+        report: &mut ServiceReport,
+    ) -> Result<ReserveOutcome, CoreError> {
+        self.execute_reserved(report)?;
+        self.now = self.now.max(at);
+        let q = Queued {
+            arrival: bid.arrival,
+            queued_at: at,
+        };
+        // The Arrival event must precede the outcome event, but a NoRoom
+        // bid records nothing — emit speculatively and roll back.
+        let mark = self.events.as_ref().map(EventBuffer::mark);
+        if let Some(s) = self.sink() {
+            s.emit(
+                self.now,
+                EventKind::Arrival {
+                    id: bid.arrival.id,
+                    rows: bid.arrival.rows,
+                    cols: bid.arrival.cols,
+                },
+            );
+        }
+        let decision = self.decide(&q, bid.plan, bid.provenance, report)?;
+        if matches!(decision, Decision::NoRoom) {
+            if let (Some(b), Some(m)) = (self.events.as_ref(), mark) {
+                b.truncate(m);
+            }
+        }
+        Ok(match decision {
+            Decision::NoRoom => ReserveOutcome::NoRoom,
+            Decision::Seated => {
+                report.submitted += 1;
+                ReserveOutcome::Reserved
+            }
+            Decision::Dropped(reason) => {
+                report.submitted += 1;
+                ReserveOutcome::Dropped { reason }
+            }
+            Decision::Failed(reason) => {
+                report.submitted += 1;
+                ReserveOutcome::Failed { reason }
+            }
+        })
+    }
+
+    /// The *execute* half of two-phase admission: implements every
+    /// seated ticket, oldest first — placement already fixed by the
+    /// reservation, so this is pure implementation work (cells, nets,
+    /// configuration frames) that an engine can fan over worker threads
+    /// shard-locally. Outcomes are parked for
+    /// [`RuntimeService::resolve_ticket`]; a failed load keeps its
+    /// arena reservation until resolved, so sibling-facing metrics
+    /// agree between execution modes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] only for invariant-corrupting failures;
+    /// per-ticket load failures are absorbed, attributed and parked,
+    /// exactly like [`RuntimeService::run`] absorbs load failures.
+    pub fn execute_reserved(&mut self, report: &mut ServiceReport) -> Result<(), CoreError> {
+        while let Some(pt) = self.tickets.pop_front() {
+            self.execute_one(pt, report)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves the fate of a previously reserved bid. Returns `None`
+    /// when `trace_id` has no executed-but-unresolved ticket here (not
+    /// reserved, or already resolved). Resolving a failed ticket
+    /// cancels its arena reservation — until then the region stays
+    /// reserved, by design.
+    pub fn resolve_ticket(&mut self, trace_id: u64) -> Option<TicketOutcome> {
+        match self.resolved.remove(&trace_id)? {
+            ResolvedTicket::Executed => Some(TicketOutcome::Executed),
+            ResolvedTicket::Failed(fid, reason) => {
+                // The reservation was kept across the failure so both
+                // execution modes rank siblings against the same arena;
+                // releasing it is what resolution *means*.
+                let cancelled = self.mgr.cancel_reservation(fid);
+                debug_assert!(cancelled.is_ok(), "failed ticket must still be seated");
+                Some(TicketOutcome::Failed { reason })
+            }
+        }
+    }
+
+    /// One-shot admission: [`RuntimeService::reserve`], then
+    /// immediately execute and resolve — the single-device form of the
+    /// two-phase pipeline, and the migration target for the deprecated
+    /// [`RuntimeService::offer`]. Both execution modes run the same
+    /// machinery; an admission observes identical device state and
+    /// emits identical events whether its execute step ran here or in
+    /// an engine's deferred execute phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] only for invariant-corrupting failures.
+    pub fn admit(
+        &mut self,
+        at: Micros,
+        bid: AdmissionBid,
+        report: &mut ServiceReport,
+    ) -> Result<OfferOutcome, CoreError> {
+        let id = bid.arrival.id;
+        match self.reserve(at, bid, report)? {
+            ReserveOutcome::NoRoom => Ok(OfferOutcome::NoRoom),
+            ReserveOutcome::Dropped { reason } => Ok(OfferOutcome::Dropped { reason }),
+            ReserveOutcome::Failed { reason } => Ok(OfferOutcome::LoadFailed { reason }),
+            ReserveOutcome::Reserved => {
+                self.execute_reserved(report)?;
+                match self.resolve_ticket(id) {
+                    Some(TicketOutcome::Executed) => Ok(OfferOutcome::Admitted),
+                    Some(TicketOutcome::Failed { reason }) => {
+                        Ok(OfferOutcome::LoadFailed { reason })
+                    }
+                    None => Err(CoreError::DesignMismatch {
+                        detail: "reserved bid did not resolve after its drain".into(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Attempts to admit `arrival` right now, bypassing the queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] only for invariant-corrupting failures.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `admit` with a typed `AdmissionBid` (or the two-phase `reserve`/`execute_reserved`/`resolve_ticket` pipeline)"
+    )]
     pub fn offer(
         &mut self,
         at: Micros,
@@ -455,45 +836,7 @@ impl RuntimeService {
         plan: Option<RoomPlan>,
         report: &mut ServiceReport,
     ) -> Result<OfferOutcome, CoreError> {
-        self.now = self.now.max(at);
-        let q = Queued {
-            arrival,
-            queued_at: at,
-        };
-        // The Arrival event must precede the outcome event, but a NoRoom
-        // offer records nothing — emit speculatively and roll back.
-        let mark = self.events.as_ref().map(EventBuffer::mark);
-        if let Some(s) = self.sink() {
-            s.emit(
-                self.now,
-                EventKind::Arrival {
-                    id: arrival.id,
-                    rows: arrival.rows,
-                    cols: arrival.cols,
-                },
-            );
-        }
-        let attempt = self.try_admit(&q, plan, report)?;
-        if matches!(attempt, Attempt::NoRoom) {
-            if let (Some(b), Some(m)) = (self.events.as_ref(), mark) {
-                b.truncate(m);
-            }
-        }
-        Ok(match attempt {
-            Attempt::NoRoom => OfferOutcome::NoRoom,
-            Attempt::Admitted => {
-                report.submitted += 1;
-                OfferOutcome::Admitted
-            }
-            Attempt::Dropped => {
-                report.submitted += 1;
-                OfferOutcome::Dropped
-            }
-            Attempt::Failed => {
-                report.submitted += 1;
-                OfferOutcome::LoadFailed
-            }
-        })
+        self.admit(at, AdmissionBid::direct(arrival).with_plan(plan), report)
     }
 
     /// Serves the wait queue, samples the fragmentation timeline, and
@@ -504,6 +847,9 @@ impl RuntimeService {
     ///
     /// Propagates [`CoreError`] from a failed defragmentation.
     pub fn settle(&mut self, report: &mut ServiceReport) -> Result<(), CoreError> {
+        // Pending tickets must become real functions before the queue
+        // is served or the defrag trigger reads fragmentation.
+        self.execute_reserved(report)?;
         self.serve_queue(report)?;
 
         // The timeline must show the state the trigger saw, not
@@ -540,6 +886,10 @@ impl RuntimeService {
         plan: Option<DefragPlan>,
         report: &mut ServiceReport,
     ) -> Result<bool, CoreError> {
+        // Compaction planning must never see a reserved-but-
+        // unimplemented id: drain pending tickets first, like every
+        // other admission-state-observing entry point.
+        self.execute_reserved(report)?;
         // Both paths execute through the plan pipeline (rtm-lint's
         // plan-discipline rule pins it): a caller-less trigger takes
         // the manager's epoch-cached plan, so a threshold cycle whose
@@ -602,8 +952,14 @@ impl RuntimeService {
     ///
     /// Propagates [`CoreError`] from a failed unload.
     pub fn depart(&mut self, trace_id: u64, report: &mut ServiceReport) -> Result<(), CoreError> {
+        // A departure may target a function whose admission is still a
+        // pending ticket — execute first so it departs as a resident,
+        // exactly as it would have under inline execution.
+        self.execute_reserved(report)?;
         if let Some(fid) = self.resident.remove(&trace_id) {
-            self.expiry.remove(&trace_id);
+            if self.expiry.remove(&trace_id).is_some() {
+                self.schedule_version += 1;
+            }
             self.mgr.unload(fid)?;
             report.departures += 1;
             if let Some(s) = self.sink() {
@@ -652,6 +1008,7 @@ impl RuntimeService {
         trace_id: u64,
         report: &mut ServiceReport,
     ) -> Result<MigratingFunction, CoreError> {
+        self.execute_reserved(report)?;
         let fid = self
             .resident
             .get(&trace_id)
@@ -662,6 +1019,9 @@ impl RuntimeService {
         let extracted = self.mgr.extract_function(fid)?;
         self.resident.remove(&trace_id);
         let expiry = self.expiry.remove(&trace_id);
+        if expiry.is_some() {
+            self.schedule_version += 1;
+        }
         report.migrations_out += 1;
         if let Some(s) = self.sink() {
             s.emit(self.now, EventKind::MigrationOut { id: trace_id });
@@ -695,6 +1055,7 @@ impl RuntimeService {
         plan: Option<RoomPlan>,
         report: &mut ServiceReport,
     ) -> Result<(), CoreError> {
+        self.execute_reserved(report)?;
         self.now = self.now.max(at);
         if self.resident.contains_key(&m.trace_id) {
             return Err(CoreError::Place(rtm_place::PlaceError::DuplicateTask {
@@ -715,6 +1076,7 @@ impl RuntimeService {
         self.resident.insert(m.trace_id, lr.id);
         if let Some(e) = m.expiry {
             self.expiry.insert(m.trace_id, e);
+            self.schedule_version += 1;
         }
         report.migrations_in += 1;
         if let Some(s) = self.sink() {
@@ -746,6 +1108,7 @@ impl RuntimeService {
         self.resident.insert(m.trace_id, fid);
         if let Some(e) = m.expiry {
             self.expiry.insert(m.trace_id, e);
+            self.schedule_version += 1;
         }
         debug_assert!(
             report.migrations_out > 0,
@@ -823,7 +1186,7 @@ impl RuntimeService {
                     },
                 );
             }
-            match self.try_admit(&q, None, report)? {
+            match self.try_admit(&q, None, BidProvenance::Direct, report)? {
                 Attempt::NoRoom => {
                     if let (Some(b), Some(m)) = (self.events.as_ref(), mark) {
                         b.truncate(m);
@@ -840,19 +1203,50 @@ impl RuntimeService {
         Ok(())
     }
 
-    /// Attempts to admit one queued request. `routed_plan` is a
-    /// caller-held rearrangement plan (from a routing preview);
-    /// whatever happens, admission runs at most one planning pass: a
-    /// valid plan runs zero (reused for both the deadline-feasibility
-    /// check and the load), and a stale or absent one is planned once
-    /// and then executed via
-    /// [`RunTimeManager::load_with_plan`](rtm_core::RunTimeManager::load_with_plan).
+    /// Admits one queued request through the full two-phase pipeline,
+    /// inline: decide (seat a ticket), execute it, resolve it. The
+    /// queue path therefore emits exactly the same event sequence and
+    /// touches exactly the same counters as a fleet-routed admission,
+    /// whichever phase its execute step would have run in.
     fn try_admit(
         &mut self,
         q: &Queued,
         routed_plan: Option<RoomPlan>,
+        provenance: BidProvenance,
         report: &mut ServiceReport,
     ) -> Result<Attempt, CoreError> {
+        match self.decide(q, routed_plan, provenance, report)? {
+            Decision::NoRoom => Ok(Attempt::NoRoom),
+            Decision::Dropped(_) => Ok(Attempt::Dropped),
+            Decision::Failed(_) => Ok(Attempt::Failed),
+            Decision::Seated => {
+                self.execute_reserved(report)?;
+                match self.resolve_ticket(q.arrival.id) {
+                    Some(TicketOutcome::Executed) => Ok(Attempt::Admitted),
+                    Some(TicketOutcome::Failed { .. }) => Ok(Attempt::Failed),
+                    None => Err(CoreError::DesignMismatch {
+                        detail: "seated ticket did not resolve after its drain".into(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// The sequential decide step: the routing/feasibility pipeline up
+    /// to and including seating the reservation, but no frame writes.
+    /// `routed_plan` is a caller-held rearrangement plan (from a
+    /// routing preview); whatever happens, deciding runs at most one
+    /// planning pass: a valid plan runs zero (reused for both the
+    /// deadline-feasibility check and the reservation), and a stale or
+    /// absent one is planned once and then executed via
+    /// [`RunTimeManager::reserve_room`](rtm_core::RunTimeManager::reserve_room).
+    fn decide(
+        &mut self,
+        q: &Queued,
+        routed_plan: Option<RoomPlan>,
+        provenance: BidProvenance,
+        report: &mut ServiceReport,
+    ) -> Result<Decision, CoreError> {
         let a = q.arrival;
         let had_routed_plan = routed_plan.is_some();
         // A duplicate of a still-resident id would orphan the earlier
@@ -868,16 +1262,16 @@ impl RuntimeService {
                     },
                 );
             }
-            return Ok(Attempt::Dropped);
+            return Ok(Decision::Dropped(RejectReason::DuplicateOrSynthesis));
         }
         // The rearrangement the load would need, so the admission
         // decision can weigh its cost *before* committing. A valid
         // routed plan answers for free; otherwise plan once now.
         let Some(plan) = self.mgr.revalidate_room_plan(a.rows, a.cols, routed_plan) else {
-            return Ok(Attempt::NoRoom);
+            return Ok(Decision::NoRoom);
         };
         if !plan.is_empty() && !self.config.policy.rearranges() {
-            return Ok(Attempt::NoRoom);
+            return Ok(Decision::NoRoom);
         }
         // The reconfiguration port is busy for the whole move traffic;
         // the incoming function starts afterwards. If that would miss
@@ -886,7 +1280,7 @@ impl RuntimeService {
         // and `serve_queue` rejects it once the deadline itself passes.
         let start = self.now + plan.cells_moved() as Micros * self.config.us_per_clb;
         if a.deadline.map(|d| start > d).unwrap_or(false) {
-            return Ok(Attempt::NoRoom);
+            return Ok(Decision::NoRoom);
         }
 
         let design = match self.design_for(&a) {
@@ -902,15 +1296,14 @@ impl RuntimeService {
                         },
                     );
                 }
-                return Ok(Attempt::Dropped);
+                return Ok(Decision::Dropped(RejectReason::DuplicateOrSynthesis));
             }
         };
-        match self
-            .mgr
-            .load_with_plan(&design, a.rows, a.cols, &plan, |_, _, _| {})
-        {
+        match self.mgr.reserve_room(a.rows, a.cols, &plan, |_, _, _| {}) {
             Err(e) => {
-                // A placement/routing failure on a live device: the
+                // Seating the reservation can fail like a load can: a
+                // planned rearrangement move hits congestion on the
+                // live device, or allocation falls through. The
                 // manager's bookkeeping stays consistent, the service
                 // records the casualty — attributed, so fleet autopsies
                 // can tell area pressure from wiring congestion — and
@@ -930,7 +1323,101 @@ impl RuntimeService {
                 if let Some(s) = self.sink() {
                     s.emit(self.now, EventKind::Rejected { id: a.id, reason });
                 }
-                Ok(Attempt::Failed)
+                Ok(Decision::Failed(reason))
+            }
+            Ok(ticket) => {
+                if let Some(s) = self.sink() {
+                    s.emit(
+                        self.now,
+                        EventKind::Reserved {
+                            id: a.id,
+                            moves: ticket.moves().len(),
+                        },
+                    );
+                }
+                self.tickets.push_back(PendingTicket {
+                    trace_id: a.id,
+                    queued_at: q.queued_at,
+                    ticket,
+                    design,
+                    start,
+                    duration: a.duration,
+                    had_routed_plan,
+                    provenance,
+                });
+                Ok(Decision::Seated)
+            }
+        }
+    }
+
+    /// Executes one seated ticket: the parallel half of an admission.
+    /// Success makes the function resident and emits the
+    /// `Admitted`/`Load`/`Executed` record; failure is absorbed,
+    /// attributed and parked (reservation kept) for
+    /// [`RuntimeService::resolve_ticket`]. Either way the outcome joins
+    /// the resolved set.
+    fn execute_one(
+        &mut self,
+        pt: PendingTicket,
+        report: &mut ServiceReport,
+    ) -> Result<(), CoreError> {
+        let id = pt.trace_id;
+        let fid = pt.ticket.id();
+        self.metrics.inc("deferred_loads");
+        if self.force_fail_loads > 0 {
+            // Injected failure (see `force_execute_failures`): account
+            // it exactly like a real execute refusal — nothing was
+            // written, the arena reservation stays seated until the
+            // ticket is resolved.
+            self.force_fail_loads -= 1;
+            report.failures += 1;
+            if let Some(s) = self.sink() {
+                s.emit(
+                    self.now,
+                    EventKind::Rejected {
+                        id,
+                        reason: RejectReason::LoadOther,
+                    },
+                );
+            }
+            if let Some(ResolvedTicket::Failed(old_fid, _)) = self
+                .resolved
+                .insert(id, ResolvedTicket::Failed(fid, RejectReason::LoadOther))
+            {
+                let _ = self.mgr.cancel_reservation(old_fid);
+            }
+            return Ok(());
+        }
+        match self.mgr.execute_reserved(&pt.design, pt.ticket) {
+            Err(e) => {
+                // Same absorption/attribution as a decide-time failure;
+                // the arena reservation deliberately stays seated until
+                // the ticket is resolved, so sibling-facing metrics are
+                // identical whichever phase ran this code.
+                report.failures += 1;
+                let reason = match e.load_failure_reason() {
+                    LoadFailureReason::NoFreeSlots => {
+                        report.failures_no_slots += 1;
+                        RejectReason::NoFreeSlots
+                    }
+                    LoadFailureReason::Unroutable => {
+                        report.failures_unroutable += 1;
+                        RejectReason::Unroutable
+                    }
+                    LoadFailureReason::Other => RejectReason::LoadOther,
+                };
+                if let Some(s) = self.sink() {
+                    s.emit(self.now, EventKind::Rejected { id, reason });
+                }
+                // A reused trace id whose earlier failed ticket was
+                // never resolved would leak that ticket's arena
+                // reservation when we overwrite the entry: release it.
+                if let Some(ResolvedTicket::Failed(old_fid, _)) = self
+                    .resolved
+                    .insert(id, ResolvedTicket::Failed(fid, reason))
+                {
+                    let _ = self.mgr.cancel_reservation(old_fid);
+                }
             }
             Ok(lr) => {
                 let outcome = if lr.moves.is_empty() {
@@ -944,40 +1431,50 @@ impl RuntimeService {
                     }
                 };
                 report.admitted += 1;
-                let waited = self.now - q.queued_at;
+                let waited = self.now - pt.queued_at;
                 let frames = lr.frames_total();
                 if let Some(s) = self.sink() {
                     s.emit(
                         self.now,
                         EventKind::Admitted {
-                            id: a.id,
+                            id,
                             waited,
                             moves: lr.moves.len(),
                         },
                     );
-                    s.emit(self.now, EventKind::Load { id: a.id, frames });
+                    s.emit(self.now, EventKind::Load { id, frames });
+                    s.emit(self.now, EventKind::Executed { id, frames });
                 }
                 self.metrics.observe("queue_wait_us", waited);
                 self.metrics.observe("frames_per_load", frames as u64);
                 self.metrics
                     .observe("moves_per_admission", lr.moves.len() as u64);
-                if had_routed_plan {
+                if pt.had_routed_plan {
                     self.metrics.inc("admissions_with_routed_plan");
                 }
+                if pt.provenance == BidProvenance::Failover {
+                    self.metrics.inc("failover_admissions");
+                }
                 report.admissions.push(AdmissionRecord {
-                    trace_id: a.id,
+                    trace_id: id,
                     at: self.now,
-                    waited: self.now - q.queued_at,
+                    waited,
                     outcome,
                 });
                 self.account_moves(&lr.moves, &lr.relocations, report);
-                if let Some(d) = a.duration {
-                    self.expiry.insert(a.id, start + d);
+                if let Some(d) = pt.duration {
+                    self.expiry.insert(id, pt.start + d);
+                    self.schedule_version += 1;
                 }
-                self.resident.insert(a.id, lr.id);
-                Ok(Attempt::Admitted)
+                self.resident.insert(id, lr.id);
+                if let Some(ResolvedTicket::Failed(old_fid, _)) =
+                    self.resolved.insert(id, ResolvedTicket::Executed)
+                {
+                    let _ = self.mgr.cancel_reservation(old_fid);
+                }
             }
         }
+        Ok(())
     }
 
     /// Folds executed relocation traffic into the report totals.

@@ -186,20 +186,84 @@ fn deadline_request_waits_for_cheaper_plan_instead_of_dropping() {
 }
 
 #[test]
-fn stepping_api_offer_synchronizes_the_clock() {
-    // The fleet drives shards through offer()/enqueue() directly; an
-    // offer ahead of the shard's clock must advance it, or wait times
+fn stepping_api_admit_synchronizes_the_clock() {
+    // The fleet drives shards through admit()/enqueue() directly; a
+    // bid ahead of the shard's clock must advance it, or wait times
     // underflow and expiries are measured from a stale instant.
     let mut service = RuntimeService::new(ServiceConfig::default());
     let mut rep = rtm_service::ServiceReport::new("step");
     let outcome = service
-        .offer(
+        .admit(
             1_000_000,
-            Arrival {
+            rtm_service::AdmissionBid::direct(Arrival {
                 id: 0,
                 rows: 4,
                 cols: 4,
                 duration: Some(100_000),
+                deadline: None,
+            }),
+            &mut rep,
+        )
+        .unwrap();
+    assert_eq!(outcome, rtm_service::OfferOutcome::Admitted);
+    assert_eq!(service.now(), 1_000_000, "admit advanced the clock");
+    assert_eq!(
+        service.next_expiry(),
+        Some(1_100_000),
+        "residency measured from the bid's own time"
+    );
+}
+
+#[test]
+fn two_phase_reserve_then_execute_matches_admit() {
+    // The decide step seats the ticket (arena reserved, request
+    // accounted) but writes nothing; the execute step implements it;
+    // resolve reports the fate. The one-shot `admit` is exactly this
+    // pipeline run inline.
+    let mut service = RuntimeService::new(ServiceConfig::default());
+    let mut rep = rtm_service::ServiceReport::new("two-phase");
+    let a = Arrival {
+        id: 7,
+        rows: 4,
+        cols: 4,
+        duration: None,
+        deadline: None,
+    };
+    let decided = service
+        .reserve(0, rtm_service::AdmissionBid::direct(a), &mut rep)
+        .unwrap();
+    assert_eq!(decided, rtm_service::ReserveOutcome::Reserved);
+    assert_eq!(rep.submitted, 1, "accounted at decide time");
+    assert_eq!(rep.admitted, 0, "nothing implemented yet");
+    assert_eq!(service.pending_tickets(), 1);
+    assert_eq!(service.resident_count(), 0);
+
+    service.execute_reserved(&mut rep).unwrap();
+    assert_eq!(service.pending_tickets(), 0);
+    assert_eq!(rep.admitted, 1, "the execute phase implemented it");
+    assert_eq!(service.resident_count(), 1);
+    assert_eq!(
+        service.resolve_ticket(7),
+        Some(rtm_service::TicketOutcome::Executed)
+    );
+    assert_eq!(service.resolve_ticket(7), None, "resolution is one-shot");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_offer_shim_still_admits() {
+    // `offer` survives one PR as a thin delegate to `admit`; external
+    // callers migrating to `AdmissionBid` keep working meanwhile.
+    let mut service = RuntimeService::new(ServiceConfig::default());
+    let mut rep = rtm_service::ServiceReport::new("shim");
+    let outcome = service
+        .offer(
+            0,
+            Arrival {
+                id: 0,
+                rows: 4,
+                cols: 4,
+                duration: None,
                 deadline: None,
             },
             None,
@@ -207,12 +271,7 @@ fn stepping_api_offer_synchronizes_the_clock() {
         )
         .unwrap();
     assert_eq!(outcome, rtm_service::OfferOutcome::Admitted);
-    assert_eq!(service.now(), 1_000_000, "offer advanced the clock");
-    assert_eq!(
-        service.next_expiry(),
-        Some(1_100_000),
-        "residency measured from the offer's own time"
-    );
+    assert_eq!(service.resident_count(), 1);
 }
 
 #[test]

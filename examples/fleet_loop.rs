@@ -24,19 +24,24 @@
 //! Replays a fixed set of deterministic fleet runs — the three-device
 //! policy sweep, frag-aware sweeps at N = 16 and N = 64 devices, two
 //! round-robin + rebalancing-migration runs (x4 and N = 16), and the
-//! epoch-engine scale tier (N = 256 under both stepping engines,
-//! N = 1024 under the parallel engine) — and writes every run's
-//! counters (admissions, frames written, `make_room` planning passes,
-//! plans reused, migrations, …) as JSON, each row tagged with the
-//! engine it ran under. The checked-in `BENCH_fleet.json` is the
-//! baseline; `ci.sh` re-runs this mode and fails on any counter
-//! difference — which makes the twin N = 256 rows a standing
-//! sequential/parallel equivalence proof. Counters are exact-match
-//! gated; wall-clock time and the arrivals/s throughput printed next
-//! to each row are for the log, never gated. The scale-tier rows
-//! (N = 256 both engines, N = 1024 parallel) also print the epoch
-//! engine's wall-clock **phase-share table** (stdout only, never in
-//! the JSON); pass `--profile` to print it for every row.
+//! epoch-engine scale tier (N = 256 under both stepping engines ×
+//! both admission modes, N = 1024 under the parallel engine in both
+//! modes) — and writes every run's counters (admissions, frames
+//! written, `make_room` planning passes, plans reused, migrations, …)
+//! as JSON, each row tagged with the engine it ran under and whether
+//! admission execution was immediate or deferred. The checked-in
+//! `BENCH_fleet.json` is the baseline; `ci.sh` re-runs this mode and
+//! fails on any counter difference — which makes the N = 256 rows a
+//! standing sequential/parallel *and* immediate/deferred equivalence
+//! proof (`ci.sh` additionally byte-compares those rows against each
+//! other after stripping the engine/mode tags). Counters are
+//! exact-match gated; wall-clock time and the arrivals/s throughput
+//! printed next to each row are for the log, never gated. The
+//! scale-tier rows also print the epoch engine's wall-clock
+//! **phase-share table** (stdout only, never in the JSON) — on the
+//! deferred rows the `execute` phase absorbs the implementation work
+//! the routing edge used to carry; pass `--profile` to print the
+//! table for every row.
 //!
 //! ## Deterministic event export: `--trace [PATH]`
 //!
@@ -67,16 +72,18 @@ fn fleet_trace(scenario: Scenario, copies: u64, seed: u64) -> Trace {
 }
 
 /// One deterministic counter block of the perf baseline, JSON-ready.
-/// The `engine` field names the stepping engine the row ran under;
-/// because the gate is a byte diff, a sequential and a parallel row
-/// over the same workload agreeing on every other field *is* the
-/// cross-engine equivalence check, re-proven on every CI run.
-fn json_block(devices: usize, engine: EngineKind, report: &FleetReport) -> String {
+/// The `engine` field names the stepping engine the row ran under and
+/// `mode` whether admission execution was immediate or deferred;
+/// because the gate is a byte diff, rows over the same workload that
+/// agree on every other field *are* the cross-engine and cross-mode
+/// equivalence checks, re-proven on every CI run.
+fn json_block(devices: usize, engine: EngineKind, deferred: bool, report: &FleetReport) -> String {
     let s = report.plan_stats();
     let mut out = String::new();
     let _ = write!(
         out,
         "    {{\"scenario\": \"{}\", \"devices\": {}, \"engine\": \"{}\", \
+         \"mode\": \"{}\", \
          \"policy\": \"{}\", \"rebalancer\": \"{}\", \
          \"submitted\": {}, \"admitted\": {}, \"retries\": {}, \
          \"load_failovers\": {}, \"unplaceable\": {}, \"queued_at_end\": {}, \
@@ -91,6 +98,7 @@ fn json_block(devices: usize, engine: EngineKind, report: &FleetReport) -> Strin
         report.trace_name,
         devices,
         engine.name(),
+        if deferred { "deferred" } else { "immediate" },
         report.policy,
         report.rebalancer.as_deref().unwrap_or("none"),
         report.submitted,
@@ -130,12 +138,14 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
     let mut blocks: Vec<String> = Vec::new();
     let mut run = |parts: &[Part],
                    engine: EngineKind,
+                   deferred: bool,
                    policy: Box<dyn RoutingPolicy>,
                    rebalancer: Option<Box<dyn RebalancePolicy>>,
                    trace: &Trace,
                    profile: bool| {
-        let mut config =
-            FleetConfig::heterogeneous(parts, ServiceConfig::default()).with_engine(engine);
+        let mut config = FleetConfig::heterogeneous(parts, ServiceConfig::default())
+            .with_engine(engine)
+            .with_deferred_execution(deferred);
         if rebalancer.is_some() {
             config = config.with_rebalance_threshold(0.4);
         }
@@ -153,11 +163,12 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
         // fleet chewed through per second of wall. Printed for the CI
         // log — wall time (and thus this rate) is never gated.
         println!(
-            "  {:<26} N={:<4} {:<13} {:<16} {:>5}/{:<5} admitted, {} make_room, \
+            "  {:<26} N={:<4} {:<13} {:<9} {:<16} {:>5}/{:<5} admitted, {} make_room, \
              {} reused, {} migrations   [{:.0} ms wall, {:.0} arrivals/s, not gated]",
             report.trace_name,
             parts.len(),
             engine.name(),
+            if deferred { "deferred" } else { "immediate" },
             report.policy,
             report.admitted(),
             report.submitted,
@@ -172,7 +183,7 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
         if let Some(p) = fleet.profiler() {
             println!("{}", p.share_table());
         }
-        blocks.push(json_block(parts.len(), engine, &report));
+        blocks.push(json_block(parts.len(), engine, deferred, &report));
     };
 
     // 1. The example's three-device fleet, all four policies, on the
@@ -180,7 +191,15 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
     let small = [Part::Xcv50, Part::Xcv50, Part::Xcv100];
     let adv_x4 = fleet_trace(Scenario::AdversarialFragmenter, 4, seed);
     for policy in standard_policies() {
-        run(&small, EngineKind::Sequential, policy, None, &adv_x4, false);
+        run(
+            &small,
+            EngineKind::Sequential,
+            false,
+            policy,
+            None,
+            &adv_x4,
+            false,
+        );
     }
 
     // 2. Frag-aware at fleet scale: N = 16 and N = 64 homogeneous
@@ -192,6 +211,7 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
         run(
             &parts,
             EngineKind::Sequential,
+            false,
             Box::<FragAware>::default(),
             None,
             &trace,
@@ -207,6 +227,7 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
     run(
         &small,
         EngineKind::Sequential,
+        false,
         Box::<RoundRobin>::default(),
         Some(Box::<WorstShardDrain>::default()),
         &adv_x4,
@@ -217,6 +238,7 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
     run(
         &parts16,
         EngineKind::Sequential,
+        false,
         Box::<RoundRobin>::default(),
         Some(Box::<WorstShardDrain>::default()),
         &adv_x17,
@@ -234,25 +256,39 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
     let parts256 = vec![Part::Xcv50; 256];
     let adv_x257 = fleet_trace(Scenario::AdversarialFragmenter, 257, seed);
     for engine in [EngineKind::Sequential, EngineKind::Parallel { threads: 0 }] {
-        run(
-            &parts256,
-            engine,
-            Box::<RoundRobin>::default(),
-            None,
-            &adv_x257,
-            true,
-        );
+        // Twin rows per engine: immediate and deferred admission. All
+        // four N = 256 rows must agree on every counter (`ci.sh`
+        // byte-gates the agreement after stripping the tags), which
+        // re-proves two-phase mode invariance on every CI run.
+        for deferred in [false, true] {
+            run(
+                &parts256,
+                engine,
+                deferred,
+                Box::<RoundRobin>::default(),
+                None,
+                &adv_x257,
+                true,
+            );
+        }
     }
     let parts1024 = vec![Part::Xcv50; 1024];
     let adv_x1025 = fleet_trace(Scenario::AdversarialFragmenter, 1025, seed);
-    run(
-        &parts1024,
-        EngineKind::Parallel { threads: 0 },
-        Box::<RoundRobin>::default(),
-        None,
-        &adv_x1025,
-        true,
-    );
+    // The soak-scale sweep, immediate then deferred: comparing the two
+    // share tables shows the routing edge's share dropping as the
+    // execute phase absorbs the implementation work (printed, never
+    // gated — the counters are pinned equal by the byte diff).
+    for deferred in [false, true] {
+        run(
+            &parts1024,
+            EngineKind::Parallel { threads: 0 },
+            deferred,
+            Box::<RoundRobin>::default(),
+            None,
+            &adv_x1025,
+            true,
+        );
+    }
 
     let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", blocks.join(",\n"));
     std::fs::write(path, json)?;

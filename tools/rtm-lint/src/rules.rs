@@ -52,7 +52,8 @@ pub const RULES: &[RuleInfo] = &[
         id: "plan-discipline",
         scope: "lib/bin/example code outside crates/core and tools/",
         what: "raw RunTimeManager::load/defragment calls bypass the plan-reuse \
-               pipeline (stale-plan safety); use load_with_plan/defragment_with_plan/offer",
+               pipeline (stale-plan safety); use load_with_plan/defragment_with_plan \
+               or the service's admit/reserve+execute_reserved",
     },
     RuleInfo {
         id: "epoch-discipline",
@@ -122,8 +123,13 @@ fn is_path_call(toks: &[Tok], i: usize, seg: &str, name: &str) -> bool {
 /// Rule 1 — the plan-reuse pipeline is the only way to mutate a device
 /// from outside `rtm-core`. `load`/`defragment` plan internally on
 /// every call; a site that uses them instead of
-/// `load_with_plan`/`defragment_with_plan`/`offer` silently reverts an
-/// admission to triple-planning and sidesteps stale-plan accounting.
+/// `load_with_plan`/`defragment_with_plan` — or the service's two-phase
+/// admission (`admit`, or `reserve` + `execute_reserved`, both of which
+/// seat an epoch-stamped ticket and execute through
+/// `RunTimeManager::execute_reserved`) — silently reverts an admission
+/// to triple-planning and sidesteps stale-plan accounting.
+/// `execute_reserved` is a *sanctioned* load entry point: it only ever
+/// implements a ticket a reservation already planned and stamped.
 fn plan_discipline(rel: &str, kind: FileKind, toks: &[Tok], out: &mut Vec<Finding>) {
     if !matches!(kind, FileKind::Lib | FileKind::Bin | FileKind::Example) {
         return;
@@ -148,7 +154,8 @@ fn plan_discipline(rel: &str, kind: FileKind, toks: &[Tok], out: &mut Vec<Findin
                     format!(
                         "direct `{name}()` call outside rtm-core bypasses the plan-reuse \
                          pipeline; route it through `{name}_with_plan` (or the service's \
-                         `offer`), or allowlist with a rationale"
+                         `admit`/`reserve` + `execute_reserved`), or allowlist with a \
+                         rationale"
                     ),
                 ));
             }
@@ -429,6 +436,14 @@ mod tests {
             "fn a(m: &mut M) { m.load(d, 8, 8, |_,_,_| {}); }",
         );
         assert!(core.iter().all(|f| f.rule != "plan-discipline"));
+        // The two-phase pipeline is sanctioned end to end: a seated
+        // reservation executing its ticket is not a raw load.
+        let two_phase = run(
+            "crates/fleet/src/fleet.rs",
+            FileKind::Lib,
+            "fn a(s: &mut S, r: &mut R) { s.reserve(0, bid, r); s.execute_reserved(r); }",
+        );
+        assert!(two_phase.iter().all(|f| f.rule != "plan-discipline"));
     }
 
     #[test]
