@@ -106,6 +106,38 @@ if [ "$n256" != "1" ]; then
   exit 1
 fi
 
+echo "==> twin-row byte agreement: tiered-mix preemption rows, engine x mode grid"
+# Same discipline for the QoS rows: the four preemption-on tiered-mix
+# rows (sequential/parallel x immediate/deferred) must agree on every
+# counter — per-tier admissions, preemptions, eviction flows and all —
+# once the engine/mode tags are stripped.
+ntier=$(grep '"scenario": "tiered-mix' BENCH_fleet.json \
+  | grep '"preemption": true' \
+  | sed -e 's/"engine": "[^"]*", //' -e 's/"mode": "[^"]*", //' -e 's/,$//' \
+  | sort -u | wc -l)
+if [ "$ntier" != "1" ]; then
+  echo "tiered-mix preemption rows disagree across engine/mode (got $ntier distinct rows)"
+  exit 1
+fi
+
+echo "==> QoS gate: preemption strictly improves interactive admission"
+# The headline tiered claim, gated on the checked-in baseline: the
+# preemption-on rows must admit strictly more interactive arrivals
+# than the preemption-off row of the same workload.
+ti_off=$(grep '"scenario": "tiered-mix' BENCH_fleet.json \
+  | grep '"preemption": false' \
+  | sed -E 's/.*"admitted_interactive": ([0-9]+).*/\1/')
+ti_on=$(grep '"scenario": "tiered-mix' BENCH_fleet.json \
+  | grep '"preemption": true' | head -1 \
+  | sed -E 's/.*"admitted_interactive": ([0-9]+).*/\1/')
+if [ -z "$ti_off" ] || [ -z "$ti_on" ] || [ "$ti_on" -le "$ti_off" ]; then
+  echo "preemption did not strictly improve interactive admission (off=$ti_off on=$ti_on)"
+  exit 1
+fi
+
+echo "==> QoS demo smoke: fleet_loop --tiered (exits nonzero unless preemption helps)"
+cargo run --release --example fleet_loop -- --tiered > /dev/null
+
 echo "==> profile smoke: execute phase absorbs deferred load work"
 # The deferred scale rows' share tables must show a nonzero execute
 # phase — the two-phase pipeline actually moving implementation work

@@ -79,6 +79,13 @@ pub enum CoreError {
         /// Explanation.
         detail: String,
     },
+    /// A two-phase admission ticket id with nothing to resolve: the id
+    /// was never reserved, or it was already resolved (resolution is
+    /// one-shot and consumes the outcome).
+    UnknownTicket {
+        /// The trace id the caller presented.
+        trace_id: u64,
+    },
     /// An underlying implementation (place/route/sim) error.
     Sim(rtm_sim::SimError),
     /// An underlying device error.
@@ -137,6 +144,9 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::DesignMismatch { detail } => write!(f, "design mismatch: {detail}"),
+            CoreError::UnknownTicket { trace_id } => {
+                write!(f, "ticket {trace_id} is unknown or already resolved")
+            }
             CoreError::Sim(e) => write!(f, "implementation error: {e}"),
             CoreError::Fpga(e) => write!(f, "device error: {e}"),
             CoreError::Place(e) => write!(f, "area error: {e}"),
@@ -195,6 +205,7 @@ mod tests {
             CoreError::RamColumnHazard { column: 9 },
             CoreError::NoAuxiliarySite { near: t },
             CoreError::DesignMismatch { detail: "x".into() },
+            CoreError::UnknownTicket { trace_id: 7 },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -55,6 +55,16 @@ pub struct FleetConfig {
     /// `tests/deferred_equivalence.rs` and the twin baseline rows);
     /// only the wall-clock shape of the epoch changes. Off by default.
     pub deferred_execution: bool,
+    /// QoS-tier preemption: when a high-tier reservation strikes out on
+    /// every ranked shard, evict the cheapest lower-tier resident
+    /// (smallest CLB footprint × remaining runtime) — migrating it to a
+    /// sibling shard with room, otherwise parking its extracted bundle
+    /// for deadline-safe readmission in a later idle window — and seat
+    /// the high-tier request in the freed region. Runs on the
+    /// sequential routing edge, so immediate and deferred execution
+    /// stay byte-identical by construction. Off by default: untiered
+    /// workloads and existing baselines are unaffected.
+    pub preemption: bool,
 }
 
 impl FleetConfig {
@@ -79,6 +89,7 @@ impl FleetConfig {
             max_migrations_per_trigger: Self::DEFAULT_MAX_MIGRATIONS_PER_TRIGGER,
             engine: EngineKind::Sequential,
             deferred_execution: false,
+            preemption: false,
         }
     }
 
@@ -93,6 +104,7 @@ impl FleetConfig {
             max_migrations_per_trigger: Self::DEFAULT_MAX_MIGRATIONS_PER_TRIGGER,
             engine: EngineKind::Sequential,
             deferred_execution: false,
+            preemption: false,
         }
     }
 
@@ -138,6 +150,13 @@ impl FleetConfig {
     /// [`FleetConfig::deferred_execution`]).
     pub fn with_deferred_execution(mut self, deferred: bool) -> Self {
         self.deferred_execution = deferred;
+        self
+    }
+
+    /// Enables (or disables) QoS-tier preemption (see
+    /// [`FleetConfig::preemption`]).
+    pub fn with_preemption(mut self, preemption: bool) -> Self {
+        self.preemption = preemption;
         self
     }
 

@@ -393,7 +393,7 @@ unsafe impl<T: Send> Send for SendPtr<T> {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtm_service::ServiceConfig;
+    use rtm_service::{QosTier, ServiceConfig};
 
     fn fleet(n: usize) -> (Vec<RuntimeService>, Vec<ServiceReport>) {
         let shards = (0..n)
@@ -441,6 +441,7 @@ mod tests {
             cols: 4,
             duration: Some(10_000),
             deadline: None,
+            tier: QosTier::Standard,
         };
         let out = shards[1]
             .admit(30_000, AdmissionBid::direct(a), &mut reports[1])
@@ -468,6 +469,7 @@ mod tests {
                 cols: 4,
                 duration: Some(dur),
                 deadline: None,
+                tier: QosTier::Standard,
             };
             let out = shards[shard]
                 .admit(10_000, AdmissionBid::direct(a), &mut reports[shard])

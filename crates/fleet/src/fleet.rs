@@ -5,14 +5,16 @@ use crate::engine;
 use crate::rebalance::{MigrationDirective, MigrationOutcome, RebalancePolicy};
 use crate::report::{FleetReport, FleetSample, ShardOutcome};
 use crate::routing::RoutingPolicy;
-use rtm_core::CoreError;
+use rtm_core::{CoreError, MigrationPlan};
 use rtm_obs::{
     EventBuffer, EventKind, EventSink, MetricsRegistry, Phase, PhaseProfiler, RejectReason,
     RtmEvent, FLEET_SHARD,
 };
 use rtm_sched::task::Micros;
 use rtm_service::trace::{Arrival, Trace, TraceEvent};
-use rtm_service::{AdmissionBid, ReserveOutcome, RuntimeService, ServiceReport, TicketOutcome};
+use rtm_service::{
+    AdmissionBid, MigratingFunction, ReserveOutcome, RuntimeService, ServiceReport, TicketOutcome,
+};
 use std::collections::BTreeMap;
 
 /// Per-run bookkeeping (reports are per run; shard state persists).
@@ -27,6 +29,11 @@ struct RunState {
     migrations: usize,
     migrations_failed: usize,
     migrations_refused: usize,
+    preemptions: usize,
+    evictions_migrated: usize,
+    evictions_parked: usize,
+    parked_readmitted: usize,
+    parked_expired: usize,
     timeline: Vec<FleetSample>,
     metrics: MetricsRegistry,
     /// Reservations seated on this epoch's routing edge, in edge order,
@@ -56,6 +63,17 @@ struct PendingRoute {
     remaining: Vec<crate::routing::RouteCandidate>,
 }
 
+/// One evicted bundle waiting out congestion in the fleet's park
+/// queue, stamped with the instant it was parked (the deadline-safe
+/// re-entry clock: readmission happens in a later epoch's trigger
+/// edge, inside some shard's idle window, and bundles whose residency
+/// expired while parked are dropped instead of readmitted).
+#[derive(Debug)]
+struct ParkedBundle {
+    bundle: MigratingFunction,
+    parked_at: Micros,
+}
+
 /// The multi-device runtime service: owns N per-device
 /// [`RuntimeService`] shards (heterogeneous parts allowed) and replays
 /// a [`Trace`] across all of them under one shared clock. Arrivals are
@@ -75,7 +93,7 @@ struct PendingRoute {
 ///
 /// ```
 /// use rtm_fleet::{FleetConfig, FleetService, routing::RoundRobin};
-/// use rtm_service::ServiceConfig;
+/// use rtm_service::{QosTier, ServiceConfig};
 /// use rtm_service::trace::{Arrival, Trace, TraceEvent};
 ///
 /// let config = FleetConfig::homogeneous(2, ServiceConfig::default());
@@ -85,6 +103,7 @@ struct PendingRoute {
 /// for id in 0..2 {
 ///     trace.push(id * 1_000, TraceEvent::Arrival(Arrival {
 ///         id, rows: 6, cols: 6, duration: None, deadline: None,
+///         tier: QosTier::Standard,
 ///     }));
 /// }
 /// let report = fleet.run(&trace).unwrap();
@@ -103,6 +122,9 @@ pub struct FleetService {
     shards: Vec<RuntimeService>,
     /// Trace id → shard index that hosts (or last hosted) the id.
     owner: BTreeMap<u64, usize>,
+    /// Evicted bundles no sibling could absorb, awaiting readmission
+    /// (see [`ParkedBundle`]). Persists across runs like shard state.
+    park: Vec<ParkedBundle>,
     now: Micros,
     /// The fleet-level event buffer (tag [`FLEET_SHARD`]), installed by
     /// [`FleetService::enable_events`]: epoch boundaries and
@@ -152,6 +174,7 @@ impl FleetService {
             rebalancer: None,
             shards,
             owner: BTreeMap::new(),
+            park: Vec::new(),
             now: 0,
             fleet_events: None,
             event_log: Vec::new(),
@@ -311,6 +334,11 @@ impl FleetService {
             migrations: 0,
             migrations_failed: 0,
             migrations_refused: 0,
+            preemptions: 0,
+            evictions_migrated: 0,
+            evictions_parked: 0,
+            parked_readmitted: 0,
+            parked_expired: 0,
             timeline: Vec::new(),
             metrics: MetricsRegistry::new(),
             pending: Vec::new(),
@@ -514,6 +542,17 @@ impl FleetService {
                     | MigrationOutcome::RefusedWindow { .. } => st.migrations_refused += 1,
                 }
             }
+
+            // 6. Park-queue readmission: evicted bundles wait out
+            //    congestion in the fleet's park queue; every epoch's
+            //    trigger edge retries them oldest-first onto the first
+            //    shard (index order) whose planned room fits inside its
+            //    idle window — a readmission may never make a queued
+            //    deadline-bound request late. Bundles whose residency
+            //    expired while parked are dropped, not readmitted.
+            if !self.park.is_empty() {
+                moved |= self.readmit_parked(&mut st)?;
+            }
             drop(triggers);
             if moved {
                 // Migrations mutated layouts on both ends: serve
@@ -577,6 +616,12 @@ impl FleetService {
             migrations: st.migrations,
             migrations_failed: st.migrations_failed,
             migrations_refused: st.migrations_refused,
+            preemptions: st.preemptions,
+            evictions_migrated: st.evictions_migrated,
+            evictions_parked: st.evictions_parked,
+            parked_readmitted: st.parked_readmitted,
+            parked_expired: st.parked_expired,
+            parked_at_end: self.park.len(),
             rebalancer: self.rebalancer.as_ref().map(|r| r.name().to_string()),
             shards,
             timeline: st.timeline,
@@ -595,7 +640,7 @@ impl FleetService {
     ///    distinct in-range target ([`MigrationOutcome::RefusedUnknown`]);
     /// 2. the target must be able to make room for the function's
     ///    shape — the epoch-stamped
-    ///    [`MigrationPlan`](rtm_core::MigrationPlan) is computed here,
+    ///    [`MigrationPlan`] is computed here,
     ///    and a plan that goes stale is re-planned, never executed
     ///    ([`MigrationOutcome::RefusedNoRoom`]);
     /// 3. the reconfiguration-port time of the copy (function cells
@@ -838,6 +883,24 @@ impl FleetService {
             }
             attempt += 1;
         }
+        // Preemption edge: the whole ranking said "no room" (or worse),
+        // but the arrival may outrank somebody already seated. Runs on
+        // the sequential routing edge in both execution modes, so
+        // immediate and deferred stay byte-identical by construction.
+        if self.config.preemption
+            && queue_on.is_some()
+            && self.try_preempt(
+                at,
+                a,
+                attempt,
+                &mut offers,
+                &mut failed_accountings,
+                queue_on,
+                st,
+            )?
+        {
+            return Ok(());
+        }
         st.metrics.observe("offer_chain_len", offers);
         if let Some(s) = queue_on {
             // Nobody can place it right now: wait on the best device
@@ -853,6 +916,221 @@ impl FleetService {
             st.load_failovers += failed_accountings.saturating_sub(1);
         }
         Ok(())
+    }
+
+    /// The preemption half of the routing edge: while the arrival's
+    /// tier can still find a strictly-lower-tier victim somewhere it
+    /// could physically fit, evict the fleet-cheapest one (smallest
+    /// CLB footprint × remaining runtime, ties on trace id — see
+    /// [`RuntimeService::preemption_victim`]) and re-offer the arrival
+    /// to the freed shard. Evicted residents are migrated to a sibling
+    /// with room when one exists, otherwise parked for deadline-safe
+    /// readmission in a later idle window ([`FleetService::readmit_parked`]);
+    /// either way their state survives frame-exactly. Returns whether
+    /// the arrival's fate was decided here (seated, or consumed by a
+    /// drop); `false` falls back to the queue path with `offers` and
+    /// `failed_accountings` advanced by whatever the attempts cost.
+    #[allow(clippy::too_many_arguments)]
+    fn try_preempt(
+        &mut self,
+        at: Micros,
+        a: Arrival,
+        attempt: usize,
+        offers: &mut u64,
+        failed_accountings: &mut usize,
+        queue_on: Option<usize>,
+        st: &mut RunState,
+    ) -> Result<bool, CoreError> {
+        let n = self.shards.len();
+        // Residents displaced during this episode: a victim whose
+        // bundle migrated to a sibling is resident again and must not
+        // be picked twice, or two shards with room for each other's
+        // victims would trade them forever. Each lap displaces a
+        // distinct resident, so the loop terminates.
+        let mut displaced: Vec<u64> = Vec::new();
+        loop {
+            // The fleet-cheapest victim across every shard whose part
+            // could hold the arrival at all. Costs are simulated
+            // quantities, so the pick is engine-invariant.
+            let victim = (0..n)
+                .filter(|&s| {
+                    let part = self.shards[s].part();
+                    a.rows <= part.clb_rows() && a.cols <= part.clb_cols()
+                })
+                .filter_map(|s| {
+                    self.shards[s]
+                        .preemption_victim(a.tier, &displaced)
+                        .map(|(tid, cost)| (cost, tid, s))
+                })
+                .min_by_key(|&(cost, tid, _)| (cost, tid));
+            let Some((_, tid, vs)) = victim else {
+                return Ok(false);
+            };
+            displaced.push(tid);
+            self.evict_and_dispose(vs, tid, st)?;
+            *offers += 1;
+            match self.shards[vs].reserve(at, AdmissionBid::routed(a, None), &mut st.reports[vs])? {
+                ReserveOutcome::Reserved => {
+                    st.preemptions += 1;
+                    if !self.config.deferred_execution {
+                        self.shards[vs].execute_reserved(&mut st.reports[vs])?;
+                    }
+                    self.owner.insert(a.id, vs);
+                    st.pending.push(PendingRoute {
+                        at,
+                        arrival: a,
+                        shard: vs,
+                        attempt,
+                        offers: *offers,
+                        failed_accountings: *failed_accountings,
+                        queue_on,
+                        remaining: Vec::new(),
+                    });
+                    return Ok(true);
+                }
+                ReserveOutcome::Dropped { .. } => {
+                    st.load_failovers += *failed_accountings;
+                    st.metrics.observe("offer_chain_len", *offers);
+                    st.routed[vs] += 1;
+                    return Ok(true);
+                }
+                ReserveOutcome::Failed { .. } => {
+                    st.routed[vs] += 1;
+                    *failed_accountings += 1;
+                }
+                // Still no room: the next lap evicts the
+                // next-cheapest not-yet-displaced victim.
+                ReserveOutcome::NoRoom => {}
+            }
+        }
+    }
+
+    /// Evicts `tid` off shard `from` and disposes of the bundle:
+    /// migrated onto the first sibling (index order) whose planned room
+    /// fits inside that sibling's idle window — destination-side check
+    /// only, the source is being preempted *on* the critical path —
+    /// otherwise parked on the fleet's park queue (a `Parked` event on
+    /// the fleet stream). Either way the victim's state travels as a
+    /// checkpointed extraction bundle, frame for frame.
+    fn evict_and_dispose(
+        &mut self,
+        from: usize,
+        tid: u64,
+        st: &mut RunState,
+    ) -> Result<(), CoreError> {
+        // The victim was looked up on this same shard inside this same
+        // sequential edge, so it is resident by construction; a miss
+        // means the bookkeeping diverged and must surface as an error.
+        let Some(fid) = self.shards[from].resident_function_id(tid) else {
+            return Err(CoreError::Place(rtm_place::PlaceError::UnknownTask {
+                id: tid,
+            }));
+        };
+        let n = self.shards.len();
+        let mut target: Option<(usize, MigrationPlan)> = None;
+        for t in (0..n).filter(|&t| t != from) {
+            let Some(plan) = self.shards[from]
+                .manager()
+                .plan_migration(fid, self.shards[t].manager())
+            else {
+                continue;
+            };
+            let dst_cost = (plan.cells() + plan.room().cells_moved()) as Micros
+                * self.shards[t].config().us_per_clb;
+            if dst_cost <= self.shards[t].idle_window() {
+                target = Some((t, plan));
+                break;
+            }
+        }
+        let bundle = self.shards[from].evict_out(tid, &mut st.reports[from])?;
+        if let Some((t, plan)) = target {
+            if self.shards[t]
+                .evict_in(
+                    self.now,
+                    &bundle,
+                    Some(plan.room().clone()),
+                    &mut st.reports[t],
+                )
+                .is_ok()
+            {
+                self.owner.insert(tid, t);
+                st.evictions_migrated += 1;
+                return Ok(());
+            }
+            // The target cleaned itself up and the bundle is still
+            // whole: fall through to the park queue.
+        }
+        self.owner.remove(&tid);
+        st.evictions_parked += 1;
+        if let Some(b) = &self.fleet_events {
+            b.emit(
+                self.now,
+                EventKind::Parked {
+                    id: tid,
+                    tier: bundle.tier().index() as u8,
+                },
+            );
+        }
+        self.park.push(ParkedBundle {
+            bundle,
+            parked_at: self.now,
+        });
+        Ok(())
+    }
+
+    /// Retries every parked bundle, oldest first, onto the first shard
+    /// (index order) that can hold its shape, make room for it, and
+    /// absorb the copy inside its idle window. Bundles whose residency
+    /// expired while parked are dropped ([`FleetReport::parked_expired`]);
+    /// the rest stay parked for a later epoch. Returns whether any
+    /// readmission actually moved logic (the caller re-settles queues
+    /// and re-samples the timeline, like after a migration wave).
+    fn readmit_parked(&mut self, st: &mut RunState) -> Result<bool, CoreError> {
+        let now = self.now;
+        let n = self.shards.len();
+        let mut moved = false;
+        let mut still_parked = Vec::new();
+        for p in std::mem::take(&mut self.park) {
+            if p.bundle.expiry().map(|e| e <= now).unwrap_or(false) {
+                st.parked_expired += 1;
+                continue;
+            }
+            let (rows, cols) = p.bundle.shape();
+            let mut seated = None;
+            for t in 0..n {
+                let part = self.shards[t].part();
+                if rows > part.clb_rows() || cols > part.clb_cols() {
+                    continue;
+                }
+                let Some(plan) = self.shards[t].manager().plan_room(rows, cols) else {
+                    continue;
+                };
+                let cost = (p.bundle.cells() + plan.cells_moved()) as Micros
+                    * self.shards[t].config().us_per_clb;
+                if cost > self.shards[t].idle_window() {
+                    continue;
+                }
+                if self.shards[t]
+                    .evict_in(now, &p.bundle, Some(plan), &mut st.reports[t])
+                    .is_ok()
+                {
+                    seated = Some(t);
+                    break;
+                }
+            }
+            match seated {
+                Some(t) => {
+                    self.owner.insert(p.bundle.trace_id(), t);
+                    st.parked_readmitted += 1;
+                    st.metrics
+                        .observe("park_wait_us", now.saturating_sub(p.parked_at));
+                    moved = true;
+                }
+                None => still_parked.push(p),
+            }
+        }
+        self.park = still_parked;
+        Ok(moved)
     }
 
     /// Settles every [`PendingRoute`] seated on this epoch's routing
@@ -876,7 +1154,7 @@ impl FleetService {
                 remaining,
             } = p;
             match self.shards[shard].resolve_ticket(a.id) {
-                Some(TicketOutcome::Executed) => {
+                Ok(TicketOutcome::Executed) => {
                     if attempt > 0 {
                         st.retries += 1;
                     }
@@ -885,7 +1163,7 @@ impl FleetService {
                     st.routed[shard] += 1;
                     continue;
                 }
-                Some(TicketOutcome::Failed { .. }) => {
+                Ok(TicketOutcome::Failed { .. }) => {
                     // The deferred load failed: the shard accounted the
                     // request (one extra `submitted`) and recovered its
                     // device; the reservation was cancelled by
@@ -894,7 +1172,7 @@ impl FleetService {
                     failed_accountings += 1;
                     self.owner.remove(&a.id);
                 }
-                None => {
+                Err(_) => {
                     return Err(CoreError::DesignMismatch {
                         detail: "seated ticket did not resolve after the execute phase".into(),
                     })
@@ -916,7 +1194,7 @@ impl FleetService {
                         // anything later can observe the shard.
                         self.shards[s].execute_reserved(&mut st.reports[s])?;
                         match self.shards[s].resolve_ticket(a.id) {
-                            Some(TicketOutcome::Executed) => {
+                            Ok(TicketOutcome::Executed) => {
                                 st.retries += 1;
                                 st.load_failovers += failed_accountings;
                                 st.metrics.observe("offer_chain_len", offers);
@@ -924,12 +1202,12 @@ impl FleetService {
                                 st.routed[s] += 1;
                                 landed = true;
                             }
-                            Some(TicketOutcome::Failed { .. }) => {
+                            Ok(TicketOutcome::Failed { .. }) => {
                                 st.routed[s] += 1;
                                 failed_accountings += 1;
                                 continue;
                             }
-                            None => {
+                            Err(_) => {
                                 return Err(CoreError::DesignMismatch {
                                     detail: "reserved failover did not resolve after its drain"
                                         .into(),
@@ -978,7 +1256,7 @@ mod tests {
     use crate::rebalance::UtilizationLevelling;
     use crate::routing::RoundRobin;
     use rtm_service::trace::{Arrival, TraceEvent};
-    use rtm_service::ServiceConfig;
+    use rtm_service::{QosTier, ServiceConfig};
 
     /// Regression: the rebalancing trigger takes the planner out of
     /// `self` for the planning call and must reinstall it afterwards —
@@ -1004,6 +1282,7 @@ mod tests {
                     cols: 4,
                     duration: None,
                     deadline: None,
+                    tier: QosTier::Standard,
                 }),
             );
         }

@@ -96,7 +96,7 @@
 //! ```
 //! use rtm_fleet::{FleetConfig, FleetService, routing::BestFitContiguous};
 //! use rtm_fpga::part::Part;
-//! use rtm_service::ServiceConfig;
+//! use rtm_service::{QosTier, ServiceConfig};
 //! use rtm_service::trace::{Arrival, Trace, TraceEvent};
 //!
 //! // Two small devices and a big one.
@@ -110,6 +110,7 @@
 //! let mut trace = Trace::new("sized-routing");
 //! trace.push(0, TraceEvent::Arrival(Arrival {
 //!     id: 0, rows: 24, cols: 30, duration: None, deadline: None,
+//!     tier: QosTier::Standard,
 //! }));
 //! let report = fleet.run(&trace).unwrap();
 //! assert_eq!(report.admitted(), 1);

@@ -319,7 +319,7 @@ mod tests {
     use super::*;
     use rtm_fpga::part::Part;
     use rtm_service::trace::Arrival;
-    use rtm_service::{ServiceConfig, ServiceReport};
+    use rtm_service::{QosTier, ServiceConfig, ServiceReport};
 
     fn admit(shard: &mut RuntimeService, id: u64, rows: u16, cols: u16) {
         let mut rep = ServiceReport::new("setup");
@@ -332,6 +332,7 @@ mod tests {
                     cols,
                     duration: None,
                     deadline: None,
+                    tier: QosTier::Standard,
                 }),
                 &mut rep,
             )

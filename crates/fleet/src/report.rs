@@ -3,8 +3,9 @@
 use rtm_core::PlanStats;
 use rtm_fpga::part::Part;
 use rtm_obs::MetricsRegistry;
+use rtm_sched::qos::QosTier;
 use rtm_sched::task::Micros;
-use rtm_service::ServiceReport;
+use rtm_service::{ServiceReport, TierCounts};
 use std::fmt;
 
 /// One shard's share of a fleet run.
@@ -80,6 +81,34 @@ pub struct FleetReport {
     /// migration may never make a queued request late), or a directive
     /// naming a function that is not resident where claimed.
     pub migrations_refused: usize,
+    /// High-tier arrivals seated by preemptive eviction: the whole
+    /// routing chain said "no room", a strictly-lower-tier resident
+    /// was evicted (see [`FleetReport::evictions_out`]) and the
+    /// arrival took the freed region. Zero unless
+    /// [`FleetConfig::preemption`](crate::FleetConfig::preemption) is
+    /// on.
+    pub preemptions: usize,
+    /// Evicted victims that were migrated straight onto a sibling
+    /// shard with room (through the same checkpointed
+    /// extract/readmit machinery as rebalancing migrations).
+    pub evictions_migrated: usize,
+    /// Evicted victims no sibling could absorb: their bundles went to
+    /// the fleet's park queue. Identity: `evictions_parked ==`
+    /// [`FleetReport::parked_readmitted`] `+`
+    /// [`FleetReport::parked_expired`] `+`
+    /// [`FleetReport::parked_at_end`] — every parked bundle is
+    /// eventually readmitted, expired, or still parked.
+    pub evictions_parked: usize,
+    /// Parked bundles readmitted in a later idle window, residency
+    /// clock intact.
+    pub parked_readmitted: usize,
+    /// Parked bundles dropped because their residency expired before
+    /// any shard had room: the work they had left was shorter than
+    /// the wait.
+    pub parked_expired: usize,
+    /// Bundles still parked when the run ended (the park queue
+    /// persists into the next run, like shard state).
+    pub parked_at_end: usize,
     /// The rebalancing planner's name, when one was installed.
     pub rebalancer: Option<String>,
     /// Per-shard outcomes, in shard order.
@@ -173,6 +202,41 @@ impl FleetReport {
     /// [`FleetReport::migrations_failed`].
     pub fn migrations_restored(&self) -> usize {
         self.sum(|r| r.migrations_restored)
+    }
+
+    /// Residents evicted off some shard by preemption, summed over the
+    /// shard reports. Identity: equals [`FleetReport::evictions_migrated`]
+    /// plus [`FleetReport::evictions_parked`] — kept separate from the
+    /// migration counters so `migrations_in == migrations_out` survives
+    /// bundles that are parked instead of readmitted.
+    pub fn evictions_out(&self) -> usize {
+        self.sum(|r| r.evictions_out)
+    }
+
+    /// Evicted bundles readmitted onto some shard (as a preemption
+    /// migration target, or out of the park queue), summed over the
+    /// shard reports. Identity: equals
+    /// [`FleetReport::evictions_migrated`] +
+    /// [`FleetReport::parked_readmitted`].
+    pub fn evictions_in(&self) -> usize {
+        self.sum(|r| r.evictions_in)
+    }
+
+    /// The per-tier admission counters rolled up over every shard:
+    /// submitted, admitted and total queue wait per [`QosTier`] lane.
+    pub fn tiers(&self) -> TierCounts {
+        let mut total = TierCounts::default();
+        for s in &self.shards {
+            total.absorb(&s.report.tiers);
+        }
+        total
+    }
+
+    /// Fraction of `tier`-lane submissions admitted fleet-wide
+    /// (vacuously 1.0 when the lane saw no traffic) — the headline the
+    /// preemption baselines gate on.
+    pub fn tier_admission_rate(&self, tier: QosTier) -> f64 {
+        self.tiers().admission_rate(tier)
     }
 
     /// Functions unloaded fleet-wide.
@@ -277,6 +341,20 @@ impl fmt::Display for FleetReport {
             self.cancelled(),
             self.queued_at_end(),
         )?;
+        let tiers = self.tiers();
+        if tiers.is_tiered() || self.preemptions > 0 {
+            writeln!(
+                f,
+                "  tiers      : {tiers} — {} preemptions ({} evicted→migrated, {} parked; \
+                 {} readmitted, {} expired, {} still parked)",
+                self.preemptions,
+                self.evictions_migrated,
+                self.evictions_parked,
+                self.parked_readmitted,
+                self.parked_expired,
+                self.parked_at_end,
+            )?;
+        }
         if self.migrations + self.migrations_failed + self.migrations_refused > 0
             || self.rebalancer.is_some()
         {
@@ -356,6 +434,12 @@ mod tests {
             migrations: 0,
             migrations_failed: 0,
             migrations_refused: 0,
+            preemptions: 0,
+            evictions_migrated: 0,
+            evictions_parked: 0,
+            parked_readmitted: 0,
+            parked_expired: 0,
+            parked_at_end: 0,
             rebalancer: None,
             shards: vec![shard(Part::Xcv50, 6, 5), shard(Part::Xcv100, 4, 4)],
             timeline: vec![

@@ -297,7 +297,7 @@ pub fn standard_policies() -> Vec<Box<dyn RoutingPolicy>> {
 mod tests {
     use super::*;
     use rtm_fpga::part::Part;
-    use rtm_service::ServiceConfig;
+    use rtm_service::{QosTier, ServiceConfig};
 
     fn arrival(rows: u16, cols: u16) -> Arrival {
         Arrival {
@@ -306,6 +306,7 @@ mod tests {
             cols,
             duration: None,
             deadline: None,
+            tier: QosTier::Standard,
         }
     }
 

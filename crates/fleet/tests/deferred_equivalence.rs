@@ -34,7 +34,7 @@ use rtm_fleet::{EngineKind, FleetConfig, FleetReport, FleetService};
 use rtm_fpga::part::Part;
 use rtm_sched::task::Micros;
 use rtm_service::trace::{Arrival, Scenario, Trace, TraceEvent};
-use rtm_service::{AdmissionBid, RuntimeService, ServiceConfig, ServiceReport};
+use rtm_service::{AdmissionBid, QosTier, RuntimeService, ServiceConfig, ServiceReport};
 
 const MENU: [Part; 3] = [Part::Xcv50, Part::Xcv100, Part::Xcv200];
 
@@ -160,6 +160,7 @@ fn failover_trace() -> Trace {
                 cols: 6,
                 duration: None,
                 deadline: None,
+                tier: QosTier::Standard,
             }),
         );
     }
@@ -280,6 +281,7 @@ fn apply_horizon_op(
                 cols: 3,
                 duration: Some(10_000 + (val % 90_000)),
                 deadline: None,
+                tier: QosTier::Standard,
             };
             *next_id += 1;
             let at = shards[s].now();
@@ -299,6 +301,7 @@ fn apply_horizon_op(
                 cols: 2,
                 duration: None,
                 deadline: None,
+                tier: QosTier::Standard,
             };
             *next_id += 1;
             let at = shards[s].now();

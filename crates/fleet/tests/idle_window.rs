@@ -8,7 +8,7 @@ use rtm_fleet::routing::RoundRobin;
 use rtm_fleet::{FleetConfig, FleetService};
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Arrival, Trace, TraceEvent};
-use rtm_service::{ServiceConfig, ServiceReport};
+use rtm_service::{QosTier, ServiceConfig, ServiceReport};
 
 fn arrival(id: u64, rows: u16, cols: u16, deadline: Option<u64>) -> TraceEvent {
     TraceEvent::Arrival(Arrival {
@@ -17,6 +17,7 @@ fn arrival(id: u64, rows: u16, cols: u16, deadline: Option<u64>) -> TraceEvent {
         cols,
         duration: None,
         deadline,
+        tier: QosTier::Standard,
     })
 }
 

@@ -7,7 +7,7 @@ use rtm_fleet::routing::{BestFitContiguous, FragAware, RoundRobin, RoutingPolicy
 use rtm_fleet::{EngineKind, FleetConfig, FleetService};
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Arrival, Scenario, Trace, TraceEvent};
-use rtm_service::ServiceConfig;
+use rtm_service::{QosTier, ServiceConfig};
 use std::collections::BTreeMap;
 
 /// Every per-request fleet total must balance: what came in either got
@@ -65,6 +65,7 @@ proptest! {
                     cols: *cols,
                     duration: Some(dur * 200_000),
                     deadline: None,
+                    tier: QosTier::Standard,
                 }),
             );
         }

@@ -23,7 +23,9 @@ use rtm_fpga::config::layout::{tile_bit_location, PIP_BITS_BASE};
 use rtm_fpga::geom::Rect;
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Arrival, Scenario};
-use rtm_service::{AdmissionBid, OfferOutcome, RuntimeService, ServiceConfig, ServiceReport};
+use rtm_service::{
+    AdmissionBid, OfferOutcome, QosTier, RuntimeService, ServiceConfig, ServiceReport,
+};
 
 const MENU: [Part; 2] = [Part::Xcv50, Part::Xcv100];
 
@@ -99,6 +101,7 @@ proptest! {
                         cols: 2 + b % 8,
                         duration: None,
                         deadline: None,
+                        tier: QosTier::Standard,
                     };
                     next_id += 1;
                     let _ = shards[s]
@@ -161,6 +164,7 @@ proptest! {
                     // owner routing).
                     let twin = Arrival {
                         id: tid, rows: 2, cols: 2, duration: None, deadline: None,
+                        tier: QosTier::Standard,
                     };
                     if shards[dst]
                         .admit(now, AdmissionBid::direct(twin), &mut reports[dst])

@@ -1,0 +1,272 @@
+//! The QoS-tier preemption net:
+//!
+//! * the headline claim — on the tiered multi-tenant mix, preemptive
+//!   eviction strictly improves the interactive admission rate over
+//!   the same fleet without it;
+//! * the eviction sum identities (`evicted out = migrated + parked`,
+//!   `parked = readmitted + expired + still parked`, and the per-shard
+//!   residency identity extended by the eviction flows);
+//! * per-tier counters and the whole report byte-identical across the
+//!   engine × execution-mode × thread-count grid;
+//! * monotonicity: adding lower-tier load never reduces the high-tier
+//!   admission count (preemption makes interactive service independent
+//!   of batch pressure);
+//! * evict-then-readmit round-trips flip-flop state frame-exactly,
+//!   pinned by the same readback oracle as the migration net.
+
+use proptest::prelude::*;
+use rtm_fleet::routing::{BestFitContiguous, RoundRobin};
+use rtm_fleet::{EngineKind, FleetConfig, FleetService};
+use rtm_fpga::config::layout::{tile_bit_location, PIP_BITS_BASE};
+use rtm_fpga::geom::Rect;
+use rtm_fpga::part::Part;
+use rtm_service::trace::{Arrival, Scenario, Trace, TraceEvent};
+use rtm_service::{AdmissionBid, QosTier, RuntimeService, ServiceConfig, ServiceReport};
+
+fn tiered_fleet(preemption: bool, engine: EngineKind, deferred: bool) -> FleetService {
+    let config = FleetConfig::homogeneous(3, ServiceConfig::default())
+        .with_preemption(preemption)
+        .with_engine(engine)
+        .with_deferred_execution(deferred);
+    FleetService::new(config, Box::new(BestFitContiguous))
+}
+
+/// The acceptance gate: on the tiered mix, turning preemption on
+/// strictly improves interactive admissions, and the improvement is
+/// attributable (preemptions and evictions actually happened).
+#[test]
+fn preemption_strictly_improves_interactive_admission() {
+    let trace = Scenario::TieredMix.fleet_trace(Part::Xcv50, 3, 7, 150_000);
+
+    let baseline = tiered_fleet(false, EngineKind::Sequential, false)
+        .run(&trace)
+        .unwrap();
+    let preempting = tiered_fleet(true, EngineKind::Sequential, false)
+        .run(&trace)
+        .unwrap();
+
+    let without = baseline.tiers().admitted_for(QosTier::Interactive);
+    let with = preempting.tiers().admitted_for(QosTier::Interactive);
+    assert!(
+        with > without,
+        "preemption must strictly improve interactive admission: \
+         {with} vs {without}\nwith: {preempting}\nwithout: {baseline}"
+    );
+    assert!(preempting.preemptions > 0, "{preempting}");
+    assert!(preempting.evictions_out() > 0, "{preempting}");
+    assert_eq!(baseline.preemptions, 0, "preemption off is preemption off");
+    assert_eq!(baseline.evictions_out(), 0, "{baseline}");
+
+    // The eviction flow identities, exactly.
+    assert_eq!(
+        preempting.evictions_out(),
+        preempting.evictions_migrated + preempting.evictions_parked,
+        "{preempting}"
+    );
+    assert_eq!(
+        preempting.evictions_parked,
+        preempting.parked_readmitted + preempting.parked_expired + preempting.parked_at_end,
+        "{preempting}"
+    );
+    assert_eq!(
+        preempting.evictions_in(),
+        preempting.evictions_migrated + preempting.parked_readmitted,
+        "{preempting}"
+    );
+    // Per-shard residency extended by the eviction flows.
+    for s in &preempting.shards {
+        assert_eq!(
+            s.report.resident_at_end as i64,
+            s.report.admitted as i64 - s.report.departures as i64 + s.report.migrations_in as i64
+                - s.report.migrations_out as i64
+                + s.report.evictions_in as i64
+                - s.report.evictions_out as i64,
+            "per-shard residency identity with evictions: {preempting}"
+        );
+    }
+}
+
+/// The determinism gate: the tiered run — preemption, evictions,
+/// parking, readmission and all — produces byte-identical reports
+/// (per-tier counters included, they are report fields) across both
+/// engines, both execution modes and several thread counts.
+#[test]
+fn tiered_reports_identical_across_engine_mode_grid() {
+    let trace = Scenario::TieredMix.fleet_trace(Part::Xcv50, 3, 7, 150_000);
+    let reference = tiered_fleet(true, EngineKind::Sequential, false)
+        .run(&trace)
+        .unwrap();
+    assert!(reference.preemptions > 0, "grid must exercise preemption");
+
+    for deferred in [false, true] {
+        for engine in [
+            EngineKind::Sequential,
+            EngineKind::Parallel { threads: 2 },
+            EngineKind::Parallel { threads: 4 },
+        ] {
+            let report = tiered_fleet(true, engine, deferred).run(&trace).unwrap();
+            assert_eq!(
+                reference, report,
+                "tiered run diverged under {engine:?}, deferred={deferred}"
+            );
+        }
+    }
+}
+
+/// Readback equivalence modulo the relocation offset — the migration
+/// net's oracle, applied to the eviction path: every cell-config and
+/// state bit of the evicted function's region reads the same after
+/// readmission (PIP bits excluded; nets re-route inside the new
+/// region).
+fn assert_readback_equivalent(
+    pre: &rtm_fpga::config::ConfigMemory,
+    old_region: Rect,
+    target: &RuntimeService,
+    new_region: Rect,
+) {
+    let dr = new_region.origin.row as i32 - old_region.origin.row as i32;
+    let dc = new_region.origin.col as i32 - old_region.origin.col as i32;
+    for old_tile in old_region.iter() {
+        let new_tile = old_tile.offset(dr, dc).expect("translated tile on device");
+        for k in 0..PIP_BITS_BASE {
+            let (a_addr, a_bit) = tile_bit_location(old_tile, k);
+            let (b_addr, b_bit) = tile_bit_location(new_tile, k);
+            assert_eq!(
+                pre.get_bit(a_addr, a_bit).unwrap(),
+                target
+                    .manager()
+                    .device()
+                    .config()
+                    .get_bit(b_addr, b_bit)
+                    .unwrap(),
+                "bit {k} of {old_tile} != bit {k} of {new_tile}"
+            );
+        }
+    }
+}
+
+fn interactive(id: u64, at: u64, rows: u16, cols: u16) -> (u64, TraceEvent) {
+    (
+        at,
+        TraceEvent::Arrival(Arrival {
+            id,
+            rows,
+            cols,
+            duration: Some(400_000),
+            deadline: None,
+            tier: QosTier::Interactive,
+        }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Monotonicity: with preemption on, injecting arbitrary batch
+    /// load under an interactive workload never reduces the number of
+    /// interactive admissions — the whole point of the tier system is
+    /// that background pressure cannot crowd out the high tier.
+    #[test]
+    fn batch_load_never_reduces_interactive_admissions(
+        shapes in proptest::collection::vec((2u16..10, 2u16..10), 2..6),
+        batch in proptest::collection::vec((2u16..16, 2u16..12, 0u64..400_000), 0..8),
+    ) {
+        // The interactive-only base: arrivals spaced out on an
+        // otherwise idle fleet.
+        let mut base = Trace::new("interactive-only");
+        for (i, &(r, c)) in shapes.iter().enumerate() {
+            let (at, ev) = interactive(1_000 + i as u64, 500_000 + i as u64 * 100_000, r, c);
+            base.push(at, ev);
+        }
+        // The augmented run: the same interactive arrivals, with
+        // long-running batch residents landing first.
+        let mut augmented = Trace::new("interactive-plus-batch");
+        for e in base.events() {
+            augmented.push(e.at, e.event);
+        }
+        for (i, &(r, c, jitter)) in batch.iter().enumerate() {
+            augmented.push(
+                jitter,
+                TraceEvent::Arrival(Arrival {
+                    id: i as u64,
+                    rows: r,
+                    cols: c,
+                    duration: Some(6_000_000),
+                    deadline: None,
+                    tier: QosTier::Batch,
+                }),
+            );
+        }
+
+        let config = FleetConfig::homogeneous(2, ServiceConfig::default())
+            .with_preemption(true);
+        let lone = FleetService::new(config.clone(), Box::new(RoundRobin::default()))
+            .run(&base)
+            .unwrap();
+        let crowded = FleetService::new(config, Box::new(RoundRobin::default()))
+            .run(&augmented)
+            .unwrap();
+
+        prop_assert!(
+            crowded.tiers().admitted_for(QosTier::Interactive)
+                >= lone.tiers().admitted_for(QosTier::Interactive),
+            "batch load reduced interactive admissions:\nlone: {lone}\ncrowded: {crowded}"
+        );
+    }
+
+    /// Evict-then-readmit round-trips flip-flop state frame-exactly:
+    /// the extraction bundle produced by `evict_out` readmits through
+    /// `evict_in` (on a sibling or back onto the freed source) with
+    /// every cell-config and state bit intact, and the eviction
+    /// counters land on the reports.
+    #[test]
+    fn evict_then_readmit_round_trips_state(
+        rows in 2u16..10,
+        cols in 2u16..10,
+        cross_shard in any::<bool>(),
+    ) {
+        let mut src = RuntimeService::new(ServiceConfig::default());
+        let mut dst = RuntimeService::new(ServiceConfig::default());
+        let mut rep_src = ServiceReport::new("evict-src");
+        let mut rep_dst = ServiceReport::new("evict-dst");
+
+        let a = Arrival {
+            id: 42,
+            rows,
+            cols,
+            duration: None,
+            deadline: None,
+            tier: QosTier::Batch,
+        };
+        src.admit(0, AdmissionBid::direct(a), &mut rep_src).unwrap();
+        let (_, _, old_region) = src.resident_functions()[0];
+
+        let bundle = src.evict_out(42, &mut rep_src).unwrap();
+        prop_assert_eq!(rep_src.evictions_out, 1);
+        prop_assert_eq!(src.resident_count(), 0);
+        prop_assert!(src.manager().bookkeeping_consistent());
+
+        let (target, rep) = if cross_shard {
+            (&mut dst, &mut rep_dst)
+        } else {
+            (&mut src, &mut rep_src)
+        };
+        target.evict_in(10_000, &bundle, None, rep).unwrap();
+        prop_assert_eq!(rep.evictions_in, 1);
+        prop_assert!(target.holds(42));
+        prop_assert!(target.manager().bookkeeping_consistent());
+
+        let new_region = target
+            .resident_functions()
+            .into_iter()
+            .find(|(id, _, _)| *id == 42)
+            .expect("readmitted function resident")
+            .2;
+        assert_readback_equivalent(
+            bundle.extracted().pre_config(),
+            old_region,
+            target,
+            new_region,
+        );
+    }
+}

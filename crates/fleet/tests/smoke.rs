@@ -4,7 +4,7 @@ use rtm_fleet::routing::{BestFitContiguous, RoundRobin};
 use rtm_fleet::{FleetConfig, FleetService};
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Arrival, Trace, TraceEvent};
-use rtm_service::ServiceConfig;
+use rtm_service::{QosTier, ServiceConfig};
 
 fn arrival(id: u64, rows: u16, cols: u16, duration: Option<u64>) -> TraceEvent {
     TraceEvent::Arrival(Arrival {
@@ -13,6 +13,7 @@ fn arrival(id: u64, rows: u16, cols: u16, duration: Option<u64>) -> TraceEvent {
         cols,
         duration,
         deadline: None,
+        tier: QosTier::Standard,
     })
 }
 

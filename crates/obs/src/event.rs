@@ -149,6 +149,32 @@ pub enum EventKind {
         /// Trace id of the migrating function.
         id: u64,
     },
+    /// A resident was extracted off this shard because a higher-tier
+    /// arrival preempted it (tiered admission).
+    Evicted {
+        /// Trace id of the evicted function.
+        id: u64,
+        /// QoS tier index of the *victim* (0 batch, 1 standard,
+        /// 2 interactive).
+        tier: u8,
+    },
+    /// An evicted bundle found no shard with room and was parked in
+    /// the fleet's park queue for idle-window readmission
+    /// (fleet-level event).
+    Parked {
+        /// Trace id of the parked function.
+        id: u64,
+        /// QoS tier index of the parked function.
+        tier: u8,
+    },
+    /// An evicted bundle was readmitted — on a migration-target shard
+    /// at eviction time, or from the park queue in a later idle window.
+    Readmitted {
+        /// Trace id of the readmitted function.
+        id: u64,
+        /// QoS tier index of the readmitted function.
+        tier: u8,
+    },
     /// The fleet engine opened a new epoch at this simulated time.
     EpochBoundary,
 }
@@ -170,6 +196,9 @@ impl EventKind {
             EventKind::MigrationOut { .. } => "migration_out",
             EventKind::MigrationIn { .. } => "migration_in",
             EventKind::MigrationRestored { .. } => "migration_restored",
+            EventKind::Evicted { .. } => "evicted",
+            EventKind::Parked { .. } => "parked",
+            EventKind::Readmitted { .. } => "readmitted",
             EventKind::EpochBoundary => "epoch_boundary",
         }
     }
@@ -243,6 +272,11 @@ impl RtmEvent {
                 s.push_str(",\"after\":");
                 frag_json(&mut s, after);
                 s.push_str(&format!(",\"moves\":{moves}"));
+            }
+            EventKind::Evicted { id, tier }
+            | EventKind::Parked { id, tier }
+            | EventKind::Readmitted { id, tier } => {
+                s.push_str(&format!(",\"id\":{id},\"tier\":{tier}"));
             }
             EventKind::EpochBoundary => {}
         }
@@ -338,6 +372,17 @@ impl RtmEvent {
                     before,
                     after,
                     moves,
+                }
+            }
+            "evicted" | "parked" | "readmitted" => {
+                c.lit(",\"id\":")?;
+                let id = c.u64()?;
+                c.lit(",\"tier\":")?;
+                let tier = u8::try_from(c.u64()?).ok()?;
+                match kind_name {
+                    "evicted" => EventKind::Evicted { id, tier },
+                    "parked" => EventKind::Parked { id, tier },
+                    _ => EventKind::Readmitted { id, tier },
                 }
             }
             "epoch_boundary" => EventKind::EpochBoundary,
@@ -502,6 +547,21 @@ mod tests {
                 at: 101,
                 shard: 0,
                 kind: EventKind::MigrationRestored { id: 5 },
+            },
+            RtmEvent {
+                at: 110,
+                shard: 1,
+                kind: EventKind::Evicted { id: 6, tier: 0 },
+            },
+            RtmEvent {
+                at: 110,
+                shard: FLEET_SHARD,
+                kind: EventKind::Parked { id: 6, tier: 0 },
+            },
+            RtmEvent {
+                at: 115,
+                shard: 2,
+                kind: EventKind::Readmitted { id: 6, tier: 0 },
             },
             RtmEvent {
                 at: 120,

@@ -41,11 +41,13 @@
 pub mod admission;
 pub mod metrics;
 pub mod policy;
+pub mod qos;
 pub mod scheduler;
 pub mod task;
 pub mod workload;
 
 pub use admission::{AdmissionHook, AdmissionOutcome};
 pub use policy::Policy;
+pub use qos::QosTier;
 pub use scheduler::Scheduler;
 pub use task::TaskSpec;

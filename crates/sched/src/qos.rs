@@ -1,0 +1,129 @@
+//! QoS tiers: the priority vocabulary for tiered admission.
+//!
+//! Ullmann et al. (PAPERS.md) allocate functions to the reconfigurable
+//! array by QoS class but lack a safe eviction mechanism; this module
+//! supplies the *vocabulary* for that arbitration — a total order of
+//! service tiers plus the victim-cost metric a preemptive admission
+//! policy ranks low-tier residents by. The mechanism (extract/readmit
+//! bundles, reserve/execute tickets) lives in `rtm-core`/`rtm-service`;
+//! the fleet's preemption edge combines the two.
+//!
+//! The order is `Batch < Standard < Interactive`: an arrival may only
+//! preempt residents of a *strictly* lower tier, so batch work can
+//! never displace batch work and the relation is irreflexive by
+//! construction — no preemption cycles are possible.
+
+use crate::task::Micros;
+
+/// Service tier of an arrival, ordered `Batch < Standard < Interactive`.
+///
+/// The derived [`Ord`] is the preemption order: `a` may evict `b` only
+/// when `a.may_preempt(b)`, i.e. `a > b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QosTier {
+    /// Background work: no interactivity promise, evictable by both
+    /// higher tiers. Evicted batch functions are parked (or migrated)
+    /// and readmitted in a later idle window.
+    Batch,
+    /// The default tier: ordinary requests. Evictable by `Interactive`
+    /// only.
+    Standard,
+    /// Deadline-bound interactive work: never evicted, and admission
+    /// may preempt lower tiers to seat it.
+    Interactive,
+}
+
+impl QosTier {
+    /// Every tier, lowest first — index order matches [`QosTier::index`].
+    pub const ALL: [QosTier; 3] = [QosTier::Batch, QosTier::Standard, QosTier::Interactive];
+
+    /// Stable machine-readable name (used by the event stream and the
+    /// perf-baseline JSON; renames break byte-identical baselines).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QosTier::Batch => "batch",
+            QosTier::Standard => "standard",
+            QosTier::Interactive => "interactive",
+        }
+    }
+
+    /// Parses [`QosTier::name`] back; `None` for anything else.
+    pub fn from_name(name: &str) -> Option<QosTier> {
+        QosTier::ALL.into_iter().find(|t| t.name() == name)
+    }
+
+    /// Dense index (`Batch = 0 … Interactive = 2`) for per-tier counter
+    /// arrays in reports.
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// True when an arrival at `self` may evict a resident at `other`:
+    /// strictly greater tier, never a peer. Irreflexive, so preemption
+    /// chains always terminate.
+    pub fn may_preempt(&self, other: QosTier) -> bool {
+        *self > other
+    }
+}
+
+impl std::fmt::Display for QosTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Eviction cost of a resident: CLB footprint × remaining runtime.
+///
+/// The preemption policy evicts the *cheapest* lower-tier resident —
+/// the one forfeiting the least outstanding work. Residents with no
+/// known expiry (open-ended) cost [`u128::MAX`], so they are only ever
+/// chosen when every bounded-runtime victim is exhausted; ties are
+/// broken by the caller on trace id for determinism.
+pub fn victim_cost(cells: u32, remaining: Option<Micros>) -> u128 {
+    match remaining {
+        Some(rem) => u128::from(cells) * u128::from(rem),
+        None => u128::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_totally_ordered() {
+        assert!(QosTier::Interactive > QosTier::Standard);
+        assert!(QosTier::Standard > QosTier::Batch);
+        assert!(QosTier::Interactive > QosTier::Batch);
+    }
+
+    #[test]
+    fn preemption_is_strict() {
+        for a in QosTier::ALL {
+            assert!(!a.may_preempt(a), "{a} must never preempt a peer");
+        }
+        assert!(QosTier::Interactive.may_preempt(QosTier::Batch));
+        assert!(QosTier::Interactive.may_preempt(QosTier::Standard));
+        assert!(QosTier::Standard.may_preempt(QosTier::Batch));
+        assert!(!QosTier::Batch.may_preempt(QosTier::Standard));
+    }
+
+    #[test]
+    fn names_round_trip_and_index_is_dense() {
+        for (i, t) in QosTier::ALL.into_iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(QosTier::from_name(t.name()), Some(t));
+            assert_eq!(t.to_string(), t.name());
+        }
+        assert_eq!(QosTier::from_name("gold"), None);
+    }
+
+    #[test]
+    fn victim_cost_orders_small_short_work_first() {
+        // 4 cells for 10us beats 4 cells for 100us beats 40 cells.
+        assert!(victim_cost(4, Some(10)) < victim_cost(4, Some(100)));
+        assert!(victim_cost(4, Some(100)) < victim_cost(40, Some(100)));
+        // Open-ended residents are last-resort victims.
+        assert!(victim_cost(1, Some(Micros::MAX)) < victim_cost(1, None));
+    }
+}

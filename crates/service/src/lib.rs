@@ -24,16 +24,18 @@
 //! ## Example
 //!
 //! ```
-//! use rtm_service::{RuntimeService, ServiceConfig};
+//! use rtm_service::{QosTier, RuntimeService, ServiceConfig};
 //! use rtm_service::trace::{Arrival, Trace, TraceEvent};
 //!
 //! // Two functions arrive; the first departs when its residency ends.
 //! let mut trace = Trace::new("hello-service");
 //! trace.push(0, TraceEvent::Arrival(Arrival {
 //!     id: 0, rows: 6, cols: 6, duration: Some(200_000), deadline: None,
+//!     tier: QosTier::Standard,
 //! }));
 //! trace.push(50_000, TraceEvent::Arrival(Arrival {
 //!     id: 1, rows: 4, cols: 4, duration: None, deadline: None,
+//!     tier: QosTier::Standard,
 //! }));
 //!
 //! let mut service = RuntimeService::new(ServiceConfig::default());
@@ -57,7 +59,8 @@ pub mod service;
 pub mod trace;
 
 pub use config::{QueueOrder, ServiceConfig};
-pub use report::ServiceReport;
+pub use report::{ServiceReport, TierCounts};
+pub use rtm_sched::qos::QosTier;
 pub use service::{
     AdmissionBid, BidProvenance, MigratingFunction, OfferOutcome, ReserveOutcome, RuntimeService,
     TicketOutcome,

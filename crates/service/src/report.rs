@@ -4,8 +4,95 @@ use rtm_core::PlanStats;
 use rtm_obs::MetricsRegistry;
 use rtm_place::frag::FragMetrics;
 use rtm_sched::admission::AdmissionOutcome;
+use rtm_sched::qos::QosTier;
 use rtm_sched::task::Micros;
 use std::fmt;
+
+/// Per-tier admission/latency roll-up, indexed by [`QosTier::index`]
+/// (`[batch, standard, interactive]`).
+///
+/// Simulated counters only, so the roll-up is engine- and
+/// mode-invariant and safe to compare byte-exact — the fleet baseline
+/// gates the per-tier admitted counts the same way it gates the
+/// untiered ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierCounts {
+    /// Arrival events seen, per tier.
+    pub submitted: [usize; 3],
+    /// Functions admitted, per tier.
+    pub admitted: [usize; 3],
+    /// Total queue wait of admitted functions, per tier (µs); the
+    /// per-tier mean latency is `waited / admitted`.
+    pub waited: [Micros; 3],
+}
+
+impl TierCounts {
+    /// Arrivals submitted at `tier`.
+    pub fn submitted_for(&self, tier: QosTier) -> usize {
+        self.submitted[tier.index()]
+    }
+
+    /// Functions admitted at `tier`.
+    pub fn admitted_for(&self, tier: QosTier) -> usize {
+        self.admitted[tier.index()]
+    }
+
+    /// Fraction of `tier` arrivals admitted (1.0 when none arrived).
+    pub fn admission_rate(&self, tier: QosTier) -> f64 {
+        let s = self.submitted_for(tier);
+        if s == 0 {
+            1.0
+        } else {
+            self.admitted_for(tier) as f64 / s as f64
+        }
+    }
+
+    /// Mean queue wait of `tier` admissions (µs; 0.0 when none).
+    pub fn mean_wait(&self, tier: QosTier) -> f64 {
+        let a = self.admitted_for(tier);
+        if a == 0 {
+            0.0
+        } else {
+            self.waited[tier.index()] as f64 / a as f64
+        }
+    }
+
+    /// True when arrivals span more than one tier (or any arrival left
+    /// the default tier) — the reports only print the tier breakdown
+    /// for genuinely tiered runs.
+    pub fn is_tiered(&self) -> bool {
+        self.submitted[QosTier::Batch.index()] + self.submitted[QosTier::Interactive.index()] > 0
+    }
+
+    /// Element-wise accumulate (the fleet roll-up).
+    pub fn absorb(&mut self, other: &TierCounts) {
+        for i in 0..3 {
+            self.submitted[i] += other.submitted[i];
+            self.admitted[i] += other.admitted[i];
+            self.waited[i] += other.waited[i];
+        }
+    }
+}
+
+impl fmt::Display for TierCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for tier in QosTier::ALL.into_iter().rev() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(
+                f,
+                "{} {}/{}",
+                tier,
+                self.admitted_for(tier),
+                self.submitted_for(tier)
+            )?;
+        }
+        Ok(())
+    }
+}
 
 /// One fragmentation sample of the timeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,6 +177,20 @@ pub struct ServiceReport {
     /// extraction checkpoint (the function is resident here again, as
     /// if the migration had never been attempted).
     pub migrations_restored: usize,
+    /// Residents *evicted off* this device by tiered preemption: a
+    /// higher-tier reserve could not be seated, so the cheapest
+    /// lower-tier resident was extracted (then migrated to a sibling
+    /// shard or parked for idle-window readmission). Tracked apart from
+    /// [`ServiceReport::migrations_out`] so the rebalancing identity
+    /// `Σ migrations_out == Σ migrations_in` survives parking.
+    pub evictions_out: usize,
+    /// Evicted bundles *readmitted onto* this device — as a
+    /// preemption-driven migration target or from the fleet's park
+    /// queue in a later idle window.
+    pub evictions_in: usize,
+    /// Per-tier admission/latency roll-up ([batch, standard,
+    /// interactive], indexed by [`QosTier::index`]).
+    pub tiers: TierCounts,
     /// Defragmentation cycles the service initiated.
     pub defrag_cycles: usize,
     /// Whole-function moves executed (admission rearrangements plus
@@ -204,6 +305,13 @@ impl fmt::Display for ServiceReport {
                 self.migrations_in, self.migrations_out, self.migrations_restored
             )?;
         }
+        if self.tiers.is_tiered() || self.evictions_out + self.evictions_in > 0 {
+            writeln!(
+                f,
+                "  tiers      : {} — {} evicted out, {} readmitted in",
+                self.tiers, self.evictions_out, self.evictions_in
+            )?;
+        }
         writeln!(
             f,
             "  relocation : {} defrag cycles, {} function moves, {} CLBs, \
@@ -270,6 +378,25 @@ mod tests {
         let shown = r.to_string();
         assert!(shown.contains("3/4"), "{shown}");
         assert!(shown.contains("trace 't'"), "{shown}");
+    }
+
+    #[test]
+    fn tier_counts_roll_up() {
+        let mut t = TierCounts::default();
+        assert!(!t.is_tiered(), "all-standard runs are untiered");
+        t.submitted[QosTier::Interactive.index()] = 4;
+        t.admitted[QosTier::Interactive.index()] = 3;
+        t.waited[QosTier::Interactive.index()] = 30_000;
+        assert!(t.is_tiered());
+        assert!((t.admission_rate(QosTier::Interactive) - 0.75).abs() < 1e-9);
+        assert_eq!(t.admission_rate(QosTier::Batch), 1.0, "vacuously perfect");
+        assert!((t.mean_wait(QosTier::Interactive) - 10_000.0).abs() < 1e-9);
+        let mut sum = TierCounts::default();
+        sum.absorb(&t);
+        sum.absorb(&t);
+        assert_eq!(sum.submitted_for(QosTier::Interactive), 8);
+        assert_eq!(sum.admitted_for(QosTier::Interactive), 6);
+        assert!(t.to_string().contains("interactive 3/4"), "{t}");
     }
 
     #[test]

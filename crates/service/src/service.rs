@@ -14,6 +14,7 @@ use rtm_netlist::techmap::{map_to_luts, MappedNetlist};
 use rtm_obs::{EventBuffer, EventKind, EventSink, MetricsRegistry, RejectReason, RtmEvent};
 use rtm_place::defrag::Move;
 use rtm_sched::admission::AdmissionOutcome;
+use rtm_sched::qos::{victim_cost, QosTier};
 use rtm_sched::task::Micros;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -36,12 +37,12 @@ pub enum BidProvenance {
     Failover,
 }
 
-/// A typed admission bid: the arrival, an optional epoch-stamped
-/// rearrangement plan the caller already computed for this request on
-/// this device (typically from a frag-aware routing preview), and the
-/// bid's provenance. [`RuntimeService::reserve`] and
-/// [`RuntimeService::admit`] consume bids; the deprecated
-/// [`RuntimeService::offer`] shim builds one from its loose pair.
+/// A typed admission bid: the arrival (which carries its
+/// [`QosTier`]), an optional epoch-stamped rearrangement plan the
+/// caller already computed for this request on this device (typically
+/// from a frag-aware routing preview), and the bid's provenance.
+/// [`RuntimeService::reserve`] and [`RuntimeService::admit`] consume
+/// bids.
 #[derive(Debug, Clone)]
 pub struct AdmissionBid {
     arrival: Arrival,
@@ -215,6 +216,7 @@ struct PendingTicket {
     /// rearrangement traffic on the reconfiguration port).
     start: Micros,
     duration: Option<Micros>,
+    tier: QosTier,
     had_routed_plan: bool,
     provenance: BidProvenance,
 }
@@ -240,12 +242,20 @@ pub struct MigratingFunction {
     trace_id: u64,
     extracted: ExtractedFunction,
     expiry: Option<Micros>,
+    tier: QosTier,
 }
 
 impl MigratingFunction {
     /// The trace-level id of the migrating function.
     pub fn trace_id(&self) -> u64 {
         self.trace_id
+    }
+
+    /// The function's QoS tier — carried across migrations and
+    /// evictions so the function stays exactly as evictable on its new
+    /// shard (or after park readmission) as it was on the old one.
+    pub fn tier(&self) -> QosTier {
+        self.tier
     }
 
     /// The core-level snapshot (design, state, checkpoint).
@@ -298,12 +308,14 @@ impl MigratingFunction {
 /// # Examples
 ///
 /// ```
+/// use rtm_sched::qos::QosTier;
 /// use rtm_service::{RuntimeService, ServiceConfig};
 /// use rtm_service::trace::{Arrival, Trace, TraceEvent};
 ///
 /// let mut trace = Trace::new("doc");
 /// trace.push(0, TraceEvent::Arrival(Arrival {
 ///     id: 0, rows: 6, cols: 6, duration: Some(100_000), deadline: None,
+///     tier: QosTier::Standard,
 /// }));
 /// let mut service = RuntimeService::new(ServiceConfig::default());
 /// let report = service.run(&trace).unwrap();
@@ -319,6 +331,10 @@ pub struct RuntimeService {
     resident: BTreeMap<u64, FunctionId>,
     /// Trace id → simulated time its residency expires.
     expiry: BTreeMap<u64, Micros>,
+    /// Trace id → QoS tier of every resident — the candidate set
+    /// [`RuntimeService::preemption_victim`] ranks when a higher-tier
+    /// reserve cannot be seated.
+    tier_of: BTreeMap<u64, QosTier>,
     queue: VecDeque<Queued>,
     /// Manager plan-stats snapshot at the start of the current run —
     /// [`RuntimeService::finish`] reports the delta.
@@ -385,6 +401,7 @@ impl RuntimeService {
             now: 0,
             resident: BTreeMap::new(),
             expiry: BTreeMap::new(),
+            tier_of: BTreeMap::new(),
             queue: VecDeque::new(),
             stats_base: PlanStats::default(),
             head_blocked: None,
@@ -649,6 +666,7 @@ impl RuntimeService {
         self.execute_reserved(report)?;
         self.now = self.now.max(at);
         report.submitted += 1;
+        report.tiers.submitted[arrival.tier.index()] += 1;
         if let Some(s) = self.sink() {
             s.emit(
                 self.now,
@@ -726,20 +744,16 @@ impl RuntimeService {
                 b.truncate(m);
             }
         }
+        let tier = q.arrival.tier;
+        if !matches!(decision, Decision::NoRoom) {
+            report.submitted += 1;
+            report.tiers.submitted[tier.index()] += 1;
+        }
         Ok(match decision {
             Decision::NoRoom => ReserveOutcome::NoRoom,
-            Decision::Seated => {
-                report.submitted += 1;
-                ReserveOutcome::Reserved
-            }
-            Decision::Dropped(reason) => {
-                report.submitted += 1;
-                ReserveOutcome::Dropped { reason }
-            }
-            Decision::Failed(reason) => {
-                report.submitted += 1;
-                ReserveOutcome::Failed { reason }
-            }
+            Decision::Seated => ReserveOutcome::Reserved,
+            Decision::Dropped(reason) => ReserveOutcome::Dropped { reason },
+            Decision::Failed(reason) => ReserveOutcome::Failed { reason },
         })
     }
 
@@ -764,32 +778,44 @@ impl RuntimeService {
         Ok(())
     }
 
-    /// Resolves the fate of a previously reserved bid. Returns `None`
-    /// when `trace_id` has no executed-but-unresolved ticket here (not
-    /// reserved, or already resolved). Resolving a failed ticket
+    /// Resolves the fate of a previously reserved bid. Resolution is
+    /// one-shot: it consumes the outcome, and resolving a failed ticket
     /// cancels its arena reservation — until then the region stays
     /// reserved, by design.
-    pub fn resolve_ticket(&mut self, trace_id: u64) -> Option<TicketOutcome> {
-        match self.resolved.remove(&trace_id)? {
-            ResolvedTicket::Executed => Some(TicketOutcome::Executed),
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTicket`] when `trace_id` has no
+    /// executed-but-unresolved ticket here — the id was never reserved,
+    /// its ticket has not been executed yet, or it was already resolved.
+    /// A typed error instead of a silent no-op: every such call is a
+    /// caller losing track of the ticket lifecycle, and the failover
+    /// paths must be able to tell "already consumed" apart from a real
+    /// outcome.
+    pub fn resolve_ticket(&mut self, trace_id: u64) -> Result<TicketOutcome, CoreError> {
+        match self
+            .resolved
+            .remove(&trace_id)
+            .ok_or(CoreError::UnknownTicket { trace_id })?
+        {
+            ResolvedTicket::Executed => Ok(TicketOutcome::Executed),
             ResolvedTicket::Failed(fid, reason) => {
                 // The reservation was kept across the failure so both
                 // execution modes rank siblings against the same arena;
                 // releasing it is what resolution *means*.
                 let cancelled = self.mgr.cancel_reservation(fid);
                 debug_assert!(cancelled.is_ok(), "failed ticket must still be seated");
-                Some(TicketOutcome::Failed { reason })
+                Ok(TicketOutcome::Failed { reason })
             }
         }
     }
 
     /// One-shot admission: [`RuntimeService::reserve`], then
     /// immediately execute and resolve — the single-device form of the
-    /// two-phase pipeline, and the migration target for the deprecated
-    /// [`RuntimeService::offer`]. Both execution modes run the same
-    /// machinery; an admission observes identical device state and
-    /// emits identical events whether its execute step ran here or in
-    /// an engine's deferred execute phase.
+    /// two-phase pipeline. Both execution modes run the same machinery;
+    /// an admission observes identical device state and emits identical
+    /// events whether its execute step ran here or in an engine's
+    /// deferred execute phase.
     ///
     /// # Errors
     ///
@@ -807,36 +833,15 @@ impl RuntimeService {
             ReserveOutcome::Failed { reason } => Ok(OfferOutcome::LoadFailed { reason }),
             ReserveOutcome::Reserved => {
                 self.execute_reserved(report)?;
-                match self.resolve_ticket(id) {
-                    Some(TicketOutcome::Executed) => Ok(OfferOutcome::Admitted),
-                    Some(TicketOutcome::Failed { reason }) => {
-                        Ok(OfferOutcome::LoadFailed { reason })
-                    }
-                    None => Err(CoreError::DesignMismatch {
-                        detail: "reserved bid did not resolve after its drain".into(),
-                    }),
+                // A reserved bid always resolves after its drain, so an
+                // UnknownTicket here is a real invariant breach — let it
+                // propagate.
+                match self.resolve_ticket(id)? {
+                    TicketOutcome::Executed => Ok(OfferOutcome::Admitted),
+                    TicketOutcome::Failed { reason } => Ok(OfferOutcome::LoadFailed { reason }),
                 }
             }
         }
-    }
-
-    /// Attempts to admit `arrival` right now, bypassing the queue.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`CoreError`] only for invariant-corrupting failures.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `admit` with a typed `AdmissionBid` (or the two-phase `reserve`/`execute_reserved`/`resolve_ticket` pipeline)"
-    )]
-    pub fn offer(
-        &mut self,
-        at: Micros,
-        arrival: Arrival,
-        plan: Option<RoomPlan>,
-        report: &mut ServiceReport,
-    ) -> Result<OfferOutcome, CoreError> {
-        self.admit(at, AdmissionBid::direct(arrival).with_plan(plan), report)
     }
 
     /// Serves the wait queue, samples the fragmentation timeline, and
@@ -957,6 +962,7 @@ impl RuntimeService {
         // exactly as it would have under inline execution.
         self.execute_reserved(report)?;
         if let Some(fid) = self.resident.remove(&trace_id) {
+            self.tier_of.remove(&trace_id);
             if self.expiry.remove(&trace_id).is_some() {
                 self.schedule_version += 1;
             }
@@ -1018,6 +1024,7 @@ impl RuntimeService {
             }))?;
         let extracted = self.mgr.extract_function(fid)?;
         self.resident.remove(&trace_id);
+        let tier = self.tier_of.remove(&trace_id).unwrap_or(QosTier::Standard);
         let expiry = self.expiry.remove(&trace_id);
         if expiry.is_some() {
             self.schedule_version += 1;
@@ -1030,6 +1037,7 @@ impl RuntimeService {
             trace_id,
             extracted,
             expiry,
+            tier,
         })
     }
 
@@ -1074,6 +1082,7 @@ impl RuntimeService {
             .mgr
             .readmit_function(&m.extracted, &plan, |_, _, _| {})?;
         self.resident.insert(m.trace_id, lr.id);
+        self.tier_of.insert(m.trace_id, m.tier);
         if let Some(e) = m.expiry {
             self.expiry.insert(m.trace_id, e);
             self.schedule_version += 1;
@@ -1106,6 +1115,7 @@ impl RuntimeService {
     ) -> Result<(), CoreError> {
         let fid = self.mgr.restore_function(&m.extracted)?;
         self.resident.insert(m.trace_id, fid);
+        self.tier_of.insert(m.trace_id, m.tier);
         if let Some(e) = m.expiry {
             self.expiry.insert(m.trace_id, e);
             self.schedule_version += 1;
@@ -1119,6 +1129,145 @@ impl RuntimeService {
         if let Some(s) = self.sink() {
             s.emit(self.now, EventKind::MigrationRestored { id: m.trace_id });
         }
+        Ok(())
+    }
+
+    /// The cheapest resident this shard could sacrifice to seat an
+    /// arrival at `tier`: lowest [`victim_cost`] (CLB footprint ×
+    /// remaining runtime) among residents of a *strictly* lower tier,
+    /// ties broken on trace id. `None` when nothing here is evictable
+    /// by `tier`. Reads the post-drain resident set — the fleet's
+    /// preemption edge runs right after a [`RuntimeService::reserve`],
+    /// which drains pending tickets.
+    ///
+    /// `exclude` lists trace ids that are off the table — the fleet
+    /// passes the residents it already displaced during the current
+    /// preemption episode, so a victim whose bundle *migrated* to a
+    /// sibling (still resident fleet-wide) cannot be picked again and
+    /// ping-pong between shards forever: each lap of the eviction loop
+    /// then displaces a distinct resident, which is what makes the
+    /// loop terminate.
+    pub fn preemption_victim(&self, tier: QosTier, exclude: &[u64]) -> Option<(u64, u128)> {
+        self.resident
+            .iter()
+            .filter(|(tid, _)| {
+                if exclude.contains(tid) {
+                    return false;
+                }
+                let resident_tier = self.tier_of.get(tid).copied().unwrap_or(QosTier::Standard);
+                tier.may_preempt(resident_tier)
+            })
+            .filter_map(|(tid, fid)| {
+                let f = self.mgr.function(*fid)?;
+                let remaining = self.expiry.get(tid).map(|e| e.saturating_sub(self.now));
+                Some((*tid, victim_cost(f.region.area(), remaining)))
+            })
+            .min_by_key(|(tid, cost)| (*cost, *tid))
+    }
+
+    /// Extracts a resident off this shard because a higher-tier arrival
+    /// preempted it: the outbound half of evict-via-migrate-or-park.
+    /// Mechanically [`RuntimeService::migrate_out`] — the same
+    /// checkpointed extraction bundle — but accounted as an eviction
+    /// ([`ServiceReport::evictions_out`], an `Evicted` event) so the
+    /// rebalancing identity `Σ migrations_out == Σ migrations_in`
+    /// survives bundles that are *parked* instead of readmitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Place`] when `trace_id` is not resident
+    /// here.
+    pub fn evict_out(
+        &mut self,
+        trace_id: u64,
+        report: &mut ServiceReport,
+    ) -> Result<MigratingFunction, CoreError> {
+        self.execute_reserved(report)?;
+        let fid = self
+            .resident
+            .get(&trace_id)
+            .copied()
+            .ok_or(CoreError::Place(rtm_place::PlaceError::UnknownTask {
+                id: trace_id,
+            }))?;
+        let extracted = self.mgr.extract_function(fid)?;
+        self.resident.remove(&trace_id);
+        let tier = self.tier_of.remove(&trace_id).unwrap_or(QosTier::Standard);
+        let expiry = self.expiry.remove(&trace_id);
+        if expiry.is_some() {
+            self.schedule_version += 1;
+        }
+        report.evictions_out += 1;
+        if let Some(s) = self.sink() {
+            s.emit(
+                self.now,
+                EventKind::Evicted {
+                    id: trace_id,
+                    tier: tier.index() as u8,
+                },
+            );
+        }
+        Ok(MigratingFunction {
+            trace_id,
+            extracted,
+            expiry,
+            tier,
+        })
+    }
+
+    /// Readmits an evicted bundle onto this shard — as the migration
+    /// target of a preemption, or from the fleet's park queue in a
+    /// later idle window. Mechanically [`RuntimeService::migrate_in`]
+    /// but accounted as an eviction readmission
+    /// ([`ServiceReport::evictions_in`], a `Readmitted` event).
+    ///
+    /// # Errors
+    ///
+    /// Exactly like [`RuntimeService::migrate_in`]: on any error this
+    /// shard holds no orphan state and the caller still owns the
+    /// bundle (it can stay parked, or be restored to its source).
+    pub fn evict_in(
+        &mut self,
+        at: Micros,
+        m: &MigratingFunction,
+        plan: Option<RoomPlan>,
+        report: &mut ServiceReport,
+    ) -> Result<(), CoreError> {
+        self.execute_reserved(report)?;
+        self.now = self.now.max(at);
+        if self.resident.contains_key(&m.trace_id) {
+            return Err(CoreError::Place(rtm_place::PlaceError::DuplicateTask {
+                id: m.trace_id,
+            }));
+        }
+        let (rows, cols) = m.shape();
+        let plan = self
+            .mgr
+            .revalidate_room_plan(rows, cols, plan)
+            .ok_or(CoreError::Place(rtm_place::PlaceError::NoFit {
+                rows,
+                cols,
+            }))?;
+        let lr = self
+            .mgr
+            .readmit_function(&m.extracted, &plan, |_, _, _| {})?;
+        self.resident.insert(m.trace_id, lr.id);
+        self.tier_of.insert(m.trace_id, m.tier);
+        if let Some(e) = m.expiry {
+            self.expiry.insert(m.trace_id, e);
+            self.schedule_version += 1;
+        }
+        report.evictions_in += 1;
+        if let Some(s) = self.sink() {
+            s.emit(
+                self.now,
+                EventKind::Readmitted {
+                    id: m.trace_id,
+                    tier: m.tier.index() as u8,
+                },
+            );
+        }
+        self.account_moves(&lr.moves, &lr.relocations, report);
         Ok(())
     }
 
@@ -1221,12 +1370,9 @@ impl RuntimeService {
             Decision::Failed(_) => Ok(Attempt::Failed),
             Decision::Seated => {
                 self.execute_reserved(report)?;
-                match self.resolve_ticket(q.arrival.id) {
-                    Some(TicketOutcome::Executed) => Ok(Attempt::Admitted),
-                    Some(TicketOutcome::Failed { .. }) => Ok(Attempt::Failed),
-                    None => Err(CoreError::DesignMismatch {
-                        detail: "seated ticket did not resolve after its drain".into(),
-                    }),
+                match self.resolve_ticket(q.arrival.id)? {
+                    TicketOutcome::Executed => Ok(Attempt::Admitted),
+                    TicketOutcome::Failed { .. } => Ok(Attempt::Failed),
                 }
             }
         }
@@ -1342,6 +1488,7 @@ impl RuntimeService {
                     design,
                     start,
                     duration: a.duration,
+                    tier: a.tier,
                     had_routed_plan,
                     provenance,
                 });
@@ -1432,6 +1579,8 @@ impl RuntimeService {
                 };
                 report.admitted += 1;
                 let waited = self.now - pt.queued_at;
+                report.tiers.admitted[pt.tier.index()] += 1;
+                report.tiers.waited[pt.tier.index()] += waited;
                 let frames = lr.frames_total();
                 if let Some(s) = self.sink() {
                     s.emit(
@@ -1449,6 +1598,17 @@ impl RuntimeService {
                 self.metrics.observe("frames_per_load", frames as u64);
                 self.metrics
                     .observe("moves_per_admission", lr.moves.len() as u64);
+                // Per-tier roll-ups in the deterministic registry: an
+                // admitted counter and a wait histogram per tier.
+                let (tier_admitted, tier_wait) = match pt.tier {
+                    QosTier::Batch => ("tier_batch_admitted", "tier_batch_wait_us"),
+                    QosTier::Standard => ("tier_standard_admitted", "tier_standard_wait_us"),
+                    QosTier::Interactive => {
+                        ("tier_interactive_admitted", "tier_interactive_wait_us")
+                    }
+                };
+                self.metrics.inc(tier_admitted);
+                self.metrics.observe(tier_wait, waited);
                 if pt.had_routed_plan {
                     self.metrics.inc("admissions_with_routed_plan");
                 }
@@ -1467,6 +1627,7 @@ impl RuntimeService {
                     self.schedule_version += 1;
                 }
                 self.resident.insert(id, lr.id);
+                self.tier_of.insert(id, pt.tier);
                 if let Some(ResolvedTicket::Failed(old_fid, _)) =
                     self.resolved.insert(id, ResolvedTicket::Executed)
                 {

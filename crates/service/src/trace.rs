@@ -11,6 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtm_fpga::part::Part;
+use rtm_sched::qos::QosTier;
 use rtm_sched::task::{Micros, TaskSpec};
 use rtm_sched::workload::WorkloadParams;
 use std::fmt;
@@ -30,6 +31,10 @@ pub struct Arrival {
     /// Absolute time by which the function must have *started* (µs).
     /// `None` means the request waits patiently in the queue.
     pub deadline: Option<Micros>,
+    /// QoS tier. Admission may preempt residents of a strictly lower
+    /// tier to seat this arrival (when preemption is enabled), and the
+    /// per-tier report counters roll up under it.
+    pub tier: QosTier,
 }
 
 impl Arrival {
@@ -47,6 +52,9 @@ impl fmt::Display for Arrival {
         }
         if let Some(d) = self.deadline {
             write!(f, " deadline {d}us")?;
+        }
+        if self.tier != QosTier::Standard {
+            write!(f, " [{}]", self.tier)?;
         }
         Ok(())
     }
@@ -79,14 +87,17 @@ pub struct TimedEvent {
 /// # Examples
 ///
 /// ```
+/// use rtm_sched::qos::QosTier;
 /// use rtm_service::trace::{Arrival, Trace, TraceEvent};
 ///
 /// let mut trace = Trace::new("two-functions");
 /// trace.push(0, TraceEvent::Arrival(Arrival {
 ///     id: 0, rows: 4, cols: 4, duration: Some(100_000), deadline: None,
+///     tier: QosTier::Standard,
 /// }));
 /// trace.push(50_000, TraceEvent::Arrival(Arrival {
 ///     id: 1, rows: 4, cols: 4, duration: None, deadline: None,
+///     tier: QosTier::Standard,
 /// }));
 /// trace.push(400_000, TraceEvent::Departure { id: 1 });
 /// assert_eq!(trace.arrivals(), 2);
@@ -216,6 +227,7 @@ impl Trace {
                     cols: t.cols,
                     duration: Some(t.duration),
                     deadline: None,
+                    tier: QosTier::Standard,
                 }),
             );
         }
@@ -237,14 +249,21 @@ pub enum Scenario {
     /// strips, depart every other one (comb fragmentation), then submit
     /// requests that fit only after a defragmentation cycle.
     AdversarialFragmenter,
+    /// The tiered multi-tenant mix: long-running background batch
+    /// residents, steady standard churn, then a flash crowd of
+    /// deadline-bound interactive arrivals. The only scenario whose
+    /// arrivals span all three [`QosTier`]s — the workload the
+    /// preemptive-eviction path is measured on.
+    TieredMix,
 }
 
 impl Scenario {
     /// All scenarios, for sweeps.
-    pub const ALL: [Scenario; 3] = [
+    pub const ALL: [Scenario; 4] = [
         Scenario::Bursty,
         Scenario::SteadyChurn,
         Scenario::AdversarialFragmenter,
+        Scenario::TieredMix,
     ];
 
     /// The scenario's name.
@@ -253,6 +272,7 @@ impl Scenario {
             Scenario::Bursty => "bursty",
             Scenario::SteadyChurn => "steady-churn",
             Scenario::AdversarialFragmenter => "adversarial-fragmenter",
+            Scenario::TieredMix => "tiered-mix",
         }
     }
 
@@ -263,6 +283,7 @@ impl Scenario {
             Scenario::Bursty => bursty(part, seed),
             Scenario::SteadyChurn => steady_churn(part, seed),
             Scenario::AdversarialFragmenter => adversarial_fragmenter(part, seed),
+            Scenario::TieredMix => tiered_mix(part, seed),
         }
     }
 
@@ -314,6 +335,7 @@ fn bursty(part: Part, seed: u64) -> Trace {
                     cols,
                     duration: Some(duration),
                     deadline: Some(at + slack),
+                    tier: QosTier::Standard,
                 }),
             );
             id += 1;
@@ -360,6 +382,7 @@ fn adversarial_fragmenter(part: Part, seed: u64) -> Trace {
                 cols: strip_w,
                 duration: None,
                 deadline: None,
+                tier: QosTier::Standard,
             }),
         );
         t += 50_000;
@@ -384,9 +407,80 @@ fn adversarial_fragmenter(part: Part, seed: u64) -> Trace {
                 cols: big_cols,
                 duration: Some(400_000),
                 deadline: Some(t + 5_000_000),
+                tier: QosTier::Standard,
             }),
         );
         t += 300_000;
+    }
+    trace
+}
+
+/// Background batch residents, standard churn, then a flash crowd of
+/// deadline-bound interactive arrivals — the tiered multi-tenant mix.
+/// Without preemption the crowd finds the array held by long-running
+/// batch strips and times out in the queue; with preemption admission
+/// evicts the cheapest batch residents (migrate to a shard with room,
+/// else park for idle-window readmission) and seats the crowd.
+fn tiered_mix(part: Part, seed: u64) -> Trace {
+    let (rows, cols) = (part.clb_rows(), part.clb_cols());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new(Scenario::TieredMix.name());
+    let mut t: Micros = 0;
+    let mut id = 0u64;
+    // Phase 1: background batch — wall-to-wall long-running strips.
+    let strip_w = (cols / 6).max(3);
+    let n_strips = cols / strip_w;
+    for _ in 0..n_strips {
+        trace.push(
+            t,
+            TraceEvent::Arrival(Arrival {
+                id,
+                rows,
+                cols: strip_w,
+                duration: Some(rng.gen_range(4_000_000..=8_000_000)),
+                deadline: None,
+                tier: QosTier::Batch,
+            }),
+        );
+        id += 1;
+        t += 40_000;
+    }
+    // Phase 2: standard churn riding on the loaded array.
+    for _ in 0..4 {
+        t += rng.gen_range(50_000u64..=150_000);
+        trace.push(
+            t,
+            TraceEvent::Arrival(Arrival {
+                id,
+                rows: rng.gen_range(2..=(rows / 4).max(2)),
+                cols: rng.gen_range(2..=(cols / 6).max(2)),
+                duration: Some(rng.gen_range(200_000..=500_000)),
+                deadline: None,
+                tier: QosTier::Standard,
+            }),
+        );
+        id += 1;
+    }
+    // Phase 3: the flash crowd — big deadline-bound interactive
+    // requests that fit only if batch residents give way.
+    t += 200_000;
+    let crowd = rng.gen_range(3..=4);
+    for _ in 0..crowd {
+        let jitter: Micros = rng.gen_range(0..30_000);
+        let at = t + jitter;
+        trace.push(
+            at,
+            TraceEvent::Arrival(Arrival {
+                id,
+                rows: rng.gen_range((rows / 2).max(3)..=rows),
+                cols: rng.gen_range((cols / 4).max(3)..=(cols / 2).max(4)),
+                duration: Some(rng.gen_range(300_000..=600_000)),
+                deadline: Some(at + rng.gen_range(400_000u64..=1_500_000)),
+                tier: QosTier::Interactive,
+            }),
+        );
+        id += 1;
+        t += 60_000;
     }
     trace
 }
@@ -405,6 +499,7 @@ mod tests {
                 cols: 2,
                 duration: None,
                 deadline: None,
+                tier: QosTier::Standard,
             })
         };
         trace.push(100, arr(0));
@@ -459,6 +554,7 @@ mod tests {
                 cols: 2,
                 duration: Some(100),
                 deadline: Some(500),
+                tier: QosTier::Interactive,
             }),
         );
         t.push(20, TraceEvent::Departure { id: 1 });
@@ -480,6 +576,11 @@ mod tests {
         assert_eq!(last_arrival.1.id, 2001);
         assert_eq!(last_arrival.1.deadline, Some(514));
         assert_eq!(last_arrival.1.duration, Some(100), "durations are relative");
+        assert_eq!(
+            last_arrival.1.tier,
+            QosTier::Interactive,
+            "tiers ride through the merge untouched"
+        );
     }
 
     #[test]
@@ -494,6 +595,7 @@ mod tests {
                 cols: 2,
                 duration: None,
                 deadline: None,
+                tier: QosTier::Standard,
             }),
         );
         // Stride 5 cannot separate ids up to 5: copy 0's id 5 would
@@ -519,6 +621,35 @@ mod tests {
                     assert_eq!(a.deadline, None);
                 }
                 _ => panic!("workload traces contain only arrivals"),
+            }
+        }
+    }
+
+    #[test]
+    fn tiered_mix_spans_all_three_tiers_in_phase_order() {
+        let trace = Scenario::TieredMix.trace(Part::Xcv50, 3);
+        let tiers: Vec<QosTier> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::Arrival(a) => Some(a.tier),
+                _ => None,
+            })
+            .collect();
+        for t in QosTier::ALL {
+            assert!(tiers.contains(&t), "mix must contain {t} arrivals");
+        }
+        // Batch leads, interactive trails: the crowd lands on an array
+        // already held by the background tier.
+        assert_eq!(tiers.first(), Some(&QosTier::Batch));
+        assert_eq!(tiers.last(), Some(&QosTier::Interactive));
+        // Every interactive arrival is deadline-bound; no batch one is.
+        for e in trace.events() {
+            if let TraceEvent::Arrival(a) = e.event {
+                match a.tier {
+                    QosTier::Interactive => assert!(a.deadline.is_some(), "{a}"),
+                    _ => assert!(a.deadline.is_none(), "{a}"),
+                }
             }
         }
     }

@@ -5,7 +5,7 @@
 
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Arrival, Scenario, Trace, TraceEvent};
-use rtm_service::{RuntimeService, ServiceConfig};
+use rtm_service::{QosTier, RuntimeService, ServiceConfig};
 
 /// A deterministic comb: four full-height strips, then the odd two
 /// depart, shattering the free space into separated gaps.
@@ -20,6 +20,7 @@ fn comb_trace() -> Trace {
                 cols: 6,
                 duration: None,
                 deadline: None,
+                tier: QosTier::Standard,
             }),
         );
     }

@@ -6,7 +6,7 @@
 
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Arrival, Scenario, Trace, TraceEvent};
-use rtm_service::{QueueOrder, RuntimeService, ServiceConfig};
+use rtm_service::{QosTier, QueueOrder, RuntimeService, ServiceConfig};
 
 fn run_with(order: QueueOrder, trace: &Trace) -> rtm_service::ServiceReport {
     let config = ServiceConfig::default()
@@ -71,6 +71,7 @@ fn smallest_area_first_fixes_head_of_line_blocking() {
             cols,
             duration,
             deadline,
+            tier: QosTier::Standard,
         })
     };
     // Two daemons fill the 16x24 device; the second expires at t=50ms.

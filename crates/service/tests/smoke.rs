@@ -3,7 +3,7 @@
 use rtm_fpga::part::Part;
 use rtm_sched::policy::Policy;
 use rtm_service::trace::{Arrival, Scenario, Trace, TraceEvent};
-use rtm_service::{RuntimeService, ServiceConfig};
+use rtm_service::{QosTier, RuntimeService, ServiceConfig};
 
 fn arrival(id: u64, rows: u16, cols: u16, duration: Option<u64>) -> TraceEvent {
     TraceEvent::Arrival(Arrival {
@@ -12,6 +12,7 @@ fn arrival(id: u64, rows: u16, cols: u16, duration: Option<u64>) -> TraceEvent {
         cols,
         duration,
         deadline: None,
+        tier: QosTier::Standard,
     })
 }
 
@@ -67,6 +68,7 @@ fn deadline_rejection_when_device_is_full() {
             cols: 8,
             duration: Some(100_000),
             deadline: Some(200_000),
+            tier: QosTier::Standard,
         }),
     );
     // A later event gives the clock a chance to pass the deadline.
@@ -165,6 +167,7 @@ fn deadline_request_waits_for_cheaper_plan_instead_of_dropping() {
             cols: 10,
             duration: Some(100_000),
             deadline: Some(570_000),
+            tier: QosTier::Standard,
         }),
     );
     trace.push(200_000, TraceEvent::Departure { id: 1 });
@@ -201,6 +204,7 @@ fn stepping_api_admit_synchronizes_the_clock() {
                 cols: 4,
                 duration: Some(100_000),
                 deadline: None,
+                tier: QosTier::Standard,
             }),
             &mut rep,
         )
@@ -228,6 +232,7 @@ fn two_phase_reserve_then_execute_matches_admit() {
         cols: 4,
         duration: None,
         deadline: None,
+        tier: QosTier::Standard,
     };
     let decided = service
         .reserve(0, rtm_service::AdmissionBid::direct(a), &mut rep)
@@ -244,34 +249,26 @@ fn two_phase_reserve_then_execute_matches_admit() {
     assert_eq!(service.resident_count(), 1);
     assert_eq!(
         service.resolve_ticket(7),
-        Some(rtm_service::TicketOutcome::Executed)
+        Ok(rtm_service::TicketOutcome::Executed)
     );
-    assert_eq!(service.resolve_ticket(7), None, "resolution is one-shot");
+    assert_eq!(
+        service.resolve_ticket(7),
+        Err(rtm_core::CoreError::UnknownTicket { trace_id: 7 }),
+        "resolution is one-shot"
+    );
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_offer_shim_still_admits() {
-    // `offer` survives one PR as a thin delegate to `admit`; external
-    // callers migrating to `AdmissionBid` keep working meanwhile.
+fn resolving_an_unknown_ticket_is_a_typed_error() {
+    // An id that was never reserved (and one that was already
+    // resolved) must fail loudly — a silent no-op here is a caller
+    // losing track of the ticket lifecycle.
     let mut service = RuntimeService::new(ServiceConfig::default());
-    let mut rep = rtm_service::ServiceReport::new("shim");
-    let outcome = service
-        .offer(
-            0,
-            Arrival {
-                id: 0,
-                rows: 4,
-                cols: 4,
-                duration: None,
-                deadline: None,
-            },
-            None,
-            &mut rep,
-        )
-        .unwrap();
-    assert_eq!(outcome, rtm_service::OfferOutcome::Admitted);
-    assert_eq!(service.resident_count(), 1);
+    assert_eq!(
+        service.resolve_ticket(99),
+        Err(rtm_core::CoreError::UnknownTicket { trace_id: 99 }),
+        "never-reserved id"
+    );
 }
 
 #[test]

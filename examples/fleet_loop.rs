@@ -23,10 +23,13 @@
 //!
 //! Replays a fixed set of deterministic fleet runs — the three-device
 //! policy sweep, frag-aware sweeps at N = 16 and N = 64 devices, two
-//! round-robin + rebalancing-migration runs (x4 and N = 16), and the
+//! round-robin + rebalancing-migration runs (x4 and N = 16), the
 //! epoch-engine scale tier (N = 256 under both stepping engines ×
 //! both admission modes, N = 1024 under the parallel engine in both
-//! modes) — and writes every run's counters (admissions, frames
+//! modes), and the tiered QoS rows (the tiered mix without preemption,
+//! then with preemption under the engine × mode grid; per-tier
+//! admitted counters and the preemption/eviction flow counters ride in
+//! every row) — and writes every run's counters (admissions, frames
 //! written, `make_room` planning passes, plans reused, migrations, …)
 //! as JSON, each row tagged with the engine it ran under and whether
 //! admission execution was immediate or deferred. The checked-in
@@ -42,6 +45,17 @@
 //! deferred rows the `execute` phase absorbs the implementation work
 //! the routing edge used to carry; pass `--profile` to print the
 //! table for every row.
+//!
+//! ## QoS tiers: `--tiered`
+//!
+//! ```sh
+//! cargo run --release --example fleet_loop -- --tiered
+//! ```
+//!
+//! Replays the tiered multi-tenant mix twice — preemptive eviction
+//! off, then on — prints both reports and the per-tier admission
+//! comparison, and exits nonzero unless preemption strictly improved
+//! interactive admissions.
 //!
 //! ## Deterministic event export: `--trace [PATH]`
 //!
@@ -62,7 +76,7 @@ use rtm::fleet::{EngineKind, FleetConfig, FleetReport, FleetService};
 use rtm::obs::{to_jsonl_stream, EventKind, RejectReason, RtmEvent, Stopwatch};
 use rtm_fpga::part::Part;
 use rtm_service::trace::{Scenario, Trace};
-use rtm_service::ServiceConfig;
+use rtm_service::{QosTier, ServiceConfig};
 use std::fmt::Write as _;
 
 /// The canonical fleet-scale workload: `copies` staggered copies of
@@ -77,13 +91,20 @@ fn fleet_trace(scenario: Scenario, copies: u64, seed: u64) -> Trace {
 /// because the gate is a byte diff, rows over the same workload that
 /// agree on every other field *are* the cross-engine and cross-mode
 /// equivalence checks, re-proven on every CI run.
-fn json_block(devices: usize, engine: EngineKind, deferred: bool, report: &FleetReport) -> String {
+fn json_block(
+    devices: usize,
+    engine: EngineKind,
+    deferred: bool,
+    preemption: bool,
+    report: &FleetReport,
+) -> String {
     let s = report.plan_stats();
+    let tiers = report.tiers();
     let mut out = String::new();
     let _ = write!(
         out,
         "    {{\"scenario\": \"{}\", \"devices\": {}, \"engine\": \"{}\", \
-         \"mode\": \"{}\", \
+         \"mode\": \"{}\", \"preemption\": {}, \
          \"policy\": \"{}\", \"rebalancer\": \"{}\", \
          \"submitted\": {}, \"admitted\": {}, \"retries\": {}, \
          \"load_failovers\": {}, \"unplaceable\": {}, \"queued_at_end\": {}, \
@@ -92,6 +113,13 @@ fn json_block(devices: usize, engine: EngineKind, deferred: bool, report: &Fleet
          \"cells_moved\": {}, \"frames_written\": {}, \
          \"migrations\": {}, \"migrations_in\": {}, \"migrations_out\": {}, \
          \"migrations_failed\": {}, \"migrations_refused\": {}, \
+         \"submitted_batch\": {}, \"submitted_standard\": {}, \
+         \"submitted_interactive\": {}, \
+         \"admitted_batch\": {}, \"admitted_standard\": {}, \
+         \"admitted_interactive\": {}, \
+         \"preemptions\": {}, \"evictions_migrated\": {}, \
+         \"evictions_parked\": {}, \"parked_readmitted\": {}, \
+         \"parked_expired\": {}, \"parked_at_end\": {}, \
          \"make_room_calls\": {}, \"previews\": {}, \"compaction_plans\": {}, \
          \"plans_reused\": {}, \"plans_invalidated\": {}, \
          \"summary_hits\": {}, \"summary_misses\": {}}}",
@@ -99,6 +127,7 @@ fn json_block(devices: usize, engine: EngineKind, deferred: bool, report: &Fleet
         devices,
         engine.name(),
         if deferred { "deferred" } else { "immediate" },
+        preemption,
         report.policy,
         report.rebalancer.as_deref().unwrap_or("none"),
         report.submitted,
@@ -120,6 +149,18 @@ fn json_block(devices: usize, engine: EngineKind, deferred: bool, report: &Fleet
         report.migrations_out(),
         report.migrations_failed,
         report.migrations_refused,
+        tiers.submitted_for(QosTier::Batch),
+        tiers.submitted_for(QosTier::Standard),
+        tiers.submitted_for(QosTier::Interactive),
+        tiers.admitted_for(QosTier::Batch),
+        tiers.admitted_for(QosTier::Standard),
+        tiers.admitted_for(QosTier::Interactive),
+        report.preemptions,
+        report.evictions_migrated,
+        report.evictions_parked,
+        report.parked_readmitted,
+        report.parked_expired,
+        report.parked_at_end,
         s.make_room_calls,
         s.previews,
         s.compaction_plans,
@@ -139,13 +180,15 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
     let mut run = |parts: &[Part],
                    engine: EngineKind,
                    deferred: bool,
+                   preemption: bool,
                    policy: Box<dyn RoutingPolicy>,
                    rebalancer: Option<Box<dyn RebalancePolicy>>,
                    trace: &Trace,
                    profile: bool| {
         let mut config = FleetConfig::heterogeneous(parts, ServiceConfig::default())
             .with_engine(engine)
-            .with_deferred_execution(deferred);
+            .with_deferred_execution(deferred)
+            .with_preemption(preemption);
         if rebalancer.is_some() {
             config = config.with_rebalance_threshold(0.4);
         }
@@ -183,7 +226,13 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
         if let Some(p) = fleet.profiler() {
             println!("{}", p.share_table());
         }
-        blocks.push(json_block(parts.len(), engine, deferred, &report));
+        blocks.push(json_block(
+            parts.len(),
+            engine,
+            deferred,
+            preemption,
+            &report,
+        ));
     };
 
     // 1. The example's three-device fleet, all four policies, on the
@@ -194,6 +243,7 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
         run(
             &small,
             EngineKind::Sequential,
+            false,
             false,
             policy,
             None,
@@ -212,6 +262,7 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
             &parts,
             EngineKind::Sequential,
             false,
+            false,
             Box::<FragAware>::default(),
             None,
             &trace,
@@ -228,6 +279,7 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
         &small,
         EngineKind::Sequential,
         false,
+        false,
         Box::<RoundRobin>::default(),
         Some(Box::<WorstShardDrain>::default()),
         &adv_x4,
@@ -238,6 +290,7 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
     run(
         &parts16,
         EngineKind::Sequential,
+        false,
         false,
         Box::<RoundRobin>::default(),
         Some(Box::<WorstShardDrain>::default()),
@@ -265,6 +318,7 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
                 &parts256,
                 engine,
                 deferred,
+                false,
                 Box::<RoundRobin>::default(),
                 None,
                 &adv_x257,
@@ -283,11 +337,46 @@ fn baseline(path: &str, profile_all: bool) -> Result<(), Box<dyn std::error::Err
             &parts1024,
             EngineKind::Parallel { threads: 0 },
             deferred,
+            false,
             Box::<RoundRobin>::default(),
             None,
             &adv_x1025,
             true,
         );
+    }
+
+    // 5. QoS tiers: the tiered multi-tenant mix on the three-device
+    //    fleet, once without preemption (the baseline the improvement
+    //    is measured against) and then with preemption under the full
+    //    engine × mode grid. `ci.sh` gates two claims on these rows:
+    //    the four preemption-on rows agree on every counter after the
+    //    engine/mode tags are stripped (tiered twin-row gate), and
+    //    `admitted_interactive` is strictly higher with preemption
+    //    than without.
+    let tiered = fleet_trace(Scenario::TieredMix, 3, 7);
+    run(
+        &small,
+        EngineKind::Sequential,
+        false,
+        false,
+        Box::<RoundRobin>::default(),
+        None,
+        &tiered,
+        false,
+    );
+    for engine in [EngineKind::Sequential, EngineKind::Parallel { threads: 0 }] {
+        for deferred in [false, true] {
+            run(
+                &small,
+                engine,
+                deferred,
+                true,
+                Box::<RoundRobin>::default(),
+                None,
+                &tiered,
+                false,
+            );
+        }
     }
 
     let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", blocks.join(",\n"));
@@ -378,6 +467,68 @@ fn trace_export(path: &str) -> Result<(), Box<dyn std::error::Error>> {
          all event counts match the gated report counters",
         events.len()
     );
+    Ok(())
+}
+
+/// `--tiered`: the QoS story in isolation. Replays the tiered
+/// multi-tenant mix (long batch residents, standard churn, an
+/// interactive flash crowd) over the three-device fleet twice — with
+/// preemptive eviction off, then on — and prints both reports plus the
+/// per-tier comparison. With preemption on, a striking-out interactive
+/// reservation evicts the cheapest batch resident (smallest CLB
+/// footprint × remaining runtime), migrates the bundle to a sibling
+/// with room inside its idle window or parks it for deadline-safe
+/// readmission, and seats in the freed region.
+fn tiered_demo(profile: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let parts = [Part::Xcv50, Part::Xcv50, Part::Xcv100];
+    let trace = fleet_trace(Scenario::TieredMix, 3, 7);
+    println!(
+        "=== tiered mix x3 — {} events, {} arrivals, preemption off vs on ===\n",
+        trace.events().len(),
+        trace.arrivals()
+    );
+    let mut reports = Vec::new();
+    for preemption in [false, true] {
+        let config = FleetConfig::heterogeneous(&parts, ServiceConfig::default())
+            .with_preemption(preemption);
+        let mut fleet = FleetService::new(config, Box::<RoundRobin>::default());
+        if profile {
+            fleet.enable_profiler();
+        }
+        let report = fleet.run(&trace)?;
+        println!("{report}");
+        if let Some(p) = fleet.profiler() {
+            println!("{}", p.share_table());
+        }
+        reports.push(report);
+    }
+    println!("=== per-tier admission: preemption off -> on ===");
+    let (off, on) = (reports[0].tiers(), reports[1].tiers());
+    for tier in QosTier::ALL.into_iter().rev() {
+        println!(
+            "  {:<12} {}/{} -> {}/{} admitted ({:.3} -> {:.3})",
+            tier.name(),
+            off.admitted_for(tier),
+            off.submitted_for(tier),
+            on.admitted_for(tier),
+            on.submitted_for(tier),
+            off.admission_rate(tier),
+            on.admission_rate(tier),
+        );
+    }
+    println!(
+        "\nWithout tiers the flash crowd finds the array held wall to wall by\n\
+         long-running batch strips and starves in the queue. Preemption lets\n\
+         the interactive reservations evict the cheapest batch residents —\n\
+         each one extracted live (state and configuration checkpointed),\n\
+         migrated to a device with room or parked for readmission in a later\n\
+         idle window — and seat in the freed regions.",
+    );
+    if reports[1].tiers().admitted_for(QosTier::Interactive)
+        <= reports[0].tiers().admitted_for(QosTier::Interactive)
+    {
+        return Err("preemption did not improve interactive admission".into());
+    }
     Ok(())
 }
 
@@ -487,6 +638,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or("target/fleet_trace.jsonl");
         println!("fleet_loop --trace: deterministic event export (self-validating)");
         return trace_export(path);
+    }
+    if args.iter().any(|a| a == "--tiered") {
+        println!("fleet_loop --tiered: QoS tiers with preemptive eviction, off vs on");
+        return tiered_demo(profile);
     }
     if let Some(i) = args.iter().position(|a| a == "--baseline") {
         let path = args
